@@ -1,0 +1,77 @@
+//! Criterion: query-layer building blocks — joins, VQL parsing, plan
+//! serialization (E3/E8 companions).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore_query::relation::Relation;
+use unistore_query::{Logical, Mqp, MqpNode};
+use unistore_store::Value;
+use unistore_util::wire::Wire;
+use unistore_vql::{analyze, parse};
+
+fn rel(n: usize, key_mod: i64, cols: &[&str]) -> Relation {
+    Relation {
+        schema: cols.iter().map(|c| Arc::from(*c)).collect(),
+        rows: (0..n)
+            .map(|i| {
+                let mut row = vec![Value::Int(i as i64 % key_mod)];
+                for c in 1..cols.len() {
+                    row.push(Value::Int((i * c) as i64));
+                }
+                row
+            })
+            .collect(),
+    }
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join");
+    for n in [100usize, 1_000, 10_000] {
+        let left = rel(n, (n / 10).max(1) as i64, &["k", "x"]);
+        let right = rel(n, (n / 10).max(1) as i64, &["k", "y"]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| left.join(&right).len())
+        });
+    }
+    group.finish();
+}
+
+const PAPER_QUERY: &str = "SELECT ?name,?age,?cnt
+    WHERE {(?a,'name',?name) (?a,'age',?age)
+           (?a,'num_of_pubs',?cnt)
+           (?a,'has_published',?title) (?p,'title',?title)
+           (?p,'published_in',?conf) (?c,'confname',?conf)
+           (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}
+    ORDER BY SKYLINE OF ?age MIN, ?cnt MAX";
+
+fn bench_vql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vql");
+    group.bench_function("parse_paper_query", |b| {
+        b.iter(|| parse(std::hint::black_box(PAPER_QUERY)).unwrap())
+    });
+    group.bench_function("parse_analyze_plan", |b| {
+        b.iter(|| {
+            let a = analyze(parse(PAPER_QUERY).unwrap()).unwrap();
+            Logical::from_query(&a).size()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mqp_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqp_wire");
+    let a = analyze(parse(PAPER_QUERY).unwrap()).unwrap();
+    let mut root = MqpNode::from_logical(&Logical::from_query(&a));
+    // Embed a realistic partial result.
+    root.resolve_first_scan(rel(500, 50, &["a", "name"]));
+    let mqp = Mqp::new(1, 0, root, a.query.filters.clone(), None);
+    group.bench_function("encode", |b| b.iter(|| mqp.to_bytes().len()));
+    let bytes = mqp.to_bytes();
+    group.bench_function("decode", |b| b.iter(|| Mqp::from_bytes(&bytes).unwrap().qid));
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_vql, bench_mqp_wire);
+criterion_main!(benches);

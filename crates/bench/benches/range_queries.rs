@@ -1,0 +1,74 @@
+//! Criterion: the two range algorithms and the Chord baselines (E6
+//! companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore_chord::node::ChordConfig;
+use unistore_chord::{ChordCluster, ChordRangeMode};
+use unistore_pgrid::cluster::Topology;
+use unistore_pgrid::{PGridCluster, PGridConfig, RangeMode};
+use unistore_simnet::{ConstantLatency, NodeId, SimTime};
+use unistore_util::item::RawItem;
+
+fn quiet() -> PGridConfig {
+    PGridConfig {
+        maintenance_interval: SimTime::from_secs(1_000_000_000),
+        anti_entropy_interval: SimTime::from_secs(1_000_000_000),
+        ..PGridConfig::default()
+    }
+}
+
+fn bench_pgrid_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgrid_range");
+    group.sample_size(15);
+    let mut cluster: PGridCluster<RawItem> = PGridCluster::build(
+        128,
+        quiet(),
+        Topology::Uniform,
+        ConstantLatency(SimTime::from_millis(1)),
+        3,
+    );
+    for k in 0..2048u64 {
+        cluster.preload(k << 53, RawItem(k), 0);
+    }
+    for (label, mode) in [("parallel", RangeMode::Parallel), ("sequential", RangeMode::Sequential)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let out = cluster.range(NodeId(0), 100 << 53, 300 << 53, mode);
+                assert!(out.complete);
+                out.items.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chord_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_range");
+    group.sample_size(15);
+    let mut cluster: ChordCluster<RawItem> = ChordCluster::build(
+        128,
+        ChordConfig::default(),
+        ConstantLatency(SimTime::from_millis(1)),
+        3,
+    );
+    for k in 0..2048u64 {
+        cluster.preload(k << 53, RawItem(k));
+    }
+    for (label, mode) in
+        [("buckets", ChordRangeMode::Buckets), ("broadcast", ChordRangeMode::Broadcast)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| {
+                let out = cluster.range(NodeId(0), 100 << 53, 300 << 53, mode);
+                assert!(out.complete);
+                out.entries.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pgrid_range, bench_chord_range);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion: lookup routing on both overlays (E1 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore_chord::node::ChordConfig;
+use unistore_chord::ChordCluster;
+use unistore_pgrid::cluster::Topology;
+use unistore_pgrid::{PGridCluster, PGridConfig};
+use unistore_simnet::{ConstantLatency, SimTime};
+use unistore_util::item::RawItem;
+
+fn quiet() -> PGridConfig {
+    PGridConfig {
+        maintenance_interval: SimTime::from_secs(1_000_000_000),
+        anti_entropy_interval: SimTime::from_secs(1_000_000_000),
+        ..PGridConfig::default()
+    }
+}
+
+fn keys(n: u64) -> Vec<u64> {
+    (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+}
+
+fn bench_pgrid_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgrid_lookup");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let mut cluster: PGridCluster<RawItem> = PGridCluster::build(
+            n,
+            quiet(),
+            Topology::Uniform,
+            ConstantLatency(SimTime::from_millis(1)),
+            7,
+        );
+        let ks = keys(256);
+        for &k in &ks {
+            cluster.preload(k, RawItem(k), 0);
+        }
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ks.len();
+                let origin = cluster.random_peer();
+                let out = cluster.lookup(origin, ks[i]);
+                assert!(out.ok);
+                out.cost.hops
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chord_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let mut cluster: ChordCluster<RawItem> = ChordCluster::build(
+            n,
+            ChordConfig::default(),
+            ConstantLatency(SimTime::from_millis(1)),
+            7,
+        );
+        let ks = keys(256);
+        for &k in &ks {
+            cluster.preload(k, RawItem(k));
+        }
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ks.len();
+                let origin = cluster.random_node();
+                let out = cluster.lookup(origin, ks[i]);
+                assert!(out.ok);
+                out.cost.hops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pgrid_lookup, bench_chord_lookup);
+criterion_main!(benches);

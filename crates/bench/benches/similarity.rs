@@ -1,0 +1,59 @@
+//! Criterion: similarity machinery — q-gram extraction, count filter,
+//! edit distance, and the end-to-end similarity query (E7 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore::config::ScanPref;
+use unistore::{PlanMode, UniCluster, UniConfig};
+use unistore_simnet::NodeId;
+use unistore_store::qgram::{edit_distance, passes_count_filter, qgrams};
+use unistore_workload::{PubParams, PubWorld};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qgram_primitives");
+    let long = "International Conference on Data Engineering Workshops 2006";
+    group.bench_function("qgrams_long", |b| b.iter(|| qgrams(std::hint::black_box(long))));
+    group.bench_function("edit_distance_close", |b| {
+        b.iter(|| edit_distance(std::hint::black_box("ICDE 2006"), std::hint::black_box("ICDE 2005")))
+    });
+    group.bench_function("edit_distance_long", |b| {
+        b.iter(|| edit_distance(std::hint::black_box(long), std::hint::black_box("VLDB Journal Special Issue on P2P Data Management")))
+    });
+    group.bench_function("count_filter", |b| {
+        b.iter(|| passes_count_filter(std::hint::black_box(long), std::hint::black_box("ICDE"), 2))
+    });
+    group.finish();
+}
+
+fn bench_similarity_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_query");
+    group.sample_size(10);
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 20, n_conferences: 200, typo_rate: 0.2, ..Default::default() },
+        5,
+    );
+    for (label, pref) in [
+        ("qgram", Some(ScanPref::QGram)),
+        ("naive", Some(ScanPref::NaiveSimilarity)),
+    ] {
+        let mut cluster = UniCluster::build(32, UniConfig::default(), 5);
+        cluster.load(world.all_tuples());
+        cluster.set_plan_mode(PlanMode { scan_pref: pref, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let out = cluster
+                    .query(
+                        NodeId(0),
+                        "SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<2}",
+                    )
+                    .unwrap();
+                assert!(out.ok);
+                out.relation.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_similarity_query);
+criterion_main!(benches);

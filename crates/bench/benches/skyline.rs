@@ -1,0 +1,93 @@
+//! Criterion: the skyline operator (E9 companion) and the full flagship
+//! query.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore::{UniCluster, UniConfig};
+use unistore_query::relation::Relation;
+use unistore_query::skyline::skyline;
+use unistore_simnet::NodeId;
+use unistore_store::Value;
+use unistore_vql::ast::{SkyDir, SkyItem};
+use unistore_workload::{PubParams, PubWorld};
+
+fn rel(n: usize, seed: u64) -> Relation {
+    let mut x = seed;
+    let mut next = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as i64 % 1000
+    };
+    Relation {
+        schema: vec![Arc::from("a"), Arc::from("b"), Arc::from("c")],
+        rows: (0..n)
+            .map(|_| vec![Value::Int(next()), Value::Int(next()), Value::Int(next())])
+            .collect(),
+    }
+}
+
+fn items(dims: usize) -> Vec<SkyItem> {
+    let names = ["a", "b", "c"];
+    (0..dims)
+        .map(|i| SkyItem {
+            var: Arc::from(names[i]),
+            dir: if i % 2 == 0 { SkyDir::Min } else { SkyDir::Max },
+        })
+        .collect()
+}
+
+fn bench_skyline_operator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline_bnl");
+    for n in [100usize, 1000, 10_000] {
+        for dims in [2usize, 3] {
+            let input = rel(n, 42);
+            let its = items(dims);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{dims}d"), n),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let mut r = input.clone();
+                        skyline(&mut r, &its);
+                        r.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_flagship_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_flagship_query");
+    group.sample_size(10);
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 60, n_conferences: 15, ..Default::default() },
+        9,
+    );
+    let mut cluster = UniCluster::build(64, UniConfig::default(), 9);
+    cluster.load(world.all_tuples());
+    group.bench_function("n64", |b| {
+        b.iter(|| {
+            let out = cluster
+                .query(
+                    NodeId(1),
+                    "SELECT ?name,?age,?cnt
+                     WHERE {(?a,'name',?name) (?a,'age',?age)
+                            (?a,'num_of_pubs',?cnt)
+                            (?a,'has_published',?title) (?p,'title',?title)
+                            (?p,'published_in',?conf) (?c,'confname',?conf)
+                            (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}
+                     ORDER BY SKYLINE OF ?age MIN, ?cnt MAX",
+                )
+                .unwrap();
+            assert!(out.ok);
+            out.relation.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline_operator, bench_flagship_query);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: the triple layer — decomposition, key derivation, local
+//! store operations (E4 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore_pgrid::item::LocalStore;
+use unistore_store::index::TripleKeys;
+use unistore_store::{Triple, Tuple, Value};
+
+fn tuple() -> Tuple {
+    Tuple::new("a12")
+        .with("title", Value::str("Similarity Queries on Structured Data"))
+        .with("confname", Value::str("ICDE 2006 - Workshops"))
+        .with("year", Value::Int(2006))
+        .with("pages", Value::Int(12))
+}
+
+fn bench_decompose_and_derive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triple_layer");
+    let t = tuple();
+    group.bench_function("tuple_to_triples", |b| b.iter(|| t.to_triples().len()));
+    let triples = t.to_triples();
+    group.bench_function("derive_keys_primary", |b| {
+        b.iter(|| {
+            triples
+                .iter()
+                .map(|t| TripleKeys::derive(t, false).primary()[0])
+                .fold(0u64, |a, k| a ^ k)
+        })
+    });
+    group.bench_function("derive_keys_with_qgrams", |b| {
+        b.iter(|| {
+            triples
+                .iter()
+                .map(|t| TripleKeys::derive(t, true).qgrams.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_local_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_store");
+    for n in [1_000u64, 10_000] {
+        let mut store: LocalStore<Triple> = LocalStore::new();
+        for i in 0..n {
+            let t = Triple::new(&format!("o{i}"), "year", Value::Int(1990 + (i % 20) as i64));
+            store.apply(i << 40, t, 0);
+        }
+        group.bench_with_input(BenchmarkId::new("get_range_1pct", n), &(), |b, _| {
+            b.iter(|| store.get_range(0, (n / 100) << 40).len())
+        });
+        group.bench_with_input(BenchmarkId::new("point_get", n), &(), |b, _| {
+            b.iter(|| store.get((n / 2) << 40).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose_and_derive, bench_local_store);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared helpers for the experiment harness and benches.
+
+use unistore_util::stats::percentile;
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a table header with separator.
+pub fn header(cols: &[&str]) {
+    row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Summarizes a latency sample (milliseconds) as p50/p90/p99.
+pub fn latency_summary(ms: &[f64]) -> (f64, f64, f64) {
+    (percentile(ms, 50.0), percentile(ms, 90.0), percentile(ms, 99.0))
+}
+
+/// Formats a float compactly.
+pub fn f(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_orders() {
+        let ms: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (p50, p90, p99) = latency_summary(&ms);
+        assert!(p50 < p90 && p90 < p99);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(f(1234.7), "1235");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,406 @@
+//! Driver-facing harness for the Chord baseline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_simnet::metrics::OpCost;
+use unistore_simnet::{LatencyModel, NodeId, SimNet, SimTime};
+use unistore_util::fxhash::mix64;
+use unistore_util::item::Item;
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::Key;
+
+use crate::msg::{ChordEvent, ChordMsg, QueryId};
+use crate::node::{ring_key_bucket, ring_key_exact, ChordConfig, ChordNode};
+use crate::ring::in_open_closed;
+
+/// Which range algorithm the baseline runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChordRangeMode {
+    /// Finger-tree broadcast to all nodes (plain Chord's only option).
+    Broadcast,
+    /// Auxiliary bucket index (the "additional structure" the paper
+    /// says Chord needs).
+    Buckets,
+}
+
+/// Result of a Chord range query.
+#[derive(Clone, Debug)]
+pub struct ChordRangeOutcome<I> {
+    /// `(original key, item)` matches.
+    pub entries: Vec<(Key, I)>,
+    /// Nodes or buckets that contributed.
+    pub contributors: u32,
+    /// Whether all expected contributions arrived.
+    pub complete: bool,
+    /// Network cost of the operation.
+    pub cost: OpCost,
+}
+
+/// Result of a Chord lookup.
+#[derive(Clone, Debug)]
+pub struct ChordLookupOutcome<I> {
+    /// `(original key, item)` matches.
+    pub entries: Vec<(Key, I)>,
+    /// `false` on failure.
+    pub ok: bool,
+    /// Network cost of the operation.
+    pub cost: OpCost,
+}
+
+/// A simulated Chord ring.
+pub struct ChordCluster<I: Item> {
+    /// Underlying network.
+    pub net: SimNet<ChordNode<I>>,
+    /// Node ids sorted by ring position (ascending).
+    ring_order: Vec<(u64, NodeId)>,
+    cfg: ChordConfig,
+    next_qid: QueryId,
+    rng: StdRng,
+}
+
+impl<I: Item> ChordCluster<I> {
+    /// Builds a converged ring of `n` nodes with exact finger tables.
+    pub fn build(
+        n: usize,
+        cfg: ChordConfig,
+        latency: impl LatencyModel + 'static,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 1);
+        let rng = derive_rng(seed, stream::OVERLAY);
+        // Ring ids: well-mixed, deterministic, collision-free for n ≪ 2^64.
+        let mut ring_order: Vec<(u64, NodeId)> = (0..n)
+            .map(|i| (mix64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)), NodeId(i as u32)))
+            .collect();
+        ring_order.sort_unstable();
+
+        let mut net = SimNet::new(latency, seed);
+        // Create nodes in NodeId order (ids dense 0..n).
+        let mut by_id: Vec<u64> = vec![0; n];
+        for &(ring, id) in &ring_order {
+            by_id[id.index()] = ring;
+        }
+        for i in 0..n {
+            net.add_node(ChordNode::new(NodeId(i as u32), by_id[i], cfg.clone(), seed));
+        }
+
+        // Wire successor, predecessor and fingers from the sorted ring.
+        let m = ring_order.len();
+        for pos in 0..m {
+            let (ring, id) = ring_order[pos];
+            let (succ_ring, succ_id) = ring_order[(pos + 1) % m];
+            let (pred_ring, _) = ring_order[(pos + m - 1) % m];
+            let mut fingers: Vec<(NodeId, u64)> = Vec::new();
+            for k in 0..64u32 {
+                let target = ring.wrapping_add(1u64 << k);
+                let (f_ring, f_id) = Self::successor_of(&ring_order, target);
+                if f_id != id && !fingers.iter().any(|&(fid, _)| fid == f_id) {
+                    fingers.push((f_id, f_ring));
+                }
+            }
+            // Ascending ring distance from self.
+            fingers.sort_by_key(|&(_, r)| r.wrapping_sub(ring));
+            net.node_mut(id).set_topology(pred_ring, (succ_id, succ_ring), fingers);
+        }
+
+        ChordCluster { net, ring_order, cfg, next_qid: 1, rng }
+    }
+
+    fn successor_of(ring_order: &[(u64, NodeId)], target: u64) -> (u64, NodeId) {
+        let pos = ring_order.partition_point(|&(r, _)| r < target);
+        ring_order[pos % ring_order.len()]
+    }
+
+    /// The node responsible for ring position `k`.
+    pub fn responsible_node(&self, k: u64) -> NodeId {
+        Self::successor_of(&self.ring_order, k).1
+    }
+
+    /// Uniformly random node id.
+    pub fn random_node(&mut self) -> NodeId {
+        NodeId(self.rng.gen_range(0..self.net.len() as u32))
+    }
+
+    /// Bucket depth of the auxiliary index.
+    pub fn bucket_depth(&self) -> u8 {
+        self.cfg.bucket_depth
+    }
+
+    /// Driver-side preload: stores the entry under both indexes
+    /// (exact + bucket) without network traffic.
+    pub fn preload(&mut self, key: Key, item: I) {
+        let rk = ring_key_exact(key);
+        let node = self.responsible_node(rk);
+        self.net.node_mut(node).store_mut().insert(rk, key, item.clone());
+        let bk = ring_key_bucket(key, self.cfg.bucket_depth);
+        let bnode = self.responsible_node(bk);
+        self.net.node_mut(bnode).store_mut().insert(bk, key, item);
+    }
+
+    fn fresh_qid(&mut self) -> QueryId {
+        let q = self.next_qid;
+        self.next_qid += 1;
+        q
+    }
+
+    fn run_for_event(&mut self, qid: QueryId) -> Option<(SimTime, ChordEvent<I>)> {
+        let deadline = self.net.now() + SimTime::from_secs(120_000);
+        loop {
+            if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
+                matches!(ev,
+                    ChordEvent::LookupDone { qid: q, .. }
+                    | ChordEvent::InsertDone { qid: q, .. }
+                    | ChordEvent::RangeDone { qid: q, .. } if *q == qid)
+            }) {
+                let mut outs = self.net.take_outputs();
+                let (t, _, ev) = outs.swap_remove(pos);
+                return Some((t, ev));
+            }
+            if self.net.now() > deadline || !self.net.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Exact-key lookup from `origin`.
+    pub fn lookup(&mut self, origin: NodeId, key: Key) -> ChordLookupOutcome<I> {
+        let qid = self.fresh_qid();
+        let before = self.net.metrics();
+        let start = self.net.now();
+        self.net.inject(
+            origin,
+            ChordMsg::Lookup { qid, ring_key: ring_key_exact(key), origin, hops: 0 },
+        );
+        match self.run_for_event(qid) {
+            Some((t, ChordEvent::LookupDone { entries, hops, ok, .. })) => {
+                let d = self.net.metrics().delta(&before);
+                ChordLookupOutcome {
+                    entries,
+                    ok,
+                    cost: OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: t.saturating_sub(start),
+                        hops,
+                    },
+                }
+            }
+            _ => ChordLookupOutcome { entries: Vec::new(), ok: false, cost: OpCost::default() },
+        }
+    }
+
+    /// Protocol-path insert from `origin` into **both** indexes — the
+    /// "additional structure" means every write pays twice, which is part
+    /// of the honest comparison.
+    pub fn insert(&mut self, origin: NodeId, key: Key, item: I) -> (bool, OpCost) {
+        let before = self.net.metrics();
+        let start = self.net.now();
+        let mut ok = true;
+        let mut hops = 0;
+        for ring_key in [ring_key_exact(key), ring_key_bucket(key, self.cfg.bucket_depth)] {
+            let qid = self.fresh_qid();
+            self.net.inject(
+                origin,
+                ChordMsg::Insert { qid, ring_key, key, item: item.clone(), origin, hops: 0 },
+            );
+            match self.run_for_event(qid) {
+                Some((_, ChordEvent::InsertDone { hops: h, ok: o, .. })) => {
+                    ok &= o;
+                    hops = hops.max(h);
+                }
+                _ => ok = false,
+            }
+        }
+        let d = self.net.metrics().delta(&before);
+        let t = self.net.now();
+        (
+            ok,
+            OpCost { messages: d.sent, bytes: d.bytes, latency: t.saturating_sub(start), hops },
+        )
+    }
+
+    /// Range query over original keys `[lo, hi]`.
+    pub fn range(
+        &mut self,
+        origin: NodeId,
+        lo: Key,
+        hi: Key,
+        mode: ChordRangeMode,
+    ) -> ChordRangeOutcome<I> {
+        let qid = self.fresh_qid();
+        let before = self.net.metrics();
+        let start = self.net.now();
+        let msg = match mode {
+            ChordRangeMode::Buckets => ChordMsg::BucketRange { qid, lo, hi, origin },
+            ChordRangeMode::Broadcast => {
+                let self_ring = self.net.node(origin).ring_id();
+                ChordMsg::Bcast { qid, lo, hi, limit: self_ring, hops: 0 }
+            }
+        };
+        self.net.inject(origin, msg);
+        match self.run_for_event(qid) {
+            Some((t, ChordEvent::RangeDone { entries, contributors, hops, complete, .. })) => {
+                let d = self.net.metrics().delta(&before);
+                ChordRangeOutcome {
+                    entries,
+                    contributors,
+                    complete,
+                    cost: OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: t.saturating_sub(start),
+                        hops,
+                    },
+                }
+            }
+            _ => ChordRangeOutcome {
+                entries: Vec::new(),
+                contributors: 0,
+                complete: false,
+                cost: OpCost::default(),
+            },
+        }
+    }
+
+    /// Sanity check used by tests: every ring id is owned by exactly the
+    /// node `responsible_node` returns, per the `(pred, self]` rule.
+    pub fn check_ring_invariant(&self) -> bool {
+        let m = self.ring_order.len();
+        (0..m).all(|pos| {
+            let (ring, id) = self.ring_order[pos];
+            let (pred_ring, _) = self.ring_order[(pos + m - 1) % m];
+            m == 1 || in_open_closed(pred_ring, ring, ring) && self.responsible_node(ring) == id
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_simnet::ConstantLatency;
+    use unistore_util::item::RawItem;
+
+    fn cluster(n: usize) -> ChordCluster<RawItem> {
+        ChordCluster::build(
+            n,
+            ChordConfig::default(),
+            ConstantLatency(SimTime::from_millis(10)),
+            9,
+        )
+    }
+
+    #[test]
+    fn ring_invariant_holds() {
+        for n in [1usize, 2, 3, 16, 65] {
+            let c = cluster(n);
+            assert!(c.check_ring_invariant(), "ring broken for n={n}");
+        }
+    }
+
+    #[test]
+    fn lookup_finds_preloaded() {
+        let mut c = cluster(32);
+        for k in 0..100u64 {
+            c.preload(k << 50, RawItem(k));
+        }
+        for k in (0..100u64).step_by(7) {
+            let origin = c.random_node();
+            let out = c.lookup(origin, k << 50);
+            assert!(out.ok);
+            assert_eq!(out.entries.len(), 1, "key {k}");
+            assert_eq!(out.entries[0].1, RawItem(k));
+        }
+    }
+
+    #[test]
+    fn lookup_hops_logarithmic() {
+        let mut c = cluster(128);
+        for k in 0..64u64 {
+            c.preload(k << 52, RawItem(k));
+        }
+        let mut max_hops = 0;
+        for k in 0..64u64 {
+            let origin = c.random_node();
+            let out = c.lookup(origin, k << 52);
+            assert!(out.ok);
+            max_hops = max_hops.max(out.cost.hops);
+        }
+        // Chord bound: O(log2 N) w.h.p.; allow slack ×2.
+        assert!(max_hops <= 14, "hops {max_hops} not logarithmic for n=128");
+    }
+
+    #[test]
+    fn protocol_insert_then_lookup() {
+        let mut c = cluster(16);
+        let (ok, cost) = c.insert(NodeId(3), 42 << 40, RawItem(42));
+        assert!(ok);
+        assert!(cost.messages >= 2, "two index inserts must cost messages");
+        let out = c.lookup(NodeId(7), 42 << 40);
+        assert_eq!(out.entries.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_range_reaches_everyone() {
+        let mut c = cluster(32);
+        for k in 0..200u64 {
+            c.preload(k << 54, RawItem(k));
+        }
+        let out = c.range(NodeId(0), 10 << 54, 50 << 54, ChordRangeMode::Broadcast);
+        assert!(out.complete);
+        assert_eq!(out.contributors, 32, "broadcast must visit all nodes");
+        let mut got: Vec<u64> = out.entries.iter().map(|(_, r)| r.0).collect();
+        got.sort_unstable();
+        got.dedup(); // entries exist under both indexes
+        assert_eq!(got, (10..=50).collect::<Vec<_>>());
+        assert!(out.cost.messages as usize >= 32, "broadcast floods the ring");
+    }
+
+    #[test]
+    fn bucket_range_correct_and_cheaper_than_broadcast() {
+        let mut c = cluster(64);
+        for k in 0..256u64 {
+            c.preload(k << 56, RawItem(k));
+        }
+        // Narrow range: few buckets → far fewer messages than broadcast.
+        let lo = 20u64 << 56;
+        let hi = 24u64 << 56;
+        let buckets = c.range(NodeId(1), lo, hi, ChordRangeMode::Buckets);
+        assert!(buckets.complete);
+        let mut got: Vec<u64> = buckets.entries.iter().map(|(_, r)| r.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, (20..=24).collect::<Vec<_>>());
+
+        let bcast = c.range(NodeId(1), lo, hi, ChordRangeMode::Broadcast);
+        assert!(bcast.complete);
+        assert!(
+            buckets.cost.messages < bcast.cost.messages,
+            "bucket index must beat broadcast for selective ranges ({} vs {})",
+            buckets.cost.messages,
+            bcast.cost.messages
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut c = cluster(32);
+            for k in 0..64u64 {
+                c.preload(k << 55, RawItem(k));
+            }
+            let a = c.lookup(NodeId(1), 7 << 55);
+            let b = c.range(NodeId(2), 0, 30 << 55, ChordRangeMode::Buckets);
+            (a.cost.messages, b.cost.messages, b.entries.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn singleton_ring_works() {
+        let mut c = cluster(1);
+        c.preload(5, RawItem(5));
+        let out = c.lookup(NodeId(0), 5);
+        assert!(out.ok);
+        assert_eq!(out.entries.len(), 1);
+    }
+}

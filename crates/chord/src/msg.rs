@@ -1,0 +1,329 @@
+//! Chord protocol messages and driver events.
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_simnet::NodeId;
+use unistore_util::item::Item;
+use unistore_util::wire::{Wire, WireError};
+use unistore_util::Key;
+
+/// Correlation id.
+pub type QueryId = u64;
+
+/// Chord messages.
+#[derive(Clone, Debug)]
+pub enum ChordMsg<I> {
+    /// Exact lookup of a ring position (greedy finger routing).
+    Lookup {
+        /// Correlation id.
+        qid: QueryId,
+        /// Hashed ring position to resolve.
+        ring_key: u64,
+        /// Issuer; receives the reply.
+        origin: NodeId,
+        /// Hops so far.
+        hops: u32,
+    },
+    /// Answer to [`ChordMsg::Lookup`] or [`ChordMsg::BucketGet`]:
+    /// `(original key, item)` pairs.
+    LookupReply {
+        /// Correlation id.
+        qid: QueryId,
+        /// Entries found.
+        entries: Vec<(Key, I)>,
+        /// Hops the request took.
+        hops: u32,
+        /// `false` on a routing failure.
+        ok: bool,
+    },
+    /// Routed insert, stored at the successor of `ring_key`.
+    Insert {
+        /// Correlation id.
+        qid: QueryId,
+        /// Ring position to store under.
+        ring_key: u64,
+        /// Original (order-preserving) key, kept for bucket filtering.
+        key: Key,
+        /// Payload.
+        item: I,
+        /// Issuer; receives the ack.
+        origin: NodeId,
+        /// Hops so far.
+        hops: u32,
+    },
+    /// Insert confirmation.
+    InsertAck {
+        /// Correlation id.
+        qid: QueryId,
+        /// Hops to the responsible node.
+        hops: u32,
+    },
+    /// Range query in *bucket* mode, handled at the origin: fans out one
+    /// [`ChordMsg::BucketGet`] per bucket intersecting `[lo, hi]`.
+    BucketRange {
+        /// Correlation id.
+        qid: QueryId,
+        /// Inclusive bounds on original keys.
+        lo: Key,
+        /// Inclusive upper bound.
+        hi: Key,
+        /// Issuer.
+        origin: NodeId,
+    },
+    /// Fetches one bucket, filtering entries to `[lo, hi]`.
+    BucketGet {
+        /// Correlation id.
+        qid: QueryId,
+        /// Ring position of the bucket.
+        ring_key: u64,
+        /// Inclusive bounds on original keys.
+        lo: Key,
+        /// Inclusive upper bound.
+        hi: Key,
+        /// Issuer.
+        origin: NodeId,
+        /// Hops so far.
+        hops: u32,
+    },
+    /// Broadcast range query (finger spanning tree, El-Ansary style).
+    /// Covers ring positions in `(sender, limit)`.
+    Bcast {
+        /// Correlation id.
+        qid: QueryId,
+        /// Inclusive bounds on original keys.
+        lo: Key,
+        /// Inclusive upper bound.
+        hi: Key,
+        /// End of the ring interval this branch is responsible for.
+        limit: u64,
+        /// Hops from the origin.
+        hops: u32,
+    },
+    /// Convergecast reply: a subtree's aggregated matches.
+    BcastReply {
+        /// Correlation id.
+        qid: QueryId,
+        /// Aggregated `(original key, item)` entries.
+        entries: Vec<(Key, I)>,
+        /// Nodes covered by the subtree.
+        nodes: u32,
+        /// Deepest hop count in the subtree.
+        hops: u32,
+    },
+}
+
+mod tag {
+    pub const LOOKUP: u8 = 1;
+    pub const LOOKUP_REPLY: u8 = 2;
+    pub const INSERT: u8 = 3;
+    pub const INSERT_ACK: u8 = 4;
+    pub const BUCKET_RANGE: u8 = 5;
+    pub const BUCKET_GET: u8 = 6;
+    pub const BCAST: u8 = 7;
+    pub const BCAST_REPLY: u8 = 8;
+}
+
+impl<I: Item> Wire for ChordMsg<I> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ChordMsg::Lookup { qid, ring_key, origin, hops } => {
+                tag::LOOKUP.encode(buf);
+                qid.encode(buf);
+                ring_key.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            ChordMsg::LookupReply { qid, entries, hops, ok } => {
+                tag::LOOKUP_REPLY.encode(buf);
+                qid.encode(buf);
+                entries.encode(buf);
+                hops.encode(buf);
+                ok.encode(buf);
+            }
+            ChordMsg::Insert { qid, ring_key, key, item, origin, hops } => {
+                tag::INSERT.encode(buf);
+                qid.encode(buf);
+                ring_key.encode(buf);
+                key.encode(buf);
+                item.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            ChordMsg::InsertAck { qid, hops } => {
+                tag::INSERT_ACK.encode(buf);
+                qid.encode(buf);
+                hops.encode(buf);
+            }
+            ChordMsg::BucketRange { qid, lo, hi, origin } => {
+                tag::BUCKET_RANGE.encode(buf);
+                qid.encode(buf);
+                lo.encode(buf);
+                hi.encode(buf);
+                origin.encode(buf);
+            }
+            ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops } => {
+                tag::BUCKET_GET.encode(buf);
+                qid.encode(buf);
+                ring_key.encode(buf);
+                lo.encode(buf);
+                hi.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            ChordMsg::Bcast { qid, lo, hi, limit, hops } => {
+                tag::BCAST.encode(buf);
+                qid.encode(buf);
+                lo.encode(buf);
+                hi.encode(buf);
+                limit.encode(buf);
+                hops.encode(buf);
+            }
+            ChordMsg::BcastReply { qid, entries, nodes, hops } => {
+                tag::BCAST_REPLY.encode(buf);
+                qid.encode(buf);
+                entries.encode(buf);
+                nodes.encode(buf);
+                hops.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let t = u8::decode(buf)?;
+        Ok(match t {
+            tag::LOOKUP => ChordMsg::Lookup {
+                qid: Wire::decode(buf)?,
+                ring_key: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::LOOKUP_REPLY => ChordMsg::LookupReply {
+                qid: Wire::decode(buf)?,
+                entries: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+                ok: Wire::decode(buf)?,
+            },
+            tag::INSERT => ChordMsg::Insert {
+                qid: Wire::decode(buf)?,
+                ring_key: Wire::decode(buf)?,
+                key: Wire::decode(buf)?,
+                item: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::INSERT_ACK => {
+                ChordMsg::InsertAck { qid: Wire::decode(buf)?, hops: Wire::decode(buf)? }
+            }
+            tag::BUCKET_RANGE => ChordMsg::BucketRange {
+                qid: Wire::decode(buf)?,
+                lo: Wire::decode(buf)?,
+                hi: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+            },
+            tag::BUCKET_GET => ChordMsg::BucketGet {
+                qid: Wire::decode(buf)?,
+                ring_key: Wire::decode(buf)?,
+                lo: Wire::decode(buf)?,
+                hi: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::BCAST => ChordMsg::Bcast {
+                qid: Wire::decode(buf)?,
+                lo: Wire::decode(buf)?,
+                hi: Wire::decode(buf)?,
+                limit: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::BCAST_REPLY => ChordMsg::BcastReply {
+                qid: Wire::decode(buf)?,
+                entries: Wire::decode(buf)?,
+                nodes: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Events a Chord node surfaces to the driver.
+#[derive(Clone, Debug)]
+pub enum ChordEvent<I> {
+    /// A lookup issued locally finished.
+    LookupDone {
+        /// Correlation id.
+        qid: QueryId,
+        /// `(original key, item)` entries.
+        entries: Vec<(Key, I)>,
+        /// Hops of the route.
+        hops: u32,
+        /// `false` on failure/timeout.
+        ok: bool,
+    },
+    /// An insert issued locally was acknowledged.
+    InsertDone {
+        /// Correlation id.
+        qid: QueryId,
+        /// Hops to the responsible node.
+        hops: u32,
+        /// `false` on timeout.
+        ok: bool,
+    },
+    /// A range query issued locally finished.
+    RangeDone {
+        /// Correlation id.
+        qid: QueryId,
+        /// Matching entries.
+        entries: Vec<(Key, I)>,
+        /// Nodes (broadcast) or buckets (bucket mode) that contributed.
+        contributors: u32,
+        /// Deepest hop count.
+        hops: u32,
+        /// Whether all expected contributions arrived.
+        complete: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_util::item::RawItem;
+
+    fn roundtrip(msg: ChordMsg<RawItem>) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        let back = ChordMsg::<RawItem>::from_bytes(&bytes).expect("decode");
+        assert_eq!(format!("{back:?}"), format!("{msg:?}"));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let entries = vec![(5u64, RawItem(5)), (6, RawItem(6))];
+        let msgs: Vec<ChordMsg<RawItem>> = vec![
+            ChordMsg::Lookup { qid: 1, ring_key: 99, origin: NodeId(2), hops: 3 },
+            ChordMsg::LookupReply { qid: 1, entries: entries.clone(), hops: 4, ok: true },
+            ChordMsg::Insert {
+                qid: 2,
+                ring_key: 7,
+                key: 700,
+                item: RawItem(1),
+                origin: NodeId(0),
+                hops: 0,
+            },
+            ChordMsg::InsertAck { qid: 2, hops: 5 },
+            ChordMsg::BucketRange { qid: 3, lo: 10, hi: 90, origin: NodeId(1) },
+            ChordMsg::BucketGet { qid: 3, ring_key: 55, lo: 10, hi: 90, origin: NodeId(1), hops: 2 },
+            ChordMsg::Bcast { qid: 4, lo: 0, hi: u64::MAX, limit: 12345, hops: 1 },
+            ChordMsg::BcastReply { qid: 4, entries, nodes: 17, hops: 6 },
+        ];
+        for m in msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let b = Bytes::from_static(&[99]);
+        assert!(matches!(ChordMsg::<RawItem>::from_bytes(&b), Err(WireError::BadTag(99))));
+    }
+}

@@ -1,0 +1,455 @@
+//! The Chord node: finger routing, bucket fan-out, broadcast tree.
+
+use rand::rngs::StdRng;
+
+use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
+use unistore_util::fxhash::mix64;
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::{FxHashMap, Key};
+
+pub use unistore_util::item::Item;
+
+use crate::msg::{ChordEvent, ChordMsg, QueryId};
+use crate::ring::{in_open_closed, in_open_open};
+use crate::store::ChordStore;
+
+/// Effects buffer specialized to Chord.
+pub type Fx<I> = Effects<ChordMsg<I>, ChordEvent<I>>;
+
+/// Salt separating the exact-key index from the bucket index on the ring.
+const EXACT_SALT: u64 = 0x5155_4552_595f_4b45; // "QUERY_KE"
+const BUCKET_SALT: u64 = 0x4255_434b_4554_5f49; // "BUCKET_I"
+
+/// Ring position of the exact-key index entry for `key`.
+pub fn ring_key_exact(key: Key) -> u64 {
+    mix64(key ^ EXACT_SALT)
+}
+
+/// Ring position of the bucket holding `key` at `depth` bits.
+pub fn ring_key_bucket(key: Key, depth: u8) -> u64 {
+    mix64((key >> (64 - depth as u32)) ^ BUCKET_SALT)
+}
+
+/// Chord configuration.
+#[derive(Clone, Debug)]
+pub struct ChordConfig {
+    /// Prefix depth (bits) of the auxiliary bucket index; `2^depth`
+    /// buckets partition the original key space.
+    pub bucket_depth: u8,
+    /// Deadline for driver-issued operations.
+    pub query_timeout: SimTime,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig { bucket_depth: 10, query_timeout: SimTime::from_secs(30) }
+    }
+}
+
+/// Timer kinds.
+mod timer {
+    pub const QUERY_TIMEOUT: u32 = 1;
+}
+
+#[derive(Debug)]
+enum Pending<I> {
+    Lookup,
+    Insert,
+    Buckets { expected: u32, received: u32, entries: Vec<(Key, I)>, hops: u32, failed: bool },
+}
+
+/// Convergecast state of one broadcast branch.
+#[derive(Debug)]
+struct BcastState<I> {
+    /// Parent to reply to; `None` at the origin.
+    parent: Option<NodeId>,
+    expected: u32,
+    received: u32,
+    entries: Vec<(Key, I)>,
+    nodes: u32,
+    hops: u32,
+}
+
+/// A Chord node.
+pub struct ChordNode<I: Item> {
+    id: NodeId,
+    ring_id: u64,
+    predecessor_ring: u64,
+    successor: (NodeId, u64),
+    /// Deduped fingers, ascending ring distance from `ring_id`.
+    fingers: Vec<(NodeId, u64)>,
+    store: ChordStore<I>,
+    cfg: ChordConfig,
+    pending: FxHashMap<QueryId, Pending<I>>,
+    bcast: FxHashMap<QueryId, BcastState<I>>,
+    #[allow(dead_code)]
+    rng: StdRng,
+    /// Messages handled, for load accounting.
+    pub msg_load: u64,
+}
+
+impl<I: Item> ChordNode<I> {
+    /// Creates a node; topology (successor/fingers) is wired by the
+    /// cluster builder.
+    pub fn new(id: NodeId, ring_id: u64, cfg: ChordConfig, seed: u64) -> Self {
+        ChordNode {
+            id,
+            ring_id,
+            predecessor_ring: ring_id, // patched by the builder
+            successor: (id, ring_id),
+            fingers: Vec::new(),
+            store: ChordStore::new(),
+            cfg,
+            pending: FxHashMap::default(),
+            bcast: FxHashMap::default(),
+            rng: derive_rng(seed, stream::NODE_BASE + id.0 as u64),
+            msg_load: 0,
+        }
+    }
+
+    /// This node's ring position.
+    pub fn ring_id(&self) -> u64 {
+        self.ring_id
+    }
+
+    /// Local store (driver-side preloading and inspection).
+    pub fn store_mut(&mut self) -> &mut ChordStore<I> {
+        &mut self.store
+    }
+
+    /// Local store, read-only.
+    pub fn store(&self) -> &ChordStore<I> {
+        &self.store
+    }
+
+    /// Wires the topology (cluster builder only).
+    pub fn set_topology(
+        &mut self,
+        predecessor_ring: u64,
+        successor: (NodeId, u64),
+        fingers: Vec<(NodeId, u64)>,
+    ) {
+        self.predecessor_ring = predecessor_ring;
+        self.successor = successor;
+        self.fingers = fingers;
+    }
+
+    /// True if this node owns ring position `k` (`k ∈ (pred, self]`).
+    fn responsible(&self, k: u64) -> bool {
+        if self.predecessor_ring == self.ring_id {
+            return true; // singleton ring
+        }
+        in_open_closed(self.predecessor_ring, self.ring_id, k)
+    }
+
+    /// Next hop for ring position `k`: the successor if `k` lands in
+    /// `(self, succ]`, otherwise the closest preceding finger.
+    fn next_hop(&self, k: u64) -> NodeId {
+        if in_open_closed(self.ring_id, self.successor.1, k) {
+            return self.successor.0;
+        }
+        for &(node, ring) in self.fingers.iter().rev() {
+            if in_open_open(self.ring_id, k, ring) {
+                return node;
+            }
+        }
+        self.successor.0
+    }
+
+    fn register(&mut self, fx: &mut Fx<I>, qid: QueryId, p: Pending<I>) {
+        self.pending.insert(qid, p);
+        fx.set_timer(self.cfg.query_timeout, Timer::new(timer::QUERY_TIMEOUT, qid));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_lookup(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        ring_key: u64,
+        origin: NodeId,
+        hops: u32,
+        filter: Option<(Key, Key)>,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register(fx, qid, Pending::Lookup);
+        }
+        if self.responsible(ring_key) {
+            let entries: Vec<(Key, I)> = match filter {
+                None => self.store.get(ring_key),
+                Some((lo, hi)) => self.store.get_filtered(ring_key, lo, hi),
+            }
+            .into_iter()
+            .map(|e| (e.key, e.item))
+            .collect();
+            self.answer_lookup(qid, origin, entries, hops, true, fx);
+        } else {
+            let next = self.next_hop(ring_key);
+            let msg = match filter {
+                None => ChordMsg::Lookup { qid, ring_key, origin, hops: hops + 1 },
+                Some((lo, hi)) => {
+                    ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops: hops + 1 }
+                }
+            };
+            fx.send(next, msg);
+        }
+    }
+
+    fn answer_lookup(
+        &mut self,
+        qid: QueryId,
+        origin: NodeId,
+        entries: Vec<(Key, I)>,
+        hops: u32,
+        ok: bool,
+        fx: &mut Fx<I>,
+    ) {
+        if origin == self.id {
+            self.handle_lookup_reply(qid, entries, hops, ok, fx);
+        } else {
+            fx.send(origin, ChordMsg::LookupReply { qid, entries, hops, ok });
+        }
+    }
+
+    fn handle_lookup_reply(
+        &mut self,
+        qid: QueryId,
+        reply_entries: Vec<(Key, I)>,
+        reply_hops: u32,
+        ok: bool,
+        fx: &mut Fx<I>,
+    ) {
+        match self.pending.get_mut(&qid) {
+            Some(Pending::Lookup) => {
+                self.pending.remove(&qid);
+                fx.emit(ChordEvent::LookupDone { qid, entries: reply_entries, hops: reply_hops, ok });
+            }
+            Some(Pending::Buckets { expected, received, entries, hops, failed }) => {
+                *received += 1;
+                entries.extend(reply_entries);
+                *hops = (*hops).max(reply_hops);
+                *failed |= !ok;
+                if *received >= *expected {
+                    let (entries, hops, contributors, complete) =
+                        (std::mem::take(entries), *hops, *received, !*failed);
+                    self.pending.remove(&qid);
+                    fx.emit(ChordEvent::RangeDone { qid, entries, contributors, hops, complete });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_insert(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        ring_key: u64,
+        key: Key,
+        item: I,
+        origin: NodeId,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register(fx, qid, Pending::Insert);
+        }
+        if self.responsible(ring_key) {
+            self.store.insert(ring_key, key, item);
+            if origin == self.id {
+                self.handle_insert_ack(qid, hops, fx);
+            } else {
+                fx.send(origin, ChordMsg::InsertAck { qid, hops });
+            }
+        } else {
+            let next = self.next_hop(ring_key);
+            fx.send(next, ChordMsg::Insert { qid, ring_key, key, item, origin, hops: hops + 1 });
+        }
+    }
+
+    fn handle_insert_ack(&mut self, qid: QueryId, hops: u32, fx: &mut Fx<I>) {
+        if self.pending.remove(&qid).is_some() {
+            fx.emit(ChordEvent::InsertDone { qid, hops, ok: true });
+        }
+    }
+
+    /// Origin-side bucket fan-out: one [`ChordMsg::BucketGet`] per bucket
+    /// intersecting `[lo, hi]`.
+    fn handle_bucket_range(&mut self, qid: QueryId, lo: Key, hi: Key, fx: &mut Fx<I>) {
+        let depth = self.cfg.bucket_depth as u32;
+        let b_lo = lo >> (64 - depth);
+        let b_hi = hi >> (64 - depth);
+        let expected = (b_hi - b_lo + 1) as u32;
+        self.register(
+            fx,
+            qid,
+            Pending::Buckets { expected, received: 0, entries: Vec::new(), hops: 0, failed: false },
+        );
+        for b in b_lo..=b_hi {
+            let ring_key = mix64(b ^ BUCKET_SALT);
+            // Route each bucket fetch like a filtered lookup, starting
+            // at ourselves.
+            self.handle_lookup(self.id, qid, ring_key, self.id, 0, Some((lo, hi)), fx);
+        }
+    }
+
+    /// Broadcast branch: answer locally, split `(self, limit)` among the
+    /// fingers inside it, convergecast replies.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_bcast(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        lo: Key,
+        hi: Key,
+        limit: u64,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        let parent = if from == NodeId::EXTERNAL { None } else { Some(from) };
+        let local: Vec<(Key, I)> =
+            self.store.scan_by_key(lo, hi).into_iter().map(|e| (e.key, e.item)).collect();
+        // Children: fingers strictly inside (self, limit), each getting
+        // the sub-interval up to the next finger (or the limit). At the
+        // origin `limit == self.ring_id`, which means the full circle.
+        let full_circle = limit == self.ring_id;
+        let inside: Vec<(NodeId, u64)> = self
+            .fingers
+            .iter()
+            .copied()
+            .filter(|&(_, ring)| {
+                if full_circle {
+                    ring != self.ring_id
+                } else {
+                    in_open_open(self.ring_id, limit, ring)
+                }
+            })
+            .collect();
+        let expected = inside.len() as u32;
+        self.bcast.insert(
+            qid,
+            BcastState { parent, expected, received: 0, entries: local, nodes: 1, hops },
+        );
+        for (i, &(node, _)) in inside.iter().enumerate() {
+            let child_limit = if i + 1 < inside.len() { inside[i + 1].1 } else { limit };
+            fx.send(node, ChordMsg::Bcast { qid, lo, hi, limit: child_limit, hops: hops + 1 });
+        }
+        if expected == 0 {
+            self.finish_bcast(qid, fx);
+        }
+        if parent.is_none() {
+            // Origin: arm the completion timeout.
+            fx.set_timer(self.cfg.query_timeout, Timer::new(timer::QUERY_TIMEOUT, qid));
+        }
+    }
+
+    fn handle_bcast_reply(
+        &mut self,
+        qid: QueryId,
+        entries: Vec<(Key, I)>,
+        nodes: u32,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        let Some(st) = self.bcast.get_mut(&qid) else { return };
+        st.received += 1;
+        st.entries.extend(entries);
+        st.nodes += nodes;
+        st.hops = st.hops.max(hops);
+        if st.received >= st.expected {
+            self.finish_bcast(qid, fx);
+        }
+    }
+
+    fn finish_bcast(&mut self, qid: QueryId, fx: &mut Fx<I>) {
+        let Some(st) = self.bcast.remove(&qid) else { return };
+        match st.parent {
+            Some(parent) => fx.send(
+                parent,
+                ChordMsg::BcastReply { qid, entries: st.entries, nodes: st.nodes, hops: st.hops },
+            ),
+            None => fx.emit(ChordEvent::RangeDone {
+                qid,
+                entries: st.entries,
+                contributors: st.nodes,
+                hops: st.hops,
+                complete: true,
+            }),
+        }
+    }
+
+    fn handle_timeout(&mut self, qid: QueryId, fx: &mut Fx<I>) {
+        if let Some(p) = self.pending.remove(&qid) {
+            match p {
+                Pending::Lookup => fx.emit(ChordEvent::LookupDone {
+                    qid,
+                    entries: Vec::new(),
+                    hops: 0,
+                    ok: false,
+                }),
+                Pending::Insert => fx.emit(ChordEvent::InsertDone { qid, hops: 0, ok: false }),
+                Pending::Buckets { entries, hops, received, .. } => {
+                    fx.emit(ChordEvent::RangeDone {
+                        qid,
+                        entries,
+                        contributors: received,
+                        hops,
+                        complete: false,
+                    })
+                }
+            }
+            return;
+        }
+        // An origin-side broadcast that never completed.
+        if let Some(st) = self.bcast.remove(&qid) {
+            if st.parent.is_none() {
+                fx.emit(ChordEvent::RangeDone {
+                    qid,
+                    entries: st.entries,
+                    contributors: st.nodes,
+                    hops: st.hops,
+                    complete: false,
+                });
+            }
+        }
+    }
+}
+
+impl<I: Item> NodeBehavior for ChordNode<I> {
+    type Msg = ChordMsg<I>;
+    type Out = ChordEvent<I>;
+
+    fn on_message(&mut self, _now: SimTime, from: NodeId, msg: ChordMsg<I>, fx: &mut Fx<I>) {
+        self.msg_load += 1;
+        match msg {
+            ChordMsg::Lookup { qid, ring_key, origin, hops } => {
+                self.handle_lookup(from, qid, ring_key, origin, hops, None, fx)
+            }
+            ChordMsg::LookupReply { qid, entries, hops, ok } => {
+                self.handle_lookup_reply(qid, entries, hops, ok, fx)
+            }
+            ChordMsg::Insert { qid, ring_key, key, item, origin, hops } => {
+                self.handle_insert(from, qid, ring_key, key, item, origin, hops, fx)
+            }
+            ChordMsg::InsertAck { qid, hops } => self.handle_insert_ack(qid, hops, fx),
+            ChordMsg::BucketRange { qid, lo, hi, .. } => self.handle_bucket_range(qid, lo, hi, fx),
+            ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops } => {
+                self.handle_lookup(from, qid, ring_key, origin, hops, Some((lo, hi)), fx)
+            }
+            ChordMsg::Bcast { qid, lo, hi, limit, hops } => {
+                self.handle_bcast(from, qid, lo, hi, limit, hops, fx)
+            }
+            ChordMsg::BcastReply { qid, entries, nodes, hops } => {
+                self.handle_bcast_reply(qid, entries, nodes, hops, fx)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, t: Timer, fx: &mut Fx<I>) {
+        if t.kind == timer::QUERY_TIMEOUT {
+            self.handle_timeout(t.payload, fx);
+        }
+    }
+}

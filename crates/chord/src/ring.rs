@@ -1,0 +1,77 @@
+//! Identifier-ring arithmetic.
+//!
+//! Chord identifiers live on a circle of 2^64 points; all interval logic
+//! is modular. `u64` wrapping arithmetic does the work.
+
+/// Clockwise distance from `a` to `b` on the ring.
+#[inline]
+pub fn ring_dist(a: u64, b: u64) -> u64 {
+    b.wrapping_sub(a)
+}
+
+/// True if `x` lies in the half-open ring interval `(a, b]`.
+///
+/// This is the Chord responsibility test: the successor of point `p`
+/// owns every `x` with `x ∈ (pred, succ]`.
+#[inline]
+pub fn in_open_closed(a: u64, b: u64, x: u64) -> bool {
+    ring_dist(a, x) != 0 && ring_dist(a, x) <= ring_dist(a, b)
+}
+
+/// True if `x` lies in the open ring interval `(a, b)`.
+#[inline]
+pub fn in_open_open(a: u64, b: u64, x: u64) -> bool {
+    let d_ab = ring_dist(a, b);
+    let d_ax = ring_dist(a, x);
+    d_ax != 0 && d_ax < d_ab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_wraps() {
+        assert_eq!(ring_dist(10, 20), 10);
+        assert_eq!(ring_dist(20, 10), u64::MAX - 9);
+        assert_eq!(ring_dist(5, 5), 0);
+    }
+
+    #[test]
+    fn open_closed_basic() {
+        assert!(in_open_closed(10, 20, 15));
+        assert!(in_open_closed(10, 20, 20));
+        assert!(!in_open_closed(10, 20, 10));
+        assert!(!in_open_closed(10, 20, 25));
+    }
+
+    #[test]
+    fn open_closed_wrapping() {
+        // Interval (u64::MAX - 5, 5] wraps through zero.
+        let a = u64::MAX - 5;
+        assert!(in_open_closed(a, 5, 0));
+        assert!(in_open_closed(a, 5, u64::MAX));
+        assert!(in_open_closed(a, 5, 5));
+        assert!(!in_open_closed(a, 5, a));
+        assert!(!in_open_closed(a, 5, 100));
+    }
+
+    #[test]
+    fn degenerate_full_circle() {
+        // (a, a] is the full circle minus nothing in Chord's convention:
+        // every x != a has dist in (0, 0] → false; only x == a has dist 0
+        // → also false by the != 0 guard. We treat (a, a] as *full*
+        // responsibility at the singleton-ring level in node logic, not
+        // here; the primitive stays strict.
+        assert!(!in_open_closed(7, 7, 7));
+        // dist(a, x) <= dist(a, a) = 0 is false for x != a.
+        assert!(!in_open_closed(7, 7, 8));
+    }
+
+    #[test]
+    fn open_open_excludes_endpoint() {
+        assert!(in_open_open(10, 20, 15));
+        assert!(!in_open_open(10, 20, 20));
+        assert!(!in_open_open(10, 20, 10));
+    }
+}

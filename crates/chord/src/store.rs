@@ -1,0 +1,128 @@
+//! Chord-side local storage.
+//!
+//! Unlike P-Grid, the ring position of an entry is *not* its semantic
+//! key: items are stored under `ring_key = hash(key)` (exact index) and,
+//! for the auxiliary range index, under `ring_key = hash(bucket(key))`.
+//! Entries therefore remember their original order-preserving key so
+//! that bucket scans can filter to the requested interval.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use unistore_util::item::Item;
+use unistore_util::Key;
+
+/// One stored entry: the original key plus the payload.
+#[derive(Clone, Debug)]
+pub struct ChordEntry<I> {
+    /// Original, order-preserving key (pre-hash).
+    pub key: Key,
+    /// Payload.
+    pub item: I,
+}
+
+/// Local store of a Chord node, keyed by ring position.
+#[derive(Clone, Debug, Default)]
+pub struct ChordStore<I> {
+    entries: BTreeMap<(u64, Key, u64), I>,
+}
+
+impl<I: Item> ChordStore<I> {
+    /// Empty store.
+    pub fn new() -> Self {
+        ChordStore { entries: BTreeMap::new() }
+    }
+
+    /// Stores an entry under a ring position.
+    pub fn insert(&mut self, ring_key: u64, key: Key, item: I) {
+        self.entries.insert((ring_key, key, item.ident()), item);
+    }
+
+    /// All entries stored under one ring position.
+    pub fn get(&self, ring_key: u64) -> Vec<ChordEntry<I>> {
+        self.entries
+            .range((
+                Bound::Included((ring_key, 0, 0)),
+                Bound::Included((ring_key, Key::MAX, u64::MAX)),
+            ))
+            .map(|(&(_, key, _), item)| ChordEntry { key, item: item.clone() })
+            .collect()
+    }
+
+    /// Entries under `ring_key` whose *original* key lies in `[lo, hi]`.
+    pub fn get_filtered(&self, ring_key: u64, lo: Key, hi: Key) -> Vec<ChordEntry<I>> {
+        self.entries
+            .range((Bound::Included((ring_key, lo, 0)), Bound::Included((ring_key, hi, u64::MAX))))
+            .map(|(&(_, key, _), item)| ChordEntry { key, item: item.clone() })
+            .collect()
+    }
+
+    /// Every entry whose original key lies in `[lo, hi]`, regardless of
+    /// ring position (broadcast-mode local scan).
+    pub fn scan_by_key(&self, lo: Key, hi: Key) -> Vec<ChordEntry<I>> {
+        self.entries
+            .iter()
+            .filter(|(&(_, key, _), _)| key >= lo && key <= hi)
+            .map(|(&(_, key, _), item)| ChordEntry { key, item: item.clone() })
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_util::fxhash::hash_bytes;
+    use unistore_util::item::RawItem as TestItem;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        let rk = hash_bytes(b"k1");
+        s.insert(rk, 100, TestItem(1));
+        s.insert(rk, 200, TestItem(2));
+        let got = s.get(rk);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].key, 100);
+        assert!(s.get(rk ^ 1).is_empty());
+    }
+
+    #[test]
+    fn filtered_respects_original_keys() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        let rk = 42;
+        for k in [10u64, 20, 30, 40] {
+            s.insert(rk, k, TestItem(k));
+        }
+        let got = s.get_filtered(rk, 15, 35);
+        let keys: Vec<u64> = got.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![20, 30]);
+    }
+
+    #[test]
+    fn scan_by_key_crosses_ring_positions() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        s.insert(1, 10, TestItem(1));
+        s.insert(999, 20, TestItem(2));
+        s.insert(500, 99, TestItem(3));
+        let got = s.scan_by_key(5, 25);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_ident_overwrites() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        s.insert(1, 10, TestItem(7));
+        s.insert(1, 10, TestItem(7));
+        assert_eq!(s.len(), 1);
+    }
+}

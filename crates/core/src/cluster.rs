@@ -1,0 +1,458 @@
+//! The cluster driver: a full UniStore deployment inside the simulator.
+//!
+//! This is the repo's main entry point: build a network of
+//! [`UniNode`]s, load tuples, run VQL — and get answers *plus the
+//! network cost* of obtaining them.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_pgrid::construct::{leaf_of, plan_topology};
+use unistore_pgrid::msg::PeerRef;
+use unistore_pgrid::{PGridEvent, PGridMsg};
+use unistore_query::{CostModel, Logical, Mqp, MqpNode, Relation};
+use unistore_simnet::metrics::OpCost;
+use unistore_simnet::{LanLatency, LatencyModel, NodeId, SimNet, SimTime};
+use unistore_store::index::TripleKeys;
+use unistore_store::mapping::{Mapping, MappingSet};
+use unistore_store::{Triple, Tuple, Value};
+use unistore_util::item::Item;
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::{BitPath, Key};
+use unistore_vql::{analyze, parse, VqlError};
+
+use crate::config::{PlanMode, UniConfig};
+use crate::msg::{QueryMsg, UniEvent, UniMsg};
+use crate::node::{Decision, UniNode};
+use crate::stats::build_cost_model;
+
+/// The answer to a query plus its measured network cost.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The result relation.
+    pub relation: Relation,
+    /// `false` on timeout.
+    pub ok: bool,
+    /// Measured network cost (messages, bytes, simulated latency, hops).
+    pub cost: OpCost,
+}
+
+/// A simulated UniStore deployment.
+pub struct UniCluster {
+    /// The network (public: experiments inspect nodes and metrics).
+    pub net: SimNet<UniNode>,
+    cfg: UniConfig,
+    seed: u64,
+    /// Recreates the latency model for topology rebuilds.
+    latency_factory: Box<dyn Fn() -> Box<dyn LatencyModel>>,
+    leaves: Vec<BitPath>,
+    leaf_peers: Vec<Vec<NodeId>>,
+    next_qid: u64,
+    rng: StdRng,
+    triples: Vec<Triple>,
+    mappings: MappingSet,
+    cost: Option<Arc<CostModel>>,
+}
+
+impl UniCluster {
+    /// Builds an empty cluster with a LAN latency model.
+    pub fn build(n_peers: usize, cfg: UniConfig, seed: u64) -> Self {
+        Self::build_with_latency(n_peers, cfg, LanLatency, seed)
+    }
+
+    /// Builds an empty cluster with a custom latency model.
+    pub fn build_with_latency(
+        n_peers: usize,
+        cfg: UniConfig,
+        latency: impl LatencyModel + Clone + 'static,
+        seed: u64,
+    ) -> Self {
+        let factory: Box<dyn Fn() -> Box<dyn LatencyModel>> = {
+            let latency = latency.clone();
+            Box::new(move || Box::new(latency.clone()))
+        };
+        let mut cluster = UniCluster {
+            net: SimNet::new(latency, seed),
+            cfg,
+            seed,
+            latency_factory: factory,
+            leaves: Vec::new(),
+            leaf_peers: Vec::new(),
+            next_qid: 1,
+            rng: derive_rng(seed, stream::QUERY),
+            triples: Vec::new(),
+            mappings: MappingSet::new(),
+            cost: None,
+        };
+        cluster.rebuild_topology(n_peers, None);
+        cluster
+    }
+
+    fn rebuild_topology(&mut self, n_peers: usize, sample: Option<&[Key]>) {
+        let latency = (self.latency_factory)();
+        let mut topo_rng = derive_rng(self.seed, stream::OVERLAY);
+        let plan = plan_topology(
+            n_peers,
+            self.cfg.pgrid.replication,
+            self.cfg.pgrid.refs_per_level,
+            self.cfg.pgrid.max_depth,
+            sample,
+            &mut topo_rng,
+        );
+        let mut net = SimNet::new_boxed(latency, self.seed);
+        for peer in 0..n_peers {
+            let path = plan.leaves[plan.peer_leaf[peer]];
+            net.add_node(UniNode::new(
+                NodeId(peer as u32),
+                path,
+                self.cfg.pgrid.clone(),
+                self.cfg.query_timeout,
+                self.cfg.plan_mode,
+                self.seed,
+            ));
+        }
+        for peer in 0..n_peers {
+            let node = net.node_mut(NodeId(peer as u32));
+            for &(p, path) in &plan.peer_refs[peer] {
+                node.pgrid.routing_mut().add_ref(PeerRef { id: NodeId(p as u32), path });
+            }
+            for &r in &plan.peer_replicas[peer] {
+                node.pgrid.routing_mut().add_replica(NodeId(r as u32));
+            }
+        }
+        self.net = net;
+        self.leaves = plan.leaves;
+        self.leaf_peers = plan
+            .leaf_peers
+            .iter()
+            .map(|ps| ps.iter().map(|&p| NodeId(p as u32)).collect())
+            .collect();
+    }
+
+    /// Loads tuples: decomposes them into triples (paper Fig. 2), places
+    /// every index entry, rebuilds the trie data-adaptively if the
+    /// cluster was empty and balancing is on, and distributes the cost
+    /// model.
+    ///
+    /// This is the *driver-side bulk path* (no protocol traffic); use
+    /// [`Self::insert_tuple`] for the routed path.
+    pub fn load(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        let new_triples: Vec<Triple> =
+            tuples.into_iter().flat_map(|t| t.to_triples()).collect();
+        let first_load = self.triples.is_empty();
+        self.triples.extend(new_triples);
+        if first_load && self.cfg.balanced {
+            // Re-plan the trie against the actual key distribution —
+            // P-Grid's converged, load-balanced state.
+            let sample: Vec<Key> = self
+                .triples
+                .iter()
+                .flat_map(|t| TripleKeys::derive(t, self.cfg.with_qgrams).primary())
+                .collect();
+            let n = self.net.len();
+            self.rebuild_topology(n, Some(&sample));
+        }
+        self.place_all();
+        self.refresh_stats();
+    }
+
+    /// Registers a schema mapping: stored as a metadata triple *and*
+    /// distributed to the nodes' mapping sets.
+    pub fn add_mapping(&mut self, m: &Mapping) {
+        self.triples.push(m.to_triple());
+        self.mappings.add(m);
+        self.place_triple_direct(&m.to_triple());
+        for i in 0..self.net.len() {
+            self.net.node_mut(NodeId(i as u32)).mappings.add(m);
+        }
+        self.refresh_stats();
+    }
+
+    fn place_all(&mut self) {
+        let triples = self.triples.clone();
+        for t in &triples {
+            self.place_triple_direct(t);
+        }
+    }
+
+    fn place_triple_direct(&mut self, t: &Triple) {
+        let keys = TripleKeys::derive(t, self.cfg.with_qgrams);
+        let mut all: Vec<Key> = keys.primary().to_vec();
+        all.extend(&keys.qgrams);
+        for key in all {
+            let peers = self.leaf_peers[leaf_of(&self.leaves, key)].clone();
+            for p in peers {
+                self.net.node_mut(p).pgrid.preload(key, t.clone(), 0);
+            }
+        }
+    }
+
+    fn refresh_stats(&mut self) {
+        let model = build_cost_model(
+            &self.triples,
+            self.net.len(),
+            self.leaves.len(),
+            self.cfg.pgrid.replication,
+            self.net.expected_link_delay(),
+        );
+        self.cost = Some(model.clone());
+        for i in 0..self.net.len() {
+            self.net.node_mut(NodeId(i as u32)).cost = Some(model.clone());
+        }
+    }
+
+    /// The shared cost model (after the first load).
+    pub fn cost_model(&self) -> Option<Arc<CostModel>> {
+        self.cost.clone()
+    }
+
+    /// All triples ever loaded (driver-side view; feeds the oracle).
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// A local reference engine over the same data — the test oracle.
+    pub fn oracle(&self) -> unistore_query::LocalEngine {
+        let mut store = unistore_store::local::LocalTripleStore::new();
+        store.insert_all(self.triples.iter().cloned());
+        unistore_query::LocalEngine::with_store(store)
+    }
+
+    /// Uniformly random node id.
+    pub fn random_node(&mut self) -> NodeId {
+        NodeId(self.rng.gen_range(0..self.net.len() as u32))
+    }
+
+    /// Trie leaves.
+    pub fn leaves(&self) -> &[BitPath] {
+        &self.leaves
+    }
+
+    /// Sets the planner mode on every node (experiment E3).
+    pub fn set_plan_mode(&mut self, mode: PlanMode) {
+        for i in 0..self.net.len() {
+            self.net.node_mut(NodeId(i as u32)).plan_mode = mode;
+        }
+    }
+
+    /// Collects and clears the optimizer decision traces of all nodes.
+    pub fn take_traces(&mut self) -> Vec<Decision> {
+        let mut out = Vec::new();
+        for i in 0..self.net.len() {
+            out.append(&mut self.net.node_mut(NodeId(i as u32)).trace);
+        }
+        out
+    }
+
+    fn fresh_qid(&mut self) -> u64 {
+        let q = self.next_qid;
+        self.next_qid += 1;
+        q
+    }
+
+    fn run_for_query(&mut self, qid: u64) -> Option<(SimTime, UniEvent)> {
+        let deadline = self.net.now() + SimTime::from_secs(1_000_000);
+        loop {
+            if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
+                matches!(ev, UniEvent::QueryDone { qid: q, .. } if *q == qid)
+            }) {
+                let mut outs = self.net.take_outputs();
+                let (t, _, ev) = outs.swap_remove(pos);
+                return Some((t, ev));
+            }
+            if self.net.now() > deadline || !self.net.step() {
+                return None;
+            }
+        }
+    }
+
+    fn run_for_pgrid(&mut self, qid: u64) -> Option<PGridEvent<Triple>> {
+        let deadline = self.net.now() + SimTime::from_secs(1_000_000);
+        loop {
+            if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
+                matches!(ev,
+                    UniEvent::PGrid(
+                        PGridEvent::LookupDone { qid: q, .. }
+                        | PGridEvent::RangeDone { qid: q, .. }
+                        | PGridEvent::InsertDone { qid: q, .. }
+                    ) if *q == qid)
+            }) {
+                let mut outs = self.net.take_outputs();
+                match outs.swap_remove(pos) {
+                    (_, _, UniEvent::PGrid(ev)) => return Some(ev),
+                    _ => unreachable!(),
+                }
+            }
+            if self.net.now() > deadline || !self.net.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Parses, plans and executes a VQL query from `origin`.
+    pub fn query(&mut self, origin: NodeId, src: &str) -> Result<QueryOutcome, VqlError> {
+        let analyzed = analyze(parse(src)?)?;
+        let logical = Logical::from_query(&analyzed);
+        let qid = self.fresh_qid();
+        let mqp = Mqp::new(
+            qid,
+            origin.0,
+            MqpNode::from_logical(&logical),
+            analyzed.query.filters.clone(),
+            analyzed.query.limit.map(|n| n as u64),
+        );
+        let before = self.net.metrics();
+        let start = self.net.now();
+        self.net.inject(origin, UniMsg::Query(QueryMsg::Execute { mqp }));
+        Ok(match self.run_for_query(qid) {
+            Some((t, UniEvent::QueryDone { relation, hops, ok, .. })) => {
+                let d = self.net.metrics().delta(&before);
+                QueryOutcome {
+                    relation,
+                    ok,
+                    cost: OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: t.saturating_sub(start),
+                        hops,
+                    },
+                }
+            }
+            _ => QueryOutcome {
+                relation: Relation::empty(vec![]),
+                ok: false,
+                cost: OpCost::default(),
+            },
+        })
+    }
+
+    /// Inserts one tuple through the routed protocol path (every index
+    /// entry is an overlay insert; the paper's Fig. 2 fan-out).
+    pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple) -> (bool, OpCost) {
+        let before = self.net.metrics();
+        let start = self.net.now();
+        let mut ok = true;
+        for t in tuple.to_triples() {
+            let keys = TripleKeys::derive(&t, self.cfg.with_qgrams);
+            let mut all: Vec<Key> = keys.primary().to_vec();
+            all.extend(&keys.qgrams);
+            for key in all {
+                let qid = self.fresh_qid();
+                self.net.inject(
+                    origin,
+                    UniMsg::PGrid(PGridMsg::Insert {
+                        qid,
+                        key,
+                        item: t.clone(),
+                        version: 0,
+                        origin,
+                        hops: 0,
+                    }),
+                );
+                match self.run_for_pgrid(qid) {
+                    Some(PGridEvent::InsertDone { ok: o, .. }) => ok &= o,
+                    _ => ok = false,
+                }
+            }
+            self.triples.push(t);
+        }
+        self.refresh_stats();
+        let d = self.net.metrics().delta(&before);
+        (
+            ok,
+            OpCost {
+                messages: d.sent,
+                bytes: d.bytes,
+                latency: self.net.now().saturating_sub(start),
+                hops: 0,
+            },
+        )
+    }
+
+    /// Updates the value of `(oid, attr)` through the protocol path:
+    /// deletes the old index entries, inserts the new ones with a newer
+    /// version (paper ref [4] loose-consistency updates).
+    pub fn update(
+        &mut self,
+        origin: NodeId,
+        old: &Triple,
+        new_value: Value,
+        version: u64,
+    ) -> bool {
+        let new_triple = Triple { oid: old.oid.clone(), attr: old.attr.clone(), value: new_value };
+        let ident = old.ident();
+        let old_keys = TripleKeys::derive(old, self.cfg.with_qgrams);
+        let mut ok = true;
+        // Remove the old fact under every key it was indexed at; its
+        // identity includes the old value, so the new entry (different
+        // identity) is untouched even at shared keys (e.g. OID index).
+        let mut stale: Vec<Key> = old_keys.primary().to_vec();
+        stale.extend(&old_keys.qgrams);
+        let new_keys = TripleKeys::derive(&new_triple, self.cfg.with_qgrams);
+        let mut fresh: Vec<Key> = new_keys.primary().to_vec();
+        fresh.extend(&new_keys.qgrams);
+        for key in stale.iter() {
+            let qid = self.fresh_qid();
+            self.net.inject(
+                origin,
+                UniMsg::PGrid(PGridMsg::Delete { qid, key: *key, ident, version, origin, hops: 0 }),
+            );
+            ok &= matches!(self.run_for_pgrid(qid), Some(PGridEvent::InsertDone { ok: true, .. }));
+        }
+        for key in fresh {
+            let qid = self.fresh_qid();
+            self.net.inject(
+                origin,
+                UniMsg::PGrid(PGridMsg::Insert {
+                    qid,
+                    key,
+                    item: new_triple.clone(),
+                    version,
+                    origin,
+                    hops: 0,
+                }),
+            );
+            ok &= matches!(self.run_for_pgrid(qid), Some(PGridEvent::InsertDone { ok: true, .. }));
+        }
+        // Track driver-side view.
+        if let Some(t) = self
+            .triples
+            .iter_mut()
+            .find(|t| t.oid == new_triple.oid && t.attr == new_triple.attr)
+        {
+            *t = new_triple;
+        }
+        ok
+    }
+
+    /// Raw storage-layer lookup (bypasses the query layer).
+    pub fn raw_lookup(&mut self, origin: NodeId, key: Key) -> (Vec<Triple>, OpCost) {
+        let qid = self.fresh_qid();
+        let before = self.net.metrics();
+        let start = self.net.now();
+        self.net.inject(origin, UniMsg::PGrid(PGridMsg::Lookup { qid, key, origin, hops: 0 }));
+        match self.run_for_pgrid(qid) {
+            Some(PGridEvent::LookupDone { items, hops, .. }) => {
+                let d = self.net.metrics().delta(&before);
+                (
+                    items,
+                    OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: self.net.now().saturating_sub(start),
+                        hops,
+                    },
+                )
+            }
+            _ => (Vec::new(), OpCost::default()),
+        }
+    }
+
+    /// Runs the network for a stretch of simulated time.
+    pub fn settle(&mut self, duration: SimTime) {
+        let deadline = self.net.now() + duration;
+        self.net.run_until(deadline);
+    }
+}

@@ -1,0 +1,104 @@
+//! Node and cluster configuration.
+
+use unistore_pgrid::PGridConfig;
+use unistore_query::JoinStrategy;
+use unistore_simnet::SimTime;
+
+/// Forced preferences for physical-operator selection — how experiment
+/// E3 ("identical queries … while influencing the integrated optimizer")
+/// turns the optimizer off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanPref {
+    /// Prefer parallel (shower) range scans.
+    ParallelRange,
+    /// Prefer sequential (leaf walk) range scans.
+    SequentialRange,
+    /// Prefer the q-gram index for similarity predicates.
+    QGram,
+    /// Prefer naive evaluation (full attribute sweep) for similarity.
+    NaiveSimilarity,
+}
+
+/// Planner behaviour of a node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanMode {
+    /// Forced scan preference (None = cost-based).
+    pub scan_pref: Option<ScanPref>,
+    /// Forced join strategy (None = cost-based).
+    pub join_pref: Option<JoinStrategy>,
+    /// Whether plans may travel to the data (mutant forwarding). When
+    /// `false` every step executes from the current peer.
+    pub no_forward: bool,
+}
+
+/// Cluster-level configuration.
+#[derive(Clone, Debug)]
+pub struct UniConfig {
+    /// The storage-layer overlay configuration.
+    pub pgrid: PGridConfig,
+    /// Maintain the q-gram index on insert (paper ref [6]).
+    pub with_qgrams: bool,
+    /// Build the trie adapted to the data sample (P-Grid's balanced
+    /// converged state); `false` builds the uniform strawman.
+    pub balanced: bool,
+    /// Time the origin waits for a query result.
+    pub query_timeout: SimTime,
+    /// Default planner behaviour for all nodes.
+    pub plan_mode: PlanMode,
+}
+
+impl Default for UniConfig {
+    fn default() -> Self {
+        UniConfig {
+            pgrid: PGridConfig {
+                // Periodic traffic off by default so experiment cost
+                // attribution is exact; churn experiments re-enable it.
+                maintenance_interval: SimTime::from_secs(1_000_000_000),
+                anti_entropy_interval: SimTime::from_secs(1_000_000_000),
+                ..PGridConfig::default()
+            },
+            with_qgrams: true,
+            balanced: true,
+            query_timeout: SimTime::from_secs(120),
+            plan_mode: PlanMode::default(),
+        }
+    }
+}
+
+impl UniConfig {
+    /// Enables periodic maintenance and anti-entropy (churn/update
+    /// experiments).
+    pub fn with_maintenance(mut self, maintenance: SimTime, anti_entropy: SimTime) -> Self {
+        self.pgrid.maintenance_interval = maintenance;
+        self.pgrid.anti_entropy_interval = anti_entropy;
+        self
+    }
+
+    /// Sets the replication factor.
+    pub fn with_replication(mut self, r: usize) -> Self {
+        self.pgrid = self.pgrid.with_replication(r);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_balanced() {
+        let c = UniConfig::default();
+        assert!(c.balanced);
+        assert!(c.with_qgrams);
+        assert!(c.pgrid.maintenance_interval > SimTime::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = UniConfig::default()
+            .with_replication(3)
+            .with_maintenance(SimTime::from_secs(30), SimTime::from_secs(60));
+        assert_eq!(c.pgrid.replication, 3);
+        assert_eq!(c.pgrid.maintenance_interval, SimTime::from_secs(30));
+    }
+}

@@ -1,0 +1,161 @@
+//! The UniStore node's message and event types.
+//!
+//! One envelope wraps both layers of the paper's stack: the P-Grid
+//! storage layer and the query-processing layer riding on it.
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_pgrid::{PGridEvent, PGridMsg};
+use unistore_query::{Mqp, Relation};
+use unistore_store::Triple;
+use unistore_util::wire::{Wire, WireError};
+use unistore_util::Key;
+
+/// Everything a UniStore node can receive.
+#[derive(Clone, Debug)]
+pub enum UniMsg {
+    /// P-Grid storage-layer traffic.
+    PGrid(PGridMsg<Triple>),
+    /// Query-layer traffic.
+    Query(QueryMsg),
+}
+
+/// Query-layer messages.
+#[derive(Clone, Debug)]
+pub enum QueryMsg {
+    /// Execute (the next step of) a mutant plan at the receiving peer.
+    Execute {
+        /// The travelling plan.
+        mqp: Mqp,
+    },
+    /// Forward a mutant plan toward the peer responsible for `key`
+    /// (greedy prefix routing, like a lookup — but the payload is the
+    /// plan itself).
+    Route {
+        /// Target key (anchor of the plan's next scan).
+        key: Key,
+        /// The travelling plan.
+        mqp: Mqp,
+    },
+    /// Final result returning to the query origin.
+    Result {
+        /// Correlation id.
+        qid: u64,
+        /// The answer relation.
+        relation: Relation,
+        /// Accumulated hop count (plan travel + deepest scan).
+        hops: u32,
+    },
+}
+
+mod tag {
+    pub const PGRID: u8 = 1;
+    pub const EXECUTE: u8 = 2;
+    pub const ROUTE: u8 = 3;
+    pub const RESULT: u8 = 4;
+}
+
+impl Wire for UniMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            UniMsg::PGrid(m) => {
+                tag::PGRID.encode(buf);
+                m.encode(buf);
+            }
+            UniMsg::Query(QueryMsg::Execute { mqp }) => {
+                tag::EXECUTE.encode(buf);
+                mqp.encode(buf);
+            }
+            UniMsg::Query(QueryMsg::Route { key, mqp }) => {
+                tag::ROUTE.encode(buf);
+                key.encode(buf);
+                mqp.encode(buf);
+            }
+            UniMsg::Query(QueryMsg::Result { qid, relation, hops }) => {
+                tag::RESULT.encode(buf);
+                qid.encode(buf);
+                relation.encode(buf);
+                hops.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            tag::PGRID => UniMsg::PGrid(PGridMsg::decode(buf)?),
+            tag::EXECUTE => UniMsg::Query(QueryMsg::Execute { mqp: Mqp::decode(buf)? }),
+            tag::ROUTE => UniMsg::Query(QueryMsg::Route {
+                key: Wire::decode(buf)?,
+                mqp: Mqp::decode(buf)?,
+            }),
+            tag::RESULT => UniMsg::Query(QueryMsg::Result {
+                qid: Wire::decode(buf)?,
+                relation: Relation::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            }),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Events a UniStore node emits to the driver.
+#[derive(Clone, Debug)]
+pub enum UniEvent {
+    /// A query issued at this node finished.
+    QueryDone {
+        /// Correlation id.
+        qid: u64,
+        /// The answer.
+        relation: Relation,
+        /// Accumulated hops.
+        hops: u32,
+        /// `false` on timeout.
+        ok: bool,
+    },
+    /// A driver-issued raw storage operation finished.
+    PGrid(PGridEvent<Triple>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unistore_query::MqpNode;
+    use unistore_simnet::NodeId;
+    use unistore_store::Value;
+    use unistore_vql::parse;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n)} LIMIT 2").unwrap();
+        let mqp = Mqp::new(
+            7,
+            3,
+            MqpNode::Scan { pattern: q.patterns[0].clone() },
+            q.filters.clone(),
+            Some(2),
+        );
+        let rel = Relation {
+            schema: vec![Arc::from("n")],
+            rows: vec![vec![Value::str("alice")]],
+        };
+        let msgs = vec![
+            UniMsg::PGrid(PGridMsg::Lookup { qid: 1, key: 2, origin: NodeId(3), hops: 0 }),
+            UniMsg::Query(QueryMsg::Execute { mqp: mqp.clone() }),
+            UniMsg::Query(QueryMsg::Route { key: 99, mqp }),
+            UniMsg::Query(QueryMsg::Result { qid: 7, relation: rel, hops: 5 }),
+        ];
+        for m in msgs {
+            let b = m.to_bytes();
+            assert_eq!(b.len(), m.wire_size());
+            let back = UniMsg::from_bytes(&b).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{m:?}"));
+        }
+    }
+
+    #[test]
+    fn bad_tag() {
+        let b = Bytes::from_static(&[77]);
+        assert!(matches!(UniMsg::from_bytes(&b), Err(WireError::BadTag(77))));
+    }
+}

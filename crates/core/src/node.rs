@@ -1,0 +1,607 @@
+//! The UniStore node: P-Grid peer + triple layer + query executor.
+//!
+//! Paper Fig. 1: the storage service and the query processor share one
+//! process. Here [`UniNode`] embeds a [`PGridPeer`] (storage layer) and
+//! an executor for mutant query plans. When the executor needs the
+//! network (a scan, a fetch join), it issues *locally originated* P-Grid
+//! operations through the embedded peer and suspends the plan until the
+//! completions surface; when a plan's next leaf is anchored at a remote
+//! key, the plan itself is forwarded toward the responsible peer
+//! (mutant behaviour), which re-optimizes before continuing.
+
+use std::sync::Arc;
+
+use unistore_pgrid::msg::RangeMode;
+use unistore_pgrid::{PGridConfig, PGridEvent, PGridMsg, PGridPeer};
+use unistore_query::local::dedup_rows;
+use unistore_query::mqp::bind_triples;
+use unistore_query::strategy::scan_candidates;
+use unistore_query::{CostModel, JoinStrategy, Mqp, RangeAlgo, Relation, ScanStrategy};
+use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
+use unistore_store::index as idx;
+use unistore_store::mapping::MappingSet;
+use unistore_store::qgram;
+use unistore_store::{Oid, Triple, Value};
+use unistore_util::wire::Wire;
+use unistore_util::{FxHashMap, FxHashSet, Key};
+use unistore_vql::{Term, TriplePattern};
+
+use crate::config::{PlanMode, ScanPref};
+use crate::msg::{QueryMsg, UniEvent, UniMsg};
+
+/// Effects buffer of the UniStore node.
+pub type UniFx = Effects<UniMsg, UniEvent>;
+type PgFx = Effects<PGridMsg<Triple>, PGridEvent<Triple>>;
+
+/// Timer kind for the origin-side query deadline (storage-layer timers
+/// use kinds below 100).
+const RESULT_TIMEOUT: u32 = 100;
+
+/// Mutant plans above this encoded size stop travelling and pull data
+/// instead (shipping megabytes of partial results is worse than a few
+/// extra lookups).
+const FORWARD_BYTE_CAP: usize = 64 * 1024;
+
+/// Fetch joins cap their lookup fan-out; beyond this the executor falls
+/// back to collecting the right side.
+const FETCH_CAP: usize = 512;
+
+/// One optimizer decision, recorded for experiment output.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Query id.
+    pub qid: u64,
+    /// The pattern being resolved.
+    pub pattern: String,
+    /// Chosen physical operator.
+    pub choice: String,
+}
+
+/// What a suspended plan is waiting for.
+enum Wait {
+    Scan {
+        pattern: TriplePattern,
+        outstanding: usize,
+        triples: Vec<Triple>,
+        /// Count-filter parameters when the scan used the q-gram index.
+        qgram: Option<(String, usize)>,
+        max_hops: u32,
+    },
+    Fetch {
+        pattern: TriplePattern,
+        outstanding: usize,
+        triples: Vec<Triple>,
+        max_hops: u32,
+    },
+}
+
+struct Active {
+    mqp: Mqp,
+    wait: Option<Wait>,
+}
+
+/// A full UniStore node.
+pub struct UniNode {
+    /// The embedded storage-layer peer.
+    pub pgrid: PGridPeer<Triple>,
+    /// Cost model snapshot (the paper's gossiped statistics; distributed
+    /// by the driver here, see DESIGN.md).
+    pub cost: Option<Arc<CostModel>>,
+    /// Known schema mappings.
+    pub mappings: MappingSet,
+    /// Planner behaviour.
+    pub plan_mode: PlanMode,
+    /// Optimizer decisions taken at this node.
+    pub trace: Vec<Decision>,
+    query_timeout: SimTime,
+    active: FxHashMap<u64, Active>,
+    /// storage-layer qid → query qid.
+    waiting: FxHashMap<u64, u64>,
+    /// Queries this node originated and still awaits results for.
+    pending_results: FxHashSet<u64>,
+    exec_counter: u64,
+}
+
+impl UniNode {
+    /// Creates a node at a trie position (wired by the cluster builder).
+    pub fn new(
+        id: NodeId,
+        path: unistore_util::BitPath,
+        pgrid_cfg: PGridConfig,
+        query_timeout: SimTime,
+        plan_mode: PlanMode,
+        seed: u64,
+    ) -> Self {
+        UniNode {
+            pgrid: PGridPeer::new(id, path, pgrid_cfg, seed),
+            cost: None,
+            mappings: MappingSet::new(),
+            plan_mode,
+            trace: Vec::new(),
+            query_timeout,
+            active: FxHashMap::default(),
+            waiting: FxHashMap::default(),
+            pending_results: FxHashSet::default(),
+            exec_counter: 0,
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.pgrid.id()
+    }
+
+    fn fresh_exec_qid(&mut self) -> u64 {
+        self.exec_counter += 1;
+        // Executor namespace: disjoint from driver-assigned qids.
+        (1 << 62) | ((self.id().0 as u64) << 32) | self.exec_counter
+    }
+
+    /// Runs a storage-layer action, wrapping its effects into the node's
+    /// envelope; emitted storage events are routed to waiting plans.
+    fn with_pgrid(&mut self, fx: &mut UniFx, f: impl FnOnce(&mut PGridPeer<Triple>, &mut PgFx)) {
+        let mut pfx: PgFx = Effects::new();
+        f(&mut self.pgrid, &mut pfx);
+        let (sends, timers, emits) = pfx.drain();
+        for (to, m) in sends {
+            fx.send(to, UniMsg::PGrid(m));
+        }
+        for (d, t) in timers {
+            fx.set_timer(d, t);
+        }
+        for e in emits {
+            self.on_pgrid_event(e, fx);
+        }
+    }
+
+    fn on_pgrid_event(&mut self, event: PGridEvent<Triple>, fx: &mut UniFx) {
+        let (qid, items, hops) = match &event {
+            PGridEvent::LookupDone { qid, items, hops, .. } => (*qid, Some(items), *hops),
+            PGridEvent::RangeDone { qid, items, hops, .. } => (*qid, Some(items), *hops),
+            PGridEvent::InsertDone { qid, hops, .. } => (*qid, None, *hops),
+        };
+        let Some(query_qid) = self.waiting.remove(&qid) else {
+            // Driver-issued raw storage op: surface it.
+            fx.emit(UniEvent::PGrid(event));
+            return;
+        };
+        let Some(active) = self.active.get_mut(&query_qid) else {
+            return;
+        };
+        let done = match active.wait.as_mut() {
+            Some(Wait::Scan { outstanding, triples, max_hops, .. })
+            | Some(Wait::Fetch { outstanding, triples, max_hops, .. }) => {
+                if let Some(items) = items {
+                    triples.extend(items.iter().cloned());
+                }
+                *max_hops = (*max_hops).max(hops);
+                *outstanding -= 1;
+                *outstanding == 0
+            }
+            None => false,
+        };
+        if done {
+            self.finish_wait(query_qid, fx);
+        }
+    }
+
+    fn finish_wait(&mut self, qid: u64, fx: &mut UniFx) {
+        let Some(mut active) = self.active.remove(&qid) else { return };
+        let wait = active.wait.take().expect("finish_wait without wait state");
+        let (pattern, mut triples, qgram, max_hops) = match wait {
+            Wait::Scan { pattern, triples, qgram, max_hops, .. } => {
+                (pattern, triples, qgram, max_hops)
+            }
+            Wait::Fetch { pattern, triples, max_hops, .. } => (pattern, triples, None, max_hops),
+        };
+        // Dedup triples that arrived through several index entries or
+        // replicas.
+        let mut seen: FxHashSet<(u64, u64)> = FxHashSet::default();
+        triples.retain(|t| seen.insert((unistore_util::item::Item::ident(t), t.value.key_bits())));
+        // q-gram count filter: drop candidates that cannot be within
+        // distance k (never drops true matches — tested property).
+        if let Some((target, k)) = &qgram {
+            triples.retain(|t| {
+                t.value.as_str().is_none_or(|s| qgram::passes_count_filter(s, target, *k))
+            });
+        }
+        let rel = bind_triples(&pattern, &triples, &self.mappings);
+        active.mqp.root.resolve_first_scan(rel);
+        active.mqp.hops += max_hops;
+        self.continue_plan(active.mqp, fx);
+    }
+
+    /// Runs the next step of a plan at this node: reduce, finish, fetch
+    /// join, forward, or scan.
+    fn continue_plan(&mut self, mut mqp: Mqp, fx: &mut UniFx) {
+        mqp.root.reduce();
+        let qid = mqp.qid;
+        if mqp.root.scans_remaining() == 0 {
+            let mut rel = mqp.root.result().cloned().unwrap_or_else(|| Relation::empty(vec![]));
+            dedup_rows(&mut rel);
+            let origin = NodeId(mqp.origin);
+            if origin == self.id() {
+                if self.pending_results.remove(&qid) {
+                    fx.emit(UniEvent::QueryDone { qid, relation: rel, hops: mqp.hops, ok: true });
+                }
+            } else {
+                fx.send(origin, UniMsg::Query(QueryMsg::Result { qid, relation: rel, hops: mqp.hops }));
+            }
+            return;
+        }
+
+        // Fetch-join opportunity?
+        if let Some(fetch) = self.plan_fetch(&mqp) {
+            self.execute_fetch(mqp, fetch, fx);
+            return;
+        }
+
+        let pattern = mqp.root.first_scan().expect("scans remain").clone();
+
+        // Mutant forwarding: ship the plan to the peer owning the next
+        // scan's anchor key, unless disabled, too large, or already home.
+        if !self.plan_mode.no_forward {
+            if let Some(key) = anchor_key(&pattern) {
+                if !self.pgrid.routing().responsible(key) && mqp.wire_size() < FORWARD_BYTE_CAP {
+                    if let Some(next) = route_next(&self.pgrid, key) {
+                        mqp.hops += 1;
+                        fx.send(next, UniMsg::Query(QueryMsg::Route { key, mqp }));
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Plain scan from here. (The limit hint is not passed: the
+        // storage layer's sequential range has no early termination, so
+        // pricing it in would bias the choice toward an optimization the
+        // protocol does not perform.)
+        let cands = scan_candidates(&pattern, &mqp.filters);
+        let chosen = self.pick_scan(&cands, None);
+        self.trace.push(Decision {
+            qid,
+            pattern: pattern.to_string(),
+            choice: chosen.name().to_string(),
+        });
+        self.execute_scan(mqp, pattern, chosen, fx);
+    }
+
+    /// Applies forced preferences, falling back to the cost model, then
+    /// to the first candidate.
+    fn pick_scan(&self, cands: &[ScanStrategy], limit_hint: Option<usize>) -> ScanStrategy {
+        if let Some(pref) = self.plan_mode.scan_pref {
+            let found = cands.iter().find(|s| match (pref, s) {
+                (ScanPref::ParallelRange, ScanStrategy::AttrRange { algo, .. }) => {
+                    *algo == RangeAlgo::Parallel
+                }
+                (ScanPref::SequentialRange, ScanStrategy::AttrRange { algo, .. }) => {
+                    *algo == RangeAlgo::Sequential
+                }
+                (ScanPref::QGram, ScanStrategy::QGram { .. }) => true,
+                (ScanPref::NaiveSimilarity, ScanStrategy::AttrRange { lo: None, hi: None, .. }) => {
+                    true
+                }
+                _ => false,
+            });
+            if let Some(s) = found {
+                return s.clone();
+            }
+        }
+        match &self.cost {
+            Some(model) => {
+                let (i, _) = model.choose_scan(cands, limit_hint);
+                cands[i].clone()
+            }
+            None => cands[0].clone(),
+        }
+    }
+
+    /// Checks whether the next step is a join whose left side is
+    /// materialized and whose right side admits per-binding fetching,
+    /// and whether fetching is the better strategy.
+    fn plan_fetch(&self, mqp: &Mqp) -> Option<FetchPlan> {
+        let (left, pattern) = mqp.root.fetch_join_site()?;
+        // Value-position fetch: attribute literal, value var bound left.
+        let value_fetch = match (&pattern.attr, &pattern.value) {
+            (Term::Lit(Value::Str(attr)), Term::Var(v)) => {
+                left.col(v).map(|col| FetchPlan::ByValue {
+                    keys: distinct_col(left, col)
+                        .iter()
+                        .flat_map(|val| {
+                            self.mappings
+                                .expand(attr)
+                                .iter()
+                                .map(|a| idx::attr_value_key(a, val))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect(),
+                    pattern: pattern.clone(),
+                })
+            }
+            _ => None,
+        };
+        // Subject-position fetch: subject var bound left → OID lookups.
+        let subject_fetch = match &pattern.subject {
+            Term::Var(s) => left.col(s).map(|col| FetchPlan::ByOid {
+                keys: distinct_col(left, col)
+                    .iter()
+                    .filter_map(|v| v.as_str().map(|s| idx::oid_key(&Oid::new(s))))
+                    .collect(),
+                pattern: pattern.clone(),
+            }),
+            Term::Lit(_) => None,
+        };
+        let plan = value_fetch.or(subject_fetch)?;
+        if plan.keys().len() > FETCH_CAP || plan.keys().is_empty() {
+            return None;
+        }
+        // Forced or cost-based arbitration against collecting.
+        if let Some(pref) = self.plan_mode.join_pref {
+            return (pref == JoinStrategy::Fetch).then_some(plan);
+        }
+        let model = self.cost.as_ref()?;
+        let cands = scan_candidates(&pattern.clone(), &mqp.filters);
+        let (_, right_best) = model.choose_scan(&cands, None);
+        let (strategy, _) = model.join(plan.keys().len() as f64, &right_best, true);
+        (strategy == JoinStrategy::Fetch).then_some(plan)
+    }
+
+    fn execute_fetch(&mut self, mut mqp: Mqp, plan: FetchPlan, fx: &mut UniFx) {
+        let qid = mqp.qid;
+        self.trace.push(Decision {
+            qid,
+            pattern: plan.pattern().to_string(),
+            choice: "fetch-join".to_string(),
+        });
+        let keys: Vec<Key> = plan.keys().to_vec();
+        let pattern = plan.pattern().clone();
+        let qids: Vec<u64> = keys.iter().map(|_| self.fresh_exec_qid()).collect();
+        for q in &qids {
+            self.waiting.insert(*q, qid);
+        }
+        mqp.hops += 1;
+        self.active.insert(
+            qid,
+            Active {
+                mqp,
+                wait: Some(Wait::Fetch {
+                    pattern,
+                    outstanding: qids.len(),
+                    triples: Vec::new(),
+                    max_hops: 0,
+                }),
+            },
+        );
+        for (q, key) in qids.into_iter().zip(keys) {
+            self.with_pgrid(fx, |p, pfx| p.local_lookup(q, key, pfx));
+        }
+    }
+
+    fn execute_scan(&mut self, mqp: Mqp, pattern: TriplePattern, s: ScanStrategy, fx: &mut UniFx) {
+        let qid = mqp.qid;
+        // Build the list of storage ops first, register the wait state,
+        // then issue — locally resolving ops may complete synchronously.
+        enum Op {
+            Lookup(Key),
+            Range(Key, Key, RangeMode),
+        }
+        let mut ops: Vec<Op> = Vec::new();
+        let mut qgram_filter = None;
+        match &s {
+            ScanStrategy::OidLookup { oid } => ops.push(Op::Lookup(idx::oid_key(&Oid::new(oid)))),
+            ScanStrategy::AttrValueLookup { attr, value } => {
+                for a in self.mappings.expand(attr) {
+                    ops.push(Op::Lookup(idx::attr_value_key(&a, value)));
+                }
+            }
+            ScanStrategy::AttrRange { attr, lo, hi, algo } => {
+                let mode = match algo {
+                    RangeAlgo::Parallel => RangeMode::Parallel,
+                    RangeAlgo::Sequential => RangeMode::Sequential,
+                };
+                for a in self.mappings.expand(attr) {
+                    let (klo, khi) = idx::attr_value_range(&a, lo.as_ref(), hi.as_ref());
+                    ops.push(Op::Range(klo, khi, mode));
+                }
+            }
+            ScanStrategy::AttrPrefix { attr, prefix, .. } => {
+                for a in self.mappings.expand(attr) {
+                    let (klo, khi) = idx::attr_prefix_range(&a, prefix);
+                    ops.push(Op::Range(klo, khi, RangeMode::Parallel));
+                }
+            }
+            ScanStrategy::QGram { attr, target, k } => {
+                let mut keys: Vec<Key> = Vec::new();
+                for a in self.mappings.expand(attr) {
+                    keys.extend(qgram::qgrams(target).into_iter().map(|g| idx::qgram_key(&a, g)));
+                }
+                keys.sort_unstable();
+                keys.dedup();
+                ops.extend(keys.into_iter().map(Op::Lookup));
+                qgram_filter = Some((target.clone(), *k));
+            }
+            ScanStrategy::ValueLookup { value } => ops.push(Op::Lookup(idx::value_key(value))),
+            ScanStrategy::FullScan { .. } => {
+                // The whole A#v index region.
+                let lo = 1u64 << 62;
+                let hi = lo | ((1u64 << 62) - 1);
+                ops.push(Op::Range(lo, hi, RangeMode::Parallel));
+            }
+        }
+        let qids: Vec<u64> = ops.iter().map(|_| self.fresh_exec_qid()).collect();
+        for q in &qids {
+            self.waiting.insert(*q, qid);
+        }
+        self.active.insert(
+            qid,
+            Active {
+                mqp,
+                wait: Some(Wait::Scan {
+                    pattern,
+                    outstanding: qids.len(),
+                    triples: Vec::new(),
+                    qgram: qgram_filter,
+                    max_hops: 0,
+                }),
+            },
+        );
+        for (q, op) in qids.into_iter().zip(ops) {
+            match op {
+                Op::Lookup(key) => self.with_pgrid(fx, |p, pfx| p.local_lookup(q, key, pfx)),
+                Op::Range(lo, hi, mode) => {
+                    self.with_pgrid(fx, |p, pfx| p.local_range(q, lo, hi, mode, pfx))
+                }
+            }
+        }
+    }
+
+    fn handle_query_msg(&mut self, from: NodeId, msg: QueryMsg, fx: &mut UniFx) {
+        match msg {
+            QueryMsg::Execute { mqp } => {
+                if from == NodeId::EXTERNAL && NodeId(mqp.origin) == self.id() {
+                    self.pending_results.insert(mqp.qid);
+                    fx.set_timer(self.query_timeout, Timer::new(RESULT_TIMEOUT, mqp.qid));
+                }
+                self.continue_plan(mqp, fx);
+            }
+            QueryMsg::Route { key, mqp } => {
+                if self.pgrid.routing().responsible(key) {
+                    self.continue_plan(mqp, fx);
+                } else {
+                    match route_next(&self.pgrid, key) {
+                        Some(next) => {
+                            let mut mqp = mqp;
+                            mqp.hops += 1;
+                            fx.send(next, UniMsg::Query(QueryMsg::Route { key, mqp }));
+                        }
+                        // Routing hole: execute from here as fallback.
+                        None => self.continue_plan(mqp, fx),
+                    }
+                }
+            }
+            QueryMsg::Result { qid, relation, hops } => {
+                if self.pending_results.remove(&qid) {
+                    fx.emit(UniEvent::QueryDone { qid, relation, hops, ok: true });
+                }
+            }
+        }
+    }
+}
+
+/// Helper: the routing next-hop for a key (random ref at the divergence
+/// level), or `None` when stuck.
+fn route_next(pgrid: &PGridPeer<Triple>, key: Key) -> Option<NodeId> {
+    // Deterministic choice: first ref of the level (the peer's own RNG
+    // is unavailable without &mut; refs are already randomized at build).
+    let path = pgrid.routing().path();
+    let l = path.common_prefix_len_key(key);
+    if l == path.len() {
+        return None;
+    }
+    pgrid.routing().level_refs(l).first().map(|r| r.id)
+}
+
+/// Anchor key of a pattern for mutant forwarding: point-addressable
+/// scans only.
+fn anchor_key(pattern: &TriplePattern) -> Option<Key> {
+    if let Some(Value::Str(oid)) = pattern.subject.as_lit() {
+        return Some(idx::oid_key(&Oid::new(oid)));
+    }
+    match (&pattern.attr, &pattern.value) {
+        (Term::Lit(Value::Str(attr)), Term::Lit(v)) => Some(idx::attr_value_key(attr, v)),
+        (Term::Var(_), Term::Lit(v)) => Some(idx::value_key(v)),
+        _ => None,
+    }
+}
+
+fn distinct_col(rel: &Relation, col: usize) -> Vec<Value> {
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut out = Vec::new();
+    for row in &rel.rows {
+        if seen.insert(unistore_query::relation::value_hash(&row[col])) {
+            out.push(row[col].clone());
+        }
+    }
+    out
+}
+
+enum FetchPlan {
+    ByValue { keys: Vec<Key>, pattern: TriplePattern },
+    ByOid { keys: Vec<Key>, pattern: TriplePattern },
+}
+
+impl FetchPlan {
+    fn keys(&self) -> &[Key] {
+        match self {
+            FetchPlan::ByValue { keys, .. } | FetchPlan::ByOid { keys, .. } => keys,
+        }
+    }
+
+    fn pattern(&self) -> &TriplePattern {
+        match self {
+            FetchPlan::ByValue { pattern, .. } | FetchPlan::ByOid { pattern, .. } => pattern,
+        }
+    }
+}
+
+impl NodeBehavior for UniNode {
+    type Msg = UniMsg;
+    type Out = UniEvent;
+
+    fn on_start(&mut self, now: SimTime, fx: &mut UniFx) {
+        self.with_pgrid(fx, |p, pfx| p.on_start(now, pfx));
+    }
+
+    fn on_message(&mut self, now: SimTime, from: NodeId, msg: UniMsg, fx: &mut UniFx) {
+        match msg {
+            UniMsg::PGrid(m) => self.with_pgrid(fx, |p, pfx| p.on_message(now, from, m, pfx)),
+            UniMsg::Query(q) => self.handle_query_msg(from, q, fx),
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, t: Timer, fx: &mut UniFx) {
+        if t.kind < 100 {
+            self.with_pgrid(fx, |p, pfx| p.on_timer(now, t, pfx));
+        } else if t.kind == RESULT_TIMEOUT && self.pending_results.remove(&t.payload) {
+            fx.emit(UniEvent::QueryDone {
+                qid: t.payload,
+                relation: Relation::empty(vec![]),
+                hops: 0,
+                ok: false,
+            });
+        }
+    }
+}
+
+// Unit tests for the executor live in `cluster.rs` (they need a built
+// network); the pure helpers are tested here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_vql::parse;
+
+    #[test]
+    fn anchor_keys_for_point_scans() {
+        let q = parse("SELECT ?v WHERE {('a12','year',?v)}").unwrap();
+        assert!(anchor_key(&q.patterns[0]).is_some(), "oid literal anchors");
+        let q = parse("SELECT ?a WHERE {(?a,'year',2006)}").unwrap();
+        assert!(anchor_key(&q.patterns[0]).is_some(), "attr+value literal anchors");
+        let q = parse("SELECT ?v WHERE {(?a,'year',?v)}").unwrap();
+        assert!(anchor_key(&q.patterns[0]).is_none(), "range scans do not anchor");
+        let q = parse("SELECT ?attr WHERE {(?a,?attr,2006)}").unwrap();
+        assert!(anchor_key(&q.patterns[0]).is_some(), "value literal anchors");
+    }
+
+    #[test]
+    fn distinct_col_dedups_semantically() {
+        let rel = Relation {
+            schema: vec![std::sync::Arc::from("x")],
+            rows: vec![
+                vec![Value::Int(3)],
+                vec![Value::Float(3.0)],
+                vec![Value::Int(4)],
+            ],
+        };
+        assert_eq!(distinct_col(&rel, 0).len(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Statistics distribution.
+//!
+//! The paper bases its cost model on "the characteristics of the used
+//! overlay system and the actual data distribution", gossiped between
+//! peers as statistics metadata. In the reproduction the driver
+//! aggregates the statistics once after loading and hands every node the
+//! same snapshot — same information flow, minus the (orthogonal) gossip
+//! protocol; documented in DESIGN.md §2.
+
+use std::sync::Arc;
+
+use unistore_query::{CostModel, GlobalStats};
+use unistore_query::cost::NetParams;
+use unistore_simnet::SimTime;
+use unistore_store::Triple;
+
+/// Builds the shared cost model for a cluster.
+pub fn build_cost_model(
+    triples: &[Triple],
+    n_peers: usize,
+    n_leaves: usize,
+    replication: usize,
+    expected_hop: SimTime,
+) -> Arc<CostModel> {
+    let net = NetParams {
+        n_peers: n_peers as f64,
+        n_leaves: n_leaves as f64,
+        replication: replication as f64,
+        hop_ms: expected_hop.as_millis_f64(),
+    };
+    Arc::new(CostModel::new(GlobalStats::build(triples, net)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_store::Value;
+
+    #[test]
+    fn model_reflects_cluster_shape() {
+        let triples =
+            vec![Triple::new("a", "x", Value::Int(1)), Triple::new("b", "x", Value::Int(2))];
+        let m = build_cost_model(&triples, 64, 32, 2, SimTime::from_millis(40));
+        assert_eq!(m.stats.net.n_peers, 64.0);
+        assert_eq!(m.stats.net.n_leaves, 32.0);
+        assert_eq!(m.stats.net.log_n(), 5.0);
+        assert_eq!(m.stats.net.hop_ms, 40.0);
+        assert_eq!(m.stats.total, 2.0);
+    }
+}

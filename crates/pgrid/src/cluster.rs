@@ -1,0 +1,526 @@
+//! Driver-facing harness: a P-Grid overlay inside a [`SimNet`].
+//!
+//! Experiments, benches and the upper UniStore layers talk to the overlay
+//! through this type: build a network, preload data, issue operations,
+//! and get back items *plus the operation's network cost* (messages,
+//! bytes, hops, simulated latency).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_simnet::metrics::OpCost;
+use unistore_simnet::{LatencyModel, NodeId, SimNet, SimTime};
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::{BitPath, Key};
+
+use crate::config::PGridConfig;
+use crate::construct::{leaf_of, plan_topology};
+use crate::item::{Item, Version};
+use crate::msg::{PGridEvent, PGridMsg, PeerRef, QueryId, RangeMode};
+use crate::peer::PGridPeer;
+
+/// How the overlay's trie is shaped at build time.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// Data-adaptive (P-Grid's converged, load-balanced state); the
+    /// sample drives where the trie deepens.
+    Balanced {
+        /// Sample of the keys the overlay will store.
+        sample: Vec<Key>,
+    },
+    /// Complete trie regardless of data (the no-balancing strawman).
+    Uniform,
+}
+
+/// Result of a lookup issued through the cluster.
+#[derive(Clone, Debug)]
+pub struct LookupOutcome<I> {
+    /// Items found under the key.
+    pub items: Vec<I>,
+    /// `false` on routing failure or timeout.
+    pub ok: bool,
+    /// Network cost attributed to this operation.
+    pub cost: OpCost,
+}
+
+/// Result of a range query issued through the cluster.
+#[derive(Clone, Debug)]
+pub struct RangeOutcome<I> {
+    /// All matching items.
+    pub items: Vec<I>,
+    /// Whether coverage of the interval completed.
+    pub complete: bool,
+    /// Leaf replies received.
+    pub leaves: u32,
+    /// Network cost attributed to this operation.
+    pub cost: OpCost,
+}
+
+/// Result of an insert issued through the cluster.
+#[derive(Clone, Debug)]
+pub struct InsertOutcome {
+    /// `false` on timeout.
+    pub ok: bool,
+    /// Network cost attributed to this operation.
+    pub cost: OpCost,
+}
+
+/// A simulated P-Grid overlay.
+pub struct PGridCluster<I: Item> {
+    /// The underlying simulated network (public: experiments inspect
+    /// per-node state and metrics directly).
+    pub net: SimNet<PGridPeer<I>>,
+    leaves: Vec<BitPath>,
+    leaf_peers: Vec<Vec<NodeId>>,
+    next_qid: QueryId,
+    rng: StdRng,
+}
+
+impl<I: Item> PGridCluster<I> {
+    /// Builds a converged overlay of `n_peers` peers.
+    ///
+    /// Leaf count is `n_peers / cfg.replication`; peers are spread over
+    /// the leaves so every leaf has at least `replication` peers. Routing
+    /// tables are filled with `cfg.refs_per_level` random references per
+    /// level, replica groups are mutually registered.
+    pub fn build(
+        n_peers: usize,
+        cfg: PGridConfig,
+        topology: Topology,
+        latency: impl LatencyModel + 'static,
+        seed: u64,
+    ) -> Self {
+        assert!(n_peers >= 1);
+        let mut rng = derive_rng(seed, stream::OVERLAY);
+        let sample = match &topology {
+            Topology::Balanced { sample } => Some(sample.as_slice()),
+            Topology::Uniform => None,
+        };
+        let plan = plan_topology(
+            n_peers,
+            cfg.replication,
+            cfg.refs_per_level,
+            cfg.max_depth,
+            sample,
+            &mut rng,
+        );
+
+        let mut net = SimNet::new(latency, seed);
+        for peer in 0..n_peers {
+            let path = plan.leaves[plan.peer_leaf[peer]];
+            let id = net.add_node(PGridPeer::new(NodeId(peer as u32), path, cfg.clone(), seed));
+            debug_assert_eq!(id.index(), peer);
+        }
+        for peer in 0..n_peers {
+            let node = net.node_mut(NodeId(peer as u32));
+            for &(p, path) in &plan.peer_refs[peer] {
+                node.routing_mut().add_ref(PeerRef { id: NodeId(p as u32), path });
+            }
+            for &r in &plan.peer_replicas[peer] {
+                node.routing_mut().add_replica(NodeId(r as u32));
+            }
+        }
+
+        let leaf_peers = plan
+            .leaf_peers
+            .iter()
+            .map(|ps| ps.iter().map(|&p| NodeId(p as u32)).collect())
+            .collect();
+        PGridCluster { net, leaves: plan.leaves, leaf_peers, next_qid: 1, rng }
+    }
+
+    /// Builds an overlay of unspecialized peers running the pairwise
+    /// bootstrap protocol (all paths ε; structure emerges at runtime).
+    pub fn build_bootstrap(
+        n_peers: usize,
+        cfg: PGridConfig,
+        latency: impl LatencyModel + 'static,
+        seed: u64,
+    ) -> Self {
+        let rng = derive_rng(seed, stream::OVERLAY);
+        let universe: Vec<NodeId> = (0..n_peers).map(|p| NodeId(p as u32)).collect();
+        let mut net = SimNet::new(latency, seed);
+        for peer in 0..n_peers {
+            net.add_node(PGridPeer::new_bootstrap(
+                NodeId(peer as u32),
+                cfg.clone(),
+                seed,
+                universe.clone(),
+            ));
+        }
+        PGridCluster {
+            net,
+            leaves: vec![BitPath::ROOT],
+            leaf_peers: vec![universe],
+            next_qid: 1,
+            rng,
+        }
+    }
+
+    /// The trie's leaf paths (key order). Meaningless for bootstrap
+    /// clusters until converged.
+    pub fn leaves(&self) -> &[BitPath] {
+        &self.leaves
+    }
+
+    /// Peers responsible for `key` (the replica group of its leaf).
+    pub fn responsible_peers(&self, key: Key) -> &[NodeId] {
+        &self.leaf_peers[leaf_of(&self.leaves, key)]
+    }
+
+    /// A uniformly random peer id (e.g. as query origin).
+    pub fn random_peer(&mut self) -> NodeId {
+        NodeId(self.rng.gen_range(0..self.net.len() as u32))
+    }
+
+    /// Places an entry directly into all replicas of the responsible
+    /// leaf — the driver-side bulk-load path (no network traffic).
+    pub fn preload(&mut self, key: Key, item: I, version: Version) {
+        let peers = self.leaf_peers[leaf_of(&self.leaves, key)].clone();
+        for p in peers {
+            self.net.node_mut(p).preload(key, item.clone(), version);
+        }
+    }
+
+    /// Bulk [`Self::preload`].
+    pub fn preload_all(&mut self, entries: impl IntoIterator<Item = (Key, I)>) {
+        for (k, i) in entries {
+            self.preload(k, i, 0);
+        }
+    }
+
+    fn fresh_qid(&mut self) -> QueryId {
+        let q = self.next_qid;
+        self.next_qid += 1;
+        q
+    }
+
+    /// Drives the simulation until the event for `qid` is emitted.
+    /// The per-query timeout guarantees termination.
+    fn run_for_event(&mut self, qid: QueryId) -> Option<(SimTime, PGridEvent<I>)> {
+        let deadline = self.net.now()
+            + SimTime::from_micros(60_000_000_000); // hard cap: 60k simulated seconds
+        loop {
+            if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
+                matches!(ev,
+                    PGridEvent::LookupDone { qid: q, .. }
+                    | PGridEvent::RangeDone { qid: q, .. }
+                    | PGridEvent::InsertDone { qid: q, .. } if *q == qid)
+            }) {
+                let mut outs = self.net.take_outputs();
+                let (t, _, ev) = outs.swap_remove(pos);
+                return Some((t, ev));
+            }
+            if self.net.now() > deadline || !self.net.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Issues an exact-key lookup from `origin`.
+    pub fn lookup(&mut self, origin: NodeId, key: Key) -> LookupOutcome<I> {
+        let qid = self.fresh_qid();
+        let before = self.net.metrics();
+        let start = self.net.now();
+        self.net.inject(origin, PGridMsg::Lookup { qid, key, origin, hops: 0 });
+        match self.run_for_event(qid) {
+            Some((t, PGridEvent::LookupDone { items, hops, ok, .. })) => {
+                let d = self.net.metrics().delta(&before);
+                LookupOutcome {
+                    items,
+                    ok,
+                    cost: OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: t.saturating_sub(start),
+                        hops,
+                    },
+                }
+            }
+            _ => LookupOutcome { items: Vec::new(), ok: false, cost: OpCost::default() },
+        }
+    }
+
+    /// Issues an insert from `origin`, routed through the overlay.
+    pub fn insert(&mut self, origin: NodeId, key: Key, item: I, version: Version) -> InsertOutcome {
+        let qid = self.fresh_qid();
+        let before = self.net.metrics();
+        let start = self.net.now();
+        self.net
+            .inject(origin, PGridMsg::Insert { qid, key, item, version, origin, hops: 0 });
+        match self.run_for_event(qid) {
+            Some((t, PGridEvent::InsertDone { hops, ok, .. })) => {
+                let d = self.net.metrics().delta(&before);
+                InsertOutcome {
+                    ok,
+                    cost: OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: t.saturating_sub(start),
+                        hops,
+                    },
+                }
+            }
+            _ => InsertOutcome { ok: false, cost: OpCost::default() },
+        }
+    }
+
+    /// Issues a range query from `origin` with the chosen algorithm.
+    pub fn range(&mut self, origin: NodeId, lo: Key, hi: Key, mode: RangeMode) -> RangeOutcome<I> {
+        let qid = self.fresh_qid();
+        let before = self.net.metrics();
+        let start = self.net.now();
+        let msg = match mode {
+            RangeMode::Parallel => PGridMsg::Range { qid, lo, hi, lmin: 0, origin, hops: 0 },
+            RangeMode::Sequential => PGridMsg::RangeSeq { qid, lo, hi, origin, hops: 0 },
+        };
+        self.net.inject(origin, msg);
+        match self.run_for_event(qid) {
+            Some((t, PGridEvent::RangeDone { items, complete, hops, leaves, .. })) => {
+                let d = self.net.metrics().delta(&before);
+                RangeOutcome {
+                    items,
+                    complete,
+                    leaves,
+                    cost: OpCost {
+                        messages: d.sent,
+                        bytes: d.bytes,
+                        latency: t.saturating_sub(start),
+                        hops,
+                    },
+                }
+            }
+            _ => RangeOutcome {
+                items: Vec::new(),
+                complete: false,
+                leaves: 0,
+                cost: OpCost::default(),
+            },
+        }
+    }
+
+    /// Runs the network for a stretch of simulated time (maintenance,
+    /// anti-entropy, bootstrap exchanges …).
+    pub fn settle(&mut self, duration: SimTime) {
+        let deadline = self.net.now() + duration;
+        self.net.run_until(deadline);
+    }
+
+    /// Per-peer stored-entry counts (storage-balance metric, E5).
+    pub fn storage_loads(&self) -> Vec<f64> {
+        self.net.iter_nodes().map(|(_, p)| p.store().len() as f64).collect()
+    }
+
+    /// Per-peer handled-message counts (processing-load metric).
+    pub fn message_loads(&self) -> Vec<f64> {
+        self.net.iter_nodes().map(|(_, p)| p.msg_load as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::RawItem;
+    use unistore_simnet::ConstantLatency;
+
+    fn quiet_cfg() -> PGridConfig {
+        // Effectively disable periodic traffic for cost-exact tests.
+        PGridConfig {
+            maintenance_interval: SimTime::from_secs(1_000_000_000),
+            anti_entropy_interval: SimTime::from_secs(1_000_000_000),
+            ..PGridConfig::default()
+        }
+    }
+
+    fn uniform_cluster(n: usize) -> PGridCluster<RawItem> {
+        PGridCluster::build(
+            n,
+            quiet_cfg(),
+            Topology::Uniform,
+            ConstantLatency(SimTime::from_millis(10)),
+            7,
+        )
+    }
+
+    fn spread_keys(n: u64) -> Vec<Key> {
+        // Deterministic keys spread over the space.
+        (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+    }
+
+    #[test]
+    fn lookup_finds_preloaded_items_from_any_origin() {
+        let mut c = uniform_cluster(16);
+        let keys = spread_keys(64);
+        for &k in &keys {
+            c.preload(k, RawItem(k), 0);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let origin = NodeId((i % 16) as u32);
+            let out = c.lookup(origin, k);
+            assert!(out.ok, "lookup {i} failed");
+            assert_eq!(out.items, vec![RawItem(k)]);
+        }
+    }
+
+    #[test]
+    fn lookup_hops_logarithmic() {
+        let mut c = uniform_cluster(64); // depth 6
+        let keys = spread_keys(32);
+        for &k in &keys {
+            c.preload(k, RawItem(k), 0);
+        }
+        let mut max_hops = 0;
+        for &k in &keys {
+            let origin = c.random_peer();
+            let out = c.lookup(origin, k);
+            assert!(out.ok);
+            max_hops = max_hops.max(out.cost.hops);
+        }
+        assert!(max_hops <= 6, "hops {max_hops} exceed trie depth 6");
+        assert!(max_hops >= 1, "some lookups must leave the origin");
+    }
+
+    #[test]
+    fn lookup_missing_key_ok_empty() {
+        let mut c = uniform_cluster(8);
+        let out = c.lookup(NodeId(0), 12345);
+        assert!(out.ok, "an empty leaf is a successful answer");
+        assert!(out.items.is_empty());
+    }
+
+    #[test]
+    fn insert_routes_to_responsible_leaf_and_replicates() {
+        let mut c = PGridCluster::build(
+            16,
+            quiet_cfg().with_replication(2),
+            Topology::Uniform,
+            ConstantLatency(SimTime::from_millis(5)),
+            3,
+        );
+        let key = 0xDEAD_BEEF_0000_0001;
+        let out = c.insert(NodeId(0), key, RawItem(1), 0);
+        assert!(out.ok);
+        // Let the replicate push land.
+        c.settle(SimTime::from_millis(100));
+        let responsible = c.responsible_peers(key).to_vec();
+        assert_eq!(responsible.len(), 2);
+        for p in responsible {
+            assert_eq!(c.net.node(p).store().get(key), vec![RawItem(1)], "replica {p} missing");
+        }
+        // A lookup from anywhere now finds it.
+        let found = c.lookup(NodeId(7), key);
+        assert_eq!(found.items, vec![RawItem(1)]);
+    }
+
+    #[test]
+    fn parallel_range_returns_exactly_the_interval() {
+        let mut c = uniform_cluster(16);
+        for k in 0..200u64 {
+            c.preload(k << 56, RawItem(k), 0);
+        }
+        let lo = 10u64 << 56;
+        let hi = 50u64 << 56;
+        let out = c.range(NodeId(3), lo, hi, RangeMode::Parallel);
+        assert!(out.complete);
+        let mut got: Vec<u64> = out.items.iter().map(|r| r.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, (10..=50).collect::<Vec<_>>());
+        assert!(out.leaves >= 2, "range must span leaves");
+    }
+
+    #[test]
+    fn sequential_range_matches_parallel() {
+        let mut c = uniform_cluster(16);
+        for k in 0..200u64 {
+            c.preload(k << 56, RawItem(k), 0);
+        }
+        let lo = 33u64 << 56;
+        let hi = 177u64 << 56;
+        let par = c.range(NodeId(0), lo, hi, RangeMode::Parallel);
+        let seq = c.range(NodeId(0), lo, hi, RangeMode::Sequential);
+        assert!(par.complete && seq.complete);
+        let norm = |o: &RangeOutcome<RawItem>| {
+            let mut v: Vec<u64> = o.items.iter().map(|r| r.0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&par), norm(&seq));
+        // Sequential walks one leaf at a time → strictly more latency
+        // across many leaves; parallel fans out.
+        assert!(seq.cost.latency >= par.cost.latency);
+    }
+
+    #[test]
+    fn range_cost_scales_with_selectivity() {
+        let mut c = uniform_cluster(64);
+        for k in 0..256u64 {
+            c.preload(k << 56, RawItem(k), 0);
+        }
+        let narrow = c.range(NodeId(0), 0, 3 << 56, RangeMode::Parallel);
+        let wide = c.range(NodeId(0), 0, 200 << 56, RangeMode::Parallel);
+        assert!(narrow.complete && wide.complete);
+        assert!(
+            wide.cost.messages > narrow.cost.messages,
+            "wide range should cost more messages ({} vs {})",
+            wide.cost.messages,
+            narrow.cost.messages
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut c = uniform_cluster(32);
+            for k in 0..100u64 {
+                c.preload(k << 56, RawItem(k), 0);
+            }
+            let a = c.lookup(NodeId(1), 42 << 56);
+            let b = c.range(NodeId(2), 0, 20 << 56, RangeMode::Parallel);
+            (a.cost.messages, a.cost.latency, b.cost.messages, b.cost.latency)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn balanced_topology_evens_storage_under_skew() {
+        use unistore_util::stats::gini;
+        use unistore_util::zipf::Zipf;
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let zipf = Zipf::new(512, 1.0);
+        // Distinct keys, Zipf-skewed density (rank picks a region, the
+        // suffix spreads within it) — identical keys cannot be separated
+        // by any partitioner and are not what balancing addresses.
+        let keys: Vec<Key> = (0..20_000)
+            .map(|_| ((zipf.sample(&mut rng) as u64) << 45) | rng.gen_range(0..(1u64 << 45)))
+            .collect();
+
+        let mut balanced = PGridCluster::build(
+            32,
+            quiet_cfg(),
+            Topology::Balanced { sample: keys.clone() },
+            ConstantLatency(SimTime::from_millis(1)),
+            1,
+        );
+        let mut uniform = PGridCluster::build(
+            32,
+            quiet_cfg(),
+            Topology::Uniform,
+            ConstantLatency(SimTime::from_millis(1)),
+            1,
+        );
+        for (i, &k) in keys.iter().enumerate() {
+            balanced.preload(k, RawItem(i as u64), 0);
+            uniform.preload(k, RawItem(i as u64), 0);
+        }
+        let g_bal = gini(&balanced.storage_loads());
+        let g_uni = gini(&uniform.storage_loads());
+        // Bit-boundary splits can't equalize perfectly (children of a
+        // split inherit whatever falls on each side), so assert the
+        // *relative* claim: balancing removes most of the inequality.
+        assert!(
+            g_bal < g_uni / 2.0,
+            "balancing must at least halve storage inequality ({g_bal:.3} vs {g_uni:.3})"
+        );
+        assert!(g_bal < 0.45, "balanced overlay still skewed: gini={g_bal:.3}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Tunables of the overlay.
+
+use unistore_simnet::SimTime;
+
+/// Static configuration shared by every peer of an overlay instance.
+#[derive(Clone, Debug)]
+pub struct PGridConfig {
+    /// References kept per routing level (fault tolerance; P-Grid keeps
+    /// several and routes through a random one to spread load).
+    pub refs_per_level: usize,
+    /// Replica group size per trie leaf.
+    pub replication: usize,
+    /// Period of the routing-table maintenance timer (ping + exchange).
+    pub maintenance_interval: SimTime,
+    /// Period of the anti-entropy (pull) timer for replica convergence.
+    pub anti_entropy_interval: SimTime,
+    /// How long a requester waits before declaring a query failed.
+    pub query_timeout: SimTime,
+    /// How long an unanswered ping marks a reference dead.
+    pub ping_timeout: SimTime,
+    /// Bootstrap protocol: number of locally stored items above which a
+    /// peer is willing to split its path during a pairwise exchange.
+    pub split_threshold: usize,
+    /// Bootstrap protocol: mean delay between initiated exchanges.
+    pub exchange_interval: SimTime,
+    /// Maximum trie depth (bounded by the 64-bit key space).
+    pub max_depth: u8,
+}
+
+impl Default for PGridConfig {
+    fn default() -> Self {
+        PGridConfig {
+            refs_per_level: 3,
+            replication: 1,
+            maintenance_interval: SimTime::from_secs(30),
+            anti_entropy_interval: SimTime::from_secs(60),
+            query_timeout: SimTime::from_secs(10),
+            ping_timeout: SimTime::from_secs(2),
+            split_threshold: 8,
+            exchange_interval: SimTime::from_secs(1),
+            max_depth: 40,
+        }
+    }
+}
+
+impl PGridConfig {
+    /// Configuration with `r`-fold replication.
+    pub fn with_replication(mut self, r: usize) -> Self {
+        assert!(r >= 1, "replication factor must be at least 1");
+        self.replication = r;
+        self
+    }
+
+    /// Configuration with `k` references per routing level.
+    pub fn with_refs_per_level(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one reference per level");
+        self.refs_per_level = k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = PGridConfig::default().with_replication(3).with_refs_per_level(5);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.refs_per_level, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_replication_rejected() {
+        let _ = PGridConfig::default().with_replication(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Stored items and the per-peer local store.
+//!
+//! P-Grid is agnostic to what it stores; UniStore stores triples. The
+//! overlay needs two things from an item: a wire encoding (for honest
+//! message sizing) and a *logical identity* so that updates (paper
+//! [ref 4]) can supersede earlier versions of the same logical entry
+//! rather than accumulating duplicates.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use unistore_util::Key;
+
+pub use unistore_util::item::{Item, RawItem};
+
+/// Version counter for loosely consistent updates.
+pub type Version = u64;
+
+/// One versioned entry. `item == None` is a tombstone: the entry was
+/// deleted at `version`, and the tombstone participates in anti-entropy
+/// so that deletes propagate instead of deleted data being resurrected.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry<I> {
+    /// The stored item (`None` = tombstone).
+    pub item: Option<I>,
+    /// Its version (`0` for plain inserts; updates carry larger values).
+    pub version: Version,
+}
+
+/// The local fraction of the distributed store held by one peer.
+///
+/// Keyed by `(routing key, item identity)` so that
+/// * exact lookups fetch all items of one key,
+/// * range scans walk contiguous key intervals (order-preserving layout),
+/// * updates replace entries by identity.
+#[derive(Clone, Debug, Default)]
+pub struct LocalStore<I> {
+    entries: BTreeMap<(Key, u64), Entry<I>>,
+}
+
+impl<I: Item> LocalStore<I> {
+    /// Empty store.
+    pub fn new() -> Self {
+        LocalStore { entries: BTreeMap::new() }
+    }
+
+    /// Applies an entry; returns `true` if the store changed (new entry
+    /// or newer version of an existing one, including un-deleting).
+    pub fn apply(&mut self, key: Key, item: I, version: Version) -> bool {
+        let id = item.ident();
+        self.apply_record(key, id, Some(item), version)
+    }
+
+    /// Applies an insert, tombstone or update by identity; the shared
+    /// path of local writes, replication pushes and anti-entropy pulls.
+    pub fn apply_record(&mut self, key: Key, ident: u64, item: Option<I>, version: Version) -> bool {
+        match self.entries.get_mut(&(key, ident)) {
+            Some(existing) if existing.version >= version => false,
+            Some(existing) => {
+                *existing = Entry { item, version };
+                true
+            }
+            None => {
+                self.entries.insert((key, ident), Entry { item, version });
+                true
+            }
+        }
+    }
+
+    /// All live items stored under `key`.
+    pub fn get(&self, key: Key) -> Vec<I> {
+        self.entries
+            .range((Bound::Included((key, 0)), Bound::Included((key, u64::MAX))))
+            .filter_map(|(_, e)| e.item.clone())
+            .collect()
+    }
+
+    /// All live items whose key lies in `[lo, hi]`.
+    pub fn get_range(&self, lo: Key, hi: Key) -> Vec<I> {
+        if lo > hi {
+            return Vec::new();
+        }
+        self.entries
+            .range((Bound::Included((lo, 0)), Bound::Included((hi, u64::MAX))))
+            .filter_map(|(_, e)| e.item.clone())
+            .collect()
+    }
+
+    /// Iterates `(key, entry)` pairs in key order (tombstones included).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &Entry<I>)> {
+        self.entries.iter().map(|(&(k, _), e)| (k, e))
+    }
+
+    /// Version digest for anti-entropy: `(key, ident, version)` triples,
+    /// tombstones included (deletes must propagate).
+    pub fn digest(&self) -> Vec<(Key, u64, Version)> {
+        self.entries.iter().map(|(&(k, id), e)| (k, id, e.version)).collect()
+    }
+
+    /// Records strictly newer than what `digest` reports (or absent from
+    /// it) — the pull half of anti-entropy. Tombstones travel too.
+    pub fn newer_than(
+        &self,
+        digest: &[(Key, u64, Version)],
+    ) -> Vec<(Key, u64, Version, Option<I>)> {
+        let known: unistore_util::FxHashMap<(Key, u64), Version> =
+            digest.iter().map(|&(k, id, v)| ((k, id), v)).collect();
+        self.entries
+            .iter()
+            .filter(|(&(k, id), e)| known.get(&(k, id)).is_none_or(|&v| e.version > v))
+            .map(|(&(k, id), e)| (k, id, e.version, e.item.clone()))
+            .collect()
+    }
+
+    /// Number of entries, live only.
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|e| e.item.is_some()).count()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards live entries outside `[lo, hi]` (path split hand-off),
+    /// and returns them. Tombstones outside the range are dropped.
+    pub fn split_off_outside(&mut self, lo: Key, hi: Key) -> Vec<(Key, Version, I)> {
+        let mut moved = Vec::new();
+        let mut kept = BTreeMap::new();
+        for ((k, id), e) in std::mem::take(&mut self.entries) {
+            if k < lo || k > hi {
+                if let Some(item) = e.item {
+                    moved.push((k, e.version, item));
+                }
+            } else {
+                kept.insert((k, id), e);
+            }
+        }
+        self.entries = kept;
+        moved
+    }
+
+    /// Deletes the entry `(key, ident)` by writing a tombstone at
+    /// `version`. Returns `true` if a live entry was shadowed (a
+    /// tombstone over nothing is still recorded so late-arriving old
+    /// writes stay dead).
+    pub fn remove(&mut self, key: Key, ident: u64, version: Version) -> bool {
+        let was_live =
+            self.entries.get(&(key, ident)).is_some_and(|e| e.item.is_some() && e.version <= version);
+        self.apply_record(key, ident, None, version);
+        was_live
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_util::wire::Wire;
+
+    #[test]
+    fn apply_and_get() {
+        let mut s: LocalStore<RawItem> = LocalStore::new();
+        assert!(s.apply(10, RawItem(1), 0));
+        assert!(s.apply(10, RawItem(2), 0));
+        assert!(s.apply(20, RawItem(3), 0));
+        assert_eq!(s.get(10).len(), 2);
+        assert_eq!(s.get(20), vec![RawItem(3)]);
+        assert_eq!(s.get(30), Vec::<RawItem>::new());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn versions_supersede() {
+        /// Item whose identity is decoupled from its payload.
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct KV(u64, u64);
+        impl Wire for KV {
+            fn encode(&self, buf: &mut bytes::BytesMut) {
+                self.0.encode(buf);
+                self.1.encode(buf);
+            }
+            fn decode(buf: &mut bytes::Bytes) -> Result<Self, unistore_util::wire::WireError> {
+                Ok(KV(u64::decode(buf)?, u64::decode(buf)?))
+            }
+        }
+        impl Item for KV {
+            fn ident(&self) -> u64 {
+                self.0
+            }
+        }
+        let mut s: LocalStore<KV> = LocalStore::new();
+        assert!(s.apply(5, KV(1, 100), 1));
+        // Same identity, older version → rejected.
+        assert!(!s.apply(5, KV(1, 50), 0));
+        assert_eq!(s.get(5), vec![KV(1, 100)]);
+        // Same identity, newer version → replaces.
+        assert!(s.apply(5, KV(1, 200), 2));
+        assert_eq!(s.get(5), vec![KV(1, 200)]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut s: LocalStore<RawItem> = LocalStore::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            s.apply(k, RawItem(k), 0);
+        }
+        let got: Vec<u64> = s.get_range(3, 7).into_iter().map(|r| r.0).collect();
+        assert_eq!(got, vec![3, 5, 7]);
+        assert!(s.get_range(10, 5).is_empty());
+    }
+
+    #[test]
+    fn digest_and_newer_than() {
+        let mut a: LocalStore<RawItem> = LocalStore::new();
+        let mut b: LocalStore<RawItem> = LocalStore::new();
+        a.apply(1, RawItem(1), 1);
+        a.apply(2, RawItem(2), 1);
+        b.apply(1, RawItem(1), 1);
+        // b lacks key 2 → pull must return it.
+        let missing = a.newer_than(&b.digest());
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].0, 2);
+        // a has everything b has → nothing to pull the other way.
+        assert!(b.newer_than(&a.digest()).is_empty());
+    }
+
+    #[test]
+    fn split_off_outside_partitions() {
+        let mut s: LocalStore<RawItem> = LocalStore::new();
+        for k in 0..10u64 {
+            s.apply(k, RawItem(k), 0);
+        }
+        let moved = s.split_off_outside(3, 6);
+        assert_eq!(moved.len(), 6);
+        assert_eq!(s.len(), 4);
+        assert!(s.get_range(0, 10).iter().all(|r| (3..=6).contains(&r.0)));
+    }
+}

@@ -1,0 +1,303 @@
+//! Exact-key lookup and insert routing.
+//!
+//! Greedy prefix routing (paper §2): at each peer the key either matches
+//! the local path — resolve locally — or differs first at bit `l`, in
+//! which case the peer forwards to one of its level-`l` references. Each
+//! hop extends the matched prefix by at least one bit, bounding the hop
+//! count by the trie depth, i.e. O(log N) for a balanced overlay.
+
+use unistore_simnet::NodeId;
+use unistore_util::Key;
+
+use crate::item::{Item, Version};
+use crate::msg::{PGridEvent, PGridMsg, QueryId};
+use crate::peer::{Fx, PGridPeer, Pending};
+use crate::routing::RouteDecision;
+
+impl<I: Item> PGridPeer<I> {
+    /// Handles a routed lookup. `from == EXTERNAL` marks driver
+    /// injection at the origin, which registers completion tracking.
+    pub(crate) fn handle_lookup(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        key: Key,
+        origin: NodeId,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register_pending(fx, qid, Pending::Lookup);
+        }
+        match self.routing.route(key, &mut self.rng) {
+            RouteDecision::Local => {
+                let items = self.store.get(key);
+                self.answer_lookup(qid, origin, items, hops, true, fx);
+            }
+            RouteDecision::Forward(next, _) => {
+                fx.send(next, PGridMsg::Lookup { qid, key, origin, hops: hops + 1 });
+            }
+            RouteDecision::Stuck(_) => {
+                self.answer_lookup(qid, origin, Vec::new(), hops, false, fx);
+            }
+        }
+    }
+
+    fn answer_lookup(
+        &mut self,
+        qid: QueryId,
+        origin: NodeId,
+        items: Vec<I>,
+        hops: u32,
+        ok: bool,
+        fx: &mut Fx<I>,
+    ) {
+        if origin == self.id {
+            // Resolved at the origin itself — no network reply needed.
+            self.handle_lookup_reply(qid, items, hops, ok, fx);
+        } else {
+            fx.send(origin, PGridMsg::LookupReply { qid, items, hops, ok });
+        }
+    }
+
+    /// Completes a pending lookup at the origin.
+    pub(crate) fn handle_lookup_reply(
+        &mut self,
+        qid: QueryId,
+        items: Vec<I>,
+        hops: u32,
+        ok: bool,
+        fx: &mut Fx<I>,
+    ) {
+        if self.pending.remove(&qid).is_some() {
+            fx.emit(PGridEvent::LookupDone { qid, items, hops, ok });
+        }
+    }
+
+    /// Handles a routed insert; applied and replicated at the leaf.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_insert(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        key: Key,
+        item: I,
+        version: Version,
+        origin: NodeId,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register_pending(fx, qid, Pending::Insert);
+        }
+        match self.routing.route(key, &mut self.rng) {
+            RouteDecision::Local => {
+                let changed = self.store.apply(key, item.clone(), version);
+                if changed {
+                    self.push_to_replicas(key, version, item, fx);
+                }
+                if origin == self.id {
+                    self.handle_insert_ack(qid, hops, fx);
+                } else {
+                    fx.send(origin, PGridMsg::InsertAck { qid, hops });
+                }
+            }
+            RouteDecision::Forward(next, _) => {
+                fx.send(next, PGridMsg::Insert { qid, key, item, version, origin, hops: hops + 1 });
+            }
+            RouteDecision::Stuck(_) => {
+                // Leave the pending op to its timeout: an unreachable
+                // leaf is indistinguishable from loss for the origin.
+            }
+        }
+    }
+
+    /// Completes a pending insert at the origin.
+    pub(crate) fn handle_insert_ack(&mut self, qid: QueryId, hops: u32, fx: &mut Fx<I>) {
+        if self.pending.remove(&qid).is_some() {
+            fx.emit(PGridEvent::InsertDone { qid, hops, ok: true });
+        }
+    }
+
+    /// Handles a routed delete (index maintenance for updates); the
+    /// removal propagates once through the replica group.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_delete(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        key: Key,
+        ident: u64,
+        version: Version,
+        origin: NodeId,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register_pending(fx, qid, Pending::Insert);
+        }
+        match self.routing.route(key, &mut self.rng) {
+            RouteDecision::Local => {
+                let removed = self.store.remove(key, ident, version);
+                if removed {
+                    // Propagate once: replicas that remove nothing stop.
+                    for &r in self.routing.replicas() {
+                        fx.send(
+                            r,
+                            PGridMsg::Delete { qid: 0, key, ident, version, origin: self.id, hops },
+                        );
+                    }
+                }
+                if origin == self.id {
+                    self.handle_insert_ack(qid, hops, fx);
+                } else if qid != 0 {
+                    fx.send(origin, PGridMsg::InsertAck { qid, hops });
+                }
+            }
+            RouteDecision::Forward(next, _) => {
+                fx.send(
+                    next,
+                    PGridMsg::Delete { qid, key, ident, version, origin, hops: hops + 1 },
+                );
+            }
+            RouteDecision::Stuck(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Handler-level tests on a hand-built two-peer topology; full
+    //! network behaviour is covered in `cluster.rs` tests.
+
+    use super::*;
+    use crate::config::PGridConfig;
+    use crate::item::RawItem;
+    use crate::msg::PeerRef;
+    use unistore_simnet::Effects;
+    use unistore_util::BitPath;
+
+    fn peer(id: u32, path: &str) -> PGridPeer<RawItem> {
+        PGridPeer::new(
+            NodeId(id),
+            BitPath::parse(path).unwrap(),
+            PGridConfig::default(),
+            42,
+        )
+    }
+
+    #[test]
+    fn local_lookup_emits_directly() {
+        let mut p = peer(0, "0");
+        let key = 0u64; // starts with 0 → local
+        p.preload(key, RawItem(9), 0);
+        let mut fx = Effects::new();
+        p.handle_lookup(NodeId::EXTERNAL, 1, key, NodeId(0), 0, &mut fx);
+        assert_eq!(fx.sends().len(), 0);
+        assert_eq!(fx.emits().len(), 1);
+        match &fx.emits()[0] {
+            PGridEvent::LookupDone { qid, items, hops, ok } => {
+                assert_eq!(*qid, 1);
+                assert_eq!(items, &[RawItem(9)]);
+                assert_eq!(*hops, 0);
+                assert!(ok);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_key_forwards_with_hop_increment() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("1").unwrap() });
+        let key = 1u64 << 63; // starts with 1
+        let mut fx = Effects::new();
+        p.handle_lookup(NodeId::EXTERNAL, 7, key, NodeId(0), 0, &mut fx);
+        assert_eq!(fx.emits().len(), 0);
+        assert_eq!(fx.sends().len(), 1);
+        let (to, msg) = &fx.sends()[0];
+        assert_eq!(*to, NodeId(1));
+        match msg {
+            PGridMsg::Lookup { qid: 7, hops: 1, .. } => {}
+            other => panic!("unexpected forward {other:?}"),
+        }
+        // Pending registered → timeout timer armed.
+        assert_eq!(fx.timers().len(), 1);
+    }
+
+    #[test]
+    fn stuck_routing_reports_failure() {
+        let mut p = peer(0, "0");
+        let key = 1u64 << 63;
+        let mut fx = Effects::new();
+        p.handle_lookup(NodeId::EXTERNAL, 3, key, NodeId(0), 0, &mut fx);
+        // Origin is self → failure emitted, not sent.
+        assert_eq!(fx.emits().len(), 1);
+        match &fx.emits()[0] {
+            PGridEvent::LookupDone { ok: false, .. } => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relayed_lookup_replies_to_origin() {
+        let mut p = peer(5, "1");
+        let key = 1u64 << 63;
+        p.preload(key, RawItem(4), 0);
+        let mut fx = Effects::new();
+        p.handle_lookup(NodeId(2), 11, key, NodeId(9), 3, &mut fx);
+        assert_eq!(fx.sends().len(), 1);
+        let (to, msg) = &fx.sends()[0];
+        assert_eq!(*to, NodeId(9));
+        match msg {
+            PGridMsg::LookupReply { qid: 11, items, hops: 3, ok: true } => {
+                assert_eq!(items, &[RawItem(4)]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_applies_and_replicates_at_leaf() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_replica(NodeId(8));
+        let key = 0u64;
+        let mut fx = Effects::new();
+        p.handle_insert(NodeId::EXTERNAL, 2, key, RawItem(1), 0, NodeId(0), 0, &mut fx);
+        assert_eq!(p.store().get(key), vec![RawItem(1)]);
+        // One replicate push + zero acks on the wire (origin = self).
+        let pushes: Vec<_> = fx
+            .sends()
+            .iter()
+            .filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. }))
+            .collect();
+        assert_eq!(pushes.len(), 1);
+        assert_eq!(pushes[0].0, NodeId(8));
+        assert_eq!(fx.emits().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_replicate_again() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_replica(NodeId(8));
+        let key = 0u64;
+        let mut fx = Effects::new();
+        p.handle_insert(NodeId(3), 2, key, RawItem(1), 0, NodeId(3), 0, &mut fx);
+        let mut fx2 = Effects::new();
+        p.handle_insert(NodeId(3), 3, key, RawItem(1), 0, NodeId(3), 0, &mut fx2);
+        let pushes2 = fx2
+            .sends()
+            .iter()
+            .filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. }))
+            .count();
+        assert_eq!(pushes2, 0, "unchanged store must not push");
+    }
+
+    #[test]
+    fn unknown_reply_ignored() {
+        let mut p = peer(0, "0");
+        let mut fx = Effects::new();
+        p.handle_lookup_reply(999, vec![RawItem(0)], 1, true, &mut fx);
+        assert!(fx.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Routing-table maintenance under churn.
+//!
+//! P-Grid keeps multiple references per level and refreshes them through
+//! gossip (paper §2/§3: robust "even in unreliable and highly dynamic
+//! environments"). Each maintenance round a peer:
+//!
+//! 1. **probes** one random reference (ping; a missing pong within the
+//!    timeout evicts the reference), and
+//! 2. **exchanges tables** with one random reference, merging any
+//!    advertised peer that fits an under-full level.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use unistore_simnet::{NodeId, Timer};
+
+use crate::item::Item;
+use crate::msg::{PGridMsg, PeerRef};
+use crate::peer::{timer, Fx, PGridPeer};
+
+impl<I: Item> PGridPeer<I> {
+    /// One maintenance round (fired by the MAINTAIN timer).
+    pub(crate) fn run_maintenance(&mut self, fx: &mut Fx<I>) {
+        let refs = self.routing.all_refs();
+        if refs.is_empty() {
+            return;
+        }
+        // Probe a random reference.
+        if let Some(target) = refs.choose(&mut self.rng).copied() {
+            let nonce = self.fresh_nonce();
+            self.pending_pings.insert(nonce, target.id);
+            fx.send(target.id, PGridMsg::Ping { nonce });
+            fx.set_timer(self.cfg.ping_timeout, Timer::new(timer::PING_TIMEOUT, nonce));
+        }
+        // Gossip routing tables with another random reference.
+        if let Some(target) = refs.choose(&mut self.rng) {
+            fx.send(target.id, PGridMsg::TableRequest);
+        }
+        // Probe a random replica as well, so dead replicas get evicted.
+        let replicas = self.routing.replicas();
+        if !replicas.is_empty() {
+            let pick = replicas[self.rng.gen_range(0..replicas.len())];
+            let nonce = self.fresh_nonce();
+            self.pending_pings.insert(nonce, pick);
+            fx.send(pick, PGridMsg::Ping { nonce });
+            fx.set_timer(self.cfg.ping_timeout, Timer::new(timer::PING_TIMEOUT, nonce));
+        }
+    }
+
+    /// A ping deadline fired: if the pong never arrived, evict the peer.
+    pub(crate) fn handle_ping_timeout(&mut self, nonce: u64) {
+        if let Some(dead) = self.pending_pings.remove(&nonce) {
+            self.routing.remove(dead);
+        }
+    }
+
+    /// Answers a table request with everything we know, including
+    /// ourselves (the requester may file us into one of its levels).
+    pub(crate) fn handle_table_request(&mut self, from: NodeId, fx: &mut Fx<I>) {
+        let mut peers = self.routing.all_refs();
+        peers.push(PeerRef { id: self.id, path: self.routing.path() });
+        fx.send(from, PGridMsg::TableReply { peers });
+    }
+
+    /// Merges advertised peers into under-full levels.
+    pub(crate) fn merge_refs(&mut self, peers: &[PeerRef]) {
+        for &p in peers {
+            if p.id != self.id {
+                self.routing.add_ref(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PGridConfig;
+    use crate::item::RawItem;
+    use unistore_simnet::Effects;
+    use unistore_util::BitPath;
+
+    fn peer(id: u32, path: &str) -> PGridPeer<RawItem> {
+        PGridPeer::new(NodeId(id), BitPath::parse(path).unwrap(), PGridConfig::default(), 11)
+    }
+
+    fn pref(id: u32, path: &str) -> PeerRef {
+        PeerRef { id: NodeId(id), path: BitPath::parse(path).unwrap() }
+    }
+
+    #[test]
+    fn maintenance_probes_and_gossips() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(pref(1, "1"));
+        let mut fx = Effects::new();
+        p.run_maintenance(&mut fx);
+        let pings = fx.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::Ping { .. })).count();
+        let tables =
+            fx.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::TableRequest)).count();
+        assert_eq!(pings, 1);
+        assert_eq!(tables, 1);
+        assert_eq!(fx.timers().len(), 1, "ping timeout armed");
+    }
+
+    #[test]
+    fn maintenance_noop_without_refs() {
+        let mut p = peer(0, "0");
+        let mut fx = Effects::new();
+        p.run_maintenance(&mut fx);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn unanswered_ping_evicts() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(pref(1, "1"));
+        let mut fx = Effects::new();
+        p.run_maintenance(&mut fx);
+        let nonce = match fx.sends().iter().find(|(_, m)| matches!(m, PGridMsg::Ping { .. })) {
+            Some((_, PGridMsg::Ping { nonce })) => *nonce,
+            _ => unreachable!(),
+        };
+        // Deadline fires with no pong → evicted.
+        p.handle_ping_timeout(nonce);
+        assert_eq!(p.routing().ref_count(), 0);
+    }
+
+    #[test]
+    fn answered_ping_keeps_ref() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(pref(1, "1"));
+        let mut fx = Effects::new();
+        p.run_maintenance(&mut fx);
+        let nonce = match fx.sends().iter().find(|(_, m)| matches!(m, PGridMsg::Ping { .. })) {
+            Some((_, PGridMsg::Ping { nonce })) => *nonce,
+            _ => unreachable!(),
+        };
+        // Pong arrives first …
+        p.pending_pings.remove(&nonce);
+        // … so the deadline is a no-op.
+        p.handle_ping_timeout(nonce);
+        assert_eq!(p.routing().ref_count(), 1);
+    }
+
+    #[test]
+    fn table_reply_includes_self() {
+        let mut p = peer(3, "01");
+        p.routing_mut().add_ref(pref(1, "1"));
+        let mut fx = Effects::new();
+        p.handle_table_request(NodeId(9), &mut fx);
+        match &fx.sends()[0] {
+            (to, PGridMsg::TableReply { peers }) => {
+                assert_eq!(*to, NodeId(9));
+                assert!(peers.iter().any(|r| r.id == NodeId(3)));
+                assert!(peers.iter().any(|r| r.id == NodeId(1)));
+            }
+            other => panic!("unexpected send {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_refs_skips_self_and_files_the_rest() {
+        let mut p = peer(0, "00");
+        p.merge_refs(&[pref(0, "1"), pref(5, "1"), pref(6, "01")]);
+        assert_eq!(p.routing().level_refs(0).len(), 1);
+        assert_eq!(p.routing().level_refs(1).len(), 1);
+    }
+}

@@ -1,0 +1,563 @@
+//! Messages exchanged between P-Grid peers, and events emitted to the
+//! simulation driver.
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_simnet::NodeId;
+use unistore_util::wire::{Wire, WireError};
+use unistore_util::{BitPath, Key};
+
+use crate::item::{Item, Version};
+
+/// Correlates requests with replies and driver-visible completions.
+pub type QueryId = u64;
+
+/// Which range algorithm to run (paper §2: "several physical
+/// implementations … differ in applied routing strategy, parallelism").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RangeMode {
+    /// Shower algorithm: the query fans out down the trie in parallel.
+    Parallel,
+    /// Leaf walk: visit leaves in key order, one at a time.
+    Sequential,
+}
+
+/// A compact peer descriptor carried in maintenance/bootstrap messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerRef {
+    /// The peer's node id.
+    pub id: NodeId,
+    /// The peer's trie path at the time of advertisement.
+    pub path: BitPath,
+}
+
+impl Wire for PeerRef {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.path.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(PeerRef { id: NodeId::decode(buf)?, path: BitPath::decode(buf)? })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.id.wire_size() + self.path.wire_size()
+    }
+}
+
+/// The P-Grid protocol messages.
+#[derive(Clone, Debug)]
+pub enum PGridMsg<I> {
+    /// Exact-key search, routed greedily along the trie.
+    Lookup {
+        /// Correlation id.
+        qid: QueryId,
+        /// Key to resolve.
+        key: Key,
+        /// Peer that issued the query and receives the reply.
+        origin: NodeId,
+        /// Routing hops taken so far.
+        hops: u32,
+    },
+    /// Answer (or failure) for a [`PGridMsg::Lookup`].
+    LookupReply {
+        /// Correlation id.
+        qid: QueryId,
+        /// Items stored under the key (empty is a valid answer).
+        items: Vec<I>,
+        /// Hops the request took.
+        hops: u32,
+        /// `false` when routing got stuck before reaching the leaf.
+        ok: bool,
+    },
+    /// Insert/update, routed like a lookup; applied at the leaf and
+    /// replicated.
+    Insert {
+        /// Correlation id for the ack.
+        qid: QueryId,
+        /// Placement key.
+        key: Key,
+        /// Payload.
+        item: I,
+        /// Version for loose-consistency updates (0 = initial insert).
+        version: Version,
+        /// Issuer, receives the ack.
+        origin: NodeId,
+        /// Routing hops so far.
+        hops: u32,
+    },
+    /// Confirms an insert reached a responsible leaf.
+    InsertAck {
+        /// Correlation id.
+        qid: QueryId,
+        /// Hops the insert took.
+        hops: u32,
+    },
+    /// Removes the entry with the given logical identity under a key
+    /// (index maintenance on updates). Routed like an insert; acked with
+    /// [`PGridMsg::InsertAck`].
+    Delete {
+        /// Correlation id.
+        qid: QueryId,
+        /// Placement key.
+        key: Key,
+        /// Logical identity of the entry to remove.
+        ident: u64,
+        /// Version of the delete (removes entries with `version <= this`).
+        version: Version,
+        /// Issuer, receives the ack.
+        origin: NodeId,
+        /// Routing hops so far.
+        hops: u32,
+    },
+    /// Parallel (shower) range query over `[lo, hi]`.
+    Range {
+        /// Correlation id.
+        qid: QueryId,
+        /// Inclusive lower bound.
+        lo: Key,
+        /// Inclusive upper bound.
+        hi: Key,
+        /// First routing level this peer may still fan out on.
+        lmin: u8,
+        /// Issuer, receives all leaf replies.
+        origin: NodeId,
+        /// Hops along this branch so far.
+        hops: u32,
+    },
+    /// Sequential range query: resolves `lo`'s leaf, then walks right.
+    RangeSeq {
+        /// Correlation id.
+        qid: QueryId,
+        /// Next key to resolve (start of the unvisited remainder).
+        lo: Key,
+        /// Inclusive upper bound.
+        hi: Key,
+        /// Issuer.
+        origin: NodeId,
+        /// Hops so far.
+        hops: u32,
+    },
+    /// A leaf's contribution to a range query.
+    RangeReply {
+        /// Correlation id.
+        qid: QueryId,
+        /// Start of the key interval this reply covers.
+        cov_lo: Key,
+        /// End of the key interval this reply covers.
+        cov_hi: Key,
+        /// Matching items.
+        items: Vec<I>,
+        /// Hops the longest branch to this leaf took.
+        hops: u32,
+        /// `true` when a branch had to give up (routing hole).
+        aborted: bool,
+    },
+    /// Push replication / handoff of entries to a replica.
+    Replicate {
+        /// `(key, version, item)` entries.
+        entries: Vec<(Key, Version, I)>,
+    },
+    /// Anti-entropy request: "here is what I have".
+    Digest {
+        /// `(key, ident, version)` summary of the sender's store.
+        entries: Vec<(Key, u64, Version)>,
+    },
+    /// Anti-entropy response: records the requester was missing —
+    /// including tombstones (`item == None`), so deletes propagate.
+    DigestReply {
+        /// `(key, ident, version, item-or-tombstone)` records.
+        entries: Vec<(Key, u64, Version, Option<I>)>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echo token.
+        nonce: u64,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Echoed token.
+        nonce: u64,
+    },
+    /// Asks a peer for its routing table (maintenance refresh).
+    TableRequest,
+    /// Routing-table contents: every referenced peer with its path.
+    TableReply {
+        /// Advertised peers.
+        peers: Vec<PeerRef>,
+    },
+    /// Bootstrap: initiator announces itself for a pairwise exchange.
+    Exchange {
+        /// Initiator's current path.
+        path: BitPath,
+        /// Number of locally stored entries (split decision input).
+        store_len: u64,
+    },
+    /// Bootstrap: both peers had the same path and split; sender keeps
+    /// the `1` side, receiver takes the `0` side and these entries.
+    ExchangeSplit {
+        /// Sender's path after the split.
+        new_sender_path: BitPath,
+        /// Entries belonging to the receiver's new leaf.
+        entries: Vec<(Key, Version, I)>,
+    },
+    /// Bootstrap: entries handed over without a structural change.
+    ExchangeData {
+        /// Entries for the receiver to apply or re-route.
+        entries: Vec<(Key, Version, I)>,
+    },
+    /// Bootstrap: peers with the same path and little data become
+    /// replicas of each other; carries the sender's entries.
+    ExchangeReplica {
+        /// Sender's entries for replica convergence.
+        entries: Vec<(Key, Version, I)>,
+    },
+    /// Bootstrap: tells a less-specialized peer to extend its path by
+    /// `bit` (the complement of the sender's next bit).
+    ExchangeAdopt {
+        /// Bit to append to the receiver's path.
+        bit: bool,
+    },
+    /// Bootstrap/maintenance: reference gossip.
+    ExchangeRefs {
+        /// Advertised peers.
+        peers: Vec<PeerRef>,
+    },
+}
+
+mod tag {
+    pub const LOOKUP: u8 = 1;
+    pub const LOOKUP_REPLY: u8 = 2;
+    pub const INSERT: u8 = 3;
+    pub const INSERT_ACK: u8 = 4;
+    pub const DELETE: u8 = 21;
+    pub const RANGE: u8 = 5;
+    pub const RANGE_SEQ: u8 = 6;
+    pub const RANGE_REPLY: u8 = 7;
+    pub const REPLICATE: u8 = 8;
+    pub const DIGEST: u8 = 9;
+    pub const DIGEST_REPLY: u8 = 10;
+    pub const PING: u8 = 11;
+    pub const PONG: u8 = 12;
+    pub const TABLE_REQUEST: u8 = 13;
+    pub const TABLE_REPLY: u8 = 14;
+    pub const EXCHANGE: u8 = 15;
+    pub const EXCHANGE_SPLIT: u8 = 16;
+    pub const EXCHANGE_DATA: u8 = 17;
+    pub const EXCHANGE_REPLICA: u8 = 18;
+    pub const EXCHANGE_ADOPT: u8 = 19;
+    pub const EXCHANGE_REFS: u8 = 20;
+}
+
+impl<I: Item> Wire for PGridMsg<I> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PGridMsg::Lookup { qid, key, origin, hops } => {
+                tag::LOOKUP.encode(buf);
+                qid.encode(buf);
+                key.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            PGridMsg::LookupReply { qid, items, hops, ok } => {
+                tag::LOOKUP_REPLY.encode(buf);
+                qid.encode(buf);
+                items.encode(buf);
+                hops.encode(buf);
+                ok.encode(buf);
+            }
+            PGridMsg::Insert { qid, key, item, version, origin, hops } => {
+                tag::INSERT.encode(buf);
+                qid.encode(buf);
+                key.encode(buf);
+                item.encode(buf);
+                version.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            PGridMsg::InsertAck { qid, hops } => {
+                tag::INSERT_ACK.encode(buf);
+                qid.encode(buf);
+                hops.encode(buf);
+            }
+            PGridMsg::Delete { qid, key, ident, version, origin, hops } => {
+                tag::DELETE.encode(buf);
+                qid.encode(buf);
+                key.encode(buf);
+                ident.encode(buf);
+                version.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            PGridMsg::Range { qid, lo, hi, lmin, origin, hops } => {
+                tag::RANGE.encode(buf);
+                qid.encode(buf);
+                lo.encode(buf);
+                hi.encode(buf);
+                lmin.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            PGridMsg::RangeSeq { qid, lo, hi, origin, hops } => {
+                tag::RANGE_SEQ.encode(buf);
+                qid.encode(buf);
+                lo.encode(buf);
+                hi.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+            }
+            PGridMsg::RangeReply { qid, cov_lo, cov_hi, items, hops, aborted } => {
+                tag::RANGE_REPLY.encode(buf);
+                qid.encode(buf);
+                cov_lo.encode(buf);
+                cov_hi.encode(buf);
+                items.encode(buf);
+                hops.encode(buf);
+                aborted.encode(buf);
+            }
+            PGridMsg::Replicate { entries } => {
+                tag::REPLICATE.encode(buf);
+                entries.encode(buf);
+            }
+            PGridMsg::Digest { entries } => {
+                tag::DIGEST.encode(buf);
+                entries.encode(buf);
+            }
+            PGridMsg::DigestReply { entries } => {
+                tag::DIGEST_REPLY.encode(buf);
+                entries.encode(buf);
+            }
+            PGridMsg::Ping { nonce } => {
+                tag::PING.encode(buf);
+                nonce.encode(buf);
+            }
+            PGridMsg::Pong { nonce } => {
+                tag::PONG.encode(buf);
+                nonce.encode(buf);
+            }
+            PGridMsg::TableRequest => tag::TABLE_REQUEST.encode(buf),
+            PGridMsg::TableReply { peers } => {
+                tag::TABLE_REPLY.encode(buf);
+                peers.encode(buf);
+            }
+            PGridMsg::Exchange { path, store_len } => {
+                tag::EXCHANGE.encode(buf);
+                path.encode(buf);
+                store_len.encode(buf);
+            }
+            PGridMsg::ExchangeSplit { new_sender_path, entries } => {
+                tag::EXCHANGE_SPLIT.encode(buf);
+                new_sender_path.encode(buf);
+                entries.encode(buf);
+            }
+            PGridMsg::ExchangeData { entries } => {
+                tag::EXCHANGE_DATA.encode(buf);
+                entries.encode(buf);
+            }
+            PGridMsg::ExchangeReplica { entries } => {
+                tag::EXCHANGE_REPLICA.encode(buf);
+                entries.encode(buf);
+            }
+            PGridMsg::ExchangeAdopt { bit } => {
+                tag::EXCHANGE_ADOPT.encode(buf);
+                bit.encode(buf);
+            }
+            PGridMsg::ExchangeRefs { peers } => {
+                tag::EXCHANGE_REFS.encode(buf);
+                peers.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let t = u8::decode(buf)?;
+        Ok(match t {
+            tag::LOOKUP => PGridMsg::Lookup {
+                qid: Wire::decode(buf)?,
+                key: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::LOOKUP_REPLY => PGridMsg::LookupReply {
+                qid: Wire::decode(buf)?,
+                items: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+                ok: Wire::decode(buf)?,
+            },
+            tag::INSERT => PGridMsg::Insert {
+                qid: Wire::decode(buf)?,
+                key: Wire::decode(buf)?,
+                item: Wire::decode(buf)?,
+                version: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::INSERT_ACK => {
+                PGridMsg::InsertAck { qid: Wire::decode(buf)?, hops: Wire::decode(buf)? }
+            }
+            tag::DELETE => PGridMsg::Delete {
+                qid: Wire::decode(buf)?,
+                key: Wire::decode(buf)?,
+                ident: Wire::decode(buf)?,
+                version: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::RANGE => PGridMsg::Range {
+                qid: Wire::decode(buf)?,
+                lo: Wire::decode(buf)?,
+                hi: Wire::decode(buf)?,
+                lmin: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::RANGE_SEQ => PGridMsg::RangeSeq {
+                qid: Wire::decode(buf)?,
+                lo: Wire::decode(buf)?,
+                hi: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
+            tag::RANGE_REPLY => PGridMsg::RangeReply {
+                qid: Wire::decode(buf)?,
+                cov_lo: Wire::decode(buf)?,
+                cov_hi: Wire::decode(buf)?,
+                items: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+                aborted: Wire::decode(buf)?,
+            },
+            tag::REPLICATE => PGridMsg::Replicate { entries: Wire::decode(buf)? },
+            tag::DIGEST => PGridMsg::Digest { entries: Wire::decode(buf)? },
+            tag::DIGEST_REPLY => PGridMsg::DigestReply { entries: Wire::decode(buf)? },
+            tag::PING => PGridMsg::Ping { nonce: Wire::decode(buf)? },
+            tag::PONG => PGridMsg::Pong { nonce: Wire::decode(buf)? },
+            tag::TABLE_REQUEST => PGridMsg::TableRequest,
+            tag::TABLE_REPLY => PGridMsg::TableReply { peers: Wire::decode(buf)? },
+            tag::EXCHANGE => {
+                PGridMsg::Exchange { path: Wire::decode(buf)?, store_len: Wire::decode(buf)? }
+            }
+            tag::EXCHANGE_SPLIT => PGridMsg::ExchangeSplit {
+                new_sender_path: Wire::decode(buf)?,
+                entries: Wire::decode(buf)?,
+            },
+            tag::EXCHANGE_DATA => PGridMsg::ExchangeData { entries: Wire::decode(buf)? },
+            tag::EXCHANGE_REPLICA => PGridMsg::ExchangeReplica { entries: Wire::decode(buf)? },
+            tag::EXCHANGE_ADOPT => PGridMsg::ExchangeAdopt { bit: Wire::decode(buf)? },
+            tag::EXCHANGE_REFS => PGridMsg::ExchangeRefs { peers: Wire::decode(buf)? },
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+/// Events a P-Grid peer surfaces to the simulation driver.
+#[derive(Clone, Debug)]
+pub enum PGridEvent<I> {
+    /// A lookup the local peer issued finished.
+    LookupDone {
+        /// Correlation id.
+        qid: QueryId,
+        /// Items found (empty = key absent).
+        items: Vec<I>,
+        /// Hops of the successful route (0 when resolved locally).
+        hops: u32,
+        /// `false` on routing failure or timeout.
+        ok: bool,
+    },
+    /// A range query the local peer issued finished.
+    RangeDone {
+        /// Correlation id.
+        qid: QueryId,
+        /// All matching items across leaves.
+        items: Vec<I>,
+        /// `true` when the covered intervals add up to the full query
+        /// range (no loss, no routing holes).
+        complete: bool,
+        /// Maximum hop count over all branches.
+        hops: u32,
+        /// Number of leaf replies received.
+        leaves: u32,
+    },
+    /// An insert the local peer issued was acknowledged (or timed out).
+    InsertDone {
+        /// Correlation id.
+        qid: QueryId,
+        /// Hops to the responsible leaf.
+        hops: u32,
+        /// `false` on timeout.
+        ok: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::RawItem;
+
+    fn roundtrip(msg: PGridMsg<RawItem>) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        let back = PGridMsg::<RawItem>::from_bytes(&bytes).expect("decode");
+        // Compare via Debug: PGridMsg avoids PartialEq to keep I flexible.
+        assert_eq!(format!("{back:?}"), format!("{msg:?}"));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let path = BitPath::parse("0110").unwrap();
+        let peers =
+            vec![PeerRef { id: NodeId(1), path }, PeerRef { id: NodeId(2), path: BitPath::ROOT }];
+        let entries = vec![(42u64, 1u64, RawItem(7)), (43, 0, RawItem(8))];
+        let msgs: Vec<PGridMsg<RawItem>> = vec![
+            PGridMsg::Lookup { qid: 9, key: 0xABCD, origin: NodeId(3), hops: 2 },
+            PGridMsg::LookupReply { qid: 9, items: vec![RawItem(1)], hops: 3, ok: true },
+            PGridMsg::Insert {
+                qid: 1,
+                key: 5,
+                item: RawItem(5),
+                version: 2,
+                origin: NodeId(0),
+                hops: 0,
+            },
+            PGridMsg::InsertAck { qid: 1, hops: 4 },
+            PGridMsg::Delete { qid: 4, key: 9, ident: 11, version: 2, origin: NodeId(1), hops: 3 },
+            PGridMsg::Range { qid: 2, lo: 10, hi: 20, lmin: 1, origin: NodeId(4), hops: 1 },
+            PGridMsg::RangeSeq { qid: 3, lo: 10, hi: 20, origin: NodeId(4), hops: 1 },
+            PGridMsg::RangeReply {
+                qid: 2,
+                cov_lo: 10,
+                cov_hi: 15,
+                items: vec![RawItem(11)],
+                hops: 5,
+                aborted: false,
+            },
+            PGridMsg::Replicate { entries: entries.clone() },
+            PGridMsg::Digest { entries: vec![(1, 2, 3)] },
+            PGridMsg::DigestReply {
+                entries: vec![(42u64, 7u64, 1u64, Some(RawItem(7))), (43, 8, 2, None)],
+            },
+            PGridMsg::Ping { nonce: 77 },
+            PGridMsg::Pong { nonce: 77 },
+            PGridMsg::TableRequest,
+            PGridMsg::TableReply { peers: peers.clone() },
+            PGridMsg::Exchange { path, store_len: 12 },
+            PGridMsg::ExchangeSplit { new_sender_path: path, entries: entries.clone() },
+            PGridMsg::ExchangeData { entries: entries.clone() },
+            PGridMsg::ExchangeReplica { entries },
+            PGridMsg::ExchangeAdopt { bit: true },
+            PGridMsg::ExchangeRefs { peers },
+        ];
+        for m in msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let b = Bytes::from_static(&[200]);
+        assert!(matches!(
+            PGridMsg::<RawItem>::from_bytes(&b),
+            Err(WireError::BadTag(200))
+        ));
+    }
+}

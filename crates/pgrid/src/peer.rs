@@ -1,0 +1,305 @@
+//! The P-Grid peer: protocol state machine hosted on a simulated node.
+//!
+//! One struct implements the whole protocol; the per-concern handler
+//! methods live in the sibling modules ([`crate::lookup`],
+//! [`crate::range`], [`crate::replicate`], [`crate::maintain`],
+//! [`crate::bootstrap`]) as additional `impl` blocks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::{BitPath, FxHashMap, Key};
+
+use crate::config::PGridConfig;
+use crate::item::{Item, LocalStore};
+use crate::msg::{PGridEvent, PGridMsg, QueryId};
+use crate::range::IntervalSet;
+use crate::routing::RoutingTable;
+
+/// Effects buffer specialized to the P-Grid protocol.
+pub type Fx<I> = Effects<PGridMsg<I>, PGridEvent<I>>;
+
+/// Timer kinds used by the peer.
+pub(crate) mod timer {
+    /// Query timeout; payload = query id.
+    pub const QUERY_TIMEOUT: u32 = 1;
+    /// Periodic routing maintenance.
+    pub const MAINTAIN: u32 = 2;
+    /// Periodic anti-entropy pull.
+    pub const ANTI_ENTROPY: u32 = 3;
+    /// Bootstrap: initiate a pairwise exchange; payload unused.
+    pub const EXCHANGE: u32 = 4;
+    /// Ping timeout; payload = nonce.
+    pub const PING_TIMEOUT: u32 = 5;
+}
+
+/// State of a driver-issued operation awaiting completion at the origin.
+#[derive(Debug)]
+pub(crate) enum Pending<I> {
+    /// Exact-key lookup.
+    Lookup,
+    /// Insert waiting for its ack.
+    Insert,
+    /// Range query accumulating leaf replies until the covered intervals
+    /// add up to `[lo, hi]`.
+    Range {
+        /// Query bounds.
+        lo: Key,
+        hi: Key,
+        /// Intervals covered by received replies.
+        covered: IntervalSet,
+        /// Accumulated items.
+        items: Vec<I>,
+        /// Max hops over branches.
+        hops: u32,
+        /// Leaf replies received.
+        leaves: u32,
+        /// Whether any branch reported a routing hole.
+        aborted: bool,
+    },
+}
+
+/// A P-Grid peer.
+pub struct PGridPeer<I: Item> {
+    pub(crate) id: NodeId,
+    pub(crate) cfg: PGridConfig,
+    pub(crate) routing: RoutingTable,
+    pub(crate) store: LocalStore<I>,
+    pub(crate) rng: StdRng,
+    pub(crate) pending: FxHashMap<QueryId, Pending<I>>,
+    pub(crate) pending_pings: FxHashMap<u64, NodeId>,
+    next_nonce: u64,
+    /// All node ids in the overlay — stands in for P-Grid's random walks
+    /// when the bootstrap protocol picks exchange partners (documented
+    /// simplification, see DESIGN.md).
+    pub(crate) universe: Vec<NodeId>,
+    /// Whether this peer actively runs the pairwise bootstrap protocol.
+    pub(crate) bootstrapping: bool,
+    /// Entries that could not be re-routed yet (sparse routing during
+    /// bootstrap); retried every exchange round.
+    pub(crate) reroute_stash: Vec<(Key, u64, I)>,
+    /// Messages handled (all kinds) — the query/processing load metric
+    /// used by the balance experiments.
+    pub msg_load: u64,
+}
+
+impl<I: Item> PGridPeer<I> {
+    /// Creates a peer at a fixed trie position (converged-state setup).
+    pub fn new(id: NodeId, path: BitPath, cfg: PGridConfig, seed: u64) -> Self {
+        let rng = derive_rng(seed, stream::NODE_BASE + id.0 as u64);
+        let routing = RoutingTable::new(path, cfg.refs_per_level);
+        PGridPeer {
+            id,
+            cfg,
+            routing,
+            store: LocalStore::new(),
+            rng,
+            pending: FxHashMap::default(),
+            pending_pings: FxHashMap::default(),
+            next_nonce: 1,
+            universe: Vec::new(),
+            bootstrapping: false,
+            reroute_stash: Vec::new(),
+            msg_load: 0,
+        }
+    }
+
+    /// Creates an unspecialized peer (path ε) that will find its place
+    /// through the pairwise bootstrap protocol.
+    pub fn new_bootstrap(id: NodeId, cfg: PGridConfig, seed: u64, universe: Vec<NodeId>) -> Self {
+        let mut p = Self::new(id, BitPath::ROOT, cfg, seed);
+        p.universe = universe;
+        p.bootstrapping = true;
+        p
+    }
+
+    /// This peer's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current trie path.
+    pub fn path(&self) -> BitPath {
+        self.routing.path()
+    }
+
+    /// Immutable view of the local store.
+    pub fn store(&self) -> &LocalStore<I> {
+        &self.store
+    }
+
+    /// Mutable routing access for converged-state construction.
+    pub fn routing_mut(&mut self) -> &mut RoutingTable {
+        &mut self.routing
+    }
+
+    /// Immutable routing access.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Places an entry directly into the local store (driver-side
+    /// preloading; bypasses the network on purpose).
+    pub fn preload(&mut self, key: Key, item: I, version: u64) {
+        self.store.apply(key, item, version);
+    }
+
+    /// Issues a locally originated exact-key lookup: the embedding layer
+    /// (UniStore's query executor) calls this as if it were the driver;
+    /// completion arrives as a [`PGridEvent::LookupDone`] emit.
+    pub fn local_lookup(&mut self, qid: QueryId, key: Key, fx: &mut Fx<I>) {
+        self.handle_lookup(NodeId::EXTERNAL, qid, key, self.id, 0, fx);
+    }
+
+    /// Issues a locally originated range query.
+    pub fn local_range(
+        &mut self,
+        qid: QueryId,
+        lo: Key,
+        hi: Key,
+        mode: crate::msg::RangeMode,
+        fx: &mut Fx<I>,
+    ) {
+        match mode {
+            crate::msg::RangeMode::Parallel => {
+                self.handle_range(NodeId::EXTERNAL, qid, lo, hi, 0, self.id, 0, fx)
+            }
+            crate::msg::RangeMode::Sequential => {
+                self.handle_range_seq(NodeId::EXTERNAL, qid, lo, hi, self.id, 0, fx)
+            }
+        }
+    }
+
+    /// Issues a locally originated insert.
+    pub fn local_insert(&mut self, qid: QueryId, key: Key, item: I, version: u64, fx: &mut Fx<I>) {
+        self.handle_insert(NodeId::EXTERNAL, qid, key, item, version, self.id, 0, fx);
+    }
+
+    /// Issues a locally originated delete.
+    pub fn local_delete(&mut self, qid: QueryId, key: Key, ident: u64, version: u64, fx: &mut Fx<I>) {
+        self.handle_delete(NodeId::EXTERNAL, qid, key, ident, version, self.id, 0, fx);
+    }
+
+    pub(crate) fn fresh_nonce(&mut self) -> u64 {
+        let n = self.next_nonce;
+        self.next_nonce += 1;
+        // Nonce space is per-peer; tag with id to keep them globally unique.
+        (self.id.0 as u64) << 40 | n
+    }
+
+    /// Arms a periodic timer with ±50% jitter to avoid lockstep.
+    pub(crate) fn arm_periodic(&mut self, fx: &mut Fx<I>, base: SimTime, kind: u32) {
+        let jitter = self.rng.gen_range(0.5..1.5);
+        let delay = SimTime::from_micros((base.as_micros() as f64 * jitter) as u64);
+        fx.set_timer(delay, Timer::new(kind, 0));
+    }
+
+    /// Registers a pending driver operation and arms its timeout.
+    pub(crate) fn register_pending(&mut self, fx: &mut Fx<I>, qid: QueryId, p: Pending<I>) {
+        self.pending.insert(qid, p);
+        fx.set_timer(self.cfg.query_timeout, Timer::new(timer::QUERY_TIMEOUT, qid));
+    }
+
+    fn handle_query_timeout(&mut self, qid: QueryId, fx: &mut Fx<I>) {
+        let Some(pending) = self.pending.remove(&qid) else {
+            return; // completed in time
+        };
+        match pending {
+            Pending::Lookup => {
+                fx.emit(PGridEvent::LookupDone { qid, items: Vec::new(), hops: 0, ok: false })
+            }
+            Pending::Insert => fx.emit(PGridEvent::InsertDone { qid, hops: 0, ok: false }),
+            Pending::Range { items, hops, leaves, .. } => fx.emit(PGridEvent::RangeDone {
+                qid,
+                items,
+                complete: false,
+                hops,
+                leaves,
+            }),
+        }
+    }
+}
+
+impl<I: Item> NodeBehavior for PGridPeer<I> {
+    type Msg = PGridMsg<I>;
+    type Out = PGridEvent<I>;
+
+    fn on_start(&mut self, _now: SimTime, fx: &mut Fx<I>) {
+        self.arm_periodic(fx, self.cfg.maintenance_interval, timer::MAINTAIN);
+        self.arm_periodic(fx, self.cfg.anti_entropy_interval, timer::ANTI_ENTROPY);
+        if self.bootstrapping {
+            self.arm_periodic(fx, self.cfg.exchange_interval, timer::EXCHANGE);
+        }
+    }
+
+    fn on_message(&mut self, now: SimTime, from: NodeId, msg: PGridMsg<I>, fx: &mut Fx<I>) {
+        self.msg_load += 1;
+        match msg {
+            PGridMsg::Lookup { qid, key, origin, hops } => {
+                self.handle_lookup(from, qid, key, origin, hops, fx)
+            }
+            PGridMsg::LookupReply { qid, items, hops, ok } => {
+                self.handle_lookup_reply(qid, items, hops, ok, fx)
+            }
+            PGridMsg::Insert { qid, key, item, version, origin, hops } => {
+                self.handle_insert(from, qid, key, item, version, origin, hops, fx)
+            }
+            PGridMsg::InsertAck { qid, hops } => self.handle_insert_ack(qid, hops, fx),
+            PGridMsg::Delete { qid, key, ident, version, origin, hops } => {
+                self.handle_delete(from, qid, key, ident, version, origin, hops, fx)
+            }
+            PGridMsg::Range { qid, lo, hi, lmin, origin, hops } => {
+                self.handle_range(from, qid, lo, hi, lmin, origin, hops, fx)
+            }
+            PGridMsg::RangeSeq { qid, lo, hi, origin, hops } => {
+                self.handle_range_seq(from, qid, lo, hi, origin, hops, fx)
+            }
+            PGridMsg::RangeReply { qid, cov_lo, cov_hi, items, hops, aborted } => {
+                self.handle_range_reply(qid, cov_lo, cov_hi, items, hops, aborted, fx)
+            }
+            PGridMsg::Replicate { entries } => self.handle_replicate(entries),
+            PGridMsg::Digest { entries } => self.handle_digest(from, entries, fx),
+            PGridMsg::DigestReply { entries } => self.handle_digest_reply(entries),
+            PGridMsg::Ping { nonce } => fx.send(from, PGridMsg::Pong { nonce }),
+            PGridMsg::Pong { nonce } => {
+                self.pending_pings.remove(&nonce);
+            }
+            PGridMsg::TableRequest => self.handle_table_request(from, fx),
+            PGridMsg::TableReply { peers } | PGridMsg::ExchangeRefs { peers } => {
+                self.merge_refs(&peers)
+            }
+            PGridMsg::Exchange { path, store_len } => {
+                self.handle_exchange(now, from, path, store_len, fx)
+            }
+            PGridMsg::ExchangeSplit { new_sender_path, entries } => {
+                self.handle_exchange_split(from, new_sender_path, entries, fx)
+            }
+            PGridMsg::ExchangeData { entries } => self.handle_exchange_data(entries, fx),
+            PGridMsg::ExchangeReplica { entries } => self.handle_exchange_replica(from, entries),
+            PGridMsg::ExchangeAdopt { bit } => self.handle_exchange_adopt(from, bit, fx),
+        }
+    }
+
+    fn on_timer(&mut self, _now: SimTime, t: Timer, fx: &mut Fx<I>) {
+        match t.kind {
+            timer::QUERY_TIMEOUT => self.handle_query_timeout(t.payload, fx),
+            timer::MAINTAIN => {
+                self.run_maintenance(fx);
+                self.arm_periodic(fx, self.cfg.maintenance_interval, timer::MAINTAIN);
+            }
+            timer::ANTI_ENTROPY => {
+                self.run_anti_entropy(fx);
+                self.arm_periodic(fx, self.cfg.anti_entropy_interval, timer::ANTI_ENTROPY);
+            }
+            timer::EXCHANGE
+                if self.bootstrapping => {
+                    self.initiate_exchange(fx);
+                    self.arm_periodic(fx, self.cfg.exchange_interval, timer::EXCHANGE);
+                }
+            timer::PING_TIMEOUT => self.handle_ping_timeout(t.payload),
+            _ => {}
+        }
+    }
+}

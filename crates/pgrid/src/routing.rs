@@ -1,0 +1,274 @@
+//! Per-level routing tables.
+//!
+//! A peer with trie path `p` of length `L` keeps, for every level
+//! `l < L`, references to peers whose paths agree with `p` on the first
+//! `l` bits and differ at bit `l` — i.e. peers responsible for the
+//! *complementary subtree* at that level. Greedy prefix routing then
+//! resolves any key in at most `L` hops. P-Grid keeps several references
+//! per level and routes through a random one, spreading load and
+//! tolerating failures (paper §2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use unistore_simnet::NodeId;
+use unistore_util::{BitPath, Key};
+
+use crate::msg::PeerRef;
+
+/// Where a key routes relative to the local peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// The local peer's path is a prefix of the key: handle locally.
+    Local,
+    /// Forward to this peer (found at the given level).
+    Forward(NodeId, u8),
+    /// No live reference at the level the key needs: routing hole.
+    Stuck(u8),
+}
+
+/// Routing state of one peer.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    path: BitPath,
+    /// `levels[l]` holds refs into the complementary subtree at level `l`.
+    levels: Vec<Vec<PeerRef>>,
+    /// Peers sharing the exact same path (replica group), self excluded.
+    replicas: Vec<NodeId>,
+    /// Max refs kept per level.
+    cap: usize,
+}
+
+impl RoutingTable {
+    /// Empty table for a peer at `path`.
+    pub fn new(path: BitPath, cap: usize) -> Self {
+        assert!(cap >= 1, "routing table needs capacity for at least one ref");
+        RoutingTable { path, levels: vec![Vec::new(); path.len() as usize], replicas: Vec::new(), cap }
+    }
+
+    /// The local peer's trie path.
+    pub fn path(&self) -> BitPath {
+        self.path
+    }
+
+    /// Re-homes the table after a path change (bootstrap splits).
+    /// Existing refs are re-filed; those that no longer fit are dropped.
+    pub fn set_path(&mut self, path: BitPath) {
+        let old_refs = self.all_refs();
+        let old_replicas = std::mem::take(&mut self.replicas);
+        self.path = path;
+        self.levels = vec![Vec::new(); path.len() as usize];
+        for r in old_refs {
+            self.add_ref(r);
+        }
+        // Old replicas may or may not still share the path; without their
+        // paths we can't tell, so they are dropped and rediscovered by
+        // maintenance. (Bootstrap re-adds the known ones explicitly.)
+        let _ = old_replicas;
+    }
+
+    /// True if this peer is responsible for `key`.
+    #[inline]
+    pub fn responsible(&self, key: Key) -> bool {
+        self.path.is_prefix_of_key(key)
+    }
+
+    /// Routing decision for `key`.
+    pub fn route(&self, key: Key, rng: &mut StdRng) -> RouteDecision {
+        let l = self.path.common_prefix_len_key(key);
+        if l == self.path.len() {
+            return RouteDecision::Local;
+        }
+        match self.levels[l as usize].choose(rng) {
+            Some(r) => RouteDecision::Forward(r.id, l),
+            None => RouteDecision::Stuck(l),
+        }
+    }
+
+    /// Offers a reference; returns `true` if it was stored.
+    ///
+    /// A peer qualifies for level `l` when its path shares exactly `l`
+    /// bits with ours and is longer than `l` (it actually covers the
+    /// complementary subtree). A peer with our exact path is a replica.
+    pub fn add_ref(&mut self, r: PeerRef) -> bool {
+        if r.path == self.path {
+            return false; // replicas are registered via add_replica
+        }
+        let l = self.path.common_prefix_len(&r.path);
+        if l >= self.path.len() || r.path.len() <= l {
+            return false;
+        }
+        let level = &mut self.levels[l as usize];
+        if level.iter().any(|existing| existing.id == r.id) {
+            // Refresh the stored path (it may have deepened).
+            for existing in level.iter_mut() {
+                if existing.id == r.id {
+                    existing.path = r.path;
+                }
+            }
+            return false;
+        }
+        if level.len() >= self.cap {
+            return false;
+        }
+        level.push(r);
+        true
+    }
+
+    /// Registers a replica (same path, different peer).
+    pub fn add_replica(&mut self, id: NodeId) {
+        if !self.replicas.contains(&id) {
+            self.replicas.push(id);
+        }
+    }
+
+    /// Removes a peer everywhere (failure detected).
+    pub fn remove(&mut self, id: NodeId) {
+        for level in &mut self.levels {
+            level.retain(|r| r.id != id);
+        }
+        self.replicas.retain(|&r| r != id);
+    }
+
+    /// Refs at one level.
+    pub fn level_refs(&self, l: u8) -> &[PeerRef] {
+        &self.levels[l as usize]
+    }
+
+    /// Picks a random ref at a level.
+    pub fn pick(&self, l: u8, rng: &mut StdRng) -> Option<PeerRef> {
+        self.levels[l as usize].choose(rng).copied()
+    }
+
+    /// Every stored ref (all levels), for table gossip.
+    pub fn all_refs(&self) -> Vec<PeerRef> {
+        self.levels.iter().flatten().copied().collect()
+    }
+
+    /// The replica group (self excluded).
+    pub fn replicas(&self) -> &[NodeId] {
+        &self.replicas
+    }
+
+    /// Number of levels (= path length).
+    pub fn depth(&self) -> u8 {
+        self.path.len()
+    }
+
+    /// Total refs stored.
+    pub fn ref_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Levels that currently have no reference (routing holes).
+    pub fn empty_levels(&self) -> Vec<u8> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(l, _)| l as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn pr(id: u32, path: &str) -> PeerRef {
+        PeerRef { id: NodeId(id), path: BitPath::parse(path).unwrap() }
+    }
+
+    #[test]
+    fn add_ref_files_by_common_prefix() {
+        let mut t = RoutingTable::new(BitPath::parse("010").unwrap(), 3);
+        assert!(t.add_ref(pr(1, "1"))); // differs at bit 0 → level 0
+        assert!(t.add_ref(pr(2, "00"))); // agrees 1 bit, differs at bit 1 → level 1
+        assert!(t.add_ref(pr(3, "011"))); // agrees 2 bits → level 2
+        assert_eq!(t.level_refs(0).len(), 1);
+        assert_eq!(t.level_refs(1).len(), 1);
+        assert_eq!(t.level_refs(2).len(), 1);
+        assert_eq!(t.ref_count(), 3);
+    }
+
+    #[test]
+    fn rejects_same_path_and_less_specialized() {
+        let mut t = RoutingTable::new(BitPath::parse("010").unwrap(), 3);
+        assert!(!t.add_ref(pr(1, "010"))); // same path → replica, not ref
+        assert!(!t.add_ref(pr(2, "01"))); // our prefix → not in complement
+        assert!(!t.add_ref(pr(3, "0"))); // our prefix
+        assert_eq!(t.ref_count(), 0);
+    }
+
+    #[test]
+    fn cap_enforced_and_duplicates_ignored() {
+        let mut t = RoutingTable::new(BitPath::parse("0").unwrap(), 2);
+        assert!(t.add_ref(pr(1, "1")));
+        assert!(!t.add_ref(pr(1, "1"))); // duplicate id
+        assert!(t.add_ref(pr(2, "10")));
+        assert!(!t.add_ref(pr(3, "11"))); // over cap
+        assert_eq!(t.ref_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_add_refreshes_path() {
+        let mut t = RoutingTable::new(BitPath::parse("0").unwrap(), 2);
+        t.add_ref(pr(1, "1"));
+        t.add_ref(pr(1, "10")); // same peer deepened its path
+        assert_eq!(t.level_refs(0)[0].path, BitPath::parse("10").unwrap());
+    }
+
+    #[test]
+    fn route_local_forward_stuck() {
+        let mut t = RoutingTable::new(BitPath::parse("01").unwrap(), 3);
+        t.add_ref(pr(1, "1"));
+        let mut r = rng();
+        // Key starting 01… → local.
+        let local_key = 0b01u64 << 62;
+        assert_eq!(t.route(local_key, &mut r), RouteDecision::Local);
+        // Key starting 1… → level 0 forward.
+        let k1 = 1u64 << 63;
+        assert_eq!(t.route(k1, &mut r), RouteDecision::Forward(NodeId(1), 0));
+        // Key starting 00… → level 1, which is empty.
+        let k00 = 0u64;
+        assert_eq!(t.route(k00, &mut r), RouteDecision::Stuck(1));
+    }
+
+    #[test]
+    fn remove_clears_everywhere() {
+        let mut t = RoutingTable::new(BitPath::parse("01").unwrap(), 3);
+        t.add_ref(pr(1, "1"));
+        t.add_ref(pr(2, "00"));
+        t.add_replica(NodeId(1));
+        t.remove(NodeId(1));
+        assert_eq!(t.ref_count(), 1);
+        assert!(t.replicas().is_empty());
+        t.remove(NodeId(2));
+        assert_eq!(t.ref_count(), 0);
+    }
+
+    #[test]
+    fn set_path_refiles_refs() {
+        let mut t = RoutingTable::new(BitPath::parse("0").unwrap(), 3);
+        t.add_ref(pr(1, "1"));
+        t.add_ref(pr(2, "10"));
+        t.set_path(BitPath::parse("01").unwrap());
+        // Both refs still differ at bit 0 → level 0.
+        assert_eq!(t.level_refs(0).len(), 2);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.empty_levels(), vec![1]);
+    }
+
+    #[test]
+    fn replicas_tracked_without_duplicates() {
+        let mut t = RoutingTable::new(BitPath::parse("0").unwrap(), 3);
+        t.add_replica(NodeId(5));
+        t.add_replica(NodeId(5));
+        assert_eq!(t.replicas(), &[NodeId(5)]);
+    }
+}

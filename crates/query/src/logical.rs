@@ -1,0 +1,214 @@
+//! The logical algebra and its construction from analyzed VQL.
+
+use std::sync::Arc;
+
+use unistore_vql::ast::{OrderItem, SkyItem};
+use unistore_vql::{AnalyzedQuery, Expr, TriplePattern};
+
+/// A logical plan node (π, σ, ⋈ plus ranking/similarity extensions —
+/// paper §2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Logical {
+    /// Leaf: one triple pattern to resolve against the distributed
+    /// storage.
+    Pattern(TriplePattern),
+    /// Natural join on shared variables.
+    Join {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+    },
+    /// Selection.
+    Filter {
+        /// Input.
+        input: Box<Logical>,
+        /// Predicate.
+        expr: Expr,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Logical>,
+        /// Variables to keep.
+        vars: Vec<Arc<str>>,
+    },
+    /// Sorting.
+    OrderBy {
+        /// Input.
+        input: Box<Logical>,
+        /// Sort items.
+        items: Vec<OrderItem>,
+    },
+    /// Truncation.
+    Limit {
+        /// Input.
+        input: Box<Logical>,
+        /// Row budget.
+        n: usize,
+    },
+    /// Ranking: sort + truncate as one operator.
+    TopN {
+        /// Input.
+        input: Box<Logical>,
+        /// Sort items.
+        items: Vec<OrderItem>,
+        /// Rank budget.
+        n: usize,
+    },
+    /// Pareto skyline.
+    Skyline {
+        /// Input.
+        input: Box<Logical>,
+        /// Preference items.
+        items: Vec<SkyItem>,
+    },
+}
+
+impl Logical {
+    /// Builds the canonical plan for an analyzed query: left-deep join
+    /// tree in pattern order, filters above, then skyline → order/top-N
+    /// → limit → projection. (The optimizer reorders joins and pushes
+    /// filters into scans later — this is the *semantic* shape.)
+    pub fn from_query(a: &AnalyzedQuery) -> Logical {
+        let q = &a.query;
+        let mut plan = Logical::Pattern(q.patterns[0].clone());
+        for p in &q.patterns[1..] {
+            plan = Logical::Join {
+                left: Box::new(plan),
+                right: Box::new(Logical::Pattern(p.clone())),
+            };
+        }
+        for f in &q.filters {
+            plan = Logical::Filter { input: Box::new(plan), expr: f.clone() };
+        }
+        if !q.skyline.is_empty() {
+            plan = Logical::Skyline { input: Box::new(plan), items: q.skyline.clone() };
+        }
+        if let Some(n) = q.top {
+            plan = Logical::TopN { input: Box::new(plan), items: q.order_by.clone(), n };
+        } else if !q.order_by.is_empty() {
+            plan = Logical::OrderBy { input: Box::new(plan), items: q.order_by.clone() };
+        }
+        if let Some(n) = q.limit {
+            plan = Logical::Limit { input: Box::new(plan), n };
+        }
+        Logical::Project { input: Box::new(plan), vars: a.projection.clone() }
+    }
+
+    /// All pattern leaves, left to right.
+    pub fn patterns(&self) -> Vec<&TriplePattern> {
+        let mut out = Vec::new();
+        self.walk_patterns(&mut out);
+        out
+    }
+
+    fn walk_patterns<'a>(&'a self, out: &mut Vec<&'a TriplePattern>) {
+        match self {
+            Logical::Pattern(p) => out.push(p),
+            Logical::Join { left, right } => {
+                left.walk_patterns(out);
+                right.walk_patterns(out);
+            }
+            Logical::Filter { input, .. }
+            | Logical::Project { input, .. }
+            | Logical::OrderBy { input, .. }
+            | Logical::Limit { input, .. }
+            | Logical::TopN { input, .. }
+            | Logical::Skyline { input, .. } => input.walk_patterns(out),
+        }
+    }
+
+    /// Number of operators in the plan (diagnostics).
+    pub fn size(&self) -> usize {
+        match self {
+            Logical::Pattern(_) => 1,
+            Logical::Join { left, right } => 1 + left.size() + right.size(),
+            Logical::Filter { input, .. }
+            | Logical::Project { input, .. }
+            | Logical::OrderBy { input, .. }
+            | Logical::Limit { input, .. }
+            | Logical::TopN { input, .. }
+            | Logical::Skyline { input, .. } => 1 + input.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_vql::{analyze, parse};
+
+    fn plan(src: &str) -> Logical {
+        Logical::from_query(&analyze(parse(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn single_pattern_shape() {
+        let p = plan("SELECT ?n WHERE {(?a,'name',?n)}");
+        match p {
+            Logical::Project { input, vars } => {
+                assert_eq!(vars.len(), 1);
+                assert!(matches!(*input, Logical::Pattern(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_shape() {
+        let p = plan(
+            "SELECT ?name,?age,?cnt
+             WHERE {(?a,'name',?name) (?a,'age',?age)
+                    (?a,'num_of_pubs',?cnt)
+                    (?a,'has_published',?title) (?p,'title',?title)
+                    (?p,'published_in',?conf) (?c,'confname',?conf)
+                    (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}
+             ORDER BY SKYLINE OF ?age MIN, ?cnt MAX",
+        );
+        assert_eq!(p.patterns().len(), 8);
+        // Project → Skyline → Filter → left-deep joins.
+        match p {
+            Logical::Project { input, .. } => match *input {
+                Logical::Skyline { input, items } => {
+                    assert_eq!(items.len(), 2);
+                    assert!(matches!(*input, Logical::Filter { .. }));
+                }
+                other => panic!("expected skyline, got {other:?}"),
+            },
+            other => panic!("expected project, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_replaces_order() {
+        let p = plan("SELECT ?n WHERE {(?a,'age',?n)} ORDER BY ?n TOP 5");
+        match p {
+            Logical::Project { input, .. } => {
+                assert!(matches!(*input, Logical::TopN { n: 5, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_wraps_order() {
+        let p = plan("SELECT ?n WHERE {(?a,'age',?n)} ORDER BY ?n LIMIT 3");
+        match p {
+            Logical::Project { input, .. } => match *input {
+                Logical::Limit { input, n: 3 } => {
+                    assert!(matches!(*input, Logical::OrderBy { .. }));
+                }
+                other => panic!("expected limit, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_counts_operators() {
+        let p = plan("SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g)}");
+        // project + join + 2 patterns = 4
+        assert_eq!(p.size(), 4);
+    }
+}

@@ -1,0 +1,605 @@
+//! Mutant Query Plans.
+//!
+//! Paper §2: *"The physical operators are used to build complex query
+//! plans. The processing of these plans can be described as an extension
+//! of the concept of Mutant Query Plans [7]"* (Papadimos & Maier). The
+//! plan is *data*: it travels between peers inside messages, and as
+//! leaves are resolved at the peers responsible for the data, sub-trees
+//! collapse into materialized relations. Every peer holding the plan
+//! re-optimizes what remains before acting — that is the paper's
+//! "adaptive query processing".
+//!
+//! The tree is wire-encodable (plans ship with their partial results),
+//! and evaluation of fully materialized operators is a pure function
+//! shared with the local reference engine.
+
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_store::mapping::MappingSet;
+use unistore_store::{Triple, Value};
+use unistore_util::wire::{Wire, WireError};
+use unistore_vql::ast::{OrderItem, SkyItem};
+use unistore_vql::{Expr, Term, TriplePattern};
+
+use crate::eval::filter_relation;
+use crate::logical::Logical;
+use crate::rank::{limit, order_by, top_n};
+use crate::relation::Relation;
+use crate::skyline::skyline;
+
+/// One node of a mutant query plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MqpNode {
+    /// Unresolved leaf: a pattern that still needs the network.
+    Scan {
+        /// The pattern to resolve.
+        pattern: TriplePattern,
+    },
+    /// Resolved leaf: materialized rows.
+    Mat(Relation),
+    /// Natural join.
+    Join {
+        /// Left input.
+        left: Box<MqpNode>,
+        /// Right input.
+        right: Box<MqpNode>,
+    },
+    /// Selection.
+    Filter {
+        /// Input.
+        input: Box<MqpNode>,
+        /// Predicate.
+        expr: Expr,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<MqpNode>,
+        /// Variables to keep.
+        vars: Vec<Arc<str>>,
+    },
+    /// Sorting.
+    OrderBy {
+        /// Input.
+        input: Box<MqpNode>,
+        /// Items.
+        items: Vec<OrderItem>,
+    },
+    /// Truncation.
+    Limit {
+        /// Input.
+        input: Box<MqpNode>,
+        /// Row budget.
+        n: u64,
+    },
+    /// Ranking.
+    TopN {
+        /// Input.
+        input: Box<MqpNode>,
+        /// Items.
+        items: Vec<OrderItem>,
+        /// Rank budget.
+        n: u64,
+    },
+    /// Pareto skyline.
+    Skyline {
+        /// Input.
+        input: Box<MqpNode>,
+        /// Preferences.
+        items: Vec<SkyItem>,
+    },
+}
+
+impl MqpNode {
+    /// Converts a logical plan into an (entirely unresolved) MQP.
+    pub fn from_logical(l: &Logical) -> MqpNode {
+        match l {
+            Logical::Pattern(p) => MqpNode::Scan { pattern: p.clone() },
+            Logical::Join { left, right } => MqpNode::Join {
+                left: Box::new(Self::from_logical(left)),
+                right: Box::new(Self::from_logical(right)),
+            },
+            Logical::Filter { input, expr } => MqpNode::Filter {
+                input: Box::new(Self::from_logical(input)),
+                expr: expr.clone(),
+            },
+            Logical::Project { input, vars } => MqpNode::Project {
+                input: Box::new(Self::from_logical(input)),
+                vars: vars.clone(),
+            },
+            Logical::OrderBy { input, items } => MqpNode::OrderBy {
+                input: Box::new(Self::from_logical(input)),
+                items: items.clone(),
+            },
+            Logical::Limit { input, n } => MqpNode::Limit {
+                input: Box::new(Self::from_logical(input)),
+                n: *n as u64,
+            },
+            Logical::TopN { input, items, n } => MqpNode::TopN {
+                input: Box::new(Self::from_logical(input)),
+                items: items.clone(),
+                n: *n as u64,
+            },
+            Logical::Skyline { input, items } => MqpNode::Skyline {
+                input: Box::new(Self::from_logical(input)),
+                items: items.clone(),
+            },
+        }
+    }
+
+    /// The leftmost unresolved scan, if any.
+    pub fn first_scan(&self) -> Option<&TriplePattern> {
+        match self {
+            MqpNode::Scan { pattern } => Some(pattern),
+            MqpNode::Mat(_) => None,
+            MqpNode::Join { left, right } => left.first_scan().or_else(|| right.first_scan()),
+            MqpNode::Filter { input, .. }
+            | MqpNode::Project { input, .. }
+            | MqpNode::OrderBy { input, .. }
+            | MqpNode::Limit { input, .. }
+            | MqpNode::TopN { input, .. }
+            | MqpNode::Skyline { input, .. } => input.first_scan(),
+        }
+    }
+
+    /// Number of unresolved scans.
+    pub fn scans_remaining(&self) -> usize {
+        match self {
+            MqpNode::Scan { .. } => 1,
+            MqpNode::Mat(_) => 0,
+            MqpNode::Join { left, right } => left.scans_remaining() + right.scans_remaining(),
+            MqpNode::Filter { input, .. }
+            | MqpNode::Project { input, .. }
+            | MqpNode::OrderBy { input, .. }
+            | MqpNode::Limit { input, .. }
+            | MqpNode::TopN { input, .. }
+            | MqpNode::Skyline { input, .. } => input.scans_remaining(),
+        }
+    }
+
+    /// Replaces the leftmost unresolved scan with a materialized
+    /// relation. Returns `false` if there was none.
+    pub fn resolve_first_scan(&mut self, rel: Relation) -> bool {
+        match self {
+            MqpNode::Scan { .. } => {
+                *self = MqpNode::Mat(rel);
+                true
+            }
+            MqpNode::Mat(_) => false,
+            MqpNode::Join { left, right } => {
+                left.resolve_first_scan(rel.clone()) || right.resolve_first_scan(rel)
+            }
+            MqpNode::Filter { input, .. }
+            | MqpNode::Project { input, .. }
+            | MqpNode::OrderBy { input, .. }
+            | MqpNode::Limit { input, .. }
+            | MqpNode::TopN { input, .. }
+            | MqpNode::Skyline { input, .. } => input.resolve_first_scan(rel),
+        }
+    }
+
+    /// If the next step is the right side of a join whose left side is
+    /// already materialized, returns `(left relation, right pattern)` —
+    /// the precondition for a fetch join.
+    pub fn fetch_join_site(&self) -> Option<(&Relation, &TriplePattern)> {
+        match self {
+            MqpNode::Join { left, right } => {
+                if let (MqpNode::Mat(rel), MqpNode::Scan { pattern }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    return Some((rel, pattern));
+                }
+                left.fetch_join_site().or_else(|| right.fetch_join_site())
+            }
+            MqpNode::Scan { .. } | MqpNode::Mat(_) => None,
+            MqpNode::Filter { input, .. }
+            | MqpNode::Project { input, .. }
+            | MqpNode::OrderBy { input, .. }
+            | MqpNode::Limit { input, .. }
+            | MqpNode::TopN { input, .. }
+            | MqpNode::Skyline { input, .. } => input.fetch_join_site(),
+        }
+    }
+
+    /// Eagerly folds every operator whose inputs are materialized.
+    /// After `reduce`, a plan with zero remaining scans is a single
+    /// [`MqpNode::Mat`].
+    pub fn reduce(&mut self) {
+        match self {
+            MqpNode::Scan { .. } | MqpNode::Mat(_) => {}
+            MqpNode::Join { left, right } => {
+                left.reduce();
+                right.reduce();
+                if let (MqpNode::Mat(l), MqpNode::Mat(r)) = (left.as_ref(), right.as_ref()) {
+                    *self = MqpNode::Mat(l.join(r));
+                }
+            }
+            MqpNode::Filter { input, expr } => {
+                input.reduce();
+                if let MqpNode::Mat(rel) = input.as_mut() {
+                    filter_relation(rel, expr);
+                    *self = MqpNode::Mat(std::mem::replace(rel, Relation::empty(vec![])));
+                }
+            }
+            MqpNode::Project { input, vars } => {
+                input.reduce();
+                if let MqpNode::Mat(rel) = input.as_ref() {
+                    *self = MqpNode::Mat(rel.project(vars));
+                }
+            }
+            MqpNode::OrderBy { input, items } => {
+                input.reduce();
+                if let MqpNode::Mat(rel) = input.as_mut() {
+                    order_by(rel, items);
+                    *self = MqpNode::Mat(std::mem::replace(rel, Relation::empty(vec![])));
+                }
+            }
+            MqpNode::Limit { input, n } => {
+                input.reduce();
+                if let MqpNode::Mat(rel) = input.as_mut() {
+                    limit(rel, *n as usize);
+                    *self = MqpNode::Mat(std::mem::replace(rel, Relation::empty(vec![])));
+                }
+            }
+            MqpNode::TopN { input, items, n } => {
+                input.reduce();
+                if let MqpNode::Mat(rel) = input.as_mut() {
+                    top_n(rel, items, *n as usize);
+                    *self = MqpNode::Mat(std::mem::replace(rel, Relation::empty(vec![])));
+                }
+            }
+            MqpNode::Skyline { input, items } => {
+                input.reduce();
+                if let MqpNode::Mat(rel) = input.as_mut() {
+                    skyline(rel, items);
+                    *self = MqpNode::Mat(std::mem::replace(rel, Relation::empty(vec![])));
+                }
+            }
+        }
+    }
+
+    /// The final relation, if the plan is fully reduced.
+    pub fn result(&self) -> Option<&Relation> {
+        match self {
+            MqpNode::Mat(rel) => Some(rel),
+            _ => None,
+        }
+    }
+}
+
+/// A complete mutant plan as it travels the network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mqp {
+    /// Correlation id.
+    pub qid: u64,
+    /// Raw node id of the query origin (receives the final result).
+    pub origin: u32,
+    /// The plan tree.
+    pub root: MqpNode,
+    /// The query's filter predicates, carried for bound/similarity
+    /// extraction when peers re-optimize remaining scans.
+    pub filters: Vec<Expr>,
+    /// LIMIT, if the query has one (enables early-termination pricing).
+    pub limit_hint: Option<u64>,
+    /// Plan-forwarding hops taken so far (mutant travel distance).
+    pub hops: u32,
+}
+
+impl Mqp {
+    /// Builds a travelling plan for a query.
+    pub fn new(qid: u64, origin: u32, root: MqpNode, filters: Vec<Expr>, limit: Option<u64>) -> Mqp {
+        Mqp { qid, origin, root, filters, limit_hint: limit, hops: 0 }
+    }
+}
+
+/// Binds a pattern against candidate triples, producing a relation over
+/// the pattern's variables. Literal positions must match (with
+/// [`MappingSet`]-expanded attribute equivalence); repeated variables
+/// must agree.
+pub fn bind_triples(
+    pattern: &TriplePattern,
+    triples: &[Triple],
+    mappings: &MappingSet,
+) -> Relation {
+    let mut schema: Vec<Arc<str>> = Vec::new();
+    for t in [&pattern.subject, &pattern.attr, &pattern.value] {
+        if let Term::Var(v) = t {
+            if !schema.iter().any(|s| s == v) {
+                schema.push(v.clone());
+            }
+        }
+    }
+    let accepted_attrs: Option<Vec<Arc<str>>> = match &pattern.attr {
+        Term::Lit(Value::Str(a)) => Some(mappings.expand(a)),
+        _ => None,
+    };
+    let mut rel = Relation::empty(schema);
+    'next: for t in triples {
+        let mut row: Vec<Option<Value>> = vec![None; rel.schema.len()];
+        let positions: [(&Term, Value); 3] = [
+            (&pattern.subject, Value::Str(t.oid.0.clone())),
+            (&pattern.attr, Value::Str(t.attr.clone())),
+            (&pattern.value, t.value.clone()),
+        ];
+        for (i, (term, actual)) in positions.into_iter().enumerate() {
+            match term {
+                Term::Lit(expected) => {
+                    // Attribute literals match through schema mappings.
+                    let ok = if i == 1 {
+                        accepted_attrs
+                            .as_ref()
+                            .is_some_and(|acc| acc.iter().any(|a| a.as_ref() == t.attr.as_ref()))
+                    } else {
+                        expected.eq_values(&actual)
+                    };
+                    if !ok {
+                        continue 'next;
+                    }
+                }
+                Term::Var(v) => {
+                    let col = rel.col(v).unwrap();
+                    match &row[col] {
+                        None => row[col] = Some(actual),
+                        Some(bound) if bound.eq_values(&actual) => {}
+                        Some(_) => continue 'next, // repeated var mismatch
+                    }
+                }
+            }
+        }
+        rel.rows.push(row.into_iter().map(|v| v.expect("all vars bound")).collect());
+    }
+    rel
+}
+
+mod tag {
+    pub const SCAN: u8 = 1;
+    pub const MAT: u8 = 2;
+    pub const JOIN: u8 = 3;
+    pub const FILTER: u8 = 4;
+    pub const PROJECT: u8 = 5;
+    pub const ORDER_BY: u8 = 6;
+    pub const LIMIT: u8 = 7;
+    pub const TOP_N: u8 = 8;
+    pub const SKYLINE: u8 = 9;
+}
+
+impl Wire for MqpNode {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MqpNode::Scan { pattern } => {
+                tag::SCAN.encode(buf);
+                pattern.encode(buf);
+            }
+            MqpNode::Mat(rel) => {
+                tag::MAT.encode(buf);
+                rel.encode(buf);
+            }
+            MqpNode::Join { left, right } => {
+                tag::JOIN.encode(buf);
+                left.encode(buf);
+                right.encode(buf);
+            }
+            MqpNode::Filter { input, expr } => {
+                tag::FILTER.encode(buf);
+                input.encode(buf);
+                expr.encode(buf);
+            }
+            MqpNode::Project { input, vars } => {
+                tag::PROJECT.encode(buf);
+                input.encode(buf);
+                vars.encode(buf);
+            }
+            MqpNode::OrderBy { input, items } => {
+                tag::ORDER_BY.encode(buf);
+                input.encode(buf);
+                items.encode(buf);
+            }
+            MqpNode::Limit { input, n } => {
+                tag::LIMIT.encode(buf);
+                input.encode(buf);
+                n.encode(buf);
+            }
+            MqpNode::TopN { input, items, n } => {
+                tag::TOP_N.encode(buf);
+                input.encode(buf);
+                items.encode(buf);
+                n.encode(buf);
+            }
+            MqpNode::Skyline { input, items } => {
+                tag::SKYLINE.encode(buf);
+                input.encode(buf);
+                items.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            tag::SCAN => MqpNode::Scan { pattern: TriplePattern::decode(buf)? },
+            tag::MAT => MqpNode::Mat(Relation::decode(buf)?),
+            tag::JOIN => MqpNode::Join {
+                left: Box::new(MqpNode::decode(buf)?),
+                right: Box::new(MqpNode::decode(buf)?),
+            },
+            tag::FILTER => MqpNode::Filter {
+                input: Box::new(MqpNode::decode(buf)?),
+                expr: Expr::decode(buf)?,
+            },
+            tag::PROJECT => MqpNode::Project {
+                input: Box::new(MqpNode::decode(buf)?),
+                vars: Wire::decode(buf)?,
+            },
+            tag::ORDER_BY => MqpNode::OrderBy {
+                input: Box::new(MqpNode::decode(buf)?),
+                items: Wire::decode(buf)?,
+            },
+            tag::LIMIT => MqpNode::Limit {
+                input: Box::new(MqpNode::decode(buf)?),
+                n: Wire::decode(buf)?,
+            },
+            tag::TOP_N => MqpNode::TopN {
+                input: Box::new(MqpNode::decode(buf)?),
+                items: Wire::decode(buf)?,
+                n: Wire::decode(buf)?,
+            },
+            tag::SKYLINE => MqpNode::Skyline {
+                input: Box::new(MqpNode::decode(buf)?),
+                items: Wire::decode(buf)?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Mqp {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.qid.encode(buf);
+        self.origin.encode(buf);
+        self.root.encode(buf);
+        self.filters.encode(buf);
+        self.limit_hint.encode(buf);
+        self.hops.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Mqp {
+            qid: Wire::decode(buf)?,
+            origin: Wire::decode(buf)?,
+            root: MqpNode::decode(buf)?,
+            filters: Wire::decode(buf)?,
+            limit_hint: Wire::decode(buf)?,
+            hops: Wire::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_vql::{analyze, parse};
+
+    fn mqp_of(src: &str) -> MqpNode {
+        let a = analyze(parse(src).unwrap()).unwrap();
+        MqpNode::from_logical(&Logical::from_query(&a))
+    }
+
+    fn rel(schema: &[&str], rows: Vec<Vec<Value>>) -> Relation {
+        Relation { schema: schema.iter().map(|s| Arc::from(*s)).collect(), rows }
+    }
+
+    #[test]
+    fn resolve_left_to_right_and_reduce() {
+        let mut plan = mqp_of("SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g)}");
+        assert_eq!(plan.scans_remaining(), 2);
+        assert_eq!(plan.first_scan().unwrap().to_string(), "(?a,'name',?n)");
+
+        let left = rel(&["a", "n"], vec![vec![Value::str("a1"), Value::str("alice")]]);
+        assert!(plan.resolve_first_scan(left));
+        plan.reduce();
+        assert_eq!(plan.scans_remaining(), 1);
+        assert_eq!(plan.first_scan().unwrap().to_string(), "(?a,'age',?g)");
+        // The join's left side is materialized → fetch join possible.
+        let (l, p) = plan.fetch_join_site().expect("fetch site");
+        assert_eq!(l.len(), 1);
+        assert_eq!(p.to_string(), "(?a,'age',?g)");
+
+        let right = rel(&["a", "g"], vec![vec![Value::str("a1"), Value::Int(30)]]);
+        assert!(plan.resolve_first_scan(right));
+        plan.reduce();
+        let out = plan.result().expect("fully reduced");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.schema.len(), 2); // projected to ?n, ?g
+        assert_eq!(out.rows[0], vec![Value::str("alice"), Value::Int(30)]);
+    }
+
+    #[test]
+    fn reduce_applies_filter_order_limit() {
+        let mut plan = mqp_of(
+            "SELECT ?g WHERE {(?a,'age',?g) FILTER ?g > 10} ORDER BY ?g DESC LIMIT 2",
+        );
+        let input = rel(
+            &["a", "g"],
+            vec![
+                vec![Value::str("x"), Value::Int(5)],
+                vec![Value::str("y"), Value::Int(30)],
+                vec![Value::str("z"), Value::Int(20)],
+                vec![Value::str("w"), Value::Int(40)],
+            ],
+        );
+        plan.resolve_first_scan(input);
+        plan.reduce();
+        let out = plan.result().unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(40)], vec![Value::Int(30)]]);
+    }
+
+    #[test]
+    fn bind_triples_literals_and_vars() {
+        let q = parse("SELECT ?a,?v WHERE {(?a,'year',?v)}").unwrap();
+        let triples = vec![
+            Triple::new("a12", "year", Value::Int(2006)),
+            Triple::new("v34", "year", Value::Int(2005)),
+            Triple::new("a12", "title", Value::str("nope")),
+        ];
+        let rel = bind_triples(&q.patterns[0], &triples, &MappingSet::new());
+        assert_eq!(rel.schema.len(), 2);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn bind_triples_repeated_var_must_agree() {
+        let q = parse("SELECT ?x WHERE {(?x,'self',?x)}").unwrap();
+        let triples = vec![
+            Triple::new("a", "self", Value::str("a")),
+            Triple::new("a", "self", Value::str("b")),
+        ];
+        let rel = bind_triples(&q.patterns[0], &triples, &MappingSet::new());
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.rows[0][0], Value::str("a"));
+    }
+
+    #[test]
+    fn bind_triples_respects_mappings() {
+        let q = parse("SELECT ?v WHERE {(?a,'confname',?v)}").unwrap();
+        let triples = vec![
+            Triple::new("c1", "confname", Value::str("ICDE")),
+            Triple::new("c2", "dblp:conf", Value::str("VLDB")),
+            Triple::new("c3", "unrelated", Value::str("X")),
+        ];
+        let mut maps = MappingSet::new();
+        maps.add(&unistore_store::Mapping::new("confname", "dblp:conf"));
+        let rel = bind_triples(&q.patterns[0], &triples, &maps);
+        assert_eq!(rel.len(), 2, "mapped attribute must match too");
+    }
+
+    #[test]
+    fn bind_triples_attr_var_binds_attr_name() {
+        // Schema-level querying: the attribute itself becomes data.
+        let q = parse("SELECT ?attr WHERE {('a12',?attr,?v)}").unwrap();
+        let triples = vec![
+            Triple::new("a12", "year", Value::Int(2006)),
+            Triple::new("other", "year", Value::Int(2005)),
+        ];
+        let rel = bind_triples(&q.patterns[0], &triples, &MappingSet::new());
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.rows[0][0], Value::str("year"));
+    }
+
+    #[test]
+    fn wire_roundtrip_full_plan() {
+        let mut plan = mqp_of(
+            "SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30}
+             ORDER BY SKYLINE OF ?g MIN TOP 3 LIMIT 2",
+        );
+        // Partially resolve so a Mat node is in the tree too.
+        plan.resolve_first_scan(rel(&["a", "n"], vec![vec![Value::str("a1"), Value::str("x")]]));
+        let filters = parse("SELECT ?g WHERE {(?a,'age',?g) FILTER ?g >= 30}")
+            .unwrap()
+            .filters;
+        let mqp = Mqp::new(42, 7, plan, filters, Some(2));
+        let b = mqp.to_bytes();
+        assert_eq!(b.len(), mqp.wire_size());
+        assert_eq!(Mqp::from_bytes(&b).unwrap(), mqp);
+    }
+}

@@ -1,0 +1,93 @@
+//! Ranking operators: ORDER BY and top-N.
+
+use unistore_vql::ast::{OrderItem, SortDir};
+
+use crate::relation::Relation;
+
+/// Sorts a relation by the given items (stable, in item priority order).
+pub fn order_by(rel: &mut Relation, items: &[OrderItem]) {
+    let cols: Vec<(usize, SortDir)> = items
+        .iter()
+        .filter_map(|o| rel.col(&o.var).map(|c| (c, o.dir)))
+        .collect();
+    rel.rows.sort_by(|a, b| {
+        for &(c, dir) in &cols {
+            let ord = a[c].cmp_values(&b[c]);
+            let ord = if dir == SortDir::Desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Truncates to the first `n` rows.
+pub fn limit(rel: &mut Relation, n: usize) {
+    rel.rows.truncate(n);
+}
+
+/// Top-N: sort then truncate (the paper's ranking operator).
+pub fn top_n(rel: &mut Relation, items: &[OrderItem], n: usize) {
+    order_by(rel, items);
+    limit(rel, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use unistore_store::Value;
+
+    fn rel() -> Relation {
+        Relation {
+            schema: vec![Arc::from("n"), Arc::from("y")],
+            rows: vec![
+                vec![Value::str("b"), Value::Int(2006)],
+                vec![Value::str("a"), Value::Int(2005)],
+                vec![Value::str("c"), Value::Int(2005)],
+            ],
+        }
+    }
+
+    fn item(var: &str, dir: SortDir) -> OrderItem {
+        OrderItem { var: Arc::from(var), dir }
+    }
+
+    #[test]
+    fn sort_asc_then_tiebreak() {
+        let mut r = rel();
+        order_by(&mut r, &[item("y", SortDir::Asc), item("n", SortDir::Asc)]);
+        let names: Vec<_> = r.rows.iter().map(|row| row[0].clone()).collect();
+        assert_eq!(names, vec![Value::str("a"), Value::str("c"), Value::str("b")]);
+    }
+
+    #[test]
+    fn sort_desc() {
+        let mut r = rel();
+        order_by(&mut r, &[item("y", SortDir::Desc)]);
+        assert_eq!(r.rows[0][1], Value::Int(2006));
+    }
+
+    #[test]
+    fn top_n_truncates_after_sort() {
+        let mut r = rel();
+        top_n(&mut r, &[item("y", SortDir::Asc), item("n", SortDir::Asc)], 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[1][0], Value::str("c"));
+    }
+
+    #[test]
+    fn limit_beyond_len_is_noop() {
+        let mut r = rel();
+        limit(&mut r, 10);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn missing_sort_var_ignored() {
+        let mut r = rel();
+        order_by(&mut r, &[item("ghost", SortDir::Asc)]);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,289 @@
+//! The tabular intermediate representation.
+//!
+//! Plans pass relations between operators — and, MQP-style, between
+//! peers, which is why [`Relation`] is wire-encodable: shipping a plan
+//! with embedded partial results has an honest byte cost.
+
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_store::Value;
+use unistore_util::wire::{Wire, WireError};
+use unistore_util::FxHashMap;
+
+/// A bag of rows over a variable schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Relation {
+    /// Column names (VQL variables).
+    pub schema: Vec<Arc<str>>,
+    /// Rows, each as long as the schema.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Empty relation over a schema.
+    pub fn empty(schema: Vec<Arc<str>>) -> Relation {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Column index of a variable.
+    pub fn col(&self, var: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.as_ref() == var)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Projects onto the given variables (must all exist).
+    ///
+    /// # Panics
+    /// Panics if a variable is missing from the schema.
+    pub fn project(&self, vars: &[Arc<str>]) -> Relation {
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|v| self.col(v).unwrap_or_else(|| panic!("projection var ?{v} missing")))
+            .collect();
+        Relation {
+            schema: vars.to_vec(),
+            rows: self.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect(),
+        }
+    }
+
+    /// Natural (hash) join on all shared variables. With no shared
+    /// variables this degenerates to the Cartesian product.
+    pub fn join(&self, other: &Relation) -> Relation {
+        let shared: Vec<Arc<str>> = self
+            .schema
+            .iter()
+            .filter(|v| other.col(v).is_some())
+            .cloned()
+            .collect();
+        let mut schema = self.schema.clone();
+        for v in &other.schema {
+            if self.col(v).is_none() {
+                schema.push(v.clone());
+            }
+        }
+        let other_extra: Vec<usize> = other
+            .schema
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| self.col(v).is_none())
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut rows = Vec::new();
+        if shared.is_empty() {
+            for l in &self.rows {
+                for r in &other.rows {
+                    let mut row = l.clone();
+                    row.extend(other_extra.iter().map(|&i| r[i].clone()));
+                    rows.push(row);
+                }
+            }
+            return Relation { schema, rows };
+        }
+
+        let l_keys: Vec<usize> = shared.iter().map(|v| self.col(v).unwrap()).collect();
+        let r_keys: Vec<usize> = shared.iter().map(|v| other.col(v).unwrap()).collect();
+        // Hash the smaller side.
+        let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+        for (i, r) in other.rows.iter().enumerate() {
+            let key: Vec<u64> = r_keys.iter().map(|&k| value_hash(&r[k])).collect();
+            table.entry(key).or_default().push(i);
+        }
+        for l in &self.rows {
+            let key: Vec<u64> = l_keys.iter().map(|&k| value_hash(&l[k])).collect();
+            if let Some(matches) = table.get(&key) {
+                for &ri in matches {
+                    let r = &other.rows[ri];
+                    // Verify (hash collisions, numeric equality).
+                    let eq = l_keys
+                        .iter()
+                        .zip(&r_keys)
+                        .all(|(&lk, &rk)| l[lk].eq_values(&r[rk]));
+                    if eq {
+                        let mut row = l.clone();
+                        row.extend(other_extra.iter().map(|&i| r[i].clone()));
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        Relation { schema, rows }
+    }
+
+    /// Removes duplicate rows (first occurrence wins).
+    pub fn distinct(&mut self) {
+        let mut seen: std::collections::HashSet<Vec<u64>> = Default::default();
+        let rows = std::mem::take(&mut self.rows);
+        self.rows = rows
+            .into_iter()
+            .filter(|r| seen.insert(r.iter().map(value_hash).collect()))
+            .collect();
+    }
+
+    /// Union with another relation over the same schema (columns are
+    /// aligned by name).
+    ///
+    /// # Panics
+    /// Panics if the schemas don't contain the same variables.
+    pub fn union(&mut self, other: Relation) {
+        if self.schema == other.schema {
+            self.rows.extend(other.rows);
+            return;
+        }
+        let idx: Vec<usize> = self
+            .schema
+            .iter()
+            .map(|v| other.col(v).unwrap_or_else(|| panic!("union schema mismatch at ?{v}")))
+            .collect();
+        assert_eq!(self.schema.len(), other.schema.len(), "union schema mismatch");
+        self.rows
+            .extend(other.rows.into_iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect::<Vec<_>>()));
+    }
+}
+
+/// Hash of a value consistent with `eq_values` (numeric classes collapse
+/// onto the f64 encoding).
+pub fn value_hash(v: &Value) -> u64 {
+    match v {
+        Value::Str(s) => unistore_util::fxhash::hash_bytes(s.as_bytes()),
+        Value::Int(i) => unistore_util::ophash::encode_f64(*i as f64),
+        Value::Float(f) => unistore_util::ophash::encode_f64(*f),
+    }
+}
+
+impl Wire for Relation {
+    fn encode(&self, buf: &mut BytesMut) {
+        let schema: Vec<Arc<str>> = self.schema.clone();
+        schema.encode(buf);
+        unistore_util::wire::put_varint(buf, self.rows.len() as u64);
+        for r in &self.rows {
+            debug_assert_eq!(r.len(), self.schema.len());
+            for v in r {
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let schema = Vec::<Arc<str>>::decode(buf)?;
+        let n = unistore_util::wire::get_varint(buf)?;
+        if n > (1 << 24) {
+            return Err(WireError::BadLength(n));
+        }
+        let mut rows = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(schema.len());
+            for _ in 0..schema.len() {
+                row.push(Value::decode(buf)?);
+            }
+            rows.push(row);
+        }
+        Ok(Relation { schema, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[&str], rows: &[&[Value]]) -> Relation {
+        Relation {
+            schema: schema.iter().map(|s| Arc::from(*s)).collect(),
+            rows: rows.iter().map(|r| r.to_vec()).collect(),
+        }
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let r = rel(&["a", "b"], &[&[Value::Int(1), Value::str("x")]]);
+        let p = r.project(&[Arc::from("b"), Arc::from("a")]);
+        assert_eq!(p.schema[0].as_ref(), "b");
+        assert_eq!(p.rows[0], vec![Value::str("x"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn join_on_shared_var() {
+        let l = rel(&["a", "name"], &[
+            &[Value::str("a12"), Value::str("alice")],
+            &[Value::str("a13"), Value::str("bob")],
+        ]);
+        let r = rel(&["a", "age"], &[
+            &[Value::str("a12"), Value::Int(30)],
+            &[Value::str("a99"), Value::Int(50)],
+        ]);
+        let j = l.join(&r);
+        assert_eq!(j.schema.len(), 3);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.rows[0], vec![Value::str("a12"), Value::str("alice"), Value::Int(30)]);
+    }
+
+    #[test]
+    fn join_without_shared_is_cartesian() {
+        let l = rel(&["a"], &[&[Value::Int(1)], &[Value::Int(2)]]);
+        let r = rel(&["b"], &[&[Value::Int(3)], &[Value::Int(4)]]);
+        assert_eq!(l.join(&r).len(), 4);
+    }
+
+    #[test]
+    fn join_numeric_classes_unify() {
+        let l = rel(&["x"], &[&[Value::Int(3)]]);
+        let r = rel(&["x"], &[&[Value::Float(3.0)]]);
+        assert_eq!(l.join(&r).len(), 1, "Int 3 must join Float 3.0");
+    }
+
+    #[test]
+    fn multi_var_join() {
+        let l = rel(&["a", "b"], &[
+            &[Value::Int(1), Value::Int(2)],
+            &[Value::Int(1), Value::Int(3)],
+        ]);
+        let r = rel(&["b", "a"], &[&[Value::Int(2), Value::Int(1)]]);
+        let j = l.join(&r);
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let mut r = rel(&["a"], &[&[Value::Int(1)], &[Value::Int(1)], &[Value::Int(2)]]);
+        r.distinct();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn union_aligns_columns() {
+        let mut a = rel(&["x", "y"], &[&[Value::Int(1), Value::Int(2)]]);
+        let b = rel(&["y", "x"], &[&[Value::Int(20), Value::Int(10)]]);
+        a.union(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.rows[1], vec![Value::Int(10), Value::Int(20)]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = rel(&["a", "v"], &[
+            &[Value::str("a12"), Value::Int(2006)],
+            &[Value::str("v34"), Value::Float(0.5)],
+        ]);
+        let b = r.to_bytes();
+        assert_eq!(b.len(), r.wire_size());
+        assert_eq!(Relation::from_bytes(&b).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_relation_roundtrip() {
+        let r = Relation::empty(vec![Arc::from("x")]);
+        let b = r.to_bytes();
+        assert_eq!(Relation::from_bytes(&b).unwrap(), r);
+    }
+}

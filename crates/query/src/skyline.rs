@@ -1,0 +1,170 @@
+//! The skyline operator.
+//!
+//! Paper §2 example: `ORDER BY SKYLINE OF ?age MIN, ?cnt MAX` — "a
+//! skyline of authors that reaches from the youngest authors to those
+//! authors published the most publications". Block-nested-loops over the
+//! Pareto dominance relation.
+
+use std::cmp::Ordering;
+
+use unistore_store::Value;
+use unistore_vql::ast::{SkyDir, SkyItem};
+
+use crate::relation::Relation;
+
+/// Whether `a` dominates `b` under the preferences: at least as good in
+/// every dimension, strictly better in one.
+pub fn dominates(a: &[Value], b: &[Value], cols: &[(usize, SkyDir)]) -> bool {
+    let mut strictly_better = false;
+    for &(c, dir) in cols {
+        let ord = a[c].cmp_values(&b[c]);
+        let good = match dir {
+            SkyDir::Min => ord != Ordering::Greater,
+            SkyDir::Max => ord != Ordering::Less,
+        };
+        if !good {
+            return false;
+        }
+        if ord != Ordering::Equal {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Reduces a relation to its skyline (block-nested-loops).
+pub fn skyline(rel: &mut Relation, items: &[SkyItem]) {
+    let cols: Vec<(usize, SkyDir)> = items
+        .iter()
+        .filter_map(|s| rel.col(&s.var).map(|c| (c, s.dir)))
+        .collect();
+    if cols.is_empty() {
+        return;
+    }
+    let rows = std::mem::take(&mut rel.rows);
+    let mut window: Vec<Vec<Value>> = Vec::new();
+    'next: for row in rows {
+        let mut i = 0;
+        while i < window.len() {
+            if dominates(&window[i], &row, &cols) {
+                continue 'next; // dominated: drop the candidate
+            }
+            if dominates(&row, &window[i], &cols) {
+                window.swap_remove(i); // candidate kills a window row
+            } else {
+                i += 1;
+            }
+        }
+        window.push(row);
+    }
+    rel.rows = window;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn items() -> Vec<SkyItem> {
+        vec![
+            SkyItem { var: Arc::from("age"), dir: SkyDir::Min },
+            SkyItem { var: Arc::from("cnt"), dir: SkyDir::Max },
+        ]
+    }
+
+    fn rel(rows: &[(i64, i64)]) -> Relation {
+        Relation {
+            schema: vec![Arc::from("age"), Arc::from("cnt")],
+            rows: rows.iter().map(|&(a, c)| vec![Value::Int(a), Value::Int(c)]).collect(),
+        }
+    }
+
+    #[test]
+    fn paper_example_semantics() {
+        // Young authors with many publications dominate old authors
+        // with few.
+        let mut r = rel(&[
+            (30, 10), // in skyline
+            (40, 5),  // dominated by (30,10)
+            (25, 3),  // in skyline (youngest with 3+)
+            (50, 20), // in skyline (most publications)
+            (50, 19), // dominated by (50,20)
+        ]);
+        skyline(&mut r, &items());
+        let mut got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (row[0].as_f64().unwrap() as i64, row[1].as_f64().unwrap() as i64)
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(25, 3), (30, 10), (50, 20)]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        // Equal points don't dominate each other.
+        let mut r = rel(&[(30, 10), (30, 10)]);
+        skyline(&mut r, &items());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn single_dimension_min() {
+        let mut r = rel(&[(3, 0), (1, 0), (2, 0)]);
+        skyline(&mut r, &[SkyItem { var: Arc::from("age"), dir: SkyDir::Min }]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let cols = [(0, SkyDir::Min), (1, SkyDir::Max)];
+        let a = vec![Value::Int(1), Value::Int(5)];
+        let b = vec![Value::Int(2), Value::Int(5)];
+        assert!(dominates(&a, &b, &cols));
+        assert!(!dominates(&b, &a, &cols));
+        assert!(!dominates(&a, &a, &cols), "no self-domination");
+    }
+
+    proptest! {
+        /// Skyline invariants: no survivor dominates another survivor;
+        /// every removed row is dominated by some survivor.
+        #[test]
+        fn prop_skyline_sound_and_complete(
+            rows in proptest::collection::vec((0i64..20, 0i64..20), 1..40)
+        ) {
+            let original = rel(&rows);
+            let mut r = original.clone();
+            let its = items();
+            skyline(&mut r, &its);
+            let cols = [(0, SkyDir::Min), (1, SkyDir::Max)];
+            // Soundness: mutual non-domination among survivors.
+            for a in &r.rows {
+                for b in &r.rows {
+                    prop_assert!(!dominates(a, b, &cols) || a == b || !r.rows.contains(a) );
+                }
+            }
+            for a in &r.rows {
+                for b in &r.rows {
+                    if !std::ptr::eq(a, b) {
+                        prop_assert!(!dominates(a, b, &cols),
+                            "survivor {a:?} dominates survivor {b:?}");
+                    }
+                }
+            }
+            // Completeness: each dropped row is dominated by a survivor.
+            for row in &original.rows {
+                let survived = r.rows.contains(row);
+                if !survived {
+                    prop_assert!(
+                        r.rows.iter().any(|s| dominates(s, row, &cols)),
+                        "dropped row {row:?} not dominated"
+                    );
+                }
+            }
+        }
+    }
+}

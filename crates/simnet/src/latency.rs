@@ -1,0 +1,205 @@
+//! Link-latency models.
+//!
+//! The paper demonstrates on (a) a conference LAN and (b) up to 400
+//! PlanetLab nodes (§4). The models here reproduce both regimes:
+//! [`LanLatency`] for the former, [`PlanetLabLatency`] for the latter.
+//! PlanetLab pairwise RTTs are well approximated by a log-normal
+//! distribution with median ≈ 75 ms and a heavy tail (cf. published
+//! all-pairs-ping studies); each node pair receives a *stable* base
+//! latency (derived deterministically from the pair) plus per-message
+//! jitter, matching the temporal structure of a real deployment.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_util::fxhash::mix64;
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// Samples the one-way delay for a message.
+pub trait LatencyModel: Send {
+    /// One-way delay from `from` to `to` for the next message.
+    fn sample(&mut self, rng: &mut StdRng, from: NodeId, to: NodeId) -> SimTime;
+
+    /// Expected (mean) one-way delay, used by the cost model to convert
+    /// hop counts into predicted latency.
+    fn expected(&self) -> SimTime;
+}
+
+/// Fixed delay on every link.
+#[derive(Clone, Debug)]
+pub struct ConstantLatency(pub SimTime);
+
+impl LatencyModel for ConstantLatency {
+    fn sample(&mut self, _rng: &mut StdRng, _from: NodeId, _to: NodeId) -> SimTime {
+        self.0
+    }
+
+    fn expected(&self) -> SimTime {
+        self.0
+    }
+}
+
+/// Uniform delay in `[lo, hi]`.
+#[derive(Clone, Debug)]
+pub struct UniformLatency {
+    lo: SimTime,
+    hi: SimTime,
+}
+
+impl UniformLatency {
+    /// Creates the model; `lo` must not exceed `hi`.
+    pub fn new(lo: SimTime, hi: SimTime) -> Self {
+        assert!(lo <= hi, "uniform latency bounds out of order");
+        UniformLatency { lo, hi }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn sample(&mut self, rng: &mut StdRng, _from: NodeId, _to: NodeId) -> SimTime {
+        SimTime::from_micros(rng.gen_range(self.lo.as_micros()..=self.hi.as_micros()))
+    }
+
+    fn expected(&self) -> SimTime {
+        SimTime::from_micros((self.lo.as_micros() + self.hi.as_micros()) / 2)
+    }
+}
+
+/// Conference-LAN regime: sub-millisecond, lightly jittered.
+#[derive(Clone, Debug, Default)]
+pub struct LanLatency;
+
+impl LatencyModel for LanLatency {
+    fn sample(&mut self, rng: &mut StdRng, _from: NodeId, _to: NodeId) -> SimTime {
+        // 0.2–0.8 ms: switch + stack traversal.
+        SimTime::from_micros(rng.gen_range(200..=800))
+    }
+
+    fn expected(&self) -> SimTime {
+        SimTime::from_micros(500)
+    }
+}
+
+/// PlanetLab-like WAN regime.
+///
+/// Per-pair base one-way delay is log-normal (median [`Self::MEDIAN_MS`],
+/// σ = 0.6 in log space → p95 ≈ 3× median), derived deterministically from
+/// the unordered node pair so that the "geography" of the network is fixed
+/// for a given `topology_seed`; each message adds ±15% jitter.
+#[derive(Clone, Debug)]
+pub struct PlanetLabLatency {
+    topology_seed: u64,
+}
+
+impl PlanetLabLatency {
+    /// Median one-way delay in milliseconds (≈ half a typical PlanetLab
+    /// transcontinental RTT).
+    pub const MEDIAN_MS: f64 = 37.5;
+    /// Log-space standard deviation.
+    pub const SIGMA: f64 = 0.6;
+
+    /// Creates the model with a fixed topology.
+    pub fn new(topology_seed: u64) -> Self {
+        PlanetLabLatency { topology_seed }
+    }
+
+    /// The stable base delay of a pair, in milliseconds.
+    pub fn base_ms(&self, a: NodeId, b: NodeId) -> f64 {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let h = mix64(self.topology_seed ^ ((lo as u64) << 32 | hi as u64));
+        // Box–Muller from two 32-bit halves of the hash.
+        let u1 = ((h >> 32) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        let u2 = ((h & 0xFFFF_FFFF) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Self::MEDIAN_MS * (Self::SIGMA * z).exp()
+    }
+}
+
+impl LatencyModel for PlanetLabLatency {
+    fn sample(&mut self, rng: &mut StdRng, from: NodeId, to: NodeId) -> SimTime {
+        let base = self.base_ms(from, to);
+        let jitter = rng.gen_range(0.85..=1.15);
+        SimTime::from_millis_f64(base * jitter)
+    }
+
+    fn expected(&self) -> SimTime {
+        // Mean of log-normal: median * exp(sigma^2 / 2).
+        SimTime::from_millis_f64(Self::MEDIAN_MS * (Self::SIGMA * Self::SIGMA / 2.0).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = ConstantLatency(SimTime::from_millis(5));
+        let mut r = rng();
+        for _ in 0..5 {
+            assert_eq!(m.sample(&mut r, NodeId(0), NodeId(1)), SimTime::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let lo = SimTime::from_millis(1);
+        let hi = SimTime::from_millis(2);
+        let mut m = UniformLatency::new(lo, hi);
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = m.sample(&mut r, NodeId(0), NodeId(1));
+            assert!(s >= lo && s <= hi);
+        }
+        assert_eq!(m.expected(), SimTime::from_micros(1_500));
+    }
+
+    #[test]
+    fn lan_is_submillisecond() {
+        let mut m = LanLatency;
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(m.sample(&mut r, NodeId(0), NodeId(1)) < SimTime::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn planetlab_base_is_symmetric_and_stable() {
+        let m = PlanetLabLatency::new(42);
+        assert_eq!(m.base_ms(NodeId(3), NodeId(9)), m.base_ms(NodeId(9), NodeId(3)));
+        assert_eq!(m.base_ms(NodeId(3), NodeId(9)), m.base_ms(NodeId(3), NodeId(9)));
+        // Different topology seed → different geography.
+        let m2 = PlanetLabLatency::new(43);
+        assert_ne!(m.base_ms(NodeId(3), NodeId(9)), m2.base_ms(NodeId(3), NodeId(9)));
+    }
+
+    #[test]
+    fn planetlab_median_plausible() {
+        let m = PlanetLabLatency::new(7);
+        let mut bases: Vec<f64> =
+            (0..500u32).map(|i| m.base_ms(NodeId(i), NodeId(i + 1000))).collect();
+        bases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = bases[bases.len() / 2];
+        assert!(
+            (20.0..60.0).contains(&median),
+            "median one-way delay {median} ms outside PlanetLab regime"
+        );
+        // Heavy tail exists.
+        assert!(bases[bases.len() - 1] > 2.0 * median);
+    }
+
+    #[test]
+    fn planetlab_jitter_varies_per_message() {
+        let mut m = PlanetLabLatency::new(7);
+        let mut r = rng();
+        let a = m.sample(&mut r, NodeId(0), NodeId(1));
+        let b = m.sample(&mut r, NodeId(0), NodeId(1));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Network-level accounting.
+
+use crate::time::SimTime;
+
+/// Counters maintained by the simulator.
+///
+/// `Copy` so call sites can snapshot cheaply and compute deltas around a
+/// measured operation (how experiments attribute cost to a query).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Messages handed to the network (including later-dropped ones).
+    pub sent: u64,
+    /// Messages delivered to a live node.
+    pub delivered: u64,
+    /// Messages dropped (loss or dead destination).
+    pub dropped: u64,
+    /// Sum of encoded sizes of sent messages, in bytes.
+    pub bytes: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+}
+
+impl NetMetrics {
+    /// Component-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &NetMetrics) -> NetMetrics {
+        NetMetrics {
+            sent: self.sent - earlier.sent,
+            delivered: self.delivered - earlier.delivered,
+            dropped: self.dropped - earlier.dropped,
+            bytes: self.bytes - earlier.bytes,
+            timers_fired: self.timers_fired - earlier.timers_fired,
+        }
+    }
+}
+
+/// Outcome of one simulated operation, as reported by experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpCost {
+    /// Messages attributable to the operation.
+    pub messages: u64,
+    /// Bytes attributable to the operation.
+    pub bytes: u64,
+    /// Wall-clock (simulated) duration.
+    pub latency: SimTime,
+    /// Longest dependency chain of messages (routing hops), when the
+    /// protocol reports it; 0 otherwise.
+    pub hops: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts() {
+        let a = NetMetrics { sent: 10, delivered: 8, dropped: 2, bytes: 100, timers_fired: 1 };
+        let b = NetMetrics { sent: 4, delivered: 4, dropped: 0, bytes: 30, timers_fired: 0 };
+        let d = a.delta(&b);
+        assert_eq!(d.sent, 6);
+        assert_eq!(d.delivered, 4);
+        assert_eq!(d.dropped, 2);
+        assert_eq!(d.bytes, 70);
+        assert_eq!(d.timers_fired, 1);
+    }
+}

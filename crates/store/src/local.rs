@@ -1,0 +1,190 @@
+//! A purely local triple store: the *reference engine*.
+//!
+//! Integration tests run every distributed query against this in-memory
+//! oracle and require identical answers (oracle testing). Experiments
+//! also use it to verify result completeness.
+
+use crate::qgram::edit_distance;
+use crate::triple::{Oid, Triple};
+use crate::value::Value;
+
+/// An in-memory bag of triples with predicate scans.
+#[derive(Clone, Debug, Default)]
+pub struct LocalTripleStore {
+    triples: Vec<Triple>,
+}
+
+impl LocalTripleStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one triple. Attributes are multi-valued: only an exact
+    /// `(oid, attr, value)` duplicate is idempotent; a different value
+    /// of the same attribute coexists (mirroring the DHT's identity
+    /// semantics).
+    pub fn insert(&mut self, t: Triple) {
+        let exists = self
+            .triples
+            .iter()
+            .any(|e| e.oid == t.oid && e.attr == t.attr && e.value.eq_values(&t.value));
+        if !exists {
+            self.triples.push(t);
+        }
+    }
+
+    /// Replaces all values of `(oid, attr)` with one new value (the
+    /// oracle-side view of an update).
+    pub fn replace(&mut self, t: Triple) {
+        self.triples.retain(|e| !(e.oid == t.oid && e.attr == t.attr));
+        self.triples.push(t);
+    }
+
+    /// Bulk insert.
+    pub fn insert_all(&mut self, ts: impl IntoIterator<Item = Triple>) {
+        for t in ts {
+            self.insert(t);
+        }
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples.
+    pub fn all(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Triples of one object.
+    pub fn by_oid(&self, oid: &Oid) -> Vec<&Triple> {
+        self.triples.iter().filter(|t| &t.oid == oid).collect()
+    }
+
+    /// Triples with an exact `(attr, value)` match.
+    pub fn by_attr_value(&self, attr: &str, value: &Value) -> Vec<&Triple> {
+        self.triples
+            .iter()
+            .filter(|t| t.attr.as_ref() == attr && t.value.eq_values(value))
+            .collect()
+    }
+
+    /// Triples of one attribute with `lo ≤ value ≤ hi` (either bound
+    /// optional).
+    pub fn by_attr_range(&self, attr: &str, lo: Option<&Value>, hi: Option<&Value>) -> Vec<&Triple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                t.attr.as_ref() == attr
+                    && lo.is_none_or(|l| t.value.cmp_values(l) != std::cmp::Ordering::Less)
+                    && hi.is_none_or(|h| t.value.cmp_values(h) != std::cmp::Ordering::Greater)
+            })
+            .collect()
+    }
+
+    /// Triples with a given value under *any* attribute (the v index).
+    pub fn by_value(&self, value: &Value) -> Vec<&Triple> {
+        self.triples.iter().filter(|t| t.value.eq_values(value)).collect()
+    }
+
+    /// Triples of one attribute whose string value has the given prefix.
+    pub fn by_attr_prefix(&self, attr: &str, prefix: &str) -> Vec<&Triple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                t.attr.as_ref() == attr
+                    && t.value.as_str().is_some_and(|s| s.starts_with(prefix))
+            })
+            .collect()
+    }
+
+    /// Triples of one attribute whose string value is within edit
+    /// distance `k` of `target` (the naive evaluation the q-gram index
+    /// competes against).
+    pub fn by_attr_similar(&self, attr: &str, target: &str, k: usize) -> Vec<&Triple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                t.attr.as_ref() == attr
+                    && t.value.as_str().is_some_and(|s| edit_distance(s, target) <= k)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> LocalTripleStore {
+        let mut s = LocalTripleStore::new();
+        s.insert_all([
+            Triple::new("a12", "title", Value::str("Similarity...")),
+            Triple::new("a12", "confname", Value::str("ICDE 2006 - Workshops")),
+            Triple::new("a12", "year", Value::Int(2006)),
+            Triple::new("v34", "title", Value::str("Progressive...")),
+            Triple::new("v34", "confname", Value::str("ICDE 2005")),
+            Triple::new("v34", "year", Value::Int(2005)),
+        ]);
+        s
+    }
+
+    #[test]
+    fn by_oid_groups_logical_tuple() {
+        let s = store();
+        assert_eq!(s.by_oid(&Oid::new("a12")).len(), 3);
+        assert_eq!(s.by_oid(&Oid::new("zzz")).len(), 0);
+    }
+
+    #[test]
+    fn exact_and_range_scans() {
+        let s = store();
+        assert_eq!(s.by_attr_value("year", &Value::Int(2006)).len(), 1);
+        assert_eq!(
+            s.by_attr_range("year", Some(&Value::Int(2005)), Some(&Value::Int(2006))).len(),
+            2
+        );
+        assert_eq!(s.by_attr_range("year", Some(&Value::Int(2006)), None).len(), 1);
+        assert_eq!(s.by_attr_range("year", None, None).len(), 2);
+    }
+
+    #[test]
+    fn value_scan_is_attr_agnostic() {
+        let mut s = store();
+        s.insert(Triple::new("p9", "founded", Value::Int(2005)));
+        assert_eq!(s.by_value(&Value::Int(2005)).len(), 2);
+    }
+
+    #[test]
+    fn prefix_and_similarity() {
+        let s = store();
+        assert_eq!(s.by_attr_prefix("confname", "ICDE").len(), 2);
+        assert_eq!(s.by_attr_prefix("confname", "ICDE 2005").len(), 1);
+        // One character typo'd target still matches via edit distance.
+        assert_eq!(s.by_attr_similar("confname", "ICDE 2004", 1).len(), 1);
+        assert_eq!(s.by_attr_similar("confname", "VLDB", 2).len(), 0);
+    }
+
+    #[test]
+    fn insert_is_multivalued_replace_is_not() {
+        let mut s = store();
+        // insert: a second year value coexists (multi-valued).
+        s.insert(Triple::new("a12", "year", Value::Int(2007)));
+        assert_eq!(s.len(), 7);
+        // exact duplicates are idempotent.
+        s.insert(Triple::new("a12", "year", Value::Int(2007)));
+        assert_eq!(s.len(), 7);
+        // replace: supersedes all values of the attribute.
+        s.replace(Triple::new("a12", "year", Value::Int(2008)));
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.by_attr_value("year", &Value::Int(2008)).len(), 1);
+        assert_eq!(s.by_attr_value("year", &Value::Int(2006)).len(), 0);
+    }
+}

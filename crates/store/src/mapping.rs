@@ -1,0 +1,184 @@
+//! Schema mappings as metadata triples.
+//!
+//! Paper §2: *"we allow to store triples representing a simple kind of
+//! schema mappings in order to overcome schema heterogeneities. This
+//! additional metadata can be queried explicitly by the user — or even
+//! automatically by the system to retrieve relevant data without needing
+//! the user to interact."*
+//!
+//! A mapping `ns1:attr ≡ ns2:attr'` is itself a triple
+//! `(ns1:attr, 'sys:maps_to', 'ns2:attr'')` — data and schema are stored
+//! uniformly (the universal-relation idea). [`MappingSet`] computes the
+//! symmetric-transitive closure so the query layer can expand an
+//! attribute into all its known equivalents.
+
+use std::sync::Arc;
+
+use unistore_util::{FxHashMap, FxHashSet};
+
+use crate::triple::Triple;
+use crate::value::Value;
+
+/// The reserved attribute under which mappings are stored.
+pub const MAPS_TO: &str = "sys:maps_to";
+
+/// One attribute correspondence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// Source attribute (namespace-qualified).
+    pub from: Arc<str>,
+    /// Equivalent attribute.
+    pub to: Arc<str>,
+}
+
+impl Mapping {
+    /// Creates a correspondence.
+    pub fn new(from: &str, to: &str) -> Mapping {
+        Mapping { from: Arc::from(from), to: Arc::from(to) }
+    }
+
+    /// The metadata triple representing this mapping.
+    pub fn to_triple(&self) -> Triple {
+        Triple { oid: crate::triple::Oid(self.from.clone()), attr: Arc::from(MAPS_TO), value: Value::Str(self.to.clone()) }
+    }
+
+    /// Parses a mapping back from a metadata triple.
+    pub fn from_triple(t: &Triple) -> Option<Mapping> {
+        if t.attr.as_ref() != MAPS_TO {
+            return None;
+        }
+        let to = t.value.as_str()?;
+        Some(Mapping { from: t.oid.0.clone(), to: Arc::from(to) })
+    }
+}
+
+/// A set of correspondences with closure computation.
+#[derive(Clone, Debug, Default)]
+pub struct MappingSet {
+    adjacency: FxHashMap<Arc<str>, Vec<Arc<str>>>,
+}
+
+impl MappingSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a correspondence (symmetric: both directions become known).
+    pub fn add(&mut self, m: &Mapping) {
+        self.link(m.from.clone(), m.to.clone());
+        self.link(m.to.clone(), m.from.clone());
+    }
+
+    fn link(&mut self, a: Arc<str>, b: Arc<str>) {
+        let list = self.adjacency.entry(a).or_default();
+        if !list.contains(&b) {
+            list.push(b);
+        }
+    }
+
+    /// Builds from metadata triples, ignoring non-mapping triples.
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> Self {
+        let mut set = Self::new();
+        for t in triples {
+            if let Some(m) = Mapping::from_triple(t) {
+                set.add(&m);
+            }
+        }
+        set
+    }
+
+    /// All attributes equivalent to `attr` (symmetric-transitive
+    /// closure), including `attr` itself, in deterministic order.
+    pub fn expand(&self, attr: &str) -> Vec<Arc<str>> {
+        let start: Arc<str> = Arc::from(attr);
+        let mut seen: FxHashSet<Arc<str>> = FxHashSet::default();
+        let mut order = vec![start.clone()];
+        seen.insert(start.clone());
+        let mut frontier = vec![start];
+        while let Some(cur) = frontier.pop() {
+            if let Some(next) = self.adjacency.get(&cur) {
+                for n in next {
+                    if seen.insert(n.clone()) {
+                        order.push(n.clone());
+                        frontier.push(n.clone());
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of attributes with at least one correspondence.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True when no mapping is known.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_roundtrip() {
+        let m = Mapping::new("dblp:confname", "conf:name");
+        let t = m.to_triple();
+        assert_eq!(t.attr.as_ref(), MAPS_TO);
+        assert_eq!(Mapping::from_triple(&t), Some(m));
+        // Non-mapping triples are ignored.
+        let other = Triple::new("a", "year", Value::Int(2006));
+        assert_eq!(Mapping::from_triple(&other), None);
+    }
+
+    #[test]
+    fn expand_is_symmetric() {
+        let mut s = MappingSet::new();
+        s.add(&Mapping::new("a:x", "b:y"));
+        assert_eq!(s.expand("a:x").len(), 2);
+        assert_eq!(s.expand("b:y").len(), 2);
+        assert!(s.expand("b:y").iter().any(|a| a.as_ref() == "a:x"));
+    }
+
+    #[test]
+    fn expand_is_transitive() {
+        let mut s = MappingSet::new();
+        s.add(&Mapping::new("a:x", "b:y"));
+        s.add(&Mapping::new("b:y", "c:z"));
+        let ex = s.expand("a:x");
+        assert_eq!(ex.len(), 3);
+        assert!(ex.iter().any(|a| a.as_ref() == "c:z"));
+    }
+
+    #[test]
+    fn expand_unknown_returns_self() {
+        let s = MappingSet::new();
+        let ex = s.expand("solo");
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].as_ref(), "solo");
+    }
+
+    #[test]
+    fn from_triples_filters() {
+        let triples = vec![
+            Mapping::new("p:name", "q:fullname").to_triple(),
+            Triple::new("a12", "year", Value::Int(2006)),
+        ];
+        let s = MappingSet::from_triples(&triples);
+        assert_eq!(s.len(), 2); // both directions indexed
+        assert_eq!(s.expand("p:name").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_mappings_are_idempotent() {
+        let mut s = MappingSet::new();
+        s.add(&Mapping::new("a", "b"));
+        s.add(&Mapping::new("a", "b"));
+        s.add(&Mapping::new("b", "a"));
+        assert_eq!(s.expand("a").len(), 2);
+    }
+}

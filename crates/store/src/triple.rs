@@ -1,0 +1,181 @@
+//! The triple: UniStore's unit of storage.
+//!
+//! `(OID, attribute, value)` — paper §2: *"OID is a unique key, e.g. a
+//! URI … system generated, allowing to group the triples for a logical
+//! tuple"*; attribute names may carry a namespace prefix (`ns:attr`) to
+//! distinguish relations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_util::fxhash::hash_bytes;
+use unistore_util::item::Item;
+use unistore_util::wire::{Wire, WireError};
+
+use crate::value::Value;
+
+/// Object identifier grouping the triples of one logical tuple.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub Arc<str>);
+
+impl Oid {
+    /// Constructs from a string.
+    pub fn new(s: &str) -> Oid {
+        Oid(Arc::from(s))
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Uniform hash of the identifier (placement of the OID index).
+    pub fn hash(&self) -> u64 {
+        hash_bytes(self.0.as_bytes())
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({})", self.0)
+    }
+}
+
+impl Wire for Oid {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Oid(Arc::<str>::decode(buf)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size()
+    }
+}
+
+/// One `(OID, attribute, value)` triple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Triple {
+    /// Logical-tuple identifier.
+    pub oid: Oid,
+    /// Attribute name, optionally namespace-prefixed (`pub:year`).
+    pub attr: Arc<str>,
+    /// The value.
+    pub value: Value,
+}
+
+impl Triple {
+    /// Constructs a triple.
+    pub fn new(oid: &str, attr: &str, value: Value) -> Triple {
+        Triple { oid: Oid::new(oid), attr: Arc::from(attr), value }
+    }
+
+    /// The attribute without its namespace prefix.
+    pub fn attr_local(&self) -> &str {
+        match self.attr.split_once(':') {
+            Some((_, local)) => local,
+            None => &self.attr,
+        }
+    }
+
+    /// The namespace prefix, if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.attr.split_once(':').map(|(ns, _)| ns)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},'{}',{})", self.oid, self.attr, self.value)
+    }
+}
+
+impl Wire for Triple {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.oid.encode(buf);
+        self.attr.encode(buf);
+        self.value.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Triple {
+            oid: Oid::decode(buf)?,
+            attr: Arc::<str>::decode(buf)?,
+            value: Value::decode(buf)?,
+        })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.oid.wire_size() + self.attr.wire_size() + self.value.wire_size()
+    }
+}
+
+impl Item for Triple {
+    /// Logical identity is the full `(oid, attribute, value)` fact:
+    /// attributes may be multi-valued (Fig. 3's `has_published`), so two
+    /// values of one attribute are distinct entries. Updates are
+    /// modelled as delete-old + insert-new (paper ref [4]); re-inserting
+    /// the identical fact is idempotent via versions.
+    fn ident(&self) -> u64 {
+        hash_bytes(self.oid.0.as_bytes())
+            ^ hash_bytes(self.attr.as_bytes()).rotate_left(1)
+            ^ self.value.semantic_hash().rotate_left(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = Triple::new("a12", "confname", Value::str("ICDE 2006 - WS"));
+        assert_eq!(t.to_string(), "(a12,'confname','ICDE 2006 - WS')");
+        let t = Triple::new("a12", "year", Value::Int(2006));
+        assert_eq!(t.to_string(), "(a12,'year',2006)");
+    }
+
+    #[test]
+    fn namespace_splitting() {
+        let t = Triple::new("a1", "pub:year", Value::Int(2006));
+        assert_eq!(t.namespace(), Some("pub"));
+        assert_eq!(t.attr_local(), "year");
+        let t = Triple::new("a1", "year", Value::Int(2006));
+        assert_eq!(t.namespace(), None);
+        assert_eq!(t.attr_local(), "year");
+    }
+
+    #[test]
+    fn ident_keyed_by_full_fact() {
+        let a = Triple::new("a12", "year", Value::Int(2006));
+        let b = Triple::new("a12", "year", Value::Int(2007));
+        let c = Triple::new("a12", "name", Value::Int(2006));
+        let d = Triple::new("a13", "year", Value::Int(2006));
+        let a2 = Triple::new("a12", "year", Value::Int(2006));
+        assert_eq!(a.ident(), a2.ident(), "identical facts → same identity");
+        assert_ne!(a.ident(), b.ident(), "multi-valued attributes coexist");
+        assert_ne!(a.ident(), c.ident());
+        assert_ne!(a.ident(), d.ident());
+        // Numeric classes collapse (Int 2006 == Float 2006.0).
+        let f = Triple::new("a12", "year", Value::Float(2006.0));
+        assert_eq!(a.ident(), f.ident());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let t = Triple::new("v34", "title", Value::str("Progressive..."));
+        let b = t.to_bytes();
+        assert_eq!(b.len(), t.wire_size());
+        assert_eq!(Triple::from_bytes(&b).unwrap(), t);
+    }
+}

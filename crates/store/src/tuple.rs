@@ -1,0 +1,165 @@
+//! Universal-relation (de)composition.
+//!
+//! Paper §2 / Fig. 2: a logical tuple `(OID, v1, …, vn)` over schema
+//! `R(A1, …, An)` becomes `n` triples; vertical storage "supersedes the
+//! explicit representation of null values making the universal relation
+//! approach feasible even for heterogeneous data".
+
+use std::sync::Arc;
+
+use unistore_util::FxHashMap;
+
+use crate::triple::{Oid, Triple};
+use crate::value::Value;
+
+/// A logical tuple: an OID plus attribute/value fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    /// Logical identifier.
+    pub oid: Oid,
+    /// Attribute/value pairs (absent attributes = nulls, simply omitted).
+    pub fields: Vec<(Arc<str>, Value)>,
+}
+
+impl Tuple {
+    /// Starts a tuple for the given OID.
+    pub fn new(oid: &str) -> Tuple {
+        Tuple { oid: Oid::new(oid), fields: Vec::new() }
+    }
+
+    /// Adds a field (builder style).
+    pub fn with(mut self, attr: &str, value: Value) -> Tuple {
+        self.fields.push((Arc::from(attr), value));
+        self
+    }
+
+    /// The value of an attribute, if present.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.fields.iter().find(|(a, _)| a.as_ref() == attr).map(|(_, v)| v)
+    }
+
+    /// Vertical decomposition: one triple per field (paper Fig. 2).
+    pub fn to_triples(&self) -> Vec<Triple> {
+        self.fields
+            .iter()
+            .map(|(attr, value)| Triple {
+                oid: self.oid.clone(),
+                attr: attr.clone(),
+                value: value.clone(),
+            })
+            .collect()
+    }
+
+    /// Reassembles logical tuples from a bag of triples (grouping by
+    /// OID). Field order follows first occurrence. Attributes are
+    /// multi-valued: distinct values of one attribute all survive; only
+    /// exact `(attr, value)` duplicates collapse.
+    pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Vec<Tuple> {
+        let mut order: Vec<Oid> = Vec::new();
+        let mut groups: FxHashMap<Oid, Vec<(Arc<str>, Value)>> = FxHashMap::default();
+        for t in triples {
+            let entry = groups.entry(t.oid.clone()).or_insert_with(|| {
+                order.push(t.oid.clone());
+                Vec::new()
+            });
+            if !entry.iter().any(|(a, v)| *a == t.attr && v.eq_values(&t.value)) {
+                entry.push((t.attr, t.value));
+            }
+        }
+        order
+            .into_iter()
+            .map(|oid| {
+                let fields = groups.remove(&oid).unwrap_or_default();
+                Tuple { oid, fields }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's Fig. 2 example: two publication tuples with three
+    /// attributes each → 6 triples (times 3 indexes = 18 index entries,
+    /// covered in `index.rs`).
+    fn fig2_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new("a12")
+                .with("title", Value::str("Similarity..."))
+                .with("confname", Value::str("ICDE 2006 - Workshops"))
+                .with("year", Value::Int(2006)),
+            Tuple::new("v34")
+                .with("title", Value::str("Progressive..."))
+                .with("confname", Value::str("ICDE 2005"))
+                .with("year", Value::Int(2005)),
+        ]
+    }
+
+    #[test]
+    fn fig2_decomposition_counts() {
+        let triples: Vec<Triple> = fig2_tuples().iter().flat_map(Tuple::to_triples).collect();
+        assert_eq!(triples.len(), 6, "2 tuples × 3 attributes");
+        assert!(triples.iter().any(|t| t.to_string() == "(a12,'year',2006)"));
+        assert!(triples.iter().any(|t| t.to_string() == "(v34,'confname','ICDE 2005')"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_tuples() {
+        let tuples = fig2_tuples();
+        let triples: Vec<Triple> = tuples.iter().flat_map(Tuple::to_triples).collect();
+        let back = Tuple::from_triples(triples);
+        assert_eq!(back, tuples);
+    }
+
+    #[test]
+    fn heterogeneous_tuples_no_nulls() {
+        // One peer shares phone numbers, another does not — no null
+        // markers anywhere, just fewer triples.
+        let a = Tuple::new("p1").with("name", Value::str("alice")).with("phone", Value::Int(123));
+        let b = Tuple::new("p2").with("name", Value::str("bob"));
+        let triples: Vec<Triple> =
+            a.to_triples().into_iter().chain(b.to_triples()).collect();
+        assert_eq!(triples.len(), 3);
+        let back = Tuple::from_triples(triples);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].get("phone"), None);
+    }
+
+    #[test]
+    fn multivalued_attrs_survive_exact_dups_collapse() {
+        let triples = vec![
+            Triple::new("x", "v", Value::Int(1)),
+            Triple::new("x", "v", Value::Int(2)),
+            Triple::new("x", "v", Value::Int(2)),
+        ];
+        let back = Tuple::from_triples(triples);
+        assert_eq!(back[0].fields.len(), 2, "two distinct values of ?v");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            n_tuples in 1usize..6,
+            attrs in proptest::collection::vec("[a-z]{1,6}", 1..5),
+        ) {
+            // Distinct attribute names per tuple.
+            let mut uniq = attrs.clone();
+            uniq.sort();
+            uniq.dedup();
+            let tuples: Vec<Tuple> = (0..n_tuples)
+                .map(|i| {
+                    let mut t = Tuple::new(&format!("o{i}"));
+                    for (j, a) in uniq.iter().enumerate() {
+                        t = t.with(a, Value::Int((i * 10 + j) as i64));
+                    }
+                    t
+                })
+                .collect();
+            let triples: Vec<Triple> =
+                tuples.iter().flat_map(Tuple::to_triples).collect();
+            prop_assert_eq!(Tuple::from_triples(triples), tuples);
+        }
+    }
+}

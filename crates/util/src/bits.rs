@@ -1,0 +1,351 @@
+//! Variable-length bit strings.
+//!
+//! P-Grid organizes peers as leaves of a virtual binary trie; a peer's
+//! position is the bit string spelled by the root-to-leaf walk. [`BitPath`]
+//! stores up to 64 bits (the width of the UniStore key space) in a single
+//! machine word, most-significant bit first, so that
+//! *path `p` is a prefix of key `k`* is a single mask-and-compare.
+
+use std::fmt;
+
+/// Maximum number of bits a [`BitPath`] can hold, equal to the key width.
+pub const MAX_BITS: u8 = 64;
+
+/// A bit string of length `0..=64`, stored left-aligned in a `u64`.
+///
+/// The empty path is the trie root. Bits beyond `len` are always zero,
+/// which makes equality and ordering structural.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BitPath {
+    /// Bits, left aligned: bit 0 of the path is the MSB of `bits`.
+    bits: u64,
+    len: u8,
+}
+
+impl BitPath {
+    /// The empty path (trie root).
+    pub const ROOT: BitPath = BitPath { bits: 0, len: 0 };
+
+    /// Creates a path from the `len` most significant bits of `bits`.
+    ///
+    /// # Panics
+    /// Panics if `len > 64`.
+    pub fn new(bits: u64, len: u8) -> Self {
+        assert!(len <= MAX_BITS, "BitPath length {len} exceeds {MAX_BITS}");
+        let mask = if len == 0 { 0 } else { u64::MAX << (64 - len as u32) };
+        BitPath { bits: bits & mask, len }
+    }
+
+    /// Parses a path from a string of `'0'`/`'1'` characters.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() > MAX_BITS as usize {
+            return None;
+        }
+        let mut p = BitPath::ROOT;
+        for c in s.chars() {
+            match c {
+                '0' => p = p.child(false),
+                '1' => p = p.child(true),
+                _ => return None,
+            }
+        }
+        Some(p)
+    }
+
+    /// Number of bits in the path.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` for the root path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw left-aligned bits.
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.bits
+    }
+
+    /// The bit at position `i` (0 = first / most significant).
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn bit(&self, i: u8) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.bits >> (63 - i as u32)) & 1 == 1
+    }
+
+    /// Extends the path by one bit.
+    ///
+    /// # Panics
+    /// Panics if the path is already [`MAX_BITS`] long.
+    #[inline]
+    pub fn child(&self, bit: bool) -> BitPath {
+        assert!(self.len < MAX_BITS, "BitPath overflow");
+        let mut bits = self.bits;
+        if bit {
+            bits |= 1 << (63 - self.len as u32);
+        }
+        BitPath { bits, len: self.len + 1 }
+    }
+
+    /// Removes the last bit; the root is its own parent.
+    #[inline]
+    pub fn parent(&self) -> BitPath {
+        if self.len == 0 {
+            *self
+        } else {
+            BitPath::new(self.bits, self.len - 1)
+        }
+    }
+
+    /// The sibling path: same prefix, last bit flipped. Root has no sibling.
+    #[inline]
+    pub fn sibling(&self) -> Option<BitPath> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(BitPath {
+                bits: self.bits ^ (1 << (63 - (self.len as u32 - 1))),
+                len: self.len,
+            })
+        }
+    }
+
+    /// First `n` bits of the path.
+    ///
+    /// # Panics
+    /// Panics if `n > len`.
+    #[inline]
+    pub fn prefix(&self, n: u8) -> BitPath {
+        assert!(n <= self.len, "prefix {n} longer than path {}", self.len);
+        BitPath::new(self.bits, n)
+    }
+
+    /// `true` if `self` is a prefix of `other` (including equality).
+    #[inline]
+    pub fn is_prefix_of(&self, other: &BitPath) -> bool {
+        self.len <= other.len && other.prefix(self.len) == *self
+    }
+
+    /// `true` if `self` is a prefix of the full 64-bit key `key`.
+    #[inline]
+    pub fn is_prefix_of_key(&self, key: u64) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u64::MAX << (64 - self.len as u32);
+        (key & mask) == self.bits
+    }
+
+    /// Length of the longest common prefix with `other`.
+    #[inline]
+    pub fn common_prefix_len(&self, other: &BitPath) -> u8 {
+        let max = self.len.min(other.len) as u32;
+        if max == 0 {
+            return 0;
+        }
+        let diff = self.bits ^ other.bits;
+        (diff.leading_zeros().min(max)) as u8
+    }
+
+    /// Length of the longest common prefix with a full 64-bit key.
+    #[inline]
+    pub fn common_prefix_len_key(&self, key: u64) -> u8 {
+        let diff = self.bits ^ key;
+        (diff.leading_zeros().min(self.len as u32)) as u8
+    }
+
+    /// Smallest 64-bit key having this path as prefix (path padded with 0s).
+    #[inline]
+    pub fn min_key(&self) -> u64 {
+        self.bits
+    }
+
+    /// Largest 64-bit key having this path as prefix (path padded with 1s).
+    #[inline]
+    pub fn max_key(&self) -> u64 {
+        if self.len == 0 {
+            u64::MAX
+        } else {
+            self.bits | (u64::MAX >> self.len as u32)
+        }
+    }
+
+    /// `true` if the key range `[lo, hi]` intersects this path's subtree.
+    #[inline]
+    pub fn intersects_range(&self, lo: u64, hi: u64) -> bool {
+        self.min_key() <= hi && lo <= self.max_key()
+    }
+
+    /// Iterator over the bits, first to last.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.bit(i))
+    }
+}
+
+impl crate::wire::Wire for BitPath {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        // Shift right so short paths encode as small varints.
+        let packed = if self.len == 0 { 0 } else { self.bits >> (64 - self.len as u32) };
+        crate::wire::put_varint(buf, packed);
+        buf.extend_from_slice(&[self.len]);
+    }
+
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, crate::wire::WireError> {
+        let packed = crate::wire::get_varint(buf)?;
+        let len = u8::decode(buf)?;
+        if len > MAX_BITS {
+            return Err(crate::wire::WireError::BadLength(len as u64));
+        }
+        let bits = if len == 0 { 0 } else { packed << (64 - len as u32) };
+        Ok(BitPath::new(bits, len))
+    }
+
+    fn wire_size(&self) -> usize {
+        let packed = if self.len == 0 { 0 } else { self.bits >> (64 - self.len as u32) };
+        crate::wire::varint_size(packed) + 1
+    }
+}
+
+impl fmt::Display for BitPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for i in 0..self.len {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitPath({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_empty() {
+        assert_eq!(BitPath::ROOT.len(), 0);
+        assert!(BitPath::ROOT.is_empty());
+        assert_eq!(BitPath::ROOT.to_string(), "ε");
+    }
+
+    #[test]
+    fn child_and_bit_roundtrip() {
+        let p = BitPath::ROOT.child(true).child(false).child(true);
+        assert_eq!(p.len(), 3);
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+        assert!(p.bit(2));
+        assert_eq!(p.to_string(), "101");
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "1", "0110", "11111111", "010101010101"] {
+            let p = BitPath::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert!(BitPath::parse("01x").is_none());
+    }
+
+    #[test]
+    fn parent_sibling() {
+        let p = BitPath::parse("0110").unwrap();
+        assert_eq!(p.parent().to_string(), "011");
+        assert_eq!(p.sibling().unwrap().to_string(), "0111");
+        assert!(BitPath::ROOT.sibling().is_none());
+        assert_eq!(BitPath::ROOT.parent(), BitPath::ROOT);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let p = BitPath::parse("01").unwrap();
+        let q = BitPath::parse("0110").unwrap();
+        assert!(p.is_prefix_of(&q));
+        assert!(!q.is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p));
+        assert!(BitPath::ROOT.is_prefix_of(&p));
+    }
+
+    #[test]
+    fn prefix_of_key() {
+        let p = BitPath::parse("10").unwrap();
+        assert!(p.is_prefix_of_key(0b10u64 << 62));
+        assert!(p.is_prefix_of_key((0b10u64 << 62) | 12345));
+        assert!(!p.is_prefix_of_key(0b01u64 << 62));
+        assert!(BitPath::ROOT.is_prefix_of_key(u64::MAX));
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = BitPath::parse("0110").unwrap();
+        let b = BitPath::parse("0101").unwrap();
+        assert_eq!(a.common_prefix_len(&b), 2);
+        assert_eq!(a.common_prefix_len(&a), 4);
+        assert_eq!(a.common_prefix_len(&BitPath::ROOT), 0);
+    }
+
+    #[test]
+    fn key_range_bounds() {
+        let p = BitPath::parse("01").unwrap();
+        assert_eq!(p.min_key(), 0b01u64 << 62);
+        assert_eq!(p.max_key(), (0b01u64 << 62) | (u64::MAX >> 2));
+        assert_eq!(BitPath::ROOT.min_key(), 0);
+        assert_eq!(BitPath::ROOT.max_key(), u64::MAX);
+    }
+
+    #[test]
+    fn range_intersection() {
+        let p = BitPath::parse("01").unwrap();
+        // Subtree of "01" covers [0x4000.., 0x7fff..].
+        assert!(p.intersects_range(0, u64::MAX));
+        assert!(p.intersects_range(p.min_key(), p.min_key()));
+        assert!(!p.intersects_range(0, p.min_key() - 1));
+        assert!(!p.intersects_range(p.max_key() + 1, u64::MAX));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_for_same_len() {
+        let a = BitPath::parse("010").unwrap();
+        let b = BitPath::parse("011").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_out_of_range_panics() {
+        BitPath::parse("01").unwrap().bit(2);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        use crate::wire::Wire;
+        for s in ["", "0", "1", "0110", "1111111100000000", "010101010101"] {
+            let p = if s.is_empty() { BitPath::ROOT } else { BitPath::parse(s).unwrap() };
+            let bytes = p.to_bytes();
+            assert_eq!(bytes.len(), p.wire_size());
+            assert_eq!(BitPath::from_bytes(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn new_masks_low_bits() {
+        // Garbage below the length must be cleared so Eq/Ord are structural.
+        let a = BitPath::new(u64::MAX, 2);
+        let b = BitPath::new(0b11u64 << 62, 2);
+        assert_eq!(a, b);
+    }
+}

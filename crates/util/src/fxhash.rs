@@ -1,0 +1,149 @@
+//! A fast, non-cryptographic hasher for internal hash maps.
+//!
+//! UniStore's hot paths (routing tables, binding sets, statistics) hash
+//! small keys — integers and short strings. The default SipHash protects
+//! against HashDoS, which is irrelevant inside a deterministic simulator,
+//! so we use the Fx algorithm (as used by rustc) implemented here to avoid
+//! an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hashes one `u64` to a well-mixed `u64` (splitmix64 finalizer).
+///
+/// Used wherever a quick, high-quality scramble of an integer is needed,
+/// e.g. deriving per-node RNG seeds or Chord identifiers.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a byte slice to a `u64` (FNV-1a folded through [`mix64`]).
+///
+/// This is the *uniform* (non-order-preserving) hash used for Chord
+/// identifiers and for attribute-name prefixes in the key space.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    mix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let a = bh.hash_one("unistore");
+        let b = bh.hash_one("unistore");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        assert_ne!(bh.hash_one("a"), bh.hash_one("b"));
+        assert_ne!(bh.hash_one(1u64), bh.hash_one(2u64));
+    }
+
+    #[test]
+    fn mix64_is_bijective_spot_check() {
+        // splitmix64's finalizer is a bijection; inputs must not collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn hash_bytes_spreads_prefixes() {
+        // Keys sharing a prefix must not cluster (needed for Chord).
+        let a = hash_bytes(b"name#alice");
+        let b = hash_bytes(b"name#alicf");
+        assert_ne!(a >> 56, b >> 56, "high byte should differ after mixing");
+    }
+
+    #[test]
+    fn fxmap_works() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("x", 1);
+        m.insert("y", 2);
+        assert_eq!(m.get("x"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! The contract for values storable in an overlay.
+//!
+//! Both overlays (`unistore-pgrid` and the `unistore-chord` baseline)
+//! store opaque items; they need a wire encoding (honest message sizing)
+//! and a *logical identity* so that updates supersede earlier versions of
+//! the same logical entry instead of accumulating duplicates.
+
+use crate::wire::Wire;
+
+/// A value storable in a DHT overlay.
+pub trait Item: Wire + Clone + std::fmt::Debug {
+    /// Logical identity: two items with equal `ident` (under the same
+    /// key) are versions of the same entry; an insert with a newer
+    /// version replaces the older one.
+    fn ident(&self) -> u64;
+}
+
+/// The simplest possible item, used by overlay-level tests and benches:
+/// the payload *is* the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RawItem(pub u64);
+
+impl Wire for RawItem {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.0.encode(buf);
+    }
+
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, crate::wire::WireError> {
+        Ok(RawItem(u64::decode(buf)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size()
+    }
+}
+
+impl Item for RawItem {
+    fn ident(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_item_ident_is_payload() {
+        assert_eq!(RawItem(42).ident(), 42);
+    }
+
+    #[test]
+    fn raw_item_wire_roundtrip() {
+        let r = RawItem(123456);
+        let b = r.to_bytes();
+        assert_eq!(RawItem::from_bytes(&b).unwrap(), r);
+        assert_eq!(b.len(), r.wire_size());
+    }
+}

@@ -1,0 +1,136 @@
+//! The 64-bit UniStore key space.
+//!
+//! Every data item inserted into the DHT is addressed by a 64-bit key. The
+//! triple layer derives *several* keys per triple (paper Fig. 2): one per
+//! index. So that all indexes coexist in one trie, each key starts with a
+//! small *index tag*, followed by index-specific fields; fields that range
+//! queries run over use the order-preserving encodings of [`crate::ophash`].
+//!
+//! ```text
+//!  bit 63..62 | 61..48        | 47..0
+//!  tag        | attribute id  | order-preserving value prefix   (A#v index)
+//!  tag        | uniform hash of the OID                          (OID index)
+//!  tag        | order-preserving value prefix                    (v index)
+//!  tag        | attribute id  | q-gram encoding                  (q-gram index)
+//! ```
+//!
+//! This module provides the field-packing arithmetic; the semantic layout
+//! lives in `unistore-store`.
+
+/// A location in the UniStore key space.
+///
+/// Plain `u64` alias: keys are manipulated pervasively in routing and
+/// storage code, where the newtype ceremony costs more than it protects.
+pub type Key = u64;
+
+/// Packs bit fields MSB-first into a key.
+///
+/// Each `(value, width)` pair contributes its `width` low bits. The total
+/// width must not exceed 64; remaining low bits are zero.
+///
+/// # Panics
+/// Panics if the total width exceeds 64 bits.
+pub fn pack(fields: &[(u64, u8)]) -> Key {
+    let mut key: u64 = 0;
+    let mut used: u32 = 0;
+    for &(value, width) in fields {
+        let w = width as u32;
+        assert!(used + w <= 64, "key fields exceed 64 bits");
+        let masked = if w == 64 { value } else { value & ((1u64 << w) - 1) };
+        used += w;
+        key |= masked << (64 - used);
+    }
+    key
+}
+
+/// Packs a field whose bits are already *left-aligned* (e.g. the output of
+/// an order-preserving encoder) into `width` bits starting below `offset`
+/// used bits.
+///
+/// Keeps the most significant `width` bits of `value` — exactly what a
+/// prefix-preserving hash requires when narrowing a 64-bit encoding into a
+/// sub-field of the key.
+pub fn pack_aligned(fields: &[(u64, u8)]) -> Key {
+    let mut key: u64 = 0;
+    let mut used: u32 = 0;
+    for &(value, width) in fields {
+        let w = width as u32;
+        assert!(used + w <= 64, "key fields exceed 64 bits");
+        let top = if w == 0 { 0 } else { value >> (64 - w) };
+        used += w;
+        key |= top << (64 - used);
+    }
+    key
+}
+
+/// Extracts the field of `width` bits starting `offset` bits from the MSB.
+#[inline]
+pub fn extract(key: Key, offset: u8, width: u8) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let shifted = key << offset as u32;
+    shifted >> (64 - width as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ophash;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_simple() {
+        let k = pack(&[(0b10, 2), (0x3FFF, 14), (0, 48)]);
+        assert_eq!(k >> 62, 0b10);
+        assert_eq!(extract(k, 2, 14), 0x3FFF);
+        assert_eq!(extract(k, 16, 48), 0);
+    }
+
+    #[test]
+    fn pack_masks_oversized_values() {
+        // A value wider than its field must be truncated to low bits.
+        let k = pack(&[(0xFF, 4), (0, 60)]);
+        assert_eq!(k >> 60, 0xF);
+    }
+
+    #[test]
+    fn pack_aligned_keeps_msbs() {
+        let enc = ophash::encode_str("ICDE");
+        let k = pack_aligned(&[(0, 16), (enc, 48)]);
+        // Top 48 bits of the encoding must appear below the 16-bit header.
+        assert_eq!(extract(k, 16, 48), enc >> 16);
+    }
+
+    #[test]
+    fn pack_aligned_is_monotone_in_value_field() {
+        let a = ophash::encode_str("alpha");
+        let b = ophash::encode_str("beta");
+        let ka = pack_aligned(&[(7 << 48, 16), (a, 48)]);
+        let kb = pack_aligned(&[(7 << 48, 16), (b, 48)]);
+        assert!(ka < kb, "same header, ordered values → ordered keys");
+    }
+
+    #[test]
+    #[should_panic]
+    fn pack_overflow_panics() {
+        pack(&[(0, 40), (0, 40)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_extract_inverts_pack(a in 0u64..4, b in 0u64..(1<<14), c in 0u64..(1u64<<48)) {
+            let k = pack(&[(a, 2), (b, 14), (c, 48)]);
+            prop_assert_eq!(extract(k, 0, 2), a);
+            prop_assert_eq!(extract(k, 2, 14), b);
+            prop_assert_eq!(extract(k, 16, 48), c);
+        }
+
+        #[test]
+        fn prop_pack_aligned_monotone(hdr in 0u64..(1<<16), x: u64, y: u64) {
+            let kx = pack_aligned(&[(hdr << 48, 16), (x, 48)]);
+            let ky = pack_aligned(&[(hdr << 48, 16), (y, 48)]);
+            prop_assert_eq!(kx.cmp(&ky), (x >> 16).cmp(&(y >> 16)));
+        }
+    }
+}

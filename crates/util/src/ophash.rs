@@ -1,0 +1,191 @@
+//! Order-preserving encodings.
+//!
+//! P-Grid's distinguishing feature (paper §2) is an *order-preserving,
+//! prefix-preserving* hash function: keys that are close in the application
+//! domain land close in the trie, which is what enables native range and
+//! prefix queries. This module provides monotone encodings from application
+//! values onto `u64`:
+//!
+//! * strings → lexicographic on the first [`STR_BYTES`] bytes,
+//! * signed integers and floats → standard monotone bit transforms.
+//!
+//! Ties beyond the encoded prefix are resolved by filtering at the storage
+//! leaves against the full value (see `unistore-store`), so truncation never
+//! produces wrong results, only slightly coarser routing.
+
+/// Number of leading bytes of a string that the encoding preserves.
+pub const STR_BYTES: usize = 8;
+
+/// Encodes a string order-preservingly into a `u64`.
+///
+/// The first 8 bytes are packed big-endian, shorter strings are
+/// zero-padded; thus `encode_str(a) <= encode_str(b)` whenever `a <= b`
+/// byte-lexicographically (with equality possible for strings sharing an
+/// 8-byte prefix).
+#[inline]
+pub fn encode_str(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut buf = [0u8; STR_BYTES];
+    let n = bytes.len().min(STR_BYTES);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// Encodes a signed integer monotonically: flips the sign bit so that
+/// `i64::MIN → 0` and `i64::MAX → u64::MAX`.
+#[inline]
+pub fn encode_i64(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Inverse of [`encode_i64`].
+#[inline]
+pub fn decode_i64(u: u64) -> i64 {
+    (u ^ (1 << 63)) as i64
+}
+
+/// Encodes an `f64` monotonically onto `u64` (total order, NaN sorts last).
+///
+/// Standard trick: positive floats get the sign bit set; negative floats
+/// have all bits flipped.
+#[inline]
+pub fn encode_f64(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`encode_f64`].
+#[inline]
+pub fn decode_f64(u: u64) -> f64 {
+    let bits = if u >> 63 == 1 { u & !(1 << 63) } else { !u };
+    f64::from_bits(bits)
+}
+
+/// Truncates an encoded value to its `n` most significant bits
+/// (zero-filling the rest). Monotone for any fixed `n`.
+#[inline]
+pub fn truncate(u: u64, n: u8) -> u64 {
+    if n == 0 {
+        0
+    } else if n >= 64 {
+        u
+    } else {
+        u & (u64::MAX << (64 - n as u32))
+    }
+}
+
+/// The largest encoded value sharing the first `n` bits with `u`
+/// (one-filling the rest). Used to close range upper bounds.
+#[inline]
+pub fn saturate(u: u64, n: u8) -> u64 {
+    if n == 0 {
+        u64::MAX
+    } else if n >= 64 {
+        u
+    } else {
+        u | (u64::MAX >> n as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn str_encoding_examples() {
+        assert!(encode_str("a") < encode_str("b"));
+        assert!(encode_str("ICDE") < encode_str("ICDF"));
+        assert!(encode_str("") < encode_str("a"));
+        assert!(encode_str("abc") < encode_str("abd"));
+        // Shared 8-byte prefix collapses — allowed by contract.
+        assert_eq!(encode_str("conference-a"), encode_str("conferenc"));
+    }
+
+    #[test]
+    fn i64_encoding_endpoints() {
+        assert_eq!(encode_i64(i64::MIN), 0);
+        assert_eq!(encode_i64(i64::MAX), u64::MAX);
+        assert_eq!(encode_i64(0), 1 << 63);
+        assert_eq!(decode_i64(encode_i64(-42)), -42);
+    }
+
+    #[test]
+    fn f64_encoding_orders_negatives() {
+        assert!(encode_f64(-2.0) < encode_f64(-1.0));
+        assert!(encode_f64(-1.0) < encode_f64(0.0));
+        assert!(encode_f64(0.0) < encode_f64(1.5));
+        assert!(encode_f64(1.5) < encode_f64(f64::INFINITY));
+        assert_eq!(decode_f64(encode_f64(3.25)), 3.25);
+        assert_eq!(decode_f64(encode_f64(-3.25)), -3.25);
+    }
+
+    #[test]
+    fn truncate_saturate_bracket() {
+        let u = 0xDEAD_BEEF_CAFE_F00Du64;
+        for n in [0u8, 1, 7, 16, 33, 63, 64] {
+            assert!(truncate(u, n) <= u);
+            assert!(saturate(u, n) >= u);
+            assert_eq!(truncate(truncate(u, n), n), truncate(u, n));
+        }
+        assert_eq!(truncate(u, 64), u);
+        assert_eq!(saturate(u, 64), u);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_str_monotone(a in ".{0,16}", b in ".{0,16}") {
+            // Compare on the truncated byte prefix the encoding promises.
+            let ka = &a.as_bytes()[..a.len().min(STR_BYTES)];
+            let kb = &b.as_bytes()[..b.len().min(STR_BYTES)];
+            // Zero-pad to 8 so the comparison matches the encoding contract.
+            let mut pa = [0u8; STR_BYTES]; pa[..ka.len()].copy_from_slice(ka);
+            let mut pb = [0u8; STR_BYTES]; pb[..kb.len()].copy_from_slice(kb);
+            prop_assert_eq!(encode_str(&a).cmp(&encode_str(&b)), pa.cmp(&pb));
+        }
+
+        #[test]
+        fn prop_i64_monotone(a: i64, b: i64) {
+            prop_assert_eq!(a.cmp(&b), encode_i64(a).cmp(&encode_i64(b)));
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(a: i64) {
+            prop_assert_eq!(decode_i64(encode_i64(a)), a);
+        }
+
+        #[test]
+        fn prop_f64_monotone(a: f64, b: f64) {
+            prop_assume!(!a.is_nan() && !b.is_nan());
+            // The encoding is a *total-order refinement*: it agrees with
+            // IEEE comparison except that it separates -0.0 < +0.0.
+            match a.partial_cmp(&b).unwrap() {
+                std::cmp::Ordering::Less => prop_assert!(encode_f64(a) < encode_f64(b)),
+                std::cmp::Ordering::Greater => prop_assert!(encode_f64(a) > encode_f64(b)),
+                std::cmp::Ordering::Equal => {
+                    prop_assert!(
+                        encode_f64(a) == encode_f64(b) || a == 0.0,
+                        "only ±0.0 may compare Equal yet encode differently"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn prop_f64_roundtrip(a: f64) {
+            prop_assume!(!a.is_nan());
+            prop_assert_eq!(decode_f64(encode_f64(a)), a);
+        }
+
+        #[test]
+        fn prop_truncate_monotone(a: u64, b: u64, n in 0u8..=64) {
+            if a <= b {
+                prop_assert!(truncate(a, n) <= truncate(b, n));
+            }
+        }
+    }
+}

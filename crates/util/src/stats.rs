@@ -1,0 +1,360 @@
+//! Descriptive statistics used by the cost model and the bench harness.
+//!
+//! * [`Summary`] — streaming mean/variance/min/max (Welford),
+//! * [`percentile`] — exact percentile of a sample,
+//! * [`gini`] — Gini coefficient, the balance metric of experiment E5,
+//! * [`Histogram`] — equi-width histogram over the 64-bit key space, the
+//!   statistic the query optimizer's cost model consumes (paper [5]:
+//!   "we base these calculations on … the actual data distribution").
+
+/// Streaming summary statistics (Welford's online algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile (nearest-rank) of a sample; `p` in `[0, 100]`.
+///
+/// Returns 0 for an empty slice. Sorts a copy — fine for bench-sized data.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Gini coefficient of non-negative loads: 0 = perfectly balanced,
+/// → 1 = maximally concentrated. Returns 0 for empty or all-zero input.
+pub fn gini(loads: &[f64]) -> f64 {
+    let n = loads.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = loads.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sum: f64 = v.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n as f64 * sum) - (n as f64 + 1.0) / n as f64
+}
+
+/// Equi-width histogram over `u64` keys with distinct-value tracking.
+///
+/// The cost model uses it to estimate the cardinality of key-range
+/// predicates and the selectivity of equality predicates.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: u64,
+    hi: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    distinct: crate::FxHashSet<u64>,
+    /// Cap on the distinct set; beyond it we stop tracking exactly.
+    distinct_cap: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi]` with `buckets` buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `lo > hi`.
+    pub fn new(lo: u64, hi: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo <= hi, "empty histogram domain");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            count: 0,
+            distinct: Default::default(),
+            distinct_cap: 4096,
+        }
+    }
+
+    /// Covers the full 64-bit key space.
+    pub fn full_range(buckets: usize) -> Self {
+        Self::new(0, u64::MAX, buckets)
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        let key = key.clamp(self.lo, self.hi);
+        let span = (self.hi - self.lo) as u128 + 1;
+        let off = (key - self.lo) as u128;
+        ((off * self.buckets.len() as u128) / span) as usize
+    }
+
+    /// Records one key.
+    pub fn add(&mut self, key: u64) {
+        let b = self.bucket_of(key);
+        self.buckets[b] += 1;
+        self.count += 1;
+        if self.distinct.len() < self.distinct_cap {
+            self.distinct.insert(key);
+        }
+    }
+
+    /// Total number of recorded keys.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimated number of distinct keys (exact up to the cap).
+    pub fn distinct_estimate(&self) -> u64 {
+        self.distinct.len() as u64
+    }
+
+    /// Estimated number of keys in `[lo, hi]` assuming intra-bucket
+    /// uniformity.
+    pub fn estimate_range(&self, lo: u64, hi: u64) -> f64 {
+        if lo > hi || self.count == 0 {
+            return 0.0;
+        }
+        let lo = lo.max(self.lo);
+        let hi = hi.min(self.hi);
+        if lo > hi {
+            return 0.0;
+        }
+        let nb = self.buckets.len();
+        let span = (self.hi - self.lo) as u128 + 1;
+        let width = span / nb as u128; // last bucket may be wider; negligible
+        let b_lo = self.bucket_of(lo);
+        let b_hi = self.bucket_of(hi);
+        if b_lo == b_hi {
+            let frac = ((hi - lo) as u128 + 1) as f64 / width.max(1) as f64;
+            return self.buckets[b_lo] as f64 * frac.min(1.0);
+        }
+        let mut est = 0.0;
+        // Partial first bucket.
+        let b_lo_end = self.lo as u128 + (b_lo as u128 + 1) * width - 1;
+        let frac_lo = (b_lo_end.saturating_sub(lo as u128) + 1) as f64 / width.max(1) as f64;
+        est += self.buckets[b_lo] as f64 * frac_lo.min(1.0);
+        // Full middle buckets.
+        for b in (b_lo + 1)..b_hi {
+            est += self.buckets[b] as f64;
+        }
+        // Partial last bucket.
+        let b_hi_start = self.lo as u128 + b_hi as u128 * width;
+        let frac_hi = ((hi as u128).saturating_sub(b_hi_start) + 1) as f64 / width.max(1) as f64;
+        est += self.buckets[b_hi] as f64 * frac_hi.min(1.0);
+        est
+    }
+
+    /// Estimated cardinality of an equality predicate on one key.
+    pub fn estimate_eq(&self) -> f64 {
+        let d = self.distinct_estimate().max(1);
+        self.count as f64 / d as f64
+    }
+
+    /// Merges another histogram with identical domain and bucket count.
+    ///
+    /// # Panics
+    /// Panics on mismatched shape.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo);
+        assert_eq!(self.hi, other.hi);
+        assert_eq!(self.buckets.len(), other.buckets.len());
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        for k in &other.distinct {
+            if self.distinct.len() >= self.distinct_cap {
+                break;
+            }
+            self.distinct.insert(*k);
+        }
+    }
+
+    /// Raw bucket counts (for serialization / display).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Summary::new();
+        for &x in &data {
+            all.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..37] {
+            a.add(x);
+        }
+        for &x in &data[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_examples() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert!((percentile(&v, 50.0) - 50.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).abs() < 1e-12);
+        // All load on one of many nodes → close to 1.
+        let mut v = vec![0.0; 100];
+        v[0] = 100.0;
+        assert!(gini(&v) > 0.95);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_range_estimates() {
+        let mut h = Histogram::new(0, 999, 10);
+        for k in 0..1000u64 {
+            h.add(k);
+        }
+        assert_eq!(h.count(), 1000);
+        let est = h.estimate_range(0, 499);
+        assert!((est - 500.0).abs() < 20.0, "est={est}");
+        let est = h.estimate_range(250, 259);
+        assert!((est - 10.0).abs() < 5.0, "est={est}");
+        assert_eq!(h.estimate_range(2000, 3000), 0.0);
+        assert_eq!(h.estimate_range(10, 5), 0.0);
+    }
+
+    #[test]
+    fn histogram_eq_estimate_uses_distinct() {
+        let mut h = Histogram::new(0, 99, 4);
+        for _ in 0..10 {
+            for k in 0..10u64 {
+                h.add(k);
+            }
+        }
+        // 100 rows, 10 distinct → ~10 rows per key.
+        assert!((h.estimate_eq() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new(0, 99, 4);
+        let mut b = Histogram::new(0, 99, 4);
+        a.add(5);
+        b.add(95);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.estimate_range(0, 99) > 1.9);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_domain_keys() {
+        let mut h = Histogram::new(10, 20, 2);
+        h.add(0); // clamped to 10
+        h.add(100); // clamped to 20
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,459 @@
+//! Compact binary codec for messages and mutant query plans.
+//!
+//! The paper's Mutant Query Plan processing ships *plans with embedded
+//! partial results* between peers. To account message sizes honestly in
+//! the simulator (bytes on the wire drive the cost model and experiment
+//! outputs), everything that crosses the simulated network implements
+//! [`Wire`]: a simple length-prefixed, varint-based binary encoding built
+//! on the `bytes` crate.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A tag byte did not match any known variant.
+    BadTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix was implausibly large.
+    BadLength(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            WireError::BadLength(n) => write!(f, "implausible length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sanity cap for decoded collection lengths (guards fuzzed input).
+const MAX_LEN: u64 = 1 << 28;
+
+/// Types that can cross the simulated network.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value, consuming bytes from `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Number of bytes [`Wire::encode`] would produce.
+    ///
+    /// Default implementation encodes into a scratch buffer; hot types
+    /// should override with arithmetic.
+    fn wire_size(&self) -> usize {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Convenience: decodes from a full buffer, requiring full consumption.
+    fn from_bytes(bytes: &Bytes) -> Result<Self, WireError> {
+        let mut b = bytes.clone();
+        let v = Self::decode(&mut b)?;
+        if b.has_remaining() {
+            return Err(WireError::BadLength(b.remaining() as u64));
+        }
+        Ok(v)
+    }
+}
+
+/// Writes a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(WireError::BadLength(u64::MAX));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Size of the varint encoding of `v`.
+pub fn varint_size(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_varint(buf)
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(*self)
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self as u64);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let v = get_varint(buf)?;
+        u32::try_from(v).map_err(|_| WireError::BadLength(v))
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(*self as u64)
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self as u64);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let v = get_varint(buf)?;
+        u16::try_from(v).map_err(|_| WireError::BadLength(v))
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(*self as u64)
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(buf.get_u8())
+    }
+
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        // ZigZag so small magnitudes stay small.
+        let z = ((*self << 1) ^ (*self >> 63)) as u64;
+        put_varint(buf, z);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let z = get_varint(buf)?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(((*self << 1) ^ (*self >> 63)) as u64)
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.to_bits());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < 8 {
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(f64::from_bits(buf.get_u64()))
+    }
+
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = get_varint(buf)?;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let len = len as usize;
+        if buf.remaining() < len {
+            return Err(WireError::UnexpectedEof);
+        }
+        let raw = buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(self.len() as u64) + self.len()
+    }
+}
+
+impl Wire for Arc<str> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(String::decode(buf)?.into())
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(self.len() as u64) + self.len()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = get_varint(buf)?;
+        if len > MAX_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = Vec::with_capacity(len.min(1024) as usize);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+
+    fn wire_size(&self) -> usize {
+        varint_size(self.len() as u64) + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::wire_size)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?, D::decode(buf)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size() + self.3.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.wire_size(), "wire_size must match encoding");
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(300u32);
+        roundtrip(7u16);
+        roundtrip(255u8);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f64);
+        roundtrip(String::from("universal storage"));
+        roundtrip(String::new());
+        roundtrip::<Arc<str>>(Arc::from("pgrid"));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(42u64));
+        roundtrip(None::<u64>);
+        roundtrip((1u64, String::from("x")));
+        roundtrip((1u64, 2u64, String::from("y")));
+    }
+
+    #[test]
+    fn varint_sizes() {
+        assert_eq!(varint_size(0), 1);
+        assert_eq!(varint_size(127), 1);
+        assert_eq!(varint_size(128), 2);
+        assert_eq!(varint_size(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = 123456789u64.to_bytes();
+        let mut cut = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(u64::decode(&mut cut), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut buf = BytesMut::new();
+        5u64.encode(&mut buf);
+        buf.put_u8(0xFF);
+        let b = buf.freeze();
+        assert!(matches!(u64::from_bytes(&b), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn bool_bad_tag() {
+        let b = Bytes::from_static(&[7]);
+        assert_eq!(bool::from_bytes(&b), Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn huge_length_rejected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::MAX);
+        let b = buf.freeze();
+        assert!(matches!(String::from_bytes(&b), Err(WireError::BadLength(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) { roundtrip(v); }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) { roundtrip(v); }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") { roundtrip(s); }
+
+        #[test]
+        fn prop_vec_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..32)) {
+            roundtrip(v);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Skewed-distribution samplers.
+//!
+//! The paper stresses (§2, claim C5) that an order-preserving hash makes
+//! load balancing under *skewed* data distributions essential. The workload
+//! generator and the balance experiments (E5) sample from Zipf
+//! distributions implemented here (kept in `util` to avoid an extra
+//! dependency and to guarantee determinism).
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `theta >= 0`.
+///
+/// `theta = 0` degenerates to uniform; `theta = 1` is the classic Zipf.
+/// Sampling is inverse-CDF with binary search over a precomputed table:
+/// O(n) memory, O(log n) per sample, exact and deterministic.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks and exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against FP round-off at the top end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose CDF >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (Floyd's algorithm).
+///
+/// Deterministic given the RNG; O(k) expected time.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut chosen = crate::FxHashSet::default();
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_masses() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_skew() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > 3_000, "rank 0 should dominate, got {}", counts[0]);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks = sample_distinct(&mut rng, 50, 20);
+        assert_eq!(picks.len(), 20);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(picks.iter().all(|&p| p < 50));
+    }
+
+    #[test]
+    fn distinct_sampling_clamps_k() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks = sample_distinct(&mut rng, 5, 10);
+        assert_eq!(picks.len(), 5);
+    }
+}

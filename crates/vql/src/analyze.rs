@@ -1,0 +1,176 @@
+//! Semantic analysis of parsed queries.
+//!
+//! Checks variable binding, join-graph connectivity and clause
+//! consistency before a query reaches the optimizer; produces the
+//! variable inventory the planner works with.
+
+use std::sync::Arc;
+
+use unistore_util::{FxHashMap, FxHashSet};
+
+use crate::ast::{Query, Term};
+use crate::error::VqlError;
+
+/// A validated query plus derived information.
+#[derive(Clone, Debug)]
+pub struct AnalyzedQuery {
+    /// The query itself.
+    pub query: Query,
+    /// All variables bound by patterns, in first-occurrence order.
+    pub pattern_vars: Vec<Arc<str>>,
+    /// The effective projection (explicit SELECT list, or all pattern
+    /// variables for `SELECT *`).
+    pub projection: Vec<Arc<str>>,
+    /// Whether the pattern join graph is connected (disconnected graphs
+    /// imply Cartesian products — legal but flagged).
+    pub connected: bool,
+}
+
+/// Analyzes a parsed query.
+pub fn analyze(query: Query) -> Result<AnalyzedQuery, VqlError> {
+    let mut pattern_vars: Vec<Arc<str>> = Vec::new();
+    let mut seen: FxHashSet<Arc<str>> = FxHashSet::default();
+    for p in &query.patterns {
+        for v in p.vars() {
+            if seen.insert(v.clone()) {
+                pattern_vars.push(v);
+            }
+        }
+    }
+
+    // Every selected variable must be bound by some pattern.
+    for v in &query.select {
+        if !seen.contains(v) {
+            return Err(VqlError::new(format!("selected variable ?{v} is never bound"), 0));
+        }
+    }
+    // Filter variables must be bound.
+    for f in &query.filters {
+        for v in f.vars() {
+            if !seen.contains(&v) {
+                return Err(VqlError::new(format!("filter variable ?{v} is never bound"), 0));
+            }
+        }
+    }
+    // Order/skyline variables must be bound.
+    for v in query.order_by.iter().map(|o| &o.var).chain(query.skyline.iter().map(|s| &s.var)) {
+        if !seen.contains(v) {
+            return Err(VqlError::new(format!("ranking variable ?{v} is never bound"), 0));
+        }
+    }
+    // TOP requires an ordering to rank by.
+    if query.top.is_some() && query.order_by.is_empty() && query.skyline.is_empty() {
+        return Err(VqlError::new("TOP requires ORDER BY (or SKYLINE OF)", 0));
+    }
+
+    let connected = is_connected(&query);
+    let projection = if query.select.is_empty() {
+        pattern_vars.clone()
+    } else {
+        query.select.clone()
+    };
+
+    Ok(AnalyzedQuery { query, pattern_vars, projection, connected })
+}
+
+/// Union-find connectivity over the pattern join graph: two patterns are
+/// joined when they share a variable.
+fn is_connected(query: &Query) -> bool {
+    let n = query.patterns.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut var_first: FxHashMap<Arc<str>, usize> = FxHashMap::default();
+    for (i, p) in query.patterns.iter().enumerate() {
+        for t in [&p.subject, &p.attr, &p.value] {
+            if let Term::Var(v) = t {
+                match var_first.get(v) {
+                    Some(&j) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                        parent[a] = b;
+                    }
+                    None => {
+                        var_first.insert(v.clone(), i);
+                    }
+                }
+            }
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..n).all(|i| find(&mut parent, i) == root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn paper_query_analyzes_connected() {
+        let q = parse(
+            "SELECT ?name,?age,?cnt
+             WHERE {(?a,'name',?name) (?a,'age',?age)
+                    (?a,'num_of_pubs',?cnt)
+                    (?a,'has_published',?title) (?p,'title',?title)
+                    (?p,'published_in',?conf) (?c,'confname',?conf)
+                    (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}
+             ORDER BY SKYLINE OF ?age MIN, ?cnt MAX",
+        )
+        .unwrap();
+        let a = analyze(q).unwrap();
+        assert!(a.connected, "paper query joins through shared variables");
+        assert_eq!(a.projection.len(), 3);
+        // a, name, age, cnt, title, p, conf, c, sr
+        assert_eq!(a.pattern_vars.len(), 9);
+    }
+
+    #[test]
+    fn select_star_projects_all() {
+        let q = parse("SELECT * WHERE {(?a,'name',?n)}").unwrap();
+        let a = analyze(q).unwrap();
+        assert_eq!(a.projection.len(), 2);
+    }
+
+    #[test]
+    fn unbound_select_rejected() {
+        let q = parse("SELECT ?ghost WHERE {(?a,'name',?n)}").unwrap();
+        assert!(analyze(q).is_err());
+    }
+
+    #[test]
+    fn unbound_filter_rejected() {
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n) FILTER ?ghost > 1}").unwrap();
+        assert!(analyze(q).is_err());
+    }
+
+    #[test]
+    fn unbound_ranking_rejected() {
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n)} ORDER BY ?ghost").unwrap();
+        assert!(analyze(q).is_err());
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n)} SKYLINE OF ?ghost MIN").unwrap();
+        assert!(analyze(q).is_err());
+    }
+
+    #[test]
+    fn top_needs_ordering() {
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n)} TOP 5").unwrap();
+        assert!(analyze(q).is_err());
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n)} ORDER BY ?n TOP 5").unwrap();
+        assert!(analyze(q).is_ok());
+    }
+
+    #[test]
+    fn disconnected_flagged_not_rejected() {
+        let q = parse("SELECT ?n,?m WHERE {(?a,'name',?n) (?b,'name',?m)}").unwrap();
+        let a = analyze(q).unwrap();
+        assert!(!a.connected, "cartesian product should be flagged");
+    }
+}

@@ -1,0 +1,380 @@
+//! The VQL abstract syntax tree.
+
+use std::fmt;
+use std::sync::Arc;
+
+use unistore_store::Value;
+
+/// A parsed VQL query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// Projected variables; empty = `SELECT *` (all bound variables).
+    pub select: Vec<Arc<str>>,
+    /// Triple patterns of the WHERE block.
+    pub patterns: Vec<TriplePattern>,
+    /// FILTER predicates (conjunctive across FILTER clauses).
+    pub filters: Vec<Expr>,
+    /// ORDER BY items (empty if none).
+    pub order_by: Vec<OrderItem>,
+    /// SKYLINE OF items (empty if none).
+    pub skyline: Vec<SkyItem>,
+    /// LIMIT n.
+    pub limit: Option<usize>,
+    /// TOP n (ranking shortcut; equivalent to ORDER BY … LIMIT n).
+    pub top: Option<usize>,
+}
+
+/// A term of a triple pattern: variable or literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// `?name`
+    Var(Arc<str>),
+    /// A literal value.
+    Lit(Value),
+}
+
+impl Term {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&Arc<str>> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Lit(_) => None,
+        }
+    }
+
+    /// The literal, if this is one.
+    pub fn as_lit(&self) -> Option<&Value> {
+        match self {
+            Term::Lit(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+/// One `(subject, attribute, value)` pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TriplePattern {
+    /// Subject (OID) position.
+    pub subject: Term,
+    /// Attribute position.
+    pub attr: Term,
+    /// Value position.
+    pub value: Term,
+}
+
+impl TriplePattern {
+    /// Variables bound by this pattern, in position order.
+    pub fn vars(&self) -> Vec<Arc<str>> {
+        [&self.subject, &self.attr, &self.value]
+            .into_iter()
+            .filter_map(|t| t.as_var().cloned())
+            .collect()
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator on an ordering.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+}
+
+/// Scalar expressions inside filters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// Variable reference.
+    Var(Arc<str>),
+    /// Literal.
+    Lit(Value),
+    /// `edist(a, b)` — edit distance between two strings (the paper's
+    /// similarity predicate).
+    EDist(Box<Scalar>, Box<Scalar>),
+}
+
+/// Boolean filter expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Comparison between two scalars.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Scalar,
+        /// Right operand.
+        rhs: Scalar,
+    },
+    /// `prefix(s, p)` — string prefix predicate (paper §2: "efficient
+    /// substring search and prefix queries"), answered natively by the
+    /// order-preserving A#v index.
+    Prefix {
+        /// The tested string.
+        scalar: Scalar,
+        /// The required prefix.
+        prefix: Scalar,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Variables referenced anywhere in the expression.
+    pub fn vars(&self) -> Vec<Arc<str>> {
+        fn scalar_vars(s: &Scalar, out: &mut Vec<Arc<str>>) {
+            match s {
+                Scalar::Var(v) => out.push(v.clone()),
+                Scalar::Lit(_) => {}
+                Scalar::EDist(a, b) => {
+                    scalar_vars(a, out);
+                    scalar_vars(b, out);
+                }
+            }
+        }
+        fn walk(e: &Expr, out: &mut Vec<Arc<str>>) {
+            match e {
+                Expr::Cmp { lhs, rhs, .. } => {
+                    scalar_vars(lhs, out);
+                    scalar_vars(rhs, out);
+                }
+                Expr::Prefix { scalar, prefix } => {
+                    scalar_vars(scalar, out);
+                    scalar_vars(prefix, out);
+                }
+                Expr::And(a, b) | Expr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::Not(a) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.dedup();
+        out
+    }
+}
+
+/// Sort direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One ORDER BY item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    /// Variable to sort by.
+    pub var: Arc<str>,
+    /// Direction.
+    pub dir: SortDir,
+}
+
+/// Skyline preference direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkyDir {
+    /// Smaller is better.
+    Min,
+    /// Larger is better.
+    Max,
+}
+
+/// One SKYLINE OF item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkyItem {
+    /// Variable the preference applies to.
+    pub var: Arc<str>,
+    /// Preference direction.
+    pub dir: SkyDir,
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{v}"),
+            Term::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.subject, self.attr, self.value)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Var(v) => write!(f, "?{v}"),
+            Scalar::Lit(v) => write!(f, "{v}"),
+            Scalar::EDist(a, b) => write!(f, "edist({a},{b})"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs}{op}{rhs}"),
+            Expr::Prefix { scalar, prefix } => write!(f, "prefix({scalar},{prefix})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "NOT {a}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.select.is_empty() {
+            write!(f, "*")?;
+        } else {
+            let vars: Vec<String> = self.select.iter().map(|v| format!("?{v}")).collect();
+            write!(f, "{}", vars.join(","))?;
+        }
+        write!(f, " WHERE {{")?;
+        for p in &self.patterns {
+            write!(f, " {p}")?;
+        }
+        for e in &self.filters {
+            write!(f, " FILTER {e}")?;
+        }
+        write!(f, " }}")?;
+        if !self.order_by.is_empty() {
+            let items: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|o| {
+                    format!("?{}{}", o.var, if o.dir == SortDir::Desc { " DESC" } else { "" })
+                })
+                .collect();
+            write!(f, " ORDER BY {}", items.join(", "))?;
+        }
+        if !self.skyline.is_empty() {
+            let items: Vec<String> = self
+                .skyline
+                .iter()
+                .map(|s| {
+                    format!("?{} {}", s.var, if s.dir == SkyDir::Min { "MIN" } else { "MAX" })
+                })
+                .collect();
+            write!(f, " ORDER BY SKYLINE OF {}", items.join(", "))?;
+        }
+        if let Some(n) = self.top {
+            write!(f, " TOP {n}")?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Gt.eval(Greater));
+        assert!(CmpOp::Ge.eval(Equal));
+        assert!(!CmpOp::Ge.eval(Less));
+    }
+
+    #[test]
+    fn pattern_vars_in_order() {
+        let p = TriplePattern {
+            subject: Term::Var(Arc::from("a")),
+            attr: Term::Lit(Value::str("name")),
+            value: Term::Var(Arc::from("n")),
+        };
+        let vars = p.vars();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars[0].as_ref(), "a");
+        assert_eq!(vars[1].as_ref(), "n");
+    }
+
+    #[test]
+    fn expr_vars_collects_nested() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp {
+                op: CmpOp::Lt,
+                lhs: Scalar::EDist(
+                    Box::new(Scalar::Var(Arc::from("sr"))),
+                    Box::new(Scalar::Lit(Value::str("ICDE"))),
+                ),
+                rhs: Scalar::Lit(Value::Int(3)),
+            }),
+            Box::new(Expr::Cmp {
+                op: CmpOp::Ge,
+                lhs: Scalar::Var(Arc::from("age")),
+                rhs: Scalar::Lit(Value::Int(30)),
+            }),
+        );
+        let vars = e.vars();
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = TriplePattern {
+            subject: Term::Var(Arc::from("a")),
+            attr: Term::Lit(Value::str("year")),
+            value: Term::Lit(Value::Int(2006)),
+        };
+        assert_eq!(p.to_string(), "(?a,'year',2006)");
+    }
+}

@@ -1,0 +1,63 @@
+//! VQL error reporting with source positions.
+
+use std::fmt;
+
+/// A lexing, parsing or analysis error, with the byte offset where it
+/// was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VqlError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the query text.
+    pub offset: usize,
+}
+
+impl VqlError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        VqlError { message: message.into(), offset }
+    }
+
+    /// Renders the error with a caret under the offending position.
+    pub fn render(&self, source: &str) -> String {
+        let upto = &source[..self.offset.min(source.len())];
+        let line = upto.lines().count().max(1);
+        let col = upto.lines().last().map_or(0, str::len) + 1;
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        format!(
+            "error: {} at line {line}, column {col}\n  | {line_text}\n  | {}^",
+            self.message,
+            " ".repeat(col.saturating_sub(1))
+        )
+    }
+}
+
+impl fmt::Display for VqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (offset {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for VqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_position() {
+        let src = "SELECT ?x\nWHERE }";
+        let e = VqlError::new("expected '{'", src.find('}').unwrap());
+        let rendered = e.render(src);
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains("column 7"));
+        assert!(rendered.contains("WHERE }"));
+    }
+
+    #[test]
+    fn render_handles_out_of_bounds() {
+        let e = VqlError::new("unexpected end", 999);
+        let rendered = e.render("short");
+        assert!(rendered.contains("unexpected end"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Hand-written VQL lexer.
+
+use std::sync::Arc;
+
+use crate::error::VqlError;
+use crate::token::{keyword, Spanned, Token};
+
+/// Tokenizes a VQL query. The trailing [`Token::Eof`] is included.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, VqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Spanned { tok: Token::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { tok: Token::RParen, offset: i });
+                i += 1;
+            }
+            b'{' => {
+                out.push(Spanned { tok: Token::LBrace, offset: i });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Spanned { tok: Token::RBrace, offset: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { tok: Token::Comma, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned { tok: Token::Star, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { tok: Token::Eq, offset: i });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Ne, offset: i });
+                    i += 2;
+                } else {
+                    return Err(VqlError::new("expected '=' after '!'", i));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Le, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            b'?' => {
+                let start = i + 1;
+                let end = ident_end(bytes, start);
+                if end == start {
+                    return Err(VqlError::new("expected variable name after '?'", i));
+                }
+                out.push(Spanned {
+                    tok: Token::Var(Arc::from(&src[start..end])),
+                    offset: i,
+                });
+                i = end;
+            }
+            b'\'' => {
+                let (s, end) = lex_string(src, i)?;
+                out.push(Spanned { tok: Token::Str(Arc::from(s)), offset: i });
+                i = end;
+            }
+            b'0'..=b'9' => {
+                let (tok, end) = lex_number(src, i, false)?;
+                out.push(Spanned { tok, offset: i });
+                i = end;
+            }
+            b'-' => {
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (tok, end) = lex_number(src, i + 1, true)?;
+                    out.push(Spanned { tok, offset: i });
+                    i = end;
+                } else {
+                    return Err(VqlError::new("expected digit after '-'", i));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let end = ident_end(bytes, i);
+                let word = &src[i..end];
+                let tok = keyword(word)
+                    .unwrap_or_else(|| Token::Ident(Arc::from(word)));
+                out.push(Spanned { tok, offset: i });
+                i = end;
+            }
+            other => {
+                return Err(VqlError::new(
+                    format!("unexpected character '{}'", other as char),
+                    i,
+                ));
+            }
+        }
+    }
+    out.push(Spanned { tok: Token::Eof, offset: src.len() });
+    Ok(out)
+}
+
+/// Identifier characters: alphanumerics, `_`, `:` (namespaces), `.`.
+fn ident_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':' || bytes[i] == b'.')
+    {
+        i += 1;
+    }
+    i
+}
+
+/// Lexes a `'...'` string starting at the opening quote; `''` escapes a
+/// quote. Returns the unescaped content and the index past the closing
+/// quote.
+fn lex_string(src: &str, start: usize) -> Result<(String, usize), VqlError> {
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    let mut content = String::new();
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                content.push('\'');
+                i += 2;
+            } else {
+                return Ok((content, i + 1));
+            }
+        } else {
+            // Consume one UTF-8 scalar.
+            let ch = src[i..].chars().next().unwrap();
+            content.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(VqlError::new("unterminated string literal", start))
+}
+
+fn lex_number(src: &str, start: usize, negative: bool) -> Result<(Token, usize), VqlError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &src[start..i];
+    let tok = if is_float {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| VqlError::new("invalid float literal", start))?;
+        Token::Float(if negative { -v } else { v })
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| VqlError::new("integer literal out of range", start))?;
+        Token::Int(if negative { -v } else { v })
+    };
+    Ok((tok, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("select WHERE Filter"), vec![
+            Token::Select,
+            Token::Where,
+            Token::Filter,
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn variables_and_idents() {
+        assert_eq!(toks("?a edist ns:attr"), vec![
+            Token::Var(Arc::from("a")),
+            Token::Ident(Arc::from("edist")),
+            Token::Ident(Arc::from("ns:attr")),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'ICDE 2006 - WS'"), vec![
+            Token::Str(Arc::from("ICDE 2006 - WS")),
+            Token::Eof
+        ]);
+        assert_eq!(toks("'it''s'"), vec![Token::Str(Arc::from("it's")), Token::Eof]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("2006 -5 3.25 -0.5"), vec![
+            Token::Int(2006),
+            Token::Int(-5),
+            Token::Float(3.25),
+            Token::Float(-0.5),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(toks("( ) { } , * = != < <= > >="), vec![
+            Token::LParen,
+            Token::RParen,
+            Token::LBrace,
+            Token::RBrace,
+            Token::Comma,
+            Token::Star,
+            Token::Eq,
+            Token::Ne,
+            Token::Lt,
+            Token::Le,
+            Token::Gt,
+            Token::Ge,
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("SELECT # comment\n?x"), vec![
+            Token::Select,
+            Token::Var(Arc::from("x")),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let lexed = lex("SELECT ?x").unwrap();
+        assert_eq!(lexed[0].offset, 0);
+        assert_eq!(lexed[1].offset, 7);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("SELECT @").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = lex("a ! b").unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn paper_example_lexes() {
+        let src = "SELECT ?name,?age,?cnt
+            WHERE {(?a,'name',?name) (?a,'age',?age)
+            (?a,'num_of_pubs',?cnt)
+            FILTER edist(?sr,'ICDE')<3
+            }
+            ORDER BY SKYLINE OF ?age MIN, ?cnt MAX";
+        let tokens = toks(src);
+        assert!(tokens.contains(&Token::Skyline));
+        assert!(tokens.contains(&Token::Ident(Arc::from("edist"))));
+        assert!(tokens.contains(&Token::Min));
+        assert!(tokens.contains(&Token::Max));
+    }
+}

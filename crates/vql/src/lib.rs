@@ -1,0 +1,41 @@
+//! VQL — the Vertical Query Language.
+//!
+//! Paper §2: *"In order to support the formulation and processing of
+//! DB-like queries, we propose a structured query language VQL, which is
+//! derived from SPARQL … targeted triples are formulated in braces,
+//! where variables are indicated by a question mark. Optional FILTER
+//! statements provide filter predicates … the basic construct remembers
+//! the structure of SQL queries, including obligatory SELECT and WHERE
+//! blocks, optional statements like ORDER BY and LIMIT, as well as
+//! advanced ones like SKYLINE OF."*
+//!
+//! The paper's flagship example parses verbatim:
+//!
+//! ```
+//! use unistore_vql::parse;
+//! let q = parse("
+//!     SELECT ?name,?age,?cnt
+//!     WHERE {(?a,'name',?name) (?a,'age',?age)
+//!            (?a,'num_of_pubs',?cnt)
+//!            (?a,'has_published',?title) (?p,'title',?title)
+//!            (?p,'published_in',?conf) (?c,'confname',?conf)
+//!            (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+//!     }
+//!     ORDER BY SKYLINE OF ?age MIN, ?cnt MAX
+//! ").expect("the paper's example query must parse");
+//! assert_eq!(q.patterns.len(), 8);
+//! assert_eq!(q.skyline.len(), 2);
+//! ```
+
+pub mod analyze;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod wire;
+
+pub use analyze::{analyze, AnalyzedQuery};
+pub use ast::{CmpOp, Expr, OrderItem, Query, Scalar, SkyDir, SkyItem, Term, TriplePattern};
+pub use error::VqlError;
+pub use parser::parse;

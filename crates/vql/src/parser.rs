@@ -1,0 +1,480 @@
+//! Recursive-descent VQL parser.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT select WHERE '{' (pattern | FILTER expr)+ '}' clause*
+//! select     := '*' | var (',' var)*
+//! pattern    := '(' term ',' term ',' term ')'
+//! term       := var | literal
+//! expr       := and_expr (OR and_expr)*
+//! and_expr   := unary (AND unary)*
+//! unary      := NOT unary | cmp
+//! cmp        := scalar cmpop scalar
+//! scalar     := var | literal | edist '(' scalar ',' scalar ')' | '(' … ')'
+//! clause     := ORDER BY (SKYLINE OF sky_items | order_items)
+//!             | SKYLINE OF sky_items | LIMIT int | TOP int
+//! ```
+
+use std::sync::Arc;
+
+use unistore_store::Value;
+
+use crate::ast::*;
+use crate::error::VqlError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parses a VQL query.
+pub fn parse(src: &str) -> Result<Query, VqlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), VqlError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(VqlError::new(format!("expected {t}, found {}", self.peek()), self.offset()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), VqlError> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(VqlError::new(
+                format!("unexpected trailing input: {}", self.peek()),
+                self.offset(),
+            ))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, VqlError> {
+        self.expect(Token::Select)?;
+        let select = self.select_list()?;
+        self.expect(Token::Where)?;
+        self.expect(Token::LBrace)?;
+        let mut patterns = Vec::new();
+        let mut filters = Vec::new();
+        loop {
+            match self.peek() {
+                Token::LParen => patterns.push(self.pattern()?),
+                Token::Filter => {
+                    self.bump();
+                    filters.push(self.expr()?);
+                }
+                Token::RBrace => {
+                    self.bump();
+                    break;
+                }
+                other => {
+                    return Err(VqlError::new(
+                        format!("expected pattern, FILTER or '}}', found {other}"),
+                        self.offset(),
+                    ));
+                }
+            }
+        }
+        if patterns.is_empty() {
+            return Err(VqlError::new("WHERE block needs at least one triple pattern", self.offset()));
+        }
+        let mut q = Query {
+            select,
+            patterns,
+            filters,
+            order_by: Vec::new(),
+            skyline: Vec::new(),
+            limit: None,
+            top: None,
+        };
+        self.clauses(&mut q)?;
+        Ok(q)
+    }
+
+    fn select_list(&mut self) -> Result<Vec<Arc<str>>, VqlError> {
+        if self.eat(&Token::Star) {
+            return Ok(Vec::new());
+        }
+        let mut vars = vec![self.var()?];
+        while self.eat(&Token::Comma) {
+            vars.push(self.var()?);
+        }
+        Ok(vars)
+    }
+
+    fn var(&mut self) -> Result<Arc<str>, VqlError> {
+        match self.bump() {
+            Token::Var(v) => Ok(v),
+            other => {
+                // bump advanced; report at the *previous* token's offset.
+                let off = self.tokens[self.pos.saturating_sub(1)].offset;
+                Err(VqlError::new(format!("expected variable, found {other}"), off))
+            }
+        }
+    }
+
+    fn pattern(&mut self) -> Result<TriplePattern, VqlError> {
+        self.expect(Token::LParen)?;
+        let subject = self.term()?;
+        self.expect(Token::Comma)?;
+        let attr = self.term()?;
+        self.expect(Token::Comma)?;
+        let value = self.term()?;
+        self.expect(Token::RParen)?;
+        Ok(TriplePattern { subject, attr, value })
+    }
+
+    fn term(&mut self) -> Result<Term, VqlError> {
+        let off = self.offset();
+        match self.bump() {
+            Token::Var(v) => Ok(Term::Var(v)),
+            Token::Str(s) => Ok(Term::Lit(Value::Str(s))),
+            Token::Int(i) => Ok(Term::Lit(Value::Int(i))),
+            Token::Float(f) => Ok(Term::Lit(Value::Float(f))),
+            other => Err(VqlError::new(format!("expected term, found {other}"), off)),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, VqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, VqlError> {
+        let mut lhs = self.unary()?;
+        while self.eat(&Token::And) {
+            let rhs = self.unary()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, VqlError> {
+        if self.eat(&Token::Not) {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        // Parenthesized boolean expression. (Scalars never start with
+        // '(', so this is unambiguous.)
+        if self.eat(&Token::LParen) {
+            let inner = self.expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        // Boolean function: prefix(s, p).
+        if let Token::Ident(name) = self.peek() {
+            if name.as_ref() == "prefix" {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let scalar = self.scalar()?;
+                self.expect(Token::Comma)?;
+                let prefix = self.scalar()?;
+                self.expect(Token::RParen)?;
+                return Ok(Expr::Prefix { scalar, prefix });
+            }
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<Expr, VqlError> {
+        let lhs = self.scalar()?;
+        let off = self.offset();
+        let op = match self.bump() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => {
+                return Err(VqlError::new(
+                    format!("expected comparison operator, found {other}"),
+                    off,
+                ));
+            }
+        };
+        let rhs = self.scalar()?;
+        Ok(Expr::Cmp { op, lhs, rhs })
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, VqlError> {
+        let off = self.offset();
+        match self.bump() {
+            Token::Var(v) => Ok(Scalar::Var(v)),
+            Token::Str(s) => Ok(Scalar::Lit(Value::Str(s))),
+            Token::Int(i) => Ok(Scalar::Lit(Value::Int(i))),
+            Token::Float(f) => Ok(Scalar::Lit(Value::Float(f))),
+            Token::Ident(name) if name.as_ref() == "edist" => {
+                self.expect(Token::LParen)?;
+                let a = self.scalar()?;
+                self.expect(Token::Comma)?;
+                let b = self.scalar()?;
+                self.expect(Token::RParen)?;
+                Ok(Scalar::EDist(Box::new(a), Box::new(b)))
+            }
+            Token::Ident(name) => {
+                Err(VqlError::new(format!("unknown function '{name}'"), off))
+            }
+            other => Err(VqlError::new(format!("expected scalar, found {other}"), off)),
+        }
+    }
+
+    fn clauses(&mut self, q: &mut Query) -> Result<(), VqlError> {
+        loop {
+            match self.peek() {
+                Token::Order => {
+                    self.bump();
+                    self.expect(Token::By)?;
+                    if self.eat(&Token::Skyline) {
+                        self.expect(Token::Of)?;
+                        q.skyline = self.sky_items()?;
+                    } else {
+                        q.order_by = self.order_items()?;
+                    }
+                }
+                Token::Skyline => {
+                    self.bump();
+                    self.expect(Token::Of)?;
+                    q.skyline = self.sky_items()?;
+                }
+                Token::Limit => {
+                    self.bump();
+                    q.limit = Some(self.count()?);
+                }
+                Token::Top => {
+                    self.bump();
+                    q.top = Some(self.count()?);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn count(&mut self) -> Result<usize, VqlError> {
+        let off = self.offset();
+        match self.bump() {
+            Token::Int(i) if i > 0 => Ok(i as usize),
+            other => Err(VqlError::new(format!("expected positive count, found {other}"), off)),
+        }
+    }
+
+    fn order_items(&mut self) -> Result<Vec<OrderItem>, VqlError> {
+        let mut items = Vec::new();
+        loop {
+            let var = self.var()?;
+            let dir = if self.eat(&Token::Desc) {
+                SortDir::Desc
+            } else {
+                self.eat(&Token::Asc);
+                SortDir::Asc
+            };
+            items.push(OrderItem { var, dir });
+            if !self.eat(&Token::Comma) {
+                return Ok(items);
+            }
+        }
+    }
+
+    fn sky_items(&mut self) -> Result<Vec<SkyItem>, VqlError> {
+        let mut items = Vec::new();
+        loop {
+            let var = self.var()?;
+            let off = self.offset();
+            let dir = match self.bump() {
+                Token::Min => SkyDir::Min,
+                Token::Max => SkyDir::Max,
+                other => {
+                    return Err(VqlError::new(
+                        format!("expected MIN or MAX, found {other}"),
+                        off,
+                    ));
+                }
+            };
+            items.push(SkyItem { var, dir });
+            if !self.eat(&Token::Comma) {
+                return Ok(items);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_QUERY: &str = "
+        SELECT ?name,?age,?cnt
+        WHERE {(?a,'name',?name) (?a,'age',?age)
+               (?a,'num_of_pubs',?cnt)
+               (?a,'has_published',?title) (?p,'title',?title)
+               (?p,'published_in',?conf) (?c,'confname',?conf)
+               (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+        }
+        ORDER BY SKYLINE OF ?age MIN, ?cnt MAX";
+
+    #[test]
+    fn paper_example_parses() {
+        let q = parse(PAPER_QUERY).expect("paper query must parse");
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.patterns.len(), 8);
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.skyline.len(), 2);
+        assert_eq!(q.skyline[0].dir, SkyDir::Min);
+        assert_eq!(q.skyline[1].dir, SkyDir::Max);
+        assert!(q.order_by.is_empty());
+        match &q.filters[0] {
+            Expr::Cmp { op: CmpOp::Lt, lhs: Scalar::EDist(a, b), rhs } => {
+                assert_eq!(**a, Scalar::Var(Arc::from("sr")));
+                assert_eq!(**b, Scalar::Lit(Value::str("ICDE")));
+                assert_eq!(*rhs, Scalar::Lit(Value::Int(3)));
+            }
+            other => panic!("unexpected filter {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse("SELECT * WHERE {(?a,'name',?n)}").unwrap();
+        assert!(q.select.is_empty());
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn order_by_limit_top() {
+        let q = parse("SELECT ?n WHERE {(?a,'name',?n)} ORDER BY ?n DESC LIMIT 10").unwrap();
+        assert_eq!(q.order_by, vec![OrderItem { var: Arc::from("n"), dir: SortDir::Desc }]);
+        assert_eq!(q.limit, Some(10));
+        let q = parse("SELECT ?n WHERE {(?a,'age',?n)} ORDER BY ?n TOP 5").unwrap();
+        assert_eq!(q.top, Some(5));
+    }
+
+    #[test]
+    fn literal_subjects_allowed() {
+        // Looking up a known OID's attributes.
+        let q = parse("SELECT ?v WHERE {('a12',?attr,?v)}").unwrap();
+        assert_eq!(q.patterns[0].subject, Term::Lit(Value::str("a12")));
+    }
+
+    #[test]
+    fn boolean_filters() {
+        let q = parse(
+            "SELECT ?n WHERE {(?a,'age',?g) (?a,'name',?n)
+             FILTER ?g >= 30 AND ?g < 40 OR NOT ?n = 'bob'}",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 1);
+        match &q.filters[0] {
+            Expr::Or(_, rhs) => assert!(matches!(**rhs, Expr::Not(_))),
+            other => panic!("precedence broken: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_filters_allowed() {
+        let q = parse(
+            "SELECT ?n WHERE {(?a,'age',?g) FILTER ?g > 1 (?a,'name',?n) FILTER ?g < 9}",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.patterns.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("WHERE {}").is_err());
+        assert!(parse("SELECT ?x").is_err());
+        assert!(parse("SELECT ?x WHERE {}").is_err()); // no patterns
+        assert!(parse("SELECT ?x WHERE {(?a,'n',?x)} LIMIT 0").is_err());
+        assert!(parse("SELECT ?x WHERE {(?a,'n',?x)} trailing").is_err());
+        assert!(parse("SELECT ?x WHERE {(?a,'n')}").is_err()); // 2-ary pattern
+        assert!(parse("SELECT ?x WHERE {(?a,'n',?x) FILTER foo(?x)>1}").is_err());
+        assert!(parse("SELECT ?x WHERE {(?a,'n',?x)} SKYLINE OF ?x}").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_into_source() {
+        let src = "SELECT ?x WHERE {(?a,'n',?x)} LIMIT abc";
+        let err = parse(src).unwrap_err();
+        assert!(err.offset >= src.find("abc").unwrap());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        // Parse → print → parse again must be a fixpoint (same AST).
+        for src in [
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT * WHERE {(?a,'age',?g) FILTER ?g>=30}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g)} ORDER BY ?g DESC LIMIT 3",
+            PAPER_QUERY,
+        ] {
+            let q1 = parse(src).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed}: {e}"));
+            assert_eq!(q1, q2, "display/parse not a fixpoint for {src}");
+        }
+    }
+
+    #[test]
+    fn prefix_predicate_parses() {
+        let q = parse("SELECT ?s WHERE {(?c,'series',?s) FILTER prefix(?s,'IC')}").unwrap();
+        match &q.filters[0] {
+            Expr::Prefix { scalar: Scalar::Var(v), prefix: Scalar::Lit(p) } => {
+                assert_eq!(v.as_ref(), "s");
+                assert_eq!(*p, Value::str("IC"));
+            }
+            other => panic!("unexpected filter {other:?}"),
+        }
+        // Composes with boolean operators and roundtrips via Display.
+        let q = parse(
+            "SELECT ?s WHERE {(?c,'series',?s) FILTER prefix(?s,'IC') AND NOT ?s = 'ICDE'}",
+        )
+        .unwrap();
+        let printed = q.to_string();
+        assert_eq!(parse(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn namespaced_attrs_in_strings() {
+        let q = parse("SELECT ?v WHERE {(?a,'dblp:year',?v)}").unwrap();
+        assert_eq!(q.patterns[0].attr, Term::Lit(Value::str("dblp:year")));
+    }
+}

@@ -1,0 +1,123 @@
+//! VQL tokens.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One lexed token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset of the token start.
+    pub offset: usize,
+}
+
+/// VQL token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords (case-insensitive in source).
+    Select,
+    Where,
+    Filter,
+    Order,
+    By,
+    Skyline,
+    Of,
+    Limit,
+    Top,
+    Asc,
+    Desc,
+    Min,
+    Max,
+    And,
+    Or,
+    Not,
+    /// `?name`
+    Var(Arc<str>),
+    /// Bare identifier (function names such as `edist`).
+    Ident(Arc<str>),
+    /// `'single-quoted string'` (doubled quote escapes).
+    Str(Arc<str>),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input (simplifies the parser).
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Select => write!(f, "SELECT"),
+            Token::Where => write!(f, "WHERE"),
+            Token::Filter => write!(f, "FILTER"),
+            Token::Order => write!(f, "ORDER"),
+            Token::By => write!(f, "BY"),
+            Token::Skyline => write!(f, "SKYLINE"),
+            Token::Of => write!(f, "OF"),
+            Token::Limit => write!(f, "LIMIT"),
+            Token::Top => write!(f, "TOP"),
+            Token::Asc => write!(f, "ASC"),
+            Token::Desc => write!(f, "DESC"),
+            Token::Min => write!(f, "MIN"),
+            Token::Max => write!(f, "MAX"),
+            Token::And => write!(f, "AND"),
+            Token::Or => write!(f, "OR"),
+            Token::Not => write!(f, "NOT"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Maps an identifier to its keyword token, if it is one.
+pub fn keyword(word: &str) -> Option<Token> {
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Token::Select,
+        "WHERE" => Token::Where,
+        "FILTER" => Token::Filter,
+        "ORDER" => Token::Order,
+        "BY" => Token::By,
+        "SKYLINE" => Token::Skyline,
+        "OF" => Token::Of,
+        "LIMIT" => Token::Limit,
+        "TOP" => Token::Top,
+        "ASC" => Token::Asc,
+        "DESC" => Token::Desc,
+        "MIN" => Token::Min,
+        "MAX" => Token::Max,
+        "AND" => Token::And,
+        "OR" => Token::Or,
+        "NOT" => Token::Not,
+        _ => return None,
+    })
+}

@@ -1,0 +1,227 @@
+//! Wire encodings for AST types.
+//!
+//! Mutant Query Plans travel between peers with their patterns, filters
+//! and ranking clauses embedded, so the AST must serialize with honest
+//! sizes.
+
+use bytes::{Bytes, BytesMut};
+
+use unistore_store::Value;
+use unistore_util::wire::{Wire, WireError};
+
+use crate::ast::*;
+
+impl Wire for Term {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Term::Var(v) => {
+                0u8.encode(buf);
+                v.encode(buf);
+            }
+            Term::Lit(l) => {
+                1u8.encode(buf);
+                l.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => Term::Var(Wire::decode(buf)?),
+            1 => Term::Lit(Value::decode(buf)?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for TriplePattern {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.subject.encode(buf);
+        self.attr.encode(buf);
+        self.value.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(TriplePattern {
+            subject: Term::decode(buf)?,
+            attr: Term::decode(buf)?,
+            value: Term::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for CmpOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        let t: u8 = match self {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        };
+        t.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            5 => CmpOp::Ge,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Scalar {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Scalar::Var(v) => {
+                0u8.encode(buf);
+                v.encode(buf);
+            }
+            Scalar::Lit(l) => {
+                1u8.encode(buf);
+                l.encode(buf);
+            }
+            Scalar::EDist(a, b) => {
+                2u8.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => Scalar::Var(Wire::decode(buf)?),
+            1 => Scalar::Lit(Value::decode(buf)?),
+            2 => Scalar::EDist(Box::new(Scalar::decode(buf)?), Box::new(Scalar::decode(buf)?)),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for Expr {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Expr::Cmp { op, lhs, rhs } => {
+                0u8.encode(buf);
+                op.encode(buf);
+                lhs.encode(buf);
+                rhs.encode(buf);
+            }
+            Expr::And(a, b) => {
+                1u8.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Expr::Or(a, b) => {
+                2u8.encode(buf);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            Expr::Not(a) => {
+                3u8.encode(buf);
+                a.encode(buf);
+            }
+            Expr::Prefix { scalar, prefix } => {
+                4u8.encode(buf);
+                scalar.encode(buf);
+                prefix.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match u8::decode(buf)? {
+            0 => Expr::Cmp {
+                op: CmpOp::decode(buf)?,
+                lhs: Scalar::decode(buf)?,
+                rhs: Scalar::decode(buf)?,
+            },
+            1 => Expr::And(Box::new(Expr::decode(buf)?), Box::new(Expr::decode(buf)?)),
+            2 => Expr::Or(Box::new(Expr::decode(buf)?), Box::new(Expr::decode(buf)?)),
+            3 => Expr::Not(Box::new(Expr::decode(buf)?)),
+            4 => Expr::Prefix { scalar: Scalar::decode(buf)?, prefix: Scalar::decode(buf)? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for OrderItem {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.var.encode(buf);
+        (matches!(self.dir, SortDir::Desc)).encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(OrderItem {
+            var: Wire::decode(buf)?,
+            dir: if bool::decode(buf)? { SortDir::Desc } else { SortDir::Asc },
+        })
+    }
+}
+
+impl Wire for SkyItem {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.var.encode(buf);
+        (matches!(self.dir, SkyDir::Max)).encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(SkyItem {
+            var: Wire::decode(buf)?,
+            dir: if bool::decode(buf)? { SkyDir::Max } else { SkyDir::Min },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn paper_query_parts_roundtrip() {
+        let q = parse(
+            "SELECT ?name WHERE {(?a,'name',?name) (?c,'series',?sr)
+             FILTER edist(?sr,'ICDE')<3 AND ?name != 'x' OR NOT ?name = 'y'}
+             ORDER BY SKYLINE OF ?name MIN",
+        )
+        .unwrap();
+        for p in &q.patterns {
+            let b = p.to_bytes();
+            assert_eq!(b.len(), p.wire_size());
+            assert_eq!(&TriplePattern::from_bytes(&b).unwrap(), p);
+        }
+        for f in &q.filters {
+            let b = f.to_bytes();
+            assert_eq!(&Expr::from_bytes(&b).unwrap(), f);
+        }
+        for s in &q.skyline {
+            let b = s.to_bytes();
+            assert_eq!(&SkyItem::from_bytes(&b).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn order_item_roundtrip() {
+        for dir in [SortDir::Asc, SortDir::Desc] {
+            let o = OrderItem { var: std::sync::Arc::from("x"), dir };
+            let b = o.to_bytes();
+            assert_eq!(OrderItem::from_bytes(&b).unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn cmp_ops_roundtrip() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let b = op.to_bytes();
+            assert_eq!(CmpOp::from_bytes(&b).unwrap(), op);
+        }
+    }
+}

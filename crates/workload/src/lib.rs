@@ -1,0 +1,16 @@
+//! Workload generators.
+//!
+//! The paper demonstrates on "data about contacts and publications,
+//! similar to the schema introduced in section 2" — Fig. 3: Person
+//! (name, age, num_of_pubs, has_published, email, office, phone),
+//! Publication (title, published_in, year), Conference (confname,
+//! series), plus relationships. [`PubWorld`] generates that world with
+//! controllable scale, conference-popularity skew and typo rates, fully
+//! deterministically from a seed.
+
+pub mod hetero;
+pub mod pubgen;
+pub mod typos;
+
+pub use pubgen::{PubParams, PubWorld};
+pub use typos::inject_typo;

@@ -1,0 +1,221 @@
+//! The Fig. 3 publication world.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_store::{Tuple, Value};
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::zipf::Zipf;
+
+/// Scale and shape of the generated world.
+#[derive(Clone, Debug)]
+pub struct PubParams {
+    /// Number of authors.
+    pub n_authors: usize,
+    /// Number of conference instances.
+    pub n_conferences: usize,
+    /// Mean publications per author (each links author → publication →
+    /// conference).
+    pub pubs_per_author: usize,
+    /// Zipf exponent of conference popularity (0 = uniform).
+    pub conf_skew: f64,
+    /// Year range of conferences.
+    pub years: (i64, i64),
+    /// Fraction of conference `series` values carrying a typo
+    /// (similarity workload; the paper's `edist(?sr,'ICDE')<3`).
+    pub typo_rate: f64,
+}
+
+impl Default for PubParams {
+    fn default() -> Self {
+        PubParams {
+            n_authors: 100,
+            n_conferences: 20,
+            pubs_per_author: 3,
+            conf_skew: 0.8,
+            years: (1998, 2006),
+            typo_rate: 0.1,
+        }
+    }
+}
+
+const SERIES: &[&str] =
+    &["ICDE", "VLDB", "SIGMOD", "EDBT", "CIDR", "ICDCS", "P2P", "NETDB", "WWW", "CIKM"];
+
+const FIRST: &[&str] = &[
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy", "karl",
+    "liam", "mona", "nina", "oscar", "peggy", "quinn", "rita", "sven", "tina",
+];
+
+const TOPICS: &[&str] = &[
+    "Similarity Queries", "Skyline Processing", "Range Indexing", "Trie Overlays",
+    "Update Propagation", "Cost Models", "Schema Mappings", "Triple Stores",
+    "Query Routing", "Load Balancing", "Gossip Protocols", "Adaptive Plans",
+];
+
+/// A generated world: authors, publications, conferences.
+#[derive(Clone, Debug)]
+pub struct PubWorld {
+    /// Author tuples (`name`, `age`, `num_of_pubs`, `email`, and one
+    /// `has_published` per publication).
+    pub authors: Vec<Tuple>,
+    /// Publication tuples (`title`, `published_in`, `year`).
+    pub publications: Vec<Tuple>,
+    /// Conference tuples (`confname`, `series`, `year`).
+    pub conferences: Vec<Tuple>,
+}
+
+impl PubWorld {
+    /// Generates deterministically from a seed.
+    pub fn generate(params: &PubParams, seed: u64) -> PubWorld {
+        let mut rng: StdRng = derive_rng(seed, stream::WORKLOAD);
+        let conf_pick = Zipf::new(params.n_conferences.max(1), params.conf_skew);
+
+        // Conferences: cycle through series with increasing years.
+        let mut conferences = Vec::with_capacity(params.n_conferences);
+        for c in 0..params.n_conferences {
+            let series = SERIES[c % SERIES.len()];
+            let year = rng.gen_range(params.years.0..=params.years.1);
+            let series_val = if rng.gen::<f64>() < params.typo_rate {
+                crate::typos::inject_typo(series, &mut rng)
+            } else {
+                series.to_string()
+            };
+            conferences.push(
+                Tuple::new(&format!("conf{c}"))
+                    .with("confname", Value::str(&format!("{series} {year}")))
+                    .with("series", Value::str(&series_val))
+                    .with("year", Value::Int(year)),
+            );
+        }
+
+        let mut publications = Vec::new();
+        let mut authors = Vec::with_capacity(params.n_authors);
+        for a in 0..params.n_authors {
+            let name = format!("{}-{a}", FIRST[a % FIRST.len()]);
+            let n_pubs = 1 + rng.gen_range(0..=(params.pubs_per_author.max(1) * 2 - 1));
+            let mut author = Tuple::new(&format!("auth{a}"))
+                .with("name", Value::str(&name))
+                .with("age", Value::Int(rng.gen_range(24..=65)))
+                .with("num_of_pubs", Value::Int(n_pubs as i64))
+                .with("email", Value::str(&format!("{name}@example.org")));
+            for p in 0..n_pubs {
+                let pid = publications.len();
+                let conf = conf_pick.sample(&mut rng);
+                let conf_name = conferences[conf].get("confname").unwrap().clone();
+                let year = conferences[conf].get("year").unwrap().clone();
+                let title = format!("{} for P2P Systems #{pid}", TOPICS[(a + p) % TOPICS.len()]);
+                publications.push(
+                    Tuple::new(&format!("pub{pid}"))
+                        .with("title", Value::str(&title))
+                        .with("published_in", conf_name)
+                        .with("year", year),
+                );
+                author = author.with("has_published", Value::str(&title));
+            }
+            authors.push(author);
+        }
+        PubWorld { authors, publications, conferences }
+    }
+
+    /// Everything as one tuple stream (load order: conferences,
+    /// publications, authors).
+    pub fn all_tuples(&self) -> Vec<Tuple> {
+        self.conferences
+            .iter()
+            .chain(&self.publications)
+            .chain(&self.authors)
+            .cloned()
+            .collect()
+    }
+
+    /// Total triple count after decomposition.
+    pub fn triple_count(&self) -> usize {
+        self.all_tuples().iter().map(|t| t.fields.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = PubParams::default();
+        let a = PubWorld::generate(&p, 7);
+        let b = PubWorld::generate(&p, 7);
+        assert_eq!(a.all_tuples(), b.all_tuples());
+        let c = PubWorld::generate(&p, 8);
+        assert_ne!(a.all_tuples(), c.all_tuples());
+    }
+
+    #[test]
+    fn scale_matches_params() {
+        let p = PubParams { n_authors: 50, n_conferences: 10, ..Default::default() };
+        let w = PubWorld::generate(&p, 1);
+        assert_eq!(w.authors.len(), 50);
+        assert_eq!(w.conferences.len(), 10);
+        assert!(!w.publications.is_empty());
+        assert!(w.triple_count() > 50 * 4);
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let w = PubWorld::generate(&PubParams::default(), 3);
+        // Every publication's conference exists.
+        for p in &w.publications {
+            let conf = p.get("published_in").unwrap();
+            assert!(
+                w.conferences.iter().any(|c| c.get("confname").unwrap() == conf),
+                "dangling conference {conf}"
+            );
+        }
+        // Every has_published matches a publication title.
+        for a in &w.authors {
+            for (attr, v) in &a.fields {
+                if attr.as_ref() == "has_published" {
+                    assert!(w.publications.iter().any(|p| p.get("title").unwrap() == v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_popularity() {
+        let p = PubParams {
+            n_authors: 200,
+            n_conferences: 10,
+            conf_skew: 1.2,
+            ..Default::default()
+        };
+        let w = PubWorld::generate(&p, 5);
+        let mut counts = [0usize; 10];
+        for publ in &w.publications {
+            let conf = publ.get("published_in").unwrap();
+            let idx = w
+                .conferences
+                .iter()
+                .position(|c| c.get("confname").unwrap() == conf)
+                .unwrap();
+            counts[idx] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let avg = w.publications.len() / 10;
+        assert!(max > 2 * avg, "skew should concentrate publications (max {max}, avg {avg})");
+    }
+
+    #[test]
+    fn typos_present_at_requested_rate() {
+        let p = PubParams { n_conferences: 100, typo_rate: 0.5, ..Default::default() };
+        let w = PubWorld::generate(&p, 11);
+        let exact = w
+            .conferences
+            .iter()
+            .filter(|c| {
+                let s = c.get("series").unwrap().as_str().unwrap();
+                SERIES.contains(&s)
+            })
+            .count();
+        assert!(exact > 20 && exact < 80, "about half should be typo-free, got {exact}");
+    }
+}

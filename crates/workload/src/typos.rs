@@ -1,0 +1,78 @@
+//! Typo injection for similarity workloads.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Applies one random single-character edit (substitution, deletion,
+/// insertion or transposition), keeping the result within edit distance
+/// 1 of the input — the "typos and similar" the paper's
+/// `edist(?sr,'ICDE') < 3` is meant to absorb.
+pub fn inject_typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // Substitution.
+            let i = rng.gen_range(0..out.len());
+            let c = (b'A' + rng.gen_range(0..26)) as char;
+            out[i] = c;
+        }
+        1 if out.len() > 1 => {
+            // Deletion.
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        2 => {
+            // Insertion.
+            let i = rng.gen_range(0..=out.len());
+            let c = (b'A' + rng.gen_range(0..26)) as char;
+            out.insert(i, c);
+        }
+        _ if out.len() > 1 => {
+            // Transposition (distance ≤ 2 under plain Levenshtein).
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        _ => {
+            let c = (b'A' + rng.gen_range(0..26)) as char;
+            out[0] = c;
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use unistore_store::qgram::edit_distance;
+
+    #[test]
+    fn typo_stays_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let t = inject_typo("ICDE", &mut rng);
+            assert!(
+                edit_distance("ICDE", &t) <= 2,
+                "typo {t:?} drifted too far from ICDE"
+            );
+        }
+    }
+
+    #[test]
+    fn typo_usually_changes_the_string() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let changed =
+            (0..100).filter(|_| inject_typo("SIGMOD", &mut rng) != "SIGMOD").count();
+        assert!(changed > 80);
+    }
+
+    #[test]
+    fn empty_input_handled() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!inject_typo("", &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a small UniStore network, insert data, run VQL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use unistore::{UniCluster, UniConfig};
+use unistore_store::{Tuple, Value};
+
+fn main() {
+    // A 16-peer overlay on a simulated LAN (paper §4: the conference
+    // demo network).
+    let mut cluster = UniCluster::build(16, UniConfig::default(), 42);
+
+    // Insert heterogeneous tuples — note the absent attributes: vertical
+    // storage needs no NULLs (paper §2).
+    cluster.load(vec![
+        Tuple::new("p1")
+            .with("name", Value::str("alice"))
+            .with("age", Value::Int(28))
+            .with("office", Value::str("IL-2064")),
+        Tuple::new("p2")
+            .with("name", Value::str("bob"))
+            .with("age", Value::Int(45))
+            .with("phone", Value::Int(4412)),
+        Tuple::new("p3").with("name", Value::str("carol")).with("age", Value::Int(33)),
+    ]);
+
+    // A structured query with a range filter, from any peer.
+    let origin = cluster.random_node();
+    let out = cluster
+        .query(
+            origin,
+            "SELECT ?name,?age
+             WHERE {(?p,'name',?name) (?p,'age',?age) FILTER ?age < 40}
+             ORDER BY ?age",
+        )
+        .expect("valid VQL");
+
+    println!("results ({} rows):", out.relation.len());
+    for row in &out.relation.rows {
+        println!("  {} is {}", row[0], row[1]);
+    }
+    println!(
+        "cost: {} messages, {} bytes, {} simulated latency, {} routing hops",
+        out.cost.messages, out.cost.bytes, out.cost.latency, out.cost.hops
+    );
+
+    // Schema-level querying works the same way: attributes are data.
+    let out = cluster
+        .query(origin, "SELECT ?attr WHERE {('p1',?attr,?v)}")
+        .expect("valid VQL");
+    let attrs: Vec<String> = out.relation.rows.iter().map(|r| r[0].to_string()).collect();
+    println!("p1's schema: {}", attrs.join(", "));
+}

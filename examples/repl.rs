@@ -1,0 +1,84 @@
+//! Interactive VQL shell over a simulated UniStore network — the
+//! library-world equivalent of the paper's Fig. 4 query window.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Commands: a VQL query on one line, `:help`, `:stats`, `:quit`.
+
+use std::io::{BufRead, Write};
+
+use unistore::{UniCluster, UniConfig};
+use unistore_workload::{PubParams, PubWorld};
+
+fn main() {
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 60, n_conferences: 12, ..Default::default() },
+        99,
+    );
+    let mut cluster = UniCluster::build(32, UniConfig::default(), 99);
+    cluster.load(world.all_tuples());
+    println!("UniStore REPL — 32 peers, {} triples loaded.", cluster.triples().len());
+    println!("Schema: Person(name, age, num_of_pubs, email, has_published),");
+    println!("        Publication(title, published_in, year), Conference(confname, series, year)");
+    println!("Type a VQL query, :help, or :quit.\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("vql> ");
+        out.flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ":quit" | ":q" => break,
+            ":help" => {
+                println!("examples:");
+                println!("  SELECT ?n WHERE {{(?a,'name',?n)}} LIMIT 5");
+                println!("  SELECT ?n,?g WHERE {{(?a,'name',?n) (?a,'age',?g) FILTER ?g < 35}}");
+                println!("  SELECT ?s WHERE {{(?c,'series',?s) FILTER edist(?s,'ICDE')<2}}");
+                println!("  SELECT ?g,?c WHERE {{(?a,'age',?g) (?a,'num_of_pubs',?c)}} ORDER BY SKYLINE OF ?g MIN, ?c MAX");
+                continue;
+            }
+            ":stats" => {
+                let m = cluster.net.metrics();
+                println!(
+                    "network: {} msgs sent, {} delivered, {} dropped, {} bytes",
+                    m.sent, m.delivered, m.dropped, m.bytes
+                );
+                continue;
+            }
+            _ => {}
+        }
+        let origin = cluster.random_node();
+        match cluster.query(origin, line) {
+            Err(e) => println!("{}", e.render(line)),
+            Ok(res) if !res.ok => println!("query timed out"),
+            Ok(res) => {
+                let header: Vec<String> =
+                    res.relation.schema.iter().map(|v| format!("?{v}")).collect();
+                println!("{}", header.join(" | "));
+                for row in res.relation.rows.iter().take(25) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                if res.relation.len() > 25 {
+                    println!("… {} more rows", res.relation.len() - 25);
+                }
+                println!(
+                    "[{} rows; {} msgs, {} hops, {} simulated]",
+                    res.relation.len(),
+                    res.cost.messages,
+                    res.cost.hops,
+                    res.cost.latency
+                );
+            }
+        }
+    }
+    println!("bye.");
+}

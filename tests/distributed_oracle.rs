@@ -1,0 +1,213 @@
+//! Oracle tests: every distributed execution must produce exactly the
+//! rows the local reference engine produces on the same data.
+
+use unistore::{UniCluster, UniConfig};
+use unistore_query::Relation;
+use unistore_store::Value;
+use unistore_workload::{PubParams, PubWorld};
+
+/// Canonical form: project columns in name order, sort rows.
+fn normalize(rel: &Relation) -> Vec<Vec<String>> {
+    let mut order: Vec<usize> = (0..rel.schema.len()).collect();
+    order.sort_by_key(|&i| rel.schema[i].clone());
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| {
+            order
+                .iter()
+                .map(|&i| match &r[i] {
+                    // Canonicalize numerics across Int/Float.
+                    v @ (Value::Int(_) | Value::Float(_)) => {
+                        format!("{}", v.as_f64().unwrap())
+                    }
+                    Value::Str(s) => format!("'{s}'"),
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn check(cluster: &mut UniCluster, queries: &[&str]) {
+    let oracle = cluster.oracle();
+    for (i, q) in queries.iter().enumerate() {
+        let origin = cluster.random_node();
+        let dist = cluster.query(origin, q).expect("query parses");
+        assert!(dist.ok, "query {i} timed out: {q}");
+        let mut local = oracle.clone();
+        let expected = local.query(q).expect("oracle parses");
+        assert_eq!(
+            normalize(&dist.relation),
+            normalize(&expected),
+            "query {i} diverged from oracle: {q}"
+        );
+    }
+}
+
+fn world_cluster(n_peers: usize, seed: u64) -> UniCluster {
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        seed,
+    );
+    let mut cluster = UniCluster::build(n_peers, UniConfig::default(), seed);
+    cluster.load(world.all_tuples());
+    cluster
+}
+
+#[test]
+fn point_and_range_queries_match_oracle() {
+    let mut cluster = world_cluster(16, 42);
+    check(
+        &mut cluster,
+        &[
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT ?a WHERE {(?a,'age',30)}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 AND ?g < 45}",
+            "SELECT ?t WHERE {(?p,'title',?t) (?p,'year',?y) FILTER ?y >= 2003}",
+            "SELECT ?c WHERE {(?x,'confname',?c)}",
+        ],
+    );
+}
+
+#[test]
+fn join_queries_match_oracle() {
+    let mut cluster = world_cluster(16, 43);
+    check(
+        &mut cluster,
+        &[
+            // Two-way join.
+            "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
+            // Three-way chain across entity types.
+            "SELECT ?n,?conf WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)}",
+            // Four-way with a filter on the far end.
+            "SELECT ?n WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)
+             (?c,'confname',?conf) (?c,'year',?y) FILTER ?y >= 2004}",
+        ],
+    );
+}
+
+#[test]
+fn ranking_queries_match_oracle() {
+    let mut cluster = world_cluster(16, 44);
+    check(
+        &mut cluster,
+        &[
+            "SELECT ?g,?n WHERE {(?a,'name',?n) (?a,'age',?g)} ORDER BY ?g, ?n",
+            "SELECT ?n,?c WHERE {(?a,'name',?n) (?a,'num_of_pubs',?c)}
+             ORDER BY SKYLINE OF ?c MAX",
+            "SELECT ?g,?c WHERE {(?a,'age',?g) (?a,'num_of_pubs',?c)}
+             ORDER BY SKYLINE OF ?g MIN, ?c MAX",
+        ],
+    );
+}
+
+#[test]
+fn similarity_queries_match_oracle() {
+    let mut cluster = world_cluster(16, 45);
+    check(
+        &mut cluster,
+        &[
+            "SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<3}",
+            "SELECT ?cn WHERE {(?c,'series',?s) (?c,'confname',?cn)
+             FILTER edist(?s,'VLDB')<=1}",
+        ],
+    );
+}
+
+#[test]
+fn prefix_queries_match_oracle() {
+    let mut cluster = world_cluster(16, 51);
+    check(
+        &mut cluster,
+        &[
+            // Native prefix search on the order-preserving index.
+            "SELECT ?cn WHERE {(?c,'confname',?cn) FILTER prefix(?cn,'ICDE')}",
+            "SELECT ?n WHERE {(?a,'name',?n) FILTER prefix(?n,'alice')}",
+            // Composed with a join.
+            "SELECT ?n,?cn WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?cn) FILTER prefix(?cn,'VLDB')}",
+        ],
+    );
+}
+
+#[test]
+fn paper_flagship_query_matches_oracle() {
+    let mut cluster = world_cluster(24, 46);
+    check(
+        &mut cluster,
+        &["SELECT ?name,?age,?cnt
+           WHERE {(?a,'name',?name) (?a,'age',?age)
+                  (?a,'num_of_pubs',?cnt)
+                  (?a,'has_published',?title) (?p,'title',?title)
+                  (?p,'published_in',?conf) (?c,'confname',?conf)
+                  (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+           }
+           ORDER BY SKYLINE OF ?age MIN, ?cnt MAX"],
+    );
+}
+
+#[test]
+fn schema_and_value_queries_match_oracle() {
+    let mut cluster = world_cluster(16, 47);
+    check(
+        &mut cluster,
+        &[
+            // Schema-level: which attributes does an object have?
+            "SELECT ?attr WHERE {('auth0',?attr,?v)}",
+            // Value index: which objects carry a given value anywhere?
+            "SELECT ?a,?attr WHERE {(?a,?attr,2005)}",
+        ],
+    );
+}
+
+#[test]
+fn oracle_agreement_across_network_sizes() {
+    for n in [4usize, 8, 32, 64] {
+        let mut cluster = world_cluster(n, 48);
+        check(
+            &mut cluster,
+            &["SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}"],
+        );
+    }
+}
+
+#[test]
+fn replication_does_not_duplicate_results() {
+    let world = PubWorld::generate(&PubParams { n_authors: 30, ..Default::default() }, 49);
+    let mut cluster = UniCluster::build(24, UniConfig::default().with_replication(3), 49);
+    cluster.load(world.all_tuples());
+    check(
+        &mut cluster,
+        &[
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
+        ],
+    );
+}
+
+#[test]
+fn heterogeneous_world_with_mappings_matches_oracle() {
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 30, n_conferences: 8, ..Default::default() },
+        50,
+    );
+    let hetero = unistore_workload::hetero::heterogenize(&world, 2);
+    let mut cluster = UniCluster::build(16, UniConfig::default(), 50);
+    cluster.load(hetero.tuples.clone());
+    for m in &hetero.mappings {
+        cluster.add_mapping(m);
+    }
+    // Query under the *original* schema; mapped tuples must surface.
+    let origin = cluster.random_node();
+    let dist = cluster.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
+    assert!(dist.ok);
+    // The oracle sees the same mapping triples (loaded via add_mapping).
+    let mut oracle = cluster.oracle();
+    let expected = oracle.query("SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
+    assert_eq!(normalize(&dist.relation), normalize(&expected));
+    assert_eq!(dist.relation.len(), 30, "all 30 authors despite split schemas");
+}
