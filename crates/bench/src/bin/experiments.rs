@@ -261,9 +261,8 @@ fn e3_adaptivity() {
 /// indexes answer.
 fn e4_fig2() {
     println!("\n## E4 — Fig. 2 reproduction (2 tuples, 3 indexes, 8 peers)\n");
-    let mut cfg = UniConfig::default();
-    cfg.with_qgrams = false; // the figure shows the three primary indexes
-    cfg.balanced = false;
+    // The figure shows the three primary indexes, hence no q-grams.
+    let cfg = UniConfig { with_qgrams: false, balanced: false, ..UniConfig::default() };
     let mut cluster = UniCluster::build(8, cfg, SEED);
     cluster.load(vec![
         Tuple::new("a12")

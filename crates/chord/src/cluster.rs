@@ -81,8 +81,8 @@ impl<I: Item> ChordCluster<I> {
         for &(ring, id) in &ring_order {
             by_id[id.index()] = ring;
         }
-        for i in 0..n {
-            net.add_node(ChordNode::new(NodeId(i as u32), by_id[i], cfg.clone(), seed));
+        for (i, &ring) in by_id.iter().enumerate() {
+            net.add_node(ChordNode::new(NodeId(i as u32), ring, cfg.clone(), seed));
         }
 
         // Wire successor, predecessor and fingers from the sorted ring.

@@ -111,8 +111,7 @@ impl LiveCluster {
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let mut handles = Vec::with_capacity(n_peers);
-        for (peer, node) in nodes.into_iter().enumerate() {
-            let rx = channels[peer].1.clone();
+        for (node, (_tx, rx)) in nodes.into_iter().zip(channels) {
             let peers = senders.clone();
             let out = out_tx.clone();
             let stop = shutdown.clone();

@@ -37,6 +37,13 @@ type PgFx = Effects<PGridMsg<Triple>, PGridEvent<Triple>>;
 /// use kinds below 100).
 const RESULT_TIMEOUT: u32 = 100;
 
+/// How many times the origin re-dispatches a query whose deadline
+/// expired before reporting failure. A forwarded mutant plan that lands
+/// on a crashed peer is lost wholesale; re-dispatching routes through a
+/// different random reference and usually survives (replication keeps
+/// the data reachable, the plan just needs a live path).
+const QUERY_RETRIES: u32 = 2;
+
 /// Mutant plans above this encoded size stop travelling and pull data
 /// instead (shipping megabytes of partial results is worse than a few
 /// extra lookups).
@@ -97,8 +104,14 @@ pub struct UniNode {
     active: FxHashMap<u64, Active>,
     /// storage-layer qid → query qid.
     waiting: FxHashMap<u64, u64>,
-    /// Queries this node originated and still awaits results for.
-    pending_results: FxHashSet<u64>,
+    /// Queries this node originated and still awaits results for:
+    /// user-facing qid → (original plan for retry, attempts so far).
+    pending_results: FxHashMap<u64, (Mqp, u32)>,
+    /// Attempt qid → user-facing qid. Each re-dispatch runs under a
+    /// fresh qid so execution state of a lost attempt — local or on
+    /// remote peers — can never complete the new one; stale attempts
+    /// resolve to a purged alias and are dropped.
+    attempt_of: FxHashMap<u64, u64>,
     exec_counter: u64,
 }
 
@@ -121,7 +134,8 @@ impl UniNode {
             query_timeout,
             active: FxHashMap::default(),
             waiting: FxHashMap::default(),
-            pending_results: FxHashSet::default(),
+            pending_results: FxHashMap::default(),
+            attempt_of: FxHashMap::default(),
             exec_counter: 0,
         }
     }
@@ -221,8 +235,13 @@ impl UniNode {
             dedup_rows(&mut rel);
             let origin = NodeId(mqp.origin);
             if origin == self.id() {
-                if self.pending_results.remove(&qid) {
-                    fx.emit(UniEvent::QueryDone { qid, relation: rel, hops: mqp.hops, ok: true });
+                if let Some(user) = self.finish_origin_attempt(qid) {
+                    fx.emit(UniEvent::QueryDone {
+                        qid: user,
+                        relation: rel,
+                        hops: mqp.hops,
+                        ok: true,
+                    });
                 }
             } else {
                 fx.send(origin, UniMsg::Query(QueryMsg::Result { qid, relation: rel, hops: mqp.hops }));
@@ -243,7 +262,7 @@ impl UniNode {
         if !self.plan_mode.no_forward {
             if let Some(key) = anchor_key(&pattern) {
                 if !self.pgrid.routing().responsible(key) && mqp.wire_size() < FORWARD_BYTE_CAP {
-                    if let Some(next) = route_next(&self.pgrid, key) {
+                    if let Some(next) = self.pgrid.next_hop(key) {
                         mqp.hops += 1;
                         fx.send(next, UniMsg::Query(QueryMsg::Route { key, mqp }));
                         return;
@@ -459,7 +478,8 @@ impl UniNode {
         match msg {
             QueryMsg::Execute { mqp } => {
                 if from == NodeId::EXTERNAL && NodeId(mqp.origin) == self.id() {
-                    self.pending_results.insert(mqp.qid);
+                    self.pending_results.insert(mqp.qid, (mqp.clone(), 0));
+                    self.attempt_of.insert(mqp.qid, mqp.qid);
                     fx.set_timer(self.query_timeout, Timer::new(RESULT_TIMEOUT, mqp.qid));
                 }
                 self.continue_plan(mqp, fx);
@@ -468,7 +488,7 @@ impl UniNode {
                 if self.pgrid.routing().responsible(key) {
                     self.continue_plan(mqp, fx);
                 } else {
-                    match route_next(&self.pgrid, key) {
+                    match self.pgrid.next_hop(key) {
                         Some(next) => {
                             let mut mqp = mqp;
                             mqp.hops += 1;
@@ -480,25 +500,40 @@ impl UniNode {
                 }
             }
             QueryMsg::Result { qid, relation, hops } => {
-                if self.pending_results.remove(&qid) {
-                    fx.emit(UniEvent::QueryDone { qid, relation, hops, ok: true });
+                if let Some(user) = self.finish_origin_attempt(qid) {
+                    fx.emit(UniEvent::QueryDone { qid: user, relation, hops, ok: true });
                 }
             }
         }
     }
-}
 
-/// Helper: the routing next-hop for a key (random ref at the divergence
-/// level), or `None` when stuck.
-fn route_next(pgrid: &PGridPeer<Triple>, key: Key) -> Option<NodeId> {
-    // Deterministic choice: first ref of the level (the peer's own RNG
-    // is unavailable without &mut; refs are already randomized at build).
-    let path = pgrid.routing().path();
-    let l = path.common_prefix_len_key(key);
-    if l == path.len() {
-        return None;
+    /// Resolves a completed attempt back to the user-facing query id,
+    /// consuming the origin-side bookkeeping for that query. Returns
+    /// `None` for stale attempts (superseded by a retry, already
+    /// answered, or already failed).
+    fn finish_origin_attempt(&mut self, attempt_qid: u64) -> Option<u64> {
+        let user = *self.attempt_of.get(&attempt_qid)?;
+        self.purge_attempts(user);
+        self.pending_results.remove(&user).map(|_| user)
     }
-    pgrid.routing().level_refs(l).first().map(|r| r.id)
+
+    /// Retires every in-flight attempt of a query: aliases, suspended
+    /// plans and storage-op links. After this, late storage replies or
+    /// results from those attempts are dropped instead of reviving a
+    /// plan whose query was already answered, retried or failed.
+    fn purge_attempts(&mut self, user_qid: u64) {
+        let stale: Vec<u64> = self
+            .attempt_of
+            .iter()
+            .filter(|&(_, &u)| u == user_qid)
+            .map(|(&a, _)| a)
+            .collect();
+        for a in &stale {
+            self.attempt_of.remove(a);
+            self.active.remove(a);
+        }
+        self.waiting.retain(|_, v| !stale.contains(v));
+    }
 }
 
 /// Anchor key of a pattern for mutant forwarding: point-addressable
@@ -562,13 +597,38 @@ impl NodeBehavior for UniNode {
     fn on_timer(&mut self, now: SimTime, t: Timer, fx: &mut UniFx) {
         if t.kind < 100 {
             self.with_pgrid(fx, |p, pfx| p.on_timer(now, t, pfx));
-        } else if t.kind == RESULT_TIMEOUT && self.pending_results.remove(&t.payload) {
-            fx.emit(UniEvent::QueryDone {
-                qid: t.payload,
-                relation: Relation::empty(vec![]),
-                hops: 0,
-                ok: false,
-            });
+        } else if t.kind == RESULT_TIMEOUT {
+            let qid = t.payload;
+            let retry = match self.pending_results.get_mut(&qid) {
+                Some((mqp, attempts)) if *attempts < QUERY_RETRIES => {
+                    *attempts += 1;
+                    Some(mqp.clone())
+                }
+                Some(_) => {
+                    self.pending_results.remove(&qid);
+                    self.purge_attempts(qid);
+                    fx.emit(UniEvent::QueryDone {
+                        qid,
+                        relation: Relation::empty(vec![]),
+                        hops: 0,
+                        ok: false,
+                    });
+                    None
+                }
+                None => None,
+            };
+            if let Some(mut mqp) = retry {
+                // Retire the lost attempts so their late replies can
+                // neither complete the fresh one nor surface a partial
+                // answer as the result, then re-dispatch under a fresh
+                // attempt qid.
+                self.purge_attempts(qid);
+                let attempt_qid = self.fresh_exec_qid();
+                mqp.qid = attempt_qid;
+                self.attempt_of.insert(attempt_qid, qid);
+                fx.set_timer(self.query_timeout, Timer::new(RESULT_TIMEOUT, qid));
+                self.continue_plan(mqp, fx);
+            }
         }
     }
 }

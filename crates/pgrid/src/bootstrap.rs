@@ -217,8 +217,7 @@ mod tests {
     use unistore_simnet::Effects;
 
     fn bpeer(id: u32, universe: Vec<NodeId>) -> PGridPeer<RawItem> {
-        let mut cfg = PGridConfig::default();
-        cfg.split_threshold = 2;
+        let cfg = PGridConfig { split_threshold: 2, ..PGridConfig::default() };
         PGridPeer::new_bootstrap(NodeId(id), cfg, 5, universe)
     }
 

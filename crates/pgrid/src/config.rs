@@ -16,6 +16,12 @@ pub struct PGridConfig {
     pub anti_entropy_interval: SimTime,
     /// How long a requester waits before declaring a query failed.
     pub query_timeout: SimTime,
+    /// How many times the origin re-issues a timed-out lookup / insert /
+    /// delete before reporting failure. Each retry re-routes through a
+    /// fresh random reference, avoiding the previous first hop when an
+    /// alternative exists — this is what makes the multiple
+    /// references-per-level actually mask crashed peers (paper §2).
+    pub op_retries: u32,
     /// How long an unanswered ping marks a reference dead.
     pub ping_timeout: SimTime,
     /// Bootstrap protocol: number of locally stored items above which a
@@ -35,6 +41,7 @@ impl Default for PGridConfig {
             maintenance_interval: SimTime::from_secs(30),
             anti_entropy_interval: SimTime::from_secs(60),
             query_timeout: SimTime::from_secs(10),
+            op_retries: 2,
             ping_timeout: SimTime::from_secs(2),
             split_threshold: 8,
             exchange_interval: SimTime::from_secs(1),

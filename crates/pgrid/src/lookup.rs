@@ -27,7 +27,13 @@ impl<I: Item> PGridPeer<I> {
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
-            self.register_pending(fx, qid, Pending::Lookup);
+            self.register_pending(
+                fx,
+                qid,
+                Pending::Lookup { key, attempts: 0, last_hop: None },
+            );
+            self.issue_lookup(qid, key, None, fx);
+            return;
         }
         match self.routing.route(key, &mut self.rng) {
             RouteDecision::Local => {
@@ -39,6 +45,40 @@ impl<I: Item> PGridPeer<I> {
             }
             RouteDecision::Stuck(_) => {
                 self.answer_lookup(qid, origin, Vec::new(), hops, false, fx);
+            }
+        }
+    }
+
+    /// Starts (or retries) an origin-side lookup attempt, routing around
+    /// `avoid` — the first hop of the previous, failed attempt.
+    pub(crate) fn issue_lookup(
+        &mut self,
+        qid: QueryId,
+        key: Key,
+        avoid: Option<NodeId>,
+        fx: &mut Fx<I>,
+    ) {
+        match self.routing.route_excluding(key, avoid, &mut self.rng) {
+            RouteDecision::Local => {
+                let items = self.store.get(key);
+                self.handle_lookup_reply(qid, items, 0, true, fx);
+            }
+            RouteDecision::Forward(next, _) => {
+                if let Some(Pending::Lookup { last_hop, .. }) = self.pending.get_mut(&qid) {
+                    *last_hop = Some(next);
+                }
+                fx.send(next, PGridMsg::Lookup { qid, key, origin: self.id, hops: 1 });
+            }
+            RouteDecision::Stuck(_) => {
+                // Report the routing hole; the reply handler consumes a
+                // retry per explicit failure, so remaining attempts run
+                // synchronously and a true dead end still fails fast
+                // instead of burning timeout rounds. (Writes differ on
+                // purpose: a stuck insert/delete waits for its timeout
+                // because maintenance may repair the level, and a
+                // spurious failure report for a write is worse than a
+                // late one.)
+                self.handle_lookup_reply(qid, Vec::new(), 0, false, fx);
             }
         }
     }
@@ -60,7 +100,11 @@ impl<I: Item> PGridPeer<I> {
         }
     }
 
-    /// Completes a pending lookup at the origin.
+    /// Completes a pending lookup at the origin. An explicit failure
+    /// (a routing hole reported by this or a downstream peer) consumes a
+    /// retry and re-routes around the failed first hop instead of
+    /// failing the op while alternatives remain; the timeout timer armed
+    /// at registration still bounds the whole op.
     pub(crate) fn handle_lookup_reply(
         &mut self,
         qid: QueryId,
@@ -69,6 +113,17 @@ impl<I: Item> PGridPeer<I> {
         ok: bool,
         fx: &mut Fx<I>,
     ) {
+        if !ok {
+            if let Some(Pending::Lookup { key, attempts, last_hop }) = self.pending.get_mut(&qid)
+            {
+                if *attempts < self.cfg.op_retries {
+                    *attempts += 1;
+                    let (key, avoid) = (*key, *last_hop);
+                    self.issue_lookup(qid, key, avoid, fx);
+                    return;
+                }
+            }
+        }
         if self.pending.remove(&qid).is_some() {
             fx.emit(PGridEvent::LookupDone { qid, items, hops, ok });
         }
@@ -88,14 +143,17 @@ impl<I: Item> PGridPeer<I> {
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
-            self.register_pending(fx, qid, Pending::Insert);
+            self.register_pending(
+                fx,
+                qid,
+                Pending::Insert { key, item: item.clone(), version, attempts: 0, last_hop: None },
+            );
+            self.issue_insert(qid, key, item, version, None, fx);
+            return;
         }
         match self.routing.route(key, &mut self.rng) {
             RouteDecision::Local => {
-                let changed = self.store.apply(key, item.clone(), version);
-                if changed {
-                    self.push_to_replicas(key, version, item, fx);
-                }
+                self.insert_at_leaf(key, item, version, fx);
                 if origin == self.id {
                     self.handle_insert_ack(qid, hops, fx);
                 } else {
@@ -108,6 +166,45 @@ impl<I: Item> PGridPeer<I> {
             RouteDecision::Stuck(_) => {
                 // Leave the pending op to its timeout: an unreachable
                 // leaf is indistinguishable from loss for the origin.
+            }
+        }
+    }
+
+    /// Applies an insert at the responsible leaf and pushes the change
+    /// to the replica group when it was new.
+    fn insert_at_leaf(&mut self, key: Key, item: I, version: Version, fx: &mut Fx<I>) {
+        let changed = self.store.apply(key, item.clone(), version);
+        if changed {
+            self.push_to_replicas(key, version, item, fx);
+        }
+    }
+
+    /// Starts (or retries) an origin-side insert attempt.
+    pub(crate) fn issue_insert(
+        &mut self,
+        qid: QueryId,
+        key: Key,
+        item: I,
+        version: Version,
+        avoid: Option<NodeId>,
+        fx: &mut Fx<I>,
+    ) {
+        match self.routing.route_excluding(key, avoid, &mut self.rng) {
+            RouteDecision::Local => {
+                self.insert_at_leaf(key, item, version, fx);
+                self.handle_insert_ack(qid, 0, fx);
+            }
+            RouteDecision::Forward(next, _) => {
+                if let Some(Pending::Insert { last_hop, .. }) = self.pending.get_mut(&qid) {
+                    *last_hop = Some(next);
+                }
+                fx.send(
+                    next,
+                    PGridMsg::Insert { qid, key, item, version, origin: self.id, hops: 1 },
+                );
+            }
+            RouteDecision::Stuck(_) => {
+                // Leave the pending op to its timeout (and retries).
             }
         }
     }
@@ -134,20 +231,17 @@ impl<I: Item> PGridPeer<I> {
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
-            self.register_pending(fx, qid, Pending::Insert);
+            self.register_pending(
+                fx,
+                qid,
+                Pending::Delete { key, ident, version, attempts: 0, last_hop: None },
+            );
+            self.issue_delete(qid, key, ident, version, None, fx);
+            return;
         }
         match self.routing.route(key, &mut self.rng) {
             RouteDecision::Local => {
-                let removed = self.store.remove(key, ident, version);
-                if removed {
-                    // Propagate once: replicas that remove nothing stop.
-                    for &r in self.routing.replicas() {
-                        fx.send(
-                            r,
-                            PGridMsg::Delete { qid: 0, key, ident, version, origin: self.id, hops },
-                        );
-                    }
-                }
+                self.delete_at_leaf(key, ident, version, hops, fx);
                 if origin == self.id {
                     self.handle_insert_ack(qid, hops, fx);
                 } else if qid != 0 {
@@ -161,6 +255,51 @@ impl<I: Item> PGridPeer<I> {
                 );
             }
             RouteDecision::Stuck(_) => {}
+        }
+    }
+
+    /// Applies a delete at the responsible leaf; when something was
+    /// removed, propagates once through the replica group (replicas that
+    /// remove nothing stop the cascade).
+    fn delete_at_leaf(&mut self, key: Key, ident: u64, version: Version, hops: u32, fx: &mut Fx<I>) {
+        let removed = self.store.remove(key, ident, version);
+        if removed {
+            for &r in self.routing.replicas() {
+                fx.send(
+                    r,
+                    PGridMsg::Delete { qid: 0, key, ident, version, origin: self.id, hops },
+                );
+            }
+        }
+    }
+
+    /// Starts (or retries) an origin-side delete attempt.
+    pub(crate) fn issue_delete(
+        &mut self,
+        qid: QueryId,
+        key: Key,
+        ident: u64,
+        version: Version,
+        avoid: Option<NodeId>,
+        fx: &mut Fx<I>,
+    ) {
+        match self.routing.route_excluding(key, avoid, &mut self.rng) {
+            RouteDecision::Local => {
+                self.delete_at_leaf(key, ident, version, 0, fx);
+                self.handle_insert_ack(qid, 0, fx);
+            }
+            RouteDecision::Forward(next, _) => {
+                if let Some(Pending::Delete { last_hop, .. }) = self.pending.get_mut(&qid) {
+                    *last_hop = Some(next);
+                }
+                fx.send(
+                    next,
+                    PGridMsg::Delete { qid, key, ident, version, origin: self.id, hops: 1 },
+                );
+            }
+            RouteDecision::Stuck(_) => {
+                // Leave the pending op to its timeout (and retries).
+            }
         }
     }
 }

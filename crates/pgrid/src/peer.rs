@@ -16,7 +16,7 @@ use crate::config::PGridConfig;
 use crate::item::{Item, LocalStore};
 use crate::msg::{PGridEvent, PGridMsg, QueryId};
 use crate::range::IntervalSet;
-use crate::routing::RoutingTable;
+use crate::routing::{RouteDecision, RoutingTable};
 
 /// Effects buffer specialized to the P-Grid protocol.
 pub type Fx<I> = Effects<PGridMsg<I>, PGridEvent<I>>;
@@ -36,12 +36,19 @@ pub(crate) mod timer {
 }
 
 /// State of a driver-issued operation awaiting completion at the origin.
+///
+/// Lookup / insert / delete keep their request parameters so a timed-out
+/// attempt can be re-issued (`PGridConfig::op_retries`) through a
+/// different reference; `last_hop` remembers the first hop of the latest
+/// attempt so the retry can avoid it.
 #[derive(Debug)]
 pub(crate) enum Pending<I> {
     /// Exact-key lookup.
-    Lookup,
+    Lookup { key: Key, attempts: u32, last_hop: Option<NodeId> },
     /// Insert waiting for its ack.
-    Insert,
+    Insert { key: Key, item: I, version: u64, attempts: u32, last_hop: Option<NodeId> },
+    /// Delete (index maintenance) waiting for its ack.
+    Delete { key: Key, ident: u64, version: u64, attempts: u32, last_hop: Option<NodeId> },
     /// Range query accumulating leaf replies until the covered intervals
     /// add up to `[lo, hi]`.
     Range {
@@ -146,6 +153,18 @@ impl<I: Item> PGridPeer<I> {
         self.store.apply(key, item, version);
     }
 
+    /// Picks a next hop toward `key`, or `None` when the key is local or
+    /// the needed level has no reference. A random reference per call
+    /// (the peer's own RNG), so embedding layers that forward whole
+    /// query plans spread load and re-route around failures on retry,
+    /// exactly like the storage ops themselves.
+    pub fn next_hop(&mut self, key: Key) -> Option<NodeId> {
+        match self.routing.route_excluding(key, None, &mut self.rng) {
+            RouteDecision::Forward(id, _) => Some(id),
+            RouteDecision::Local | RouteDecision::Stuck(_) => None,
+        }
+    }
+
     /// Issues a locally originated exact-key lookup: the embedding layer
     /// (UniStore's query executor) calls this as if it were the driver;
     /// completion arrives as a [`PGridEvent::LookupDone`] emit.
@@ -207,10 +226,48 @@ impl<I: Item> PGridPeer<I> {
             return; // completed in time
         };
         match pending {
-            Pending::Lookup => {
-                fx.emit(PGridEvent::LookupDone { qid, items: Vec::new(), hops: 0, ok: false })
+            Pending::Lookup { key, attempts, last_hop } => {
+                if attempts < self.cfg.op_retries {
+                    self.register_pending(
+                        fx,
+                        qid,
+                        Pending::Lookup { key, attempts: attempts + 1, last_hop },
+                    );
+                    self.issue_lookup(qid, key, last_hop, fx);
+                } else {
+                    fx.emit(PGridEvent::LookupDone { qid, items: Vec::new(), hops: 0, ok: false })
+                }
             }
-            Pending::Insert => fx.emit(PGridEvent::InsertDone { qid, hops: 0, ok: false }),
+            Pending::Insert { key, item, version, attempts, last_hop } => {
+                if attempts < self.cfg.op_retries {
+                    self.register_pending(
+                        fx,
+                        qid,
+                        Pending::Insert {
+                            key,
+                            item: item.clone(),
+                            version,
+                            attempts: attempts + 1,
+                            last_hop,
+                        },
+                    );
+                    self.issue_insert(qid, key, item, version, last_hop, fx);
+                } else {
+                    fx.emit(PGridEvent::InsertDone { qid, hops: 0, ok: false })
+                }
+            }
+            Pending::Delete { key, ident, version, attempts, last_hop } => {
+                if attempts < self.cfg.op_retries {
+                    self.register_pending(
+                        fx,
+                        qid,
+                        Pending::Delete { key, ident, version, attempts: attempts + 1, last_hop },
+                    );
+                    self.issue_delete(qid, key, ident, version, last_hop, fx);
+                } else {
+                    fx.emit(PGridEvent::InsertDone { qid, hops: 0, ok: false })
+                }
+            }
             Pending::Range { items, hops, leaves, .. } => fx.emit(PGridEvent::RangeDone {
                 qid,
                 items,

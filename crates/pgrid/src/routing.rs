@@ -10,6 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 use unistore_simnet::NodeId;
 use unistore_util::{BitPath, Key};
@@ -75,11 +76,34 @@ impl RoutingTable {
 
     /// Routing decision for `key`.
     pub fn route(&self, key: Key, rng: &mut StdRng) -> RouteDecision {
+        self.route_excluding(key, None, rng)
+    }
+
+    /// Routing decision for `key`, preferring references other than
+    /// `avoid` (the first hop of a failed earlier attempt). Falls back to
+    /// `avoid` when it is the only reference at the needed level.
+    pub fn route_excluding(
+        &self,
+        key: Key,
+        avoid: Option<NodeId>,
+        rng: &mut StdRng,
+    ) -> RouteDecision {
         let l = self.path.common_prefix_len_key(key);
         if l == self.path.len() {
             return RouteDecision::Local;
         }
-        match self.levels[l as usize].choose(rng) {
+        let level = &self.levels[l as usize];
+        let pick = match avoid {
+            // Exclusion only kicks in when an alternative actually exists;
+            // the plain random choice stays allocation-free on the hot path.
+            Some(a) if level.len() > 1 && level.iter().any(|r| r.id == a) => {
+                let n = level.len() - 1;
+                let idx = rng.gen_range(0..n);
+                level.iter().filter(|r| r.id != a).nth(idx)
+            }
+            _ => level.choose(rng),
+        };
+        match pick {
             Some(r) => RouteDecision::Forward(r.id, l),
             None => RouteDecision::Stuck(l),
         }

@@ -85,6 +85,7 @@ impl<M, O> Effects<M, O> {
 
     /// Drains all effects (used by alternative runtimes such as
     /// `unistore::live`).
+    #[allow(clippy::type_complexity)]
     pub fn drain(&mut self) -> (Vec<(NodeId, M)>, Vec<(SimTime, Timer)>, Vec<O>) {
         (
             std::mem::take(&mut self.sends),

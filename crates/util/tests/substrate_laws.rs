@@ -1,0 +1,250 @@
+//! Integration-level laws of the substrate crate: the order-preserving
+//! hash family, `BitPath` trie-path algebra, and the wire codec on
+//! payload shapes representative of what messages and mutant query
+//! plans actually ship.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use unistore_util::ophash::{
+    decode_f64, decode_i64, encode_f64, encode_i64, encode_str, saturate, truncate, STR_BYTES,
+};
+use unistore_util::wire::{put_varint, varint_size, Wire, WireError};
+use unistore_util::BitPath;
+
+// ---------------------------------------------------------------------
+// Order-preserving hash monotonicity
+// ---------------------------------------------------------------------
+
+#[test]
+fn ophash_str_monotone_on_ascii_samples() {
+    // The string encoding promises byte-wise order on the first
+    // STR_BYTES bytes; for ASCII that is plain lexicographic order.
+    let words = [
+        "", "ICDE", "ICDE 2006", "SIGMOD", "VLDB", "a", "aa", "ab", "b", "icde", "zzzzzzzzz",
+    ];
+    for a in &words {
+        for b in &words {
+            let pa = &a.as_bytes()[..a.len().min(STR_BYTES)];
+            let pb = &b.as_bytes()[..b.len().min(STR_BYTES)];
+            assert_eq!(
+                encode_str(a).cmp(&encode_str(b)),
+                pa.cmp(pb),
+                "string encoding must order like its byte prefix: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ophash_int_monotone_across_sign() {
+    let samples = [i64::MIN, -1_000_000, -2, -1, 0, 1, 2, 42, 1_000_000, i64::MAX];
+    for &a in &samples {
+        for &b in &samples {
+            assert_eq!(a.cmp(&b), encode_i64(a).cmp(&encode_i64(b)), "{a} vs {b}");
+        }
+        assert_eq!(decode_i64(encode_i64(a)), a);
+    }
+}
+
+#[test]
+fn ophash_float_monotone_and_invertible() {
+    let samples = [f64::NEG_INFINITY, -1.0e300, -2.5, -0.0, 0.0, 1.0e-300, 2.5, f64::INFINITY];
+    for &a in &samples {
+        for &b in &samples {
+            if a < b {
+                assert!(encode_f64(a) < encode_f64(b), "{a} vs {b}");
+            }
+        }
+        assert_eq!(decode_f64(encode_f64(a)), a, "roundtrip of {a}");
+    }
+    // -0.0 and +0.0 compare equal as floats but must both roundtrip.
+    assert!(decode_f64(encode_f64(-0.0)).is_sign_negative());
+}
+
+proptest! {
+    #[test]
+    fn prop_truncate_saturate_bracket(u: u64, n in 0u8..=64) {
+        // truncate/saturate bound a key from below/above within its
+        // n-bit prefix class, and are idempotent.
+        prop_assert!(truncate(u, n) <= u);
+        prop_assert!(saturate(u, n) >= u);
+        prop_assert_eq!(truncate(truncate(u, n), n), truncate(u, n));
+        prop_assert_eq!(saturate(saturate(u, n), n), saturate(u, n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// BitPath prefix / ordering laws
+// ---------------------------------------------------------------------
+
+#[test]
+fn bitpath_parse_display_roundtrip() {
+    for s in ["0", "1", "01", "0110", "111100001111"] {
+        let p = BitPath::parse(s).expect("valid path");
+        assert_eq!(p.to_string(), s);
+        assert_eq!(p.len() as usize, s.len());
+    }
+    assert_eq!(BitPath::parse("").unwrap().to_string(), "ε", "the root renders as ε");
+    assert!(BitPath::parse("012").is_none(), "non-binary input rejected");
+}
+
+#[test]
+fn bitpath_child_parent_inverse() {
+    let p = BitPath::parse("0110").unwrap();
+    for bit in [false, true] {
+        let c = p.child(bit);
+        assert_eq!(c.len(), p.len() + 1);
+        assert_eq!(c.parent(), p);
+        assert!(p.is_prefix_of(&c));
+        assert_eq!(c.bit(p.len()), bit);
+    }
+}
+
+#[test]
+fn bitpath_root_is_prefix_of_everything() {
+    let root = BitPath::ROOT;
+    assert!(root.is_empty());
+    for s in ["0", "1", "0101"] {
+        let p = BitPath::parse(s).unwrap();
+        assert!(root.is_prefix_of(&p));
+        assert_eq!(root.common_prefix_len(&p), 0);
+    }
+    assert!(root.is_prefix_of_key(0));
+    assert!(root.is_prefix_of_key(u64::MAX));
+}
+
+#[test]
+fn bitpath_sibling_flips_last_bit() {
+    let p = BitPath::parse("010").unwrap();
+    let s = p.sibling().expect("non-root has a sibling");
+    assert_eq!(s.to_string(), "011");
+    assert_eq!(s.sibling().unwrap(), p);
+    assert!(BitPath::ROOT.sibling().is_none());
+}
+
+#[test]
+fn bitpath_key_interval_matches_prefix_test() {
+    // A path owns exactly the keys in [min_key, max_key], which is
+    // exactly the set is_prefix_of_key accepts.
+    for s in ["0", "1", "01", "101", "0011"] {
+        let p = BitPath::parse(s).unwrap();
+        let (lo, hi) = (p.min_key(), p.max_key());
+        assert!(lo <= hi);
+        assert!(p.is_prefix_of_key(lo));
+        assert!(p.is_prefix_of_key(hi));
+        if lo > 0 {
+            assert!(!p.is_prefix_of_key(lo - 1));
+        }
+        if hi < u64::MAX {
+            assert!(!p.is_prefix_of_key(hi + 1));
+        }
+        assert!(p.intersects_range(lo, hi));
+        assert!(p.intersects_range(0, u64::MAX));
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_bitpath_prefix_orders_key_intervals(bits: u64, la in 0u8..10, lb in 0u8..10) {
+        // Sibling subtrees at any level have disjoint, ordered intervals;
+        // nested prefixes have nested intervals.
+        let a = BitPath::new(bits, la);
+        let b = BitPath::new(bits, lb);
+        let (outer, inner) = if la <= lb { (a, b) } else { (b, a) };
+        prop_assert!(outer.is_prefix_of(&inner));
+        prop_assert!(outer.min_key() <= inner.min_key());
+        prop_assert!(inner.max_key() <= outer.max_key());
+    }
+
+    #[test]
+    fn prop_bitpath_common_prefix_symmetric(x: u64, y: u64, la in 0u8..12, lb in 0u8..12) {
+        let a = BitPath::new(x, la);
+        let b = BitPath::new(y, lb);
+        let l = a.common_prefix_len(&b);
+        prop_assert_eq!(l, b.common_prefix_len(&a));
+        prop_assert_eq!(a.prefix(l), b.prefix(l));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec round-trips on representative payload shapes
+// ---------------------------------------------------------------------
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+    let bytes = v.to_bytes();
+    assert_eq!(bytes.len(), v.wire_size(), "wire_size must match encoding");
+    assert_eq!(T::from_bytes(&bytes).expect("decode"), v);
+}
+
+#[test]
+fn wire_message_header_shape() {
+    // (qid, origin, hops, key) — the header every routed storage message
+    // carries.
+    roundtrip((77_u64, 3_u32, 2_u32, u64::MAX));
+}
+
+#[test]
+fn wire_triple_shape() {
+    // (oid, attr, encoded value) — the triple payload of inserts and
+    // lookup replies, including empty and non-ASCII strings.
+    roundtrip(vec![
+        (String::from("a12"), Arc::<str>::from("confname"), String::from("ICDE 2006")),
+        (String::from("p7"), Arc::<str>::from("näme"), String::new()),
+    ]);
+}
+
+#[test]
+fn wire_plan_result_shape() {
+    // A mutant plan ships its partial result: schema + rows of tagged
+    // values, plus an optional LIMIT.
+    let schema: Vec<Arc<str>> = vec![Arc::from("?name"), Arc::from("?age")];
+    let rows: Vec<Vec<(u8, i64)>> = vec![vec![(0, 28), (1, -3)], vec![], vec![(2, i64::MIN)]];
+    roundtrip((schema, rows, Some(10_u64)));
+    roundtrip((Vec::<Arc<str>>::new(), Vec::<Vec<(u8, i64)>>::new(), None::<u64>));
+}
+
+#[test]
+fn wire_varint_boundaries() {
+    for v in [0, 127, 128, 16_383, 16_384, u64::MAX] {
+        roundtrip(v);
+        assert_eq!(v.wire_size(), varint_size(v));
+    }
+}
+
+#[test]
+fn wire_rejects_garbage_tail_and_truncation() {
+    let mut buf = bytes::BytesMut::new();
+    put_varint(&mut buf, 300);
+    bytes::BufMut::put_u8(&mut buf, 0xAB);
+    let b = buf.freeze();
+    assert!(matches!(u64::from_bytes(&b), Err(WireError::BadLength(_))));
+
+    let enc = (1_u64, String::from("unistore")).to_bytes();
+    for cut in 0..enc.len() {
+        let mut short = enc.slice(0..cut);
+        assert!(
+            <(u64, String)>::decode(&mut short).is_err(),
+            "truncation at {cut} must not decode"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_wire_nested_payload_roundtrip(
+        rows in proptest::collection::vec(
+            (any::<u64>(), ".{0,12}", proptest::collection::vec(any::<i64>(), 0..4)),
+            0..8,
+        ),
+        limit in proptest::collection::vec(any::<u64>(), 0..2),
+    ) {
+        let payload = (rows, limit.first().copied());
+        let bytes = payload.to_bytes();
+        prop_assert_eq!(bytes.len(), payload.wire_size());
+        prop_assert_eq!(
+            <(Vec<(u64, String, Vec<i64>)>, Option<u64>)>::from_bytes(&bytes).unwrap(),
+            payload
+        );
+    }
+}

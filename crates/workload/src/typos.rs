@@ -17,7 +17,7 @@ pub fn inject_typo(s: &str, rng: &mut StdRng) -> String {
         0 => {
             // Substitution.
             let i = rng.gen_range(0..out.len());
-            let c = (b'A' + rng.gen_range(0..26)) as char;
+            let c = (b'A' + rng.gen_range(0..26u8)) as char;
             out[i] = c;
         }
         1 if out.len() > 1 => {
@@ -28,7 +28,7 @@ pub fn inject_typo(s: &str, rng: &mut StdRng) -> String {
         2 => {
             // Insertion.
             let i = rng.gen_range(0..=out.len());
-            let c = (b'A' + rng.gen_range(0..26)) as char;
+            let c = (b'A' + rng.gen_range(0..26u8)) as char;
             out.insert(i, c);
         }
         _ if out.len() > 1 => {
@@ -37,7 +37,7 @@ pub fn inject_typo(s: &str, rng: &mut StdRng) -> String {
             out.swap(i, i + 1);
         }
         _ => {
-            let c = (b'A' + rng.gen_range(0..26)) as char;
+            let c = (b'A' + rng.gen_range(0..26u8)) as char;
             out[0] = c;
         }
     }

@@ -165,6 +165,67 @@ fn schema_and_value_queries_match_oracle() {
 }
 
 #[test]
+fn projection_only_queries_match_oracle() {
+    // No filter, no ranking: the plan is scan + project, exercised both
+    // on a single pattern and on a join whose columns are then dropped.
+    let mut cluster = world_cluster(16, 52);
+    check(
+        &mut cluster,
+        &[
+            // Project the subject variable, dropping the matched value.
+            "SELECT ?a WHERE {(?a,'num_of_pubs',?c)}",
+            // Join two patterns, keep one column of one side.
+            "SELECT ?t WHERE {(?a,'has_published',?t) (?p,'title',?t)}",
+            // Keep every head variable (identity projection).
+            "SELECT ?a,?g WHERE {(?a,'age',?g)}",
+        ],
+    );
+}
+
+#[test]
+fn string_filter_queries_match_oracle() {
+    // FILTER over string-typed values: equality, ordering (the
+    // order-preserving index must agree with real string comparison),
+    // and inequality composed with a join.
+    let mut cluster = world_cluster(16, 53);
+    check(
+        &mut cluster,
+        &[
+            "SELECT ?a WHERE {(?a,'name',?n) FILTER ?n = 'alice-0'}",
+            "SELECT ?s WHERE {(?c,'series',?s) FILTER ?s >= 'P' AND ?s < 'W'}",
+            "SELECT ?n,?s WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)
+             (?c,'confname',?conf) (?c,'series',?s) FILTER ?s != 'ICDE'}",
+        ],
+    );
+}
+
+#[test]
+fn multi_join_queries_match_oracle() {
+    // Longer join chains than the basic join suite: five and six
+    // patterns, joining through both subject and value positions.
+    let mut cluster = world_cluster(16, 54);
+    check(
+        &mut cluster,
+        &[
+            // Five-way chain: author → publication → conference.
+            "SELECT ?n,?cn,?y WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?cn)
+             (?c,'confname',?cn) (?c,'year',?y)}",
+            // Six-way: adds the author's age and a numeric filter at one
+            // end plus a string filter at the other.
+            "SELECT ?n,?g,?s WHERE {(?a,'name',?n) (?a,'age',?g)
+             (?a,'has_published',?t) (?p,'title',?t)
+             (?p,'published_in',?cn) (?c,'confname',?cn)
+             (?c,'series',?s) FILTER ?g < 50 AND ?s >= 'E'}",
+            // Star join: three attributes of the same subject.
+            "SELECT ?n,?g,?c WHERE {(?a,'name',?n) (?a,'age',?g)
+             (?a,'num_of_pubs',?c)}",
+        ],
+    );
+}
+
+#[test]
 fn oracle_agreement_across_network_sizes() {
     for n in [4usize, 8, 32, 64] {
         let mut cluster = world_cluster(n, 48);

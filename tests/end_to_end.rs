@@ -177,8 +177,7 @@ fn mutant_plans_travel_unless_disabled() {
 
 #[test]
 fn query_timeout_reports_failure_not_hang() {
-    let mut cfg = UniConfig::default();
-    cfg.query_timeout = SimTime::from_secs(5);
+    let cfg = UniConfig { query_timeout: SimTime::from_secs(5), ..UniConfig::default() };
     let mut cluster = UniCluster::build(8, cfg, 8);
     cluster.load(small_world(8));
     // Partition the network: everything every peer sends is lost.

@@ -105,8 +105,7 @@ fn churn_with_maintenance_keeps_success_rate_up() {
 fn range_coverage_flags_incompleteness_under_partition() {
     // Crash ALL replicas of some leaf; a full-attribute range query must
     // not silently return a partial answer as complete.
-    let mut cfg = UniConfig::default();
-    cfg.query_timeout = SimTime::from_secs(10);
+    let mut cfg = UniConfig { query_timeout: SimTime::from_secs(10), ..UniConfig::default() };
     cfg.pgrid.query_timeout = SimTime::from_secs(5);
     let mut cluster = cluster_with_world(16, cfg, 14);
     // Take down half the network — some leaf certainly dies entirely.

@@ -1,0 +1,59 @@
+//! Offline shim for the subset of `crossbeam 0.8` used by this
+//! workspace: bounded MPSC channels, implemented over `std::sync::mpsc`.
+//!
+//! Differences from real crossbeam that do not matter for our usage:
+//! the channel is MPSC rather than MPMC (each `Receiver` here has a
+//! single consumer, which is how `unistore::live` uses it).
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    /// Sending half of a bounded channel (clonable).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Receiving half of a bounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = bounded::<u32>(1);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,493 @@
+//! Offline shim for the subset of `proptest 1.x` used by this workspace.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #[test] fn prop(x in STRATEGY, y: Type) { .. } }`
+//! * strategies: integer/float ranges, regex-literal strings of the
+//!   shape `atom{m,n}` (atom = `.` or a character class like `[a-z]`),
+//!   tuples of strategies, `any::<T>()`, `collection::vec(strategy, len)`
+//! * assertions: `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!`
+//!
+//! Each property runs [`CASES`] deterministic cases; the per-case RNG is
+//! seeded from the property's name and the case index, so failures
+//! reproduce exactly across runs. There is no shrinking: the panic
+//! message of a failing assertion is the counterexample report.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases per property.
+pub const CASES: u64 = 128;
+
+/// Deterministic per-case RNG (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the property name and case index (FNV-1a over the name).
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)`.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as u64).wrapping_add(rng.below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_range_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+impl_strategy_range_float!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()` / `x: T`
+/// argument form). Integers and floats draw from their full bit range
+/// (floats may produce infinities and NaN, as in real proptest).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix "interesting" values with raw bit patterns.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.5,
+            3 => -1.0e300,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from regex literals like `"[a-z]{1,6}"` or `".{0,24}"`.
+///
+/// Supported grammar: a sequence of `atom` or `atom{n}` or `atom{m,n}`,
+/// where `atom` is `.`, a literal character, an escape (`\\.`), or a
+/// character class `[a-z0-9_]` of literal chars and ranges.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_regex(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline.
+    Dot,
+    Lit(char),
+    /// Flattened inclusive char ranges.
+    Class(Vec<(char, char)>),
+}
+
+fn parse_regex(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 2;
+                Atom::Lit(*chars.get(i - 1).unwrap_or_else(|| panic!("dangling escape in {pattern:?}")))
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1;
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repeat in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repeat min"),
+                    n.trim().parse().expect("bad repeat max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, min, max));
+    }
+    out
+}
+
+/// Pool for `.`: printable ASCII plus a few multi-byte scalars, so byte-
+/// level encoding properties see non-ASCII input. Never `\n`.
+fn dot_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '𝕌', '🦀', '\u{0301}', '\t'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(rng.below(95) as u32 + 0x20).unwrap()
+    }
+}
+
+fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse_regex(pattern) {
+        assert!(min <= max, "bad repeat in {pattern:?}");
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            match &atom {
+                Atom::Dot => out.push(dot_char(rng)),
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = hi as u64 - lo as u64 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick as u32).expect("class range"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `collection::vec(strategy, len)` — vectors of generated elements.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Expands argument bindings of a `proptest!` property, in order, from
+/// the shared per-case RNG. Forms: `name in STRATEGY` and `name: Type`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// The property-test macro. Each contained function becomes one `#[test]`
+/// running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // `prop_assume!` skips a case by returning from this
+                // inner fn; assertion failures panic with the values.
+                fn __proptest_case(__rng: &mut $crate::TestRng) {
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    $body
+                }
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    __proptest_case(&mut __rng);
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` with proptest's name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($arg:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn regex_shapes() {
+        let mut rng = TestRng::for_case("regex_shapes", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = Strategy::generate(".{0,16}", &mut rng);
+            assert!(t.chars().count() <= 16);
+            assert!(!t.contains('\n'));
+
+            let fixed = Strategy::generate("x[0-9]{3}", &mut rng);
+            assert_eq!(fixed.len(), 4);
+            assert!(fixed.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn deterministic_cases() {
+        let mut a = TestRng::for_case("p", 3);
+        let mut b = TestRng::for_case("p", 3);
+        let sa = Strategy::generate(".{0,24}", &mut a);
+        let sb = Strategy::generate(".{0,24}", &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_mixed_params(a in 0u64..100, s in "[a-b]{2}", v: i64, pair in (0i64..4, 1usize..3)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(s.len(), 2);
+            prop_assume!(v != i64::MIN);
+            prop_assert!(v.abs() >= 0);
+            prop_assert!(pair.0 < 4 && pair.1 >= 1);
+        }
+
+        #[test]
+        fn macro_vec_strategy(
+            xs in crate::collection::vec(any::<u64>(), 0..8),
+            ys in crate::collection::vec((0i64..10, 0i64..10), 1..5),
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(!ys.is_empty() && ys.len() < 5);
+        }
+    }
+}
