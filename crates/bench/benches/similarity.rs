@@ -14,10 +14,17 @@ fn bench_primitives(c: &mut Criterion) {
     let long = "International Conference on Data Engineering Workshops 2006";
     group.bench_function("qgrams_long", |b| b.iter(|| qgrams(std::hint::black_box(long))));
     group.bench_function("edit_distance_close", |b| {
-        b.iter(|| edit_distance(std::hint::black_box("ICDE 2006"), std::hint::black_box("ICDE 2005")))
+        b.iter(|| {
+            edit_distance(std::hint::black_box("ICDE 2006"), std::hint::black_box("ICDE 2005"))
+        })
     });
     group.bench_function("edit_distance_long", |b| {
-        b.iter(|| edit_distance(std::hint::black_box(long), std::hint::black_box("VLDB Journal Special Issue on P2P Data Management")))
+        b.iter(|| {
+            edit_distance(
+                std::hint::black_box(long),
+                std::hint::black_box("VLDB Journal Special Issue on P2P Data Management"),
+            )
+        })
     });
     group.bench_function("count_filter", |b| {
         b.iter(|| passes_count_filter(std::hint::black_box(long), std::hint::black_box("ICDE"), 2))
@@ -32,10 +39,9 @@ fn bench_similarity_query(c: &mut Criterion) {
         &PubParams { n_authors: 20, n_conferences: 200, typo_rate: 0.2, ..Default::default() },
         5,
     );
-    for (label, pref) in [
-        ("qgram", Some(ScanPref::QGram)),
-        ("naive", Some(ScanPref::NaiveSimilarity)),
-    ] {
+    for (label, pref) in
+        [("qgram", Some(ScanPref::QGram)), ("naive", Some(ScanPref::NaiveSimilarity))]
+    {
         let mut cluster = UniCluster::build(32, UniConfig::default(), 5);
         cluster.load(world.all_tuples());
         cluster.set_plan_mode(PlanMode { scan_pref: pref, ..Default::default() });

@@ -43,17 +43,13 @@ fn bench_skyline_operator(c: &mut Criterion) {
         for dims in [2usize, 3] {
             let input = rel(n, 42);
             let its = items(dims);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{dims}d"), n),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        let mut r = input.clone();
-                        skyline(&mut r, &its);
-                        r.len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{dims}d"), n), &(), |b, _| {
+                b.iter(|| {
+                    let mut r = input.clone();
+                    skyline(&mut r, &its);
+                    r.len()
+                })
+            });
         }
     }
     group.finish();

@@ -29,12 +29,7 @@ fn bench_decompose_and_derive(c: &mut Criterion) {
         })
     });
     group.bench_function("derive_keys_with_qgrams", |b| {
-        b.iter(|| {
-            triples
-                .iter()
-                .map(|t| TripleKeys::derive(t, true).qgrams.len())
-                .sum::<usize>()
-        })
+        b.iter(|| triples.iter().map(|t| TripleKeys::derive(t, true).qgrams.len()).sum::<usize>())
     });
     group.finish();
 }

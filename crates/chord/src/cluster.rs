@@ -5,7 +5,6 @@ use rand::Rng;
 
 use unistore_simnet::metrics::OpCost;
 use unistore_simnet::{LatencyModel, NodeId, SimNet, SimTime};
-use unistore_util::fxhash::mix64;
 use unistore_util::item::Item;
 use unistore_util::rng::{derive_rng, stream};
 use unistore_util::Key;
@@ -13,6 +12,7 @@ use unistore_util::Key;
 use crate::msg::{ChordEvent, ChordMsg, QueryId};
 use crate::node::{ring_key_bucket, ring_key_exact, ChordConfig, ChordNode};
 use crate::ring::in_open_closed;
+use crate::topology::ChordTopology;
 
 /// Which range algorithm the baseline runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,8 +52,8 @@ pub struct ChordLookupOutcome<I> {
 pub struct ChordCluster<I: Item> {
     /// Underlying network.
     pub net: SimNet<ChordNode<I>>,
-    /// Node ids sorted by ring position (ascending).
-    ring_order: Vec<(u64, NodeId)>,
+    /// The planned ring (ids sorted by ring position).
+    topo: ChordTopology,
     cfg: ChordConfig,
     next_qid: QueryId,
     rng: StdRng,
@@ -69,52 +69,25 @@ impl<I: Item> ChordCluster<I> {
     ) -> Self {
         assert!(n >= 1);
         let rng = derive_rng(seed, stream::OVERLAY);
-        // Ring ids: well-mixed, deterministic, collision-free for n ≪ 2^64.
-        let mut ring_order: Vec<(u64, NodeId)> = (0..n)
-            .map(|i| (mix64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)), NodeId(i as u32)))
-            .collect();
-        ring_order.sort_unstable();
+        let topo = ChordTopology::plan(n, cfg.bucket_depth, seed);
 
         let mut net = SimNet::new(latency, seed);
-        // Create nodes in NodeId order (ids dense 0..n).
-        let mut by_id: Vec<u64> = vec![0; n];
-        for &(ring, id) in &ring_order {
-            by_id[id.index()] = ring;
-        }
-        for (i, &ring) in by_id.iter().enumerate() {
+        // Create nodes in NodeId order (ids dense 0..n), then wire
+        // successor, predecessor and fingers from the planned ring.
+        for (i, &ring) in topo.by_id.iter().enumerate() {
             net.add_node(ChordNode::new(NodeId(i as u32), ring, cfg.clone(), seed));
         }
-
-        // Wire successor, predecessor and fingers from the sorted ring.
-        let m = ring_order.len();
-        for pos in 0..m {
-            let (ring, id) = ring_order[pos];
-            let (succ_ring, succ_id) = ring_order[(pos + 1) % m];
-            let (pred_ring, _) = ring_order[(pos + m - 1) % m];
-            let mut fingers: Vec<(NodeId, u64)> = Vec::new();
-            for k in 0..64u32 {
-                let target = ring.wrapping_add(1u64 << k);
-                let (f_ring, f_id) = Self::successor_of(&ring_order, target);
-                if f_id != id && !fingers.iter().any(|&(fid, _)| fid == f_id) {
-                    fingers.push((f_id, f_ring));
-                }
-            }
-            // Ascending ring distance from self.
-            fingers.sort_by_key(|&(_, r)| r.wrapping_sub(ring));
-            net.node_mut(id).set_topology(pred_ring, (succ_id, succ_ring), fingers);
+        for &(_, id) in &topo.ring_order {
+            let w = topo.wiring(id);
+            net.node_mut(id).set_topology(w.predecessor_ring, w.successor, w.fingers);
         }
 
-        ChordCluster { net, ring_order, cfg, next_qid: 1, rng }
-    }
-
-    fn successor_of(ring_order: &[(u64, NodeId)], target: u64) -> (u64, NodeId) {
-        let pos = ring_order.partition_point(|&(r, _)| r < target);
-        ring_order[pos % ring_order.len()]
+        ChordCluster { net, topo, cfg, next_qid: 1, rng }
     }
 
     /// The node responsible for ring position `k`.
     pub fn responsible_node(&self, k: u64) -> NodeId {
-        Self::successor_of(&self.ring_order, k).1
+        self.topo.successor_of(k).1
     }
 
     /// Uniformly random node id.
@@ -130,12 +103,9 @@ impl<I: Item> ChordCluster<I> {
     /// Driver-side preload: stores the entry under both indexes
     /// (exact + bucket) without network traffic.
     pub fn preload(&mut self, key: Key, item: I) {
-        let rk = ring_key_exact(key);
-        let node = self.responsible_node(rk);
-        self.net.node_mut(node).store_mut().insert(rk, key, item.clone());
-        let bk = ring_key_bucket(key, self.cfg.bucket_depth);
-        let bnode = self.responsible_node(bk);
-        self.net.node_mut(bnode).store_mut().insert(bk, key, item);
+        for p in self.topo.holders_of_key(key) {
+            self.net.node_mut(NodeId(p as u32)).preload(key, item.clone(), 0);
+        }
     }
 
     fn fresh_qid(&mut self) -> QueryId {
@@ -202,7 +172,15 @@ impl<I: Item> ChordCluster<I> {
             let qid = self.fresh_qid();
             self.net.inject(
                 origin,
-                ChordMsg::Insert { qid, ring_key, key, item: item.clone(), origin, hops: 0 },
+                ChordMsg::Insert {
+                    qid,
+                    ring_key,
+                    key,
+                    item: item.clone(),
+                    version: 0,
+                    origin,
+                    hops: 0,
+                },
             );
             match self.run_for_event(qid) {
                 Some((_, ChordEvent::InsertDone { hops: h, ok: o, .. })) => {
@@ -214,10 +192,7 @@ impl<I: Item> ChordCluster<I> {
         }
         let d = self.net.metrics().delta(&before);
         let t = self.net.now();
-        (
-            ok,
-            OpCost { messages: d.sent, bytes: d.bytes, latency: t.saturating_sub(start), hops },
-        )
+        (ok, OpCost { messages: d.sent, bytes: d.bytes, latency: t.saturating_sub(start), hops })
     }
 
     /// Range query over original keys `[lo, hi]`.
@@ -266,10 +241,10 @@ impl<I: Item> ChordCluster<I> {
     /// Sanity check used by tests: every ring id is owned by exactly the
     /// node `responsible_node` returns, per the `(pred, self]` rule.
     pub fn check_ring_invariant(&self) -> bool {
-        let m = self.ring_order.len();
+        let m = self.topo.ring_order.len();
         (0..m).all(|pos| {
-            let (ring, id) = self.ring_order[pos];
-            let (pred_ring, _) = self.ring_order[(pos + m - 1) % m];
+            let (ring, id) = self.topo.ring_order[pos];
+            let (pred_ring, _) = self.topo.ring_order[(pos + m - 1) % m];
             m == 1 || in_open_closed(pred_ring, ring, ring) && self.responsible_node(ring) == id
         })
     }
@@ -282,12 +257,7 @@ mod tests {
     use unistore_util::item::RawItem;
 
     fn cluster(n: usize) -> ChordCluster<RawItem> {
-        ChordCluster::build(
-            n,
-            ChordConfig::default(),
-            ConstantLatency(SimTime::from_millis(10)),
-            9,
-        )
+        ChordCluster::build(n, ChordConfig::default(), ConstantLatency(SimTime::from_millis(10)), 9)
     }
 
     #[test]

@@ -46,16 +46,39 @@ pub enum ChordMsg<I> {
         key: Key,
         /// Payload.
         item: I,
+        /// Version for loose-consistency updates (0 = initial insert).
+        version: u64,
         /// Issuer; receives the ack.
         origin: NodeId,
         /// Hops so far.
         hops: u32,
     },
-    /// Insert confirmation.
+    /// Insert confirmation (also acknowledges [`ChordMsg::Delete`]).
     InsertAck {
         /// Correlation id.
         qid: QueryId,
         /// Hops to the responsible node.
+        hops: u32,
+    },
+    /// Routed removal of the entry with logical identity `ident` stored
+    /// under `(ring_key, key)` (update maintenance): records a
+    /// tombstone at `version` that supersedes a strictly older stored
+    /// entry and keeps vetoing writes at `<= version`. Acknowledged
+    /// with [`ChordMsg::InsertAck`].
+    Delete {
+        /// Correlation id.
+        qid: QueryId,
+        /// Ring position to delete from.
+        ring_key: u64,
+        /// Original (order-preserving) key the entry was stored under.
+        key: Key,
+        /// Logical identity of the entry to remove.
+        ident: u64,
+        /// Version of the delete.
+        version: u64,
+        /// Issuer; receives the ack.
+        origin: NodeId,
+        /// Hops so far.
         hops: u32,
     },
     /// Range query in *bucket* mode, handled at the origin: fans out one
@@ -121,6 +144,7 @@ mod tag {
     pub const BUCKET_GET: u8 = 6;
     pub const BCAST: u8 = 7;
     pub const BCAST_REPLY: u8 = 8;
+    pub const DELETE: u8 = 9;
 }
 
 impl<I: Item> Wire for ChordMsg<I> {
@@ -140,18 +164,29 @@ impl<I: Item> Wire for ChordMsg<I> {
                 hops.encode(buf);
                 ok.encode(buf);
             }
-            ChordMsg::Insert { qid, ring_key, key, item, origin, hops } => {
+            ChordMsg::Insert { qid, ring_key, key, item, version, origin, hops } => {
                 tag::INSERT.encode(buf);
                 qid.encode(buf);
                 ring_key.encode(buf);
                 key.encode(buf);
                 item.encode(buf);
+                version.encode(buf);
                 origin.encode(buf);
                 hops.encode(buf);
             }
             ChordMsg::InsertAck { qid, hops } => {
                 tag::INSERT_ACK.encode(buf);
                 qid.encode(buf);
+                hops.encode(buf);
+            }
+            ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops } => {
+                tag::DELETE.encode(buf);
+                qid.encode(buf);
+                ring_key.encode(buf);
+                key.encode(buf);
+                ident.encode(buf);
+                version.encode(buf);
+                origin.encode(buf);
                 hops.encode(buf);
             }
             ChordMsg::BucketRange { qid, lo, hi, origin } => {
@@ -208,12 +243,22 @@ impl<I: Item> Wire for ChordMsg<I> {
                 ring_key: Wire::decode(buf)?,
                 key: Wire::decode(buf)?,
                 item: Wire::decode(buf)?,
+                version: Wire::decode(buf)?,
                 origin: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
             },
             tag::INSERT_ACK => {
                 ChordMsg::InsertAck { qid: Wire::decode(buf)?, hops: Wire::decode(buf)? }
             }
+            tag::DELETE => ChordMsg::Delete {
+                qid: Wire::decode(buf)?,
+                ring_key: Wire::decode(buf)?,
+                key: Wire::decode(buf)?,
+                ident: Wire::decode(buf)?,
+                version: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+            },
             tag::BUCKET_RANGE => ChordMsg::BucketRange {
                 qid: Wire::decode(buf)?,
                 lo: Wire::decode(buf)?,
@@ -307,12 +352,29 @@ mod tests {
                 ring_key: 7,
                 key: 700,
                 item: RawItem(1),
+                version: 3,
                 origin: NodeId(0),
                 hops: 0,
             },
             ChordMsg::InsertAck { qid: 2, hops: 5 },
+            ChordMsg::Delete {
+                qid: 6,
+                ring_key: 7,
+                key: 70,
+                ident: 700,
+                version: 2,
+                origin: NodeId(4),
+                hops: 1,
+            },
             ChordMsg::BucketRange { qid: 3, lo: 10, hi: 90, origin: NodeId(1) },
-            ChordMsg::BucketGet { qid: 3, ring_key: 55, lo: 10, hi: 90, origin: NodeId(1), hops: 2 },
+            ChordMsg::BucketGet {
+                qid: 3,
+                ring_key: 55,
+                lo: 10,
+                hi: 90,
+                origin: NodeId(1),
+                hops: 2,
+            },
             ChordMsg::Bcast { qid: 4, lo: 0, hi: u64::MAX, limit: 12345, hops: 1 },
             ChordMsg::BcastReply { qid: 4, entries, nodes: 17, hops: 6 },
         ];
@@ -325,5 +387,34 @@ mod tests {
     fn bad_tag_rejected() {
         let b = Bytes::from_static(&[99]);
         assert!(matches!(ChordMsg::<RawItem>::from_bytes(&b), Err(WireError::BadTag(99))));
+    }
+
+    #[test]
+    fn edge_values_roundtrip() {
+        roundtrip(ChordMsg::LookupReply { qid: u64::MAX, entries: vec![], hops: 0, ok: false });
+        roundtrip(ChordMsg::Delete {
+            qid: 0,
+            ring_key: u64::MAX,
+            key: u64::MAX,
+            ident: u64::MAX,
+            version: u64::MAX,
+            origin: NodeId(u32::MAX - 1),
+            hops: u32::MAX,
+        });
+        roundtrip(ChordMsg::Bcast { qid: 1, lo: u64::MAX, hi: 0, limit: 0, hops: 0 });
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let msg: ChordMsg<RawItem> =
+            ChordMsg::Lookup { qid: 1, ring_key: 99, origin: NodeId(2), hops: 3 };
+        let full = msg.to_bytes();
+        for cut in 0..full.len() {
+            let b = Bytes::copy_from_slice(&full[..cut]);
+            assert!(
+                ChordMsg::<RawItem>::from_bytes(&b).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
     }
 }

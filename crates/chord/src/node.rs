@@ -107,6 +107,11 @@ impl<I: Item> ChordNode<I> {
         }
     }
 
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
     /// This node's ring position.
     pub fn ring_id(&self) -> u64 {
         self.ring_id
@@ -135,7 +140,7 @@ impl<I: Item> ChordNode<I> {
     }
 
     /// True if this node owns ring position `k` (`k ∈ (pred, self]`).
-    fn responsible(&self, k: u64) -> bool {
+    pub(crate) fn responsible(&self, k: u64) -> bool {
         if self.predecessor_ring == self.ring_id {
             return true; // singleton ring
         }
@@ -144,7 +149,7 @@ impl<I: Item> ChordNode<I> {
 
     /// Next hop for ring position `k`: the successor if `k` lands in
     /// `(self, succ]`, otherwise the closest preceding finger.
-    fn next_hop(&self, k: u64) -> NodeId {
+    pub(crate) fn next_hop(&self, k: u64) -> NodeId {
         if in_open_closed(self.ring_id, self.successor.1, k) {
             return self.successor.0;
         }
@@ -223,7 +228,12 @@ impl<I: Item> ChordNode<I> {
         match self.pending.get_mut(&qid) {
             Some(Pending::Lookup) => {
                 self.pending.remove(&qid);
-                fx.emit(ChordEvent::LookupDone { qid, entries: reply_entries, hops: reply_hops, ok });
+                fx.emit(ChordEvent::LookupDone {
+                    qid,
+                    entries: reply_entries,
+                    hops: reply_hops,
+                    ok,
+                });
             }
             Some(Pending::Buckets { expected, received, entries, hops, failed }) => {
                 *received += 1;
@@ -249,6 +259,7 @@ impl<I: Item> ChordNode<I> {
         ring_key: u64,
         key: Key,
         item: I,
+        version: u64,
         origin: NodeId,
         hops: u32,
         fx: &mut Fx<I>,
@@ -257,7 +268,7 @@ impl<I: Item> ChordNode<I> {
             self.register(fx, qid, Pending::Insert);
         }
         if self.responsible(ring_key) {
-            self.store.insert(ring_key, key, item);
+            self.store.insert(ring_key, key, item, version);
             if origin == self.id {
                 self.handle_insert_ack(qid, hops, fx);
             } else {
@@ -265,13 +276,81 @@ impl<I: Item> ChordNode<I> {
             }
         } else {
             let next = self.next_hop(ring_key);
-            fx.send(next, ChordMsg::Insert { qid, ring_key, key, item, origin, hops: hops + 1 });
+            fx.send(
+                next,
+                ChordMsg::Insert { qid, ring_key, key, item, version, origin, hops: hops + 1 },
+            );
         }
     }
 
     fn handle_insert_ack(&mut self, qid: QueryId, hops: u32, fx: &mut Fx<I>) {
         if self.pending.remove(&qid).is_some() {
             fx.emit(ChordEvent::InsertDone { qid, hops, ok: true });
+        }
+    }
+
+    /// Routed removal by logical identity; acked like an insert.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_delete(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        ring_key: u64,
+        key: Key,
+        ident: u64,
+        version: u64,
+        origin: NodeId,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register(fx, qid, Pending::Insert);
+        }
+        if self.responsible(ring_key) {
+            self.store.remove(ring_key, key, ident, version);
+            if origin == self.id {
+                self.handle_insert_ack(qid, hops, fx);
+            } else {
+                fx.send(origin, ChordMsg::InsertAck { qid, hops });
+            }
+        } else {
+            let next = self.next_hop(ring_key);
+            fx.send(
+                next,
+                ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops: hops + 1 },
+            );
+        }
+    }
+
+    /// Issues a locally originated exact-key lookup (the embedding
+    /// UniStore node calls this as if it were the driver); completion
+    /// arrives as a [`ChordEvent::LookupDone`] emit.
+    pub fn local_lookup(&mut self, qid: QueryId, key: Key, fx: &mut Fx<I>) {
+        self.handle_lookup(NodeId::EXTERNAL, qid, ring_key_exact(key), self.id, 0, None, fx);
+    }
+
+    /// Issues a locally originated range scan over original keys
+    /// `[lo, hi]` through the auxiliary bucket index.
+    pub fn local_bucket_range(&mut self, qid: QueryId, lo: Key, hi: Key, fx: &mut Fx<I>) {
+        self.handle_bucket_range(qid, lo, hi, fx);
+    }
+
+    /// Issues a locally originated range scan via the finger-tree
+    /// broadcast (the index-free fallback plain Chord must use).
+    pub fn local_broadcast_range(&mut self, qid: QueryId, lo: Key, hi: Key, fx: &mut Fx<I>) {
+        self.handle_bcast(NodeId::EXTERNAL, qid, lo, hi, self.ring_id, 0, fx);
+    }
+
+    /// Places an entry directly into the local store under every index
+    /// position this node is responsible for (driver-side preloading).
+    pub fn preload(&mut self, key: Key, item: I, version: u64) {
+        let rk = ring_key_exact(key);
+        if self.responsible(rk) {
+            self.store.insert(rk, key, item.clone(), version);
+        }
+        let bk = ring_key_bucket(key, self.cfg.bucket_depth);
+        if self.responsible(bk) {
+            self.store.insert(bk, key, item, version);
         }
     }
 
@@ -383,12 +462,9 @@ impl<I: Item> ChordNode<I> {
     fn handle_timeout(&mut self, qid: QueryId, fx: &mut Fx<I>) {
         if let Some(p) = self.pending.remove(&qid) {
             match p {
-                Pending::Lookup => fx.emit(ChordEvent::LookupDone {
-                    qid,
-                    entries: Vec::new(),
-                    hops: 0,
-                    ok: false,
-                }),
+                Pending::Lookup => {
+                    fx.emit(ChordEvent::LookupDone { qid, entries: Vec::new(), hops: 0, ok: false })
+                }
                 Pending::Insert => fx.emit(ChordEvent::InsertDone { qid, hops: 0, ok: false }),
                 Pending::Buckets { entries, hops, received, .. } => {
                     fx.emit(ChordEvent::RangeDone {
@@ -430,10 +506,13 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
             ChordMsg::LookupReply { qid, entries, hops, ok } => {
                 self.handle_lookup_reply(qid, entries, hops, ok, fx)
             }
-            ChordMsg::Insert { qid, ring_key, key, item, origin, hops } => {
-                self.handle_insert(from, qid, ring_key, key, item, origin, hops, fx)
+            ChordMsg::Insert { qid, ring_key, key, item, version, origin, hops } => {
+                self.handle_insert(from, qid, ring_key, key, item, version, origin, hops, fx)
             }
             ChordMsg::InsertAck { qid, hops } => self.handle_insert_ack(qid, hops, fx),
+            ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops } => {
+                self.handle_delete(from, qid, ring_key, key, ident, version, origin, hops, fx)
+            }
             ChordMsg::BucketRange { qid, lo, hi, .. } => self.handle_bucket_range(qid, lo, hi, fx),
             ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops } => {
                 self.handle_lookup(from, qid, ring_key, origin, hops, Some((lo, hi)), fx)

@@ -1,0 +1,196 @@
+//! [`Overlay`] implementation: Chord as a full UniStore backend.
+//!
+//! Exact lookups ride the ring under the uniform (order-destroying)
+//! hash; range and prefix scans ride the auxiliary order-preserving
+//! bucket index — the "additional structure" the paper says ring DHTs
+//! need for range queries (§2). Every write pays both indexes, which is
+//! part of the honest comparison against P-Grid.
+
+use unistore_overlay::{Overlay, OverlayDone, RangeMode};
+use unistore_simnet::{Effects, NodeId};
+use unistore_util::Key;
+
+use crate::msg::{ChordEvent, ChordMsg};
+use crate::node::{ring_key_bucket, ring_key_exact, ChordConfig, ChordNode, Item};
+use crate::topology::ChordTopology;
+
+impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
+    type WireMsg = ChordMsg<I>;
+    type Event = ChordEvent<I>;
+    type Item = I;
+    type Config = ChordConfig;
+    type Topology = ChordTopology;
+
+    const NAME: &'static str = "Chord";
+    const ADAPTS_TO_SAMPLE: bool = false;
+
+    fn plan(
+        n_peers: usize,
+        cfg: &ChordConfig,
+        _sample: Option<&[Key]>,
+        seed: u64,
+    ) -> ChordTopology {
+        // The uniform hash destroys key order, so the ring cannot adapt
+        // to the data distribution — the sample is ignored by design.
+        ChordTopology::plan(n_peers, cfg.bucket_depth, seed)
+    }
+
+    fn spawn(topology: &ChordTopology, peer: usize, cfg: &ChordConfig, seed: u64) -> Self {
+        let id = NodeId(peer as u32);
+        let mut node = ChordNode::new(id, topology.by_id[peer], cfg.clone(), seed);
+        let w = topology.wiring(id);
+        node.set_topology(w.predecessor_ring, w.successor, w.fingers);
+        node
+    }
+
+    fn id(&self) -> NodeId {
+        ChordNode::id(self)
+    }
+
+    fn responsible(&self, key: Key) -> bool {
+        ChordNode::responsible(self, ring_key_exact(key))
+    }
+
+    fn next_hop(&mut self, key: Key) -> Option<NodeId> {
+        let rk = ring_key_exact(key);
+        if ChordNode::responsible(self, rk) {
+            None
+        } else {
+            Some(ChordNode::next_hop(self, rk))
+        }
+    }
+
+    fn preload(&mut self, key: Key, item: I, version: u64) {
+        ChordNode::preload(self, key, item, version)
+    }
+
+    fn local_lookup(&mut self, qid: u64, key: Key, fx: &mut Effects<ChordMsg<I>, ChordEvent<I>>) {
+        ChordNode::local_lookup(self, qid, key, fx)
+    }
+
+    fn local_range(
+        &mut self,
+        qid: u64,
+        lo: Key,
+        hi: Key,
+        mode: RangeMode,
+        fx: &mut Effects<ChordMsg<I>, ChordEvent<I>>,
+    ) {
+        match mode {
+            RangeMode::Parallel => self.local_bucket_range(qid, lo, hi, fx),
+            RangeMode::Sequential => self.local_broadcast_range(qid, lo, hi, fx),
+        }
+    }
+
+    fn lookup_msg(_cfg: &ChordConfig, qid: u64, key: Key, origin: NodeId) -> ChordMsg<I> {
+        ChordMsg::Lookup { qid, ring_key: ring_key_exact(key), origin, hops: 0 }
+    }
+
+    fn insert_msgs(
+        cfg: &ChordConfig,
+        next_qid: &mut dyn FnMut() -> u64,
+        key: Key,
+        item: I,
+        version: u64,
+        origin: NodeId,
+    ) -> Vec<(u64, ChordMsg<I>)> {
+        // Both indexes: the exact position and the bucket position.
+        [ring_key_exact(key), ring_key_bucket(key, cfg.bucket_depth)]
+            .into_iter()
+            .map(|ring_key| {
+                let qid = next_qid();
+                let msg = ChordMsg::Insert {
+                    qid,
+                    ring_key,
+                    key,
+                    item: item.clone(),
+                    version,
+                    origin,
+                    hops: 0,
+                };
+                (qid, msg)
+            })
+            .collect()
+    }
+
+    fn delete_msgs(
+        cfg: &ChordConfig,
+        next_qid: &mut dyn FnMut() -> u64,
+        key: Key,
+        ident: u64,
+        version: u64,
+        origin: NodeId,
+    ) -> Vec<(u64, ChordMsg<I>)> {
+        [ring_key_exact(key), ring_key_bucket(key, cfg.bucket_depth)]
+            .into_iter()
+            .map(|ring_key| {
+                let qid = next_qid();
+                (qid, ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops: 0 })
+            })
+            .collect()
+    }
+
+    fn done(ev: ChordEvent<I>) -> OverlayDone<I> {
+        match ev {
+            ChordEvent::LookupDone { qid, entries, hops, ok } => OverlayDone::Lookup {
+                qid,
+                items: entries.into_iter().map(|(_, i)| i).collect(),
+                hops,
+                ok,
+            },
+            ChordEvent::RangeDone { qid, entries, hops, complete, .. } => OverlayDone::Range {
+                qid,
+                items: entries.into_iter().map(|(_, i)| i).collect(),
+                hops,
+                complete,
+            },
+            ChordEvent::InsertDone { qid, hops, ok } => OverlayDone::Insert { qid, hops, ok },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unistore_overlay::OverlayTopology;
+    use unistore_util::item::RawItem;
+
+    #[test]
+    fn spawned_ring_covers_every_key_once() {
+        let cfg = ChordConfig::default();
+        let topo = <ChordNode<RawItem> as Overlay>::plan(16, &cfg, None, 5);
+        let nodes: Vec<ChordNode<RawItem>> =
+            (0..16).map(|p| <ChordNode<RawItem> as Overlay>::spawn(&topo, p, &cfg, 5)).collect();
+        for key in (0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            let owners: Vec<usize> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| Overlay::responsible(*n, key))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(owners.len(), 1, "exactly one exact-index owner per key");
+            assert_eq!(owners[0], topo.holders(key)[0], "plan and nodes agree");
+        }
+    }
+
+    #[test]
+    fn preload_splits_across_indexes() {
+        let cfg = ChordConfig::default();
+        let topo = <ChordNode<RawItem> as Overlay>::plan(8, &cfg, None, 5);
+        let key = 42u64 << 40;
+        let holders = topo.holders(key);
+        let mut stored = 0;
+        for p in 0..8 {
+            let mut node = <ChordNode<RawItem> as Overlay>::spawn(&topo, p, &cfg, 5);
+            Overlay::preload(&mut node, key, RawItem(1), 0);
+            let len = node.store().len();
+            if holders.contains(&p) {
+                assert!(len >= 1);
+            } else {
+                assert_eq!(len, 0, "non-holders store nothing");
+            }
+            stored += len;
+        }
+        assert_eq!(stored, 2, "one exact entry + one bucket entry");
+    }
+}

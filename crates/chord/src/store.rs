@@ -4,7 +4,12 @@
 //! key: items are stored under `ring_key = hash(key)` (exact index) and,
 //! for the auxiliary range index, under `ring_key = hash(bucket(key))`.
 //! Entries therefore remember their original order-preserving key so
-//! that bucket scans can filter to the requested interval.
+//! that bucket scans can filter to the requested interval. Entries are
+//! versioned with the same superseding rule as P-Grid's local store
+//! (paper ref [4] loose consistency): a write is applied only when its
+//! version exceeds the stored one, and deletes leave tombstones that
+//! keep blocking stale re-inserts of the same logical entry, so both
+//! backends resolve concurrent updates identically.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -21,10 +26,12 @@ pub struct ChordEntry<I> {
     pub item: I,
 }
 
-/// Local store of a Chord node, keyed by ring position.
+/// Local store of a Chord node, keyed by ring position. The value is
+/// `(version, item-or-tombstone)`: `None` marks a deleted entry whose
+/// version still vetoes stale writes.
 #[derive(Clone, Debug, Default)]
 pub struct ChordStore<I> {
-    entries: BTreeMap<(u64, Key, u64), I>,
+    entries: BTreeMap<(u64, Key, u64), (u64, Option<I>)>,
 }
 
 impl<I: Item> ChordStore<I> {
@@ -33,9 +40,33 @@ impl<I: Item> ChordStore<I> {
         ChordStore { entries: BTreeMap::new() }
     }
 
-    /// Stores an entry under a ring position.
-    pub fn insert(&mut self, ring_key: u64, key: Key, item: I) {
-        self.entries.insert((ring_key, key, item.ident()), item);
+    /// Stores an entry under a ring position. Applies the write only if
+    /// it is new or strictly newer than the stored version — live or
+    /// tombstoned (the same rule as P-Grid's `LocalStore::apply_record`);
+    /// returns whether it was applied.
+    pub fn insert(&mut self, ring_key: u64, key: Key, item: I, version: u64) -> bool {
+        self.apply_record(ring_key, key, item.ident(), Some(item), version)
+    }
+
+    fn apply_record(
+        &mut self,
+        ring_key: u64,
+        key: Key,
+        ident: u64,
+        item: Option<I>,
+        version: u64,
+    ) -> bool {
+        match self.entries.get_mut(&(ring_key, key, ident)) {
+            Some((existing, _)) if *existing >= version => false,
+            Some(slot) => {
+                *slot = (version, item);
+                true
+            }
+            None => {
+                self.entries.insert((ring_key, key, ident), (version, item));
+                true
+            }
+        }
     }
 
     /// All entries stored under one ring position.
@@ -45,7 +76,9 @@ impl<I: Item> ChordStore<I> {
                 Bound::Included((ring_key, 0, 0)),
                 Bound::Included((ring_key, Key::MAX, u64::MAX)),
             ))
-            .map(|(&(_, key, _), item)| ChordEntry { key, item: item.clone() })
+            .filter_map(|(&(_, key, _), (_, item))| {
+                item.as_ref().map(|i| ChordEntry { key, item: i.clone() })
+            })
             .collect()
     }
 
@@ -53,7 +86,9 @@ impl<I: Item> ChordStore<I> {
     pub fn get_filtered(&self, ring_key: u64, lo: Key, hi: Key) -> Vec<ChordEntry<I>> {
         self.entries
             .range((Bound::Included((ring_key, lo, 0)), Bound::Included((ring_key, hi, u64::MAX))))
-            .map(|(&(_, key, _), item)| ChordEntry { key, item: item.clone() })
+            .filter_map(|(&(_, key, _), (_, item))| {
+                item.as_ref().map(|i| ChordEntry { key, item: i.clone() })
+            })
             .collect()
     }
 
@@ -63,18 +98,35 @@ impl<I: Item> ChordStore<I> {
         self.entries
             .iter()
             .filter(|(&(_, key, _), _)| key >= lo && key <= hi)
-            .map(|(&(_, key, _), item)| ChordEntry { key, item: item.clone() })
+            .filter_map(|(&(_, key, _), (_, item))| {
+                item.as_ref().map(|i| ChordEntry { key, item: i.clone() })
+            })
             .collect()
     }
 
-    /// Number of entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
+    /// Removes the entry with logical identity `ident` stored under
+    /// `(ring_key, key)` by recording a tombstone at `version` — like
+    /// P-Grid's `LocalStore::remove`: the tombstone is recorded even
+    /// over nothing, so late-arriving writes at `<= version` stay dead,
+    /// and it only supersedes a strictly older stored version. Returns
+    /// `true` if a live, strictly older entry was actually shadowed.
+    pub fn remove(&mut self, ring_key: u64, key: Key, ident: u64, version: u64) -> bool {
+        let shadowed = matches!(
+            self.entries.get(&(ring_key, key, ident)),
+            Some((v, Some(_))) if *v < version
+        );
+        self.apply_record(ring_key, key, ident, None, version);
+        shadowed
     }
 
-    /// True when empty.
+    /// Number of live entries (tombstones excluded).
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|(_, item)| item.is_some()).count()
+    }
+
+    /// True when no live entries exist.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        !self.entries.values().any(|(_, item)| item.is_some())
     }
 }
 
@@ -88,8 +140,8 @@ mod tests {
     fn insert_get_roundtrip() {
         let mut s: ChordStore<TestItem> = ChordStore::new();
         let rk = hash_bytes(b"k1");
-        s.insert(rk, 100, TestItem(1));
-        s.insert(rk, 200, TestItem(2));
+        s.insert(rk, 100, TestItem(1), 0);
+        s.insert(rk, 200, TestItem(2), 0);
         let got = s.get(rk);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].key, 100);
@@ -101,7 +153,7 @@ mod tests {
         let mut s: ChordStore<TestItem> = ChordStore::new();
         let rk = 42;
         for k in [10u64, 20, 30, 40] {
-            s.insert(rk, k, TestItem(k));
+            s.insert(rk, k, TestItem(k), 0);
         }
         let got = s.get_filtered(rk, 15, 35);
         let keys: Vec<u64> = got.iter().map(|e| e.key).collect();
@@ -111,9 +163,9 @@ mod tests {
     #[test]
     fn scan_by_key_crosses_ring_positions() {
         let mut s: ChordStore<TestItem> = ChordStore::new();
-        s.insert(1, 10, TestItem(1));
-        s.insert(999, 20, TestItem(2));
-        s.insert(500, 99, TestItem(3));
+        s.insert(1, 10, TestItem(1), 0);
+        s.insert(999, 20, TestItem(2), 0);
+        s.insert(500, 99, TestItem(3), 0);
         let got = s.scan_by_key(5, 25);
         assert_eq!(got.len(), 2);
     }
@@ -121,8 +173,85 @@ mod tests {
     #[test]
     fn duplicate_ident_overwrites() {
         let mut s: ChordStore<TestItem> = ChordStore::new();
-        s.insert(1, 10, TestItem(7));
-        s.insert(1, 10, TestItem(7));
+        assert!(s.insert(1, 10, TestItem(7), 0));
+        assert!(!s.insert(1, 10, TestItem(7), 0), "same version is rejected");
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_targets_one_entry_exactly() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        s.insert(1, 10, TestItem(7), 0);
+        s.insert(1, 20, TestItem(7), 0); // same identity, different key
+        s.insert(1, 10, TestItem(8), 0);
+        s.insert(2, 10, TestItem(7), 0); // other ring position untouched
+        assert!(s.remove(1, 10, 7, 1));
+        assert_eq!(s.len(), 3, "only the addressed entry is shadowed");
+        let live: Vec<u64> = s.get(1).iter().map(|e| e.item.0).collect();
+        assert_eq!(live, vec![TestItem(8).0, TestItem(7).0]);
+        assert_eq!(s.get(2).len(), 1);
+        assert!(!s.remove(1, 10, 99, 1), "absent identity shadows nothing");
+    }
+
+    #[test]
+    fn filtered_bounds_are_inclusive() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        for k in [10u64, 20, 30] {
+            s.insert(5, k, TestItem(k), 0);
+        }
+        let keys: Vec<u64> = s.get_filtered(5, 10, 30).iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+        assert!(s.get_filtered(5, 11, 19).is_empty());
+    }
+
+    #[test]
+    fn empty_store_reports_empty() {
+        let s: ChordStore<TestItem> = ChordStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.get(0).is_empty());
+        assert!(s.scan_by_key(0, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn newer_version_supersedes_older_is_rejected() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        assert!(s.insert(1, 10, TestItem(7), 0));
+        assert!(s.insert(1, 10, TestItem(7), 5), "newer version applies");
+        assert!(!s.insert(1, 10, TestItem(7), 3), "stale write is rejected");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_spares_newer_versions() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        s.insert(1, 10, TestItem(7), 5);
+        assert!(!s.remove(1, 10, 7, 3), "delete at v3 must not kill the v5 entry");
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(1, 10, 7, 5), "equal version loses, entry stays live");
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(1, 10, 7, 6), "a newer delete shadows it");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tombstone_blocks_stale_reinsert() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        s.insert(1, 10, TestItem(7), 0);
+        assert!(s.remove(1, 10, 7, 2));
+        assert!(s.is_empty());
+        assert!(!s.insert(1, 10, TestItem(7), 0), "stale write loses to the tombstone");
+        assert!(!s.insert(1, 10, TestItem(7), 2), "equal version loses too");
+        assert!(s.is_empty());
+        assert!(s.insert(1, 10, TestItem(7), 3), "a genuinely newer write un-deletes");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_over_nothing_still_blocks() {
+        let mut s: ChordStore<TestItem> = ChordStore::new();
+        assert!(!s.remove(1, 10, 7, 2), "nothing live to shadow");
+        assert!(!s.insert(1, 10, TestItem(7), 1), "late stale write stays dead");
+        assert!(s.is_empty());
     }
 }

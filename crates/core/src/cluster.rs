@@ -1,24 +1,27 @@
 //! The cluster driver: a full UniStore deployment inside the simulator.
 //!
 //! This is the repo's main entry point: build a network of
-//! [`UniNode`]s, load tuples, run VQL — and get answers *plus the
-//! network cost* of obtaining them.
+//! [`UniNode`]s over any [`Overlay`] backend, load tuples, run VQL —
+//! and get answers *plus the network cost* of obtaining them.
+//!
+//! [`UniCluster`] defaults to the P-Grid backend; the Chord backend is
+//! reachable through [`crate::backends::ChordUniCluster`]. All driver
+//! operations (bulk load, routed inserts/updates, raw lookups, queries)
+//! are backend-agnostic.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use unistore_pgrid::construct::{leaf_of, plan_topology};
-use unistore_pgrid::msg::PeerRef;
-use unistore_pgrid::{PGridEvent, PGridMsg};
+use unistore_overlay::{Overlay, OverlayDone, OverlayTopology};
+use unistore_pgrid::PGridPeer;
 use unistore_query::{CostModel, Logical, Mqp, MqpNode, Relation};
 use unistore_simnet::metrics::OpCost;
 use unistore_simnet::{LanLatency, LatencyModel, NodeId, SimNet, SimTime};
 use unistore_store::index::TripleKeys;
 use unistore_store::mapping::{Mapping, MappingSet};
 use unistore_store::{Triple, Tuple, Value};
-use unistore_util::item::Item;
 use unistore_util::rng::{derive_rng, stream};
 use unistore_util::{BitPath, Key};
 use unistore_vql::{analyze, parse, VqlError};
@@ -39,16 +42,16 @@ pub struct QueryOutcome {
     pub cost: OpCost,
 }
 
-/// A simulated UniStore deployment.
-pub struct UniCluster {
+/// A simulated UniStore deployment over an [`Overlay`] backend
+/// (P-Grid unless specified otherwise).
+pub struct UniCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
     /// The network (public: experiments inspect nodes and metrics).
-    pub net: SimNet<UniNode>,
-    cfg: UniConfig,
+    pub net: SimNet<UniNode<O>>,
+    cfg: UniConfig<O::Config>,
     seed: u64,
     /// Recreates the latency model for topology rebuilds.
     latency_factory: Box<dyn Fn() -> Box<dyn LatencyModel>>,
-    leaves: Vec<BitPath>,
-    leaf_peers: Vec<Vec<NodeId>>,
+    topology: O::Topology,
     next_qid: u64,
     rng: StdRng,
     triples: Vec<Triple>,
@@ -56,16 +59,41 @@ pub struct UniCluster {
     cost: Option<Arc<CostModel>>,
 }
 
-impl UniCluster {
-    /// Builds an empty cluster with a LAN latency model.
+impl UniCluster<PGridPeer<Triple>> {
+    /// Builds an empty P-Grid-backed cluster with a LAN latency model.
     pub fn build(n_peers: usize, cfg: UniConfig, seed: u64) -> Self {
-        Self::build_with_latency(n_peers, cfg, LanLatency, seed)
+        Self::build_overlay_with_latency(n_peers, cfg, LanLatency, seed)
     }
 
-    /// Builds an empty cluster with a custom latency model.
+    /// Builds an empty P-Grid-backed cluster with a custom latency
+    /// model.
     pub fn build_with_latency(
         n_peers: usize,
         cfg: UniConfig,
+        latency: impl LatencyModel + Clone + 'static,
+        seed: u64,
+    ) -> Self {
+        Self::build_overlay_with_latency(n_peers, cfg, latency, seed)
+    }
+
+    /// Trie leaves of the P-Grid topology.
+    pub fn leaves(&self) -> &[BitPath] {
+        self.topology.leaves()
+    }
+}
+
+impl<O: Overlay<Item = Triple>> UniCluster<O> {
+    /// Builds an empty cluster over any overlay backend with a LAN
+    /// latency model.
+    pub fn build_overlay(n_peers: usize, cfg: UniConfig<O::Config>, seed: u64) -> Self {
+        Self::build_overlay_with_latency(n_peers, cfg, LanLatency, seed)
+    }
+
+    /// Builds an empty cluster over any overlay backend with a custom
+    /// latency model.
+    pub fn build_overlay_with_latency(
+        n_peers: usize,
+        cfg: UniConfig<O::Config>,
         latency: impl LatencyModel + Clone + 'static,
         seed: u64,
     ) -> Self {
@@ -73,79 +101,58 @@ impl UniCluster {
             let latency = latency.clone();
             Box::new(move || Box::new(latency.clone()))
         };
+        let topology = O::plan(n_peers, &cfg.overlay, None, seed);
         let mut cluster = UniCluster {
             net: SimNet::new(latency, seed),
             cfg,
             seed,
             latency_factory: factory,
-            leaves: Vec::new(),
-            leaf_peers: Vec::new(),
+            topology,
             next_qid: 1,
             rng: derive_rng(seed, stream::QUERY),
             triples: Vec::new(),
             mappings: MappingSet::new(),
             cost: None,
         };
-        cluster.rebuild_topology(n_peers, None);
+        cluster.spawn_nodes(n_peers);
         cluster
+    }
+
+    /// Populates `self.net` with nodes spawned from `self.topology`.
+    fn spawn_nodes(&mut self, n_peers: usize) {
+        for peer in 0..n_peers {
+            let overlay = O::spawn(&self.topology, peer, &self.cfg.overlay, self.seed);
+            self.net.add_node(UniNode::new(
+                overlay,
+                self.cfg.query_timeout,
+                self.cfg.query_retries,
+                self.cfg.plan_mode,
+            ));
+        }
     }
 
     fn rebuild_topology(&mut self, n_peers: usize, sample: Option<&[Key]>) {
         let latency = (self.latency_factory)();
-        let mut topo_rng = derive_rng(self.seed, stream::OVERLAY);
-        let plan = plan_topology(
-            n_peers,
-            self.cfg.pgrid.replication,
-            self.cfg.pgrid.refs_per_level,
-            self.cfg.pgrid.max_depth,
-            sample,
-            &mut topo_rng,
-        );
-        let mut net = SimNet::new_boxed(latency, self.seed);
-        for peer in 0..n_peers {
-            let path = plan.leaves[plan.peer_leaf[peer]];
-            net.add_node(UniNode::new(
-                NodeId(peer as u32),
-                path,
-                self.cfg.pgrid.clone(),
-                self.cfg.query_timeout,
-                self.cfg.plan_mode,
-                self.seed,
-            ));
-        }
-        for peer in 0..n_peers {
-            let node = net.node_mut(NodeId(peer as u32));
-            for &(p, path) in &plan.peer_refs[peer] {
-                node.pgrid.routing_mut().add_ref(PeerRef { id: NodeId(p as u32), path });
-            }
-            for &r in &plan.peer_replicas[peer] {
-                node.pgrid.routing_mut().add_replica(NodeId(r as u32));
-            }
-        }
-        self.net = net;
-        self.leaves = plan.leaves;
-        self.leaf_peers = plan
-            .leaf_peers
-            .iter()
-            .map(|ps| ps.iter().map(|&p| NodeId(p as u32)).collect())
-            .collect();
+        self.topology = O::plan(n_peers, &self.cfg.overlay, sample, self.seed);
+        self.net = SimNet::new_boxed(latency, self.seed);
+        self.spawn_nodes(n_peers);
     }
 
     /// Loads tuples: decomposes them into triples (paper Fig. 2), places
-    /// every index entry, rebuilds the trie data-adaptively if the
+    /// every index entry, rebuilds the topology data-adaptively if the
     /// cluster was empty and balancing is on, and distributes the cost
     /// model.
     ///
     /// This is the *driver-side bulk path* (no protocol traffic); use
     /// [`Self::insert_tuple`] for the routed path.
     pub fn load(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
-        let new_triples: Vec<Triple> =
-            tuples.into_iter().flat_map(|t| t.to_triples()).collect();
+        let new_triples: Vec<Triple> = tuples.into_iter().flat_map(|t| t.to_triples()).collect();
         let first_load = self.triples.is_empty();
         self.triples.extend(new_triples);
-        if first_load && self.cfg.balanced {
-            // Re-plan the trie against the actual key distribution —
-            // P-Grid's converged, load-balanced state.
+        if first_load && self.cfg.balanced && O::ADAPTS_TO_SAMPLE {
+            // Re-plan the topology against the actual key distribution —
+            // P-Grid's converged, load-balanced state. (Backends with an
+            // order-destroying hash ignore the sample.)
             let sample: Vec<Key> = self
                 .triples
                 .iter()
@@ -182,9 +189,8 @@ impl UniCluster {
         let mut all: Vec<Key> = keys.primary().to_vec();
         all.extend(&keys.qgrams);
         for key in all {
-            let peers = self.leaf_peers[leaf_of(&self.leaves, key)].clone();
-            for p in peers {
-                self.net.node_mut(p).pgrid.preload(key, t.clone(), 0);
+            for p in self.topology.holders(key) {
+                self.net.node_mut(NodeId(p as u32)).overlay.preload(key, t.clone(), 0);
             }
         }
     }
@@ -193,8 +199,8 @@ impl UniCluster {
         let model = build_cost_model(
             &self.triples,
             self.net.len(),
-            self.leaves.len(),
-            self.cfg.pgrid.replication,
+            self.topology.partitions(),
+            self.topology.replication(),
             self.net.expected_link_delay(),
         );
         self.cost = Some(model.clone());
@@ -225,9 +231,9 @@ impl UniCluster {
         NodeId(self.rng.gen_range(0..self.net.len() as u32))
     }
 
-    /// Trie leaves.
-    pub fn leaves(&self) -> &[BitPath] {
-        &self.leaves
+    /// The driver-side deployment plan.
+    pub fn topology(&self) -> &O::Topology {
+        &self.topology
     }
 
     /// Sets the planner mode on every node (experiment E3).
@@ -255,9 +261,9 @@ impl UniCluster {
     fn run_for_query(&mut self, qid: u64) -> Option<(SimTime, UniEvent)> {
         let deadline = self.net.now() + SimTime::from_secs(1_000_000);
         loop {
-            if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
-                matches!(ev, UniEvent::QueryDone { qid: q, .. } if *q == qid)
-            }) {
+            if let Some(pos) = self.net.outputs().iter().position(
+                |(_, _, ev)| matches!(ev, UniEvent::QueryDone { qid: q, .. } if *q == qid),
+            ) {
                 let mut outs = self.net.take_outputs();
                 let (t, _, ev) = outs.swap_remove(pos);
                 return Some((t, ev));
@@ -268,20 +274,18 @@ impl UniCluster {
         }
     }
 
-    fn run_for_pgrid(&mut self, qid: u64) -> Option<PGridEvent<Triple>> {
+    fn run_for_storage(&mut self, qid: u64) -> Option<OverlayDone<Triple>> {
         let deadline = self.net.now() + SimTime::from_secs(1_000_000);
         loop {
-            if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
-                matches!(ev,
-                    UniEvent::PGrid(
-                        PGridEvent::LookupDone { qid: q, .. }
-                        | PGridEvent::RangeDone { qid: q, .. }
-                        | PGridEvent::InsertDone { qid: q, .. }
-                    ) if *q == qid)
-            }) {
+            if let Some(pos) = self
+                .net
+                .outputs()
+                .iter()
+                .position(|(_, _, ev)| matches!(ev, UniEvent::Storage(d) if d.qid() == qid))
+            {
                 let mut outs = self.net.take_outputs();
                 match outs.swap_remove(pos) {
-                    (_, _, UniEvent::PGrid(ev)) => return Some(ev),
+                    (_, _, UniEvent::Storage(d)) => return Some(d),
                     _ => unreachable!(),
                 }
             }
@@ -328,9 +332,21 @@ impl UniCluster {
         })
     }
 
+    /// Injects a batch of routed write messages at `origin` and awaits
+    /// every ack; `true` when all succeeded.
+    fn run_writes(&mut self, origin: NodeId, msgs: Vec<(u64, O::Msg)>) -> bool {
+        let mut ok = true;
+        for (qid, msg) in msgs {
+            self.net.inject(origin, UniMsg::Overlay(msg));
+            ok &= matches!(self.run_for_storage(qid), Some(OverlayDone::Insert { ok: true, .. }));
+        }
+        ok
+    }
+
     /// Inserts one tuple through the routed protocol path (every index
     /// entry is an overlay insert; the paper's Fig. 2 fan-out).
     pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple) -> (bool, OpCost) {
+        let ocfg = self.cfg.overlay.clone();
         let before = self.net.metrics();
         let start = self.net.now();
         let mut ok = true;
@@ -339,22 +355,9 @@ impl UniCluster {
             let mut all: Vec<Key> = keys.primary().to_vec();
             all.extend(&keys.qgrams);
             for key in all {
-                let qid = self.fresh_qid();
-                self.net.inject(
-                    origin,
-                    UniMsg::PGrid(PGridMsg::Insert {
-                        qid,
-                        key,
-                        item: t.clone(),
-                        version: 0,
-                        origin,
-                        hops: 0,
-                    }),
-                );
-                match self.run_for_pgrid(qid) {
-                    Some(PGridEvent::InsertDone { ok: o, .. }) => ok &= o,
-                    _ => ok = false,
-                }
+                let msgs =
+                    O::insert_msgs(&ocfg, &mut || self.fresh_qid(), key, t.clone(), 0, origin);
+                ok &= self.run_writes(origin, msgs);
             }
             self.triples.push(t);
         }
@@ -374,15 +377,10 @@ impl UniCluster {
     /// Updates the value of `(oid, attr)` through the protocol path:
     /// deletes the old index entries, inserts the new ones with a newer
     /// version (paper ref [4] loose-consistency updates).
-    pub fn update(
-        &mut self,
-        origin: NodeId,
-        old: &Triple,
-        new_value: Value,
-        version: u64,
-    ) -> bool {
+    pub fn update(&mut self, origin: NodeId, old: &Triple, new_value: Value, version: u64) -> bool {
+        let ocfg = self.cfg.overlay.clone();
         let new_triple = Triple { oid: old.oid.clone(), attr: old.attr.clone(), value: new_value };
-        let ident = old.ident();
+        let ident = unistore_util::item::Item::ident(old);
         let old_keys = TripleKeys::derive(old, self.cfg.with_qgrams);
         let mut ok = true;
         // Remove the old fact under every key it was indexed at; its
@@ -393,34 +391,24 @@ impl UniCluster {
         let new_keys = TripleKeys::derive(&new_triple, self.cfg.with_qgrams);
         let mut fresh: Vec<Key> = new_keys.primary().to_vec();
         fresh.extend(&new_keys.qgrams);
-        for key in stale.iter() {
-            let qid = self.fresh_qid();
-            self.net.inject(
-                origin,
-                UniMsg::PGrid(PGridMsg::Delete { qid, key: *key, ident, version, origin, hops: 0 }),
-            );
-            ok &= matches!(self.run_for_pgrid(qid), Some(PGridEvent::InsertDone { ok: true, .. }));
+        for key in stale {
+            let msgs = O::delete_msgs(&ocfg, &mut || self.fresh_qid(), key, ident, version, origin);
+            ok &= self.run_writes(origin, msgs);
         }
         for key in fresh {
-            let qid = self.fresh_qid();
-            self.net.inject(
+            let msgs = O::insert_msgs(
+                &ocfg,
+                &mut || self.fresh_qid(),
+                key,
+                new_triple.clone(),
+                version,
                 origin,
-                UniMsg::PGrid(PGridMsg::Insert {
-                    qid,
-                    key,
-                    item: new_triple.clone(),
-                    version,
-                    origin,
-                    hops: 0,
-                }),
             );
-            ok &= matches!(self.run_for_pgrid(qid), Some(PGridEvent::InsertDone { ok: true, .. }));
+            ok &= self.run_writes(origin, msgs);
         }
         // Track driver-side view.
-        if let Some(t) = self
-            .triples
-            .iter_mut()
-            .find(|t| t.oid == new_triple.oid && t.attr == new_triple.attr)
+        if let Some(t) =
+            self.triples.iter_mut().find(|t| t.oid == new_triple.oid && t.attr == new_triple.attr)
         {
             *t = new_triple;
         }
@@ -432,9 +420,10 @@ impl UniCluster {
         let qid = self.fresh_qid();
         let before = self.net.metrics();
         let start = self.net.now();
-        self.net.inject(origin, UniMsg::PGrid(PGridMsg::Lookup { qid, key, origin, hops: 0 }));
-        match self.run_for_pgrid(qid) {
-            Some(PGridEvent::LookupDone { items, hops, .. }) => {
+        let msg = O::lookup_msg(&self.cfg.overlay, qid, key, origin);
+        self.net.inject(origin, UniMsg::Overlay(msg));
+        match self.run_for_storage(qid) {
+            Some(OverlayDone::Lookup { items, hops, .. }) => {
                 let d = self.net.metrics().delta(&before);
                 (
                     items,

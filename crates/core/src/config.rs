@@ -31,52 +31,78 @@ pub struct PlanMode {
     pub no_forward: bool,
 }
 
-/// Cluster-level configuration.
+/// Cluster-level configuration, generic over the storage backend's own
+/// configuration (`PGridConfig` by default; `ChordConfig` for the ring
+/// backend — see [`crate::backends`]).
 #[derive(Clone, Debug)]
-pub struct UniConfig {
+pub struct UniConfig<C = PGridConfig> {
     /// The storage-layer overlay configuration.
-    pub pgrid: PGridConfig,
+    pub overlay: C,
     /// Maintain the q-gram index on insert (paper ref [6]).
     pub with_qgrams: bool,
-    /// Build the trie adapted to the data sample (P-Grid's balanced
-    /// converged state); `false` builds the uniform strawman.
+    /// Build the topology adapted to the data sample where the backend
+    /// supports it (P-Grid's balanced converged state); `false` builds
+    /// the uniform strawman. Backends with order-destroying hashing
+    /// ignore this.
     pub balanced: bool,
     /// Time the origin waits for a query result.
     pub query_timeout: SimTime,
+    /// How many times the origin re-dispatches a query whose deadline
+    /// expired before reporting failure. A forwarded mutant plan that
+    /// lands on a crashed peer is lost wholesale; re-dispatching routes
+    /// through a different reference and usually survives.
+    pub query_retries: u32,
     /// Default planner behaviour for all nodes.
     pub plan_mode: PlanMode,
 }
 
-impl Default for UniConfig {
+impl Default for UniConfig<PGridConfig> {
     fn default() -> Self {
-        UniConfig {
-            pgrid: PGridConfig {
-                // Periodic traffic off by default so experiment cost
-                // attribution is exact; churn experiments re-enable it.
-                maintenance_interval: SimTime::from_secs(1_000_000_000),
-                anti_entropy_interval: SimTime::from_secs(1_000_000_000),
-                ..PGridConfig::default()
-            },
-            with_qgrams: true,
-            balanced: true,
-            query_timeout: SimTime::from_secs(120),
-            plan_mode: PlanMode::default(),
-        }
+        UniConfig::for_overlay(PGridConfig {
+            // Periodic traffic off by default so experiment cost
+            // attribution is exact; churn experiments re-enable it.
+            maintenance_interval: SimTime::from_secs(1_000_000_000),
+            anti_entropy_interval: SimTime::from_secs(1_000_000_000),
+            ..PGridConfig::default()
+        })
     }
 }
 
-impl UniConfig {
+impl<C> UniConfig<C> {
+    /// Wraps a backend configuration with the shared cluster-level
+    /// defaults — the single source of truth for every backend, so
+    /// cross-backend comparisons run under identical query-layer
+    /// settings.
+    pub fn for_overlay(overlay: C) -> Self {
+        UniConfig {
+            overlay,
+            with_qgrams: true,
+            balanced: true,
+            query_timeout: SimTime::from_secs(120),
+            query_retries: 2,
+            plan_mode: PlanMode::default(),
+        }
+    }
+
+    /// Sets the number of origin-side query re-dispatches.
+    pub fn with_query_retries(mut self, retries: u32) -> Self {
+        self.query_retries = retries;
+        self
+    }
+}
+
+impl UniConfig<PGridConfig> {
     /// Enables periodic maintenance and anti-entropy (churn/update
     /// experiments).
     pub fn with_maintenance(mut self, maintenance: SimTime, anti_entropy: SimTime) -> Self {
-        self.pgrid.maintenance_interval = maintenance;
-        self.pgrid.anti_entropy_interval = anti_entropy;
+        self.overlay.maintenance_interval = maintenance;
+        self.overlay.anti_entropy_interval = anti_entropy;
         self
     }
 
     /// Sets the replication factor.
     pub fn with_replication(mut self, r: usize) -> Self {
-        self.pgrid = self.pgrid.with_replication(r);
+        self.overlay = self.overlay.with_replication(r);
         self
     }
 }
@@ -90,15 +116,18 @@ mod tests {
         let c = UniConfig::default();
         assert!(c.balanced);
         assert!(c.with_qgrams);
-        assert!(c.pgrid.maintenance_interval > SimTime::from_secs(1_000_000));
+        assert_eq!(c.query_retries, 2);
+        assert!(c.overlay.maintenance_interval > SimTime::from_secs(1_000_000));
     }
 
     #[test]
     fn builders_compose() {
         let c = UniConfig::default()
             .with_replication(3)
-            .with_maintenance(SimTime::from_secs(30), SimTime::from_secs(60));
-        assert_eq!(c.pgrid.replication, 3);
-        assert_eq!(c.pgrid.maintenance_interval, SimTime::from_secs(30));
+            .with_maintenance(SimTime::from_secs(30), SimTime::from_secs(60))
+            .with_query_retries(5);
+        assert_eq!(c.overlay.replication, 3);
+        assert_eq!(c.overlay.maintenance_interval, SimTime::from_secs(30));
+        assert_eq!(c.query_retries, 5);
     }
 }

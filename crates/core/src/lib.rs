@@ -2,9 +2,9 @@
 //!
 //! A reproduction of *"UniStore: Querying a DHT-based Universal
 //! Storage"* (Karnstedt, Sattler, Richtarsky, Müller, Hauswirth,
-//! Schmidt, John — ICDE 2007): a triple store layered over the P-Grid
-//! structured overlay, queried with VQL, processed as mutant query plans
-//! with a cost-based adaptive optimizer.
+//! Schmidt, John — ICDE 2007): a triple store layered over a structured
+//! overlay, queried with VQL, processed as mutant query plans with a
+//! cost-based adaptive optimizer.
 //!
 //! The fastest way in is [`UniCluster`]:
 //!
@@ -22,12 +22,16 @@
 //! assert_eq!(out.relation.len(), 1);
 //! ```
 //!
-//! Layers (paper Fig. 1): `unistore-simnet` (network) → `unistore-pgrid`
-//! (P-Grid DHT) → `unistore-store` (triple storage) → `unistore-vql` +
-//! `unistore-query` (VQL, algebra, cost model, mutant plans) → this
-//! crate (the node gluing all layers, the cluster driver, and a live
-//! threaded runtime).
+//! Layers (paper Fig. 1): `unistore-simnet` (network) →
+//! `unistore-overlay` (the DHT abstraction) with two interchangeable
+//! backends, `unistore-pgrid` (P-Grid, the paper's native substrate) and
+//! `unistore-chord` (ring + order-preserving bucket index) →
+//! `unistore-store` (triple storage) → `unistore-vql` + `unistore-query`
+//! (VQL, algebra, cost model, mutant plans) → this crate (the node
+//! gluing all layers — generic over the backend, see [`backends`] — the
+//! cluster driver, and a live threaded runtime).
 
+pub mod backends;
 pub mod cluster;
 pub mod config;
 pub mod live;
@@ -35,6 +39,7 @@ pub mod msg;
 pub mod node;
 pub mod stats;
 
+pub use backends::{chord_config, ChordLiveCluster, ChordOverlay, ChordUniCluster};
 pub use cluster::{QueryOutcome, UniCluster};
 pub use config::{PlanMode, ScanPref, UniConfig};
 pub use msg::{QueryMsg, UniEvent, UniMsg};

@@ -5,7 +5,8 @@
 //! this repository is runtime-agnostic (everything is a
 //! [`NodeBehavior`]); this module runs the *same* node implementation on
 //! real OS threads with real channels and wall-clock timers, proving the
-//! simulator is an execution harness, not a semantic crutch.
+//! simulator is an execution harness, not a semantic crutch. Like the
+//! simulated driver it is generic over the [`Overlay`] backend.
 //!
 //! Each node is one thread; `crossbeam` channels are the links; timers
 //! are a local deadline heap served between receives. The driver
@@ -19,8 +20,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
-use unistore_pgrid::construct::{leaf_of, plan_topology};
-use unistore_pgrid::msg::PeerRef;
+use unistore_overlay::{Overlay, OverlayTopology};
+use unistore_pgrid::PGridPeer;
 use unistore_query::{Logical, Mqp, MqpNode, Relation};
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_store::index::TripleKeys;
@@ -33,11 +34,12 @@ use crate::msg::{QueryMsg, UniEvent, UniMsg};
 use crate::node::UniNode;
 use crate::stats::build_cost_model;
 
-type Inbox = (NodeId, UniMsg);
+type Inbox<M> = (NodeId, UniMsg<M>);
 
-/// A running, threaded UniStore deployment.
-pub struct LiveCluster {
-    senders: Vec<Sender<Inbox>>,
+/// A running, threaded UniStore deployment over an [`Overlay`] backend
+/// (P-Grid unless specified otherwise).
+pub struct LiveCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
+    senders: Vec<Sender<Inbox<O::Msg>>>,
     outputs: Receiver<(NodeId, UniEvent)>,
     handles: Vec<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
@@ -45,48 +47,42 @@ pub struct LiveCluster {
     n: usize,
 }
 
-impl LiveCluster {
+impl LiveCluster<PGridPeer<Triple>> {
+    /// Builds the P-Grid overlay, loads the tuples, distributes
+    /// statistics and starts one thread per node.
+    pub fn start(n_peers: usize, cfg: UniConfig, tuples: Vec<Tuple>, seed: u64) -> Self {
+        Self::start_overlay(n_peers, cfg, tuples, seed)
+    }
+}
+
+impl<O: Overlay<Item = Triple>> LiveCluster<O> {
     /// Builds the overlay, loads the tuples, distributes statistics and
     /// starts one thread per node.
-    pub fn start(n_peers: usize, cfg: UniConfig, tuples: Vec<Tuple>, seed: u64) -> Self {
+    pub fn start_overlay(
+        n_peers: usize,
+        cfg: UniConfig<O::Config>,
+        tuples: Vec<Tuple>,
+        seed: u64,
+    ) -> Self {
         let triples: Vec<Triple> = tuples.iter().flat_map(Tuple::to_triples).collect();
-        let sample: Vec<Key> = triples
-            .iter()
-            .flat_map(|t| TripleKeys::derive(t, cfg.with_qgrams).primary())
-            .collect();
-        let mut rng = unistore_util::rng::derive_rng(seed, unistore_util::rng::stream::OVERLAY);
-        let plan = plan_topology(
-            n_peers,
-            cfg.pgrid.replication,
-            cfg.pgrid.refs_per_level,
-            cfg.pgrid.max_depth,
-            if cfg.balanced && !sample.is_empty() { Some(&sample) } else { None },
-            &mut rng,
-        );
+        let sample: Vec<Key> =
+            triples.iter().flat_map(|t| TripleKeys::derive(t, cfg.with_qgrams).primary()).collect();
+        let adapt = cfg.balanced && O::ADAPTS_TO_SAMPLE && !sample.is_empty();
+        let topology =
+            O::plan(n_peers, &cfg.overlay, if adapt { Some(&sample) } else { None }, seed);
         let model = build_cost_model(
             &triples,
             n_peers,
-            plan.leaves.len(),
-            cfg.pgrid.replication,
+            topology.partitions(),
+            topology.replication(),
             SimTime::from_micros(200), // LAN-ish expectation for the model
         );
 
-        let mut nodes: Vec<UniNode> = (0..n_peers)
+        let mut nodes: Vec<UniNode<O>> = (0..n_peers)
             .map(|peer| {
-                let mut node = UniNode::new(
-                    NodeId(peer as u32),
-                    plan.leaves[plan.peer_leaf[peer]],
-                    cfg.pgrid.clone(),
-                    cfg.query_timeout,
-                    cfg.plan_mode,
-                    seed,
-                );
-                for &(p, path) in &plan.peer_refs[peer] {
-                    node.pgrid.routing_mut().add_ref(PeerRef { id: NodeId(p as u32), path });
-                }
-                for &r in &plan.peer_replicas[peer] {
-                    node.pgrid.routing_mut().add_replica(NodeId(r as u32));
-                }
+                let overlay = O::spawn(&topology, peer, &cfg.overlay, seed);
+                let mut node =
+                    UniNode::new(overlay, cfg.query_timeout, cfg.query_retries, cfg.plan_mode);
                 node.cost = Some(model.clone());
                 node
             })
@@ -98,16 +94,17 @@ impl LiveCluster {
             let mut all: Vec<Key> = keys.primary().to_vec();
             all.extend(&keys.qgrams);
             for key in all {
-                for &p in &plan.leaf_peers[leaf_of(&plan.leaves, key)] {
-                    nodes[p].pgrid.preload(key, t.clone(), 0);
+                for p in topology.holders(key) {
+                    nodes[p].overlay.preload(key, t.clone(), 0);
                 }
             }
         }
 
         let (out_tx, outputs) = bounded::<(NodeId, UniEvent)>(1024);
-        let channels: Vec<(Sender<Inbox>, Receiver<Inbox>)> =
-            (0..n_peers).map(|_| bounded::<Inbox>(1024)).collect();
-        let senders: Vec<Sender<Inbox>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        type Channel<M> = (Sender<Inbox<M>>, Receiver<Inbox<M>>);
+        let channels: Vec<Channel<O::Msg>> =
+            (0..n_peers).map(|_| bounded::<Inbox<O::Msg>>(1024)).collect();
+        let senders: Vec<Sender<Inbox<O::Msg>>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let mut handles = Vec::with_capacity(n_peers);
@@ -180,10 +177,10 @@ impl LiveCluster {
 }
 
 /// One node's event loop: receive, fire due timers, apply effects.
-fn node_loop(
-    mut node: UniNode,
-    rx: Receiver<Inbox>,
-    peers: Vec<Sender<Inbox>>,
+fn node_loop<O: Overlay<Item = Triple>>(
+    mut node: UniNode<O>,
+    rx: Receiver<Inbox<O::Msg>>,
+    peers: Vec<Sender<Inbox<O::Msg>>>,
     out: Sender<(NodeId, UniEvent)>,
     stop: Arc<AtomicBool>,
 ) {
@@ -193,7 +190,7 @@ fn node_loop(
     // (deadline, timer), min-heap by deadline.
     let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u32, u64)>> = BinaryHeap::new();
 
-    let mut fx: Effects<UniMsg, UniEvent> = Effects::new();
+    let mut fx: Effects<UniMsg<O::Msg>, UniEvent> = Effects::new();
     node.on_start(now(start), &mut fx);
     apply(id, &mut fx, &peers, &out, &mut timers);
 
@@ -223,10 +220,10 @@ fn node_loop(
     }
 }
 
-fn apply(
+fn apply<M>(
     id: NodeId,
-    fx: &mut Effects<UniMsg, UniEvent>,
-    peers: &[Sender<Inbox>],
+    fx: &mut Effects<UniMsg<M>, UniEvent>,
+    peers: &[Sender<Inbox<M>>],
     out: &Sender<(NodeId, UniEvent)>,
     timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u32, u64)>>,
 ) {

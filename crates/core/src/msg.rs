@@ -1,21 +1,23 @@
 //! The UniStore node's message and event types.
 //!
-//! One envelope wraps both layers of the paper's stack: the P-Grid
-//! storage layer and the query-processing layer riding on it.
+//! One envelope wraps both layers of the paper's stack: the storage
+//! layer (whatever [`Overlay`](unistore_overlay::Overlay) backend the
+//! node runs on) and the query-processing layer riding on it.
 
 use bytes::{Bytes, BytesMut};
 
-use unistore_pgrid::{PGridEvent, PGridMsg};
+use unistore_overlay::OverlayDone;
 use unistore_query::{Mqp, Relation};
 use unistore_store::Triple;
 use unistore_util::wire::{Wire, WireError};
 use unistore_util::Key;
 
-/// Everything a UniStore node can receive.
+/// Everything a UniStore node can receive. Generic over the storage
+/// backend's message type.
 #[derive(Clone, Debug)]
-pub enum UniMsg {
-    /// P-Grid storage-layer traffic.
-    PGrid(PGridMsg<Triple>),
+pub enum UniMsg<M> {
+    /// Storage-layer traffic (P-Grid, Chord, …).
+    Overlay(M),
     /// Query-layer traffic.
     Query(QueryMsg),
 }
@@ -29,8 +31,7 @@ pub enum QueryMsg {
         mqp: Mqp,
     },
     /// Forward a mutant plan toward the peer responsible for `key`
-    /// (greedy prefix routing, like a lookup — but the payload is the
-    /// plan itself).
+    /// (routed like a lookup — but the payload is the plan itself).
     Route {
         /// Target key (anchor of the plan's next scan).
         key: Key,
@@ -49,17 +50,17 @@ pub enum QueryMsg {
 }
 
 mod tag {
-    pub const PGRID: u8 = 1;
+    pub const OVERLAY: u8 = 1;
     pub const EXECUTE: u8 = 2;
     pub const ROUTE: u8 = 3;
     pub const RESULT: u8 = 4;
 }
 
-impl Wire for UniMsg {
+impl<M: Wire> Wire for UniMsg<M> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            UniMsg::PGrid(m) => {
-                tag::PGRID.encode(buf);
+            UniMsg::Overlay(m) => {
+                tag::OVERLAY.encode(buf);
                 m.encode(buf);
             }
             UniMsg::Query(QueryMsg::Execute { mqp }) => {
@@ -82,12 +83,11 @@ impl Wire for UniMsg {
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(match u8::decode(buf)? {
-            tag::PGRID => UniMsg::PGrid(PGridMsg::decode(buf)?),
+            tag::OVERLAY => UniMsg::Overlay(M::decode(buf)?),
             tag::EXECUTE => UniMsg::Query(QueryMsg::Execute { mqp: Mqp::decode(buf)? }),
-            tag::ROUTE => UniMsg::Query(QueryMsg::Route {
-                key: Wire::decode(buf)?,
-                mqp: Mqp::decode(buf)?,
-            }),
+            tag::ROUTE => {
+                UniMsg::Query(QueryMsg::Route { key: Wire::decode(buf)?, mqp: Mqp::decode(buf)? })
+            }
             tag::RESULT => UniMsg::Query(QueryMsg::Result {
                 qid: Wire::decode(buf)?,
                 relation: Relation::decode(buf)?,
@@ -113,13 +113,15 @@ pub enum UniEvent {
         ok: bool,
     },
     /// A driver-issued raw storage operation finished.
-    PGrid(PGridEvent<Triple>),
+    Storage(OverlayDone<Triple>),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use unistore_chord::ChordMsg;
+    use unistore_pgrid::PGridMsg;
     use unistore_query::MqpNode;
     use unistore_simnet::NodeId;
     use unistore_store::Value;
@@ -135,12 +137,9 @@ mod tests {
             q.filters.clone(),
             Some(2),
         );
-        let rel = Relation {
-            schema: vec![Arc::from("n")],
-            rows: vec![vec![Value::str("alice")]],
-        };
-        let msgs = vec![
-            UniMsg::PGrid(PGridMsg::Lookup { qid: 1, key: 2, origin: NodeId(3), hops: 0 }),
+        let rel = Relation { schema: vec![Arc::from("n")], rows: vec![vec![Value::str("alice")]] };
+        let msgs: Vec<UniMsg<PGridMsg<Triple>>> = vec![
+            UniMsg::Overlay(PGridMsg::Lookup { qid: 1, key: 2, origin: NodeId(3), hops: 0 }),
             UniMsg::Query(QueryMsg::Execute { mqp: mqp.clone() }),
             UniMsg::Query(QueryMsg::Route { key: 99, mqp }),
             UniMsg::Query(QueryMsg::Result { qid: 7, relation: rel, hops: 5 }),
@@ -148,14 +147,25 @@ mod tests {
         for m in msgs {
             let b = m.to_bytes();
             assert_eq!(b.len(), m.wire_size());
-            let back = UniMsg::from_bytes(&b).unwrap();
+            let back = UniMsg::<PGridMsg<Triple>>::from_bytes(&b).unwrap();
             assert_eq!(format!("{back:?}"), format!("{m:?}"));
         }
     }
 
     #[test]
+    fn envelope_roundtrip_chord_backend() {
+        // The same envelope carries any backend's storage messages.
+        let m: UniMsg<ChordMsg<Triple>> =
+            UniMsg::Overlay(ChordMsg::Lookup { qid: 4, ring_key: 77, origin: NodeId(1), hops: 2 });
+        let b = m.to_bytes();
+        assert_eq!(b.len(), m.wire_size());
+        let back = UniMsg::<ChordMsg<Triple>>::from_bytes(&b).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{m:?}"));
+    }
+
+    #[test]
     fn bad_tag() {
         let b = Bytes::from_static(&[77]);
-        assert!(matches!(UniMsg::from_bytes(&b), Err(WireError::BadTag(77))));
+        assert!(matches!(UniMsg::<PGridMsg<Triple>>::from_bytes(&b), Err(WireError::BadTag(77))));
     }
 }

@@ -1,18 +1,18 @@
-//! The UniStore node: P-Grid peer + triple layer + query executor.
+//! The UniStore node: overlay peer + triple layer + query executor.
 //!
 //! Paper Fig. 1: the storage service and the query processor share one
-//! process. Here [`UniNode`] embeds a [`PGridPeer`] (storage layer) and
-//! an executor for mutant query plans. When the executor needs the
-//! network (a scan, a fetch join), it issues *locally originated* P-Grid
-//! operations through the embedded peer and suspends the plan until the
-//! completions surface; when a plan's next leaf is anchored at a remote
-//! key, the plan itself is forwarded toward the responsible peer
-//! (mutant behaviour), which re-optimizes before continuing.
+//! process. Here [`UniNode`] embeds an [`Overlay`] peer (the storage
+//! layer — P-Grid natively, or Chord with its auxiliary bucket index)
+//! and an executor for mutant query plans. When the executor needs the
+//! network (a scan, a fetch join), it issues *locally originated*
+//! overlay operations through the embedded peer and suspends the plan
+//! until the completions surface; when a plan's next leaf is anchored at
+//! a remote key, the plan itself is forwarded toward the responsible
+//! peer (mutant behaviour), which re-optimizes before continuing.
 
 use std::sync::Arc;
 
-use unistore_pgrid::msg::RangeMode;
-use unistore_pgrid::{PGridConfig, PGridEvent, PGridMsg, PGridPeer};
+use unistore_overlay::{Overlay, OverlayDone, RangeMode};
 use unistore_query::local::dedup_rows;
 use unistore_query::mqp::bind_triples;
 use unistore_query::strategy::scan_candidates;
@@ -29,20 +29,13 @@ use unistore_vql::{Term, TriplePattern};
 use crate::config::{PlanMode, ScanPref};
 use crate::msg::{QueryMsg, UniEvent, UniMsg};
 
-/// Effects buffer of the UniStore node.
-pub type UniFx = Effects<UniMsg, UniEvent>;
-type PgFx = Effects<PGridMsg<Triple>, PGridEvent<Triple>>;
+/// Effects buffer of the UniStore node, parameterized by the storage
+/// backend's message type.
+pub type UniFx<M> = Effects<UniMsg<M>, UniEvent>;
 
 /// Timer kind for the origin-side query deadline (storage-layer timers
-/// use kinds below 100).
+/// use kinds below 100 — see the [`Overlay`] contract).
 const RESULT_TIMEOUT: u32 = 100;
-
-/// How many times the origin re-dispatches a query whose deadline
-/// expired before reporting failure. A forwarded mutant plan that lands
-/// on a crashed peer is lost wholesale; re-dispatching routes through a
-/// different random reference and usually survives (replication keeps
-/// the data reachable, the plan just needs a live path).
-const QUERY_RETRIES: u32 = 2;
 
 /// Mutant plans above this encoded size stop travelling and pull data
 /// instead (shipping megabytes of partial results is worse than a few
@@ -87,10 +80,10 @@ struct Active {
     wait: Option<Wait>,
 }
 
-/// A full UniStore node.
-pub struct UniNode {
+/// A full UniStore node, generic over its storage substrate.
+pub struct UniNode<O: Overlay<Item = Triple>> {
     /// The embedded storage-layer peer.
-    pub pgrid: PGridPeer<Triple>,
+    pub overlay: O,
     /// Cost model snapshot (the paper's gossiped statistics; distributed
     /// by the driver here, see DESIGN.md).
     pub cost: Option<Arc<CostModel>>,
@@ -101,6 +94,9 @@ pub struct UniNode {
     /// Optimizer decisions taken at this node.
     pub trace: Vec<Decision>,
     query_timeout: SimTime,
+    /// How many times the origin re-dispatches a timed-out query
+    /// ([`crate::UniConfig::query_retries`]).
+    query_retries: u32,
     active: FxHashMap<u64, Active>,
     /// storage-layer qid → query qid.
     waiting: FxHashMap<u64, u64>,
@@ -115,23 +111,23 @@ pub struct UniNode {
     exec_counter: u64,
 }
 
-impl UniNode {
-    /// Creates a node at a trie position (wired by the cluster builder).
+impl<O: Overlay<Item = Triple>> UniNode<O> {
+    /// Wraps a wired overlay peer (built by the cluster driver through
+    /// [`Overlay::spawn`]) into a full UniStore node.
     pub fn new(
-        id: NodeId,
-        path: unistore_util::BitPath,
-        pgrid_cfg: PGridConfig,
+        overlay: O,
         query_timeout: SimTime,
+        query_retries: u32,
         plan_mode: PlanMode,
-        seed: u64,
     ) -> Self {
         UniNode {
-            pgrid: PGridPeer::new(id, path, pgrid_cfg, seed),
+            overlay,
             cost: None,
             mappings: MappingSet::new(),
             plan_mode,
             trace: Vec::new(),
             query_timeout,
+            query_retries,
             active: FxHashMap::default(),
             waiting: FxHashMap::default(),
             pending_results: FxHashMap::default(),
@@ -142,7 +138,7 @@ impl UniNode {
 
     /// Node id.
     pub fn id(&self) -> NodeId {
-        self.pgrid.id()
+        self.overlay.id()
     }
 
     fn fresh_exec_qid(&mut self) -> u64 {
@@ -153,53 +149,53 @@ impl UniNode {
 
     /// Runs a storage-layer action, wrapping its effects into the node's
     /// envelope; emitted storage events are routed to waiting plans.
-    fn with_pgrid(&mut self, fx: &mut UniFx, f: impl FnOnce(&mut PGridPeer<Triple>, &mut PgFx)) {
-        let mut pfx: PgFx = Effects::new();
-        f(&mut self.pgrid, &mut pfx);
-        let (sends, timers, emits) = pfx.drain();
+    fn with_overlay(
+        &mut self,
+        fx: &mut UniFx<O::Msg>,
+        f: impl FnOnce(&mut O, &mut Effects<O::Msg, O::Out>),
+    ) {
+        let mut ofx: Effects<O::Msg, O::Out> = Effects::new();
+        f(&mut self.overlay, &mut ofx);
+        let (sends, timers, emits) = ofx.drain();
         for (to, m) in sends {
-            fx.send(to, UniMsg::PGrid(m));
+            fx.send(to, UniMsg::Overlay(m));
         }
         for (d, t) in timers {
             fx.set_timer(d, t);
         }
         for e in emits {
-            self.on_pgrid_event(e, fx);
+            self.on_overlay_event(O::done(e), fx);
         }
     }
 
-    fn on_pgrid_event(&mut self, event: PGridEvent<Triple>, fx: &mut UniFx) {
-        let (qid, items, hops) = match &event {
-            PGridEvent::LookupDone { qid, items, hops, .. } => (*qid, Some(items), *hops),
-            PGridEvent::RangeDone { qid, items, hops, .. } => (*qid, Some(items), *hops),
-            PGridEvent::InsertDone { qid, hops, .. } => (*qid, None, *hops),
-        };
+    fn on_overlay_event(&mut self, done: OverlayDone<Triple>, fx: &mut UniFx<O::Msg>) {
+        let qid = done.qid();
         let Some(query_qid) = self.waiting.remove(&qid) else {
             // Driver-issued raw storage op: surface it.
-            fx.emit(UniEvent::PGrid(event));
+            fx.emit(UniEvent::Storage(done));
             return;
         };
         let Some(active) = self.active.get_mut(&query_qid) else {
             return;
         };
-        let done = match active.wait.as_mut() {
+        let finished = match active.wait.as_mut() {
             Some(Wait::Scan { outstanding, triples, max_hops, .. })
             | Some(Wait::Fetch { outstanding, triples, max_hops, .. }) => {
-                if let Some(items) = items {
+                if let Some(items) = done.items() {
                     triples.extend(items.iter().cloned());
                 }
-                *max_hops = (*max_hops).max(hops);
+                *max_hops = (*max_hops).max(done.hops());
                 *outstanding -= 1;
                 *outstanding == 0
             }
             None => false,
         };
-        if done {
+        if finished {
             self.finish_wait(query_qid, fx);
         }
     }
 
-    fn finish_wait(&mut self, qid: u64, fx: &mut UniFx) {
+    fn finish_wait(&mut self, qid: u64, fx: &mut UniFx<O::Msg>) {
         let Some(mut active) = self.active.remove(&qid) else { return };
         let wait = active.wait.take().expect("finish_wait without wait state");
         let (pattern, mut triples, qgram, max_hops) = match wait {
@@ -227,7 +223,7 @@ impl UniNode {
 
     /// Runs the next step of a plan at this node: reduce, finish, fetch
     /// join, forward, or scan.
-    fn continue_plan(&mut self, mut mqp: Mqp, fx: &mut UniFx) {
+    fn continue_plan(&mut self, mut mqp: Mqp, fx: &mut UniFx<O::Msg>) {
         mqp.root.reduce();
         let qid = mqp.qid;
         if mqp.root.scans_remaining() == 0 {
@@ -244,7 +240,10 @@ impl UniNode {
                     });
                 }
             } else {
-                fx.send(origin, UniMsg::Query(QueryMsg::Result { qid, relation: rel, hops: mqp.hops }));
+                fx.send(
+                    origin,
+                    UniMsg::Query(QueryMsg::Result { qid, relation: rel, hops: mqp.hops }),
+                );
             }
             return;
         }
@@ -261,8 +260,8 @@ impl UniNode {
         // scan's anchor key, unless disabled, too large, or already home.
         if !self.plan_mode.no_forward {
             if let Some(key) = anchor_key(&pattern) {
-                if !self.pgrid.routing().responsible(key) && mqp.wire_size() < FORWARD_BYTE_CAP {
-                    if let Some(next) = self.pgrid.next_hop(key) {
+                if !self.overlay.responsible(key) && mqp.wire_size() < FORWARD_BYTE_CAP {
+                    if let Some(next) = self.overlay.next_hop(key) {
                         mqp.hops += 1;
                         fx.send(next, UniMsg::Query(QueryMsg::Route { key, mqp }));
                         return;
@@ -365,7 +364,7 @@ impl UniNode {
         (strategy == JoinStrategy::Fetch).then_some(plan)
     }
 
-    fn execute_fetch(&mut self, mut mqp: Mqp, plan: FetchPlan, fx: &mut UniFx) {
+    fn execute_fetch(&mut self, mut mqp: Mqp, plan: FetchPlan, fx: &mut UniFx<O::Msg>) {
         let qid = mqp.qid;
         self.trace.push(Decision {
             qid,
@@ -392,11 +391,17 @@ impl UniNode {
             },
         );
         for (q, key) in qids.into_iter().zip(keys) {
-            self.with_pgrid(fx, |p, pfx| p.local_lookup(q, key, pfx));
+            self.with_overlay(fx, |p, ofx| p.local_lookup(q, key, ofx));
         }
     }
 
-    fn execute_scan(&mut self, mqp: Mqp, pattern: TriplePattern, s: ScanStrategy, fx: &mut UniFx) {
+    fn execute_scan(
+        &mut self,
+        mqp: Mqp,
+        pattern: TriplePattern,
+        s: ScanStrategy,
+        fx: &mut UniFx<O::Msg>,
+    ) {
         let qid = mqp.qid;
         // Build the list of storage ops first, register the wait state,
         // then issue — locally resolving ops may complete synchronously.
@@ -466,15 +471,15 @@ impl UniNode {
         );
         for (q, op) in qids.into_iter().zip(ops) {
             match op {
-                Op::Lookup(key) => self.with_pgrid(fx, |p, pfx| p.local_lookup(q, key, pfx)),
+                Op::Lookup(key) => self.with_overlay(fx, |p, ofx| p.local_lookup(q, key, ofx)),
                 Op::Range(lo, hi, mode) => {
-                    self.with_pgrid(fx, |p, pfx| p.local_range(q, lo, hi, mode, pfx))
+                    self.with_overlay(fx, |p, ofx| p.local_range(q, lo, hi, mode, ofx))
                 }
             }
         }
     }
 
-    fn handle_query_msg(&mut self, from: NodeId, msg: QueryMsg, fx: &mut UniFx) {
+    fn handle_query_msg(&mut self, from: NodeId, msg: QueryMsg, fx: &mut UniFx<O::Msg>) {
         match msg {
             QueryMsg::Execute { mqp } => {
                 if from == NodeId::EXTERNAL && NodeId(mqp.origin) == self.id() {
@@ -485,10 +490,10 @@ impl UniNode {
                 self.continue_plan(mqp, fx);
             }
             QueryMsg::Route { key, mqp } => {
-                if self.pgrid.routing().responsible(key) {
+                if self.overlay.responsible(key) {
                     self.continue_plan(mqp, fx);
                 } else {
-                    match self.pgrid.next_hop(key) {
+                    match self.overlay.next_hop(key) {
                         Some(next) => {
                             let mut mqp = mqp;
                             mqp.hops += 1;
@@ -522,12 +527,8 @@ impl UniNode {
     /// results from those attempts are dropped instead of reviving a
     /// plan whose query was already answered, retried or failed.
     fn purge_attempts(&mut self, user_qid: u64) {
-        let stale: Vec<u64> = self
-            .attempt_of
-            .iter()
-            .filter(|&(_, &u)| u == user_qid)
-            .map(|(&a, _)| a)
-            .collect();
+        let stale: Vec<u64> =
+            self.attempt_of.iter().filter(|&(_, &u)| u == user_qid).map(|(&a, _)| a).collect();
         for a in &stale {
             self.attempt_of.remove(a);
             self.active.remove(a);
@@ -579,28 +580,34 @@ impl FetchPlan {
     }
 }
 
-impl NodeBehavior for UniNode {
-    type Msg = UniMsg;
+impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
+    type Msg = UniMsg<O::Msg>;
     type Out = UniEvent;
 
-    fn on_start(&mut self, now: SimTime, fx: &mut UniFx) {
-        self.with_pgrid(fx, |p, pfx| p.on_start(now, pfx));
+    fn on_start(&mut self, now: SimTime, fx: &mut UniFx<O::Msg>) {
+        self.with_overlay(fx, |p, ofx| p.on_start(now, ofx));
     }
 
-    fn on_message(&mut self, now: SimTime, from: NodeId, msg: UniMsg, fx: &mut UniFx) {
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: UniMsg<O::Msg>,
+        fx: &mut UniFx<O::Msg>,
+    ) {
         match msg {
-            UniMsg::PGrid(m) => self.with_pgrid(fx, |p, pfx| p.on_message(now, from, m, pfx)),
+            UniMsg::Overlay(m) => self.with_overlay(fx, |p, ofx| p.on_message(now, from, m, ofx)),
             UniMsg::Query(q) => self.handle_query_msg(from, q, fx),
         }
     }
 
-    fn on_timer(&mut self, now: SimTime, t: Timer, fx: &mut UniFx) {
+    fn on_timer(&mut self, now: SimTime, t: Timer, fx: &mut UniFx<O::Msg>) {
         if t.kind < 100 {
-            self.with_pgrid(fx, |p, pfx| p.on_timer(now, t, pfx));
+            self.with_overlay(fx, |p, ofx| p.on_timer(now, t, ofx));
         } else if t.kind == RESULT_TIMEOUT {
             let qid = t.payload;
             let retry = match self.pending_results.get_mut(&qid) {
-                Some((mqp, attempts)) if *attempts < QUERY_RETRIES => {
+                Some((mqp, attempts)) if *attempts < self.query_retries => {
                     *attempts += 1;
                     Some(mqp.clone())
                 }
@@ -656,11 +663,7 @@ mod tests {
     fn distinct_col_dedups_semantically() {
         let rel = Relation {
             schema: vec![std::sync::Arc::from("x")],
-            rows: vec![
-                vec![Value::Int(3)],
-                vec![Value::Float(3.0)],
-                vec![Value::Int(4)],
-            ],
+            rows: vec![vec![Value::Int(3)], vec![Value::Float(3.0)], vec![Value::Int(4)]],
         };
         assert_eq!(distinct_col(&rel, 0).len(), 2);
     }

@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use unistore_query::{CostModel, GlobalStats};
 use unistore_query::cost::NetParams;
+use unistore_query::{CostModel, GlobalStats};
 use unistore_simnet::SimTime;
 use unistore_store::Triple;
 

@@ -1,0 +1,285 @@
+//! The overlay abstraction: what UniStore's query layer needs from a DHT.
+//!
+//! The paper's layer diagram (Fig. 1) presents the structured overlay as
+//! an interchangeable substrate below the triple storage and query
+//! processing layers. This crate makes that substrate a first-class
+//! abstraction: [`Overlay`] captures exactly the surface the layers
+//! above consume —
+//!
+//! * **retrieval**: exact-key lookups plus order-preserving range scans
+//!   (prefix scans are ranges over the order-preserving key encoding),
+//! * **placement**: routed inserts/deletes and driver-side preloading,
+//! * **routing**: responsibility tests and next-hop selection so mutant
+//!   query plans can travel toward the data,
+//! * **events**: a uniform completion surface ([`OverlayDone`]) for
+//!   locally issued operations,
+//! * **bootstrap**: converged-topology planning ([`OverlayTopology`])
+//!   shared by the simulated cluster driver and the live runtime.
+//!
+//! `unistore-pgrid` implements it natively (the trie *is* the index);
+//! `unistore-chord` implements it with a uniform-hash ring plus an
+//! order-preserving bucket index — the "additional structure" the paper
+//! says ring DHTs need for range queries (§2). The whole
+//! VQL → MQP → adaptive-optimizer pipeline runs unchanged over either.
+
+use unistore_simnet::{Effects, NodeBehavior, NodeId};
+use unistore_util::item::Item;
+use unistore_util::Key;
+
+/// Which range-scan physical algorithm the caller prefers.
+///
+/// Backends map the hint onto their native machinery: P-Grid runs the
+/// shower algorithm for [`RangeMode::Parallel`] and the sequential leaf
+/// walk for [`RangeMode::Sequential`]; Chord serves parallel scans from
+/// its bucket index and falls back to a finger-tree broadcast for the
+/// sequential (index-free) flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RangeMode {
+    /// Fan out across the key space in parallel.
+    Parallel,
+    /// Walk the key space without the parallel fan-out structure.
+    Sequential,
+}
+
+/// Uniform completion of a locally issued overlay operation.
+///
+/// Every backend surfaces its native completion events through
+/// [`Overlay::done`], so the layers above correlate by `qid` without
+/// knowing which DHT answered.
+#[derive(Clone, Debug)]
+pub enum OverlayDone<I> {
+    /// An exact-key lookup finished.
+    Lookup {
+        /// Correlation id.
+        qid: u64,
+        /// Items stored under the key (empty = key absent).
+        items: Vec<I>,
+        /// Hops of the route.
+        hops: u32,
+        /// `false` on routing failure or timeout.
+        ok: bool,
+    },
+    /// A range scan finished.
+    Range {
+        /// Correlation id.
+        qid: u64,
+        /// All matching items (may contain duplicates from replicas or
+        /// double-indexed entries; callers dedup by identity).
+        items: Vec<I>,
+        /// Deepest hop count over all branches.
+        hops: u32,
+        /// `true` when every expected contribution arrived.
+        complete: bool,
+    },
+    /// A routed insert or delete was acknowledged.
+    Insert {
+        /// Correlation id.
+        qid: u64,
+        /// Hops to the responsible peer.
+        hops: u32,
+        /// `false` on timeout.
+        ok: bool,
+    },
+}
+
+impl<I> OverlayDone<I> {
+    /// Correlation id of the completed operation.
+    pub fn qid(&self) -> u64 {
+        match self {
+            OverlayDone::Lookup { qid, .. }
+            | OverlayDone::Range { qid, .. }
+            | OverlayDone::Insert { qid, .. } => *qid,
+        }
+    }
+
+    /// Hop count of the completed operation.
+    pub fn hops(&self) -> u32 {
+        match self {
+            OverlayDone::Lookup { hops, .. }
+            | OverlayDone::Range { hops, .. }
+            | OverlayDone::Insert { hops, .. } => *hops,
+        }
+    }
+
+    /// Retrieved items, when the operation retrieves (`None` for
+    /// inserts/deletes).
+    pub fn items(&self) -> Option<&[I]> {
+        match self {
+            OverlayDone::Lookup { items, .. } | OverlayDone::Range { items, .. } => Some(items),
+            OverlayDone::Insert { .. } => None,
+        }
+    }
+
+    /// Whether the operation fully succeeded (`complete` for ranges,
+    /// `ok` otherwise).
+    pub fn ok(&self) -> bool {
+        match self {
+            OverlayDone::Lookup { ok, .. } | OverlayDone::Insert { ok, .. } => *ok,
+            OverlayDone::Range { complete, .. } => *complete,
+        }
+    }
+}
+
+/// A planned, converged deployment of an overlay: the driver-side view
+/// of where every key lives, produced by [`Overlay::plan`] and consumed
+/// peer-by-peer through [`Overlay::spawn`].
+pub trait OverlayTopology {
+    /// Peer indices that should hold `key` in the converged state
+    /// (replica group, or the owners of every index the backend keeps
+    /// for a key). Drives bulk preloading.
+    fn holders(&self, key: Key) -> Vec<usize>;
+
+    /// Number of data partitions (trie leaves, ring arcs, …); feeds the
+    /// cost model's selectivity estimates.
+    fn partitions(&self) -> usize;
+
+    /// Replication factor of each partition.
+    fn replication(&self) -> usize;
+}
+
+/// A DHT node usable as UniStore's storage substrate.
+///
+/// The trait extends [`NodeBehavior`]: an overlay node is hosted on a
+/// simulated (or live) node, exchanges its own message type and emits
+/// its own event type; [`Overlay::done`] folds the latter into the
+/// uniform [`OverlayDone`]. Backends must keep their timer kinds below
+/// 100 — the embedding node reserves kinds ≥ 100 for the query layer.
+///
+/// `WireMsg`/`Event` restate the hosting [`NodeBehavior`]'s associated
+/// types (the supertrait bound pins them equal) so that embedding
+/// layers generic over `O: Overlay` get the `Debug + Send` bounds the
+/// live threaded runtime needs.
+pub trait Overlay:
+    NodeBehavior<Msg = <Self as Overlay>::WireMsg, Out = <Self as Overlay>::Event>
+    + Sized
+    + Send
+    + 'static
+{
+    /// The backend's network message type (`== NodeBehavior::Msg`).
+    type WireMsg: unistore_util::wire::Wire + Clone + std::fmt::Debug + Send + 'static;
+    /// The backend's native completion event type (`== NodeBehavior::Out`).
+    type Event: std::fmt::Debug + Send + 'static;
+    /// Payload type stored in the overlay.
+    type Item: Item;
+    /// Backend configuration.
+    type Config: Clone + Send + 'static;
+    /// Driver-side deployment plan.
+    type Topology: OverlayTopology;
+
+    /// Human-readable backend name (experiment output).
+    const NAME: &'static str;
+
+    /// Whether [`Overlay::plan`] adapts the topology to the key sample.
+    /// Drivers skip the post-load re-plan for backends that ignore it
+    /// (an order-destroying hash cannot use a key distribution).
+    const ADAPTS_TO_SAMPLE: bool;
+
+    // ---- topology bootstrap -------------------------------------------
+
+    /// Plans a converged `n_peers` deployment. `sample` carries the
+    /// expected key distribution for backends that adapt their topology
+    /// to the data (P-Grid's balanced trie); others ignore it.
+    fn plan(
+        n_peers: usize,
+        cfg: &Self::Config,
+        sample: Option<&[Key]>,
+        seed: u64,
+    ) -> Self::Topology;
+
+    /// Creates peer `peer` of a planned deployment, routing state wired.
+    fn spawn(topology: &Self::Topology, peer: usize, cfg: &Self::Config, seed: u64) -> Self;
+
+    // ---- identity and routing -----------------------------------------
+
+    /// This peer's node id.
+    fn id(&self) -> NodeId;
+
+    /// Whether this peer is responsible for `key`'s primary location.
+    fn responsible(&self, key: Key) -> bool;
+
+    /// Next hop toward the peer responsible for `key`, or `None` when
+    /// the key is local or routing is stuck. May randomize across
+    /// redundant references to spread load.
+    fn next_hop(&mut self, key: Key) -> Option<NodeId>;
+
+    // ---- local placement and retrieval --------------------------------
+
+    /// Places an entry directly into the local store (driver-side bulk
+    /// loading; bypasses the network on purpose). The peer stores the
+    /// entry under every index it is responsible for.
+    fn preload(&mut self, key: Key, item: Self::Item, version: u64);
+
+    /// Issues a locally originated exact-key lookup; completion surfaces
+    /// as an emitted event that [`Overlay::done`] maps to
+    /// [`OverlayDone::Lookup`].
+    fn local_lookup(&mut self, qid: u64, key: Key, fx: &mut Effects<Self::Msg, Self::Out>);
+
+    /// Issues a locally originated range scan over `[lo, hi]`.
+    fn local_range(
+        &mut self,
+        qid: u64,
+        lo: Key,
+        hi: Key,
+        mode: RangeMode,
+        fx: &mut Effects<Self::Msg, Self::Out>,
+    );
+
+    // ---- driver-side routed operations --------------------------------
+
+    /// Message that starts a routed exact-key lookup at the injected
+    /// peer.
+    fn lookup_msg(cfg: &Self::Config, qid: u64, key: Key, origin: NodeId) -> Self::Msg;
+
+    /// Messages that insert `item` under `key` through the routed
+    /// protocol path — one per index the backend maintains, each with
+    /// its own correlation id drawn from `next_qid`.
+    fn insert_msgs(
+        cfg: &Self::Config,
+        next_qid: &mut dyn FnMut() -> u64,
+        key: Key,
+        item: Self::Item,
+        version: u64,
+        origin: NodeId,
+    ) -> Vec<(u64, Self::Msg)>;
+
+    /// Messages that remove the entry with logical identity `ident`
+    /// under `key` from every index (update maintenance).
+    fn delete_msgs(
+        cfg: &Self::Config,
+        next_qid: &mut dyn FnMut() -> u64,
+        key: Key,
+        ident: u64,
+        version: u64,
+        origin: NodeId,
+    ) -> Vec<(u64, Self::Msg)>;
+
+    // ---- event surface ------------------------------------------------
+
+    /// Folds a backend-native completion event into the uniform view.
+    fn done(ev: Self::Out) -> OverlayDone<Self::Item>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_accessors() {
+        let d: OverlayDone<u32> =
+            OverlayDone::Lookup { qid: 7, items: vec![1, 2], hops: 3, ok: true };
+        assert_eq!(d.qid(), 7);
+        assert_eq!(d.hops(), 3);
+        assert_eq!(d.items(), Some(&[1u32, 2][..]));
+        assert!(d.ok());
+
+        let d: OverlayDone<u32> = OverlayDone::Insert { qid: 9, hops: 1, ok: false };
+        assert_eq!(d.qid(), 9);
+        assert!(d.items().is_none());
+        assert!(!d.ok());
+
+        let d: OverlayDone<u32> =
+            OverlayDone::Range { qid: 4, items: vec![], hops: 0, complete: true };
+        assert!(d.ok());
+        assert_eq!(d.items(), Some(&[][..]));
+    }
+}

@@ -57,10 +57,7 @@ impl<I: Item> PGridPeer<I> {
         };
         fx.send(
             target,
-            PGridMsg::Exchange {
-                path: self.routing.path(),
-                store_len: self.store.len() as u64,
-            },
+            PGridMsg::Exchange { path: self.routing.path(), store_len: self.store.len() as u64 },
         );
     }
 
@@ -147,8 +144,7 @@ impl<I: Item> PGridPeer<I> {
             self.routing.set_path(sibling);
             self.routing.add_ref(PeerRef { id: from, path: new_sender_path });
             // Hand over our entries that belong to the sender now.
-            let moved =
-                self.store.split_off_outside(sibling.min_key(), sibling.max_key());
+            let moved = self.store.split_off_outside(sibling.min_key(), sibling.max_key());
             if !moved.is_empty() {
                 fx.send(from, PGridMsg::ExchangeData { entries: moved });
             }
@@ -165,8 +161,7 @@ impl<I: Item> PGridPeer<I> {
         for (key, version, item) in entries {
             if self.routing.responsible(key) {
                 self.store.apply(key, item, version);
-            } else if let RouteDecision::Forward(next, _) = self.routing.route(key, &mut self.rng)
-            {
+            } else if let RouteDecision::Forward(next, _) = self.routing.route(key, &mut self.rng) {
                 fx.send(
                     next,
                     PGridMsg::Insert {
@@ -185,7 +180,11 @@ impl<I: Item> PGridPeer<I> {
     }
 
     /// Both peers hold the same path with little data: converge stores.
-    pub(crate) fn handle_exchange_replica(&mut self, from: NodeId, entries: Vec<(Key, Version, I)>) {
+    pub(crate) fn handle_exchange_replica(
+        &mut self,
+        from: NodeId,
+        entries: Vec<(Key, Version, I)>,
+    ) {
         self.routing.add_replica(from);
         for (key, version, item) in entries {
             self.store.apply(key, item, version);

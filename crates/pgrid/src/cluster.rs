@@ -198,8 +198,7 @@ impl<I: Item> PGridCluster<I> {
     /// Drives the simulation until the event for `qid` is emitted.
     /// The per-query timeout guarantees termination.
     fn run_for_event(&mut self, qid: QueryId) -> Option<(SimTime, PGridEvent<I>)> {
-        let deadline = self.net.now()
-            + SimTime::from_micros(60_000_000_000); // hard cap: 60k simulated seconds
+        let deadline = self.net.now() + SimTime::from_micros(60_000_000_000); // hard cap: 60k simulated seconds
         loop {
             if let Some(pos) = self.net.outputs().iter().position(|(_, _, ev)| {
                 matches!(ev,
@@ -246,8 +245,7 @@ impl<I: Item> PGridCluster<I> {
         let qid = self.fresh_qid();
         let before = self.net.metrics();
         let start = self.net.now();
-        self.net
-            .inject(origin, PGridMsg::Insert { qid, key, item, version, origin, hops: 0 });
+        self.net.inject(origin, PGridMsg::Insert { qid, key, item, version, origin, hops: 0 });
         match self.run_for_event(qid) {
             Some((t, PGridEvent::InsertDone { hops, ok, .. })) => {
                 let d = self.net.metrics().delta(&before);

@@ -137,11 +137,8 @@ pub fn plan_topology(
                 peer_refs[peer].push((p, leaves[peer_leaf[p]]));
             }
         }
-        peer_replicas[peer] = leaf_peers[peer_leaf[peer]]
-            .iter()
-            .copied()
-            .filter(|&p| p != peer)
-            .collect();
+        peer_replicas[peer] =
+            leaf_peers[peer_leaf[peer]].iter().copied().filter(|&p| p != peer).collect();
     }
     TopologyPlan { leaves, peer_leaf, peer_refs, peer_replicas, leaf_peers }
 }

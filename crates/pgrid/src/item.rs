@@ -53,7 +53,13 @@ impl<I: Item> LocalStore<I> {
 
     /// Applies an insert, tombstone or update by identity; the shared
     /// path of local writes, replication pushes and anti-entropy pulls.
-    pub fn apply_record(&mut self, key: Key, ident: u64, item: Option<I>, version: Version) -> bool {
+    pub fn apply_record(
+        &mut self,
+        key: Key,
+        ident: u64,
+        item: Option<I>,
+        version: Version,
+    ) -> bool {
         match self.entries.get_mut(&(key, ident)) {
             Some(existing) if existing.version >= version => false,
             Some(existing) => {
@@ -145,8 +151,10 @@ impl<I: Item> LocalStore<I> {
     /// tombstone over nothing is still recorded so late-arriving old
     /// writes stay dead).
     pub fn remove(&mut self, key: Key, ident: u64, version: Version) -> bool {
-        let was_live =
-            self.entries.get(&(key, ident)).is_some_and(|e| e.item.is_some() && e.version <= version);
+        let was_live = self
+            .entries
+            .get(&(key, ident))
+            .is_some_and(|e| e.item.is_some() && e.version <= version);
         self.apply_record(key, ident, None, version);
         was_live
     }

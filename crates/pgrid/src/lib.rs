@@ -31,6 +31,7 @@ pub mod item;
 pub mod lookup;
 pub mod maintain;
 pub mod msg;
+pub mod overlay;
 pub mod peer;
 pub mod range;
 pub mod replicate;
@@ -40,4 +41,5 @@ pub use cluster::PGridCluster;
 pub use config::PGridConfig;
 pub use item::{Item, LocalStore};
 pub use msg::{PGridEvent, PGridMsg, QueryId, RangeMode};
+pub use overlay::PGridTopology;
 pub use peer::PGridPeer;

@@ -27,11 +27,7 @@ impl<I: Item> PGridPeer<I> {
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
-            self.register_pending(
-                fx,
-                qid,
-                Pending::Lookup { key, attempts: 0, last_hop: None },
-            );
+            self.register_pending(fx, qid, Pending::Lookup { key, attempts: 0, last_hop: None });
             self.issue_lookup(qid, key, None, fx);
             return;
         }
@@ -114,8 +110,7 @@ impl<I: Item> PGridPeer<I> {
         fx: &mut Fx<I>,
     ) {
         if !ok {
-            if let Some(Pending::Lookup { key, attempts, last_hop }) = self.pending.get_mut(&qid)
-            {
+            if let Some(Pending::Lookup { key, attempts, last_hop }) = self.pending.get_mut(&qid) {
                 if *attempts < self.cfg.op_retries {
                     *attempts += 1;
                     let (key, avoid) = (*key, *last_hop);
@@ -261,14 +256,18 @@ impl<I: Item> PGridPeer<I> {
     /// Applies a delete at the responsible leaf; when something was
     /// removed, propagates once through the replica group (replicas that
     /// remove nothing stop the cascade).
-    fn delete_at_leaf(&mut self, key: Key, ident: u64, version: Version, hops: u32, fx: &mut Fx<I>) {
+    fn delete_at_leaf(
+        &mut self,
+        key: Key,
+        ident: u64,
+        version: Version,
+        hops: u32,
+        fx: &mut Fx<I>,
+    ) {
         let removed = self.store.remove(key, ident, version);
         if removed {
             for &r in self.routing.replicas() {
-                fx.send(
-                    r,
-                    PGridMsg::Delete { qid: 0, key, ident, version, origin: self.id, hops },
-                );
+                fx.send(r, PGridMsg::Delete { qid: 0, key, ident, version, origin: self.id, hops });
             }
         }
     }
@@ -317,12 +316,7 @@ mod tests {
     use unistore_util::BitPath;
 
     fn peer(id: u32, path: &str) -> PGridPeer<RawItem> {
-        PGridPeer::new(
-            NodeId(id),
-            BitPath::parse(path).unwrap(),
-            PGridConfig::default(),
-            42,
-        )
+        PGridPeer::new(NodeId(id), BitPath::parse(path).unwrap(), PGridConfig::default(), 42)
     }
 
     #[test]
@@ -405,11 +399,8 @@ mod tests {
         p.handle_insert(NodeId::EXTERNAL, 2, key, RawItem(1), 0, NodeId(0), 0, &mut fx);
         assert_eq!(p.store().get(key), vec![RawItem(1)]);
         // One replicate push + zero acks on the wire (origin = self).
-        let pushes: Vec<_> = fx
-            .sends()
-            .iter()
-            .filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. }))
-            .collect();
+        let pushes: Vec<_> =
+            fx.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. })).collect();
         assert_eq!(pushes.len(), 1);
         assert_eq!(pushes[0].0, NodeId(8));
         assert_eq!(fx.emits().len(), 1);
@@ -424,11 +415,8 @@ mod tests {
         p.handle_insert(NodeId(3), 2, key, RawItem(1), 0, NodeId(3), 0, &mut fx);
         let mut fx2 = Effects::new();
         p.handle_insert(NodeId(3), 3, key, RawItem(1), 0, NodeId(3), 0, &mut fx2);
-        let pushes2 = fx2
-            .sends()
-            .iter()
-            .filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. }))
-            .count();
+        let pushes2 =
+            fx2.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. })).count();
         assert_eq!(pushes2, 0, "unchanged store must not push");
     }
 

@@ -95,8 +95,7 @@ mod tests {
         let mut fx = Effects::new();
         p.run_maintenance(&mut fx);
         let pings = fx.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::Ping { .. })).count();
-        let tables =
-            fx.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::TableRequest)).count();
+        let tables = fx.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::TableRequest)).count();
         assert_eq!(pings, 1);
         assert_eq!(tables, 1);
         assert_eq!(fx.timers().len(), 1, "ping timeout armed");

@@ -555,9 +555,6 @@ mod tests {
     #[test]
     fn bad_tag_rejected() {
         let b = Bytes::from_static(&[200]);
-        assert!(matches!(
-            PGridMsg::<RawItem>::from_bytes(&b),
-            Err(WireError::BadTag(200))
-        ));
+        assert!(matches!(PGridMsg::<RawItem>::from_bytes(&b), Err(WireError::BadTag(200))));
     }
 }

@@ -197,7 +197,14 @@ impl<I: Item> PGridPeer<I> {
     }
 
     /// Issues a locally originated delete.
-    pub fn local_delete(&mut self, qid: QueryId, key: Key, ident: u64, version: u64, fx: &mut Fx<I>) {
+    pub fn local_delete(
+        &mut self,
+        qid: QueryId,
+        key: Key,
+        ident: u64,
+        version: u64,
+        fx: &mut Fx<I>,
+    ) {
         self.handle_delete(NodeId::EXTERNAL, qid, key, ident, version, self.id, 0, fx);
     }
 
@@ -268,13 +275,9 @@ impl<I: Item> PGridPeer<I> {
                     fx.emit(PGridEvent::InsertDone { qid, hops: 0, ok: false })
                 }
             }
-            Pending::Range { items, hops, leaves, .. } => fx.emit(PGridEvent::RangeDone {
-                qid,
-                items,
-                complete: false,
-                hops,
-                leaves,
-            }),
+            Pending::Range { items, hops, leaves, .. } => {
+                fx.emit(PGridEvent::RangeDone { qid, items, complete: false, hops, leaves })
+            }
         }
     }
 }
@@ -350,11 +353,10 @@ impl<I: Item> NodeBehavior for PGridPeer<I> {
                 self.run_anti_entropy(fx);
                 self.arm_periodic(fx, self.cfg.anti_entropy_interval, timer::ANTI_ENTROPY);
             }
-            timer::EXCHANGE
-                if self.bootstrapping => {
-                    self.initiate_exchange(fx);
-                    self.arm_periodic(fx, self.cfg.exchange_interval, timer::EXCHANGE);
-                }
+            timer::EXCHANGE if self.bootstrapping => {
+                self.initiate_exchange(fx);
+                self.arm_periodic(fx, self.cfg.exchange_interval, timer::EXCHANGE);
+            }
             timer::PING_TIMEOUT => self.handle_ping_timeout(t.payload),
             _ => {}
         }

@@ -44,7 +44,12 @@ impl RoutingTable {
     /// Empty table for a peer at `path`.
     pub fn new(path: BitPath, cap: usize) -> Self {
         assert!(cap >= 1, "routing table needs capacity for at least one ref");
-        RoutingTable { path, levels: vec![Vec::new(); path.len() as usize], replicas: Vec::new(), cap }
+        RoutingTable {
+            path,
+            levels: vec![Vec::new(); path.len() as usize],
+            replicas: Vec::new(),
+            cap,
+        }
     }
 
     /// The local peer's trie path.
@@ -186,12 +191,7 @@ impl RoutingTable {
 
     /// Levels that currently have no reference (routing holes).
     pub fn empty_levels(&self) -> Vec<u8> {
-        self.levels
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.is_empty())
-            .map(|(l, _)| l as u8)
-            .collect()
+        self.levels.iter().enumerate().filter(|(_, v)| v.is_empty()).map(|(l, _)| l as u8).collect()
     }
 }
 

@@ -233,9 +233,7 @@ impl CostModel {
                 }
             }
             ScanStrategy::AttrValueLookup { attr, .. } => {
-                let card = st
-                    .attr(attr)
-                    .map_or(0.0, |a| a.count / a.distinct.max(1.0));
+                let card = st.attr(attr).map_or(0.0, |a| a.count / a.distinct.max(1.0));
                 ScanEstimate {
                     cost: CostVector {
                         messages: log_n + 1.0,
@@ -255,9 +253,7 @@ impl CostModel {
                 };
                 let leaves = (card / per_leaf).ceil().clamp(1.0, st.net.n_leaves);
                 let (messages, depth, eff_card) = match algo {
-                    RangeAlgo::Parallel => {
-                        (log_n + 2.0 * leaves, log_n + 2.0, card)
-                    }
+                    RangeAlgo::Parallel => (log_n + 2.0 * leaves, log_n + 2.0, card),
                     RangeAlgo::Sequential => {
                         // Early termination: visit only the leaves needed
                         // to fill the limit.
@@ -267,11 +263,8 @@ impl CostModel {
                             }
                             _ => leaves,
                         };
-                        let eff_card = if eff_leaves < leaves {
-                            card * eff_leaves / leaves
-                        } else {
-                            card
-                        };
+                        let eff_card =
+                            if eff_leaves < leaves { card * eff_leaves / leaves } else { card };
                         (log_n + 2.0 * eff_leaves, log_n + eff_leaves + 1.0, eff_card)
                     }
                 };
@@ -465,12 +458,7 @@ mod tests {
     #[test]
     fn sequential_with_limit_visits_fewer_leaves() {
         let m = model();
-        let strat = |algo| ScanStrategy::AttrRange {
-            attr: "age".into(),
-            lo: None,
-            hi: None,
-            algo,
-        };
+        let strat = |algo| ScanStrategy::AttrRange { attr: "age".into(), lo: None, hi: None, algo };
         let seq_all = m.scan(&strat(RangeAlgo::Sequential), None);
         let seq_lim = m.scan(&strat(RangeAlgo::Sequential), Some(3));
         assert!(seq_lim.cost.messages < seq_all.cost.messages);

@@ -33,8 +33,7 @@ pub fn eval_expr(e: &Expr, rel: &Relation, row: &[Value]) -> bool {
             op.eval(a.cmp_values(&b))
         }
         Expr::Prefix { scalar, prefix } => {
-            let (Some(s), Some(p)) =
-                (eval_scalar(scalar, rel, row), eval_scalar(prefix, rel, row))
+            let (Some(s), Some(p)) = (eval_scalar(scalar, rel, row), eval_scalar(prefix, rel, row))
             else {
                 return false;
             };

@@ -153,11 +153,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.len(), 3);
-        let alice = r
-            .rows
-            .iter()
-            .find(|row| row[0] == Value::str("alice"))
-            .expect("alice row");
+        let alice = r.rows.iter().find(|row| row[0] == Value::str("alice")).expect("alice row");
         assert_eq!(alice[1], Value::str("ICDE 2006"));
     }
 
@@ -210,9 +206,8 @@ mod tests {
     #[test]
     fn top_n() {
         let mut e = engine();
-        let r = e
-            .query("SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g)} ORDER BY ?g TOP 1")
-            .unwrap();
+        let r =
+            e.query("SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g)} ORDER BY ?g TOP 1").unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows[0][0], Value::str("alice"));
     }
@@ -254,9 +249,7 @@ mod tests {
     #[test]
     fn cartesian_product_works() {
         let mut e = engine();
-        let r = e
-            .query("SELECT ?x,?y WHERE {(?a,'series',?x) (?b,'series',?y)}")
-            .unwrap();
+        let r = e.query("SELECT ?x,?y WHERE {(?a,'series',?x) (?b,'series',?y)}").unwrap();
         assert_eq!(r.len(), 9);
     }
 }

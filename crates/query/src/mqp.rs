@@ -101,22 +101,19 @@ impl MqpNode {
                 left: Box::new(Self::from_logical(left)),
                 right: Box::new(Self::from_logical(right)),
             },
-            Logical::Filter { input, expr } => MqpNode::Filter {
-                input: Box::new(Self::from_logical(input)),
-                expr: expr.clone(),
-            },
-            Logical::Project { input, vars } => MqpNode::Project {
-                input: Box::new(Self::from_logical(input)),
-                vars: vars.clone(),
-            },
+            Logical::Filter { input, expr } => {
+                MqpNode::Filter { input: Box::new(Self::from_logical(input)), expr: expr.clone() }
+            }
+            Logical::Project { input, vars } => {
+                MqpNode::Project { input: Box::new(Self::from_logical(input)), vars: vars.clone() }
+            }
             Logical::OrderBy { input, items } => MqpNode::OrderBy {
                 input: Box::new(Self::from_logical(input)),
                 items: items.clone(),
             },
-            Logical::Limit { input, n } => MqpNode::Limit {
-                input: Box::new(Self::from_logical(input)),
-                n: *n as u64,
-            },
+            Logical::Limit { input, n } => {
+                MqpNode::Limit { input: Box::new(Self::from_logical(input)), n: *n as u64 }
+            }
             Logical::TopN { input, items, n } => MqpNode::TopN {
                 input: Box::new(Self::from_logical(input)),
                 items: items.clone(),
@@ -289,7 +286,13 @@ pub struct Mqp {
 
 impl Mqp {
     /// Builds a travelling plan for a query.
-    pub fn new(qid: u64, origin: u32, root: MqpNode, filters: Vec<Expr>, limit: Option<u64>) -> Mqp {
+    pub fn new(
+        qid: u64,
+        origin: u32,
+        root: MqpNode,
+        filters: Vec<Expr>,
+        limit: Option<u64>,
+    ) -> Mqp {
         Mqp { qid, origin, root, filters, limit_hint: limit, hops: 0 }
     }
 }
@@ -423,10 +426,9 @@ impl Wire for MqpNode {
                 left: Box::new(MqpNode::decode(buf)?),
                 right: Box::new(MqpNode::decode(buf)?),
             },
-            tag::FILTER => MqpNode::Filter {
-                input: Box::new(MqpNode::decode(buf)?),
-                expr: Expr::decode(buf)?,
-            },
+            tag::FILTER => {
+                MqpNode::Filter { input: Box::new(MqpNode::decode(buf)?), expr: Expr::decode(buf)? }
+            }
             tag::PROJECT => MqpNode::Project {
                 input: Box::new(MqpNode::decode(buf)?),
                 vars: Wire::decode(buf)?,
@@ -435,10 +437,9 @@ impl Wire for MqpNode {
                 input: Box::new(MqpNode::decode(buf)?),
                 items: Wire::decode(buf)?,
             },
-            tag::LIMIT => MqpNode::Limit {
-                input: Box::new(MqpNode::decode(buf)?),
-                n: Wire::decode(buf)?,
-            },
+            tag::LIMIT => {
+                MqpNode::Limit { input: Box::new(MqpNode::decode(buf)?), n: Wire::decode(buf)? }
+            }
             tag::TOP_N => MqpNode::TopN {
                 input: Box::new(MqpNode::decode(buf)?),
                 items: Wire::decode(buf)?,
@@ -516,9 +517,8 @@ mod tests {
 
     #[test]
     fn reduce_applies_filter_order_limit() {
-        let mut plan = mqp_of(
-            "SELECT ?g WHERE {(?a,'age',?g) FILTER ?g > 10} ORDER BY ?g DESC LIMIT 2",
-        );
+        let mut plan =
+            mqp_of("SELECT ?g WHERE {(?a,'age',?g) FILTER ?g > 10} ORDER BY ?g DESC LIMIT 2");
         let input = rel(
             &["a", "g"],
             vec![
@@ -594,9 +594,7 @@ mod tests {
         );
         // Partially resolve so a Mat node is in the tree too.
         plan.resolve_first_scan(rel(&["a", "n"], vec![vec![Value::str("a1"), Value::str("x")]]));
-        let filters = parse("SELECT ?g WHERE {(?a,'age',?g) FILTER ?g >= 30}")
-            .unwrap()
-            .filters;
+        let filters = parse("SELECT ?g WHERE {(?a,'age',?g) FILTER ?g >= 30}").unwrap().filters;
         let mqp = Mqp::new(42, 7, plan, filters, Some(2));
         let b = mqp.to_bytes();
         assert_eq!(b.len(), mqp.wire_size());

@@ -6,10 +6,8 @@ use crate::relation::Relation;
 
 /// Sorts a relation by the given items (stable, in item priority order).
 pub fn order_by(rel: &mut Relation, items: &[OrderItem]) {
-    let cols: Vec<(usize, SortDir)> = items
-        .iter()
-        .filter_map(|o| rel.col(&o.var).map(|c| (c, o.dir)))
-        .collect();
+    let cols: Vec<(usize, SortDir)> =
+        items.iter().filter_map(|o| rel.col(&o.var).map(|c| (c, o.dir))).collect();
     rel.rows.sort_by(|a, b| {
         for &(c, dir) in &cols {
             let ord = a[c].cmp_values(&b[c]);

@@ -60,12 +60,8 @@ impl Relation {
     /// Natural (hash) join on all shared variables. With no shared
     /// variables this degenerates to the Cartesian product.
     pub fn join(&self, other: &Relation) -> Relation {
-        let shared: Vec<Arc<str>> = self
-            .schema
-            .iter()
-            .filter(|v| other.col(v).is_some())
-            .cloned()
-            .collect();
+        let shared: Vec<Arc<str>> =
+            self.schema.iter().filter(|v| other.col(v).is_some()).cloned().collect();
         let mut schema = self.schema.clone();
         for v in &other.schema {
             if self.col(v).is_none() {
@@ -106,10 +102,7 @@ impl Relation {
                 for &ri in matches {
                     let r = &other.rows[ri];
                     // Verify (hash collisions, numeric equality).
-                    let eq = l_keys
-                        .iter()
-                        .zip(&r_keys)
-                        .all(|(&lk, &rk)| l[lk].eq_values(&r[rk]));
+                    let eq = l_keys.iter().zip(&r_keys).all(|(&lk, &rk)| l[lk].eq_values(&r[rk]));
                     if eq {
                         let mut row = l.clone();
                         row.extend(other_extra.iter().map(|&i| r[i].clone()));
@@ -125,10 +118,8 @@ impl Relation {
     pub fn distinct(&mut self) {
         let mut seen: std::collections::HashSet<Vec<u64>> = Default::default();
         let rows = std::mem::take(&mut self.rows);
-        self.rows = rows
-            .into_iter()
-            .filter(|r| seen.insert(r.iter().map(value_hash).collect()))
-            .collect();
+        self.rows =
+            rows.into_iter().filter(|r| seen.insert(r.iter().map(value_hash).collect())).collect();
     }
 
     /// Union with another relation over the same schema (columns are
@@ -147,8 +138,9 @@ impl Relation {
             .map(|v| other.col(v).unwrap_or_else(|| panic!("union schema mismatch at ?{v}")))
             .collect();
         assert_eq!(self.schema.len(), other.schema.len(), "union schema mismatch");
-        self.rows
-            .extend(other.rows.into_iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect::<Vec<_>>()));
+        self.rows.extend(
+            other.rows.into_iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect::<Vec<_>>()),
+        );
     }
 }
 
@@ -214,14 +206,14 @@ mod tests {
 
     #[test]
     fn join_on_shared_var() {
-        let l = rel(&["a", "name"], &[
-            &[Value::str("a12"), Value::str("alice")],
-            &[Value::str("a13"), Value::str("bob")],
-        ]);
-        let r = rel(&["a", "age"], &[
-            &[Value::str("a12"), Value::Int(30)],
-            &[Value::str("a99"), Value::Int(50)],
-        ]);
+        let l = rel(
+            &["a", "name"],
+            &[&[Value::str("a12"), Value::str("alice")], &[Value::str("a13"), Value::str("bob")]],
+        );
+        let r = rel(
+            &["a", "age"],
+            &[&[Value::str("a12"), Value::Int(30)], &[Value::str("a99"), Value::Int(50)]],
+        );
         let j = l.join(&r);
         assert_eq!(j.schema.len(), 3);
         assert_eq!(j.len(), 1);
@@ -244,10 +236,8 @@ mod tests {
 
     #[test]
     fn multi_var_join() {
-        let l = rel(&["a", "b"], &[
-            &[Value::Int(1), Value::Int(2)],
-            &[Value::Int(1), Value::Int(3)],
-        ]);
+        let l =
+            rel(&["a", "b"], &[&[Value::Int(1), Value::Int(2)], &[Value::Int(1), Value::Int(3)]]);
         let r = rel(&["b", "a"], &[&[Value::Int(2), Value::Int(1)]]);
         let j = l.join(&r);
         assert_eq!(j.len(), 1);
@@ -271,10 +261,10 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let r = rel(&["a", "v"], &[
-            &[Value::str("a12"), Value::Int(2006)],
-            &[Value::str("v34"), Value::Float(0.5)],
-        ]);
+        let r = rel(
+            &["a", "v"],
+            &[&[Value::str("a12"), Value::Int(2006)], &[Value::str("v34"), Value::Float(0.5)]],
+        );
         let b = r.to_bytes();
         assert_eq!(b.len(), r.wire_size());
         assert_eq!(Relation::from_bytes(&b).unwrap(), r);

@@ -34,10 +34,8 @@ pub fn dominates(a: &[Value], b: &[Value], cols: &[(usize, SkyDir)]) -> bool {
 
 /// Reduces a relation to its skyline (block-nested-loops).
 pub fn skyline(rel: &mut Relation, items: &[SkyItem]) {
-    let cols: Vec<(usize, SkyDir)> = items
-        .iter()
-        .filter_map(|s| rel.col(&s.var).map(|c| (c, s.dir)))
-        .collect();
+    let cols: Vec<(usize, SkyDir)> =
+        items.iter().filter_map(|s| rel.col(&s.var).map(|c| (c, s.dir))).collect();
     if cols.is_empty() {
         return;
     }
@@ -95,9 +93,7 @@ mod tests {
         let mut got: Vec<(i64, i64)> = r
             .rows
             .iter()
-            .map(|row| {
-                (row[0].as_f64().unwrap() as i64, row[1].as_f64().unwrap() as i64)
-            })
+            .map(|row| (row[0].as_f64().unwrap() as i64, row[1].as_f64().unwrap() as i64))
             .collect();
         got.sort_unstable();
         assert_eq!(got, vec![(25, 3), (30, 10), (50, 20)]);

@@ -129,9 +129,7 @@ pub fn scan_candidates(pattern: &TriplePattern, filters: &[Expr]) -> Vec<ScanStr
             // Below that (short targets / large k) matches like
             // ed("ICDE","CDR") = 2 share zero grams and would be lost —
             // the planner must fall back to scanning.
-            if let Some((target, k)) =
-                filters.iter().find_map(|f| similarity_for(f, var))
-            {
+            if let Some((target, k)) = filters.iter().find_map(|f| similarity_for(f, var)) {
                 let guaranteed = target.len() as isize
                     - 1
                     - (k as isize - 1) * unistore_store::qgram::QGRAM_Q as isize
@@ -236,9 +234,8 @@ mod tests {
     #[test]
     fn similarity_filter_offers_qgram_when_guaranteed() {
         // k=1 on a 4-char target: threshold 4-1-0 = 3 ≥ 1 → offered.
-        let (p, f) = pattern_and_filters(
-            "SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<2}",
-        );
+        let (p, f) =
+            pattern_and_filters("SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<2}");
         let c = scan_candidates(&p, &f);
         assert!(
             c.iter().any(|s| matches!(s, ScanStrategy::QGram { k: 1, .. })),
@@ -259,9 +256,8 @@ mod tests {
     fn similarity_without_gram_guarantee_not_offered() {
         // k=2 on a 4-char target: threshold 4-1-3 = 0 → a true match may
         // share no grams; the index would drop it. Must not be offered.
-        let (p, f) = pattern_and_filters(
-            "SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<3}",
-        );
+        let (p, f) =
+            pattern_and_filters("SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<3}");
         let c = scan_candidates(&p, &f);
         assert!(
             !c.iter().any(|s| matches!(s, ScanStrategy::QGram { .. })),
@@ -273,9 +269,8 @@ mod tests {
 
     #[test]
     fn prefix_filter_offers_prefix_scan() {
-        let (p, f) = pattern_and_filters(
-            "SELECT ?s WHERE {(?c,'series',?s) FILTER prefix(?s,'IC')}",
-        );
+        let (p, f) =
+            pattern_and_filters("SELECT ?s WHERE {(?c,'series',?s) FILTER prefix(?s,'IC')}");
         let c = scan_candidates(&p, &f);
         assert!(
             c.iter().any(|s| matches!(s, ScanStrategy::AttrPrefix { .. })),

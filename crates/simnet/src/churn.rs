@@ -94,7 +94,8 @@ mod tests {
     impl NodeBehavior for Idle {
         type Msg = NoMsg;
         type Out = ();
-        fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: NoMsg, _fx: &mut Effects<NoMsg, ()>) {}
+        fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: NoMsg, _fx: &mut Effects<NoMsg, ()>) {
+        }
     }
 
     #[test]

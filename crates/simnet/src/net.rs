@@ -79,8 +79,7 @@ pub trait NodeBehavior {
     );
 
     /// Handles a fired timer.
-    fn on_timer(&mut self, _now: SimTime, _timer: Timer, _fx: &mut Effects<Self::Msg, Self::Out>) {
-    }
+    fn on_timer(&mut self, _now: SimTime, _timer: Timer, _fx: &mut Effects<Self::Msg, Self::Out>) {}
 }
 
 enum EventKind<M> {
@@ -394,7 +393,13 @@ mod tests {
             self.started += 1;
         }
 
-        fn on_message(&mut self, _now: SimTime, _from: NodeId, msg: Hop, fx: &mut Effects<Hop, u64>) {
+        fn on_message(
+            &mut self,
+            _now: SimTime,
+            _from: NodeId,
+            msg: Hop,
+            fx: &mut Effects<Hop, u64>,
+        ) {
             if msg.0 == 0 {
                 fx.emit(0);
             } else {
@@ -487,7 +492,14 @@ mod tests {
                 fx.set_timer(SimTime::from_millis(10), Timer::new(1, 10));
                 fx.set_timer(SimTime::from_millis(20), Timer::new(1, 20));
             }
-            fn on_message(&mut self, _n: SimTime, _f: NodeId, _m: NoMsg, _fx: &mut Effects<NoMsg, ()>) {}
+            fn on_message(
+                &mut self,
+                _n: SimTime,
+                _f: NodeId,
+                _m: NoMsg,
+                _fx: &mut Effects<NoMsg, ()>,
+            ) {
+            }
             fn on_timer(&mut self, _now: SimTime, t: Timer, _fx: &mut Effects<NoMsg, ()>) {
                 self.fired.push(t.payload);
             }

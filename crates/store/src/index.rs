@@ -190,14 +190,16 @@ mod tests {
 
     #[test]
     fn fig2_yields_18_primary_index_entries() {
-        let tuples = [Tuple::new("a12")
+        let tuples = [
+            Tuple::new("a12")
                 .with("title", Value::str("Similarity..."))
                 .with("confname", Value::str("ICDE 2006 - Workshops"))
                 .with("year", Value::Int(2006)),
             Tuple::new("v34")
                 .with("title", Value::str("Progressive..."))
                 .with("confname", Value::str("ICDE 2005"))
-                .with("year", Value::Int(2005))];
+                .with("year", Value::Int(2005)),
+        ];
         let entries: usize = tuples
             .iter()
             .flat_map(Tuple::to_triples)

@@ -78,7 +78,12 @@ impl LocalTripleStore {
 
     /// Triples of one attribute with `lo ≤ value ≤ hi` (either bound
     /// optional).
-    pub fn by_attr_range(&self, attr: &str, lo: Option<&Value>, hi: Option<&Value>) -> Vec<&Triple> {
+    pub fn by_attr_range(
+        &self,
+        attr: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Vec<&Triple> {
         self.triples
             .iter()
             .filter(|t| {
@@ -99,8 +104,7 @@ impl LocalTripleStore {
         self.triples
             .iter()
             .filter(|t| {
-                t.attr.as_ref() == attr
-                    && t.value.as_str().is_some_and(|s| s.starts_with(prefix))
+                t.attr.as_ref() == attr && t.value.as_str().is_some_and(|s| s.starts_with(prefix))
             })
             .collect()
     }

@@ -39,7 +39,11 @@ impl Mapping {
 
     /// The metadata triple representing this mapping.
     pub fn to_triple(&self) -> Triple {
-        Triple { oid: crate::triple::Oid(self.from.clone()), attr: Arc::from(MAPS_TO), value: Value::Str(self.to.clone()) }
+        Triple {
+            oid: crate::triple::Oid(self.from.clone()),
+            attr: Arc::from(MAPS_TO),
+            value: Value::Str(self.to.clone()),
+        }
     }
 
     /// Parses a mapping back from a metadata triple.

@@ -119,8 +119,7 @@ mod tests {
         // markers anywhere, just fewer triples.
         let a = Tuple::new("p1").with("name", Value::str("alice")).with("phone", Value::Int(123));
         let b = Tuple::new("p2").with("name", Value::str("bob"));
-        let triples: Vec<Triple> =
-            a.to_triples().into_iter().chain(b.to_triples()).collect();
+        let triples: Vec<Triple> = a.to_triples().into_iter().chain(b.to_triples()).collect();
         assert_eq!(triples.len(), 3);
         let back = Tuple::from_triples(triples);
         assert_eq!(back.len(), 2);

@@ -110,10 +110,7 @@ impl BitPath {
         if self.len == 0 {
             None
         } else {
-            Some(BitPath {
-                bits: self.bits ^ (1 << (63 - (self.len as u32 - 1))),
-                len: self.len,
-            })
+            Some(BitPath { bits: self.bits ^ (1 << (63 - (self.len as u32 - 1))), len: self.len })
         }
     }
 

@@ -62,9 +62,7 @@ impl IntervalSet {
     /// Sum of interval lengths (saturating; full-space coverage returns
     /// `u64::MAX`).
     pub fn covered_len(&self) -> u64 {
-        self.ivs
-            .iter()
-            .fold(0u64, |acc, &(a, b)| acc.saturating_add((b - a).saturating_add(1)))
+        self.ivs.iter().fold(0u64, |acc, &(a, b)| acc.saturating_add((b - a).saturating_add(1)))
     }
 }
 

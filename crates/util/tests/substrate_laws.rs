@@ -20,9 +20,8 @@ use unistore_util::BitPath;
 fn ophash_str_monotone_on_ascii_samples() {
     // The string encoding promises byte-wise order on the first
     // STR_BYTES bytes; for ASCII that is plain lexicographic order.
-    let words = [
-        "", "ICDE", "ICDE 2006", "SIGMOD", "VLDB", "a", "aa", "ab", "b", "icde", "zzzzzzzzz",
-    ];
+    let words =
+        ["", "ICDE", "ICDE 2006", "SIGMOD", "VLDB", "a", "aa", "ab", "b", "icde", "zzzzzzzzz"];
     for a in &words {
         for b in &words {
             let pa = &a.as_bytes()[..a.len().min(STR_BYTES)];

@@ -64,11 +64,8 @@ pub fn analyze(query: Query) -> Result<AnalyzedQuery, VqlError> {
     }
 
     let connected = is_connected(&query);
-    let projection = if query.select.is_empty() {
-        pattern_vars.clone()
-    } else {
-        query.select.clone()
-    };
+    let projection =
+        if query.select.is_empty() { pattern_vars.clone() } else { query.select.clone() };
 
     Ok(AnalyzedQuery { query, pattern_vars, projection, connected })
 }

@@ -291,9 +291,7 @@ impl fmt::Display for Query {
             let items: Vec<String> = self
                 .order_by
                 .iter()
-                .map(|o| {
-                    format!("?{}{}", o.var, if o.dir == SortDir::Desc { " DESC" } else { "" })
-                })
+                .map(|o| format!("?{}{}", o.var, if o.dir == SortDir::Desc { " DESC" } else { "" }))
                 .collect();
             write!(f, " ORDER BY {}", items.join(", "))?;
         }
@@ -301,9 +299,7 @@ impl fmt::Display for Query {
             let items: Vec<String> = self
                 .skyline
                 .iter()
-                .map(|s| {
-                    format!("?{} {}", s.var, if s.dir == SkyDir::Min { "MIN" } else { "MAX" })
-                })
+                .map(|s| format!("?{} {}", s.var, if s.dir == SkyDir::Min { "MIN" } else { "MAX" }))
                 .collect();
             write!(f, " ORDER BY SKYLINE OF {}", items.join(", "))?;
         }

@@ -82,10 +82,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VqlError> {
                 if end == start {
                     return Err(VqlError::new("expected variable name after '?'", i));
                 }
-                out.push(Spanned {
-                    tok: Token::Var(Arc::from(&src[start..end])),
-                    offset: i,
-                });
+                out.push(Spanned { tok: Token::Var(Arc::from(&src[start..end])), offset: i });
                 i = end;
             }
             b'\'' => {
@@ -110,16 +107,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VqlError> {
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let end = ident_end(bytes, i);
                 let word = &src[i..end];
-                let tok = keyword(word)
-                    .unwrap_or_else(|| Token::Ident(Arc::from(word)));
+                let tok = keyword(word).unwrap_or_else(|| Token::Ident(Arc::from(word)));
                 out.push(Spanned { tok, offset: i });
                 i = end;
             }
             other => {
-                return Err(VqlError::new(
-                    format!("unexpected character '{}'", other as char),
-                    i,
-                ));
+                return Err(VqlError::new(format!("unexpected character '{}'", other as char), i));
             }
         }
     }
@@ -130,7 +123,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VqlError> {
 /// Identifier characters: alphanumerics, `_`, `:` (namespaces), `.`.
 fn ident_end(bytes: &[u8], mut i: usize) -> usize {
     while i < bytes.len()
-        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':' || bytes[i] == b'.')
+        && (bytes[i].is_ascii_alphanumeric()
+            || bytes[i] == b'_'
+            || bytes[i] == b':'
+            || bytes[i] == b'.')
     {
         i += 1;
     }
@@ -178,14 +174,11 @@ fn lex_number(src: &str, start: usize, negative: bool) -> Result<(Token, usize),
     }
     let text = &src[start..i];
     let tok = if is_float {
-        let v: f64 = text
-            .parse()
-            .map_err(|_| VqlError::new("invalid float literal", start))?;
+        let v: f64 = text.parse().map_err(|_| VqlError::new("invalid float literal", start))?;
         Token::Float(if negative { -v } else { v })
     } else {
-        let v: i64 = text
-            .parse()
-            .map_err(|_| VqlError::new("integer literal out of range", start))?;
+        let v: i64 =
+            text.parse().map_err(|_| VqlError::new("integer literal out of range", start))?;
         Token::Int(if negative { -v } else { v })
     };
     Ok((tok, i))
@@ -201,71 +194,77 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("select WHERE Filter"), vec![
-            Token::Select,
-            Token::Where,
-            Token::Filter,
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("select WHERE Filter"),
+            vec![Token::Select, Token::Where, Token::Filter, Token::Eof]
+        );
     }
 
     #[test]
     fn variables_and_idents() {
-        assert_eq!(toks("?a edist ns:attr"), vec![
-            Token::Var(Arc::from("a")),
-            Token::Ident(Arc::from("edist")),
-            Token::Ident(Arc::from("ns:attr")),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("?a edist ns:attr"),
+            vec![
+                Token::Var(Arc::from("a")),
+                Token::Ident(Arc::from("edist")),
+                Token::Ident(Arc::from("ns:attr")),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(toks("'ICDE 2006 - WS'"), vec![
-            Token::Str(Arc::from("ICDE 2006 - WS")),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("'ICDE 2006 - WS'"),
+            vec![Token::Str(Arc::from("ICDE 2006 - WS")), Token::Eof]
+        );
         assert_eq!(toks("'it''s'"), vec![Token::Str(Arc::from("it's")), Token::Eof]);
         assert!(lex("'unterminated").is_err());
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("2006 -5 3.25 -0.5"), vec![
-            Token::Int(2006),
-            Token::Int(-5),
-            Token::Float(3.25),
-            Token::Float(-0.5),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("2006 -5 3.25 -0.5"),
+            vec![
+                Token::Int(2006),
+                Token::Int(-5),
+                Token::Float(3.25),
+                Token::Float(-0.5),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn operators_and_punctuation() {
-        assert_eq!(toks("( ) { } , * = != < <= > >="), vec![
-            Token::LParen,
-            Token::RParen,
-            Token::LBrace,
-            Token::RBrace,
-            Token::Comma,
-            Token::Star,
-            Token::Eq,
-            Token::Ne,
-            Token::Lt,
-            Token::Le,
-            Token::Gt,
-            Token::Ge,
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("( ) { } , * = != < <= > >="),
+            vec![
+                Token::LParen,
+                Token::RParen,
+                Token::LBrace,
+                Token::RBrace,
+                Token::Comma,
+                Token::Star,
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("SELECT # comment\n?x"), vec![
-            Token::Select,
-            Token::Var(Arc::from("x")),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("SELECT # comment\n?x"),
+            vec![Token::Select, Token::Var(Arc::from("x")), Token::Eof]
+        );
     }
 
     #[test]

@@ -78,10 +78,7 @@ impl Parser {
         if self.peek() == &Token::Eof {
             Ok(())
         } else {
-            Err(VqlError::new(
-                format!("unexpected trailing input: {}", self.peek()),
-                self.offset(),
-            ))
+            Err(VqlError::new(format!("unexpected trailing input: {}", self.peek()), self.offset()))
         }
     }
 
@@ -112,7 +109,10 @@ impl Parser {
             }
         }
         if patterns.is_empty() {
-            return Err(VqlError::new("WHERE block needs at least one triple pattern", self.offset()));
+            return Err(VqlError::new(
+                "WHERE block needs at least one triple pattern",
+                self.offset(),
+            ));
         }
         let mut q = Query {
             select,
@@ -251,9 +251,7 @@ impl Parser {
                 self.expect(Token::RParen)?;
                 Ok(Scalar::EDist(Box::new(a), Box::new(b)))
             }
-            Token::Ident(name) => {
-                Err(VqlError::new(format!("unknown function '{name}'"), off))
-            }
+            Token::Ident(name) => Err(VqlError::new(format!("unknown function '{name}'"), off)),
             other => Err(VqlError::new(format!("expected scalar, found {other}"), off)),
         }
     }
@@ -323,10 +321,7 @@ impl Parser {
                 Token::Min => SkyDir::Min,
                 Token::Max => SkyDir::Max,
                 other => {
-                    return Err(VqlError::new(
-                        format!("expected MIN or MAX, found {other}"),
-                        off,
-                    ));
+                    return Err(VqlError::new(format!("expected MIN or MAX, found {other}"), off));
                 }
             };
             items.push(SkyItem { var, dir });
@@ -410,10 +405,8 @@ mod tests {
 
     #[test]
     fn multiple_filters_allowed() {
-        let q = parse(
-            "SELECT ?n WHERE {(?a,'age',?g) FILTER ?g > 1 (?a,'name',?n) FILTER ?g < 9}",
-        )
-        .unwrap();
+        let q = parse("SELECT ?n WHERE {(?a,'age',?g) FILTER ?g > 1 (?a,'name',?n) FILTER ?g < 9}")
+            .unwrap();
         assert_eq!(q.filters.len(), 2);
         assert_eq!(q.patterns.len(), 2);
     }
@@ -464,10 +457,9 @@ mod tests {
             other => panic!("unexpected filter {other:?}"),
         }
         // Composes with boolean operators and roundtrips via Display.
-        let q = parse(
-            "SELECT ?s WHERE {(?c,'series',?s) FILTER prefix(?s,'IC') AND NOT ?s = 'ICDE'}",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?s WHERE {(?c,'series',?s) FILTER prefix(?s,'IC') AND NOT ?s = 'ICDE'}")
+                .unwrap();
         let printed = q.to_string();
         assert_eq!(parse(&printed).unwrap(), q);
     }

@@ -48,9 +48,18 @@ const FIRST: &[&str] = &[
 ];
 
 const TOPICS: &[&str] = &[
-    "Similarity Queries", "Skyline Processing", "Range Indexing", "Trie Overlays",
-    "Update Propagation", "Cost Models", "Schema Mappings", "Triple Stores",
-    "Query Routing", "Load Balancing", "Gossip Protocols", "Adaptive Plans",
+    "Similarity Queries",
+    "Skyline Processing",
+    "Range Indexing",
+    "Trie Overlays",
+    "Update Propagation",
+    "Cost Models",
+    "Schema Mappings",
+    "Triple Stores",
+    "Query Routing",
+    "Load Balancing",
+    "Gossip Protocols",
+    "Adaptive Plans",
 ];
 
 /// A generated world: authors, publications, conferences.
@@ -121,12 +130,7 @@ impl PubWorld {
     /// Everything as one tuple stream (load order: conferences,
     /// publications, authors).
     pub fn all_tuples(&self) -> Vec<Tuple> {
-        self.conferences
-            .iter()
-            .chain(&self.publications)
-            .chain(&self.authors)
-            .cloned()
-            .collect()
+        self.conferences.iter().chain(&self.publications).chain(&self.authors).cloned().collect()
     }
 
     /// Total triple count after decomposition.
@@ -182,21 +186,14 @@ mod tests {
 
     #[test]
     fn skew_concentrates_popularity() {
-        let p = PubParams {
-            n_authors: 200,
-            n_conferences: 10,
-            conf_skew: 1.2,
-            ..Default::default()
-        };
+        let p =
+            PubParams { n_authors: 200, n_conferences: 10, conf_skew: 1.2, ..Default::default() };
         let w = PubWorld::generate(&p, 5);
         let mut counts = [0usize; 10];
         for publ in &w.publications {
             let conf = publ.get("published_in").unwrap();
-            let idx = w
-                .conferences
-                .iter()
-                .position(|c| c.get("confname").unwrap() == conf)
-                .unwrap();
+            let idx =
+                w.conferences.iter().position(|c| c.get("confname").unwrap() == conf).unwrap();
             counts[idx] += 1;
         }
         let max = *counts.iter().max().unwrap();

@@ -55,18 +55,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..200 {
             let t = inject_typo("ICDE", &mut rng);
-            assert!(
-                edit_distance("ICDE", &t) <= 2,
-                "typo {t:?} drifted too far from ICDE"
-            );
+            assert!(edit_distance("ICDE", &t) <= 2, "typo {t:?} drifted too far from ICDE");
         }
     }
 
     #[test]
     fn typo_usually_changes_the_string() {
         let mut rng = StdRng::seed_from_u64(4);
-        let changed =
-            (0..100).filter(|_| inject_typo("SIGMOD", &mut rng) != "SIGMOD").count();
+        let changed = (0..100).filter(|_| inject_typo("SIGMOD", &mut rng) != "SIGMOD").count();
         assert!(changed > 80);
     }
 

@@ -47,9 +47,7 @@ fn main() {
     );
 
     // Schema-level querying works the same way: attributes are data.
-    let out = cluster
-        .query(origin, "SELECT ?attr WHERE {('p1',?attr,?v)}")
-        .expect("valid VQL");
+    let out = cluster.query(origin, "SELECT ?attr WHERE {('p1',?attr,?v)}").expect("valid VQL");
     let attrs: Vec<String> = out.relation.rows.iter().map(|r| r[0].to_string()).collect();
     println!("p1's schema: {}", attrs.join(", "));
 }

@@ -1,6 +1,10 @@
 //! Oracle tests: every distributed execution must produce exactly the
-//! rows the local reference engine produces on the same data.
+//! rows the local reference engine produces on the same data — over
+//! *both* overlay backends. Each case runs the identical VQL text on a
+//! P-Grid deployment and a Chord deployment of the same world and
+//! asserts the three relations (P-Grid, Chord, oracle) are identical.
 
+use unistore::backends::{chord_config, ChordUniCluster};
 use unistore::{UniCluster, UniConfig};
 use unistore_query::Relation;
 use unistore_store::Value;
@@ -30,37 +34,55 @@ fn normalize(rel: &Relation) -> Vec<Vec<String>> {
     rows
 }
 
-fn check(cluster: &mut UniCluster, queries: &[&str]) {
-    let oracle = cluster.oracle();
+/// One world, two deployments: the paper's native P-Grid substrate and
+/// the Chord ring with its auxiliary bucket index.
+struct BothBackends {
+    pgrid: UniCluster,
+    chord: ChordUniCluster,
+}
+
+fn check(both: &mut BothBackends, queries: &[&str]) {
+    let oracle = both.pgrid.oracle();
     for (i, q) in queries.iter().enumerate() {
-        let origin = cluster.random_node();
-        let dist = cluster.query(origin, q).expect("query parses");
-        assert!(dist.ok, "query {i} timed out: {q}");
         let mut local = oracle.clone();
-        let expected = local.query(q).expect("oracle parses");
-        assert_eq!(
-            normalize(&dist.relation),
-            normalize(&expected),
-            "query {i} diverged from oracle: {q}"
-        );
+        let expected = normalize(&local.query(q).expect("oracle parses"));
+
+        let origin = both.pgrid.random_node();
+        let pg = both.pgrid.query(origin, q).expect("query parses");
+        assert!(pg.ok, "query {i} timed out on P-Grid: {q}");
+        let pg_rows = normalize(&pg.relation);
+        assert_eq!(pg_rows, expected, "query {i} diverged from oracle on P-Grid: {q}");
+
+        let origin = both.chord.random_node();
+        let ch = both.chord.query(origin, q).expect("query parses");
+        assert!(ch.ok, "query {i} timed out on Chord: {q}");
+        let ch_rows = normalize(&ch.relation);
+        assert_eq!(ch_rows, expected, "query {i} diverged from oracle on Chord: {q}");
+
+        // The acceptance bar for the pluggable overlay: identical
+        // relations from both backends, not merely oracle-equal.
+        assert_eq!(pg_rows, ch_rows, "query {i}: backends disagree: {q}");
     }
 }
 
-fn world_cluster(n_peers: usize, seed: u64) -> UniCluster {
+fn world_clusters(n_peers: usize, seed: u64) -> BothBackends {
     let world = PubWorld::generate(
         &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
         seed,
     );
-    let mut cluster = UniCluster::build(n_peers, UniConfig::default(), seed);
-    cluster.load(world.all_tuples());
-    cluster
+    let tuples = world.all_tuples();
+    let mut pgrid = UniCluster::build(n_peers, UniConfig::default(), seed);
+    pgrid.load(tuples.clone());
+    let mut chord = ChordUniCluster::build_overlay(n_peers, chord_config(), seed);
+    chord.load(tuples);
+    BothBackends { pgrid, chord }
 }
 
 #[test]
 fn point_and_range_queries_match_oracle() {
-    let mut cluster = world_cluster(16, 42);
+    let mut both = world_clusters(16, 42);
     check(
-        &mut cluster,
+        &mut both,
         &[
             "SELECT ?n WHERE {(?a,'name',?n)}",
             "SELECT ?a WHERE {(?a,'age',30)}",
@@ -73,9 +95,9 @@ fn point_and_range_queries_match_oracle() {
 
 #[test]
 fn join_queries_match_oracle() {
-    let mut cluster = world_cluster(16, 43);
+    let mut both = world_clusters(16, 43);
     check(
-        &mut cluster,
+        &mut both,
         &[
             // Two-way join.
             "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
@@ -92,9 +114,9 @@ fn join_queries_match_oracle() {
 
 #[test]
 fn ranking_queries_match_oracle() {
-    let mut cluster = world_cluster(16, 44);
+    let mut both = world_clusters(16, 44);
     check(
-        &mut cluster,
+        &mut both,
         &[
             "SELECT ?g,?n WHERE {(?a,'name',?n) (?a,'age',?g)} ORDER BY ?g, ?n",
             "SELECT ?n,?c WHERE {(?a,'name',?n) (?a,'num_of_pubs',?c)}
@@ -107,9 +129,9 @@ fn ranking_queries_match_oracle() {
 
 #[test]
 fn similarity_queries_match_oracle() {
-    let mut cluster = world_cluster(16, 45);
+    let mut both = world_clusters(16, 45);
     check(
-        &mut cluster,
+        &mut both,
         &[
             "SELECT ?s WHERE {(?c,'series',?s) FILTER edist(?s,'ICDE')<3}",
             "SELECT ?cn WHERE {(?c,'series',?s) (?c,'confname',?cn)
@@ -120,11 +142,12 @@ fn similarity_queries_match_oracle() {
 
 #[test]
 fn prefix_queries_match_oracle() {
-    let mut cluster = world_cluster(16, 51);
+    let mut both = world_clusters(16, 51);
     check(
-        &mut cluster,
+        &mut both,
         &[
-            // Native prefix search on the order-preserving index.
+            // Native prefix search on the order-preserving index (served
+            // by the bucket index on the Chord side).
             "SELECT ?cn WHERE {(?c,'confname',?cn) FILTER prefix(?cn,'ICDE')}",
             "SELECT ?n WHERE {(?a,'name',?n) FILTER prefix(?n,'alice')}",
             // Composed with a join.
@@ -136,9 +159,9 @@ fn prefix_queries_match_oracle() {
 
 #[test]
 fn paper_flagship_query_matches_oracle() {
-    let mut cluster = world_cluster(24, 46);
+    let mut both = world_clusters(24, 46);
     check(
-        &mut cluster,
+        &mut both,
         &["SELECT ?name,?age,?cnt
            WHERE {(?a,'name',?name) (?a,'age',?age)
                   (?a,'num_of_pubs',?cnt)
@@ -152,9 +175,9 @@ fn paper_flagship_query_matches_oracle() {
 
 #[test]
 fn schema_and_value_queries_match_oracle() {
-    let mut cluster = world_cluster(16, 47);
+    let mut both = world_clusters(16, 47);
     check(
-        &mut cluster,
+        &mut both,
         &[
             // Schema-level: which attributes does an object have?
             "SELECT ?attr WHERE {('auth0',?attr,?v)}",
@@ -168,9 +191,9 @@ fn schema_and_value_queries_match_oracle() {
 fn projection_only_queries_match_oracle() {
     // No filter, no ranking: the plan is scan + project, exercised both
     // on a single pattern and on a join whose columns are then dropped.
-    let mut cluster = world_cluster(16, 52);
+    let mut both = world_clusters(16, 52);
     check(
-        &mut cluster,
+        &mut both,
         &[
             // Project the subject variable, dropping the matched value.
             "SELECT ?a WHERE {(?a,'num_of_pubs',?c)}",
@@ -187,9 +210,9 @@ fn string_filter_queries_match_oracle() {
     // FILTER over string-typed values: equality, ordering (the
     // order-preserving index must agree with real string comparison),
     // and inequality composed with a join.
-    let mut cluster = world_cluster(16, 53);
+    let mut both = world_clusters(16, 53);
     check(
-        &mut cluster,
+        &mut both,
         &[
             "SELECT ?a WHERE {(?a,'name',?n) FILTER ?n = 'alice-0'}",
             "SELECT ?s WHERE {(?c,'series',?s) FILTER ?s >= 'P' AND ?s < 'W'}",
@@ -204,9 +227,9 @@ fn string_filter_queries_match_oracle() {
 fn multi_join_queries_match_oracle() {
     // Longer join chains than the basic join suite: five and six
     // patterns, joining through both subject and value positions.
-    let mut cluster = world_cluster(16, 54);
+    let mut both = world_clusters(16, 54);
     check(
-        &mut cluster,
+        &mut both,
         &[
             // Five-way chain: author → publication → conference.
             "SELECT ?n,?cn,?y WHERE {(?a,'name',?n) (?a,'has_published',?t)
@@ -228,26 +251,31 @@ fn multi_join_queries_match_oracle() {
 #[test]
 fn oracle_agreement_across_network_sizes() {
     for n in [4usize, 8, 32, 64] {
-        let mut cluster = world_cluster(n, 48);
-        check(
-            &mut cluster,
-            &["SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}"],
-        );
+        let mut both = world_clusters(n, 48);
+        check(&mut both, &["SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}"]);
     }
 }
 
 #[test]
 fn replication_does_not_duplicate_results() {
+    // P-Grid-specific: replica groups answer the same scan; the result
+    // must still be a set. (Chord keeps one copy per index instead and
+    // is covered by the dual-index dedup in every other test.)
     let world = PubWorld::generate(&PubParams { n_authors: 30, ..Default::default() }, 49);
     let mut cluster = UniCluster::build(24, UniConfig::default().with_replication(3), 49);
     cluster.load(world.all_tuples());
-    check(
-        &mut cluster,
-        &[
-            "SELECT ?n WHERE {(?a,'name',?n)}",
-            "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
-        ],
-    );
+    let oracle = cluster.oracle();
+    for q in [
+        "SELECT ?n WHERE {(?a,'name',?n)}",
+        "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
+    ] {
+        let origin = cluster.random_node();
+        let dist = cluster.query(origin, q).expect("query parses");
+        assert!(dist.ok, "query timed out: {q}");
+        let mut local = oracle.clone();
+        let expected = local.query(q).expect("oracle parses");
+        assert_eq!(normalize(&dist.relation), normalize(&expected), "diverged: {q}");
+    }
 }
 
 #[test]
@@ -257,18 +285,19 @@ fn heterogeneous_world_with_mappings_matches_oracle() {
         50,
     );
     let hetero = unistore_workload::hetero::heterogenize(&world, 2);
-    let mut cluster = UniCluster::build(16, UniConfig::default(), 50);
-    cluster.load(hetero.tuples.clone());
+    let mut pgrid = UniCluster::build(16, UniConfig::default(), 50);
+    pgrid.load(hetero.tuples.clone());
+    let mut chord = ChordUniCluster::build_overlay(16, chord_config(), 50);
+    chord.load(hetero.tuples.clone());
     for m in &hetero.mappings {
-        cluster.add_mapping(m);
+        pgrid.add_mapping(m);
+        chord.add_mapping(m);
     }
-    // Query under the *original* schema; mapped tuples must surface.
-    let origin = cluster.random_node();
-    let dist = cluster.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
-    assert!(dist.ok);
-    // The oracle sees the same mapping triples (loaded via add_mapping).
-    let mut oracle = cluster.oracle();
-    let expected = oracle.query("SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
-    assert_eq!(normalize(&dist.relation), normalize(&expected));
+    let mut both = BothBackends { pgrid, chord };
+    // Query under the *original* schema; mapped tuples must surface on
+    // both backends.
+    check(&mut both, &["SELECT ?n WHERE {(?a,'name',?n)}"]);
+    let origin = both.pgrid.random_node();
+    let dist = both.pgrid.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
     assert_eq!(dist.relation.len(), 30, "all 30 authors despite split schemas");
 }

@@ -13,11 +13,8 @@ use unistore_store::{Oid, Triple, Tuple, Value};
 use unistore_workload::{PubParams, PubWorld};
 
 fn small_world(seed: u64) -> Vec<Tuple> {
-    PubWorld::generate(
-        &PubParams { n_authors: 25, n_conferences: 8, ..Default::default() },
-        seed,
-    )
-    .all_tuples()
+    PubWorld::generate(&PubParams { n_authors: 25, n_conferences: 8, ..Default::default() }, seed)
+        .all_tuples()
 }
 
 #[test]
@@ -25,15 +22,12 @@ fn protocol_insert_then_query() {
     let mut cluster = UniCluster::build(16, UniConfig::default(), 1);
     cluster.load(small_world(1));
     // Insert a brand-new author over the routed protocol path.
-    let tuple = Tuple::new("auth-new")
-        .with("name", Value::str("zed"))
-        .with("age", Value::Int(29));
+    let tuple = Tuple::new("auth-new").with("name", Value::str("zed")).with("age", Value::Int(29));
     let (ok, cost) = cluster.insert_tuple(NodeId(2), &tuple);
     assert!(ok, "protocol insert must be acked");
     assert!(cost.messages > 0, "inserts traverse the overlay");
-    let out = cluster
-        .query(NodeId(9), "SELECT ?g WHERE {(?a,'name','zed') (?a,'age',?g)}")
-        .unwrap();
+    let out =
+        cluster.query(NodeId(9), "SELECT ?g WHERE {(?a,'name','zed') (?a,'age',?g)}").unwrap();
     assert!(out.ok);
     assert_eq!(out.relation.rows, vec![vec![Value::Int(29)]]);
 }
@@ -56,9 +50,8 @@ fn update_supersedes_old_value_in_all_indexes() {
     let out = cluster.query(NodeId(7), "SELECT ?a WHERE {(?a,'age',99)}").unwrap();
     assert_eq!(out.relation.len(), 1);
     let old_val = old.value.as_f64().unwrap() as i64;
-    let out = cluster
-        .query(NodeId(7), &format!("SELECT ?x WHERE {{(?x,'age',{old_val})}}"))
-        .unwrap();
+    let out =
+        cluster.query(NodeId(7), &format!("SELECT ?x WHERE {{(?x,'age',{old_val})}}")).unwrap();
     assert!(
         !out.relation.rows.iter().any(|r| r[0] == Value::str("auth0")),
         "stale A#v entry must be deleted"
@@ -146,15 +139,10 @@ fn fetch_join_vs_collect_join() {
         "selective join should fetch; trace: {traces:?}"
     );
     // Forcing collect gives the same rows.
-    cluster.set_plan_mode(PlanMode {
-        join_pref: Some(JoinStrategy::Collect),
-        ..Default::default()
-    });
+    cluster
+        .set_plan_mode(PlanMode { join_pref: Some(JoinStrategy::Collect), ..Default::default() });
     let out_collect = cluster.query(NodeId(0), q).unwrap();
-    assert_eq!(
-        normalize_strings(&out_auto.relation),
-        normalize_strings(&out_collect.relation)
-    );
+    assert_eq!(normalize_strings(&out_auto.relation), normalize_strings(&out_collect.relation));
 }
 
 #[test]
@@ -169,10 +157,7 @@ fn mutant_plans_travel_unless_disabled() {
     // Forwarding off: same answer, executed from the origin.
     cluster.set_plan_mode(PlanMode { no_forward: true, ..Default::default() });
     let without = cluster.query(NodeId(1), q).unwrap();
-    assert_eq!(
-        normalize_strings(&with_fwd.relation),
-        normalize_strings(&without.relation)
-    );
+    assert_eq!(normalize_strings(&with_fwd.relation), normalize_strings(&without.relation));
 }
 
 #[test]
@@ -195,6 +180,55 @@ fn live_threaded_runtime_answers_queries() {
         Tuple::new("p3").with("name", Value::str("carol")).with("age", Value::Int(50)),
     ];
     let mut live = LiveCluster::start(4, UniConfig::default(), tuples, 9);
+    let rel = live
+        .query(
+            NodeId(0),
+            "SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 40}",
+            Duration::from_secs(10),
+        )
+        .expect("parses")
+        .expect("answers within deadline");
+    assert_eq!(rel.len(), 2);
+    live.shutdown();
+}
+
+#[test]
+fn chord_backend_protocol_insert_update_and_query() {
+    use unistore::backends::{chord_config, ChordUniCluster};
+    // The routed write path over the ring backend: every insert pays
+    // both indexes; updates delete the stale entries from both.
+    let mut cluster = ChordUniCluster::build_overlay(16, chord_config(), 11);
+    cluster.load(small_world(11));
+    let tuple = Tuple::new("auth-new").with("name", Value::str("zed")).with("age", Value::Int(29));
+    let (ok, cost) = cluster.insert_tuple(NodeId(2), &tuple);
+    assert!(ok, "protocol insert must be acked");
+    assert!(cost.messages > 0, "inserts traverse the ring");
+    let out =
+        cluster.query(NodeId(9), "SELECT ?g WHERE {(?a,'name','zed') (?a,'age',?g)}").unwrap();
+    assert!(out.ok);
+    assert_eq!(out.relation.rows, vec![vec![Value::Int(29)]]);
+
+    // Update through the protocol path supersedes every index entry.
+    let old = Triple::new("auth-new", "age", Value::Int(29));
+    assert!(cluster.update(NodeId(3), &old, Value::Int(99), 1));
+    let out = cluster.query(NodeId(5), "SELECT ?g WHERE {('auth-new','age',?g)}").unwrap();
+    assert_eq!(out.relation.rows, vec![vec![Value::Int(99)]]);
+    let out = cluster.query(NodeId(7), "SELECT ?x WHERE {(?x,'age',29)}").unwrap();
+    assert!(
+        !out.relation.rows.iter().any(|r| r[0] == Value::str("auth-new")),
+        "stale A#v entry must be deleted from the bucket index too"
+    );
+}
+
+#[test]
+fn live_threaded_runtime_answers_queries_over_chord() {
+    use unistore::backends::{chord_config, ChordLiveCluster};
+    let tuples = vec![
+        Tuple::new("p1").with("name", Value::str("alice")).with("age", Value::Int(30)),
+        Tuple::new("p2").with("name", Value::str("bob")).with("age", Value::Int(40)),
+        Tuple::new("p3").with("name", Value::str("carol")).with("age", Value::Int(50)),
+    ];
+    let mut live = ChordLiveCluster::start_overlay(4, chord_config(), tuples, 12);
     let rel = live
         .query(
             NodeId(0),

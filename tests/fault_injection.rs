@@ -20,9 +20,9 @@ fn cluster_with_world(n: usize, cfg: UniConfig, seed: u64) -> UniCluster {
 /// tests finish quickly.
 fn robust_cfg() -> UniConfig {
     let mut cfg = UniConfig::default().with_replication(3);
-    cfg.pgrid.refs_per_level = 4;
+    cfg.overlay.refs_per_level = 4;
     cfg.query_timeout = SimTime::from_secs(30);
-    cfg.pgrid.query_timeout = SimTime::from_secs(8);
+    cfg.overlay.query_timeout = SimTime::from_secs(8);
     cfg
 }
 
@@ -70,7 +70,7 @@ fn crashed_minority_does_not_stop_point_queries() {
 #[test]
 fn churn_with_maintenance_keeps_success_rate_up() {
     let mut cfg = robust_cfg().with_maintenance(SimTime::from_secs(5), SimTime::from_secs(10));
-    cfg.pgrid.ping_timeout = SimTime::from_secs(1);
+    cfg.overlay.ping_timeout = SimTime::from_secs(1);
     let mut cluster = cluster_with_world(32, cfg, 13);
     let mut rng = unistore_util::rng::derive_rng(13, unistore_util::rng::stream::CHURN);
     let churn = ChurnConfig {
@@ -89,9 +89,7 @@ fn churn_with_maintenance_keeps_success_rate_up() {
             continue;
         }
         total += 1;
-        let out = cluster
-            .query(origin, "SELECT ?n WHERE {(?a,'name',?n)}")
-            .unwrap();
+        let out = cluster.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
         succeeded += out.ok as u32;
     }
     assert!(total >= 6, "driver should find live origins");
@@ -106,7 +104,7 @@ fn range_coverage_flags_incompleteness_under_partition() {
     // Crash ALL replicas of some leaf; a full-attribute range query must
     // not silently return a partial answer as complete.
     let mut cfg = UniConfig { query_timeout: SimTime::from_secs(10), ..UniConfig::default() };
-    cfg.pgrid.query_timeout = SimTime::from_secs(5);
+    cfg.overlay.query_timeout = SimTime::from_secs(5);
     let mut cluster = cluster_with_world(16, cfg, 14);
     // Take down half the network — some leaf certainly dies entirely.
     for i in 0..8u32 {
@@ -121,10 +119,7 @@ fn range_coverage_flags_incompleteness_under_partition() {
     let out = cluster.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
     // Either the query honestly failed, or it returned fewer rows —
     // never a fabricated complete answer.
-    assert!(
-        !out.ok || out.relation.len() <= oracle_count,
-        "no fabricated rows under partition"
-    );
+    assert!(!out.ok || out.relation.len() <= oracle_count, "no fabricated rows under partition");
     if out.ok {
         assert!(
             out.relation.len() < oracle_count,
@@ -140,7 +135,7 @@ fn anti_entropy_propagates_updates_to_lagging_replicas() {
     let mut cfg = UniConfig::default()
         .with_replication(3)
         .with_maintenance(SimTime::from_secs(1_000_000_000), SimTime::from_secs(10));
-    cfg.pgrid.query_timeout = SimTime::from_secs(5);
+    cfg.overlay.query_timeout = SimTime::from_secs(5);
     let mut cluster = cluster_with_world(12, cfg, 15);
 
     // Crash one replica of auth0's OID leaf, then update auth0's age.
@@ -154,7 +149,7 @@ fn anti_entropy_propagates_updates_to_lagging_replicas() {
     // Find the replica group by asking each node whether it stores the key.
     let holders: Vec<NodeId> = (0..12u32)
         .map(NodeId)
-        .filter(|&n| !cluster.net.node(n).pgrid.store().get(key).is_empty())
+        .filter(|&n| !cluster.net.node(n).overlay.store().get(key).is_empty())
         .collect();
     assert!(holders.len() >= 3, "replication 3 expected, got {holders:?}");
     let lagging = holders[0];
@@ -167,20 +162,17 @@ fn anti_entropy_propagates_updates_to_lagging_replicas() {
     // Revive the lagging replica: it still has the old version.
     cluster.net.schedule_up(lagging, cluster.net.now());
     cluster.settle(SimTime::from_millis(1));
-    let stale = cluster.net.node(lagging).pgrid.store().get(key);
+    let stale = cluster.net.node(lagging).overlay.store().get(key);
     assert!(
-        stale.iter().any(|t| t.attr.as_ref() == "age"
-            && t.value.as_f64() != Some(77.0)),
+        stale.iter().any(|t| t.attr.as_ref() == "age" && t.value.as_f64() != Some(77.0)),
         "lagging replica should still hold the stale age"
     );
 
     // Let anti-entropy run (10 s interval): pulls the new version.
     cluster.settle(SimTime::from_secs(120));
-    let after = cluster.net.node(lagging).pgrid.store().get(key);
+    let after = cluster.net.node(lagging).overlay.store().get(key);
     assert!(
-        after
-            .iter()
-            .any(|t| t.attr.as_ref() == "age" && t.value.as_f64() == Some(77.0)),
+        after.iter().any(|t| t.attr.as_ref() == "age" && t.value.as_f64() == Some(77.0)),
         "anti-entropy must deliver the updated value, got {after:?}"
     );
 }

@@ -55,7 +55,11 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range for length {}", self.len());
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of range for length {}",
+            self.len()
+        );
         Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
     }
 

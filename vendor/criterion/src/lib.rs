@@ -23,10 +23,7 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId {
-            function: Some(function.to_string()),
-            parameter: Some(parameter.to_string()),
-        }
+        BenchmarkId { function: Some(function.to_string()), parameter: Some(parameter.to_string()) }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
@@ -116,9 +113,7 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) {
-        run_bench(&format!("{}/{}", self.name, id.render()), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_bench(&format!("{}/{}", self.name, id.render()), self.sample_size, |b| f(b, input));
     }
 
     pub fn finish(self) {}
@@ -141,8 +136,11 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     }
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("{label:<48} mean {:>12}  min {:>12}  ({samples} samples x {iters} iters)",
-        fmt_time(mean), fmt_time(min));
+    println!(
+        "{label:<48} mean {:>12}  min {:>12}  ({samples} samples x {iters} iters)",
+        fmt_time(mean),
+        fmt_time(min)
+    );
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -193,9 +191,7 @@ mod tests {
                 runs += 1;
             })
         });
-        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| b.iter(|| n * 2));
         group.finish();
         assert!(runs > 0, "benchmark closure must execute");
     }

@@ -33,15 +33,9 @@ mod tests {
         assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(1)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
         drop(tx);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(1)),
-            Err(RecvTimeoutError::Disconnected)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

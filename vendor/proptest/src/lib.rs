@@ -220,7 +220,9 @@ fn parse_regex(pattern: &str) -> Vec<(Atom, usize, usize)> {
             }
             '\\' => {
                 i += 2;
-                Atom::Lit(*chars.get(i - 1).unwrap_or_else(|| panic!("dangling escape in {pattern:?}")))
+                Atom::Lit(
+                    *chars.get(i - 1).unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                )
             }
             '[' => {
                 let mut ranges = Vec::new();
