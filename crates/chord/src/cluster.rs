@@ -140,7 +140,7 @@ impl<I: Item> ChordCluster<I> {
         let start = self.net.now();
         self.net.inject(
             origin,
-            ChordMsg::Lookup { qid, ring_key: ring_key_exact(key), origin, hops: 0 },
+            ChordMsg::Lookup { qid, ring_key: ring_key_exact(key), origin, hops: 0, filter: None },
         );
         match self.run_for_event(qid) {
             Some((t, ChordEvent::LookupDone { entries, hops, ok, .. })) => {
@@ -210,7 +210,7 @@ impl<I: Item> ChordCluster<I> {
             ChordRangeMode::Buckets => ChordMsg::BucketRange { qid, lo, hi, origin },
             ChordRangeMode::Broadcast => {
                 let self_ring = self.net.node(origin).ring_id();
-                ChordMsg::Bcast { qid, lo, hi, limit: self_ring, hops: 0 }
+                ChordMsg::Bcast { qid, lo, hi, limit: self_ring, hops: 0, filter: None }
             }
         };
         self.net.inject(origin, msg);

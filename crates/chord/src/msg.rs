@@ -5,7 +5,7 @@ use bytes::{Bytes, BytesMut};
 use unistore_simnet::NodeId;
 use unistore_util::item::Item;
 use unistore_util::wire::{Wire, WireError};
-use unistore_util::Key;
+use unistore_util::{ItemFilter, Key};
 
 /// Correlation id.
 pub type QueryId = u64;
@@ -23,6 +23,8 @@ pub enum ChordMsg<I> {
         origin: NodeId,
         /// Hops so far.
         hops: u32,
+        /// Semi-join filter the owner applies before replying.
+        filter: Option<ItemFilter>,
     },
     /// Answer to [`ChordMsg::Lookup`] or [`ChordMsg::BucketGet`]:
     /// `(original key, item)` pairs.
@@ -107,6 +109,8 @@ pub enum ChordMsg<I> {
         origin: NodeId,
         /// Hops so far.
         hops: u32,
+        /// Semi-join filter the bucket owner applies before replying.
+        filter: Option<ItemFilter>,
     },
     /// Broadcast range query (finger spanning tree, El-Ansary style).
     /// Covers ring positions in `(sender, limit)`.
@@ -121,6 +125,8 @@ pub enum ChordMsg<I> {
         limit: u64,
         /// Hops from the origin.
         hops: u32,
+        /// Semi-join filter every node applies to its local scan.
+        filter: Option<ItemFilter>,
     },
     /// Convergecast reply: a subtree's aggregated matches.
     BcastReply {
@@ -150,12 +156,13 @@ mod tag {
 impl<I: Item> Wire for ChordMsg<I> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            ChordMsg::Lookup { qid, ring_key, origin, hops } => {
+            ChordMsg::Lookup { qid, ring_key, origin, hops, filter } => {
                 tag::LOOKUP.encode(buf);
                 qid.encode(buf);
                 ring_key.encode(buf);
                 origin.encode(buf);
                 hops.encode(buf);
+                filter.encode(buf);
             }
             ChordMsg::LookupReply { qid, entries, hops, ok } => {
                 tag::LOOKUP_REPLY.encode(buf);
@@ -196,7 +203,7 @@ impl<I: Item> Wire for ChordMsg<I> {
                 hi.encode(buf);
                 origin.encode(buf);
             }
-            ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops } => {
+            ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops, filter } => {
                 tag::BUCKET_GET.encode(buf);
                 qid.encode(buf);
                 ring_key.encode(buf);
@@ -204,14 +211,16 @@ impl<I: Item> Wire for ChordMsg<I> {
                 hi.encode(buf);
                 origin.encode(buf);
                 hops.encode(buf);
+                filter.encode(buf);
             }
-            ChordMsg::Bcast { qid, lo, hi, limit, hops } => {
+            ChordMsg::Bcast { qid, lo, hi, limit, hops, filter } => {
                 tag::BCAST.encode(buf);
                 qid.encode(buf);
                 lo.encode(buf);
                 hi.encode(buf);
                 limit.encode(buf);
                 hops.encode(buf);
+                filter.encode(buf);
             }
             ChordMsg::BcastReply { qid, entries, nodes, hops } => {
                 tag::BCAST_REPLY.encode(buf);
@@ -231,6 +240,7 @@ impl<I: Item> Wire for ChordMsg<I> {
                 ring_key: Wire::decode(buf)?,
                 origin: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                filter: Wire::decode(buf)?,
             },
             tag::LOOKUP_REPLY => ChordMsg::LookupReply {
                 qid: Wire::decode(buf)?,
@@ -272,6 +282,7 @@ impl<I: Item> Wire for ChordMsg<I> {
                 hi: Wire::decode(buf)?,
                 origin: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                filter: Wire::decode(buf)?,
             },
             tag::BCAST => ChordMsg::Bcast {
                 qid: Wire::decode(buf)?,
@@ -279,6 +290,7 @@ impl<I: Item> Wire for ChordMsg<I> {
                 hi: Wire::decode(buf)?,
                 limit: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                filter: Wire::decode(buf)?,
             },
             tag::BCAST_REPLY => ChordMsg::BcastReply {
                 qid: Wire::decode(buf)?,
@@ -345,7 +357,17 @@ mod tests {
     fn all_variants_roundtrip() {
         let entries = vec![(5u64, RawItem(5)), (6, RawItem(6))];
         let msgs: Vec<ChordMsg<RawItem>> = vec![
-            ChordMsg::Lookup { qid: 1, ring_key: 99, origin: NodeId(2), hops: 3 },
+            ChordMsg::Lookup { qid: 1, ring_key: 99, origin: NodeId(2), hops: 3, filter: None },
+            ChordMsg::Lookup {
+                qid: 1,
+                ring_key: 99,
+                origin: NodeId(2),
+                hops: 3,
+                filter: Some(ItemFilter {
+                    field: 2,
+                    bloom: unistore_util::BloomFilter::from_hashes([1u64, 2, 3], 0.01),
+                }),
+            },
             ChordMsg::LookupReply { qid: 1, entries: entries.clone(), hops: 4, ok: true },
             ChordMsg::Insert {
                 qid: 2,
@@ -374,8 +396,9 @@ mod tests {
                 hi: 90,
                 origin: NodeId(1),
                 hops: 2,
+                filter: None,
             },
-            ChordMsg::Bcast { qid: 4, lo: 0, hi: u64::MAX, limit: 12345, hops: 1 },
+            ChordMsg::Bcast { qid: 4, lo: 0, hi: u64::MAX, limit: 12345, hops: 1, filter: None },
             ChordMsg::BcastReply { qid: 4, entries, nodes: 17, hops: 6 },
         ];
         for m in msgs {
@@ -401,13 +424,13 @@ mod tests {
             origin: NodeId(u32::MAX - 1),
             hops: u32::MAX,
         });
-        roundtrip(ChordMsg::Bcast { qid: 1, lo: u64::MAX, hi: 0, limit: 0, hops: 0 });
+        roundtrip(ChordMsg::Bcast { qid: 1, lo: u64::MAX, hi: 0, limit: 0, hops: 0, filter: None });
     }
 
     #[test]
     fn truncated_input_rejected() {
         let msg: ChordMsg<RawItem> =
-            ChordMsg::Lookup { qid: 1, ring_key: 99, origin: NodeId(2), hops: 3 };
+            ChordMsg::Lookup { qid: 1, ring_key: 99, origin: NodeId(2), hops: 3, filter: None };
         let full = msg.to_bytes();
         for cut in 0..full.len() {
             let b = Bytes::copy_from_slice(&full[..cut]);

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_util::fxhash::mix64;
 use unistore_util::rng::{derive_rng, stream};
-use unistore_util::{FxHashMap, Key};
+use unistore_util::{FxHashMap, ItemFilter, Key};
 
 pub use unistore_util::item::Item;
 
@@ -174,27 +174,30 @@ impl<I: Item> ChordNode<I> {
         ring_key: u64,
         origin: NodeId,
         hops: u32,
-        filter: Option<(Key, Key)>,
+        range: Option<(Key, Key)>,
+        filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
             self.register(fx, qid, Pending::Lookup);
         }
         if self.responsible(ring_key) {
-            let entries: Vec<(Key, I)> = match filter {
+            let mut found = match range {
                 None => self.store.get(ring_key),
                 Some((lo, hi)) => self.store.get_filtered(ring_key, lo, hi),
+            };
+            // Semi-join pushdown: drop non-matching items at the data.
+            if let Some(f) = &filter {
+                found.retain(|e| f.accepts(&e.item));
             }
-            .into_iter()
-            .map(|e| (e.key, e.item))
-            .collect();
+            let entries: Vec<(Key, I)> = found.into_iter().map(|e| (e.key, e.item)).collect();
             self.answer_lookup(qid, origin, entries, hops, true, fx);
         } else {
             let next = self.next_hop(ring_key);
-            let msg = match filter {
-                None => ChordMsg::Lookup { qid, ring_key, origin, hops: hops + 1 },
+            let msg = match range {
+                None => ChordMsg::Lookup { qid, ring_key, origin, hops: hops + 1, filter },
                 Some((lo, hi)) => {
-                    ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops: hops + 1 }
+                    ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops: hops + 1, filter }
                 }
             };
             fx.send(next, msg);
@@ -326,19 +329,54 @@ impl<I: Item> ChordNode<I> {
     /// UniStore node calls this as if it were the driver); completion
     /// arrives as a [`ChordEvent::LookupDone`] emit.
     pub fn local_lookup(&mut self, qid: QueryId, key: Key, fx: &mut Fx<I>) {
-        self.handle_lookup(NodeId::EXTERNAL, qid, ring_key_exact(key), self.id, 0, None, fx);
+        self.local_lookup_filtered(qid, key, None, fx);
+    }
+
+    /// Locally originated exact-key lookup carrying a semi-join filter
+    /// the owner applies before replying.
+    pub fn local_lookup_filtered(
+        &mut self,
+        qid: QueryId,
+        key: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Fx<I>,
+    ) {
+        self.handle_lookup(
+            NodeId::EXTERNAL,
+            qid,
+            ring_key_exact(key),
+            self.id,
+            0,
+            None,
+            filter,
+            fx,
+        );
     }
 
     /// Issues a locally originated range scan over original keys
     /// `[lo, hi]` through the auxiliary bucket index.
-    pub fn local_bucket_range(&mut self, qid: QueryId, lo: Key, hi: Key, fx: &mut Fx<I>) {
-        self.handle_bucket_range(qid, lo, hi, fx);
+    pub fn local_bucket_range(
+        &mut self,
+        qid: QueryId,
+        lo: Key,
+        hi: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Fx<I>,
+    ) {
+        self.handle_bucket_range(qid, lo, hi, filter, fx);
     }
 
     /// Issues a locally originated range scan via the finger-tree
     /// broadcast (the index-free fallback plain Chord must use).
-    pub fn local_broadcast_range(&mut self, qid: QueryId, lo: Key, hi: Key, fx: &mut Fx<I>) {
-        self.handle_bcast(NodeId::EXTERNAL, qid, lo, hi, self.ring_id, 0, fx);
+    pub fn local_broadcast_range(
+        &mut self,
+        qid: QueryId,
+        lo: Key,
+        hi: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Fx<I>,
+    ) {
+        self.handle_bcast(NodeId::EXTERNAL, qid, lo, hi, self.ring_id, 0, filter, fx);
     }
 
     /// Places an entry directly into the local store under every index
@@ -356,7 +394,14 @@ impl<I: Item> ChordNode<I> {
 
     /// Origin-side bucket fan-out: one [`ChordMsg::BucketGet`] per bucket
     /// intersecting `[lo, hi]`.
-    fn handle_bucket_range(&mut self, qid: QueryId, lo: Key, hi: Key, fx: &mut Fx<I>) {
+    fn handle_bucket_range(
+        &mut self,
+        qid: QueryId,
+        lo: Key,
+        hi: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Fx<I>,
+    ) {
         let depth = self.cfg.bucket_depth as u32;
         let b_lo = lo >> (64 - depth);
         let b_hi = hi >> (64 - depth);
@@ -368,9 +413,18 @@ impl<I: Item> ChordNode<I> {
         );
         for b in b_lo..=b_hi {
             let ring_key = mix64(b ^ BUCKET_SALT);
-            // Route each bucket fetch like a filtered lookup, starting
-            // at ourselves.
-            self.handle_lookup(self.id, qid, ring_key, self.id, 0, Some((lo, hi)), fx);
+            // Route each bucket fetch like a range-restricted lookup,
+            // starting at ourselves.
+            self.handle_lookup(
+                self.id,
+                qid,
+                ring_key,
+                self.id,
+                0,
+                Some((lo, hi)),
+                filter.clone(),
+                fx,
+            );
         }
     }
 
@@ -385,11 +439,15 @@ impl<I: Item> ChordNode<I> {
         hi: Key,
         limit: u64,
         hops: u32,
+        filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
         let parent = if from == NodeId::EXTERNAL { None } else { Some(from) };
-        let local: Vec<(Key, I)> =
-            self.store.scan_by_key(lo, hi).into_iter().map(|e| (e.key, e.item)).collect();
+        let mut found = self.store.scan_by_key(lo, hi);
+        if let Some(f) = &filter {
+            found.retain(|e| f.accepts(&e.item));
+        }
+        let local: Vec<(Key, I)> = found.into_iter().map(|e| (e.key, e.item)).collect();
         // Children: fingers strictly inside (self, limit), each getting
         // the sub-interval up to the next finger (or the limit). At the
         // origin `limit == self.ring_id`, which means the full circle.
@@ -413,7 +471,17 @@ impl<I: Item> ChordNode<I> {
         );
         for (i, &(node, _)) in inside.iter().enumerate() {
             let child_limit = if i + 1 < inside.len() { inside[i + 1].1 } else { limit };
-            fx.send(node, ChordMsg::Bcast { qid, lo, hi, limit: child_limit, hops: hops + 1 });
+            fx.send(
+                node,
+                ChordMsg::Bcast {
+                    qid,
+                    lo,
+                    hi,
+                    limit: child_limit,
+                    hops: hops + 1,
+                    filter: filter.clone(),
+                },
+            );
         }
         if expected == 0 {
             self.finish_bcast(qid, fx);
@@ -500,8 +568,8 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
     fn on_message(&mut self, _now: SimTime, from: NodeId, msg: ChordMsg<I>, fx: &mut Fx<I>) {
         self.msg_load += 1;
         match msg {
-            ChordMsg::Lookup { qid, ring_key, origin, hops } => {
-                self.handle_lookup(from, qid, ring_key, origin, hops, None, fx)
+            ChordMsg::Lookup { qid, ring_key, origin, hops, filter } => {
+                self.handle_lookup(from, qid, ring_key, origin, hops, None, filter, fx)
             }
             ChordMsg::LookupReply { qid, entries, hops, ok } => {
                 self.handle_lookup_reply(qid, entries, hops, ok, fx)
@@ -513,12 +581,14 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
             ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops } => {
                 self.handle_delete(from, qid, ring_key, key, ident, version, origin, hops, fx)
             }
-            ChordMsg::BucketRange { qid, lo, hi, .. } => self.handle_bucket_range(qid, lo, hi, fx),
-            ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops } => {
-                self.handle_lookup(from, qid, ring_key, origin, hops, Some((lo, hi)), fx)
+            ChordMsg::BucketRange { qid, lo, hi, .. } => {
+                self.handle_bucket_range(qid, lo, hi, None, fx)
             }
-            ChordMsg::Bcast { qid, lo, hi, limit, hops } => {
-                self.handle_bcast(from, qid, lo, hi, limit, hops, fx)
+            ChordMsg::BucketGet { qid, ring_key, lo, hi, origin, hops, filter } => {
+                self.handle_lookup(from, qid, ring_key, origin, hops, Some((lo, hi)), filter, fx)
+            }
+            ChordMsg::Bcast { qid, lo, hi, limit, hops, filter } => {
+                self.handle_bcast(from, qid, lo, hi, limit, hops, filter, fx)
             }
             ChordMsg::BcastReply { qid, entries, nodes, hops } => {
                 self.handle_bcast_reply(qid, entries, nodes, hops, fx)

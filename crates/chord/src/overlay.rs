@@ -6,7 +6,7 @@
 //! need for range queries (§2). Every write pays both indexes, which is
 //! part of the honest comparison against P-Grid.
 
-use unistore_overlay::{Overlay, OverlayDone, RangeMode};
+use unistore_overlay::{ItemFilter, Overlay, OverlayDone, RangeMode};
 use unistore_simnet::{Effects, NodeId};
 use unistore_util::Key;
 
@@ -23,6 +23,7 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
 
     const NAME: &'static str = "Chord";
     const ADAPTS_TO_SAMPLE: bool = false;
+    const PUSHES_FILTERS: bool = true;
 
     fn plan(
         n_peers: usize,
@@ -77,13 +78,38 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
         fx: &mut Effects<ChordMsg<I>, ChordEvent<I>>,
     ) {
         match mode {
-            RangeMode::Parallel => self.local_bucket_range(qid, lo, hi, fx),
-            RangeMode::Sequential => self.local_broadcast_range(qid, lo, hi, fx),
+            RangeMode::Parallel => self.local_bucket_range(qid, lo, hi, None, fx),
+            RangeMode::Sequential => self.local_broadcast_range(qid, lo, hi, None, fx),
+        }
+    }
+
+    fn local_lookup_filtered(
+        &mut self,
+        qid: u64,
+        key: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Effects<ChordMsg<I>, ChordEvent<I>>,
+    ) {
+        ChordNode::local_lookup_filtered(self, qid, key, filter, fx)
+    }
+
+    fn local_range_filtered(
+        &mut self,
+        qid: u64,
+        lo: Key,
+        hi: Key,
+        mode: RangeMode,
+        filter: Option<ItemFilter>,
+        fx: &mut Effects<ChordMsg<I>, ChordEvent<I>>,
+    ) {
+        match mode {
+            RangeMode::Parallel => self.local_bucket_range(qid, lo, hi, filter, fx),
+            RangeMode::Sequential => self.local_broadcast_range(qid, lo, hi, filter, fx),
         }
     }
 
     fn lookup_msg(_cfg: &ChordConfig, qid: u64, key: Key, origin: NodeId) -> ChordMsg<I> {
-        ChordMsg::Lookup { qid, ring_key: ring_key_exact(key), origin, hops: 0 }
+        ChordMsg::Lookup { qid, ring_key: ring_key_exact(key), origin, hops: 0, filter: None }
     }
 
     fn insert_msgs(

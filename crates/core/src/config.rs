@@ -24,11 +24,16 @@ pub enum ScanPref {
 pub struct PlanMode {
     /// Forced scan preference (None = cost-based).
     pub scan_pref: Option<ScanPref>,
-    /// Forced join strategy (None = cost-based).
+    /// Forced join strategy (None = cost-based). Forcing
+    /// [`JoinStrategy::SemiJoin`] turns the Bloom-filter pushdown on
+    /// wherever a join site admits it.
     pub join_pref: Option<JoinStrategy>,
     /// Whether plans may travel to the data (mutant forwarding). When
     /// `false` every step executes from the current peer.
     pub no_forward: bool,
+    /// Disables the Bloom-filtered semi-join pushdown in cost-based
+    /// planning (experiments compare shipped bytes with and without it).
+    pub no_semi_join: bool,
 }
 
 /// Cluster-level configuration, generic over the storage backend's own
@@ -89,6 +94,14 @@ impl<C> UniConfig<C> {
         self.query_retries = retries;
         self
     }
+
+    /// Forces the Bloom-filtered semi-join pushdown on or off for every
+    /// node (on by default; experiments flip it to measure the shipped
+    /// bytes it saves).
+    pub fn with_semi_join(mut self, enabled: bool) -> Self {
+        self.plan_mode.no_semi_join = !enabled;
+        self
+    }
 }
 
 impl UniConfig<PGridConfig> {
@@ -129,5 +142,15 @@ mod tests {
         assert_eq!(c.overlay.replication, 3);
         assert_eq!(c.overlay.maintenance_interval, SimTime::from_secs(30));
         assert_eq!(c.query_retries, 5);
+    }
+
+    #[test]
+    fn semi_join_knob_toggles_plan_mode() {
+        let c = UniConfig::default();
+        assert!(!c.plan_mode.no_semi_join, "pushdown on by default");
+        let c = c.with_semi_join(false);
+        assert!(c.plan_mode.no_semi_join);
+        let c = c.with_semi_join(true);
+        assert!(!c.plan_mode.no_semi_join);
     }
 }

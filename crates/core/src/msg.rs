@@ -139,7 +139,13 @@ mod tests {
         );
         let rel = Relation { schema: vec![Arc::from("n")], rows: vec![vec![Value::str("alice")]] };
         let msgs: Vec<UniMsg<PGridMsg<Triple>>> = vec![
-            UniMsg::Overlay(PGridMsg::Lookup { qid: 1, key: 2, origin: NodeId(3), hops: 0 }),
+            UniMsg::Overlay(PGridMsg::Lookup {
+                qid: 1,
+                key: 2,
+                origin: NodeId(3),
+                hops: 0,
+                filter: None,
+            }),
             UniMsg::Query(QueryMsg::Execute { mqp: mqp.clone() }),
             UniMsg::Query(QueryMsg::Route { key: 99, mqp }),
             UniMsg::Query(QueryMsg::Result { qid: 7, relation: rel, hops: 5 }),
@@ -155,8 +161,13 @@ mod tests {
     #[test]
     fn envelope_roundtrip_chord_backend() {
         // The same envelope carries any backend's storage messages.
-        let m: UniMsg<ChordMsg<Triple>> =
-            UniMsg::Overlay(ChordMsg::Lookup { qid: 4, ring_key: 77, origin: NodeId(1), hops: 2 });
+        let m: UniMsg<ChordMsg<Triple>> = UniMsg::Overlay(ChordMsg::Lookup {
+            qid: 4,
+            ring_key: 77,
+            origin: NodeId(1),
+            hops: 2,
+            filter: None,
+        });
         let b = m.to_bytes();
         assert_eq!(b.len(), m.wire_size());
         let back = UniMsg::<ChordMsg<Triple>>::from_bytes(&b).unwrap();

@@ -15,15 +15,17 @@ use std::sync::Arc;
 use unistore_overlay::{Overlay, OverlayDone, RangeMode};
 use unistore_query::local::dedup_rows;
 use unistore_query::mqp::bind_triples;
+use unistore_query::relation::value_hash;
 use unistore_query::strategy::scan_candidates;
 use unistore_query::{CostModel, JoinStrategy, Mqp, RangeAlgo, Relation, ScanStrategy};
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_store::index as idx;
 use unistore_store::mapping::MappingSet;
 use unistore_store::qgram;
+use unistore_store::triple::field;
 use unistore_store::{Oid, Triple, Value};
 use unistore_util::wire::Wire;
-use unistore_util::{FxHashMap, FxHashSet, Key};
+use unistore_util::{BloomFilter, FxHashMap, FxHashSet, ItemFilter, Key};
 use unistore_vql::{Term, TriplePattern};
 
 use crate::config::{PlanMode, ScanPref};
@@ -43,8 +45,12 @@ const RESULT_TIMEOUT: u32 = 100;
 const FORWARD_BYTE_CAP: usize = 64 * 1024;
 
 /// Fetch joins cap their lookup fan-out; beyond this the executor falls
-/// back to collecting the right side.
+/// back to collecting (or Bloom-filtering) the right side.
 const FETCH_CAP: usize = 512;
+
+/// Target false-positive rate of semi-join Bloom filters: ~9.6 bits per
+/// distinct left join key, with the hash join pruning the stragglers.
+const SEMI_JOIN_FPR: f64 = 0.01;
 
 /// One optimizer decision, recorded for experiment output.
 #[derive(Clone, Debug)]
@@ -248,17 +254,24 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             return;
         }
 
-        // Fetch-join opportunity?
-        if let Some(fetch) = self.plan_fetch(&mqp) {
-            self.execute_fetch(mqp, fetch, fx);
-            return;
-        }
+        // Join strategy arbitration: fetch join, Bloom-filtered
+        // semi-join pushdown, or plain collect.
+        let semi_filter = match self.plan_join(&mqp) {
+            Some(JoinDecision::Fetch(fetch)) => {
+                self.execute_fetch(mqp, fetch, fx);
+                return;
+            }
+            Some(JoinDecision::Semi(filter)) => Some(filter),
+            None => None,
+        };
 
         let pattern = mqp.root.first_scan().expect("scans remain").clone();
 
         // Mutant forwarding: ship the plan to the peer owning the next
-        // scan's anchor key, unless disabled, too large, or already home.
-        if !self.plan_mode.no_forward {
+        // scan's anchor key, unless disabled, too large, or already
+        // home. A chosen semi-join executes from here instead — its
+        // pricing already assumed so.
+        if semi_filter.is_none() && !self.plan_mode.no_forward {
             if let Some(key) = anchor_key(&pattern) {
                 if !self.overlay.responsible(key) && mqp.wire_size() < FORWARD_BYTE_CAP {
                     if let Some(next) = self.overlay.next_hop(key) {
@@ -270,18 +283,22 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             }
         }
 
-        // Plain scan from here. (The limit hint is not passed: the
-        // storage layer's sequential range has no early termination, so
-        // pricing it in would bias the choice toward an optimization the
-        // protocol does not perform.)
+        // Scan from here, shipping the semi-join filter when one was
+        // chosen. (The limit hint is not passed: the storage layer's
+        // sequential range has no early termination, so pricing it in
+        // would bias the choice toward an optimization the protocol
+        // does not perform.)
         let cands = scan_candidates(&pattern, &mqp.filters);
         let chosen = self.pick_scan(&cands, None);
         self.trace.push(Decision {
             qid,
             pattern: pattern.to_string(),
-            choice: chosen.name().to_string(),
+            choice: match &semi_filter {
+                Some(_) => format!("semi-join+{}", chosen.name()),
+                None => chosen.name().to_string(),
+            },
         });
-        self.execute_scan(mqp, pattern, chosen, fx);
+        self.execute_scan(mqp, pattern, chosen, semi_filter, fx);
     }
 
     /// Applies forced preferences, falling back to the cost model, then
@@ -314,11 +331,59 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         }
     }
 
-    /// Checks whether the next step is a join whose left side is
-    /// materialized and whose right side admits per-binding fetching,
-    /// and whether fetching is the better strategy.
-    fn plan_fetch(&self, mqp: &Mqp) -> Option<FetchPlan> {
+    /// Arbitrates the physical join strategy when the next step is a
+    /// join whose left side is materialized: per-binding fetch join,
+    /// Bloom-filtered semi-join pushdown, or `None` — collect the right
+    /// side with a plain scan and hash-join at the plan holder.
+    fn plan_join(&self, mqp: &Mqp) -> Option<JoinDecision> {
         let (left, pattern) = mqp.root.fetch_join_site()?;
+        let fetch = self.fetch_plan(left, pattern);
+        let semi_site = semi_join_site(left, pattern);
+        // Forced preference (experiments) wins outright — but a forced
+        // strategy the site cannot support still degrades to collect.
+        if let Some(pref) = self.plan_mode.join_pref {
+            return match pref {
+                JoinStrategy::Fetch => fetch.map(JoinDecision::Fetch),
+                JoinStrategy::SemiJoin if O::PUSHES_FILTERS => semi_site
+                    .map(|(col, fld)| JoinDecision::Semi(build_semi_filter(left, col, fld).0)),
+                JoinStrategy::SemiJoin | JoinStrategy::Collect => None,
+            };
+        }
+        let model = self.cost.as_ref()?;
+        let cands = scan_candidates(&pattern.clone(), &mqp.filters);
+        let (_, right_best) = model.choose_scan(&cands, None);
+        let mut best_score = right_best.cost.score(); // collect baseline
+        let mut decision = None;
+        if let Some(plan) = fetch {
+            let (strategy, cost) = model.join(plan.keys().len() as f64, &right_best, true);
+            if strategy == JoinStrategy::Fetch && cost.score() < best_score {
+                best_score = cost.score();
+                decision = Some(JoinDecision::Fetch(plan));
+            }
+        }
+        if O::PUSHES_FILTERS && !self.plan_mode.no_semi_join {
+            if let Some((col, fld)) = semi_site {
+                let (filter, left_distinct) = build_semi_filter(left, col, fld);
+                let right_distinct = right_distinct_estimate(model, pattern, fld);
+                let cost = model.semi_join(
+                    left_distinct as f64,
+                    right_distinct,
+                    &right_best,
+                    filter.wire_size() as f64,
+                    SEMI_JOIN_FPR,
+                );
+                if cost.score() < best_score {
+                    decision = Some(JoinDecision::Semi(filter));
+                }
+            }
+        }
+        decision
+    }
+
+    /// Builds the per-binding fetch plan for a join site, if the right
+    /// pattern is point-addressable from the left relation's bindings
+    /// and the fan-out stays under [`FETCH_CAP`].
+    fn fetch_plan(&self, left: &Relation, pattern: &TriplePattern) -> Option<FetchPlan> {
         // Value-position fetch: attribute literal, value var bound left.
         let value_fetch = match (&pattern.attr, &pattern.value) {
             (Term::Lit(Value::Str(attr)), Term::Var(v)) => {
@@ -350,18 +415,7 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             Term::Lit(_) => None,
         };
         let plan = value_fetch.or(subject_fetch)?;
-        if plan.keys().len() > FETCH_CAP || plan.keys().is_empty() {
-            return None;
-        }
-        // Forced or cost-based arbitration against collecting.
-        if let Some(pref) = self.plan_mode.join_pref {
-            return (pref == JoinStrategy::Fetch).then_some(plan);
-        }
-        let model = self.cost.as_ref()?;
-        let cands = scan_candidates(&pattern.clone(), &mqp.filters);
-        let (_, right_best) = model.choose_scan(&cands, None);
-        let (strategy, _) = model.join(plan.keys().len() as f64, &right_best, true);
-        (strategy == JoinStrategy::Fetch).then_some(plan)
+        (1..=FETCH_CAP).contains(&plan.keys().len()).then_some(plan)
     }
 
     fn execute_fetch(&mut self, mut mqp: Mqp, plan: FetchPlan, fx: &mut UniFx<O::Msg>) {
@@ -400,6 +454,7 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         mqp: Mqp,
         pattern: TriplePattern,
         s: ScanStrategy,
+        filter: Option<ItemFilter>,
         fx: &mut UniFx<O::Msg>,
     ) {
         let qid = mqp.qid;
@@ -470,10 +525,13 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             },
         );
         for (q, op) in qids.into_iter().zip(ops) {
+            let f = filter.clone();
             match op {
-                Op::Lookup(key) => self.with_overlay(fx, |p, ofx| p.local_lookup(q, key, ofx)),
+                Op::Lookup(key) => {
+                    self.with_overlay(fx, |p, ofx| p.local_lookup_filtered(q, key, f, ofx))
+                }
                 Op::Range(lo, hi, mode) => {
-                    self.with_overlay(fx, |p, ofx| p.local_range(q, lo, hi, mode, ofx))
+                    self.with_overlay(fx, |p, ofx| p.local_range_filtered(q, lo, hi, mode, f, ofx))
                 }
             }
         }
@@ -554,11 +612,62 @@ fn distinct_col(rel: &Relation, col: usize) -> Vec<Value> {
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     let mut out = Vec::new();
     for row in &rel.rows {
-        if seen.insert(unistore_query::relation::value_hash(&row[col])) {
+        if seen.insert(value_hash(&row[col])) {
             out.push(row[col].clone());
         }
     }
     out
+}
+
+/// Locates the semi-join site of a join: the first pattern position
+/// whose variable is bound by the left relation, as `(left column,
+/// triple field)`. Any such shared position admits the pushdown — the
+/// hash join re-checks everything else.
+fn semi_join_site(left: &Relation, pattern: &TriplePattern) -> Option<(usize, u8)> {
+    [
+        (field::SUBJECT, &pattern.subject),
+        (field::ATTR, &pattern.attr),
+        (field::VALUE, &pattern.value),
+    ]
+    .into_iter()
+    .find_map(|(fld, term)| match term {
+        Term::Var(v) => left.col(v).map(|col| (col, fld)),
+        Term::Lit(_) => None,
+    })
+}
+
+/// Builds the Bloom filter over the left column's distinct join-key
+/// hashes (the same hashes [`Triple::field_hash`] yields at the leaves,
+/// so no true match is ever dropped). Returns the filter and the
+/// distinct-key count that sized it.
+fn build_semi_filter(left: &Relation, col: usize, fld: u8) -> (ItemFilter, usize) {
+    let hashes: FxHashSet<u64> = left.rows.iter().map(|r| value_hash(&r[col])).collect();
+    let n = hashes.len();
+    (ItemFilter { field: fld, bloom: BloomFilter::from_hashes(hashes, SEMI_JOIN_FPR) }, n)
+}
+
+/// Distinct join keys expected in the scanned region — the denominator
+/// of the semi-join selectivity estimate.
+fn right_distinct_estimate(model: &CostModel, pattern: &TriplePattern, fld: u8) -> f64 {
+    let st = &model.stats;
+    match fld {
+        field::SUBJECT => st.oid_distinct,
+        field::ATTR => st.attrs.len() as f64,
+        _ => match &pattern.attr {
+            Term::Lit(Value::Str(a)) => {
+                st.attrs.get(a.as_ref()).map_or(st.value_distinct, |s| s.join_distinct)
+            }
+            _ => st.value_distinct,
+        },
+    }
+}
+
+/// The arbitrated physical join strategy for a join site.
+enum JoinDecision {
+    /// Per-binding index nested loops over the DHT.
+    Fetch(FetchPlan),
+    /// Collect the right side through a Bloom-filtered scan.
+    Semi(ItemFilter),
 }
 
 enum FetchPlan {
@@ -666,5 +775,108 @@ mod tests {
             rows: vec![vec![Value::Int(3)], vec![Value::Float(3.0)], vec![Value::Int(4)]],
         };
         assert_eq!(distinct_col(&rel, 0).len(), 2);
+    }
+
+    #[test]
+    fn semi_join_site_prefers_first_shared_position() {
+        let left = Relation {
+            schema: vec![std::sync::Arc::from("a"), std::sync::Arc::from("v")],
+            rows: vec![],
+        };
+        let q = parse("SELECT ?a,?v WHERE {(?a,'age',?v)}").unwrap();
+        assert_eq!(semi_join_site(&left, &q.patterns[0]), Some((0, field::SUBJECT)));
+        let q = parse("SELECT ?v WHERE {(?x,'age',?v)}").unwrap();
+        assert_eq!(semi_join_site(&left, &q.patterns[0]), Some((1, field::VALUE)));
+        let q = parse("SELECT * WHERE {(?x,'age',?y)}").unwrap();
+        assert_eq!(semi_join_site(&left, &q.patterns[0]), None, "no shared variable");
+    }
+
+    mod filter_conservative {
+        //! The load-bearing semi-join property: a filter built from a
+        //! materialized column's `value_hash`es accepts every triple
+        //! whose addressed field semantically equals some left value —
+        //! across positions and across the Int/Float class collapse.
+
+        use super::*;
+        use proptest::prelude::*;
+        use unistore_util::item::Item as _;
+
+        /// Mixed-type value strategy: short strings, ints, and floats
+        /// that collide with the ints across the numeric-class collapse.
+        struct ArbValue;
+        impl Strategy for ArbValue {
+            type Value = Value;
+
+            fn generate(&self, rng: &mut proptest::TestRng) -> Value {
+                let n = (rng.next_u64() % 200) as i64 - 100;
+                match rng.next_u64() % 3 {
+                    0 => {
+                        let len = 1 + (rng.next_u64() % 8) as usize;
+                        let s: String = (0..len)
+                            .map(|_| (b'a' + (rng.next_u64() % 26) as u8) as char)
+                            .collect();
+                        Value::str(&s)
+                    }
+                    1 => Value::Int(n),
+                    _ => Value::Float(n as f64),
+                }
+            }
+        }
+
+        /// Unquoted text form (Display wraps strings in quotes).
+        fn plain(v: &Value) -> String {
+            match v {
+                Value::Str(s) => s.to_string(),
+                other => other.to_string(),
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn filtered_scan_never_drops_a_true_match(
+                left_vals in proptest::collection::vec(ArbValue, 1..40),
+                triples in proptest::collection::vec(
+                    ("[a-z]{1,6}", "[a-z]{1,6}", ArbValue),
+                    0..60,
+                ),
+                fld in 0u8..3,
+            ) {
+                // Left column: strings for subject/attr positions (those
+                // bind as strings), anything for the value position.
+                let rows: Vec<Vec<Value>> = left_vals
+                    .iter()
+                    .map(|v| match fld {
+                        field::VALUE => vec![v.clone()],
+                        _ => vec![Value::str(&plain(v))],
+                    })
+                    .collect();
+                let left = Relation { schema: vec![std::sync::Arc::from("x")], rows };
+                let (filter, _) = build_semi_filter(&left, 0, fld);
+                for (oid, attr, val) in &triples {
+                    let t = Triple::new(oid, attr, val.clone());
+                    let matches_left = left.rows.iter().any(|r| match fld {
+                        field::SUBJECT => r[0].as_str() == Some(oid.as_str()),
+                        field::ATTR => r[0].as_str() == Some(attr.as_str()),
+                        _ => r[0].eq_values(val),
+                    });
+                    if matches_left {
+                        prop_assert!(
+                            filter.accepts(&t),
+                            "true match dropped: {t} against field {fld}"
+                        );
+                    }
+                }
+                // And triples built *from* the left values always pass.
+                for v in &left_vals {
+                    let t = match fld {
+                        field::SUBJECT => Triple::new(&plain(v), "a", Value::Int(0)),
+                        field::ATTR => Triple::new("o", &plain(v), Value::Int(0)),
+                        _ => Triple::new("o", "a", v.clone()),
+                    };
+                    prop_assert!(t.field_hash(fld).is_some());
+                    prop_assert!(filter.accepts(&t));
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,8 @@ use unistore_simnet::{Effects, NodeBehavior, NodeId};
 use unistore_util::item::Item;
 use unistore_util::Key;
 
+pub use unistore_util::bloom::ItemFilter;
+
 /// Which range-scan physical algorithm the caller prefers.
 ///
 /// Backends map the hint onto their native machinery: P-Grid runs the
@@ -174,6 +176,12 @@ pub trait Overlay:
     /// (an order-destroying hash cannot use a key distribution).
     const ADAPTS_TO_SAMPLE: bool;
 
+    /// Whether the backend applies a pushed-down [`ItemFilter`] at the
+    /// peers responsible for the data. When `false` (the default impls),
+    /// filtered retrieval degenerates to a full collect and the query
+    /// layer should not pay for building and shipping filters.
+    const PUSHES_FILTERS: bool = false;
+
     // ---- topology bootstrap -------------------------------------------
 
     /// Plans a converged `n_peers` deployment. `sample` carries the
@@ -223,6 +231,36 @@ pub trait Overlay:
         mode: RangeMode,
         fx: &mut Effects<Self::Msg, Self::Out>,
     );
+
+    // ---- filtered retrieval (semi-join pushdown) ----------------------
+
+    /// Like [`Overlay::local_lookup`], but ships `filter` with the
+    /// request so the responsible peer drops non-matching items before
+    /// replying. The default ignores the filter (still correct — the
+    /// filter only ever removes rows the join would discard anyway).
+    fn local_lookup_filtered(
+        &mut self,
+        qid: u64,
+        key: Key,
+        _filter: Option<ItemFilter>,
+        fx: &mut Effects<Self::Msg, Self::Out>,
+    ) {
+        self.local_lookup(qid, key, fx);
+    }
+
+    /// Like [`Overlay::local_range`], but ships `filter` to every leaf
+    /// the scan reaches. The default ignores the filter.
+    fn local_range_filtered(
+        &mut self,
+        qid: u64,
+        lo: Key,
+        hi: Key,
+        mode: RangeMode,
+        _filter: Option<ItemFilter>,
+        fx: &mut Effects<Self::Msg, Self::Out>,
+    ) {
+        self.local_range(qid, lo, hi, mode, fx);
+    }
 
     // ---- driver-side routed operations --------------------------------
 

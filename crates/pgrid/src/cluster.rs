@@ -221,7 +221,7 @@ impl<I: Item> PGridCluster<I> {
         let qid = self.fresh_qid();
         let before = self.net.metrics();
         let start = self.net.now();
-        self.net.inject(origin, PGridMsg::Lookup { qid, key, origin, hops: 0 });
+        self.net.inject(origin, PGridMsg::Lookup { qid, key, origin, hops: 0, filter: None });
         match self.run_for_event(qid) {
             Some((t, PGridEvent::LookupDone { items, hops, ok, .. })) => {
                 let d = self.net.metrics().delta(&before);
@@ -269,8 +269,12 @@ impl<I: Item> PGridCluster<I> {
         let before = self.net.metrics();
         let start = self.net.now();
         let msg = match mode {
-            RangeMode::Parallel => PGridMsg::Range { qid, lo, hi, lmin: 0, origin, hops: 0 },
-            RangeMode::Sequential => PGridMsg::RangeSeq { qid, lo, hi, origin, hops: 0 },
+            RangeMode::Parallel => {
+                PGridMsg::Range { qid, lo, hi, lmin: 0, origin, hops: 0, filter: None }
+            }
+            RangeMode::Sequential => {
+                PGridMsg::RangeSeq { qid, lo, hi, origin, hops: 0, filter: None }
+            }
         };
         self.net.inject(origin, msg);
         match self.run_for_event(qid) {

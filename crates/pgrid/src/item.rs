@@ -36,12 +36,16 @@ pub struct Entry<I> {
 #[derive(Clone, Debug, Default)]
 pub struct LocalStore<I> {
     entries: BTreeMap<(Key, u64), Entry<I>>,
+    /// Live (non-tombstone) entry count, maintained incrementally so
+    /// [`LocalStore::len`] is O(1) — it is consulted on every bootstrap
+    /// `Exchange` message.
+    live: usize,
 }
 
 impl<I: Item> LocalStore<I> {
     /// Empty store.
     pub fn new() -> Self {
-        LocalStore { entries: BTreeMap::new() }
+        LocalStore { entries: BTreeMap::new(), live: 0 }
     }
 
     /// Applies an entry; returns `true` if the store changed (new entry
@@ -63,10 +67,13 @@ impl<I: Item> LocalStore<I> {
         match self.entries.get_mut(&(key, ident)) {
             Some(existing) if existing.version >= version => false,
             Some(existing) => {
+                self.live -= existing.item.is_some() as usize;
+                self.live += item.is_some() as usize;
                 *existing = Entry { item, version };
                 true
             }
             None => {
+                self.live += item.is_some() as usize;
                 self.entries.insert((key, ident), Entry { item, version });
                 true
             }
@@ -118,9 +125,10 @@ impl<I: Item> LocalStore<I> {
             .collect()
     }
 
-    /// Number of entries, live only.
+    /// Number of entries, live only. O(1): the count is maintained by
+    /// every mutation.
     pub fn len(&self) -> usize {
-        self.entries.values().filter(|e| e.item.is_some()).count()
+        self.live
     }
 
     /// True when nothing is stored.
@@ -133,16 +141,19 @@ impl<I: Item> LocalStore<I> {
     pub fn split_off_outside(&mut self, lo: Key, hi: Key) -> Vec<(Key, Version, I)> {
         let mut moved = Vec::new();
         let mut kept = BTreeMap::new();
+        let mut live = 0;
         for ((k, id), e) in std::mem::take(&mut self.entries) {
             if k < lo || k > hi {
                 if let Some(item) = e.item {
                     moved.push((k, e.version, item));
                 }
             } else {
+                live += e.item.is_some() as usize;
                 kept.insert((k, id), e);
             }
         }
         self.entries = kept;
+        self.live = live;
         moved
     }
 
@@ -162,6 +173,7 @@ impl<I: Item> LocalStore<I> {
     /// Removes everything.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.live = 0;
     }
 }
 
@@ -236,6 +248,47 @@ mod tests {
         assert_eq!(missing[0].0, 2);
         // a has everything b has → nothing to pull the other way.
         assert!(b.newer_than(&a.digest()).is_empty());
+    }
+
+    #[test]
+    fn len_tracks_every_transition() {
+        let mut s: LocalStore<RawItem> = LocalStore::new();
+        assert_eq!(s.len(), 0);
+        s.apply(1, RawItem(1), 0);
+        s.apply(2, RawItem(2), 0);
+        assert_eq!(s.len(), 2);
+        // Stale write: no change.
+        assert!(!s.apply(1, RawItem(1), 0));
+        assert_eq!(s.len(), 2);
+        // Tombstone: live shrinks.
+        s.remove(1, 1, 1);
+        assert_eq!(s.len(), 1);
+        // Tombstone over a tombstone: no change.
+        s.remove(1, 1, 2);
+        assert_eq!(s.len(), 1);
+        // Un-delete with a newer version: live grows back.
+        assert!(s.apply_record(1, 1, Some(RawItem(1)), 3));
+        assert_eq!(s.len(), 2);
+        // In-place replace of a live entry: no change.
+        assert!(s.apply_record(2, 2, Some(RawItem(9)), 5));
+        assert_eq!(s.len(), 2);
+        // Tombstone over nothing: stays dead, count unchanged.
+        s.remove(7, 7, 1);
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn split_off_outside_recounts_live_entries() {
+        let mut s: LocalStore<RawItem> = LocalStore::new();
+        for k in 0..8u64 {
+            s.apply(k, RawItem(k), 0);
+        }
+        s.remove(4, 4, 1); // in-range tombstone survives the split
+        let moved = s.split_off_outside(2, 5);
+        assert_eq!(moved.len(), 4, "0,1,6,7 move out");
+        assert_eq!(s.len(), 3, "2,3,5 live; 4 is a tombstone");
     }
 
     #[test]

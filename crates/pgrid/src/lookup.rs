@@ -7,7 +7,7 @@
 //! count by the trie depth, i.e. O(log N) for a balanced overlay.
 
 use unistore_simnet::NodeId;
-use unistore_util::Key;
+use unistore_util::{ItemFilter, Key};
 
 use crate::item::{Item, Version};
 use crate::msg::{PGridEvent, PGridMsg, QueryId};
@@ -17,6 +17,8 @@ use crate::routing::RouteDecision;
 impl<I: Item> PGridPeer<I> {
     /// Handles a routed lookup. `from == EXTERNAL` marks driver
     /// injection at the origin, which registers completion tracking.
+    /// The leaf applies `filter` (semi-join pushdown) before answering.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_lookup(
         &mut self,
         from: NodeId,
@@ -24,20 +26,26 @@ impl<I: Item> PGridPeer<I> {
         key: Key,
         origin: NodeId,
         hops: u32,
+        filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
-            self.register_pending(fx, qid, Pending::Lookup { key, attempts: 0, last_hop: None });
-            self.issue_lookup(qid, key, None, fx);
+            self.register_pending(
+                fx,
+                qid,
+                Pending::Lookup { key, attempts: 0, last_hop: None, filter: filter.clone() },
+            );
+            self.issue_lookup(qid, key, None, filter, fx);
             return;
         }
         match self.routing.route(key, &mut self.rng) {
             RouteDecision::Local => {
-                let items = self.store.get(key);
+                let mut items = self.store.get(key);
+                ItemFilter::retain(&filter, &mut items);
                 self.answer_lookup(qid, origin, items, hops, true, fx);
             }
             RouteDecision::Forward(next, _) => {
-                fx.send(next, PGridMsg::Lookup { qid, key, origin, hops: hops + 1 });
+                fx.send(next, PGridMsg::Lookup { qid, key, origin, hops: hops + 1, filter });
             }
             RouteDecision::Stuck(_) => {
                 self.answer_lookup(qid, origin, Vec::new(), hops, false, fx);
@@ -52,18 +60,20 @@ impl<I: Item> PGridPeer<I> {
         qid: QueryId,
         key: Key,
         avoid: Option<NodeId>,
+        filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
         match self.routing.route_excluding(key, avoid, &mut self.rng) {
             RouteDecision::Local => {
-                let items = self.store.get(key);
+                let mut items = self.store.get(key);
+                ItemFilter::retain(&filter, &mut items);
                 self.handle_lookup_reply(qid, items, 0, true, fx);
             }
             RouteDecision::Forward(next, _) => {
                 if let Some(Pending::Lookup { last_hop, .. }) = self.pending.get_mut(&qid) {
                     *last_hop = Some(next);
                 }
-                fx.send(next, PGridMsg::Lookup { qid, key, origin: self.id, hops: 1 });
+                fx.send(next, PGridMsg::Lookup { qid, key, origin: self.id, hops: 1, filter });
             }
             RouteDecision::Stuck(_) => {
                 // Report the routing hole; the reply handler consumes a
@@ -110,11 +120,13 @@ impl<I: Item> PGridPeer<I> {
         fx: &mut Fx<I>,
     ) {
         if !ok {
-            if let Some(Pending::Lookup { key, attempts, last_hop }) = self.pending.get_mut(&qid) {
+            if let Some(Pending::Lookup { key, attempts, last_hop, filter }) =
+                self.pending.get_mut(&qid)
+            {
                 if *attempts < self.cfg.op_retries {
                     *attempts += 1;
-                    let (key, avoid) = (*key, *last_hop);
-                    self.issue_lookup(qid, key, avoid, fx);
+                    let (key, avoid, filter) = (*key, *last_hop, filter.clone());
+                    self.issue_lookup(qid, key, avoid, filter, fx);
                     return;
                 }
             }
@@ -325,7 +337,7 @@ mod tests {
         let key = 0u64; // starts with 0 → local
         p.preload(key, RawItem(9), 0);
         let mut fx = Effects::new();
-        p.handle_lookup(NodeId::EXTERNAL, 1, key, NodeId(0), 0, &mut fx);
+        p.handle_lookup(NodeId::EXTERNAL, 1, key, NodeId(0), 0, None, &mut fx);
         assert_eq!(fx.sends().len(), 0);
         assert_eq!(fx.emits().len(), 1);
         match &fx.emits()[0] {
@@ -345,7 +357,7 @@ mod tests {
         p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("1").unwrap() });
         let key = 1u64 << 63; // starts with 1
         let mut fx = Effects::new();
-        p.handle_lookup(NodeId::EXTERNAL, 7, key, NodeId(0), 0, &mut fx);
+        p.handle_lookup(NodeId::EXTERNAL, 7, key, NodeId(0), 0, None, &mut fx);
         assert_eq!(fx.emits().len(), 0);
         assert_eq!(fx.sends().len(), 1);
         let (to, msg) = &fx.sends()[0];
@@ -363,7 +375,7 @@ mod tests {
         let mut p = peer(0, "0");
         let key = 1u64 << 63;
         let mut fx = Effects::new();
-        p.handle_lookup(NodeId::EXTERNAL, 3, key, NodeId(0), 0, &mut fx);
+        p.handle_lookup(NodeId::EXTERNAL, 3, key, NodeId(0), 0, None, &mut fx);
         // Origin is self → failure emitted, not sent.
         assert_eq!(fx.emits().len(), 1);
         match &fx.emits()[0] {
@@ -378,7 +390,7 @@ mod tests {
         let key = 1u64 << 63;
         p.preload(key, RawItem(4), 0);
         let mut fx = Effects::new();
-        p.handle_lookup(NodeId(2), 11, key, NodeId(9), 3, &mut fx);
+        p.handle_lookup(NodeId(2), 11, key, NodeId(9), 3, None, &mut fx);
         assert_eq!(fx.sends().len(), 1);
         let (to, msg) = &fx.sends()[0];
         assert_eq!(*to, NodeId(9));
@@ -418,6 +430,55 @@ mod tests {
         let pushes2 =
             fx2.sends().iter().filter(|(_, m)| matches!(m, PGridMsg::Replicate { .. })).count();
         assert_eq!(pushes2, 0, "unchanged store must not push");
+    }
+
+    #[test]
+    fn filtered_lookup_drops_non_matches_at_the_leaf() {
+        use unistore_util::bloom::BloomFilter;
+        use unistore_util::wire::Wire;
+
+        /// Item exposing its payload as field 0 for semi-join tests.
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct F(u64);
+        impl Wire for F {
+            fn encode(&self, buf: &mut bytes::BytesMut) {
+                self.0.encode(buf);
+            }
+            fn decode(buf: &mut bytes::Bytes) -> Result<Self, unistore_util::wire::WireError> {
+                Ok(F(u64::decode(buf)?))
+            }
+        }
+        impl Item for F {
+            fn ident(&self) -> u64 {
+                self.0
+            }
+            fn field_hash(&self, field: u8) -> Option<u64> {
+                (field == 0).then_some(self.0)
+            }
+        }
+
+        let mut p = PGridPeer::new(
+            NodeId(0),
+            unistore_util::BitPath::parse("0").unwrap(),
+            crate::config::PGridConfig::default(),
+            42,
+        );
+        let key = 0u64;
+        p.preload(key, F(1), 0);
+        p.preload(key, F(2), 0);
+        p.preload(key, F(3), 0);
+        let filter = ItemFilter { field: 0, bloom: BloomFilter::from_hashes([1u64, 3], 0.001) };
+        let mut fx = Effects::new();
+        p.handle_lookup(NodeId::EXTERNAL, 1, key, NodeId(0), 0, Some(filter), &mut fx);
+        match &fx.emits()[0] {
+            PGridEvent::LookupDone { items, ok: true, .. } => {
+                // 2 is definitely absent from the filter; 1 and 3 must
+                // survive (no false negatives).
+                assert!(items.contains(&F(1)) && items.contains(&F(3)));
+                assert!(!items.contains(&F(2)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use bytes::{Bytes, BytesMut};
 
 use unistore_simnet::NodeId;
 use unistore_util::wire::{Wire, WireError};
-use unistore_util::{BitPath, Key};
+use unistore_util::{BitPath, ItemFilter, Key};
 
 use crate::item::{Item, Version};
 
@@ -59,6 +59,8 @@ pub enum PGridMsg<I> {
         origin: NodeId,
         /// Routing hops taken so far.
         hops: u32,
+        /// Semi-join filter the leaf applies before replying.
+        filter: Option<ItemFilter>,
     },
     /// Answer (or failure) for a [`PGridMsg::Lookup`].
     LookupReply {
@@ -125,6 +127,8 @@ pub enum PGridMsg<I> {
         origin: NodeId,
         /// Hops along this branch so far.
         hops: u32,
+        /// Semi-join filter every reached leaf applies before replying.
+        filter: Option<ItemFilter>,
     },
     /// Sequential range query: resolves `lo`'s leaf, then walks right.
     RangeSeq {
@@ -138,6 +142,8 @@ pub enum PGridMsg<I> {
         origin: NodeId,
         /// Hops so far.
         hops: u32,
+        /// Semi-join filter every visited leaf applies before replying.
+        filter: Option<ItemFilter>,
     },
     /// A leaf's contribution to a range query.
     RangeReply {
@@ -253,12 +259,13 @@ mod tag {
 impl<I: Item> Wire for PGridMsg<I> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            PGridMsg::Lookup { qid, key, origin, hops } => {
+            PGridMsg::Lookup { qid, key, origin, hops, filter } => {
                 tag::LOOKUP.encode(buf);
                 qid.encode(buf);
                 key.encode(buf);
                 origin.encode(buf);
                 hops.encode(buf);
+                filter.encode(buf);
             }
             PGridMsg::LookupReply { qid, items, hops, ok } => {
                 tag::LOOKUP_REPLY.encode(buf);
@@ -290,7 +297,7 @@ impl<I: Item> Wire for PGridMsg<I> {
                 origin.encode(buf);
                 hops.encode(buf);
             }
-            PGridMsg::Range { qid, lo, hi, lmin, origin, hops } => {
+            PGridMsg::Range { qid, lo, hi, lmin, origin, hops, filter } => {
                 tag::RANGE.encode(buf);
                 qid.encode(buf);
                 lo.encode(buf);
@@ -298,14 +305,16 @@ impl<I: Item> Wire for PGridMsg<I> {
                 lmin.encode(buf);
                 origin.encode(buf);
                 hops.encode(buf);
+                filter.encode(buf);
             }
-            PGridMsg::RangeSeq { qid, lo, hi, origin, hops } => {
+            PGridMsg::RangeSeq { qid, lo, hi, origin, hops, filter } => {
                 tag::RANGE_SEQ.encode(buf);
                 qid.encode(buf);
                 lo.encode(buf);
                 hi.encode(buf);
                 origin.encode(buf);
                 hops.encode(buf);
+                filter.encode(buf);
             }
             PGridMsg::RangeReply { qid, cov_lo, cov_hi, items, hops, aborted } => {
                 tag::RANGE_REPLY.encode(buf);
@@ -378,6 +387,7 @@ impl<I: Item> Wire for PGridMsg<I> {
                 key: Wire::decode(buf)?,
                 origin: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                filter: Wire::decode(buf)?,
             },
             tag::LOOKUP_REPLY => PGridMsg::LookupReply {
                 qid: Wire::decode(buf)?,
@@ -411,6 +421,7 @@ impl<I: Item> Wire for PGridMsg<I> {
                 lmin: Wire::decode(buf)?,
                 origin: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                filter: Wire::decode(buf)?,
             },
             tag::RANGE_SEQ => PGridMsg::RangeSeq {
                 qid: Wire::decode(buf)?,
@@ -418,6 +429,7 @@ impl<I: Item> Wire for PGridMsg<I> {
                 hi: Wire::decode(buf)?,
                 origin: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                filter: Wire::decode(buf)?,
             },
             tag::RANGE_REPLY => PGridMsg::RangeReply {
                 qid: Wire::decode(buf)?,
@@ -508,8 +520,19 @@ mod tests {
         let peers =
             vec![PeerRef { id: NodeId(1), path }, PeerRef { id: NodeId(2), path: BitPath::ROOT }];
         let entries = vec![(42u64, 1u64, RawItem(7)), (43, 0, RawItem(8))];
+        let filter = Some(ItemFilter {
+            field: 2,
+            bloom: unistore_util::BloomFilter::from_hashes([7u64, 8, 9], 0.01),
+        });
         let msgs: Vec<PGridMsg<RawItem>> = vec![
-            PGridMsg::Lookup { qid: 9, key: 0xABCD, origin: NodeId(3), hops: 2 },
+            PGridMsg::Lookup { qid: 9, key: 0xABCD, origin: NodeId(3), hops: 2, filter: None },
+            PGridMsg::Lookup {
+                qid: 9,
+                key: 0xABCD,
+                origin: NodeId(3),
+                hops: 2,
+                filter: filter.clone(),
+            },
             PGridMsg::LookupReply { qid: 9, items: vec![RawItem(1)], hops: 3, ok: true },
             PGridMsg::Insert {
                 qid: 1,
@@ -521,8 +544,16 @@ mod tests {
             },
             PGridMsg::InsertAck { qid: 1, hops: 4 },
             PGridMsg::Delete { qid: 4, key: 9, ident: 11, version: 2, origin: NodeId(1), hops: 3 },
-            PGridMsg::Range { qid: 2, lo: 10, hi: 20, lmin: 1, origin: NodeId(4), hops: 1 },
-            PGridMsg::RangeSeq { qid: 3, lo: 10, hi: 20, origin: NodeId(4), hops: 1 },
+            PGridMsg::Range {
+                qid: 2,
+                lo: 10,
+                hi: 20,
+                lmin: 1,
+                origin: NodeId(4),
+                hops: 1,
+                filter: filter.clone(),
+            },
+            PGridMsg::RangeSeq { qid: 3, lo: 10, hi: 20, origin: NodeId(4), hops: 1, filter },
             PGridMsg::RangeReply {
                 qid: 2,
                 cov_lo: 10,

@@ -6,7 +6,7 @@
 //! converged-state construction ([`crate::construct`]), including the
 //! data-adaptive balanced trie when a key sample is supplied.
 
-use unistore_overlay::{Overlay, OverlayDone, OverlayTopology, RangeMode};
+use unistore_overlay::{ItemFilter, Overlay, OverlayDone, OverlayTopology, RangeMode};
 use unistore_simnet::{Effects, NodeId};
 use unistore_util::rng::{derive_rng, stream};
 use unistore_util::{BitPath, Key};
@@ -55,6 +55,7 @@ impl<I: Item + Send + 'static> Overlay for PGridPeer<I> {
 
     const NAME: &'static str = "P-Grid";
     const ADAPTS_TO_SAMPLE: bool = true;
+    const PUSHES_FILTERS: bool = true;
 
     fn plan(n_peers: usize, cfg: &PGridConfig, sample: Option<&[Key]>, seed: u64) -> PGridTopology {
         let mut rng = derive_rng(seed, stream::OVERLAY);
@@ -121,8 +122,34 @@ impl<I: Item + Send + 'static> Overlay for PGridPeer<I> {
         PGridPeer::local_range(self, qid, lo, hi, native, fx)
     }
 
+    fn local_lookup_filtered(
+        &mut self,
+        qid: u64,
+        key: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Effects<PGridMsg<I>, PGridEvent<I>>,
+    ) {
+        PGridPeer::local_lookup_filtered(self, qid, key, filter, fx)
+    }
+
+    fn local_range_filtered(
+        &mut self,
+        qid: u64,
+        lo: Key,
+        hi: Key,
+        mode: RangeMode,
+        filter: Option<ItemFilter>,
+        fx: &mut Effects<PGridMsg<I>, PGridEvent<I>>,
+    ) {
+        let native = match mode {
+            RangeMode::Parallel => crate::msg::RangeMode::Parallel,
+            RangeMode::Sequential => crate::msg::RangeMode::Sequential,
+        };
+        PGridPeer::local_range_filtered(self, qid, lo, hi, native, filter, fx)
+    }
+
     fn lookup_msg(_cfg: &PGridConfig, qid: u64, key: Key, origin: NodeId) -> PGridMsg<I> {
-        PGridMsg::Lookup { qid, key, origin, hops: 0 }
+        PGridMsg::Lookup { qid, key, origin, hops: 0, filter: None }
     }
 
     fn insert_msgs(

@@ -10,7 +10,7 @@ use rand::Rng;
 
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_util::rng::{derive_rng, stream};
-use unistore_util::{BitPath, FxHashMap, Key};
+use unistore_util::{BitPath, FxHashMap, ItemFilter, Key};
 
 use crate::config::PGridConfig;
 use crate::item::{Item, LocalStore};
@@ -43,8 +43,8 @@ pub(crate) mod timer {
 /// attempt so the retry can avoid it.
 #[derive(Debug)]
 pub(crate) enum Pending<I> {
-    /// Exact-key lookup.
-    Lookup { key: Key, attempts: u32, last_hop: Option<NodeId> },
+    /// Exact-key lookup (with the semi-join filter to re-ship on retry).
+    Lookup { key: Key, attempts: u32, last_hop: Option<NodeId>, filter: Option<ItemFilter> },
     /// Insert waiting for its ack.
     Insert { key: Key, item: I, version: u64, attempts: u32, last_hop: Option<NodeId> },
     /// Delete (index maintenance) waiting for its ack.
@@ -169,7 +169,19 @@ impl<I: Item> PGridPeer<I> {
     /// (UniStore's query executor) calls this as if it were the driver;
     /// completion arrives as a [`PGridEvent::LookupDone`] emit.
     pub fn local_lookup(&mut self, qid: QueryId, key: Key, fx: &mut Fx<I>) {
-        self.handle_lookup(NodeId::EXTERNAL, qid, key, self.id, 0, fx);
+        self.local_lookup_filtered(qid, key, None, fx);
+    }
+
+    /// Locally originated lookup carrying a semi-join filter the leaf
+    /// applies before replying.
+    pub fn local_lookup_filtered(
+        &mut self,
+        qid: QueryId,
+        key: Key,
+        filter: Option<ItemFilter>,
+        fx: &mut Fx<I>,
+    ) {
+        self.handle_lookup(NodeId::EXTERNAL, qid, key, self.id, 0, filter, fx);
     }
 
     /// Issues a locally originated range query.
@@ -181,12 +193,26 @@ impl<I: Item> PGridPeer<I> {
         mode: crate::msg::RangeMode,
         fx: &mut Fx<I>,
     ) {
+        self.local_range_filtered(qid, lo, hi, mode, None, fx);
+    }
+
+    /// Locally originated range query carrying a semi-join filter every
+    /// reached leaf applies before replying.
+    pub fn local_range_filtered(
+        &mut self,
+        qid: QueryId,
+        lo: Key,
+        hi: Key,
+        mode: crate::msg::RangeMode,
+        filter: Option<ItemFilter>,
+        fx: &mut Fx<I>,
+    ) {
         match mode {
             crate::msg::RangeMode::Parallel => {
-                self.handle_range(NodeId::EXTERNAL, qid, lo, hi, 0, self.id, 0, fx)
+                self.handle_range(NodeId::EXTERNAL, qid, lo, hi, 0, self.id, 0, filter, fx)
             }
             crate::msg::RangeMode::Sequential => {
-                self.handle_range_seq(NodeId::EXTERNAL, qid, lo, hi, self.id, 0, fx)
+                self.handle_range_seq(NodeId::EXTERNAL, qid, lo, hi, self.id, 0, filter, fx)
             }
         }
     }
@@ -233,14 +259,19 @@ impl<I: Item> PGridPeer<I> {
             return; // completed in time
         };
         match pending {
-            Pending::Lookup { key, attempts, last_hop } => {
+            Pending::Lookup { key, attempts, last_hop, filter } => {
                 if attempts < self.cfg.op_retries {
                     self.register_pending(
                         fx,
                         qid,
-                        Pending::Lookup { key, attempts: attempts + 1, last_hop },
+                        Pending::Lookup {
+                            key,
+                            attempts: attempts + 1,
+                            last_hop,
+                            filter: filter.clone(),
+                        },
                     );
-                    self.issue_lookup(qid, key, last_hop, fx);
+                    self.issue_lookup(qid, key, last_hop, filter, fx);
                 } else {
                     fx.emit(PGridEvent::LookupDone { qid, items: Vec::new(), hops: 0, ok: false })
                 }
@@ -297,8 +328,8 @@ impl<I: Item> NodeBehavior for PGridPeer<I> {
     fn on_message(&mut self, now: SimTime, from: NodeId, msg: PGridMsg<I>, fx: &mut Fx<I>) {
         self.msg_load += 1;
         match msg {
-            PGridMsg::Lookup { qid, key, origin, hops } => {
-                self.handle_lookup(from, qid, key, origin, hops, fx)
+            PGridMsg::Lookup { qid, key, origin, hops, filter } => {
+                self.handle_lookup(from, qid, key, origin, hops, filter, fx)
             }
             PGridMsg::LookupReply { qid, items, hops, ok } => {
                 self.handle_lookup_reply(qid, items, hops, ok, fx)
@@ -310,11 +341,11 @@ impl<I: Item> NodeBehavior for PGridPeer<I> {
             PGridMsg::Delete { qid, key, ident, version, origin, hops } => {
                 self.handle_delete(from, qid, key, ident, version, origin, hops, fx)
             }
-            PGridMsg::Range { qid, lo, hi, lmin, origin, hops } => {
-                self.handle_range(from, qid, lo, hi, lmin, origin, hops, fx)
+            PGridMsg::Range { qid, lo, hi, lmin, origin, hops, filter } => {
+                self.handle_range(from, qid, lo, hi, lmin, origin, hops, filter, fx)
             }
-            PGridMsg::RangeSeq { qid, lo, hi, origin, hops } => {
-                self.handle_range_seq(from, qid, lo, hi, origin, hops, fx)
+            PGridMsg::RangeSeq { qid, lo, hi, origin, hops, filter } => {
+                self.handle_range_seq(from, qid, lo, hi, origin, hops, filter, fx)
             }
             PGridMsg::RangeReply { qid, cov_lo, cov_hi, items, hops, aborted } => {
                 self.handle_range_reply(qid, cov_lo, cov_hi, items, hops, aborted, fx)

@@ -18,7 +18,7 @@
 //!   exactly the trade-off the paper's cost-based optimizer arbitrates.
 
 use unistore_simnet::NodeId;
-use unistore_util::Key;
+use unistore_util::{ItemFilter, Key};
 
 use crate::item::Item;
 use crate::msg::{PGridEvent, PGridMsg, QueryId};
@@ -28,7 +28,8 @@ use crate::routing::RouteDecision;
 pub use unistore_util::interval::IntervalSet;
 
 impl<I: Item> PGridPeer<I> {
-    /// Handles a parallel (shower) range query branch.
+    /// Handles a parallel (shower) range query branch. Every reached
+    /// leaf applies `filter` (semi-join pushdown) before replying.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_range(
         &mut self,
@@ -39,6 +40,7 @@ impl<I: Item> PGridPeer<I> {
         lmin: u8,
         origin: NodeId,
         hops: u32,
+        filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
@@ -76,6 +78,7 @@ impl<I: Item> PGridPeer<I> {
                         lmin: l + 1,
                         origin,
                         hops: hops + 1,
+                        filter: filter.clone(),
                     },
                 ),
                 // Routing hole: report the gap so the origin terminates
@@ -89,12 +92,14 @@ impl<I: Item> PGridPeer<I> {
         let leaf_lo = path.min_key().max(lo);
         let leaf_hi = path.max_key().min(hi);
         if leaf_lo <= leaf_hi {
-            let items = self.store.get_range(leaf_lo, leaf_hi);
+            let mut items = self.store.get_range(leaf_lo, leaf_hi);
+            ItemFilter::retain(&filter, &mut items);
             self.send_range_reply(qid, origin, leaf_lo, leaf_hi, items, hops, false, fx);
         }
     }
 
-    /// Handles a sequential range query hop.
+    /// Handles a sequential range query hop. Every visited leaf applies
+    /// `filter` before contributing.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_range_seq(
         &mut self,
@@ -104,6 +109,7 @@ impl<I: Item> PGridPeer<I> {
         hi: Key,
         origin: NodeId,
         hops: u32,
+        filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
@@ -125,7 +131,8 @@ impl<I: Item> PGridPeer<I> {
             RouteDecision::Local => {
                 let path = self.routing.path();
                 let leaf_hi = path.max_key().min(hi);
-                let items = self.store.get_range(lo, leaf_hi);
+                let mut items = self.store.get_range(lo, leaf_hi);
+                ItemFilter::retain(&filter, &mut items);
                 self.send_range_reply(qid, origin, lo, leaf_hi, items, hops, false, fx);
                 if leaf_hi < hi {
                     // Hand over to the owner of the next key.
@@ -133,7 +140,14 @@ impl<I: Item> PGridPeer<I> {
                     match self.routing.route(next_lo, &mut self.rng) {
                         RouteDecision::Forward(next, _) => fx.send(
                             next,
-                            PGridMsg::RangeSeq { qid, lo: next_lo, hi, origin, hops: hops + 1 },
+                            PGridMsg::RangeSeq {
+                                qid,
+                                lo: next_lo,
+                                hi,
+                                origin,
+                                hops: hops + 1,
+                                filter,
+                            },
                         ),
                         // `next_lo` is outside our leaf, so `Local` is
                         // impossible; a stuck route aborts the remainder.
@@ -151,7 +165,7 @@ impl<I: Item> PGridPeer<I> {
                 }
             }
             RouteDecision::Forward(next, _) => {
-                fx.send(next, PGridMsg::RangeSeq { qid, lo, hi, origin, hops: hops + 1 });
+                fx.send(next, PGridMsg::RangeSeq { qid, lo, hi, origin, hops: hops + 1, filter });
             }
             RouteDecision::Stuck(_) => {
                 self.send_range_reply(qid, origin, lo, hi, Vec::new(), hops, true, fx);
@@ -231,7 +245,7 @@ mod tests {
         p.routing_mut().add_ref(PeerRef { id: NodeId(2), path: BitPath::parse("01").unwrap() });
         p.preload(1, RawItem(1), 0);
         let mut fx = Effects::new();
-        p.handle_range(NodeId::EXTERNAL, 5, 0, u64::MAX, 0, NodeId(0), 0, &mut fx);
+        p.handle_range(NodeId::EXTERNAL, 5, 0, u64::MAX, 0, NodeId(0), 0, None, &mut fx);
         // Forwards: level 0 → NodeId(1) with the "1…" half, level 1 →
         // NodeId(2) with the "01…" quarter.
         let forwards: Vec<_> = fx
@@ -261,7 +275,7 @@ mod tests {
         let mut p = peer(0, "00");
         // No refs at all: both subtrees unreachable.
         let mut fx = Effects::new();
-        p.handle_range(NodeId::EXTERNAL, 6, 0, u64::MAX, 0, NodeId(0), 0, &mut fx);
+        p.handle_range(NodeId::EXTERNAL, 6, 0, u64::MAX, 0, NodeId(0), 0, None, &mut fx);
         // Everything resolved locally (local leaf + 2 aborted gaps) →
         // the query completes immediately as incomplete.
         assert_eq!(fx.sends().len(), 0);
@@ -278,7 +292,7 @@ mod tests {
         p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("1").unwrap() });
         p.preload(5, RawItem(5), 0);
         let mut fx = Effects::new();
-        p.handle_range(NodeId::EXTERNAL, 7, 0, u64::MAX, 0, NodeId(0), 0, &mut fx);
+        p.handle_range(NodeId::EXTERNAL, 7, 0, u64::MAX, 0, NodeId(0), 0, None, &mut fx);
         assert!(fx.emits().is_empty(), "half the range is still remote");
         // The remote leaf replies.
         let mut fx2 = Effects::new();
@@ -301,7 +315,7 @@ mod tests {
         p.preload(20, RawItem(20), 0);
         p.preload(100, RawItem(100), 0);
         let mut fx = Effects::new();
-        p.handle_range(NodeId::EXTERNAL, 8, 5, 50, 0, NodeId(0), 0, &mut fx);
+        p.handle_range(NodeId::EXTERNAL, 8, 5, 50, 0, NodeId(0), 0, None, &mut fx);
         assert_eq!(fx.sends().len(), 0);
         assert_eq!(fx.emits().len(), 1);
         match &fx.emits()[0] {
@@ -322,7 +336,7 @@ mod tests {
         p.preload(7, RawItem(7), 0);
         let mut fx = Effects::new();
         let hi = (1u64 << 63) + 5;
-        p.handle_range_seq(NodeId::EXTERNAL, 9, 0, hi, NodeId(0), 0, &mut fx);
+        p.handle_range_seq(NodeId::EXTERNAL, 9, 0, hi, NodeId(0), 0, None, &mut fx);
         // Local part answered (merged into pending), remainder forwarded.
         let fwd: Vec<_> = fx
             .sends()

@@ -51,8 +51,14 @@ impl NetParams {
 pub struct AttrStats {
     /// Number of triples with this attribute.
     pub count: f64,
-    /// Distinct values.
+    /// Distinct values *in the order-preserving key space* — long
+    /// strings collapse onto their encoded prefix. Drives range and
+    /// lookup selectivity over keys.
     pub distinct: f64,
+    /// Distinct values under semantic equality (`Value::semantic_hash`;
+    /// no prefix collapse). Drives the semi-join selectivity, where
+    /// membership is tested on full join keys, not key prefixes.
+    pub join_distinct: f64,
     /// Histogram over A#v-index keys (range selectivity).
     pub hist: Histogram,
     /// Total q-gram postings (string values only).
@@ -90,6 +96,7 @@ impl GlobalStats {
         struct Acc {
             count: f64,
             values: FxHashSet<u64>,
+            join_values: FxHashSet<u64>,
             hist: Histogram,
             gram_postings: f64,
             grams: FxHashSet<u32>,
@@ -108,6 +115,7 @@ impl GlobalStats {
                 Acc {
                     count: 0.0,
                     values: FxHashSet::default(),
+                    join_values: FxHashSet::default(),
                     hist: Histogram::new(lo, hi, 256),
                     gram_postings: 0.0,
                     grams: FxHashSet::default(),
@@ -115,6 +123,7 @@ impl GlobalStats {
             });
             acc.count += 1.0;
             acc.values.insert(t.value.key_bits());
+            acc.join_values.insert(t.value.semantic_hash());
             acc.hist.add(attr_value_key(&t.attr, &t.value));
             if let Value::Str(s) = &t.value {
                 let gs = qgram::qgrams(s);
@@ -130,6 +139,7 @@ impl GlobalStats {
                     AttrStats {
                         count: a.count,
                         distinct: a.values.len() as f64,
+                        join_distinct: a.join_values.len() as f64,
                         hist: a.hist,
                         gram_postings: a.gram_postings,
                         gram_distinct: a.grams.len() as f64,
@@ -379,6 +389,36 @@ impl CostModel {
             (JoinStrategy::Collect, collect)
         }
     }
+
+    /// Prices a Bloom-filtered semi-join pushdown of the right side's
+    /// best scan: the message structure and critical path are the
+    /// collect scan's (the filter rides the existing request messages),
+    /// but every request grows by the filter's wire size and the leaves
+    /// reply with only the rows whose join key appears on the left —
+    /// plus the filter's false positives.
+    ///
+    /// `left_distinct` is the number of distinct join keys on the
+    /// materialized side, `right_distinct` the estimated distinct join
+    /// keys in the scanned region (drives the semi-join selectivity
+    /// `min(1, left/right)`), `filter_bytes` the encoded filter size and
+    /// `fpr` its false-positive rate.
+    pub fn semi_join(
+        &self,
+        left_distinct: f64,
+        right_distinct: f64,
+        right_best: &ScanEstimate,
+        filter_bytes: f64,
+        fpr: f64,
+    ) -> CostVector {
+        let sel = (left_distinct / right_distinct.max(1.0) + fpr).min(1.0);
+        let surviving = right_best.cardinality * sel;
+        CostVector {
+            messages: right_best.cost.messages,
+            depth: right_best.cost.depth,
+            bytes: right_best.cost.messages * filter_bytes
+                + surviving * self.stats.avg_triple_bytes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +558,32 @@ mod tests {
         assert_eq!(strat_big, JoinStrategy::Collect);
         let (forced, _) = m.join(2.0, &right, false);
         assert_eq!(forced, JoinStrategy::Collect);
+    }
+
+    #[test]
+    fn semi_join_beats_collect_on_selective_left_only() {
+        let m = model();
+        let right = m.scan(
+            &ScanStrategy::AttrRange {
+                attr: "name".into(),
+                lo: None,
+                hi: None,
+                algo: RangeAlgo::Parallel,
+            },
+            None,
+        );
+        // 2 of 200 names survive: bytes shrink (reply side collapses;
+        // the remaining cost is the ~16-byte filter riding each
+        // request), messages and depth unchanged.
+        let semi = m.semi_join(2.0, 200.0, &right, 16.0, 0.01);
+        assert_eq!(semi.messages, right.cost.messages);
+        assert_eq!(semi.depth, right.cost.depth);
+        assert!(semi.bytes < right.cost.bytes / 2.0, "selective semi-join ships a fraction");
+        assert!(semi.score() < right.cost.score());
+        // Left covers everything: the filter is pure overhead.
+        let futile = m.semi_join(200.0, 200.0, &right, 16.0, 0.01);
+        assert!(futile.bytes > right.cost.bytes);
+        assert!(futile.score() > right.cost.score());
     }
 
     #[test]

@@ -165,8 +165,16 @@ impl MqpNode {
                 true
             }
             MqpNode::Mat(_) => false,
+            // Hand the relation to whichever side actually holds the
+            // leftmost scan — cloning it for a fully-resolved left
+            // subtree would copy a potentially large relation for
+            // nothing.
             MqpNode::Join { left, right } => {
-                left.resolve_first_scan(rel.clone()) || right.resolve_first_scan(rel)
+                if left.scans_remaining() > 0 {
+                    left.resolve_first_scan(rel)
+                } else {
+                    right.resolve_first_scan(rel)
+                }
             }
             MqpNode::Filter { input, .. }
             | MqpNode::Project { input, .. }
@@ -320,33 +328,51 @@ pub fn bind_triples(
     };
     let mut rel = Relation::empty(schema);
     'next: for t in triples {
+        // Literal positions first, matched by reference — a rejected
+        // candidate costs zero clones.
+        if let Term::Lit(expected) = &pattern.subject {
+            let ok = matches!(expected, Value::Str(s) if s.as_ref() == t.oid.0.as_ref());
+            if !ok {
+                continue 'next;
+            }
+        }
+        if matches!(&pattern.attr, Term::Lit(_)) {
+            // Attribute literals match through schema mappings.
+            let ok = accepted_attrs
+                .as_ref()
+                .is_some_and(|acc| acc.iter().any(|a| a.as_ref() == t.attr.as_ref()));
+            if !ok {
+                continue 'next;
+            }
+        }
+        if let Term::Lit(expected) = &pattern.value {
+            if !expected.eq_values(&t.value) {
+                continue 'next;
+            }
+        }
+        // Variable positions: clone only values that enter the row;
+        // repeated variables compare against the bound value in place.
         let mut row: Vec<Option<Value>> = vec![None; rel.schema.len()];
-        let positions: [(&Term, Value); 3] = [
-            (&pattern.subject, Value::Str(t.oid.0.clone())),
-            (&pattern.attr, Value::Str(t.attr.clone())),
-            (&pattern.value, t.value.clone()),
-        ];
-        for (i, (term, actual)) in positions.into_iter().enumerate() {
-            match term {
-                Term::Lit(expected) => {
-                    // Attribute literals match through schema mappings.
-                    let ok = if i == 1 {
-                        accepted_attrs
-                            .as_ref()
-                            .is_some_and(|acc| acc.iter().any(|a| a.as_ref() == t.attr.as_ref()))
-                    } else {
-                        expected.eq_values(&actual)
-                    };
-                    if !ok {
-                        continue 'next;
+        for (pos, term) in [(0u8, &pattern.subject), (1, &pattern.attr), (2, &pattern.value)] {
+            if let Term::Var(v) = term {
+                let col = rel.col(v).unwrap();
+                match &row[col] {
+                    None => {
+                        row[col] = Some(match pos {
+                            0 => Value::Str(t.oid.0.clone()),
+                            1 => Value::Str(t.attr.clone()),
+                            _ => t.value.clone(),
+                        })
                     }
-                }
-                Term::Var(v) => {
-                    let col = rel.col(v).unwrap();
-                    match &row[col] {
-                        None => row[col] = Some(actual),
-                        Some(bound) if bound.eq_values(&actual) => {}
-                        Some(_) => continue 'next, // repeated var mismatch
+                    Some(bound) => {
+                        let agrees = match pos {
+                            0 => bound.as_str() == Some(t.oid.0.as_ref()),
+                            1 => bound.as_str() == Some(t.attr.as_ref()),
+                            _ => bound.eq_values(&t.value),
+                        };
+                        if !agrees {
+                            continue 'next; // repeated var mismatch
+                        }
                     }
                 }
             }

@@ -145,13 +145,12 @@ impl Relation {
 }
 
 /// Hash of a value consistent with `eq_values` (numeric classes collapse
-/// onto the f64 encoding).
+/// onto the f64 encoding). Delegates to [`Value::semantic_hash`] — the
+/// same hash `Triple::field_hash` answers at the storage leaves, which
+/// is what makes Bloom-filtered semi-join scans conservative; keep them
+/// one function.
 pub fn value_hash(v: &Value) -> u64 {
-    match v {
-        Value::Str(s) => unistore_util::fxhash::hash_bytes(s.as_bytes()),
-        Value::Int(i) => unistore_util::ophash::encode_f64(*i as f64),
-        Value::Float(f) => unistore_util::ophash::encode_f64(*f),
-    }
+    v.semantic_hash()
 }
 
 impl Wire for Relation {

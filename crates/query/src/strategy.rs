@@ -108,6 +108,12 @@ pub enum JoinStrategy {
     /// issue a targeted lookup for the right pattern (index nested
     /// loops over the DHT).
     Fetch,
+    /// Semi-join pushdown: run the right side's best scan, but ship a
+    /// Bloom filter over the left side's distinct join keys with the
+    /// request so the leaves drop non-matching triples before replying.
+    /// Same message structure as [`JoinStrategy::Collect`], a fraction
+    /// of its bytes.
+    SemiJoin,
 }
 
 /// Enumerates the applicable scan strategies for a pattern, given the

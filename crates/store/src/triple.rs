@@ -16,6 +16,18 @@ use unistore_util::wire::{Wire, WireError};
 
 use crate::value::Value;
 
+/// Field discriminants for semi-join filtering
+/// ([`unistore_util::item::Item::field_hash`]): the filter names which
+/// triple position its join keys bind.
+pub mod field {
+    /// The OID (subject) position.
+    pub const SUBJECT: u8 = 0;
+    /// The attribute position.
+    pub const ATTR: u8 = 1;
+    /// The value position.
+    pub const VALUE: u8 = 2;
+}
+
 /// Object identifier grouping the triples of one logical tuple.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Oid(pub Arc<str>);
@@ -131,6 +143,21 @@ impl Item for Triple {
             ^ hash_bytes(self.attr.as_bytes()).rotate_left(1)
             ^ self.value.semantic_hash().rotate_left(2)
     }
+
+    /// Per-position join-key hashes, matching how the query layer hashes
+    /// bound variables: subject and attribute bind as strings
+    /// (`hash_bytes`), the value by its semantic hash — exactly
+    /// `value_hash` of the relation layer, so a Bloom filter built from
+    /// a materialized column tests positive at the leaf for every true
+    /// join match.
+    fn field_hash(&self, field: u8) -> Option<u64> {
+        match field {
+            field::SUBJECT => Some(hash_bytes(self.oid.0.as_bytes())),
+            field::ATTR => Some(hash_bytes(self.attr.as_bytes())),
+            field::VALUE => Some(self.value.semantic_hash()),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +196,18 @@ mod tests {
         // Numeric classes collapse (Int 2006 == Float 2006.0).
         let f = Triple::new("a12", "year", Value::Float(2006.0));
         assert_eq!(a.ident(), f.ident());
+    }
+
+    #[test]
+    fn field_hash_matches_bound_value_hashes() {
+        let t = Triple::new("a12", "year", Value::Int(2006));
+        // Subject/attr bind as strings; value by semantic hash.
+        assert_eq!(t.field_hash(field::SUBJECT), Some(hash_bytes(b"a12")));
+        assert_eq!(t.field_hash(field::ATTR), Some(hash_bytes(b"year")));
+        assert_eq!(t.field_hash(field::VALUE), Some(Value::Int(2006).semantic_hash()));
+        // Numeric classes collapse, like eq_values.
+        assert_eq!(t.field_hash(field::VALUE), Some(Value::Float(2006.0).semantic_hash()));
+        assert_eq!(t.field_hash(99), None);
     }
 
     #[test]

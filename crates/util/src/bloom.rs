@@ -1,0 +1,288 @@
+//! Wire-encodable Bloom filters for semi-join pushdown.
+//!
+//! UniStore's cost model prices plans almost entirely by shipped bytes
+//! and messages, and the dominant byte cost of a distributed join is the
+//! right side's candidate triples travelling to the plan holder. A
+//! [`BloomFilter`] is the compact summary that travels the *other* way:
+//! the plan holder encodes the already-materialized side's distinct join
+//! keys and ships the filter inside the scan operation, so the peers
+//! responsible for the data drop non-matching triples *before* replying.
+//! The filter is conservative by construction — a membership test may
+//! return a false positive (pruned later by the exact hash join) but
+//! never a false negative, so filtered scans lose no true join match.
+//!
+//! [`ItemFilter`] pairs a filter with the item field it tests
+//! ([`Item::field_hash`]), making the pushdown expressible at the
+//! storage layer without the overlays knowing anything about triples.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::fxhash::mix64;
+use crate::item::Item;
+use crate::wire::{get_varint, put_varint, varint_size, Wire, WireError};
+
+/// Salts separating the two derived hash functions (double hashing).
+const SALT_A: u64 = 0x424c_4f4f_4d5f_4861; // "BLOOM_Ha"
+const SALT_B: u64 = 0x424c_4f4f_4d5f_4862; // "BLOOM_Hb"
+
+/// Hard cap on filter size: a filter that large stopped being a
+/// bandwidth optimization long ago (also guards decoded input).
+const MAX_WORDS: u64 = 1 << 20; // 8 MiB of bits
+
+/// A Bloom filter over 64-bit element hashes.
+///
+/// Elements are already-mixed hashes (e.g. the semantic hash of a join
+/// key); the filter derives its `k` probe positions by double hashing,
+/// so no per-element rehashing of payload bytes is needed at the leaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    /// Number of probe positions per element.
+    k: u32,
+    /// The bit array, 64 bits per word.
+    words: Vec<u64>,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter sized for `n` distinct elements at target
+    /// false-positive rate `fpr` (clamped to sane bounds). The classic
+    /// sizing: `m = -n·ln p / ln²2` bits, `k = (m/n)·ln 2` probes.
+    pub fn with_capacity(n: usize, fpr: f64) -> BloomFilter {
+        let n = n.max(1) as f64;
+        let p = fpr.clamp(1e-6, 0.5);
+        let m_bits = (-(n * p.ln()) / (core::f64::consts::LN_2 * core::f64::consts::LN_2)).ceil();
+        let words = ((m_bits / 64.0).ceil() as u64).clamp(1, MAX_WORDS) as usize;
+        let k = ((words as f64 * 64.0 / n) * core::f64::consts::LN_2).round();
+        BloomFilter { k: (k as u32).clamp(1, 16), words: vec![0; words] }
+    }
+
+    /// Builds a filter from element hashes at target `fpr`, sized for
+    /// the number of *distinct* hashes provided.
+    pub fn from_hashes(hashes: impl IntoIterator<Item = u64>, fpr: f64) -> BloomFilter {
+        let hashes: Vec<u64> = hashes.into_iter().collect();
+        let mut f = BloomFilter::with_capacity(hashes.len(), fpr);
+        for h in hashes {
+            f.insert(h);
+        }
+        f
+    }
+
+    /// Probe positions for an element (double hashing).
+    #[inline]
+    fn probes(&self, h: u64) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let m = self.words.len() as u64 * 64;
+        let h1 = mix64(h ^ SALT_A);
+        let h2 = mix64(h ^ SALT_B) | 1;
+        (0..self.k as u64).map(move |i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % m;
+            ((bit / 64) as usize, 1u64 << (bit % 64))
+        })
+    }
+
+    /// Inserts an element hash.
+    pub fn insert(&mut self, h: u64) {
+        let m = self.words.len() as u64 * 64;
+        let h1 = mix64(h ^ SALT_A);
+        let h2 = mix64(h ^ SALT_B) | 1;
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % m;
+            self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Membership test: `true` means *possibly present* (false positives
+    /// at roughly the configured rate), `false` means *definitely
+    /// absent* — never wrong for inserted elements.
+    pub fn contains(&self, h: u64) -> bool {
+        self.probes(h).all(|(w, mask)| self.words[w] & mask != 0)
+    }
+
+    /// Number of bits in the filter.
+    pub fn n_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+}
+
+impl Wire for BloomFilter {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.k.encode(buf);
+        put_varint(buf, self.words.len() as u64);
+        for w in &self.words {
+            buf.put_u64(*w);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let k = u32::decode(buf)?;
+        if !(1..=64).contains(&k) {
+            return Err(WireError::BadLength(k as u64));
+        }
+        let n = get_varint(buf)?;
+        if n == 0 || n > MAX_WORDS {
+            return Err(WireError::BadLength(n));
+        }
+        if (buf.remaining() as u64) < n * 8 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let words = (0..n).map(|_| buf.get_u64()).collect();
+        Ok(BloomFilter { k, words })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.k.wire_size() + varint_size(self.words.len() as u64) + 8 * self.words.len()
+    }
+}
+
+/// A pushed-down semi-join filter: which field of a stored item to test
+/// ([`Item::field_hash`]) and the Bloom filter over the acceptable join
+/// keys. Travels inside storage-layer scan messages; leaves apply it
+/// before replying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemFilter {
+    /// Field discriminant, interpreted by the stored item type.
+    pub field: u8,
+    /// Acceptable join-key hashes.
+    pub bloom: BloomFilter,
+}
+
+impl ItemFilter {
+    /// Whether the item survives the filter. Conservative: items whose
+    /// type does not expose the addressed field always pass.
+    pub fn accepts<I: Item>(&self, item: &I) -> bool {
+        match item.field_hash(self.field) {
+            Some(h) => self.bloom.contains(h),
+            None => true,
+        }
+    }
+
+    /// Retains only the surviving items (no-op for `None`) — the shared
+    /// leaf-side application path of every backend.
+    pub fn retain<I: Item>(filter: &Option<ItemFilter>, items: &mut Vec<I>) {
+        if let Some(f) = filter {
+            items.retain(|i| f.accepts(i));
+        }
+    }
+}
+
+impl Wire for ItemFilter {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.field.encode(buf);
+        self.bloom.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ItemFilter { field: u8::decode(buf)?, bloom: BloomFilter::decode(buf)? })
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + self.bloom.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::RawItem;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives_basic() {
+        let hashes: Vec<u64> = (0..500u64).map(mix64).collect();
+        let f = BloomFilter::from_hashes(hashes.iter().copied(), 0.01);
+        for h in &hashes {
+            assert!(f.contains(*h), "inserted element must test positive");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_in_the_ballpark() {
+        let f = BloomFilter::from_hashes((0..1000u64).map(mix64), 0.01);
+        let fps = (1000..101_000u64).map(mix64).filter(|&h| f.contains(h)).count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.05, "fpr {rate} way above the 1% target");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::from_hashes(std::iter::empty(), 0.01);
+        assert!((0..1000u64).map(mix64).all(|h| !f.contains(h)));
+    }
+
+    #[test]
+    fn sizing_scales_with_capacity() {
+        let small = BloomFilter::with_capacity(10, 0.01);
+        let big = BloomFilter::with_capacity(10_000, 0.01);
+        assert!(big.n_bits() > small.n_bits());
+        // ~9.6 bits/element at 1%: 10k elements ≈ 96k bits ≈ 12 KiB.
+        assert!(big.wire_size() < 16 * 1024);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let f = BloomFilter::from_hashes((0..64u64).map(mix64), 0.02);
+        let b = f.to_bytes();
+        assert_eq!(b.len(), f.wire_size());
+        assert_eq!(BloomFilter::from_bytes(&b).unwrap(), f);
+
+        let item_f = ItemFilter { field: 2, bloom: f };
+        let b = item_f.to_bytes();
+        assert_eq!(b.len(), item_f.wire_size());
+        assert_eq!(ItemFilter::from_bytes(&b).unwrap(), item_f);
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        // k = 0.
+        let mut buf = BytesMut::new();
+        0u32.encode(&mut buf);
+        put_varint(&mut buf, 1);
+        buf.put_u64(0);
+        assert!(BloomFilter::from_bytes(&buf.freeze()).is_err());
+        // Zero words.
+        let mut buf = BytesMut::new();
+        3u32.encode(&mut buf);
+        put_varint(&mut buf, 0);
+        assert!(BloomFilter::from_bytes(&buf.freeze()).is_err());
+        // Truncated words.
+        let mut buf = BytesMut::new();
+        3u32.encode(&mut buf);
+        put_varint(&mut buf, 2);
+        buf.put_u64(7);
+        assert!(matches!(BloomFilter::from_bytes(&buf.freeze()), Err(WireError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn item_filter_passes_fieldless_items() {
+        // RawItem exposes no fields: the filter must keep everything.
+        let f = ItemFilter { field: 0, bloom: BloomFilter::with_capacity(4, 0.01) };
+        assert!(f.accepts(&RawItem(99)));
+        let mut v = vec![RawItem(1), RawItem(2)];
+        ItemFilter::retain(&Some(f), &mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    proptest! {
+        /// The load-bearing property: a Bloom filter never produces a
+        /// false negative, so a filtered scan never drops a true match.
+        #[test]
+        fn prop_no_false_negatives(
+            elems in proptest::collection::vec(any::<u64>(), 0..300),
+            fpr in 0.001f64..0.3,
+        ) {
+            let f = BloomFilter::from_hashes(elems.iter().copied(), fpr);
+            for e in &elems {
+                prop_assert!(f.contains(*e));
+            }
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(
+            elems in proptest::collection::vec(any::<u64>(), 0..128),
+            field in 0u8..3,
+        ) {
+            let f = ItemFilter { field, bloom: BloomFilter::from_hashes(elems, 0.01) };
+            let b = f.to_bytes();
+            prop_assert_eq!(b.len(), f.wire_size());
+            prop_assert_eq!(ItemFilter::from_bytes(&b).unwrap(), f);
+        }
+    }
+}

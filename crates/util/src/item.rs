@@ -13,6 +13,16 @@ pub trait Item: Wire + Clone + std::fmt::Debug {
     /// key) are versions of the same entry; an insert with a newer
     /// version replaces the older one.
     fn ident(&self) -> u64;
+
+    /// Join-key hash of the field addressed by `field`, for semi-join
+    /// filtering at the data ([`crate::bloom::ItemFilter`]). The
+    /// discriminant values and the hash scheme are defined by the item
+    /// type and must match what the query layer inserts into the filter.
+    /// `None` (the default) means the item exposes no such field; the
+    /// filter then conservatively keeps it.
+    fn field_hash(&self, _field: u8) -> Option<u64> {
+        None
+    }
 }
 
 /// The simplest possible item, used by overlay-level tests and benches:

@@ -6,6 +6,8 @@
 //!
 //! * [`bits`] — variable-length bit strings ([`bits::BitPath`]) used for
 //!   P-Grid trie paths and key prefixes,
+//! * [`bloom`] — wire-encodable Bloom filters carrying semi-join keys to
+//!   the peers responsible for the data,
 //! * [`ophash`] — the order-preserving encodings that P-Grid relies on for
 //!   range and prefix queries,
 //! * [`keys`] — the 64-bit key space combining attribute prefixes with
@@ -21,6 +23,7 @@
 //!   reproducible from a single master seed.
 
 pub mod bits;
+pub mod bloom;
 pub mod fxhash;
 pub mod interval;
 pub mod item;
@@ -32,5 +35,6 @@ pub mod wire;
 pub mod zipf;
 
 pub use bits::BitPath;
+pub use bloom::{BloomFilter, ItemFilter};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use keys::Key;

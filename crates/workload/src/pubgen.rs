@@ -24,6 +24,13 @@ pub struct PubParams {
     /// Fraction of conference `series` values carrying a typo
     /// (similarity workload; the paper's `edist(?sr,'ICDE')<3`).
     pub typo_rate: f64,
+    /// Unpublished drafts (title/year tuples referenced by no author's
+    /// `has_published`), as a multiple of the published-paper count.
+    /// UniStore is a *universal* storage: shared attribute regions like
+    /// `title` and `year` accumulate data from many applications, and
+    /// bystander entries are what join pushdown filters out at the
+    /// leaves. `0.0` (the default) keeps the closed world.
+    pub draft_fraction: f64,
 }
 
 impl Default for PubParams {
@@ -35,6 +42,7 @@ impl Default for PubParams {
             conf_skew: 0.8,
             years: (1998, 2006),
             typo_rate: 0.1,
+            draft_fraction: 0.0,
         }
     }
 }
@@ -72,6 +80,9 @@ pub struct PubWorld {
     pub publications: Vec<Tuple>,
     /// Conference tuples (`confname`, `series`, `year`).
     pub conferences: Vec<Tuple>,
+    /// Unpublished drafts (`title`, `year`) no author references —
+    /// bystander data in the shared attribute regions.
+    pub drafts: Vec<Tuple>,
 }
 
 impl PubWorld {
@@ -124,13 +135,32 @@ impl PubWorld {
             }
             authors.push(author);
         }
-        PubWorld { authors, publications, conferences }
+
+        // Bystander data: drafts live in the same `title`/`year` index
+        // regions as published papers but join with nothing.
+        let n_drafts = (publications.len() as f64 * params.draft_fraction).round() as usize;
+        let mut drafts = Vec::with_capacity(n_drafts);
+        for d in 0..n_drafts {
+            let title = format!("{} (draft) #{d}", TOPICS[d % TOPICS.len()]);
+            drafts.push(
+                Tuple::new(&format!("draft{d}"))
+                    .with("title", Value::str(&title))
+                    .with("year", Value::Int(rng.gen_range(params.years.0..=params.years.1))),
+            );
+        }
+        PubWorld { authors, publications, conferences, drafts }
     }
 
     /// Everything as one tuple stream (load order: conferences,
-    /// publications, authors).
+    /// publications, drafts, authors).
     pub fn all_tuples(&self) -> Vec<Tuple> {
-        self.conferences.iter().chain(&self.publications).chain(&self.authors).cloned().collect()
+        self.conferences
+            .iter()
+            .chain(&self.publications)
+            .chain(&self.drafts)
+            .chain(&self.authors)
+            .cloned()
+            .collect()
     }
 
     /// Total triple count after decomposition.
@@ -179,6 +209,27 @@ mod tests {
             for (attr, v) in &a.fields {
                 if attr.as_ref() == "has_published" {
                     assert!(w.publications.iter().any(|p| p.get("title").unwrap() == v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drafts_are_bystanders() {
+        let closed = PubWorld::generate(&PubParams::default(), 9);
+        assert!(closed.drafts.is_empty(), "closed world by default");
+        let open = PubWorld::generate(&PubParams { draft_fraction: 1.5, ..Default::default() }, 9);
+        let expected = (open.publications.len() as f64 * 1.5).round() as usize;
+        assert_eq!(open.drafts.len(), expected);
+        // No author references a draft title.
+        for d in &open.drafts {
+            let title = d.get("title").unwrap();
+            for a in &open.authors {
+                for (attr, v) in &a.fields {
+                    assert!(
+                        attr.as_ref() != "has_published" || v != title,
+                        "draft {title} referenced by an author"
+                    );
                 }
             }
         }

@@ -5,8 +5,8 @@
 //! asserts the three relations (P-Grid, Chord, oracle) are identical.
 
 use unistore::backends::{chord_config, ChordUniCluster};
-use unistore::{UniCluster, UniConfig};
-use unistore_query::Relation;
+use unistore::{PlanMode, UniCluster, UniConfig};
+use unistore_query::{JoinStrategy, Relation};
 use unistore_store::Value;
 use unistore_workload::{PubParams, PubWorld};
 
@@ -246,6 +246,60 @@ fn multi_join_queries_match_oracle() {
              (?a,'num_of_pubs',?c)}",
         ],
     );
+}
+
+#[test]
+fn semi_join_forced_on_and_off_agree_with_oracle_on_both_backends() {
+    // The semi-join acceptance bar: the Bloom filter may only remove
+    // rows the hash join would discard, so forcing the pushdown on and
+    // off must yield the *identical* relation — on both backends, and
+    // equal to the oracle. Join shapes cover value- and
+    // subject-position sharing and a range-shaped right side.
+    let queries = [
+        "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
+        "SELECT ?n,?conf WHERE {(?a,'name',?n) (?a,'has_published',?t)
+         (?p,'title',?t) (?p,'published_in',?conf)}",
+        "SELECT ?n,?cn,?y WHERE {(?a,'name',?n) (?a,'has_published',?t)
+         (?p,'title',?t) (?p,'published_in',?cn)
+         (?c,'confname',?cn) (?c,'year',?y)}",
+        "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 AND ?g < 45}",
+    ];
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        55,
+    );
+    let tuples = world.all_tuples();
+    let modes = [
+        PlanMode { join_pref: Some(JoinStrategy::SemiJoin), ..Default::default() },
+        PlanMode { no_semi_join: true, ..Default::default() },
+    ];
+    for q in queries {
+        let mut relations: Vec<Vec<Vec<String>>> = Vec::new();
+        for mode in modes {
+            let mut pgrid = UniCluster::build(16, UniConfig::default(), 55);
+            pgrid.load(tuples.clone());
+            pgrid.set_plan_mode(mode);
+            let expected = normalize(&pgrid.oracle().query(q).expect("oracle parses"));
+            let origin = pgrid.random_node();
+            let out = pgrid.query(origin, q).expect("query parses");
+            assert!(out.ok, "P-Grid timed out ({mode:?}): {q}");
+            assert_eq!(normalize(&out.relation), expected, "P-Grid vs oracle ({mode:?}): {q}");
+            relations.push(normalize(&out.relation));
+
+            let mut chord = ChordUniCluster::build_overlay(16, chord_config(), 55);
+            chord.load(tuples.clone());
+            chord.set_plan_mode(mode);
+            let origin = chord.random_node();
+            let out = chord.query(origin, q).expect("query parses");
+            assert!(out.ok, "Chord timed out ({mode:?}): {q}");
+            assert_eq!(normalize(&out.relation), expected, "Chord vs oracle ({mode:?}): {q}");
+            relations.push(normalize(&out.relation));
+        }
+        assert!(
+            relations.windows(2).all(|w| w[0] == w[1]),
+            "semi-join on/off × backends disagree: {q}"
+        );
+    }
 }
 
 #[test]
