@@ -16,7 +16,7 @@ use rand::Rng;
 
 use unistore_overlay::{Overlay, OverlayDone, OverlayTopology};
 use unistore_pgrid::PGridPeer;
-use unistore_query::{CostModel, Logical, Mqp, MqpNode, Relation};
+use unistore_query::{CostModel, Logical, Mqp, MqpNode, Relation, StatsDelta};
 use unistore_simnet::metrics::OpCost;
 use unistore_simnet::{LanLatency, LatencyModel, NodeId, SimNet, SimTime};
 use unistore_store::index::TripleKeys;
@@ -57,6 +57,10 @@ pub struct UniCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
     triples: Vec<Triple>,
     mappings: MappingSet,
     cost: Option<Arc<CostModel>>,
+    /// Snapshot generation: bumped by every full rebuild so stale
+    /// in-flight deltas cannot be double-counted (see
+    /// [`QueryMsg::StatsDelta`]).
+    stats_epoch: u64,
 }
 
 impl UniCluster<PGridPeer<Triple>> {
@@ -113,6 +117,7 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
             triples: Vec::new(),
             mappings: MappingSet::new(),
             cost: None,
+            stats_epoch: 0,
         };
         cluster.spawn_nodes(n_peers);
         cluster
@@ -120,14 +125,10 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
 
     /// Populates `self.net` with nodes spawned from `self.topology`.
     fn spawn_nodes(&mut self, n_peers: usize) {
+        let params = self.cfg.node_params();
         for peer in 0..n_peers {
             let overlay = O::spawn(&self.topology, peer, &self.cfg.overlay, self.seed);
-            self.net.add_node(UniNode::new(
-                overlay,
-                self.cfg.query_timeout,
-                self.cfg.query_retries,
-                self.cfg.plan_mode,
-            ));
+            self.net.add_node(UniNode::new(overlay, n_peers, &params));
         }
     }
 
@@ -162,7 +163,7 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
             self.rebuild_topology(n, Some(&sample));
         }
         self.place_all();
-        self.refresh_stats();
+        self.rebuild_stats();
     }
 
     /// Registers a schema mapping: stored as a metadata triple *and*
@@ -174,28 +175,41 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         for i in 0..self.net.len() {
             self.net.node_mut(NodeId(i as u32)).mappings.add(m);
         }
-        self.refresh_stats();
-    }
-
-    fn place_all(&mut self) {
-        let triples = self.triples.clone();
-        for t in &triples {
-            self.place_triple_direct(t);
+        match self.cost.is_some() {
+            // Cheap path: fold the one new metadata triple in.
+            true => self.apply_write_delta(None, {
+                let mut d = StatsDelta::new();
+                d.record_insert(m.to_triple());
+                d
+            }),
+            false => self.rebuild_stats(),
         }
     }
 
+    fn place_all(&mut self) {
+        // Placement mutates nodes while reading the dataset; move the
+        // triples out for the loop instead of cloning them.
+        let triples = std::mem::take(&mut self.triples);
+        for t in &triples {
+            self.place_triple_direct(t);
+        }
+        self.triples = triples;
+    }
+
     fn place_triple_direct(&mut self, t: &Triple) {
-        let keys = TripleKeys::derive(t, self.cfg.with_qgrams);
-        let mut all: Vec<Key> = keys.primary().to_vec();
-        all.extend(&keys.qgrams);
-        for key in all {
+        for key in TripleKeys::derive(t, self.cfg.with_qgrams).all() {
             for p in self.topology.holders(key) {
                 self.net.node_mut(NodeId(p as u32)).overlay.preload(key, t.clone(), 0);
             }
         }
     }
 
-    fn refresh_stats(&mut self) {
+    /// Full statistics rebuild: a scan of every triple plus an Arc
+    /// re-distribution to all nodes. Reserved for bulk loads and
+    /// topology re-plans; routed writes go through
+    /// [`Self::apply_write_delta`] instead (amortized O(delta)).
+    fn rebuild_stats(&mut self) {
+        self.stats_epoch += 1;
         let model = build_cost_model(
             &self.triples,
             self.net.len(),
@@ -205,7 +219,38 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         );
         self.cost = Some(model.clone());
         for i in 0..self.net.len() {
-            self.net.node_mut(NodeId(i as u32)).cost = Some(model.clone());
+            self.net.node_mut(NodeId(i as u32)).reset_stats(model.clone(), self.stats_epoch);
+        }
+    }
+
+    /// Folds a write batch into the statistics — O(delta), no rescan.
+    ///
+    /// The driver's master model absorbs the delta immediately (it is
+    /// the oracle's and `cost_model()`'s view). With an `origin`, the
+    /// delta is also injected there as an in-band
+    /// [`QueryMsg::StatsDelta`]: the origin node folds it in on receipt
+    /// and re-broadcasts it to the other peers on its next
+    /// stats-refresh tick, so remote planners converge without any
+    /// driver-side fan-out.
+    fn apply_write_delta(&mut self, origin: Option<NodeId>, delta: StatsDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        if let Some(model) = self.cost.as_mut() {
+            Arc::make_mut(model).apply_delta(&delta);
+        }
+        match origin {
+            Some(origin) => self.net.inject(
+                origin,
+                UniMsg::Query(QueryMsg::StatsDelta { epoch: self.stats_epoch, delta }),
+            ),
+            // No routed path (driver-side metadata write): fold the
+            // delta into every node directly, mirroring the preload.
+            None => {
+                for i in 0..self.net.len() {
+                    self.net.node_mut(NodeId(i as u32)).apply_stats_delta(&delta);
+                }
+            }
         }
     }
 
@@ -333,67 +378,75 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
     }
 
     /// Injects a batch of routed write messages at `origin` and awaits
-    /// every ack; `true` when all succeeded.
-    fn run_writes(&mut self, origin: NodeId, msgs: Vec<(u64, O::Msg)>) -> bool {
+    /// every ack; returns overall success and the hops the acked writes
+    /// traveled.
+    fn run_writes(&mut self, origin: NodeId, msgs: Vec<(u64, O::Msg)>) -> (bool, u32) {
         let mut ok = true;
+        let mut hops = 0u32;
         for (qid, msg) in msgs {
             self.net.inject(origin, UniMsg::Overlay(msg));
-            ok &= matches!(self.run_for_storage(qid), Some(OverlayDone::Insert { ok: true, .. }));
+            match self.run_for_storage(qid) {
+                Some(OverlayDone::Insert { ok: acked, hops: h, .. }) => {
+                    ok &= acked;
+                    hops += h;
+                }
+                _ => ok = false,
+            }
         }
-        ok
+        (ok, hops)
     }
 
     /// Inserts one tuple through the routed protocol path (every index
-    /// entry is an overlay insert; the paper's Fig. 2 fan-out).
+    /// entry is an overlay insert; the paper's Fig. 2 fan-out). The
+    /// statistics absorb the write as an O(delta) fold — no rescan.
     pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple) -> (bool, OpCost) {
         let ocfg = self.cfg.overlay.clone();
         let before = self.net.metrics();
         let start = self.net.now();
         let mut ok = true;
+        let mut hops = 0u32;
+        let mut delta = StatsDelta::new();
         for t in tuple.to_triples() {
-            let keys = TripleKeys::derive(&t, self.cfg.with_qgrams);
-            let mut all: Vec<Key> = keys.primary().to_vec();
-            all.extend(&keys.qgrams);
-            for key in all {
+            for key in TripleKeys::derive(&t, self.cfg.with_qgrams).all() {
                 let msgs =
                     O::insert_msgs(&ocfg, &mut || self.fresh_qid(), key, t.clone(), 0, origin);
-                ok &= self.run_writes(origin, msgs);
+                let (w_ok, w_hops) = self.run_writes(origin, msgs);
+                ok &= w_ok;
+                hops += w_hops;
             }
+            delta.record_insert(t.clone());
             self.triples.push(t);
         }
-        self.refresh_stats();
         let d = self.net.metrics().delta(&before);
+        self.apply_write_delta(Some(origin), delta);
         (
             ok,
             OpCost {
                 messages: d.sent,
                 bytes: d.bytes,
                 latency: self.net.now().saturating_sub(start),
-                hops: 0,
+                hops,
             },
         )
     }
 
     /// Updates the value of `(oid, attr)` through the protocol path:
     /// deletes the old index entries, inserts the new ones with a newer
-    /// version (paper ref [4] loose-consistency updates).
+    /// version (paper ref [4] loose-consistency updates). The
+    /// statistics absorb the write as an O(delta) fold — no rescan.
     pub fn update(&mut self, origin: NodeId, old: &Triple, new_value: Value, version: u64) -> bool {
         let ocfg = self.cfg.overlay.clone();
         let new_triple = Triple { oid: old.oid.clone(), attr: old.attr.clone(), value: new_value };
         let ident = unistore_util::item::Item::ident(old);
-        let old_keys = TripleKeys::derive(old, self.cfg.with_qgrams);
         let mut ok = true;
         // Remove the old fact under every key it was indexed at; its
         // identity includes the old value, so the new entry (different
         // identity) is untouched even at shared keys (e.g. OID index).
-        let mut stale: Vec<Key> = old_keys.primary().to_vec();
-        stale.extend(&old_keys.qgrams);
-        let new_keys = TripleKeys::derive(&new_triple, self.cfg.with_qgrams);
-        let mut fresh: Vec<Key> = new_keys.primary().to_vec();
-        fresh.extend(&new_keys.qgrams);
+        let stale = TripleKeys::derive(old, self.cfg.with_qgrams).all();
+        let fresh = TripleKeys::derive(&new_triple, self.cfg.with_qgrams).all();
         for key in stale {
             let msgs = O::delete_msgs(&ocfg, &mut || self.fresh_qid(), key, ident, version, origin);
-            ok &= self.run_writes(origin, msgs);
+            ok &= self.run_writes(origin, msgs).0;
         }
         for key in fresh {
             let msgs = O::insert_msgs(
@@ -404,14 +457,43 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
                 version,
                 origin,
             );
-            ok &= self.run_writes(origin, msgs);
+            ok &= self.run_writes(origin, msgs).0;
         }
+        let mut delta = StatsDelta::new();
         // Track driver-side view.
-        if let Some(t) =
-            self.triples.iter_mut().find(|t| t.oid == new_triple.oid && t.attr == new_triple.attr)
+        match self.triples.iter_mut().find(|t| t.oid == new_triple.oid && t.attr == new_triple.attr)
         {
-            *t = new_triple;
+            Some(t) => {
+                delta.record_delete(t.clone());
+                *t = new_triple.clone();
+            }
+            // Unknown to the driver view: the routed path still
+            // inserted the new fact, so track it as a plain insert.
+            None => self.triples.push(new_triple.clone()),
         }
+        delta.record_insert(new_triple);
+        self.apply_write_delta(Some(origin), delta);
+        ok
+    }
+
+    /// Deletes one fact through the protocol path: removes its entry
+    /// from every index it was stored under. The statistics absorb the
+    /// write as an O(delta) fold — no rescan.
+    pub fn delete(&mut self, origin: NodeId, triple: &Triple, version: u64) -> bool {
+        let ocfg = self.cfg.overlay.clone();
+        let ident = unistore_util::item::Item::ident(triple);
+        let mut ok = true;
+        for key in TripleKeys::derive(triple, self.cfg.with_qgrams).all() {
+            let msgs = O::delete_msgs(&ocfg, &mut || self.fresh_qid(), key, ident, version, origin);
+            ok &= self.run_writes(origin, msgs).0;
+        }
+        let mut delta = StatsDelta::new();
+        if let Some(pos) = self.triples.iter().position(|t| {
+            t.oid == triple.oid && t.attr == triple.attr && t.value.eq_values(&triple.value)
+        }) {
+            delta.record_delete(self.triples.swap_remove(pos));
+        }
+        self.apply_write_delta(Some(origin), delta);
         ok
     }
 

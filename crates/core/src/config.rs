@@ -36,6 +36,22 @@ pub struct PlanMode {
     pub no_semi_join: bool,
 }
 
+/// The query-layer knobs a [`crate::UniNode`] needs, independent of the
+/// storage backend's configuration — one view shared by the simulated
+/// cluster driver and the live threaded runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeParams {
+    /// Time the origin waits for a query result.
+    pub query_timeout: SimTime,
+    /// Origin-side query re-dispatches before reporting failure.
+    pub query_retries: u32,
+    /// Planner behaviour.
+    pub plan_mode: PlanMode,
+    /// Statistics-dissemination tick: how often a node flushes buffered
+    /// [`unistore_query::cost::StatsDelta`]s to its peers.
+    pub stats_refresh: SimTime,
+}
+
 /// Cluster-level configuration, generic over the storage backend's own
 /// configuration (`PGridConfig` by default; `ChordConfig` for the ring
 /// backend — see [`crate::backends`]).
@@ -59,6 +75,12 @@ pub struct UniConfig<C = PGridConfig> {
     pub query_retries: u32,
     /// Default planner behaviour for all nodes.
     pub plan_mode: PlanMode,
+    /// Statistics-dissemination cadence: every node flushes the stat
+    /// deltas it buffered to its peers on this maintenance tick, so
+    /// long-running nodes converge to fresh statistics without restart.
+    /// The staleness a remote plan can observe is bounded by one tick
+    /// plus one hop (DESIGN.md §"Statistics distribution").
+    pub stats_refresh: SimTime,
 }
 
 impl Default for UniConfig<PGridConfig> {
@@ -86,6 +108,7 @@ impl<C> UniConfig<C> {
             query_timeout: SimTime::from_secs(120),
             query_retries: 2,
             plan_mode: PlanMode::default(),
+            stats_refresh: SimTime::from_secs(10),
         }
     }
 
@@ -93,6 +116,25 @@ impl<C> UniConfig<C> {
     pub fn with_query_retries(mut self, retries: u32) -> Self {
         self.query_retries = retries;
         self
+    }
+
+    /// Sets the statistics-dissemination cadence (the staleness bound
+    /// remote peers can observe). Use a very large interval to
+    /// effectively disable in-band dissemination for experiments that
+    /// need exact per-operation cost attribution.
+    pub fn with_stats_refresh(mut self, interval: SimTime) -> Self {
+        self.stats_refresh = interval;
+        self
+    }
+
+    /// The query-layer knobs a node needs, backend-erased.
+    pub fn node_params(&self) -> NodeParams {
+        NodeParams {
+            query_timeout: self.query_timeout,
+            query_retries: self.query_retries,
+            plan_mode: self.plan_mode,
+            stats_refresh: self.stats_refresh,
+        }
     }
 
     /// Forces the Bloom-filtered semi-join pushdown on or off for every
@@ -142,6 +184,15 @@ mod tests {
         assert_eq!(c.overlay.replication, 3);
         assert_eq!(c.overlay.maintenance_interval, SimTime::from_secs(30));
         assert_eq!(c.query_retries, 5);
+    }
+
+    #[test]
+    fn stats_refresh_knob() {
+        let c = UniConfig::default();
+        assert_eq!(c.stats_refresh, SimTime::from_secs(10), "dissemination on by default");
+        let c = c.with_stats_refresh(SimTime::from_millis(50));
+        assert_eq!(c.stats_refresh, SimTime::from_millis(50));
+        assert_eq!(c.node_params().stats_refresh, SimTime::from_millis(50));
     }
 
     #[test]

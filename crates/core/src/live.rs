@@ -22,7 +22,7 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use unistore_overlay::{Overlay, OverlayTopology};
 use unistore_pgrid::PGridPeer;
-use unistore_query::{Logical, Mqp, MqpNode, Relation};
+use unistore_query::{Logical, Mqp, MqpNode, Relation, StatsDelta};
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_store::index::TripleKeys;
 use unistore_store::{Triple, Tuple};
@@ -36,6 +36,11 @@ use crate::stats::build_cost_model;
 
 type Inbox<M> = (NodeId, UniMsg<M>);
 
+/// A node's statistics summary as reported by
+/// [`LiveCluster::stats_probe`]: total triples plus per-attribute
+/// counts.
+pub type StatsSummary = (f64, Vec<(Arc<str>, f64)>);
+
 /// A running, threaded UniStore deployment over an [`Overlay`] backend
 /// (P-Grid unless specified otherwise).
 pub struct LiveCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
@@ -45,6 +50,9 @@ pub struct LiveCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
     shutdown: Arc<AtomicBool>,
     next_qid: u64,
     n: usize,
+    /// Overlay configuration, kept for routed runtime writes.
+    ocfg: O::Config,
+    with_qgrams: bool,
 }
 
 impl LiveCluster<PGridPeer<Triple>> {
@@ -78,11 +86,11 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
             SimTime::from_micros(200), // LAN-ish expectation for the model
         );
 
+        let params = cfg.node_params();
         let mut nodes: Vec<UniNode<O>> = (0..n_peers)
             .map(|peer| {
                 let overlay = O::spawn(&topology, peer, &cfg.overlay, seed);
-                let mut node =
-                    UniNode::new(overlay, cfg.query_timeout, cfg.query_retries, cfg.plan_mode);
+                let mut node = UniNode::new(overlay, n_peers, &params);
                 node.cost = Some(model.clone());
                 node
             })
@@ -90,10 +98,7 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
 
         // Driver-side preload, as in the simulated cluster.
         for t in &triples {
-            let keys = TripleKeys::derive(t, cfg.with_qgrams);
-            let mut all: Vec<Key> = keys.primary().to_vec();
-            all.extend(&keys.qgrams);
-            for key in all {
+            for key in TripleKeys::derive(t, cfg.with_qgrams).all() {
                 for p in topology.holders(key) {
                     nodes[p].overlay.preload(key, t.clone(), 0);
                 }
@@ -116,7 +121,16 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
                 node_loop(node, rx, peers, out, stop);
             }));
         }
-        LiveCluster { senders, outputs, handles, shutdown, next_qid: 1, n: n_peers }
+        LiveCluster {
+            senders,
+            outputs,
+            handles,
+            shutdown,
+            next_qid: 1,
+            n: n_peers,
+            ocfg: cfg.overlay.clone(),
+            with_qgrams: cfg.with_qgrams,
+        }
     }
 
     /// Number of nodes.
@@ -163,6 +177,93 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
                 }
                 Ok(_) => continue,
                 Err(_) => return Ok(None),
+            }
+        }
+    }
+
+    /// Inserts one tuple through the routed protocol path at runtime,
+    /// waiting up to `timeout` wall-clock time for every index-entry
+    /// ack. After the acks, the statistics delta is handed to the
+    /// origin node in-band: the origin folds it into its cost model
+    /// immediately and disseminates it to the other nodes on its next
+    /// stats-refresh tick — no restart, no rescan.
+    pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple, timeout: Duration) -> bool {
+        let ocfg = self.ocfg.clone();
+        let triples = tuple.to_triples();
+        let mut pending: Vec<u64> = Vec::new();
+        for t in &triples {
+            for key in TripleKeys::derive(t, self.with_qgrams).all() {
+                let msgs = O::insert_msgs(
+                    &ocfg,
+                    &mut || {
+                        let q = self.next_qid;
+                        self.next_qid += 1;
+                        q
+                    },
+                    key,
+                    t.clone(),
+                    0,
+                    origin,
+                );
+                for (qid, msg) in msgs {
+                    pending.push(qid);
+                    self.senders[origin.index()]
+                        .send((NodeId::EXTERNAL, UniMsg::Overlay(msg)))
+                        .expect("node thread alive");
+                }
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        let mut ok = true;
+        while !pending.is_empty() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            match self.outputs.recv_timeout(remaining) {
+                Ok((_, UniEvent::Storage(done))) => {
+                    if let Some(pos) = pending.iter().position(|&q| q == done.qid()) {
+                        pending.swap_remove(pos);
+                        ok &= done.ok();
+                    }
+                }
+                Ok(_) => continue,
+                Err(_) => return false,
+            }
+        }
+        let mut delta = StatsDelta::new();
+        for t in triples {
+            delta.record_insert(t);
+        }
+        // The live runtime never rebuilds snapshots, so every delta
+        // rides the initial epoch.
+        self.senders[origin.index()]
+            .send((NodeId::EXTERNAL, UniMsg::Query(QueryMsg::StatsDelta { epoch: 0, delta })))
+            .expect("node thread alive");
+        ok
+    }
+
+    /// Asks a node for a summary of its current statistics snapshot:
+    /// `(total, per-attribute counts)`. Observability for staleness
+    /// tests — the only way to see inside a running node.
+    pub fn stats_probe(&mut self, node: NodeId, timeout: Duration) -> Option<StatsSummary> {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.senders[node.index()]
+            .send((NodeId::EXTERNAL, UniMsg::Query(QueryMsg::StatsProbe { qid })))
+            .expect("node thread alive");
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.outputs.recv_timeout(remaining) {
+                Ok((_, UniEvent::Stats { qid: q, total, attrs })) if q == qid => {
+                    return Some((total, attrs));
+                }
+                Ok(_) => continue,
+                Err(_) => return None,
             }
         }
     }

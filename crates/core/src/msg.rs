@@ -4,9 +4,12 @@
 //! layer (whatever [`Overlay`](unistore_overlay::Overlay) backend the
 //! node runs on) and the query-processing layer riding on it.
 
+use std::sync::Arc;
+
 use bytes::{Bytes, BytesMut};
 
 use unistore_overlay::OverlayDone;
+use unistore_query::cost::StatsDelta;
 use unistore_query::{Mqp, Relation};
 use unistore_store::Triple;
 use unistore_util::wire::{Wire, WireError};
@@ -47,6 +50,27 @@ pub enum QueryMsg {
         /// Accumulated hop count (plan travel + deepest scan).
         hops: u32,
     },
+    /// A batch of statistics write events: the in-band dissemination of
+    /// the paper's gossiped statistics metadata. Injected by write
+    /// origins and re-broadcast by nodes on their stats-refresh tick;
+    /// receivers fold it into their cost-model snapshot.
+    StatsDelta {
+        /// Snapshot generation the delta applies on top of. A full
+        /// rebuild bumps the epoch; deltas still buffered or in flight
+        /// from the previous epoch describe writes the rebuilt snapshot
+        /// already contains and are dropped on receipt instead of being
+        /// double-counted.
+        epoch: u64,
+        /// The write batch.
+        delta: StatsDelta,
+    },
+    /// Asks the receiving node for a summary of its current statistics
+    /// snapshot (observability for the live runtime, where node state
+    /// cannot be inspected directly). Answered with [`UniEvent::Stats`].
+    StatsProbe {
+        /// Correlation id.
+        qid: u64,
+    },
 }
 
 mod tag {
@@ -54,6 +78,8 @@ mod tag {
     pub const EXECUTE: u8 = 2;
     pub const ROUTE: u8 = 3;
     pub const RESULT: u8 = 4;
+    pub const STATS_DELTA: u8 = 5;
+    pub const STATS_PROBE: u8 = 6;
 }
 
 impl<M: Wire> Wire for UniMsg<M> {
@@ -78,6 +104,15 @@ impl<M: Wire> Wire for UniMsg<M> {
                 relation.encode(buf);
                 hops.encode(buf);
             }
+            UniMsg::Query(QueryMsg::StatsDelta { epoch, delta }) => {
+                tag::STATS_DELTA.encode(buf);
+                epoch.encode(buf);
+                delta.encode(buf);
+            }
+            UniMsg::Query(QueryMsg::StatsProbe { qid }) => {
+                tag::STATS_PROBE.encode(buf);
+                qid.encode(buf);
+            }
         }
     }
 
@@ -93,6 +128,11 @@ impl<M: Wire> Wire for UniMsg<M> {
                 relation: Relation::decode(buf)?,
                 hops: Wire::decode(buf)?,
             }),
+            tag::STATS_DELTA => UniMsg::Query(QueryMsg::StatsDelta {
+                epoch: Wire::decode(buf)?,
+                delta: Wire::decode(buf)?,
+            }),
+            tag::STATS_PROBE => UniMsg::Query(QueryMsg::StatsProbe { qid: Wire::decode(buf)? }),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -114,6 +154,17 @@ pub enum UniEvent {
     },
     /// A driver-issued raw storage operation finished.
     Storage(OverlayDone<Triple>),
+    /// Answer to a [`QueryMsg::StatsProbe`]: a summary of the node's
+    /// current statistics snapshot.
+    Stats {
+        /// Correlation id.
+        qid: u64,
+        /// Total triples the snapshot believes the system holds (0.0
+        /// when the node has no cost model yet).
+        total: f64,
+        /// Per-attribute triple counts.
+        attrs: Vec<(Arc<str>, f64)>,
+    },
 }
 
 #[cfg(test)]
@@ -149,6 +200,16 @@ mod tests {
             UniMsg::Query(QueryMsg::Execute { mqp: mqp.clone() }),
             UniMsg::Query(QueryMsg::Route { key: 99, mqp }),
             UniMsg::Query(QueryMsg::Result { qid: 7, relation: rel, hops: 5 }),
+            UniMsg::Query(QueryMsg::StatsDelta {
+                epoch: 3,
+                delta: {
+                    let mut d = StatsDelta::new();
+                    d.record_insert(Triple::new("o9", "rating", Value::Int(5)));
+                    d.record_delete(Triple::new("o9", "rating", Value::Int(4)));
+                    d
+                },
+            }),
+            UniMsg::Query(QueryMsg::StatsProbe { qid: 11 }),
         ];
         for m in msgs {
             let b = m.to_bytes();

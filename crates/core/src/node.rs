@@ -28,7 +28,9 @@ use unistore_util::wire::Wire;
 use unistore_util::{BloomFilter, FxHashMap, FxHashSet, ItemFilter, Key};
 use unistore_vql::{Term, TriplePattern};
 
-use crate::config::{PlanMode, ScanPref};
+use unistore_query::cost::StatsDelta;
+
+use crate::config::{NodeParams, PlanMode, ScanPref};
 use crate::msg::{QueryMsg, UniEvent, UniMsg};
 
 /// Effects buffer of the UniStore node, parameterized by the storage
@@ -38,6 +40,11 @@ pub type UniFx<M> = Effects<UniMsg<M>, UniEvent>;
 /// Timer kind for the origin-side query deadline (storage-layer timers
 /// use kinds below 100 — see the [`Overlay`] contract).
 const RESULT_TIMEOUT: u32 = 100;
+
+/// Timer kind for the periodic statistics-dissemination tick: buffered
+/// [`StatsDelta`]s are flushed to every peer, bounding the staleness a
+/// remote plan can observe by one tick plus one hop.
+const STATS_TICK: u32 = 101;
 
 /// Mutant plans above this encoded size stop travelling and pull data
 /// instead (shipping megabytes of partial results is worse than a few
@@ -103,6 +110,19 @@ pub struct UniNode<O: Overlay<Item = Triple>> {
     /// How many times the origin re-dispatches a timed-out query
     /// ([`crate::UniConfig::query_retries`]).
     query_retries: u32,
+    /// Deployment size: the fan-out of the stats-dissemination flush
+    /// (the same system-wide parameter the cost model already assumes
+    /// every peer knows).
+    n_peers: usize,
+    /// Statistics-dissemination cadence
+    /// ([`crate::UniConfig::stats_refresh`]).
+    stats_refresh: SimTime,
+    /// Stat deltas learned from write origins, buffered until the next
+    /// dissemination tick.
+    stats_outbox: StatsDelta,
+    /// Snapshot generation of `cost`. Deltas from another epoch are
+    /// stale (a full rebuild already contains their writes) and dropped.
+    stats_epoch: u64,
     active: FxHashMap<u64, Active>,
     /// storage-layer qid → query qid.
     waiting: FxHashMap<u64, u64>,
@@ -119,26 +139,69 @@ pub struct UniNode<O: Overlay<Item = Triple>> {
 
 impl<O: Overlay<Item = Triple>> UniNode<O> {
     /// Wraps a wired overlay peer (built by the cluster driver through
-    /// [`Overlay::spawn`]) into a full UniStore node.
-    pub fn new(
-        overlay: O,
-        query_timeout: SimTime,
-        query_retries: u32,
-        plan_mode: PlanMode,
-    ) -> Self {
+    /// [`Overlay::spawn`]) into a full UniStore node of an
+    /// `n_peers`-wide deployment.
+    pub fn new(overlay: O, n_peers: usize, params: &NodeParams) -> Self {
         UniNode {
             overlay,
             cost: None,
             mappings: MappingSet::new(),
-            plan_mode,
+            plan_mode: params.plan_mode,
             trace: Vec::new(),
-            query_timeout,
-            query_retries,
+            query_timeout: params.query_timeout,
+            query_retries: params.query_retries,
+            n_peers,
+            stats_refresh: params.stats_refresh,
+            stats_outbox: StatsDelta::new(),
+            stats_epoch: 0,
             active: FxHashMap::default(),
             waiting: FxHashMap::default(),
             pending_results: FxHashMap::default(),
             attempt_of: FxHashMap::default(),
             exec_counter: 0,
+        }
+    }
+
+    /// Folds a statistics delta into this node's cost-model snapshot —
+    /// O(delta). A node that has no model yet (pre-load) skips the fold:
+    /// it will receive a full snapshot at load time.
+    pub(crate) fn apply_stats_delta(&mut self, delta: &StatsDelta) {
+        if let Some(model) = self.cost.as_mut() {
+            // Copy-on-write: nodes share the bulk-built Arc snapshot
+            // until the first delta diverges them.
+            Arc::make_mut(model).apply_delta(delta);
+        }
+    }
+
+    /// Installs a freshly rebuilt snapshot: adopts its epoch and
+    /// discards buffered deltas (the rebuild already counted their
+    /// writes). Deltas from earlier epochs still in flight are dropped
+    /// on receipt by the epoch gate.
+    pub(crate) fn reset_stats(&mut self, model: Arc<CostModel>, epoch: u64) {
+        self.cost = Some(model);
+        self.stats_epoch = epoch;
+        self.stats_outbox = StatsDelta::new();
+    }
+
+    /// Flushes the buffered stat deltas to every peer (the in-band
+    /// dissemination flush of the stats-refresh tick).
+    fn flush_stats_outbox(&mut self, fx: &mut UniFx<O::Msg>) {
+        if self.stats_outbox.is_empty() {
+            return;
+        }
+        let delta = std::mem::take(&mut self.stats_outbox);
+        let me = self.id();
+        for peer in 0..self.n_peers {
+            let to = NodeId(peer as u32);
+            if to != me {
+                fx.send(
+                    to,
+                    UniMsg::Query(QueryMsg::StatsDelta {
+                        epoch: self.stats_epoch,
+                        delta: delta.clone(),
+                    }),
+                );
+            }
         }
     }
 
@@ -567,6 +630,31 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                     fx.emit(UniEvent::QueryDone { qid: user, relation, hops, ok: true });
                 }
             }
+            QueryMsg::StatsDelta { epoch, delta } => {
+                // Stale generation: a full rebuild already folded these
+                // writes into the snapshot this node received.
+                if epoch != self.stats_epoch {
+                    return;
+                }
+                self.apply_stats_delta(&delta);
+                // Write origins hand the driver's delta to one node;
+                // that node disseminates it to the rest on its next
+                // stats tick. Peer-to-peer deltas are already a flush
+                // fan-out and stop here.
+                if from == NodeId::EXTERNAL {
+                    self.stats_outbox.merge(delta);
+                }
+            }
+            QueryMsg::StatsProbe { qid } => {
+                let (total, attrs) = match &self.cost {
+                    Some(model) => (
+                        model.stats.total,
+                        model.stats.attrs.iter().map(|(k, a)| (k.clone(), a.count)).collect(),
+                    ),
+                    None => (0.0, Vec::new()),
+                };
+                fx.emit(UniEvent::Stats { qid, total, attrs });
+            }
         }
     }
 
@@ -695,6 +783,7 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
 
     fn on_start(&mut self, now: SimTime, fx: &mut UniFx<O::Msg>) {
         self.with_overlay(fx, |p, ofx| p.on_start(now, ofx));
+        fx.set_timer(self.stats_refresh, Timer::new(STATS_TICK, 0));
     }
 
     fn on_message(
@@ -713,6 +802,9 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
     fn on_timer(&mut self, now: SimTime, t: Timer, fx: &mut UniFx<O::Msg>) {
         if t.kind < 100 {
             self.with_overlay(fx, |p, ofx| p.on_timer(now, t, ofx));
+        } else if t.kind == STATS_TICK {
+            self.flush_stats_outbox(fx);
+            fx.set_timer(self.stats_refresh, Timer::new(STATS_TICK, 0));
         } else if t.kind == RESULT_TIMEOUT {
             let qid = t.payload;
             let retry = match self.pending_results.get_mut(&qid) {

@@ -2,10 +2,16 @@
 //!
 //! The paper bases its cost model on "the characteristics of the used
 //! overlay system and the actual data distribution", gossiped between
-//! peers as statistics metadata. In the reproduction the driver
-//! aggregates the statistics once after loading and hands every node the
-//! same snapshot — same information flow, minus the (orthogonal) gossip
-//! protocol; documented in DESIGN.md §2.
+//! peers as statistics metadata. The reproduction splits this into two
+//! paths (DESIGN.md §"Statistics distribution"):
+//!
+//! * **bulk**: after a driver-side load, [`build_cost_model`] scans the
+//!   dataset once and hands every node the same snapshot;
+//! * **incremental**: routed writes fold into the snapshots as
+//!   [`unistore_query::StatsDelta`]s — O(delta) per write at the
+//!   driver, disseminated in-band to the nodes on the stats-refresh
+//!   tick ([`crate::UniConfig::stats_refresh`]), so long-running nodes
+//!   converge to fresh statistics without restart or rescan.
 
 use std::sync::Arc;
 

@@ -22,7 +22,7 @@ use unistore_store::qgram;
 use unistore_store::{Triple, Value};
 use unistore_util::stats::Histogram;
 use unistore_util::wire::Wire;
-use unistore_util::{FxHashMap, FxHashSet};
+use unistore_util::FxHashMap;
 
 use crate::strategy::{JoinStrategy, RangeAlgo, ScanStrategy};
 
@@ -46,7 +46,41 @@ impl NetParams {
     }
 }
 
+/// Selectivity assumed for attributes the statistics have never seen.
+///
+/// Statistics are disseminated with bounded staleness, so an attribute
+/// can be live in the system before any snapshot mentions it. Pricing
+/// such a scan at zero cardinality *and* zero cost made every
+/// ghost-attribute plan look free and win `choose_scan` / join
+/// arbitration outright; instead, unknown attributes are floored at
+/// this conservative fraction of the total triple count (never below
+/// one row).
+pub const UNKNOWN_ATTR_SELECTIVITY: f64 = 0.01;
+
+/// Bumps a refcount.
+fn bump<K: std::hash::Hash + Eq>(map: &mut FxHashMap<K, u32>, k: K) {
+    *map.entry(k).or_insert(0) += 1;
+}
+
+/// Drops a refcount, removing the entry when it reaches zero. Unknown
+/// keys are ignored (saturating semantics).
+fn unbump<K: std::hash::Hash + Eq>(map: &mut FxHashMap<K, u32>, k: &K) {
+    if let Some(rc) = map.get_mut(k) {
+        *rc -= 1;
+        if *rc == 0 {
+            map.remove(k);
+        }
+    }
+}
+
 /// Per-attribute statistics.
+///
+/// The `f64` fields are the numbers the cost formulas consume; the
+/// private refcount maps are the support state that lets deltas keep
+/// them *exact* under interleaved inserts and deletes (an incrementally
+/// maintained snapshot is indistinguishable from a fresh
+/// [`GlobalStats::build`] over the surviving triples — property-tested
+/// below).
 #[derive(Clone, Debug)]
 pub struct AttrStats {
     /// Number of triples with this attribute.
@@ -65,10 +99,99 @@ pub struct AttrStats {
     pub gram_postings: f64,
     /// Distinct q-grams.
     pub gram_distinct: f64,
+    /// Live key-space values (refcounted; drives `distinct`).
+    values: FxHashMap<u64, u32>,
+    /// Live semantic values (refcounted; drives `join_distinct`).
+    join_values: FxHashMap<u64, u32>,
+    /// Live q-grams (refcounted with multiplicity; drives
+    /// `gram_distinct`).
+    grams: FxHashMap<u32, u32>,
 }
 
-/// Global statistics: what the paper's peers gossip; here aggregated by
-/// the driver (substitution documented in DESIGN.md).
+impl AttrStats {
+    /// Empty statistics for one attribute. The histogram spans exactly
+    /// this attribute's slice of the key space, so its 256 buckets
+    /// resolve value ranges *within* the attribute.
+    fn empty(attr: &str) -> Self {
+        let (lo, hi) = unistore_store::index::attr_range(attr);
+        AttrStats {
+            count: 0.0,
+            distinct: 0.0,
+            join_distinct: 0.0,
+            hist: Histogram::new(lo, hi, 256),
+            gram_postings: 0.0,
+            gram_distinct: 0.0,
+            values: FxHashMap::default(),
+            join_values: FxHashMap::default(),
+            grams: FxHashMap::default(),
+        }
+    }
+}
+
+/// A batch of statistics-relevant write events, shippable over the
+/// wire: the in-band currency of statistics dissemination.
+///
+/// Writers record the triples they inserted and deleted; receivers fold
+/// the batch into their snapshot with [`GlobalStats::apply_delta`].
+/// Deltas merge by concatenation, so a node can buffer everything it
+/// learns between two dissemination ticks into one message.
+#[derive(Clone, Debug, Default)]
+pub struct StatsDelta {
+    /// Triples inserted since the last flush.
+    pub inserted: Vec<Triple>,
+    /// Triples deleted since the last flush.
+    pub deleted: Vec<Triple>,
+}
+
+impl StatsDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        StatsDelta::default()
+    }
+
+    /// Records one inserted triple.
+    pub fn record_insert(&mut self, t: Triple) {
+        self.inserted.push(t);
+    }
+
+    /// Records one deleted triple.
+    pub fn record_delete(&mut self, t: Triple) {
+        self.deleted.push(t);
+    }
+
+    /// Folds another delta into this one.
+    pub fn merge(&mut self, other: StatsDelta) {
+        self.inserted.extend(other.inserted);
+        self.deleted.extend(other.deleted);
+    }
+
+    /// Whether the delta carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Number of recorded write events.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+impl Wire for StatsDelta {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.inserted.encode(buf);
+        self.deleted.encode(buf);
+    }
+
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, unistore_util::wire::WireError> {
+        Ok(StatsDelta { inserted: Wire::decode(buf)?, deleted: Wire::decode(buf)? })
+    }
+}
+
+/// Global statistics: what the paper's peers gossip. Bulk-built once
+/// per load, then maintained incrementally: every routed write folds in
+/// as an O(delta) [`GlobalStats::apply_insert`] /
+/// [`GlobalStats::apply_delete`] instead of a rescan of every triple
+/// (protocol described in DESIGN.md §"Statistics distribution").
 #[derive(Clone, Debug)]
 pub struct GlobalStats {
     /// Total triples in the system.
@@ -83,83 +206,129 @@ pub struct GlobalStats {
     pub attrs: FxHashMap<Arc<str>, AttrStats>,
     /// Overlay parameters.
     pub net: NetParams,
+    /// Running sum of triple wire sizes (drives `avg_triple_bytes`).
+    bytes: f64,
+    /// Live OID hashes (refcounted; drives `oid_distinct`).
+    oids: FxHashMap<u64, u32>,
+    /// Live value key-bits (refcounted; drives `value_distinct`).
+    values: FxHashMap<u64, u32>,
 }
 
 impl GlobalStats {
-    /// Builds statistics from a triple sample (typically: everything the
-    /// workload generator inserted).
-    pub fn build<'a>(triples: impl IntoIterator<Item = &'a Triple>, net: NetParams) -> Self {
-        let mut total = 0f64;
-        let mut bytes = 0f64;
-        let mut oids: FxHashSet<u64> = FxHashSet::default();
-        let mut values: FxHashSet<u64> = FxHashSet::default();
-        struct Acc {
-            count: f64,
-            values: FxHashSet<u64>,
-            join_values: FxHashSet<u64>,
-            hist: Histogram,
-            gram_postings: f64,
-            grams: FxHashSet<u32>,
-        }
-        let mut attrs: FxHashMap<Arc<str>, Acc> = FxHashMap::default();
-        for t in triples {
-            total += 1.0;
-            bytes += t.wire_size() as f64;
-            oids.insert(t.oid.hash());
-            values.insert(t.value.key_bits());
-            let acc = attrs.entry(t.attr.clone()).or_insert_with(|| {
-                // The histogram spans exactly this attribute's slice of
-                // the key space, so its 256 buckets resolve value ranges
-                // *within* the attribute.
-                let (lo, hi) = unistore_store::index::attr_range(&t.attr);
-                Acc {
-                    count: 0.0,
-                    values: FxHashSet::default(),
-                    join_values: FxHashSet::default(),
-                    hist: Histogram::new(lo, hi, 256),
-                    gram_postings: 0.0,
-                    grams: FxHashSet::default(),
-                }
-            });
-            acc.count += 1.0;
-            acc.values.insert(t.value.key_bits());
-            acc.join_values.insert(t.value.semantic_hash());
-            acc.hist.add(attr_value_key(&t.attr, &t.value));
-            if let Value::Str(s) = &t.value {
-                let gs = qgram::qgrams(s);
-                acc.gram_postings += gs.len() as f64;
-                acc.grams.extend(gs);
-            }
-        }
-        let attrs = attrs
-            .into_iter()
-            .map(|(k, a)| {
-                (
-                    k,
-                    AttrStats {
-                        count: a.count,
-                        distinct: a.values.len() as f64,
-                        join_distinct: a.join_values.len() as f64,
-                        hist: a.hist,
-                        gram_postings: a.gram_postings,
-                        gram_distinct: a.grams.len() as f64,
-                    },
-                )
-            })
-            .collect();
+    /// Statistics of an empty system.
+    pub fn empty(net: NetParams) -> Self {
         GlobalStats {
-            total,
-            oid_distinct: oids.len() as f64,
-            value_distinct: values.len() as f64,
-            avg_triple_bytes: if total > 0.0 { bytes / total } else { 16.0 },
-            attrs,
+            total: 0.0,
+            oid_distinct: 0.0,
+            value_distinct: 0.0,
+            avg_triple_bytes: 16.0,
+            attrs: FxHashMap::default(),
             net,
+            bytes: 0.0,
+            oids: FxHashMap::default(),
+            values: FxHashMap::default(),
+        }
+    }
+
+    /// Builds statistics from a triple sample (typically: everything the
+    /// workload generator inserted). Equivalent to folding every triple
+    /// into [`GlobalStats::empty`] with [`GlobalStats::apply_insert`] —
+    /// which is exactly how it is implemented, so the bulk and
+    /// incremental paths cannot drift apart.
+    pub fn build<'a>(triples: impl IntoIterator<Item = &'a Triple>, net: NetParams) -> Self {
+        let mut stats = GlobalStats::empty(net);
+        for t in triples {
+            stats.apply_insert(t);
+        }
+        stats
+    }
+
+    /// Folds one inserted triple into the snapshot — O(1) amortized.
+    pub fn apply_insert(&mut self, t: &Triple) {
+        self.total += 1.0;
+        self.bytes += t.wire_size() as f64;
+        self.avg_triple_bytes = self.bytes / self.total;
+        bump(&mut self.oids, t.oid.hash());
+        self.oid_distinct = self.oids.len() as f64;
+        bump(&mut self.values, t.value.key_bits());
+        self.value_distinct = self.values.len() as f64;
+        let a = self.attrs.entry(t.attr.clone()).or_insert_with(|| AttrStats::empty(&t.attr));
+        a.count += 1.0;
+        bump(&mut a.values, t.value.key_bits());
+        a.distinct = a.values.len() as f64;
+        bump(&mut a.join_values, t.value.semantic_hash());
+        a.join_distinct = a.join_values.len() as f64;
+        a.hist.add(attr_value_key(&t.attr, &t.value));
+        if let Value::Str(s) = &t.value {
+            let gs = qgram::qgrams(s);
+            a.gram_postings += gs.len() as f64;
+            for g in gs {
+                bump(&mut a.grams, g);
+            }
+            a.gram_distinct = a.grams.len() as f64;
+        }
+    }
+
+    /// Folds one deleted triple out of the snapshot — the exact inverse
+    /// of [`GlobalStats::apply_insert`]. Deletes of triples whose
+    /// `(attr, value)` the snapshot never counted are ignored outright
+    /// (the per-attr value refcounts are the authority), so a stray or
+    /// duplicated delete cannot corrupt the totals; a delete of a known
+    /// `(attr, value)` under an unknown OID still decrements the
+    /// aggregates — indistinguishable at the statistics' granularity,
+    /// and the OID refcount itself saturates.
+    pub fn apply_delete(&mut self, t: &Triple) {
+        let Some(a) = self.attrs.get_mut(&t.attr) else { return };
+        if a.count < 1.0 || !a.values.contains_key(&t.value.key_bits()) {
+            return;
+        }
+        self.total -= 1.0;
+        self.bytes -= t.wire_size() as f64;
+        self.avg_triple_bytes = if self.total > 0.0 { self.bytes / self.total } else { 16.0 };
+        unbump(&mut self.oids, &t.oid.hash());
+        self.oid_distinct = self.oids.len() as f64;
+        unbump(&mut self.values, &t.value.key_bits());
+        self.value_distinct = self.values.len() as f64;
+        a.count -= 1.0;
+        unbump(&mut a.values, &t.value.key_bits());
+        a.distinct = a.values.len() as f64;
+        unbump(&mut a.join_values, &t.value.semantic_hash());
+        a.join_distinct = a.join_values.len() as f64;
+        a.hist.remove(attr_value_key(&t.attr, &t.value));
+        if let Value::Str(s) = &t.value {
+            let gs = qgram::qgrams(s);
+            a.gram_postings -= gs.len() as f64;
+            for g in gs {
+                unbump(&mut a.grams, &g);
+            }
+            a.gram_distinct = a.grams.len() as f64;
+        }
+        if a.count <= 0.0 {
+            // A fresh build over the survivors would not contain the
+            // attribute at all; match it.
+            self.attrs.remove(&t.attr);
+        }
+    }
+
+    /// Folds a write batch into the snapshot — O(delta).
+    pub fn apply_delta(&mut self, delta: &StatsDelta) {
+        for t in &delta.inserted {
+            self.apply_insert(t);
+        }
+        for t in &delta.deleted {
+            self.apply_delete(t);
         }
     }
 
     /// Mean triples stored per leaf.
     pub fn triples_per_leaf(&self) -> f64 {
         (self.total / self.net.n_leaves).max(1.0)
+    }
+
+    /// Conservative cardinality assumed for scans on attributes the
+    /// statistics have never seen (see [`UNKNOWN_ATTR_SELECTIVITY`]).
+    pub fn unknown_attr_card(&self) -> f64 {
+        (self.total * UNKNOWN_ATTR_SELECTIVITY).max(1.0)
     }
 
     fn attr(&self, attr: &str) -> Option<&AttrStats> {
@@ -223,6 +392,11 @@ impl CostModel {
         CostModel { stats }
     }
 
+    /// Folds a statistics delta into the model — O(delta), no rescan.
+    pub fn apply_delta(&mut self, delta: &StatsDelta) {
+        self.stats.apply_delta(delta);
+    }
+
     /// Prices one scan strategy. `limit_hint` enables early-termination
     /// pricing for sequential ranges under LIMIT.
     pub fn scan(&self, s: &ScanStrategy, limit_hint: Option<usize>) -> ScanEstimate {
@@ -243,7 +417,8 @@ impl CostModel {
                 }
             }
             ScanStrategy::AttrValueLookup { attr, .. } => {
-                let card = st.attr(attr).map_or(0.0, |a| a.count / a.distinct.max(1.0));
+                let card =
+                    st.attr(attr).map_or(st.unknown_attr_card(), |a| a.count / a.distinct.max(1.0));
                 ScanEstimate {
                     cost: CostVector {
                         messages: log_n + 1.0,
@@ -255,7 +430,7 @@ impl CostModel {
             }
             ScanStrategy::AttrRange { attr, lo, hi, algo } => {
                 let card = match st.attr(attr) {
-                    None => 0.0,
+                    None => st.unknown_attr_card(),
                     Some(a) => {
                         let (klo, khi) = attr_value_range(attr, lo.as_ref(), hi.as_ref());
                         a.hist.estimate_range(klo, khi).max(1.0)
@@ -285,7 +460,7 @@ impl CostModel {
             }
             ScanStrategy::AttrPrefix { attr, prefix, .. } => {
                 let card = match st.attr(attr) {
-                    None => 0.0,
+                    None => st.unknown_attr_card(),
                     Some(a) => {
                         let (klo, khi) = unistore_store::index::attr_prefix_range(attr, prefix);
                         a.hist.estimate_range(klo, khi).max(1.0)
@@ -304,7 +479,7 @@ impl CostModel {
             ScanStrategy::QGram { attr, target, k } => {
                 let grams = (target.len() + qgram::QGRAM_Q - 1) as f64;
                 let (candidates, verified) = match st.attr(attr) {
-                    None => (0.0, 0.0),
+                    None => (st.unknown_attr_card(), st.unknown_attr_card()),
                     Some(a) => {
                         let posting = a.gram_postings / a.gram_distinct.max(1.0);
                         let candidates = (grams * posting).min(a.count);
@@ -587,9 +762,43 @@ mod tests {
     }
 
     #[test]
-    fn unknown_attr_estimates_zero() {
+    fn unknown_attr_estimates_floor_not_zero() {
         let m = model();
-        let e = m.scan(
+        // A scan on a never-seen attribute must not look free: floor it
+        // at the conservative default selectivity so it cannot hijack
+        // choose_scan / join arbitration.
+        let floor = (m.stats.total * UNKNOWN_ATTR_SELECTIVITY).max(1.0);
+        for s in [
+            ScanStrategy::AttrRange {
+                attr: "ghost".into(),
+                lo: None,
+                hi: None,
+                algo: RangeAlgo::Parallel,
+            },
+            ScanStrategy::AttrValueLookup { attr: "ghost".into(), value: Value::Int(1) },
+            ScanStrategy::AttrPrefix {
+                attr: "ghost".into(),
+                prefix: "g".into(),
+                algo: RangeAlgo::Parallel,
+            },
+            ScanStrategy::QGram { attr: "ghost".into(), target: "spook".into(), k: 1 },
+        ] {
+            let e = m.scan(&s, None);
+            assert!(
+                e.cardinality >= floor,
+                "{}: cardinality {} under floor",
+                s.name(),
+                e.cardinality
+            );
+            assert!(e.cost.bytes > 0.0, "{}: ghost scan priced as free", s.name());
+        }
+        // The floor keeps a ghost range from undercutting a known,
+        // genuinely selective lookup of the same shape.
+        let known = m.scan(
+            &ScanStrategy::AttrValueLookup { attr: "age".into(), value: Value::Int(30) },
+            None,
+        );
+        let ghost = m.scan(
             &ScanStrategy::AttrRange {
                 attr: "ghost".into(),
                 lo: None,
@@ -598,6 +807,149 @@ mod tests {
             },
             None,
         );
-        assert_eq!(e.cardinality, 0.0);
+        assert!(ghost.cost.score() >= known.cost.score());
+    }
+
+    /// Field-by-field equality on everything the cost formulas consume.
+    fn assert_stats_match(a: &GlobalStats, b: &GlobalStats) {
+        assert_eq!(a.total, b.total, "total");
+        assert_eq!(a.oid_distinct, b.oid_distinct, "oid_distinct");
+        assert_eq!(a.value_distinct, b.value_distinct, "value_distinct");
+        assert_eq!(a.avg_triple_bytes, b.avg_triple_bytes, "avg_triple_bytes");
+        assert_eq!(a.oids, b.oids, "oid refcounts");
+        assert_eq!(a.values, b.values, "value refcounts");
+        let mut keys: Vec<_> = a.attrs.keys().collect();
+        let mut bkeys: Vec<_> = b.attrs.keys().collect();
+        keys.sort();
+        bkeys.sort();
+        assert_eq!(keys, bkeys, "attribute sets");
+        for (k, sa) in &a.attrs {
+            let sb = &b.attrs[k];
+            assert_eq!(sa.count, sb.count, "{k}: count");
+            assert_eq!(sa.distinct, sb.distinct, "{k}: distinct");
+            assert_eq!(sa.join_distinct, sb.join_distinct, "{k}: join_distinct");
+            assert_eq!(sa.gram_postings, sb.gram_postings, "{k}: gram_postings");
+            assert_eq!(sa.gram_distinct, sb.gram_distinct, "{k}: gram_distinct");
+            assert_eq!(sa.values, sb.values, "{k}: value refcounts");
+            assert_eq!(sa.join_values, sb.join_values, "{k}: join refcounts");
+            assert_eq!(sa.grams, sb.grams, "{k}: gram refcounts");
+            assert_eq!(sa.hist.count(), sb.hist.count(), "{k}: hist count");
+            assert_eq!(sa.hist.bucket_counts(), sb.hist.bucket_counts(), "{k}: hist buckets");
+            assert_eq!(
+                sa.hist.distinct_estimate(),
+                sb.hist.distinct_estimate(),
+                "{k}: hist distinct"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_insert_then_delete_restores_baseline() {
+        let net = NetParams { n_peers: 64.0, n_leaves: 64.0, replication: 1.0, hop_ms: 40.0 };
+        let base = sample_triples();
+        let mut stats = GlobalStats::build(&base, net);
+        let extra = vec![
+            Triple::new("x1", "rating", Value::Int(5)),
+            Triple::new("x2", "rating", Value::Int(3)),
+            Triple::new("x1", "name", Value::str("mallory")),
+        ];
+        let mut delta = StatsDelta::new();
+        for t in &extra {
+            delta.record_insert(t.clone());
+        }
+        stats.apply_delta(&delta);
+        let all: Vec<Triple> = base.iter().chain(&extra).cloned().collect();
+        assert_stats_match(&stats, &GlobalStats::build(&all, net));
+        // Deleting the same triples restores the original snapshot.
+        let mut undo = StatsDelta::new();
+        for t in &extra {
+            undo.record_delete(t.clone());
+        }
+        stats.apply_delta(&undo);
+        assert_stats_match(&stats, &GlobalStats::build(&base, net));
+    }
+
+    #[test]
+    fn deleting_unseen_triples_saturates() {
+        let net = NetParams { n_peers: 8.0, n_leaves: 8.0, replication: 1.0, hop_ms: 1.0 };
+        let base = vec![Triple::new("a", "x", Value::Int(1))];
+        let mut stats = GlobalStats::build(&base, net);
+        stats.apply_delete(&Triple::new("b", "ghost", Value::Int(9))); // unknown attr
+        stats.apply_delete(&Triple::new("a", "x", Value::Int(99))); // known attr, unseen value
+        assert_eq!(stats.total, 1.0, "unseen (attr, value) deletes must not touch totals");
+        assert_eq!(stats.attrs[&Arc::<str>::from("x")].count, 1.0);
+        stats.apply_delete(&Triple::new("a", "x", Value::Int(1)));
+        stats.apply_delete(&Triple::new("a", "x", Value::Int(1))); // double delete
+        assert_eq!(stats.total, 0.0);
+        assert!(stats.attrs.is_empty());
+    }
+
+    #[test]
+    fn stats_delta_wire_roundtrip() {
+        let mut d = StatsDelta::new();
+        d.record_insert(Triple::new("o1", "name", Value::str("alice")));
+        d.record_delete(Triple::new("o2", "age", Value::Int(44)));
+        let b = d.to_bytes();
+        assert_eq!(b.len(), d.wire_size());
+        let back = StatsDelta::from_bytes(&b).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{d:?}"));
+        assert!(StatsDelta::new().is_empty());
+        assert_eq!(d.len(), 2);
+    }
+
+    mod incremental_matches_rebuild {
+        //! The tentpole property: after ANY insert/delete sequence, the
+        //! incrementally maintained snapshot is indistinguishable from a
+        //! from-scratch `GlobalStats::build` over the surviving triples.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn property(
+                inserts in proptest::collection::vec(
+                    ("[a-e]{1,3}", "[a-c]{1,2}", 0u64..40),
+                    1..60,
+                ),
+                delete_picks in proptest::collection::vec(0usize..1000, 0..40),
+            ) {
+                let net = NetParams {
+                    n_peers: 16.0, n_leaves: 16.0, replication: 1.0, hop_ms: 1.0,
+                };
+                // Mixed-type values: strings exercise the q-gram
+                // counters, ints/floats the numeric key space.
+                let triples: Vec<Triple> = inserts
+                    .iter()
+                    .map(|(oid, attr, n)| {
+                        let v = match n % 3 {
+                            0 => Value::Int(*n as i64 - 20),
+                            1 => Value::Float(*n as f64 / 4.0),
+                            _ => Value::str(&format!("s{}", n % 7)),
+                        };
+                        Triple::new(oid, attr, v)
+                    })
+                    .collect();
+                let mut live = GlobalStats::empty(net);
+                let mut survivors: Vec<Triple> = Vec::new();
+                // Interleave: insert everything, deleting a previously
+                // inserted survivor after every few inserts.
+                let mut picks = delete_picks.iter();
+                for (i, t) in triples.iter().enumerate() {
+                    live.apply_insert(t);
+                    survivors.push(t.clone());
+                    if i % 3 == 2 {
+                        if let Some(p) = picks.next() {
+                            if !survivors.is_empty() {
+                                let victim = survivors.remove(p % survivors.len());
+                                live.apply_delete(&victim);
+                            }
+                        }
+                    }
+                }
+                let fresh = GlobalStats::build(&survivors, net);
+                assert_stats_match(&live, &fresh);
+            }
+        }
     }
 }

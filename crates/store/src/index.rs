@@ -168,6 +168,14 @@ impl TripleKeys {
     pub fn primary(&self) -> [Key; 3] {
         [self.oid, self.attr_value, self.value]
     }
+
+    /// Every key the triple is indexed under: the three primary keys
+    /// plus the q-gram keys — the full placement/write fan-out.
+    pub fn all(&self) -> Vec<Key> {
+        let mut all: Vec<Key> = self.primary().to_vec();
+        all.extend(&self.qgrams);
+        all
+    }
 }
 
 #[cfg(test)]

@@ -124,15 +124,20 @@ pub fn gini(loads: &[f64]) -> f64 {
 /// Equi-width histogram over `u64` keys with distinct-value tracking.
 ///
 /// The cost model uses it to estimate the cardinality of key-range
-/// predicates and the selectivity of equality predicates.
+/// predicates and the selectivity of equality predicates. Keys can be
+/// [`Histogram::remove`]d again: distinct values are reference-counted,
+/// so an interleaved insert/delete sequence lands on exactly the state
+/// a fresh histogram over the surviving keys would have (as long as the
+/// distinct tracking cap is never exceeded).
 #[derive(Clone, Debug)]
 pub struct Histogram {
     lo: u64,
     hi: u64,
     buckets: Vec<u64>,
     count: u64,
-    distinct: crate::FxHashSet<u64>,
-    /// Cap on the distinct set; beyond it we stop tracking exactly.
+    /// key → number of live occurrences.
+    distinct: crate::FxHashMap<u64, u32>,
+    /// Cap on the distinct map; beyond it we stop tracking exactly.
     distinct_cap: usize,
 }
 
@@ -171,8 +176,32 @@ impl Histogram {
         let b = self.bucket_of(key);
         self.buckets[b] += 1;
         self.count += 1;
-        if self.distinct.len() < self.distinct_cap {
-            self.distinct.insert(key);
+        if let Some(rc) = self.distinct.get_mut(&key) {
+            *rc += 1;
+        } else if self.distinct.len() < self.distinct_cap {
+            self.distinct.insert(key, 1);
+        }
+    }
+
+    /// Removes one previously recorded occurrence of `key`. Removing a
+    /// key that was never added is a no-op while the distinct map is
+    /// exact (below the cap); beyond the cap the counters saturate at
+    /// zero instead of corrupting the estimates.
+    pub fn remove(&mut self, key: u64) {
+        if !self.distinct.contains_key(&key) && self.distinct.len() < self.distinct_cap {
+            return; // exact tracking says the key was never recorded
+        }
+        let b = self.bucket_of(key);
+        if self.buckets[b] == 0 || self.count == 0 {
+            return;
+        }
+        self.buckets[b] -= 1;
+        self.count -= 1;
+        if let Some(rc) = self.distinct.get_mut(&key) {
+            *rc -= 1;
+            if *rc == 0 {
+                self.distinct.remove(&key);
+            }
         }
     }
 
@@ -240,11 +269,12 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        for k in &other.distinct {
-            if self.distinct.len() >= self.distinct_cap {
-                break;
+        for (k, rc) in &other.distinct {
+            if let Some(mine) = self.distinct.get_mut(k) {
+                *mine += rc;
+            } else if self.distinct.len() < self.distinct_cap {
+                self.distinct.insert(*k, *rc);
             }
-            self.distinct.insert(*k);
         }
     }
 
@@ -348,6 +378,30 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.estimate_range(0, 99) > 1.9);
+    }
+
+    #[test]
+    fn histogram_remove_inverts_add() {
+        let mut h = Histogram::new(0, 999, 10);
+        let mut fresh = Histogram::new(0, 999, 10);
+        for k in 0..100u64 {
+            h.add(k % 37);
+        }
+        for k in 0..50u64 {
+            h.remove(k % 37);
+        }
+        // Survivors: the second half of the insertion sequence.
+        for k in 50..100u64 {
+            fresh.add(k % 37);
+        }
+        assert_eq!(h.count(), fresh.count());
+        assert_eq!(h.bucket_counts(), fresh.bucket_counts());
+        assert_eq!(h.distinct_estimate(), fresh.distinct_estimate());
+        // Removing keys that were never added is a no-op.
+        let snapshot = h.bucket_counts().to_vec();
+        h.remove(999);
+        h.remove(500);
+        assert_eq!(h.bucket_counts(), &snapshot[..]);
     }
 
     #[test]

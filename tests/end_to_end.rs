@@ -26,10 +26,38 @@ fn protocol_insert_then_query() {
     let (ok, cost) = cluster.insert_tuple(NodeId(2), &tuple);
     assert!(ok, "protocol insert must be acked");
     assert!(cost.messages > 0, "inserts traverse the overlay");
+    assert!(cost.hops > 0, "write-path cost must report the real routed hop count");
     let out =
         cluster.query(NodeId(9), "SELECT ?g WHERE {(?a,'name','zed') (?a,'age',?g)}").unwrap();
     assert!(out.ok);
     assert_eq!(out.relation.rows, vec![vec![Value::Int(29)]]);
+}
+
+#[test]
+fn protocol_delete_removes_fact_from_every_index() {
+    let mut cluster = UniCluster::build(16, UniConfig::default(), 21);
+    cluster.load(small_world(21));
+    let old = Triple::new("auth0", "age", {
+        let mut o = cluster.oracle();
+        let r = o.query("SELECT ?g WHERE {('auth0','age',?g)}").unwrap();
+        r.rows[0][0].clone()
+    });
+    assert!(cluster.delete(NodeId(4), &old, 1));
+    let out = cluster.query(NodeId(5), "SELECT ?g WHERE {('auth0','age',?g)}").unwrap();
+    assert!(out.ok);
+    assert!(out.relation.rows.is_empty(), "deleted fact must vanish from the OID index");
+    let old_val = old.value.as_f64().unwrap() as i64;
+    let out =
+        cluster.query(NodeId(7), &format!("SELECT ?x WHERE {{(?x,'age',{old_val})}}")).unwrap();
+    assert!(
+        !out.relation.rows.iter().any(|r| r[0] == Value::str("auth0")),
+        "deleted fact must vanish from the A#v index"
+    );
+    // The driver view (and thus the oracle) shed the triple too.
+    assert!(!cluster
+        .triples()
+        .iter()
+        .any(|t| t.oid.as_str() == "auth0" && t.attr.as_ref() == "age"));
 }
 
 #[test]
@@ -203,6 +231,7 @@ fn chord_backend_protocol_insert_update_and_query() {
     let (ok, cost) = cluster.insert_tuple(NodeId(2), &tuple);
     assert!(ok, "protocol insert must be acked");
     assert!(cost.messages > 0, "inserts traverse the ring");
+    assert!(cost.hops > 0, "write-path cost must report the real routed hop count");
     let out =
         cluster.query(NodeId(9), "SELECT ?g WHERE {(?a,'name','zed') (?a,'age',?g)}").unwrap();
     assert!(out.ok);
