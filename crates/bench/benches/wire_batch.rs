@@ -1,0 +1,61 @@
+//! Criterion: wire encode/decode of the batched write pipeline's
+//! [`OpBatch`] payload at 1 / 64 / 1024 ops, so encoding regressions
+//! are visible outside the end-to-end ingest numbers
+//! (`BENCH_ingest.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use unistore_store::index::TripleKeys;
+use unistore_store::{Triple, Value};
+use unistore_util::wire::{OpBatch, Wire};
+
+/// A batch of `n_ops` write ops over realistic triples: every triple
+/// contributes its full index fan-out (OID + A#v + v + q-grams), with
+/// the payload shared across its keys — exactly what `insert_batch`
+/// ships.
+fn batch_of(n_ops: usize) -> OpBatch<Triple> {
+    let mut batch = OpBatch::new();
+    let mut i = 0usize;
+    while batch.len() < n_ops {
+        let t = Triple::new(
+            &format!("obj{i}"),
+            if i % 2 == 0 { "title" } else { "year" },
+            if i % 2 == 0 {
+                Value::str(&format!("Similarity Queries on Structured Data {i}"))
+            } else {
+                Value::Int(1990 + (i % 30) as i64)
+            },
+        );
+        let keys = TripleKeys::derive(&t, true).all();
+        let item = batch.add_item(t);
+        for key in keys {
+            if batch.len() >= n_ops {
+                break;
+            }
+            batch.push_insert(key, item, 0);
+        }
+        i += 1;
+    }
+    batch
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("op_batch_wire");
+    for n_ops in [1usize, 64, 1024] {
+        let batch = batch_of(n_ops);
+        group.bench_with_input(BenchmarkId::new("encode", n_ops), &batch, |b, batch| {
+            b.iter(|| batch.to_bytes().len())
+        });
+        let bytes = batch.to_bytes();
+        group.bench_with_input(BenchmarkId::new("decode", n_ops), &bytes, |b, bytes| {
+            b.iter(|| OpBatch::<Triple>::from_bytes(bytes).expect("decode").len())
+        });
+        group.bench_with_input(BenchmarkId::new("wire_size", n_ops), &batch, |b, batch| {
+            b.iter(|| batch.wire_size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_decode);
+criterion_main!(benches);

@@ -8,10 +8,11 @@
 //!
 //! Each experiment section prints the paper's claim, the measured
 //! table, and the verdict the table supports.
-//! EXPERIMENTS.md records a captured run. `bench-snapshot` runs the E6
-//! join-strategy comparison headlessly and writes `BENCH_joins.json`
-//! (msgs/hops/KiB/latency per strategy) so the perf trajectory of the
-//! semi-join pushdown is tracked from CI.
+//! EXPERIMENTS.md records a captured run. `bench-snapshot` runs
+//! headlessly for CI and writes three perf-trajectory records:
+//! `BENCH_joins.json` (E6 join strategies), `BENCH_stats.json`
+//! (incremental statistics maintenance) and `BENCH_ingest.json` (the
+//! batched write pipeline vs the per-op fan-out, both backends).
 
 use unistore::backends::{chord_config, ChordUniCluster};
 use unistore::config::ScanPref;
@@ -669,6 +670,167 @@ fn bench_snapshot() {
     std::fs::write("BENCH_joins.json", &json).expect("write BENCH_joins.json");
     println!("\nwrote BENCH_joins.json ({} rows)", rows.len());
     stats_snapshot();
+    ingest_snapshot();
+}
+
+/// One measured (backend, mode) cell of the ingest comparison.
+struct IngestRow {
+    backend: &'static str,
+    mode: &'static str,
+    triples: usize,
+    msgs: u64,
+    kib: f64,
+    msgs_per_1k: f64,
+    kib_per_1k: f64,
+    wall_tps: f64,
+}
+
+/// Headless CI entry #3: the batched write pipeline. Ingests the same
+/// tuple stream through the routed write path twice per backend — the
+/// per-op message fan-out vs `insert_batch` with 64-triple batches
+/// (per-hop `OpBatch` coalescing, shared payloads, aggregated acks) —
+/// and writes `BENCH_ingest.json`. Asserts the headline claims in-code:
+/// at batch size 64 the coalesced pipeline ships ≥5× fewer messages and
+/// ≥2× fewer KiB per 1k triples on BOTH backends, with oracle-identical
+/// query results afterward.
+fn ingest_snapshot() {
+    const N_TUPLES: usize = 256; // 4 attributes each → 1024 triples
+    const BATCH_TUPLES: usize = 16; // × 4 triples = batch size 64
+    let tuples: Vec<Tuple> = (0..N_TUPLES)
+        .map(|i| {
+            Tuple::new(&format!("obj{i}"))
+                .with("name", Value::str(&format!("object-number-{i}")))
+                .with("score", Value::Int((i % 100) as i64))
+                .with("tag", Value::str(if i % 2 == 0 { "even" } else { "odd" }))
+                .with("rank", Value::Int((i % 7) as i64))
+        })
+        .collect();
+    let n_triples: usize = tuples.iter().map(|t| t.to_triples().len()).sum();
+    let queries = [
+        "SELECT ?x WHERE {(?x,'tag','even')}",
+        "SELECT ?x,?s WHERE {(?x,'score',?s) FILTER ?s >= 10 AND ?s < 20}",
+    ];
+    let canon = |r: &unistore_query::Relation| {
+        let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+        rows.sort();
+        rows
+    };
+
+    /// Drives one routed ingest of the tuple stream in `chunk`-tuple
+    /// calls, returning `(msgs, bytes, wall seconds)` plus the
+    /// canonicalized answers to the verification queries.
+    fn run<O: unistore_overlay::Overlay<Item = Triple>>(
+        cluster: &mut UniCluster<O>,
+        tuples: &[Tuple],
+        chunk: usize,
+        queries: &[&str],
+        canon: &dyn Fn(&unistore_query::Relation) -> Vec<String>,
+    ) -> (u64, u64, f64, Vec<Vec<String>>) {
+        let before = cluster.net.metrics();
+        let t0 = std::time::Instant::now();
+        for c in tuples.chunks(chunk) {
+            let origin = cluster.random_node();
+            let (ok, _) = cluster.insert_batch(origin, c);
+            assert!(ok, "ingest batch must be fully acked");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let d = cluster.net.metrics().delta(&before);
+        let mut answers = Vec::new();
+        for q in queries {
+            let out = cluster.query(NodeId(0), q).expect("query parses");
+            assert!(out.ok, "post-ingest query timed out");
+            let oracle = canon(&cluster.oracle().query(q).expect("oracle parses"));
+            let got = canon(&out.relation);
+            assert_eq!(got, oracle, "post-ingest answers must match the oracle: {q}");
+            answers.push(got);
+        }
+        (d.sent, d.bytes, wall, answers)
+    }
+
+    // Quiet stats dissemination so the measured traffic is exactly the
+    // write pipeline on both paths.
+    let quiet = SimTime::from_secs(1_000_000_000);
+    let mut rows: Vec<IngestRow> = Vec::new();
+    let mut answers: Vec<Vec<Vec<String>>> = Vec::new();
+    for (backend, batched) in
+        [("P-Grid", false), ("P-Grid", true), ("Chord+buckets", false), ("Chord+buckets", true)]
+    {
+        let (msgs, bytes, wall, ans) = if backend == "P-Grid" {
+            let cfg = UniConfig::default().with_batch_writes(batched).with_stats_refresh(quiet);
+            let mut c = UniCluster::build(64, cfg, SEED);
+            run(&mut c, &tuples, if batched { BATCH_TUPLES } else { 1 }, &queries, &canon)
+        } else {
+            let cfg = chord_config().with_batch_writes(batched).with_stats_refresh(quiet);
+            let mut c = ChordUniCluster::build_overlay(64, cfg, SEED);
+            run(&mut c, &tuples, if batched { BATCH_TUPLES } else { 1 }, &queries, &canon)
+        };
+        answers.push(ans);
+        rows.push(IngestRow {
+            backend,
+            mode: if batched { "batched" } else { "per-op" },
+            triples: n_triples,
+            msgs,
+            kib: bytes as f64 / 1024.0,
+            msgs_per_1k: msgs as f64 * 1000.0 / n_triples as f64,
+            kib_per_1k: bytes as f64 / 1024.0 * 1000.0 / n_triples as f64,
+            wall_tps: n_triples as f64 / wall.max(1e-9),
+        });
+    }
+    assert!(answers.windows(2).all(|w| w[0] == w[1]), "all four loads must agree on answers");
+
+    println!("\n## Ingest — batched write pipeline vs per-op fan-out (batch size 64)\n");
+    header(&["backend", "mode", "triples", "msgs", "KiB", "msgs/1k", "KiB/1k", "triples/s"]);
+    for r in &rows {
+        row(&[
+            r.backend.to_string(),
+            r.mode.to_string(),
+            r.triples.to_string(),
+            r.msgs.to_string(),
+            f(r.kib),
+            f(r.msgs_per_1k),
+            f(r.kib_per_1k),
+            f(r.wall_tps),
+        ]);
+    }
+    for backend in ["P-Grid", "Chord+buckets"] {
+        let cell = |mode: &str| {
+            rows.iter().find(|r| r.backend == backend && r.mode == mode).expect("cell")
+        };
+        let (per_op, batched) = (cell("per-op"), cell("batched"));
+        let msg_cut = per_op.msgs_per_1k / batched.msgs_per_1k;
+        let kib_cut = per_op.kib_per_1k / batched.kib_per_1k;
+        println!("{backend}: {:.1}x fewer msgs, {:.1}x fewer KiB per 1k triples", msg_cut, kib_cut);
+        assert!(
+            msg_cut >= 5.0,
+            "batch size 64 must ship >=5x fewer messages on {backend} (got {msg_cut:.2}x)"
+        );
+        assert!(
+            kib_cut >= 2.0,
+            "batch size 64 must ship >=2x fewer KiB on {backend} (got {kib_cut:.2}x)"
+        );
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"backend\": \"{}\", \"mode\": \"{}\", \"batch_triples\": {}, \
+             \"triples\": {}, \"msgs\": {}, \"kib\": {:.3}, \"msgs_per_1k\": {:.3}, \
+             \"kib_per_1k\": {:.3}, \"wall_triples_per_sec\": {:.1}}}{}\n",
+            r.backend,
+            r.mode,
+            if r.mode == "batched" { BATCH_TUPLES * 4 } else { 1 },
+            r.triples,
+            r.msgs,
+            r.kib,
+            r.msgs_per_1k,
+            r.kib_per_1k,
+            r.wall_tps,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("wrote BENCH_ingest.json ({} rows)", rows.len());
 }
 
 /// Headless CI entry #2: the statistics-maintenance trajectory. Writes
@@ -719,11 +881,11 @@ fn stats_snapshot() {
     cluster.load(world.all_tuples());
     let stale = cluster.cost_model().expect("model after load");
     let origin = NodeId(2);
-    for i in 0..8i64 {
-        let t = Tuple::new(&format!("item{i}")).with("rating", Value::Int(i % 5));
-        let (ok, _) = cluster.insert_tuple(origin, &t);
-        assert!(ok, "routed insert must be acked");
-    }
+    let fresh_tuples: Vec<Tuple> = (0..8i64)
+        .map(|i| Tuple::new(&format!("item{i}")).with("rating", Value::Int(i % 5)))
+        .collect();
+    let (ok, _) = cluster.insert_batch(origin, &fresh_tuples);
+    assert!(ok, "routed batch insert must be acked");
     let fresh = cluster.cost_model().expect("model after inserts");
     let scan = ScanStrategy::AttrValueLookup { attr: "rating".into(), value: Value::Int(1) };
     let est_fresh = fresh.scan(&scan, None).cardinality;

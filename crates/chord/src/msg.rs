@@ -4,11 +4,49 @@ use bytes::{Bytes, BytesMut};
 
 use unistore_simnet::NodeId;
 use unistore_util::item::Item;
-use unistore_util::wire::{Wire, WireError};
+use unistore_util::wire::{put_list, BatchOp, BatchVerb, Wire, WireError};
 use unistore_util::{ItemFilter, Key};
 
 /// Correlation id.
 pub type QueryId = u64;
+
+/// One op of a [`ChordMsg::OpBatch`]: the shared compact op format
+/// ([`BatchOp`]: original key, version, verb) plus which of the two
+/// indexes it addresses. A logical write fans out into two of these —
+/// one per index (exact + bucket) — but the payload is shipped once per
+/// message, referenced by the verb's item tag.
+///
+/// The ring position is **not** on the wire: every node derives it from
+/// `(key, bucket)` with the shared hash (`ring_key_exact` /
+/// `ring_key_bucket`), saving ~10 bytes per op per edge — op tags are
+/// the dominant freight of a large batch. The bucket bit rides
+/// [`BatchOp`]'s flag byte (`BatchOp::encode_flagged`), so both
+/// backends share one op codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChordBatchOp {
+    /// `true` = the auxiliary bucket index, `false` = the exact index.
+    pub bucket: bool,
+    /// Key, version and verb, as in the backend-agnostic batch format.
+    pub op: BatchOp,
+}
+
+/// Flag bit marking bucket-index ops (above [`BatchOp`]'s own bits).
+const BUCKET_FLAG: u8 = 4;
+
+impl Wire for ChordBatchOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.op.encode_flagged(if self.bucket { BUCKET_FLAG } else { 0 }, buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let (op, extra) = BatchOp::decode_flagged(buf, BUCKET_FLAG)?;
+        Ok(ChordBatchOp { bucket: extra != 0, op })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.op.wire_size()
+    }
+}
 
 /// Chord messages.
 #[derive(Clone, Debug)]
@@ -83,6 +121,33 @@ pub enum ChordMsg<I> {
         /// Hops so far.
         hops: u32,
     },
+    /// Many routed writes coalesced into one message: each distinct
+    /// payload travels once in `items`, referenced by the ops' compact
+    /// tags. At every node the batch re-splits into a locally applied
+    /// remainder plus one sub-batch per next hop; appliers ack the
+    /// origin with one aggregated [`ChordMsg::BatchAck`].
+    OpBatch {
+        /// Correlation id of the whole batch.
+        qid: QueryId,
+        /// Issuer, receives the aggregated acks.
+        origin: NodeId,
+        /// Routing hops of this sub-batch so far.
+        hops: u32,
+        /// Distinct payloads, shipped once each.
+        items: Vec<I>,
+        /// The write ops, referencing `items` by index.
+        ops: Vec<ChordBatchOp>,
+    },
+    /// Aggregated ack: `ops` write ops of batch `qid` were applied at
+    /// the sending node.
+    BatchAck {
+        /// Correlation id of the batch.
+        qid: QueryId,
+        /// Ops applied at the acking node.
+        ops: u32,
+        /// Hops the sub-batch travelled to that node.
+        hops: u32,
+    },
     /// Range query in *bucket* mode, handled at the origin: fans out one
     /// [`ChordMsg::BucketGet`] per bucket intersecting `[lo, hi]`.
     BucketRange {
@@ -151,6 +216,8 @@ mod tag {
     pub const BCAST: u8 = 7;
     pub const BCAST_REPLY: u8 = 8;
     pub const DELETE: u8 = 9;
+    pub const OP_BATCH: u8 = 10;
+    pub const BATCH_ACK: u8 = 11;
 }
 
 impl<I: Item> Wire for ChordMsg<I> {
@@ -167,9 +234,23 @@ impl<I: Item> Wire for ChordMsg<I> {
             ChordMsg::LookupReply { qid, entries, hops, ok } => {
                 tag::LOOKUP_REPLY.encode(buf);
                 qid.encode(buf);
-                entries.encode(buf);
+                put_list(buf, entries);
                 hops.encode(buf);
                 ok.encode(buf);
+            }
+            ChordMsg::OpBatch { qid, origin, hops, items, ops } => {
+                tag::OP_BATCH.encode(buf);
+                qid.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+                put_list(buf, items);
+                put_list(buf, ops);
+            }
+            ChordMsg::BatchAck { qid, ops, hops } => {
+                tag::BATCH_ACK.encode(buf);
+                qid.encode(buf);
+                ops.encode(buf);
+                hops.encode(buf);
             }
             ChordMsg::Insert { qid, ring_key, key, item, version, origin, hops } => {
                 tag::INSERT.encode(buf);
@@ -225,7 +306,7 @@ impl<I: Item> Wire for ChordMsg<I> {
             ChordMsg::BcastReply { qid, entries, nodes, hops } => {
                 tag::BCAST_REPLY.encode(buf);
                 qid.encode(buf);
-                entries.encode(buf);
+                put_list(buf, entries);
                 nodes.encode(buf);
                 hops.encode(buf);
             }
@@ -247,6 +328,26 @@ impl<I: Item> Wire for ChordMsg<I> {
                 entries: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
                 ok: Wire::decode(buf)?,
+            },
+            tag::OP_BATCH => {
+                let qid = Wire::decode(buf)?;
+                let origin = Wire::decode(buf)?;
+                let hops = Wire::decode(buf)?;
+                let items: Vec<I> = Wire::decode(buf)?;
+                let ops: Vec<ChordBatchOp> = Wire::decode(buf)?;
+                for op in &ops {
+                    if let BatchVerb::Insert { item } = op.op.verb {
+                        if item as usize >= items.len() {
+                            return Err(WireError::BadLength(item as u64));
+                        }
+                    }
+                }
+                ChordMsg::OpBatch { qid, origin, hops, items, ops }
+            }
+            tag::BATCH_ACK => ChordMsg::BatchAck {
+                qid: Wire::decode(buf)?,
+                ops: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
             },
             tag::INSERT => ChordMsg::Insert {
                 qid: Wire::decode(buf)?,
@@ -326,6 +427,17 @@ pub enum ChordEvent<I> {
         /// `false` on timeout.
         ok: bool,
     },
+    /// A batched write issued locally completed (or timed out).
+    BatchDone {
+        /// Correlation id of the batch.
+        qid: QueryId,
+        /// Ops the batch carried.
+        ops: u32,
+        /// Deepest hop count over all acked sub-batches.
+        hops: u32,
+        /// `false` on timeout.
+        ok: bool,
+    },
     /// A range query issued locally finished.
     RangeDone {
         /// Correlation id.
@@ -388,6 +500,23 @@ mod tests {
                 origin: NodeId(4),
                 hops: 1,
             },
+            ChordMsg::OpBatch {
+                qid: 8,
+                origin: NodeId(3),
+                hops: 1,
+                items: vec![RawItem(7)],
+                ops: vec![
+                    ChordBatchOp {
+                        bucket: false,
+                        op: BatchOp { key: 700, version: 0, verb: BatchVerb::Insert { item: 0 } },
+                    },
+                    ChordBatchOp {
+                        bucket: true,
+                        op: BatchOp { key: 700, version: 2, verb: BatchVerb::Delete { ident: 9 } },
+                    },
+                ],
+            },
+            ChordMsg::BatchAck { qid: 8, ops: 2, hops: 3 },
             ChordMsg::BucketRange { qid: 3, lo: 10, hi: 90, origin: NodeId(1) },
             ChordMsg::BucketGet {
                 qid: 3,

@@ -5,11 +5,12 @@ use rand::rngs::StdRng;
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_util::fxhash::mix64;
 use unistore_util::rng::{derive_rng, stream};
+use unistore_util::wire::BatchVerb;
 use unistore_util::{FxHashMap, ItemFilter, Key};
 
 pub use unistore_util::item::Item;
 
-use crate::msg::{ChordEvent, ChordMsg, QueryId};
+use crate::msg::{ChordBatchOp, ChordEvent, ChordMsg, QueryId};
 use crate::ring::{in_open_closed, in_open_open};
 use crate::store::ChordStore;
 
@@ -55,7 +56,19 @@ mod timer {
 enum Pending<I> {
     Lookup,
     Insert,
-    Buckets { expected: u32, received: u32, entries: Vec<(Key, I)>, hops: u32, failed: bool },
+    /// Batched writes awaiting aggregated acks for every op.
+    Batch {
+        expected: u32,
+        done: u32,
+        hops: u32,
+    },
+    Buckets {
+        expected: u32,
+        received: u32,
+        entries: Vec<(Key, I)>,
+        hops: u32,
+        failed: bool,
+    },
 }
 
 /// Convergecast state of one broadcast branch.
@@ -289,6 +302,85 @@ impl<I: Item> ChordNode<I> {
     fn handle_insert_ack(&mut self, qid: QueryId, hops: u32, fx: &mut Fx<I>) {
         if self.pending.remove(&qid).is_some() {
             fx.emit(ChordEvent::InsertDone { qid, hops, ok: true });
+        }
+    }
+
+    /// Handles a routed batch of writes: applies the ops this node is
+    /// responsible for (both indexes live in one ring, so a sub-batch
+    /// may mix exact- and bucket-index ops), re-groups the remainder by
+    /// next hop, and acks the applied count to the origin in one
+    /// aggregated [`ChordMsg::BatchAck`].
+    #[allow(clippy::too_many_arguments)]
+    fn handle_op_batch(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        origin: NodeId,
+        hops: u32,
+        items: Vec<I>,
+        ops: Vec<ChordBatchOp>,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            self.register(fx, qid, Pending::Batch { expected: ops.len() as u32, done: 0, hops: 0 });
+        }
+        let mut applied = 0u32;
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            // The ring position is derived, not shipped: op tags cross
+            // every edge of their route, so they carry only the original
+            // key plus an index flag.
+            let ring_key = match op.bucket {
+                true => ring_key_bucket(op.op.key, self.cfg.bucket_depth),
+                false => ring_key_exact(op.op.key),
+            };
+            if self.responsible(ring_key) {
+                match op.op.verb {
+                    BatchVerb::Insert { item } => {
+                        let item = items[item as usize].clone();
+                        self.store.insert(ring_key, op.op.key, item, op.op.version);
+                    }
+                    BatchVerb::Delete { ident } => {
+                        self.store.remove(ring_key, op.op.key, ident, op.op.version);
+                    }
+                }
+                applied += 1;
+            } else {
+                let next = self.next_hop(ring_key);
+                match groups.iter_mut().find(|(n, _)| *n == next) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((next, vec![i])),
+                }
+            }
+        }
+        for (next, idxs) in groups {
+            let (sub_items, sub_ops) = subset_batch(&items, &ops, &idxs);
+            fx.send(
+                next,
+                ChordMsg::OpBatch { qid, origin, hops: hops + 1, items: sub_items, ops: sub_ops },
+            );
+        }
+        if applied > 0 {
+            if origin == self.id {
+                self.handle_batch_ack(qid, applied, hops, fx);
+            } else {
+                fx.send(origin, ChordMsg::BatchAck { qid, ops: applied, hops });
+            }
+        }
+    }
+
+    /// Folds an aggregated batch ack; completes the batch when every op
+    /// is accounted for.
+    fn handle_batch_ack(&mut self, qid: QueryId, ops: u32, ack_hops: u32, fx: &mut Fx<I>) {
+        let Some(Pending::Batch { expected, done, hops }) = self.pending.get_mut(&qid) else {
+            return;
+        };
+        *done += ops;
+        *hops = (*hops).max(ack_hops);
+        if *done >= *expected {
+            let (ops_total, max_hops) = (*expected, *hops);
+            self.pending.remove(&qid);
+            fx.emit(ChordEvent::BatchDone { qid, ops: ops_total, hops: max_hops, ok: true });
         }
     }
 
@@ -534,6 +626,9 @@ impl<I: Item> ChordNode<I> {
                     fx.emit(ChordEvent::LookupDone { qid, entries: Vec::new(), hops: 0, ok: false })
                 }
                 Pending::Insert => fx.emit(ChordEvent::InsertDone { qid, hops: 0, ok: false }),
+                Pending::Batch { .. } => {
+                    fx.emit(ChordEvent::BatchDone { qid, ops: 0, hops: 0, ok: false })
+                }
                 Pending::Buckets { entries, hops, received, .. } => {
                     fx.emit(ChordEvent::RangeDone {
                         qid,
@@ -561,6 +656,26 @@ impl<I: Item> ChordNode<I> {
     }
 }
 
+/// Sub-batch of the ops at `indices`, with the payload table re-indexed
+/// so only referenced items are carried — the per-hop re-grouping step,
+/// shared with P-Grid through [`unistore_util::wire::subset_shared`].
+fn subset_batch<I: Clone>(
+    items: &[I],
+    ops: &[ChordBatchOp],
+    indices: &[usize],
+) -> (Vec<I>, Vec<ChordBatchOp>) {
+    unistore_util::wire::subset_shared(
+        items,
+        ops,
+        indices,
+        |op| match op.op.verb {
+            BatchVerb::Insert { item } => Some(item),
+            BatchVerb::Delete { .. } => None,
+        },
+        |op, item| op.op.verb = BatchVerb::Insert { item },
+    )
+}
+
 impl<I: Item> NodeBehavior for ChordNode<I> {
     type Msg = ChordMsg<I>;
     type Out = ChordEvent<I>;
@@ -578,6 +693,10 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
                 self.handle_insert(from, qid, ring_key, key, item, version, origin, hops, fx)
             }
             ChordMsg::InsertAck { qid, hops } => self.handle_insert_ack(qid, hops, fx),
+            ChordMsg::OpBatch { qid, origin, hops, items, ops } => {
+                self.handle_op_batch(from, qid, origin, hops, items, ops, fx)
+            }
+            ChordMsg::BatchAck { qid, ops, hops } => self.handle_batch_ack(qid, ops, hops, fx),
             ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops } => {
                 self.handle_delete(from, qid, ring_key, key, ident, version, origin, hops, fx)
             }

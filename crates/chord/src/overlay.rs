@@ -6,11 +6,11 @@
 //! need for range queries (§2). Every write pays both indexes, which is
 //! part of the honest comparison against P-Grid.
 
-use unistore_overlay::{ItemFilter, Overlay, OverlayDone, RangeMode};
+use unistore_overlay::{ItemFilter, OpBatch, Overlay, OverlayDone, RangeMode};
 use unistore_simnet::{Effects, NodeId};
 use unistore_util::Key;
 
-use crate::msg::{ChordEvent, ChordMsg};
+use crate::msg::{ChordBatchOp, ChordEvent, ChordMsg};
 use crate::node::{ring_key_bucket, ring_key_exact, ChordConfig, ChordNode, Item};
 use crate::topology::ChordTopology;
 
@@ -24,6 +24,7 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
     const NAME: &'static str = "Chord";
     const ADAPTS_TO_SAMPLE: bool = false;
     const PUSHES_FILTERS: bool = true;
+    const BATCHES_OPS: bool = true;
 
     fn plan(
         n_peers: usize,
@@ -156,6 +157,30 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
             .collect()
     }
 
+    fn batch_msgs(
+        _cfg: &ChordConfig,
+        next_qid: &mut dyn FnMut() -> u64,
+        batch: &OpBatch<I>,
+        origin: NodeId,
+    ) -> Vec<(u64, ChordMsg<I>)> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // Every logical op pays both indexes (exact + bucket ring
+        // positions, derived from the key at every hop), but the payload
+        // table is shared across the whole doubled op list — one wire
+        // message, one copy per item.
+        let ops: Vec<ChordBatchOp> = batch
+            .ops
+            .iter()
+            .flat_map(|&op| {
+                [false, true].into_iter().map(move |bucket| ChordBatchOp { bucket, op })
+            })
+            .collect();
+        let qid = next_qid();
+        vec![(qid, ChordMsg::OpBatch { qid, origin, hops: 0, items: batch.items.clone(), ops })]
+    }
+
     fn done(ev: ChordEvent<I>) -> OverlayDone<I> {
         match ev {
             ChordEvent::LookupDone { qid, entries, hops, ok } => OverlayDone::Lookup {
@@ -171,6 +196,9 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
                 complete,
             },
             ChordEvent::InsertDone { qid, hops, ok } => OverlayDone::Insert { qid, hops, ok },
+            ChordEvent::BatchDone { qid, ops, hops, ok } => {
+                OverlayDone::Batch { qid, ops, hops, ok }
+            }
         }
     }
 }

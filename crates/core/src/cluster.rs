@@ -14,7 +14,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use unistore_overlay::{Overlay, OverlayDone, OverlayTopology};
+use unistore_overlay::{per_op_batch_msgs, OpBatch, Overlay, OverlayDone, OverlayTopology};
 use unistore_pgrid::PGridPeer;
 use unistore_query::{CostModel, Logical, Mqp, MqpNode, Relation, StatsDelta};
 use unistore_simnet::metrics::OpCost;
@@ -23,6 +23,7 @@ use unistore_store::index::TripleKeys;
 use unistore_store::mapping::{Mapping, MappingSet};
 use unistore_store::{Triple, Tuple, Value};
 use unistore_util::rng::{derive_rng, stream};
+use unistore_util::wire::Shared;
 use unistore_util::{BitPath, Key};
 use unistore_vql::{analyze, parse, VqlError};
 
@@ -242,7 +243,10 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         match origin {
             Some(origin) => self.net.inject(
                 origin,
-                UniMsg::Query(QueryMsg::StatsDelta { epoch: self.stats_epoch, delta }),
+                UniMsg::Query(QueryMsg::StatsDelta {
+                    epoch: self.stats_epoch,
+                    delta: Shared::new(delta),
+                }),
             ),
             // No routed path (driver-side metadata write): fold the
             // delta into every node directly, mirroring the preload.
@@ -379,14 +383,15 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
 
     /// Injects a batch of routed write messages at `origin` and awaits
     /// every ack; returns overall success and the hops the acked writes
-    /// traveled.
+    /// traveled (summed per-op, deepest per batch).
     fn run_writes(&mut self, origin: NodeId, msgs: Vec<(u64, O::Msg)>) -> (bool, u32) {
         let mut ok = true;
         let mut hops = 0u32;
         for (qid, msg) in msgs {
             self.net.inject(origin, UniMsg::Overlay(msg));
             match self.run_for_storage(qid) {
-                Some(OverlayDone::Insert { ok: acked, hops: h, .. }) => {
+                Some(OverlayDone::Insert { ok: acked, hops: h, .. })
+                | Some(OverlayDone::Batch { ok: acked, hops: h, .. }) => {
                     ok &= acked;
                     hops += h;
                 }
@@ -396,24 +401,35 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         (ok, hops)
     }
 
-    /// Inserts one tuple through the routed protocol path (every index
-    /// entry is an overlay insert; the paper's Fig. 2 fan-out). The
-    /// statistics absorb the write as an O(delta) fold — no rescan.
-    pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple) -> (bool, OpCost) {
+    /// Runs one [`OpBatch`] through the routed write path: coalesced
+    /// into per-hop batch messages when the backend batches and
+    /// [`UniConfig::batch_writes`] is on, expanded per-op otherwise.
+    fn run_batch(&mut self, origin: NodeId, batch: &OpBatch<Triple>) -> (bool, u32) {
+        if batch.is_empty() {
+            return (true, 0);
+        }
         let ocfg = self.cfg.overlay.clone();
+        let batched = self.cfg.batch_writes && O::BATCHES_OPS;
+        let msgs = batch_write_msgs::<O>(&ocfg, batched, &mut || self.fresh_qid(), batch, origin);
+        self.run_writes(origin, msgs)
+    }
+
+    /// Inserts many tuples through the routed protocol path as **one
+    /// batched write**: index keys are expanded once per triple, ops are
+    /// coalesced per next hop into shared-payload [`OpBatch`] messages
+    /// (the paper's Fig. 2 fan-out without the per-key message tax), the
+    /// acks aggregate into one completion per batch, and the statistics
+    /// absorb the whole batch as a single O(delta) fold.
+    ///
+    /// This is the bulk-ingest path; [`Self::insert_tuple`] is the
+    /// single-tuple convenience wrapper over it.
+    pub fn insert_batch(&mut self, origin: NodeId, tuples: &[Tuple]) -> (bool, OpCost) {
         let before = self.net.metrics();
         let start = self.net.now();
-        let mut ok = true;
-        let mut hops = 0u32;
+        let (batch, triples) = build_insert_batch(tuples, self.cfg.with_qgrams);
+        let (ok, hops) = self.run_batch(origin, &batch);
         let mut delta = StatsDelta::new();
-        for t in tuple.to_triples() {
-            for key in TripleKeys::derive(&t, self.cfg.with_qgrams).all() {
-                let msgs =
-                    O::insert_msgs(&ocfg, &mut || self.fresh_qid(), key, t.clone(), 0, origin);
-                let (w_ok, w_hops) = self.run_writes(origin, msgs);
-                ok &= w_ok;
-                hops += w_hops;
-            }
+        for t in triples {
             delta.record_insert(t.clone());
             self.triples.push(t);
         }
@@ -430,35 +446,68 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         )
     }
 
+    /// Inserts one tuple through the routed protocol path. A thin
+    /// wrapper over [`Self::insert_batch`] — the loop-of-single-inserts
+    /// write path is retired.
+    pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple) -> (bool, OpCost) {
+        self.insert_batch(origin, std::slice::from_ref(tuple))
+    }
+
+    /// Deletes many facts through the routed protocol path as one
+    /// batched write: every fact's index entries become delete ops of a
+    /// single [`OpBatch`], and the statistics absorb the batch as one
+    /// O(delta) fold.
+    pub fn delete_batch(&mut self, origin: NodeId, facts: &[Triple], version: u64) -> bool {
+        let mut batch: OpBatch<Triple> = OpBatch::new();
+        for triple in facts {
+            let ident = unistore_util::item::Item::ident(triple);
+            for key in TripleKeys::derive(triple, self.cfg.with_qgrams).all() {
+                batch.push_delete(key, ident, version);
+            }
+        }
+        let ok = self.run_batch(origin, &batch).0;
+        let mut delta = StatsDelta::new();
+        for triple in facts {
+            if let Some(pos) = self.triples.iter().position(|t| {
+                t.oid == triple.oid && t.attr == triple.attr && t.value.eq_values(&triple.value)
+            }) {
+                delta.record_delete(self.triples.swap_remove(pos));
+            }
+        }
+        self.apply_write_delta(Some(origin), delta);
+        ok
+    }
+
     /// Updates the value of `(oid, attr)` through the protocol path:
-    /// deletes the old index entries, inserts the new ones with a newer
-    /// version (paper ref [4] loose-consistency updates). The
-    /// statistics absorb the write as an O(delta) fold — no rescan.
+    /// one batch deletes the old index entries and inserts the new ones
+    /// with a newer version (paper ref [4] loose-consistency updates —
+    /// the versioned stores make the delete/insert ops order-independent
+    /// even when the batch forks). The statistics absorb the write as an
+    /// O(delta) fold — no rescan.
     pub fn update(&mut self, origin: NodeId, old: &Triple, new_value: Value, version: u64) -> bool {
-        let ocfg = self.cfg.overlay.clone();
         let new_triple = Triple { oid: old.oid.clone(), attr: old.attr.clone(), value: new_value };
         let ident = unistore_util::item::Item::ident(old);
-        let mut ok = true;
         // Remove the old fact under every key it was indexed at; its
         // identity includes the old value, so the new entry (different
         // identity) is untouched even at shared keys (e.g. OID index).
-        let stale = TripleKeys::derive(old, self.cfg.with_qgrams).all();
-        let fresh = TripleKeys::derive(&new_triple, self.cfg.with_qgrams).all();
-        for key in stale {
-            let msgs = O::delete_msgs(&ocfg, &mut || self.fresh_qid(), key, ident, version, origin);
-            ok &= self.run_writes(origin, msgs).0;
+        //
+        // A same-value update keeps the identity, so the deletes are
+        // skipped: a delete and an insert of ONE identity at the SAME
+        // version would be order-dependent once the batch forks (the
+        // tombstone wins iff it lands second), whereas the refresh
+        // insert alone is deterministic on every route.
+        let refresh = ident == unistore_util::item::Item::ident(&new_triple);
+        let mut batch = OpBatch::new();
+        if !refresh {
+            for key in TripleKeys::derive(old, self.cfg.with_qgrams).all() {
+                batch.push_delete(key, ident, version);
+            }
         }
-        for key in fresh {
-            let msgs = O::insert_msgs(
-                &ocfg,
-                &mut || self.fresh_qid(),
-                key,
-                new_triple.clone(),
-                version,
-                origin,
-            );
-            ok &= self.run_writes(origin, msgs).0;
+        let item = batch.add_item(new_triple.clone());
+        for key in TripleKeys::derive(&new_triple, self.cfg.with_qgrams).all() {
+            batch.push_insert(key, item, version);
         }
+        let ok = self.run_batch(origin, &batch).0;
         let mut delta = StatsDelta::new();
         // Track driver-side view.
         match self.triples.iter_mut().find(|t| t.oid == new_triple.oid && t.attr == new_triple.attr)
@@ -477,24 +526,10 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
     }
 
     /// Deletes one fact through the protocol path: removes its entry
-    /// from every index it was stored under. The statistics absorb the
-    /// write as an O(delta) fold — no rescan.
+    /// from every index it was stored under, as one batched write. The
+    /// statistics absorb the write as an O(delta) fold — no rescan.
     pub fn delete(&mut self, origin: NodeId, triple: &Triple, version: u64) -> bool {
-        let ocfg = self.cfg.overlay.clone();
-        let ident = unistore_util::item::Item::ident(triple);
-        let mut ok = true;
-        for key in TripleKeys::derive(triple, self.cfg.with_qgrams).all() {
-            let msgs = O::delete_msgs(&ocfg, &mut || self.fresh_qid(), key, ident, version, origin);
-            ok &= self.run_writes(origin, msgs).0;
-        }
-        let mut delta = StatsDelta::new();
-        if let Some(pos) = self.triples.iter().position(|t| {
-            t.oid == triple.oid && t.attr == triple.attr && t.value.eq_values(&triple.value)
-        }) {
-            delta.record_delete(self.triples.swap_remove(pos));
-        }
-        self.apply_write_delta(Some(origin), delta);
-        ok
+        self.delete_batch(origin, std::slice::from_ref(triple), version)
     }
 
     /// Raw storage-layer lookup (bypasses the query layer).
@@ -525,5 +560,44 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
     pub fn settle(&mut self, duration: SimTime) {
         let deadline = self.net.now() + duration;
         self.net.run_until(deadline);
+    }
+}
+
+/// Expands tuples into triples and their full index fan-out as one
+/// [`OpBatch`]: every triple's keys are derived once and the payload is
+/// referenced by compact tags instead of one copy per key. Shared by
+/// the simulated cluster driver and the live threaded runtime so the
+/// two ingest paths cannot drift.
+pub(crate) fn build_insert_batch(
+    tuples: &[Tuple],
+    with_qgrams: bool,
+) -> (OpBatch<Triple>, Vec<Triple>) {
+    let mut batch = OpBatch::new();
+    let mut triples = Vec::new();
+    for tuple in tuples {
+        for t in tuple.to_triples() {
+            let item = batch.add_item(t.clone());
+            for key in TripleKeys::derive(&t, with_qgrams).all() {
+                batch.push_insert(key, item, 0);
+            }
+            triples.push(t);
+        }
+    }
+    (batch, triples)
+}
+
+/// Builds the routed messages for one batch: coalesced per-hop
+/// [`OpBatch`] messages when the backend batches and the configuration
+/// allows, the per-op expansion otherwise.
+pub(crate) fn batch_write_msgs<O: Overlay<Item = Triple>>(
+    ocfg: &O::Config,
+    batched: bool,
+    next_qid: &mut dyn FnMut() -> u64,
+    batch: &OpBatch<Triple>,
+    origin: NodeId,
+) -> Vec<(u64, O::Msg)> {
+    match batched {
+        true => O::batch_msgs(ocfg, next_qid, batch, origin),
+        false => per_op_batch_msgs::<O>(ocfg, next_qid, batch, origin),
     }
 }

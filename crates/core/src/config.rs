@@ -81,6 +81,12 @@ pub struct UniConfig<C = PGridConfig> {
     /// The staleness a remote plan can observe is bounded by one tick
     /// plus one hop (DESIGN.md §"Statistics distribution").
     pub stats_refresh: SimTime,
+    /// Route writes as coalesced [`unistore_overlay::OpBatch`]es on
+    /// backends that support them (`Overlay::BATCHES_OPS`). When
+    /// `false`, every write expands into the per-op message fan-out —
+    /// the uncoalesced baseline the ingest bench compares against
+    /// (DESIGN.md §"Batched write pipeline").
+    pub batch_writes: bool,
 }
 
 impl Default for UniConfig<PGridConfig> {
@@ -109,6 +115,7 @@ impl<C> UniConfig<C> {
             query_retries: 2,
             plan_mode: PlanMode::default(),
             stats_refresh: SimTime::from_secs(10),
+            batch_writes: true,
         }
     }
 
@@ -124,6 +131,13 @@ impl<C> UniConfig<C> {
     /// need exact per-operation cost attribution.
     pub fn with_stats_refresh(mut self, interval: SimTime) -> Self {
         self.stats_refresh = interval;
+        self
+    }
+
+    /// Enables or disables the batched write pipeline (on by default;
+    /// the ingest bench flips it off to measure the per-op baseline).
+    pub fn with_batch_writes(mut self, enabled: bool) -> Self {
+        self.batch_writes = enabled;
         self
     }
 
@@ -193,6 +207,14 @@ mod tests {
         let c = c.with_stats_refresh(SimTime::from_millis(50));
         assert_eq!(c.stats_refresh, SimTime::from_millis(50));
         assert_eq!(c.node_params().stats_refresh, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn batch_writes_knob() {
+        let c = UniConfig::default();
+        assert!(c.batch_writes, "batched writes on by default");
+        let c = c.with_batch_writes(false);
+        assert!(!c.batch_writes);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use unistore_query::{Logical, Mqp, MqpNode, Relation, StatsDelta};
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_store::index::TripleKeys;
 use unistore_store::{Triple, Tuple};
+use unistore_util::wire::Shared;
 use unistore_util::Key;
 use unistore_vql::{analyze, parse, VqlError};
 
@@ -53,6 +54,8 @@ pub struct LiveCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
     /// Overlay configuration, kept for routed runtime writes.
     ocfg: O::Config,
     with_qgrams: bool,
+    /// Whether runtime writes ride the coalesced batch pipeline.
+    batch_writes: bool,
 }
 
 impl LiveCluster<PGridPeer<Triple>> {
@@ -130,6 +133,7 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
             n: n_peers,
             ocfg: cfg.overlay.clone(),
             with_qgrams: cfg.with_qgrams,
+            batch_writes: cfg.batch_writes,
         }
     }
 
@@ -181,37 +185,32 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
         }
     }
 
-    /// Inserts one tuple through the routed protocol path at runtime,
-    /// waiting up to `timeout` wall-clock time for every index-entry
-    /// ack. After the acks, the statistics delta is handed to the
-    /// origin node in-band: the origin folds it into its cost model
-    /// immediately and disseminates it to the other nodes on its next
-    /// stats-refresh tick — no restart, no rescan.
-    pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple, timeout: Duration) -> bool {
+    /// Inserts many tuples through the routed protocol path at runtime
+    /// as **one batched write** (coalesced per-hop
+    /// [`unistore_overlay::OpBatch`] messages on batching backends),
+    /// waiting up to `timeout` wall-clock time
+    /// for the aggregated acks. After the acks, a single statistics
+    /// delta for the whole batch is handed to the origin node in-band:
+    /// the origin folds it into its cost model immediately and
+    /// disseminates it to the other nodes on its next stats-refresh tick
+    /// — no restart, no rescan.
+    pub fn insert_batch(&mut self, origin: NodeId, tuples: &[Tuple], timeout: Duration) -> bool {
         let ocfg = self.ocfg.clone();
-        let triples = tuple.to_triples();
-        let mut pending: Vec<u64> = Vec::new();
-        for t in &triples {
-            for key in TripleKeys::derive(t, self.with_qgrams).all() {
-                let msgs = O::insert_msgs(
-                    &ocfg,
-                    &mut || {
-                        let q = self.next_qid;
-                        self.next_qid += 1;
-                        q
-                    },
-                    key,
-                    t.clone(),
-                    0,
-                    origin,
-                );
-                for (qid, msg) in msgs {
-                    pending.push(qid);
-                    self.senders[origin.index()]
-                        .send((NodeId::EXTERNAL, UniMsg::Overlay(msg)))
-                        .expect("node thread alive");
-                }
-            }
+        let (batch, triples) = crate::cluster::build_insert_batch(tuples, self.with_qgrams);
+        let batched = self.batch_writes && O::BATCHES_OPS;
+        let mut next_qid = || {
+            let q = self.next_qid;
+            self.next_qid += 1;
+            q
+        };
+        let msgs =
+            crate::cluster::batch_write_msgs::<O>(&ocfg, batched, &mut next_qid, &batch, origin);
+        let mut pending: Vec<u64> = Vec::with_capacity(msgs.len());
+        for (qid, msg) in msgs {
+            pending.push(qid);
+            self.senders[origin.index()]
+                .send((NodeId::EXTERNAL, UniMsg::Overlay(msg)))
+                .expect("node thread alive");
         }
         let deadline = Instant::now() + timeout;
         let mut ok = true;
@@ -238,9 +237,18 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
         // The live runtime never rebuilds snapshots, so every delta
         // rides the initial epoch.
         self.senders[origin.index()]
-            .send((NodeId::EXTERNAL, UniMsg::Query(QueryMsg::StatsDelta { epoch: 0, delta })))
+            .send((
+                NodeId::EXTERNAL,
+                UniMsg::Query(QueryMsg::StatsDelta { epoch: 0, delta: Shared::new(delta) }),
+            ))
             .expect("node thread alive");
         ok
+    }
+
+    /// Inserts one tuple through the routed protocol path at runtime — a
+    /// thin wrapper over [`Self::insert_batch`].
+    pub fn insert_tuple(&mut self, origin: NodeId, tuple: &Tuple, timeout: Duration) -> bool {
+        self.insert_batch(origin, std::slice::from_ref(tuple), timeout)
     }
 
     /// Asks a node for a summary of its current statistics snapshot:

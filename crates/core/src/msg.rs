@@ -12,7 +12,7 @@ use unistore_overlay::OverlayDone;
 use unistore_query::cost::StatsDelta;
 use unistore_query::{Mqp, Relation};
 use unistore_store::Triple;
-use unistore_util::wire::{Wire, WireError};
+use unistore_util::wire::{Shared, Wire, WireError};
 use unistore_util::Key;
 
 /// Everything a UniStore node can receive. Generic over the storage
@@ -61,8 +61,11 @@ pub enum QueryMsg {
         /// already contains and are dropped on receipt instead of being
         /// double-counted.
         epoch: u64,
-        /// The write batch.
-        delta: StatsDelta,
+        /// The write batch. [`Shared`] because the stats-refresh flush
+        /// broadcasts the identical delta to every peer: the payload is
+        /// encoded once and the N−1 sends clone the buffer, not the
+        /// encoding work.
+        delta: Shared<StatsDelta>,
     },
     /// Asks the receiving node for a summary of its current statistics
     /// snapshot (observability for the live runtime, where node state
@@ -202,12 +205,12 @@ mod tests {
             UniMsg::Query(QueryMsg::Result { qid: 7, relation: rel, hops: 5 }),
             UniMsg::Query(QueryMsg::StatsDelta {
                 epoch: 3,
-                delta: {
+                delta: Shared::new({
                     let mut d = StatsDelta::new();
                     d.record_insert(Triple::new("o9", "rating", Value::Int(5)));
                     d.record_delete(Triple::new("o9", "rating", Value::Int(4)));
                     d
-                },
+                }),
             }),
             UniMsg::Query(QueryMsg::StatsProbe { qid: 11 }),
         ];

@@ -24,7 +24,7 @@ use unistore_store::mapping::MappingSet;
 use unistore_store::qgram;
 use unistore_store::triple::field;
 use unistore_store::{Oid, Triple, Value};
-use unistore_util::wire::Wire;
+use unistore_util::wire::{Shared, Wire};
 use unistore_util::{BloomFilter, FxHashMap, FxHashSet, ItemFilter, Key};
 use unistore_vql::{Term, TriplePattern};
 
@@ -184,12 +184,14 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
     }
 
     /// Flushes the buffered stat deltas to every peer (the in-band
-    /// dissemination flush of the stats-refresh tick).
+    /// dissemination flush of the stats-refresh tick). The payload is
+    /// encoded once into a [`Shared`] buffer; the per-peer sends clone
+    /// the bytes, not the encoding work.
     fn flush_stats_outbox(&mut self, fx: &mut UniFx<O::Msg>) {
         if self.stats_outbox.is_empty() {
             return;
         }
-        let delta = std::mem::take(&mut self.stats_outbox);
+        let delta = Shared::new(std::mem::take(&mut self.stats_outbox));
         let me = self.id();
         for peer in 0..self.n_peers {
             let to = NodeId(peer as u32);
@@ -636,13 +638,13 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                 if epoch != self.stats_epoch {
                     return;
                 }
-                self.apply_stats_delta(&delta);
+                self.apply_stats_delta(delta.get());
                 // Write origins hand the driver's delta to one node;
                 // that node disseminates it to the rest on its next
                 // stats tick. Peer-to-peer deltas are already a flush
                 // fan-out and stop here.
                 if from == NodeId::EXTERNAL {
-                    self.stats_outbox.merge(delta);
+                    self.stats_outbox.merge(delta.get().clone());
                 }
             }
             QueryMsg::StatsProbe { qid } => {

@@ -27,6 +27,7 @@ use unistore_util::item::Item;
 use unistore_util::Key;
 
 pub use unistore_util::bloom::ItemFilter;
+pub use unistore_util::wire::{BatchOp, BatchVerb, OpBatch};
 
 /// Which range-scan physical algorithm the caller prefers.
 ///
@@ -82,6 +83,19 @@ pub enum OverlayDone<I> {
         /// `false` on timeout.
         ok: bool,
     },
+    /// A routed [`OpBatch`] completed: every op was acknowledged (`ok`)
+    /// or the batch timed out. Per-op acks are aggregated by the
+    /// backend, so driver-side bookkeeping stays O(batch), not O(op).
+    Batch {
+        /// Correlation id of the whole batch.
+        qid: u64,
+        /// Ops the batch carried.
+        ops: u32,
+        /// Deepest routed hop count over all sub-batches.
+        hops: u32,
+        /// `false` when not every op was acknowledged in time.
+        ok: bool,
+    },
 }
 
 impl<I> OverlayDone<I> {
@@ -90,7 +104,8 @@ impl<I> OverlayDone<I> {
         match self {
             OverlayDone::Lookup { qid, .. }
             | OverlayDone::Range { qid, .. }
-            | OverlayDone::Insert { qid, .. } => *qid,
+            | OverlayDone::Insert { qid, .. }
+            | OverlayDone::Batch { qid, .. } => *qid,
         }
     }
 
@@ -99,7 +114,8 @@ impl<I> OverlayDone<I> {
         match self {
             OverlayDone::Lookup { hops, .. }
             | OverlayDone::Range { hops, .. }
-            | OverlayDone::Insert { hops, .. } => *hops,
+            | OverlayDone::Insert { hops, .. }
+            | OverlayDone::Batch { hops, .. } => *hops,
         }
     }
 
@@ -108,7 +124,7 @@ impl<I> OverlayDone<I> {
     pub fn items(&self) -> Option<&[I]> {
         match self {
             OverlayDone::Lookup { items, .. } | OverlayDone::Range { items, .. } => Some(items),
-            OverlayDone::Insert { .. } => None,
+            OverlayDone::Insert { .. } | OverlayDone::Batch { .. } => None,
         }
     }
 
@@ -116,7 +132,9 @@ impl<I> OverlayDone<I> {
     /// `ok` otherwise).
     pub fn ok(&self) -> bool {
         match self {
-            OverlayDone::Lookup { ok, .. } | OverlayDone::Insert { ok, .. } => *ok,
+            OverlayDone::Lookup { ok, .. }
+            | OverlayDone::Insert { ok, .. }
+            | OverlayDone::Batch { ok, .. } => *ok,
             OverlayDone::Range { complete, .. } => *complete,
         }
     }
@@ -181,6 +199,14 @@ pub trait Overlay:
     /// filtered retrieval degenerates to a full collect and the query
     /// layer should not pay for building and shipping filters.
     const PUSHES_FILTERS: bool = false;
+
+    /// Whether the backend routes [`OpBatch`]es natively: many write ops
+    /// in one wire message, grouped by next hop at the origin, re-split
+    /// and re-grouped at each routing step, per-op acks aggregated into
+    /// one [`OverlayDone::Batch`]. When `false` (the default),
+    /// [`Overlay::batch_msgs`] degenerates to the per-op message fan-out
+    /// and drivers should not expect any coalescing win.
+    const BATCHES_OPS: bool = false;
 
     // ---- topology bootstrap -------------------------------------------
 
@@ -291,10 +317,54 @@ pub trait Overlay:
         origin: NodeId,
     ) -> Vec<(u64, Self::Msg)>;
 
+    /// Messages that perform a whole [`OpBatch`] of writes through the
+    /// routed protocol path. Backends with `BATCHES_OPS` wrap the batch
+    /// in one (or few) coalesced wire messages whose completion surfaces
+    /// as [`OverlayDone::Batch`]; the default falls back to the per-op
+    /// [`Overlay::insert_msgs`] / [`Overlay::delete_msgs`] expansion.
+    fn batch_msgs(
+        cfg: &Self::Config,
+        next_qid: &mut dyn FnMut() -> u64,
+        batch: &OpBatch<Self::Item>,
+        origin: NodeId,
+    ) -> Vec<(u64, Self::Msg)> {
+        per_op_batch_msgs::<Self>(cfg, next_qid, batch, origin)
+    }
+
     // ---- event surface ------------------------------------------------
 
     /// Folds a backend-native completion event into the uniform view.
     fn done(ev: Self::Out) -> OverlayDone<Self::Item>;
+}
+
+/// The per-op fallback expansion of [`Overlay::batch_msgs`]: one routed
+/// message per (index key, op) through the backend's single-op
+/// constructors. Exposed so drivers can force the uncoalesced path for
+/// comparison even on backends that batch natively (the `bench-snapshot`
+/// ingest section measures exactly this).
+pub fn per_op_batch_msgs<O: Overlay>(
+    cfg: &O::Config,
+    next_qid: &mut dyn FnMut() -> u64,
+    batch: &OpBatch<O::Item>,
+    origin: NodeId,
+) -> Vec<(u64, O::Msg)> {
+    let mut out = Vec::with_capacity(batch.ops.len());
+    for op in &batch.ops {
+        match op.verb {
+            BatchVerb::Insert { item } => out.extend(O::insert_msgs(
+                cfg,
+                next_qid,
+                op.key,
+                batch.items[item as usize].clone(),
+                op.version,
+                origin,
+            )),
+            BatchVerb::Delete { ident } => {
+                out.extend(O::delete_msgs(cfg, next_qid, op.key, ident, op.version, origin))
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,434 @@
+//! Batched write routing: per-hop op coalescing.
+//!
+//! A routed [`PGridMsg::OpBatch`] carries many insert/delete ops in one
+//! wire message, with each distinct payload shipped once and referenced
+//! by compact key tags ([`OpBatch`]). Routing works per *op* but ships
+//! per *group*: at every peer the batch partitions into a locally
+//! applied remainder plus one sub-batch per distinct next hop
+//! ([`OpBatch::subset`] re-indexes the payload table), so the batch only
+//! forks where responsibility actually diverges. Each peer that applies
+//! ops sends the origin one aggregated [`PGridMsg::BatchAck`]; the
+//! origin completes when every op is accounted for and emits a single
+//! [`PGridEvent::BatchDone`] — driver-side bookkeeping stays O(batch).
+
+use unistore_simnet::NodeId;
+use unistore_util::wire::{BatchVerb, OpBatch};
+
+use crate::item::Item;
+use crate::msg::{PGridEvent, PGridMsg, QueryId};
+use crate::peer::{Fx, PGridPeer, Pending};
+use crate::routing::RouteDecision;
+
+/// Routing outcome of one batch step: op indices resolved locally, and
+/// one group of op indices per distinct next hop (first-seen order, so
+/// the fan-out is deterministic under the seeded RNG).
+struct BatchSplit {
+    local: Vec<usize>,
+    groups: Vec<(NodeId, Vec<usize>)>,
+    /// Per-op first hop (`None` = local or stuck), recorded at the
+    /// origin so a retry can route around it.
+    first_hops: Vec<Option<NodeId>>,
+}
+
+impl BatchSplit {
+    fn push_forward(&mut self, next: NodeId, op: usize) {
+        self.first_hops[op] = Some(next);
+        match self.groups.iter_mut().find(|(n, _)| *n == next) {
+            Some((_, idxs)) => idxs.push(op),
+            None => self.groups.push((next, vec![op])),
+        }
+    }
+}
+
+impl<I: Item> PGridPeer<I> {
+    /// Handles a routed batch. `from == EXTERNAL` marks driver injection
+    /// at the origin, which registers completion tracking (with retry
+    /// state); relayed batches re-split and forward.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_op_batch(
+        &mut self,
+        from: NodeId,
+        qid: QueryId,
+        attempt: u32,
+        origin: NodeId,
+        hops: u32,
+        batch: OpBatch<I>,
+        fx: &mut Fx<I>,
+    ) {
+        if from == NodeId::EXTERNAL && origin == self.id {
+            let expected = batch.len() as u32;
+            self.register_pending(
+                fx,
+                qid,
+                Pending::Batch {
+                    batch: batch.clone(),
+                    last_hops: vec![None; batch.len()],
+                    expected,
+                    done: 0,
+                    hops: 0,
+                    attempts: 0,
+                },
+            );
+            self.issue_batch(qid, 0, &batch, &[], fx);
+            return;
+        }
+        let split = self.split_batch(&batch, &[]);
+        let applied = self.apply_batch_ops(&batch, &split.local, fx);
+        self.forward_groups(qid, attempt, origin, hops, &batch, split.groups, fx);
+        if applied > 0 {
+            if origin == self.id {
+                self.handle_batch_ack(qid, attempt, applied, hops, fx);
+            } else {
+                fx.send(origin, PGridMsg::BatchAck { qid, attempt, ops: applied, hops });
+            }
+        }
+    }
+
+    /// Starts (or retries) an origin-side batch attempt, routing each op
+    /// around `avoid[op]` — its first hop in the previous, failed
+    /// attempt. Re-issuing already-applied ops is idempotent at the
+    /// versioned stores, so the retry ships the whole batch, stamped
+    /// with the new attempt number.
+    pub(crate) fn issue_batch(
+        &mut self,
+        qid: QueryId,
+        attempt: u32,
+        batch: &OpBatch<I>,
+        avoid: &[Option<NodeId>],
+        fx: &mut Fx<I>,
+    ) {
+        let split = self.split_batch(batch, avoid);
+        if let Some(Pending::Batch { last_hops, .. }) = self.pending.get_mut(&qid) {
+            *last_hops = split.first_hops;
+        }
+        let applied = self.apply_batch_ops(batch, &split.local, fx);
+        self.forward_groups(qid, attempt, self.id, 0, batch, split.groups, fx);
+        if applied > 0 {
+            self.handle_batch_ack(qid, attempt, applied, 0, fx);
+        }
+    }
+
+    /// Routes every op of the batch: local / forward (grouped by next
+    /// hop) / stuck. Stuck ops are left to the origin's timeout and
+    /// retry, exactly like stuck single-op writes.
+    fn split_batch(&mut self, batch: &OpBatch<I>, avoid: &[Option<NodeId>]) -> BatchSplit {
+        let mut split = BatchSplit {
+            local: Vec::new(),
+            groups: Vec::new(),
+            first_hops: vec![None; batch.len()],
+        };
+        for (i, op) in batch.ops.iter().enumerate() {
+            let shun = avoid.get(i).copied().flatten();
+            // Longest-prefix jumps: fewer hops per op means fewer edges
+            // the sub-batch's tags and payloads cross.
+            match self.routing.route_jump(op.key, shun, &mut self.rng) {
+                RouteDecision::Local => split.local.push(i),
+                RouteDecision::Forward(next, _) => split.push_forward(next, i),
+                RouteDecision::Stuck(_) => {}
+            }
+        }
+        split
+    }
+
+    /// Ships one re-grouped sub-batch per next hop.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_groups(
+        &mut self,
+        qid: QueryId,
+        attempt: u32,
+        origin: NodeId,
+        hops: u32,
+        batch: &OpBatch<I>,
+        groups: Vec<(NodeId, Vec<usize>)>,
+        fx: &mut Fx<I>,
+    ) {
+        for (next, idxs) in groups {
+            fx.send(
+                next,
+                PGridMsg::OpBatch {
+                    qid,
+                    attempt,
+                    origin,
+                    hops: hops + 1,
+                    batch: batch.subset(&idxs),
+                },
+            );
+        }
+    }
+
+    /// Applies the locally resolved ops through the same leaf paths as
+    /// single-op writes (store apply + replica push / tombstone
+    /// cascade). Returns the number of ops processed.
+    fn apply_batch_ops(&mut self, batch: &OpBatch<I>, idxs: &[usize], fx: &mut Fx<I>) -> u32 {
+        for &i in idxs {
+            let op = batch.ops[i];
+            match op.verb {
+                BatchVerb::Insert { item } => {
+                    let item = batch.items[item as usize].clone();
+                    self.insert_at_leaf(op.key, item, op.version, fx);
+                }
+                BatchVerb::Delete { ident } => {
+                    self.delete_at_leaf(op.key, ident, op.version, 0, fx)
+                }
+            }
+        }
+        idxs.len() as u32
+    }
+
+    /// Folds an aggregated ack into the pending batch; completes it when
+    /// every op of the **current attempt** is accounted for. Acks from a
+    /// superseded attempt are dropped: the aggregated count cannot name
+    /// which ops it covers, so mixing attempts could declare a batch
+    /// complete while an op lost in both attempts was never applied.
+    pub(crate) fn handle_batch_ack(
+        &mut self,
+        qid: QueryId,
+        attempt: u32,
+        ops: u32,
+        ack_hops: u32,
+        fx: &mut Fx<I>,
+    ) {
+        let Some(Pending::Batch { expected, done, hops, attempts, .. }) =
+            self.pending.get_mut(&qid)
+        else {
+            return;
+        };
+        if attempt != *attempts {
+            return;
+        }
+        *done += ops;
+        *hops = (*hops).max(ack_hops);
+        if *done >= *expected {
+            let (ops_total, max_hops) = (*expected, *hops);
+            self.pending.remove(&qid);
+            fx.emit(PGridEvent::BatchDone { qid, ops: ops_total, hops: max_hops, ok: true });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Handler-level tests on hand-built topologies; full-network batch
+    //! behaviour (ordering, retries, oracle equality) is covered in the
+    //! workspace integration suites.
+
+    use super::*;
+    use crate::config::PGridConfig;
+    use crate::item::RawItem;
+    use crate::msg::PeerRef;
+    use unistore_simnet::Effects;
+    use unistore_util::BitPath;
+
+    fn peer(id: u32, path: &str) -> PGridPeer<RawItem> {
+        PGridPeer::new(NodeId(id), BitPath::parse(path).unwrap(), PGridConfig::default(), 42)
+    }
+
+    /// Keys routed by their top bits: peer "00" owns keys starting 00.
+    fn key(prefix: &str) -> u64 {
+        let mut k = 0u64;
+        for (i, c) in prefix.chars().enumerate() {
+            if c == '1' {
+                k |= 1 << (63 - i);
+            }
+        }
+        k
+    }
+
+    #[test]
+    fn batch_forks_only_where_responsibility_diverges() {
+        // Peer 0 at "00" with one ref into "01" and one into "1": a batch
+        // spanning all three regions must split into exactly one local
+        // apply + two sub-batches, payloads re-indexed per group.
+        let mut p = peer(0, "00");
+        p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("01").unwrap() });
+        p.routing_mut().add_ref(PeerRef { id: NodeId(2), path: BitPath::parse("1").unwrap() });
+        let mut batch = OpBatch::new();
+        let a = batch.add_item(RawItem(10));
+        let b = batch.add_item(RawItem(20));
+        batch.push_insert(key("00"), a, 0); // local
+        batch.push_insert(key("010"), a, 0); // peer 1
+        batch.push_insert(key("011"), b, 0); // peer 1 (same group)
+        batch.push_insert(key("10"), b, 0); // peer 2
+        let mut fx = Effects::new();
+        p.handle_op_batch(NodeId::EXTERNAL, 7, 0, NodeId(0), 0, batch, &mut fx);
+        // Local op applied immediately.
+        assert_eq!(p.store().get(key("00")), vec![RawItem(10)]);
+        // Exactly two forwards, one per divergent subtree.
+        let sends: Vec<_> = fx
+            .sends()
+            .iter()
+            .filter_map(|(to, m)| match m {
+                PGridMsg::OpBatch { batch, hops, .. } => Some((*to, batch.clone(), *hops)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.len(), 2, "one sub-batch per next hop");
+        let to1 = sends.iter().find(|(to, _, _)| *to == NodeId(1)).expect("group for peer 1");
+        assert_eq!(to1.1.ops.len(), 2, "both 01-keys ride one message");
+        assert_eq!(to1.1.items.len(), 2, "referenced payloads only, shipped once");
+        assert_eq!(to1.2, 1, "hop count incremented");
+        let to2 = sends.iter().find(|(to, _, _)| *to == NodeId(2)).expect("group for peer 2");
+        assert_eq!(to2.1.ops.len(), 1);
+        assert_eq!(to2.1.items, vec![RawItem(20)], "unreferenced payloads dropped");
+        // No completion yet: 1 of 4 ops acked.
+        assert!(fx.emits().is_empty());
+    }
+
+    #[test]
+    fn relayed_batch_acks_origin_and_forwards_remainder() {
+        let mut p = peer(5, "1");
+        p.routing_mut().add_ref(PeerRef { id: NodeId(6), path: BitPath::parse("0").unwrap() });
+        let mut batch = OpBatch::new();
+        let a = batch.add_item(RawItem(1));
+        batch.push_insert(key("11"), a, 0); // local to peer 5
+        batch.push_insert(key("0"), a, 0); // forwarded to peer 6
+        let mut fx = Effects::new();
+        p.handle_op_batch(NodeId(3), 9, 0, NodeId(3), 2, batch, &mut fx);
+        assert_eq!(p.store().get(key("11")), vec![RawItem(1)]);
+        let mut acked = 0;
+        let mut forwarded = 0;
+        for (to, m) in fx.sends() {
+            match m {
+                PGridMsg::BatchAck { qid: 9, attempt: 0, ops: 1, hops: 2 } => {
+                    assert_eq!(*to, NodeId(3));
+                    acked += 1;
+                }
+                PGridMsg::OpBatch { qid: 9, hops: 3, batch, .. } => {
+                    assert_eq!(*to, NodeId(6));
+                    assert_eq!(batch.ops.len(), 1);
+                    forwarded += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!((acked, forwarded), (1, 1));
+    }
+
+    #[test]
+    fn batch_completes_when_every_op_is_acked() {
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("1").unwrap() });
+        let mut batch = OpBatch::new();
+        let a = batch.add_item(RawItem(4));
+        batch.push_insert(key("0"), a, 0); // local
+        batch.push_insert(key("10"), a, 0); // remote
+        batch.push_insert(key("11"), a, 0); // remote
+        let mut fx = Effects::new();
+        p.handle_op_batch(NodeId::EXTERNAL, 3, 0, NodeId(0), 0, batch, &mut fx);
+        assert!(fx.emits().is_empty(), "2 remote ops outstanding");
+        let mut fx2 = Effects::new();
+        p.handle_batch_ack(3, 0, 2, 4, &mut fx2);
+        match fx2.emits() {
+            [PGridEvent::BatchDone { qid: 3, ops: 3, hops: 4, ok: true }] => {}
+            other => panic!("unexpected emits {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_delete_tombstones_at_the_leaf() {
+        let mut p = peer(0, "0");
+        let k = key("0");
+        p.preload(k, RawItem(9), 0);
+        let mut batch: OpBatch<RawItem> = OpBatch::new();
+        batch.push_delete(k, 9, 1); // RawItem ident == payload
+        let mut fx = Effects::new();
+        p.handle_op_batch(NodeId::EXTERNAL, 4, 0, NodeId(0), 0, batch, &mut fx);
+        assert!(p.store().get(k).is_empty(), "batched delete removes the entry");
+        match fx.emits() {
+            [PGridEvent::BatchDone { qid: 4, ops: 1, ok: true, .. }] => {}
+            other => panic!("unexpected emits {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_out_batch_retries_around_the_previous_first_hop() {
+        use unistore_simnet::{NodeBehavior, SimTime, Timer};
+        // Two references cover the "1" subtree; the retry of a timed-out
+        // sub-batch must route around the first attempt's hop.
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("1").unwrap() });
+        p.routing_mut().add_ref(PeerRef { id: NodeId(2), path: BitPath::parse("1").unwrap() });
+        let mut batch = OpBatch::new();
+        let a = batch.add_item(RawItem(1));
+        batch.push_insert(key("1"), a, 0);
+        let mut fx = Effects::new();
+        p.handle_op_batch(NodeId::EXTERNAL, 5, 0, NodeId(0), 0, batch, &mut fx);
+        let first_to = |fx: &Effects<PGridMsg<RawItem>, PGridEvent<RawItem>>| {
+            fx.sends()
+                .iter()
+                .find_map(|(to, m)| matches!(m, PGridMsg::OpBatch { .. }).then_some(*to))
+                .expect("sub-batch forwarded")
+        };
+        let first = first_to(&fx);
+        // No ack arrives; the origin-side timeout fires and re-issues.
+        let mut fx2 = Effects::new();
+        p.on_timer(SimTime::ZERO, Timer::new(crate::peer::timer::QUERY_TIMEOUT, 5), &mut fx2);
+        let second = first_to(&fx2);
+        assert_ne!(first, second, "retry must exclude the failed first hop");
+        // A straggler ack from the superseded attempt is dropped: the
+        // aggregated count cannot name its ops, so it must not combine
+        // with the retry's acks into a false completion.
+        let mut fx_stale = Effects::new();
+        p.handle_batch_ack(5, 0, 1, 2, &mut fx_stale);
+        assert!(fx_stale.emits().is_empty(), "stale-attempt ack must not complete the batch");
+        // The retried attempt completes normally.
+        let mut fx3 = Effects::new();
+        p.handle_batch_ack(5, 1, 1, 2, &mut fx3);
+        match fx3.emits() {
+            [PGridEvent::BatchDone { qid: 5, ops: 1, ok: true, .. }] => {}
+            other => panic!("unexpected emits {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_batch() {
+        use unistore_simnet::{NodeBehavior, SimTime, Timer};
+        let mut p = peer(0, "0");
+        p.routing_mut().add_ref(PeerRef { id: NodeId(1), path: BitPath::parse("1").unwrap() });
+        let mut batch = OpBatch::new();
+        let a = batch.add_item(RawItem(1));
+        batch.push_insert(key("1"), a, 0);
+        let mut fx = Effects::new();
+        p.handle_op_batch(NodeId::EXTERNAL, 6, 0, NodeId(0), 0, batch, &mut fx);
+        let retries = PGridConfig::default().op_retries;
+        for i in 0..=retries {
+            let mut fxt = Effects::new();
+            p.on_timer(SimTime::ZERO, Timer::new(crate::peer::timer::QUERY_TIMEOUT, 6), &mut fxt);
+            if i == retries {
+                match fxt.emits() {
+                    [PGridEvent::BatchDone { qid: 6, ok: false, .. }] => {}
+                    other => panic!("unexpected emits {other:?}"),
+                }
+            } else {
+                assert!(fxt.emits().is_empty(), "attempt {i} should re-issue, not fail");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_order_independent_under_versioned_records() {
+        // The version laws make op order across a fork irrelevant: a
+        // delete at v2 and an insert at v1 of the same identity converge
+        // to the tombstone no matter the application order.
+        let mk = |order: [usize; 2]| {
+            let mut p = peer(0, "0");
+            let mut batch = OpBatch::new();
+            let a = batch.add_item(RawItem(9));
+            let ops = [(0usize, a), (1, a)];
+            let mut b2 = OpBatch::new();
+            let a2 = b2.add_item(RawItem(9));
+            for &i in &order {
+                match ops[i].0 {
+                    0 => b2.push_insert(key("0"), a2, 1),
+                    _ => b2.push_delete(key("0"), 9, 2),
+                }
+            }
+            let _ = batch;
+            let mut fx = Effects::new();
+            p.handle_op_batch(NodeId::EXTERNAL, 1, 0, NodeId(0), 0, b2, &mut fx);
+            p.store().get(key("0"))
+        };
+        assert_eq!(mk([0, 1]), mk([1, 0]));
+        assert!(mk([0, 1]).is_empty(), "the newer tombstone wins either way");
+    }
+}

@@ -23,6 +23,7 @@
 //! * routing-table maintenance under churn ([`maintain`]),
 //! * a driver-facing simulation harness ([`cluster`]).
 
+pub mod batch;
 pub mod bootstrap;
 pub mod cluster;
 pub mod config;

@@ -179,7 +179,7 @@ impl<I: Item> PGridPeer<I> {
 
     /// Applies an insert at the responsible leaf and pushes the change
     /// to the replica group when it was new.
-    fn insert_at_leaf(&mut self, key: Key, item: I, version: Version, fx: &mut Fx<I>) {
+    pub(crate) fn insert_at_leaf(&mut self, key: Key, item: I, version: Version, fx: &mut Fx<I>) {
         let changed = self.store.apply(key, item.clone(), version);
         if changed {
             self.push_to_replicas(key, version, item, fx);
@@ -268,7 +268,7 @@ impl<I: Item> PGridPeer<I> {
     /// Applies a delete at the responsible leaf; when something was
     /// removed, propagates once through the replica group (replicas that
     /// remove nothing stop the cascade).
-    fn delete_at_leaf(
+    pub(crate) fn delete_at_leaf(
         &mut self,
         key: Key,
         ident: u64,

@@ -4,7 +4,7 @@
 use bytes::{Bytes, BytesMut};
 
 use unistore_simnet::NodeId;
-use unistore_util::wire::{Wire, WireError};
+use unistore_util::wire::{put_list, OpBatch, Wire, WireError};
 use unistore_util::{BitPath, ItemFilter, Key};
 
 use crate::item::{Item, Version};
@@ -111,6 +111,40 @@ pub enum PGridMsg<I> {
         /// Issuer, receives the ack.
         origin: NodeId,
         /// Routing hops so far.
+        hops: u32,
+    },
+    /// Many routed writes coalesced into one message (shared-payload
+    /// [`OpBatch`] encoding). Routed like inserts, but per *op*: at each
+    /// peer the batch re-splits into one sub-batch per next hop plus a
+    /// locally applied remainder, so it only forks where responsibility
+    /// diverges. Every peer that applies ops acks the origin with one
+    /// aggregated [`PGridMsg::BatchAck`].
+    OpBatch {
+        /// Correlation id of the whole batch.
+        qid: QueryId,
+        /// Origin-side attempt number, echoed by acks. A retried batch
+        /// counts only its current attempt's acks toward completion —
+        /// count-based acks cannot name which ops they cover, so a late
+        /// ack from a previous attempt must not combine with the
+        /// retry's acks into a false completion.
+        attempt: u32,
+        /// Issuer, receives the aggregated acks.
+        origin: NodeId,
+        /// Routing hops of this sub-batch so far.
+        hops: u32,
+        /// The ops and their shared payloads.
+        batch: OpBatch<I>,
+    },
+    /// Aggregated ack: `ops` write ops of batch `qid` were applied at
+    /// the sending leaf.
+    BatchAck {
+        /// Correlation id of the batch.
+        qid: QueryId,
+        /// Attempt the acked sub-batch belonged to.
+        attempt: u32,
+        /// Ops applied at the acking leaf.
+        ops: u32,
+        /// Hops the sub-batch travelled to that leaf.
         hops: u32,
     },
     /// Parallel (shower) range query over `[lo, hi]`.
@@ -254,6 +288,8 @@ mod tag {
     pub const EXCHANGE_REPLICA: u8 = 18;
     pub const EXCHANGE_ADOPT: u8 = 19;
     pub const EXCHANGE_REFS: u8 = 20;
+    pub const OP_BATCH: u8 = 22;
+    pub const BATCH_ACK: u8 = 23;
 }
 
 impl<I: Item> Wire for PGridMsg<I> {
@@ -270,9 +306,24 @@ impl<I: Item> Wire for PGridMsg<I> {
             PGridMsg::LookupReply { qid, items, hops, ok } => {
                 tag::LOOKUP_REPLY.encode(buf);
                 qid.encode(buf);
-                items.encode(buf);
+                put_list(buf, items);
                 hops.encode(buf);
                 ok.encode(buf);
+            }
+            PGridMsg::OpBatch { qid, attempt, origin, hops, batch } => {
+                tag::OP_BATCH.encode(buf);
+                qid.encode(buf);
+                attempt.encode(buf);
+                origin.encode(buf);
+                hops.encode(buf);
+                batch.encode(buf);
+            }
+            PGridMsg::BatchAck { qid, attempt, ops, hops } => {
+                tag::BATCH_ACK.encode(buf);
+                qid.encode(buf);
+                attempt.encode(buf);
+                ops.encode(buf);
+                hops.encode(buf);
             }
             PGridMsg::Insert { qid, key, item, version, origin, hops } => {
                 tag::INSERT.encode(buf);
@@ -321,7 +372,7 @@ impl<I: Item> Wire for PGridMsg<I> {
                 qid.encode(buf);
                 cov_lo.encode(buf);
                 cov_hi.encode(buf);
-                items.encode(buf);
+                put_list(buf, items);
                 hops.encode(buf);
                 aborted.encode(buf);
             }
@@ -394,6 +445,19 @@ impl<I: Item> Wire for PGridMsg<I> {
                 items: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
                 ok: Wire::decode(buf)?,
+            },
+            tag::OP_BATCH => PGridMsg::OpBatch {
+                qid: Wire::decode(buf)?,
+                attempt: Wire::decode(buf)?,
+                origin: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
+                batch: Wire::decode(buf)?,
+            },
+            tag::BATCH_ACK => PGridMsg::BatchAck {
+                qid: Wire::decode(buf)?,
+                attempt: Wire::decode(buf)?,
+                ops: Wire::decode(buf)?,
+                hops: Wire::decode(buf)?,
             },
             tag::INSERT => PGridMsg::Insert {
                 qid: Wire::decode(buf)?,
@@ -499,6 +563,18 @@ pub enum PGridEvent<I> {
         /// `false` on timeout.
         ok: bool,
     },
+    /// A batched write the local peer issued completed: every op acked,
+    /// or the batch timed out with ops still outstanding.
+    BatchDone {
+        /// Correlation id of the batch.
+        qid: QueryId,
+        /// Ops the batch carried.
+        ops: u32,
+        /// Deepest hop count over all acked sub-batches.
+        hops: u32,
+        /// `false` on timeout.
+        ok: bool,
+    },
 }
 
 #[cfg(test)]
@@ -544,6 +620,21 @@ mod tests {
             },
             PGridMsg::InsertAck { qid: 1, hops: 4 },
             PGridMsg::Delete { qid: 4, key: 9, ident: 11, version: 2, origin: NodeId(1), hops: 3 },
+            PGridMsg::OpBatch {
+                qid: 12,
+                attempt: 1,
+                origin: NodeId(2),
+                hops: 1,
+                batch: {
+                    let mut b = OpBatch::new();
+                    let i = b.add_item(RawItem(77));
+                    b.push_insert(5, i, 0);
+                    b.push_insert(9, i, 0);
+                    b.push_delete(13, 0xFEED, 2);
+                    b
+                },
+            },
+            PGridMsg::BatchAck { qid: 12, attempt: 1, ops: 3, hops: 4 },
             PGridMsg::Range {
                 qid: 2,
                 lo: 10,

@@ -6,7 +6,7 @@
 //! converged-state construction ([`crate::construct`]), including the
 //! data-adaptive balanced trie when a key sample is supplied.
 
-use unistore_overlay::{ItemFilter, Overlay, OverlayDone, OverlayTopology, RangeMode};
+use unistore_overlay::{ItemFilter, OpBatch, Overlay, OverlayDone, OverlayTopology, RangeMode};
 use unistore_simnet::{Effects, NodeId};
 use unistore_util::rng::{derive_rng, stream};
 use unistore_util::{BitPath, Key};
@@ -56,6 +56,7 @@ impl<I: Item + Send + 'static> Overlay for PGridPeer<I> {
     const NAME: &'static str = "P-Grid";
     const ADAPTS_TO_SAMPLE: bool = true;
     const PUSHES_FILTERS: bool = true;
+    const BATCHES_OPS: bool = true;
 
     fn plan(n_peers: usize, cfg: &PGridConfig, sample: Option<&[Key]>, seed: u64) -> PGridTopology {
         let mut rng = derive_rng(seed, stream::OVERLAY);
@@ -176,6 +177,21 @@ impl<I: Item + Send + 'static> Overlay for PGridPeer<I> {
         vec![(qid, PGridMsg::Delete { qid, key, ident, version, origin, hops: 0 })]
     }
 
+    fn batch_msgs(
+        _cfg: &PGridConfig,
+        next_qid: &mut dyn FnMut() -> u64,
+        batch: &OpBatch<I>,
+        origin: NodeId,
+    ) -> Vec<(u64, PGridMsg<I>)> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // The whole batch is one wire message; the origin peer splits it
+        // per next hop and re-splits at every routing step.
+        let qid = next_qid();
+        vec![(qid, PGridMsg::OpBatch { qid, attempt: 0, origin, hops: 0, batch: batch.clone() })]
+    }
+
     fn done(ev: PGridEvent<I>) -> OverlayDone<I> {
         match ev {
             PGridEvent::LookupDone { qid, items, hops, ok } => {
@@ -185,6 +201,9 @@ impl<I: Item + Send + 'static> Overlay for PGridPeer<I> {
                 OverlayDone::Range { qid, items, hops, complete }
             }
             PGridEvent::InsertDone { qid, hops, ok } => OverlayDone::Insert { qid, hops, ok },
+            PGridEvent::BatchDone { qid, ops, hops, ok } => {
+                OverlayDone::Batch { qid, ops, hops, ok }
+            }
         }
     }
 }

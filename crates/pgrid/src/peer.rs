@@ -10,6 +10,7 @@ use rand::Rng;
 
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_util::rng::{derive_rng, stream};
+use unistore_util::wire::OpBatch;
 use unistore_util::{BitPath, FxHashMap, ItemFilter, Key};
 
 use crate::config::PGridConfig;
@@ -49,6 +50,25 @@ pub(crate) enum Pending<I> {
     Insert { key: Key, item: I, version: u64, attempts: u32, last_hop: Option<NodeId> },
     /// Delete (index maintenance) waiting for its ack.
     Delete { key: Key, ident: u64, version: u64, attempts: u32, last_hop: Option<NodeId> },
+    /// Batched writes accumulating aggregated acks until every op is
+    /// accounted for. The full op set is kept so a timed-out attempt can
+    /// be re-issued (idempotent under the versioned store), avoiding
+    /// per-op the first hop of the previous attempt.
+    Batch {
+        /// The ops and shared payloads, for retry.
+        batch: OpBatch<I>,
+        /// Per-op first hop of the latest attempt (`None` = resolved
+        /// locally or routing was stuck).
+        last_hops: Vec<Option<NodeId>>,
+        /// Total ops the batch carries.
+        expected: u32,
+        /// Ops acknowledged so far (across leaves).
+        done: u32,
+        /// Max hops over the received acks.
+        hops: u32,
+        /// Attempts so far.
+        attempts: u32,
+    },
     /// Range query accumulating leaf replies until the covered intervals
     /// add up to `[lo, hi]`.
     Range {
@@ -306,6 +326,30 @@ impl<I: Item> PGridPeer<I> {
                     fx.emit(PGridEvent::InsertDone { qid, hops: 0, ok: false })
                 }
             }
+            Pending::Batch { batch, last_hops, expected, hops, attempts, .. } => {
+                if attempts < self.cfg.op_retries {
+                    self.register_pending(
+                        fx,
+                        qid,
+                        Pending::Batch {
+                            batch: batch.clone(),
+                            last_hops: last_hops.clone(),
+                            expected,
+                            done: 0,
+                            hops,
+                            attempts: attempts + 1,
+                        },
+                    );
+                    // Re-issue the whole batch (idempotent at the
+                    // versioned stores), routing each op around the
+                    // first hop of the failed attempt. The new attempt
+                    // number gates the acks: leftovers from the failed
+                    // attempt cannot count toward this one.
+                    self.issue_batch(qid, attempts + 1, &batch, &last_hops, fx);
+                } else {
+                    fx.emit(PGridEvent::BatchDone { qid, ops: 0, hops: 0, ok: false })
+                }
+            }
             Pending::Range { items, hops, leaves, .. } => {
                 fx.emit(PGridEvent::RangeDone { qid, items, complete: false, hops, leaves })
             }
@@ -338,6 +382,12 @@ impl<I: Item> NodeBehavior for PGridPeer<I> {
                 self.handle_insert(from, qid, key, item, version, origin, hops, fx)
             }
             PGridMsg::InsertAck { qid, hops } => self.handle_insert_ack(qid, hops, fx),
+            PGridMsg::OpBatch { qid, attempt, origin, hops, batch } => {
+                self.handle_op_batch(from, qid, attempt, origin, hops, batch, fx)
+            }
+            PGridMsg::BatchAck { qid, attempt, ops, hops } => {
+                self.handle_batch_ack(qid, attempt, ops, hops, fx)
+            }
             PGridMsg::Delete { qid, key, ident, version, origin, hops } => {
                 self.handle_delete(from, qid, key, ident, version, origin, hops, fx)
             }

@@ -114,6 +114,59 @@ impl RoutingTable {
         }
     }
 
+    /// Routing decision for `key` that may jump several levels at once:
+    /// among the references at the needed level, picks one whose
+    /// (deeper) trie path agrees with the key the longest, ties broken
+    /// randomly, still avoiding `avoid` when an alternative exists.
+    ///
+    /// Correctness is the same argument as [`RoutingTable::route`] —
+    /// every hop strictly extends the matched prefix, so routing
+    /// terminates within the trie depth — but hops get *shorter* in
+    /// expectation. Batch forwarding uses this: each saved hop is one
+    /// fewer edge the whole sub-batch (op tags + shared payloads) must
+    /// cross, which is exactly the KiB the coalesced write pipeline is
+    /// supposed to save. Single-op routing keeps the plain random pick
+    /// (uniform load spreading matters more than one hop there).
+    pub fn route_jump(&self, key: Key, avoid: Option<NodeId>, rng: &mut StdRng) -> RouteDecision {
+        let l = self.path.common_prefix_len_key(key);
+        if l == self.path.len() {
+            return RouteDecision::Local;
+        }
+        let level = &self.levels[l as usize];
+        let shun = match avoid {
+            Some(a) if level.len() > 1 && level.iter().any(|x| x.id == a) => Some(a),
+            _ => None,
+        };
+        // Single pass, allocation-free (this runs once per op per hop):
+        // track the best match and reservoir-sample uniformly among ties.
+        let mut best: Option<(u8, NodeId)> = None;
+        let mut ties = 0u32;
+        for r in level {
+            if Some(r.id) == shun {
+                continue;
+            }
+            let m = r.path.common_prefix_len_key(key);
+            match &mut best {
+                Some((bm, bid)) if m == *bm => {
+                    ties += 1;
+                    if rng.gen_range(0..=ties) == 0 {
+                        *bid = r.id;
+                    }
+                }
+                Some((bm, _)) if m > *bm => {
+                    best = Some((m, r.id));
+                    ties = 0;
+                }
+                Some(_) => {}
+                None => best = Some((m, r.id)),
+            }
+        }
+        match best {
+            Some((_, id)) => RouteDecision::Forward(id, l),
+            None => RouteDecision::Stuck(l),
+        }
+    }
+
     /// Offers a reference; returns `true` if it was stored.
     ///
     /// A peer qualifies for level `l` when its path shares exactly `l`

@@ -178,12 +178,16 @@ impl StatsDelta {
 
 impl Wire for StatsDelta {
     fn encode(&self, buf: &mut bytes::BytesMut) {
-        self.inserted.encode(buf);
-        self.deleted.encode(buf);
+        unistore_util::wire::put_list(buf, &self.inserted);
+        unistore_util::wire::put_list(buf, &self.deleted);
     }
 
     fn decode(buf: &mut bytes::Bytes) -> Result<Self, unistore_util::wire::WireError> {
         Ok(StatsDelta { inserted: Wire::decode(buf)?, deleted: Wire::decode(buf)? })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.inserted.wire_size() + self.deleted.wire_size()
     }
 }
 

@@ -104,6 +104,10 @@ impl BloomFilter {
 
 impl Wire for BloomFilter {
     fn encode(&self, buf: &mut BytesMut) {
+        // Filters are the dominant request-side payload of a pushed-down
+        // semi-join; reserve the exact size instead of growing word by
+        // word.
+        buf.reserve(self.wire_size());
         self.k.encode(buf);
         put_varint(buf, self.words.len() as u64);
         for w in &self.words {

@@ -110,6 +110,22 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
     }
 }
 
+/// Encodes a length-prefixed list, pre-reserving the buffer from a
+/// first-item size estimate. The hot reply paths (triple lists, range
+/// replies, batch payloads) carry many homogeneous items; growing the
+/// byte buffer incrementally re-allocates O(log total) times and copies
+/// everything each time, while one up-front `reserve` makes the whole
+/// encode a single allocation.
+pub fn put_list<T: Wire>(buf: &mut BytesMut, items: &[T]) {
+    put_varint(buf, items.len() as u64);
+    if let Some(first) = items.first() {
+        buf.reserve(first.wire_size() * items.len());
+    }
+    for item in items {
+        item.encode(buf);
+    }
+}
+
 /// Size of the varint encoding of `v`.
 pub fn varint_size(v: u64) -> usize {
     if v == 0 {
@@ -368,6 +384,310 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
     }
 }
 
+/// A wire value encoded **once** and shared by reference: clones share
+/// the pre-built buffer, and every [`Wire::encode`] is a `memcpy` of
+/// those bytes instead of a re-walk of the value.
+///
+/// Broadcast payloads are the motivating case: a stats-refresh flush
+/// ships the identical `StatsDelta` to N−1 peers, and the naive path
+/// paid N−1 deep clones plus N−1 full encodings (the simulator sizes
+/// every send with [`Wire::wire_size`], whose default encodes into a
+/// scratch buffer). Wrapping the payload in `Shared` pays the encoding
+/// exactly once at the sender.
+#[derive(Clone, Debug)]
+pub struct Shared<T> {
+    value: Arc<T>,
+    bytes: Bytes,
+}
+
+impl<T: Wire> Shared<T> {
+    /// Wraps a value, encoding it once.
+    pub fn new(value: T) -> Shared<T> {
+        let mut buf = BytesMut::with_capacity(value.wire_size());
+        value.encode(&mut buf);
+        Shared { value: Arc::new(value), bytes: buf.freeze() }
+    }
+
+    /// The wrapped value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: Wire> Wire for Shared<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.bytes);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        // The receiver re-encodes once to restore the shared buffer; its
+        // own re-broadcasts then clone bytes again instead of re-walking.
+        Ok(Shared::new(T::decode(buf)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+// ---- batched writes with shared payloads ------------------------------
+
+/// What one batched write does at the responsible peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchVerb {
+    /// Store the payload at index `item` of the batch's item table.
+    Insert {
+        /// Index into [`OpBatch::items`].
+        item: u32,
+    },
+    /// Remove the entry with logical identity `ident` (tombstoning,
+    /// index maintenance for updates).
+    Delete {
+        /// Logical identity of the entry to remove.
+        ident: u64,
+    },
+}
+
+/// One batched write op: placement key, version, verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOp {
+    /// Placement key (one of the indexes the item lives under).
+    pub key: u64,
+    /// Version for loose-consistency updates (0 = initial insert).
+    pub version: u64,
+    /// Insert or delete.
+    pub verb: BatchVerb,
+}
+
+/// A batch of write ops with **shared payloads**: each distinct item is
+/// carried once in `items`, and the ops reference it by index.
+///
+/// UniStore's triple store fans every logical write out into its full
+/// index set (`TripleKeys::all()` is up to a 7-way copy: OID, A#v, v,
+/// plus q-gram keys); shipping each copy in its own message pays per-key
+/// routing, per-key wire overhead and 7 full payload encodings. An
+/// `OpBatch` ships the payload once per *message* with compact key tags
+/// (`ops`) instead, and [`OpBatch::subset`] lets a routing step re-group
+/// the batch per next hop so it only forks where responsibility actually
+/// diverges.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct OpBatch<I> {
+    /// Distinct payloads, shipped once each.
+    pub items: Vec<I>,
+    /// The write ops, referencing `items` by index.
+    pub ops: Vec<BatchOp>,
+}
+
+impl<I> OpBatch<I> {
+    /// An empty batch.
+    pub fn new() -> OpBatch<I> {
+        OpBatch { items: Vec::new(), ops: Vec::new() }
+    }
+
+    /// Adds a payload to the item table, returning its index for
+    /// [`OpBatch::push_insert`]. Callers dedup (one entry per logical
+    /// item, however many index keys reference it).
+    pub fn add_item(&mut self, item: I) -> u32 {
+        self.items.push(item);
+        (self.items.len() - 1) as u32
+    }
+
+    /// Appends an insert of item `item` under `key`.
+    pub fn push_insert(&mut self, key: u64, item: u32, version: u64) {
+        debug_assert!((item as usize) < self.items.len(), "item index out of range");
+        self.ops.push(BatchOp { key, version, verb: BatchVerb::Insert { item } });
+    }
+
+    /// Appends a delete of identity `ident` under `key`.
+    pub fn push_delete(&mut self, key: u64, ident: u64, version: u64) {
+        self.ops.push(BatchOp { key, version, verb: BatchVerb::Delete { ident } });
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The payload an insert op references (`None` for deletes).
+    pub fn item_of(&self, op: &BatchOp) -> Option<&I> {
+        match op.verb {
+            BatchVerb::Insert { item } => self.items.get(item as usize),
+            BatchVerb::Delete { .. } => None,
+        }
+    }
+}
+
+impl<I: Clone> OpBatch<I> {
+    /// Sub-batch of the ops at `indices`, re-indexed so only the
+    /// payloads the sub-batch references are carried — the per-hop
+    /// re-grouping step of the batched write pipeline.
+    pub fn subset(&self, indices: &[usize]) -> OpBatch<I> {
+        let (items, ops) = subset_shared(
+            &self.items,
+            &self.ops,
+            indices,
+            |op| match op.verb {
+                BatchVerb::Insert { item } => Some(item),
+                BatchVerb::Delete { .. } => None,
+            },
+            |op, item| op.verb = BatchVerb::Insert { item },
+        );
+        OpBatch { items, ops }
+    }
+}
+
+/// Re-groups a shared-payload batch: clones the ops at `indices` and
+/// re-indexes the item table so only payloads the sub-batch references
+/// are carried. Generic over the op representation — `item_ref` names
+/// the payload an op references (`None` for deletes), `rebind` rewrites
+/// the reference after remapping — so every backend's per-hop re-split
+/// shares this one implementation.
+pub fn subset_shared<I: Clone, Op: Copy>(
+    items: &[I],
+    ops: &[Op],
+    indices: &[usize],
+    item_ref: impl Fn(&Op) -> Option<u32>,
+    mut rebind: impl FnMut(&mut Op, u32),
+) -> (Vec<I>, Vec<Op>) {
+    let mut remap: Vec<Option<u32>> = vec![None; items.len()];
+    let mut sub_items: Vec<I> = Vec::new();
+    let mut sub_ops: Vec<Op> = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let mut op = ops[i];
+        if let Some(item) = item_ref(&op) {
+            let slot = &mut remap[item as usize];
+            let new = match *slot {
+                Some(n) => n,
+                None => {
+                    sub_items.push(items[item as usize].clone());
+                    let n = (sub_items.len() - 1) as u32;
+                    *slot = Some(n);
+                    n
+                }
+            };
+            rebind(&mut op, new);
+        }
+        sub_ops.push(op);
+    }
+    (sub_items, sub_ops)
+}
+
+/// Flag bits of the compact [`BatchOp`] encoding.
+mod op_flags {
+    /// The op is a delete (insert otherwise).
+    pub const DELETE: u8 = 1;
+    /// A nonzero version follows (initial inserts omit it).
+    pub const VERSIONED: u8 = 2;
+    /// All bits an encoder may set.
+    pub const ALL: u8 = DELETE | VERSIONED;
+}
+
+// Op tags are the dominant freight of a large batch — every op crosses
+// every edge of its route — so the encoding is deliberately tight: one
+// flag byte, a fixed 8-byte key (index keys are high-entropy, a varint
+// would average 9–10 bytes), the small varint payload reference, and
+// the version only when nonzero (initial inserts, the bulk-ingest
+// common case, are version 0).
+impl BatchOp {
+    /// Encodes the compact op format with backend-specific `extra`
+    /// flag bits folded into the flag byte. Bits 0–1 belong to this
+    /// type; `extra` must stay above them (Chord folds its bucket-index
+    /// bit in this way so both backends share one codec).
+    pub fn encode_flagged(&self, extra: u8, buf: &mut BytesMut) {
+        debug_assert!(extra & op_flags::ALL == 0, "extra flags collide with BatchOp's");
+        let mut flags = extra;
+        if matches!(self.verb, BatchVerb::Delete { .. }) {
+            flags |= op_flags::DELETE;
+        }
+        if self.version != 0 {
+            flags |= op_flags::VERSIONED;
+        }
+        buf.put_u8(flags);
+        buf.put_u64(self.key);
+        match self.verb {
+            BatchVerb::Insert { item } => item.encode(buf),
+            BatchVerb::Delete { ident } => ident.encode(buf),
+        }
+        if self.version != 0 {
+            self.version.encode(buf);
+        }
+    }
+
+    /// Decodes the compact op format, returning the op plus whichever
+    /// of the caller's `extra_mask` flag bits were set. Flag bits
+    /// neither known to this type nor in `extra_mask` reject the input.
+    pub fn decode_flagged(buf: &mut Bytes, extra_mask: u8) -> Result<(Self, u8), WireError> {
+        let flags = u8::decode(buf)?;
+        if flags & !(op_flags::ALL | extra_mask) != 0 {
+            return Err(WireError::BadTag(flags));
+        }
+        if buf.remaining() < 8 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let key = buf.get_u64();
+        let verb = match flags & op_flags::DELETE != 0 {
+            false => BatchVerb::Insert { item: Wire::decode(buf)? },
+            true => BatchVerb::Delete { ident: Wire::decode(buf)? },
+        };
+        let version = match flags & op_flags::VERSIONED != 0 {
+            true => u64::decode(buf)?,
+            false => 0,
+        };
+        Ok((BatchOp { key, version, verb }, flags & extra_mask))
+    }
+}
+
+impl Wire for BatchOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.encode_flagged(0, buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(BatchOp::decode_flagged(buf, 0)?.0)
+    }
+
+    fn wire_size(&self) -> usize {
+        let payload = match self.verb {
+            BatchVerb::Insert { item } => item.wire_size(),
+            BatchVerb::Delete { ident } => ident.wire_size(),
+        };
+        1 + 8 + payload + if self.version != 0 { self.version.wire_size() } else { 0 }
+    }
+}
+
+impl<I: Wire> Wire for OpBatch<I> {
+    fn encode(&self, buf: &mut BytesMut) {
+        // One up-front reservation: batches are the hot ingest payload.
+        buf.reserve(self.wire_size());
+        self.items.encode(buf);
+        self.ops.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let items: Vec<I> = Wire::decode(buf)?;
+        let ops: Vec<BatchOp> = Wire::decode(buf)?;
+        // Reject dangling payload references up front so handlers can
+        // index the item table without per-op bounds checks.
+        for op in &ops {
+            if let BatchVerb::Insert { item } = op.verb {
+                if item as usize >= items.len() {
+                    return Err(WireError::BadLength(item as u64));
+                }
+            }
+        }
+        Ok(OpBatch { items, ops })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.items.wire_size() + self.ops.wire_size()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +759,90 @@ mod tests {
         put_varint(&mut buf, u64::MAX);
         let b = buf.freeze();
         assert!(matches!(String::from_bytes(&b), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn shared_encodes_identically_to_inner() {
+        let v = vec![7u64, 8, 9];
+        let s = Shared::new(v.clone());
+        assert_eq!(s.to_bytes(), v.to_bytes(), "wrapper is wire-transparent");
+        assert_eq!(s.wire_size(), v.wire_size());
+        let back = Shared::<Vec<u64>>::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back.get(), &v);
+        // Clones share the buffer — no re-encode, no deep copy.
+        let c = s.clone();
+        assert_eq!(c.bytes.as_ptr(), s.bytes.as_ptr());
+    }
+
+    fn sample_batch() -> OpBatch<String> {
+        let mut b = OpBatch::new();
+        let a = b.add_item("alpha".to_string());
+        let z = b.add_item("zeta".to_string());
+        b.push_insert(10, a, 0);
+        b.push_insert(20, a, 0);
+        b.push_insert(30, z, 2);
+        b.push_delete(40, 0xDEAD, 3);
+        b
+    }
+
+    #[test]
+    fn op_batch_roundtrip() {
+        let b = sample_batch();
+        let bytes = b.to_bytes();
+        assert_eq!(bytes.len(), b.wire_size());
+        assert_eq!(OpBatch::<String>::from_bytes(&bytes).unwrap(), b);
+        let empty: OpBatch<String> = OpBatch::new();
+        assert!(empty.is_empty());
+        roundtrip(empty);
+    }
+
+    #[test]
+    fn op_batch_shares_payload_bytes() {
+        // Two ops referencing one item must not double the payload.
+        let mut one = OpBatch::new();
+        let i = one.add_item("a-reasonably-long-payload".to_string());
+        one.push_insert(1, i, 0);
+        let mut two = one.clone();
+        two.push_insert(2, i, 0);
+        let op_size =
+            BatchOp { key: 2, version: 0, verb: BatchVerb::Insert { item: i } }.wire_size();
+        assert_eq!(two.wire_size(), one.wire_size() + op_size, "second op adds only a key tag");
+    }
+
+    #[test]
+    fn op_batch_subset_reindexes_items() {
+        let b = sample_batch();
+        // Ops 2 and 3 reference only "zeta" (and a delete).
+        let sub = b.subset(&[2, 3]);
+        assert_eq!(sub.items, vec!["zeta".to_string()], "unreferenced payloads dropped");
+        assert_eq!(sub.ops.len(), 2);
+        assert_eq!(sub.ops[0].verb, BatchVerb::Insert { item: 0 }, "index remapped");
+        assert_eq!(sub.ops[1].verb, BatchVerb::Delete { ident: 0xDEAD });
+        // A subset referencing one item twice carries it once.
+        let sub = b.subset(&[0, 1]);
+        assert_eq!(sub.items.len(), 1);
+        assert_eq!(sub.ops[0].verb, BatchVerb::Insert { item: 0 });
+        assert_eq!(sub.ops[1].verb, BatchVerb::Insert { item: 0 });
+    }
+
+    #[test]
+    fn op_batch_rejects_dangling_item_reference() {
+        let mut b: OpBatch<String> = OpBatch::new();
+        b.ops.push(BatchOp { key: 1, version: 0, verb: BatchVerb::Insert { item: 5 } });
+        let bytes = b.to_bytes();
+        assert!(matches!(OpBatch::<String>::from_bytes(&bytes), Err(WireError::BadLength(5))));
+    }
+
+    #[test]
+    fn put_list_matches_vec_encoding() {
+        let v = vec![1u64, 200, 30000, 4];
+        let mut a = BytesMut::new();
+        put_list(&mut a, &v);
+        assert_eq!(a.freeze(), v.to_bytes());
+        let empty: Vec<u64> = Vec::new();
+        let mut b = BytesMut::new();
+        put_list(&mut b, &empty);
+        assert_eq!(b.freeze(), empty.to_bytes());
     }
 
     proptest! {

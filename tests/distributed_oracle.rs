@@ -303,6 +303,55 @@ fn semi_join_forced_on_and_off_agree_with_oracle_on_both_backends() {
 }
 
 #[test]
+fn batched_and_per_op_loads_yield_identical_relations_on_both_backends() {
+    // The batch-pipeline acceptance bar: routing a whole world through
+    // `insert_batch` (per-hop OpBatch coalescing, shared payloads,
+    // aggregated acks) must leave the indexes in exactly the state the
+    // per-op write fan-out produces — asserted through the full query
+    // stack against the oracle, on BOTH backends.
+    let world =
+        PubWorld::generate(&PubParams { n_authors: 8, n_conferences: 3, ..Default::default() }, 56);
+    let tuples = world.all_tuples();
+    let queries = [
+        "SELECT ?n WHERE {(?a,'name',?n)}",
+        "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 AND ?g < 45}",
+        "SELECT ?n,?t WHERE {(?a,'name',?n) (?a,'has_published',?t)}",
+        "SELECT ?attr WHERE {('auth0',?attr,?v)}",
+    ];
+    for q in queries {
+        let mut relations: Vec<Vec<Vec<String>>> = Vec::new();
+        for batched in [true, false] {
+            let mut pgrid =
+                UniCluster::build(16, UniConfig::default().with_batch_writes(batched), 56);
+            let origin = pgrid.random_node();
+            let (ok, _) = pgrid.insert_batch(origin, &tuples);
+            assert!(ok, "P-Grid routed load must be acked (batched={batched})");
+            let expected = normalize(&pgrid.oracle().query(q).expect("oracle parses"));
+            let origin = pgrid.random_node();
+            let out = pgrid.query(origin, q).expect("query parses");
+            assert!(out.ok, "P-Grid timed out (batched={batched}): {q}");
+            assert_eq!(normalize(&out.relation), expected, "P-Grid vs oracle: {q}");
+            relations.push(normalize(&out.relation));
+
+            let mut chord =
+                ChordUniCluster::build_overlay(16, chord_config().with_batch_writes(batched), 56);
+            let origin = chord.random_node();
+            let (ok, _) = chord.insert_batch(origin, &tuples);
+            assert!(ok, "Chord routed load must be acked (batched={batched})");
+            let origin = chord.random_node();
+            let out = chord.query(origin, q).expect("query parses");
+            assert!(out.ok, "Chord timed out (batched={batched}): {q}");
+            assert_eq!(normalize(&out.relation), expected, "Chord vs oracle: {q}");
+            relations.push(normalize(&out.relation));
+        }
+        assert!(
+            relations.windows(2).all(|w| w[0] == w[1]),
+            "batched vs per-op loads diverged across backends: {q}"
+        );
+    }
+}
+
+#[test]
 fn oracle_agreement_across_network_sizes() {
     for n in [4usize, 8, 32, 64] {
         let mut both = world_clusters(n, 48);

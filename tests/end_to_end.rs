@@ -221,6 +221,99 @@ fn live_threaded_runtime_answers_queries() {
 }
 
 #[test]
+fn batched_insert_coalesces_messages_and_matches_per_op_results() {
+    // The same 16-tuple ingest through the batch pipeline and through
+    // the per-op fan-out: identical observable state, a fraction of the
+    // messages, one aggregated completion per batch.
+    let tuples: Vec<Tuple> = (0..16)
+        .map(|i| {
+            Tuple::new(&format!("batch-obj{i}"))
+                .with("name", Value::str(&format!("batchy-{i}")))
+                .with("age", Value::Int(20 + i))
+        })
+        .collect();
+    let mut batched = UniCluster::build(16, UniConfig::default(), 31);
+    batched.load(small_world(31));
+    let (ok, cost_batched) = batched.insert_batch(NodeId(2), &tuples);
+    assert!(ok, "batched insert must be fully acked");
+    assert!(cost_batched.hops > 0, "batch completion reports real routed hops");
+
+    let mut per_op = UniCluster::build(16, UniConfig::default().with_batch_writes(false), 31);
+    per_op.load(small_world(31));
+    let mut per_op_msgs = 0u64;
+    for t in &tuples {
+        let (ok, c) = per_op.insert_tuple(NodeId(2), t);
+        assert!(ok, "per-op insert must be acked");
+        per_op_msgs += c.messages;
+    }
+    assert!(
+        cost_batched.messages * 3 <= per_op_msgs,
+        "64-op batches must coalesce messages (batched {} vs per-op {per_op_msgs})",
+        cost_batched.messages
+    );
+    for q in [
+        "SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30}",
+        "SELECT ?g WHERE {('batch-obj3','age',?g)}",
+    ] {
+        let a = batched.query(NodeId(5), q).unwrap();
+        let b = per_op.query(NodeId(5), q).unwrap();
+        assert!(a.ok && b.ok);
+        assert_eq!(
+            normalize_strings(&a.relation),
+            normalize_strings(&b.relation),
+            "batched and per-op loads must agree: {q}"
+        );
+    }
+}
+
+#[test]
+fn same_value_update_is_a_deterministic_refresh() {
+    // Updating a fact to its current value keeps the logical identity,
+    // so delete+insert of one ident at one version would be
+    // order-dependent across the batch's forks; the refresh path skips
+    // the deletes and must leave the fact queryable.
+    let mut cluster = UniCluster::build(16, UniConfig::default(), 78);
+    cluster.load(small_world(78));
+    let old_age = {
+        let mut o = cluster.oracle();
+        o.query("SELECT ?g WHERE {('auth0','age',?g)}").unwrap().rows[0][0].clone()
+    };
+    let old = Triple::new("auth0", "age", old_age.clone());
+    assert!(cluster.update(NodeId(3), &old, old_age, 1));
+    let out = cluster.query(NodeId(5), "SELECT ?g WHERE {('auth0','age',?g)}").unwrap();
+    assert!(out.ok);
+    assert_eq!(out.relation.rows.len(), 1, "same-value update must keep the fact queryable");
+}
+
+#[test]
+fn live_runtime_batched_insert_then_query() {
+    use unistore::live::LiveCluster;
+    let base = vec![Tuple::new("p1").with("name", Value::str("alice")).with("age", Value::Int(30))];
+    let mut live = LiveCluster::start(4, UniConfig::default(), base, 33);
+    let newcomers: Vec<Tuple> = (0..4)
+        .map(|i| {
+            Tuple::new(&format!("n{i}"))
+                .with("name", Value::str(&format!("newbie-{i}")))
+                .with("age", Value::Int(60 + i))
+        })
+        .collect();
+    assert!(
+        live.insert_batch(NodeId(1), &newcomers, Duration::from_secs(20)),
+        "live batched insert must be acked"
+    );
+    let rel = live
+        .query(
+            NodeId(0),
+            "SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 60}",
+            Duration::from_secs(10),
+        )
+        .expect("parses")
+        .expect("answers within deadline");
+    assert_eq!(rel.len(), 4, "all batched tuples visible at runtime");
+    live.shutdown();
+}
+
+#[test]
 fn chord_backend_protocol_insert_update_and_query() {
     use unistore::backends::{chord_config, ChordUniCluster};
     // The routed write path over the ring backend: every insert pays

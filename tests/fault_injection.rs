@@ -158,6 +158,13 @@ fn anti_entropy_propagates_updates_to_lagging_replicas() {
 
     let old = unistore_store::Triple::new("auth0", "age", old_age);
     assert!(cluster.update(NodeId(holders[1].0), &old, unistore_store::Value::Int(77), 1));
+    // Drain the update's in-flight replica traffic while the lagging
+    // node is still down. The batched write pipeline completes the
+    // whole update in ~2 ms of simulated time, so without this the
+    // second-hop replica-cascade delete could still be in flight at
+    // revival and land on the "lagging" node — which must miss the
+    // update entirely for anti-entropy to have something to repair.
+    cluster.settle(SimTime::from_millis(50));
 
     // Revive the lagging replica: it still has the old version.
     cluster.net.schedule_up(lagging, cluster.net.now());

@@ -193,6 +193,14 @@ impl BytesMut {
         self.buf.clear();
     }
 
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     pub fn extend_from_slice(&mut self, other: &[u8]) {
         self.buf.extend_from_slice(other);
     }
