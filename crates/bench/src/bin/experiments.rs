@@ -9,10 +9,13 @@
 //! Each experiment section prints the paper's claim, the measured
 //! table, and the verdict the table supports.
 //! EXPERIMENTS.md records a captured run. `bench-snapshot` runs
-//! headlessly for CI and writes three perf-trajectory records:
+//! headlessly for CI and writes four perf-trajectory records:
 //! `BENCH_joins.json` (E6 join strategies), `BENCH_stats.json`
-//! (incremental statistics maintenance) and `BENCH_ingest.json` (the
-//! batched write pipeline vs the per-op fan-out, both backends).
+//! (incremental statistics maintenance), `BENCH_ingest.json` (the
+//! batched write pipeline vs the per-op fan-out, both backends) and
+//! `BENCH_concurrency.json` (the pipelined query driver: throughput
+//! and tail latency vs offered load, uniform vs Zipf-skewed reads,
+//! result cache off vs on, both backends).
 
 use unistore::backends::{chord_config, ChordUniCluster};
 use unistore::config::ScanPref;
@@ -671,6 +674,172 @@ fn bench_snapshot() {
     println!("\nwrote BENCH_joins.json ({} rows)", rows.len());
     stats_snapshot();
     ingest_snapshot();
+    concurrency_snapshot();
+}
+
+/// One measured cell of the concurrency comparison.
+struct ConcRow {
+    backend: &'static str,
+    dist: &'static str,
+    cache: &'static str,
+    window: usize,
+    queries: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cache_hits: u64,
+}
+
+/// Headless CI entry #4: the concurrent query pipeline. Drives the
+/// same Zipf- or uniform-skewed point-read mix through the pipelined
+/// driver at two offered loads (admission windows of 8 and 32), with
+/// the node-local result cache off and on, on both backends. Reports
+/// simulated-time throughput and p50/p99 latency and asserts the
+/// headline in-code: with the replica/cache read path enabled, the
+/// Zipf p99 beats the cache-off p99 at the same offered load.
+fn concurrency_snapshot() {
+    const N_QUERIES: usize = 96;
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        SEED,
+    );
+    let quiet = SimTime::from_secs(1_000_000_000);
+
+    /// One pipelined pass from cold caches: the whole mix is submitted
+    /// up front, so reported latency includes the admission-queue wait
+    /// beyond the window — the tail a client at this offered load
+    /// observes. Returns `(qps, p50, p99, hits)` in simulated time.
+    fn run<O: Overlay<Item = Triple>>(
+        cluster: &mut UniCluster<O>,
+        queries: &[String],
+    ) -> (f64, f64, f64, u64) {
+        let n = cluster.net.len() as u32;
+        let t0 = cluster.net.now();
+        for (i, q) in queries.iter().enumerate() {
+            cluster.query_submit(NodeId(i as u32 % n), q).expect("query parses");
+        }
+        let outcomes = cluster.query_wait_all();
+        let mut lat: Vec<f64> = Vec::with_capacity(outcomes.len());
+        for (i, (_, out)) in outcomes.into_iter().enumerate() {
+            assert!(out.ok, "concurrency bench query {i} timed out");
+            lat.push(out.cost.latency.as_micros() as f64 / 1000.0);
+        }
+        let elapsed = (cluster.net.now().saturating_sub(t0)).as_micros() as f64 / 1e6;
+        let (p50, _, p99) = latency_summary(&lat);
+        let hits: u64 = (0..n).map(|i| cluster.net.node(NodeId(i)).cache_hits).sum();
+        (queries.len() as f64 / elapsed.max(1e-9), p50, p99, hits)
+    }
+
+    let mut rows: Vec<ConcRow> = Vec::new();
+    for (dist, theta) in [("uniform", 0.0), ("zipf1.5", 1.5)] {
+        let queries =
+            unistore_workload::zipf_read_queries(&world, "published_in", N_QUERIES, theta, SEED);
+        for window in [8usize, 32] {
+            for (cache_label, cache_cap) in [("off", 0usize), ("on", 64)] {
+                for backend in ["P-Grid", "Chord+buckets"] {
+                    let (qps, p50, p99, hits) = if backend == "P-Grid" {
+                        let cfg = UniConfig::default()
+                            .with_stats_refresh(quiet)
+                            .with_max_in_flight(window)
+                            .with_result_cache(cache_cap);
+                        let mut c = UniCluster::build(16, cfg, SEED);
+                        c.load(world.all_tuples());
+                        run(&mut c, &queries)
+                    } else {
+                        let cfg = chord_config()
+                            .with_stats_refresh(quiet)
+                            .with_max_in_flight(window)
+                            .with_result_cache(cache_cap);
+                        let mut c = ChordUniCluster::build_overlay(16, cfg, SEED);
+                        c.load(world.all_tuples());
+                        run(&mut c, &queries)
+                    };
+                    rows.push(ConcRow {
+                        backend,
+                        dist,
+                        cache: cache_label,
+                        window,
+                        queries: N_QUERIES,
+                        qps,
+                        p50_ms: p50,
+                        p99_ms: p99,
+                        cache_hits: hits,
+                    });
+                }
+            }
+        }
+    }
+
+    println!("\n## Concurrency — pipelined reads vs offered load (16 nodes)\n");
+    header(&["backend", "dist", "cache", "window", "qps(sim)", "p50 ms", "p99 ms", "hits"]);
+    for r in &rows {
+        row(&[
+            r.backend.to_string(),
+            r.dist.to_string(),
+            r.cache.to_string(),
+            r.window.to_string(),
+            f(r.qps),
+            f(r.p50_ms),
+            f(r.p99_ms),
+            r.cache_hits.to_string(),
+        ]);
+    }
+
+    for backend in ["P-Grid", "Chord+buckets"] {
+        for window in [8usize, 32] {
+            let cell = |cache: &str| {
+                rows.iter()
+                    .find(|r| {
+                        r.backend == backend
+                            && r.dist == "zipf1.5"
+                            && r.window == window
+                            && r.cache == cache
+                    })
+                    .expect("cell")
+            };
+            let (off, on) = (cell("off"), cell("on"));
+            println!(
+                "{backend} zipf w={window}: p99 {} -> {} ms, qps {} -> {}",
+                f(off.p99_ms),
+                f(on.p99_ms),
+                f(off.qps),
+                f(on.qps)
+            );
+            assert!(
+                on.p99_ms < off.p99_ms,
+                "{backend} w={window}: Zipf p99 with the cache/replica read path \
+                 ({:.3} ms) must beat cache-off ({:.3} ms) at the same offered load",
+                on.p99_ms,
+                off.p99_ms
+            );
+            assert!(
+                on.cache_hits > 0,
+                "{backend} w={window}: the Zipf mix must actually hit the result cache"
+            );
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"backend\": \"{}\", \"dist\": \"{}\", \"cache\": \"{}\", \
+             \"window\": {}, \"queries\": {}, \"qps_sim\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"cache_hits\": {}}}{}\n",
+            r.backend,
+            r.dist,
+            r.cache,
+            r.window,
+            r.queries,
+            r.qps,
+            r.p50_ms,
+            r.p99_ms,
+            r.cache_hits,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_concurrency.json", &json).expect("write BENCH_concurrency.json");
+    println!("wrote BENCH_concurrency.json ({} rows)", rows.len());
 }
 
 /// One measured (backend, mode) cell of the ingest comparison.

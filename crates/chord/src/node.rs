@@ -99,6 +99,9 @@ pub struct ChordNode<I: Item> {
     rng: StdRng,
     /// Messages handled, for load accounting.
     pub msg_load: u64,
+    /// Exact-key reads dispatched via the exact index (`[0]`) vs. the
+    /// bucket mirror (`[1]`); drives replica-aware read balancing.
+    reads_via: [u64; 2],
 }
 
 impl<I: Item> ChordNode<I> {
@@ -117,6 +120,7 @@ impl<I: Item> ChordNode<I> {
             bcast: FxHashMap::default(),
             rng: derive_rng(seed, stream::NODE_BASE + id.0 as u64),
             msg_load: 0,
+            reads_via: [0, 0],
         }
     }
 
@@ -426,6 +430,14 @@ impl<I: Item> ChordNode<I> {
 
     /// Locally originated exact-key lookup carrying a semi-join filter
     /// the owner applies before replying.
+    ///
+    /// Every write pays both the exact index and the bucket index, so
+    /// the two are exact mirrors: an inclusive `[key, key]` fetch
+    /// against the bucket position returns the same items as an exact
+    /// fetch. That makes the bucket index a free read replica — prefer
+    /// whichever mirror is locally owned (zero hops), otherwise
+    /// alternate between them so a hot key's reads land on two owners
+    /// instead of one.
     pub fn local_lookup_filtered(
         &mut self,
         qid: QueryId,
@@ -433,16 +445,27 @@ impl<I: Item> ChordNode<I> {
         filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
-        self.handle_lookup(
-            NodeId::EXTERNAL,
-            qid,
-            ring_key_exact(key),
-            self.id,
-            0,
-            None,
-            filter,
-            fx,
-        );
+        let rk = ring_key_exact(key);
+        let bk = ring_key_bucket(key, self.cfg.bucket_depth);
+        let via_bucket = if self.responsible(rk) {
+            false
+        } else if self.responsible(bk) {
+            true
+        } else {
+            self.reads_via[1] < self.reads_via[0]
+        };
+        self.reads_via[via_bucket as usize] += 1;
+        if via_bucket {
+            self.handle_lookup(NodeId::EXTERNAL, qid, bk, self.id, 0, Some((key, key)), filter, fx);
+        } else {
+            self.handle_lookup(NodeId::EXTERNAL, qid, rk, self.id, 0, None, filter, fx);
+        }
+    }
+
+    /// Read-dispatch split across the two mirror indexes
+    /// `(exact, bucket)`; inspection and load accounting.
+    pub fn reads_via(&self) -> (u64, u64) {
+        (self.reads_via[0], self.reads_via[1])
     }
 
     /// Issues a locally originated range scan over original keys

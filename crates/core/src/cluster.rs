@@ -24,7 +24,7 @@ use unistore_store::mapping::{Mapping, MappingSet};
 use unistore_store::{Triple, Tuple, Value};
 use unistore_util::rng::{derive_rng, stream};
 use unistore_util::wire::Shared;
-use unistore_util::{BitPath, Key};
+use unistore_util::{BitPath, FxHashMap, Key};
 use unistore_vql::{analyze, parse, VqlError};
 
 use crate::config::{PlanMode, UniConfig};
@@ -62,6 +62,21 @@ pub struct UniCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
     /// in-flight deltas cannot be double-counted (see
     /// [`QueryMsg::StatsDelta`]).
     stats_epoch: u64,
+    /// Completion table: finished queries awaiting their waiter. Every
+    /// drained event lands here (or in `done_storage`) — never on the
+    /// floor — so any number of queries can overlap.
+    done_queries: FxHashMap<u64, QueryOutcome>,
+    /// Completion table for driver-issued raw storage ops.
+    done_storage: FxHashMap<u64, OverlayDone<Triple>>,
+    /// Queries admitted into the network: qid → admission time (the
+    /// deadline budget runs from here).
+    in_flight: FxHashMap<u64, SimTime>,
+    /// qid → submission time. Reported latency runs from here, so at
+    /// offered loads beyond the admission window it includes the
+    /// queueing delay — the tail a client actually observes.
+    queued_at: FxHashMap<u64, SimTime>,
+    /// Submissions beyond the admission window, waiting for a slot.
+    admit_queue: std::collections::VecDeque<(u64, NodeId, Mqp)>,
 }
 
 impl UniCluster<PGridPeer<Triple>> {
@@ -119,6 +134,11 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
             mappings: MappingSet::new(),
             cost: None,
             stats_epoch: 0,
+            done_queries: FxHashMap::default(),
+            done_storage: FxHashMap::default(),
+            in_flight: FxHashMap::default(),
+            queued_at: FxHashMap::default(),
+            admit_queue: std::collections::VecDeque::new(),
         };
         cluster.spawn_nodes(n_peers);
         cluster
@@ -307,45 +327,76 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         q
     }
 
-    fn run_for_query(&mut self, qid: u64) -> Option<(SimTime, UniEvent)> {
-        let deadline = self.net.now() + SimTime::from_secs(1_000_000);
-        loop {
-            if let Some(pos) = self.net.outputs().iter().position(
-                |(_, _, ev)| matches!(ev, UniEvent::QueryDone { qid: q, .. } if *q == qid),
-            ) {
-                let mut outs = self.net.take_outputs();
-                let (t, _, ev) = outs.swap_remove(pos);
-                return Some((t, ev));
-            }
-            if self.net.now() > deadline || !self.net.step() {
-                return None;
-            }
-        }
-    }
-
-    fn run_for_storage(&mut self, qid: u64) -> Option<OverlayDone<Triple>> {
-        let deadline = self.net.now() + SimTime::from_secs(1_000_000);
-        loop {
-            if let Some(pos) = self
-                .net
-                .outputs()
-                .iter()
-                .position(|(_, _, ev)| matches!(ev, UniEvent::Storage(d) if d.qid() == qid))
-            {
-                let mut outs = self.net.take_outputs();
-                match outs.swap_remove(pos) {
-                    (_, _, UniEvent::Storage(d)) => return Some(d),
-                    _ => unreachable!(),
+    /// Routes every event the network produced since the last pump into
+    /// the qid-keyed completion tables. Nothing is discarded: query
+    /// completions for any in-flight qid, storage acks, all of it lands
+    /// in a table for its waiter. A `QueryDone` for a qid that is not
+    /// in flight is a stale completion (a superseded retry attempt, or
+    /// a duplicate of one already resolved) and is dropped here — the
+    /// driver-side half of the attempt-staleness guard.
+    fn pump_outputs(&mut self) {
+        let mut freed = false;
+        for (t, _, ev) in self.net.take_outputs() {
+            match ev {
+                UniEvent::QueryDone { qid, relation, hops, ok } => {
+                    if self.in_flight.remove(&qid).is_some() {
+                        freed = true;
+                        let queued = self.queued_at.remove(&qid).unwrap_or(t);
+                        self.done_queries.insert(
+                            qid,
+                            QueryOutcome {
+                                relation,
+                                ok,
+                                cost: OpCost {
+                                    // Per-query message/byte attribution
+                                    // is only exact when queries run
+                                    // serially; `query()` fills these in.
+                                    messages: 0,
+                                    bytes: 0,
+                                    latency: t.saturating_sub(queued),
+                                    hops,
+                                },
+                            },
+                        );
+                    }
                 }
+                UniEvent::Storage(d) => {
+                    self.done_storage.insert(d.qid(), d);
+                }
+                // The simulated driver reads node statistics directly;
+                // probes are a live-runtime affordance.
+                UniEvent::Stats { .. } => {}
             }
-            if self.net.now() > deadline || !self.net.step() {
-                return None;
-            }
+        }
+        if freed {
+            self.try_admit();
         }
     }
 
-    /// Parses, plans and executes a VQL query from `origin`.
-    pub fn query(&mut self, origin: NodeId, src: &str) -> Result<QueryOutcome, VqlError> {
+    /// Admits queued submissions while the in-flight window has room.
+    fn try_admit(&mut self) {
+        while self.in_flight.len() < self.cfg.max_in_flight {
+            let Some((qid, origin, mqp)) = self.admit_queue.pop_front() else { return };
+            self.in_flight.insert(qid, self.net.now());
+            self.net.inject(origin, UniMsg::Query(QueryMsg::Execute { mqp }));
+        }
+    }
+
+    /// Per-query deadline budget: the origin's retry timers guarantee a
+    /// completion within `query_timeout × (query_retries + 1)`; one
+    /// extra timeout of slack covers delivery of the final failure.
+    fn query_budget(&self) -> SimTime {
+        SimTime::from_micros(
+            self.cfg.query_timeout.as_micros().saturating_mul(self.cfg.query_retries as u64 + 2),
+        )
+    }
+
+    /// Parses and plans a VQL query from `origin` and submits it to the
+    /// pipelined execution window; returns the qid to wait on. Beyond
+    /// [`UniConfig::max_in_flight`] outstanding queries, submissions
+    /// queue at the driver and enter the network as completions free
+    /// slots (backpressure, not rejection).
+    pub fn query_submit(&mut self, origin: NodeId, src: &str) -> Result<u64, VqlError> {
         let analyzed = analyze(parse(src)?)?;
         let logical = Logical::from_query(&analyzed);
         let qid = self.fresh_qid();
@@ -356,29 +407,95 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
             analyzed.query.filters.clone(),
             analyzed.query.limit.map(|n| n as u64),
         );
-        let before = self.net.metrics();
-        let start = self.net.now();
-        self.net.inject(origin, UniMsg::Query(QueryMsg::Execute { mqp }));
-        Ok(match self.run_for_query(qid) {
-            Some((t, UniEvent::QueryDone { relation, hops, ok, .. })) => {
-                let d = self.net.metrics().delta(&before);
-                QueryOutcome {
-                    relation,
-                    ok,
-                    cost: OpCost {
-                        messages: d.sent,
-                        bytes: d.bytes,
-                        latency: t.saturating_sub(start),
-                        hops,
-                    },
-                }
+        self.queued_at.insert(qid, self.net.now());
+        self.admit_queue.push_back((qid, origin, mqp));
+        self.try_admit();
+        Ok(qid)
+    }
+
+    /// Non-blocking completion check: returns the outcome if `qid` has
+    /// finished, without advancing simulated time.
+    pub fn query_poll(&mut self, qid: u64) -> Option<QueryOutcome> {
+        self.pump_outputs();
+        self.done_queries.remove(&qid)
+    }
+
+    /// Runs the network until `qid` completes (or its deadline budget
+    /// expires), pumping every other completion into the tables on the
+    /// way. A query whose budget lapses is withdrawn and reported as a
+    /// failed outcome; its slot is released to the admission queue.
+    pub fn query_wait(&mut self, qid: u64) -> QueryOutcome {
+        loop {
+            self.pump_outputs();
+            if let Some(out) = self.done_queries.remove(&qid) {
+                return out;
             }
-            _ => QueryOutcome {
-                relation: Relation::empty(vec![]),
-                ok: false,
-                cost: OpCost::default(),
-            },
-        })
+            let deadline = match self.in_flight.get(&qid) {
+                Some(submitted) => *submitted + self.query_budget(),
+                // Still queued (or unknown): budget from now; refreshed
+                // each iteration until admission starts the clock.
+                None => self.net.now() + self.query_budget(),
+            };
+            if self.net.now() > deadline || !self.net.step() {
+                break;
+            }
+        }
+        self.in_flight.remove(&qid);
+        self.queued_at.remove(&qid);
+        self.admit_queue.retain(|(q, _, _)| *q != qid);
+        self.try_admit();
+        QueryOutcome { relation: Relation::empty(vec![]), ok: false, cost: OpCost::default() }
+    }
+
+    /// Waits for every submitted query — in flight, queued, or already
+    /// completed but unclaimed — and returns the outcomes in submission
+    /// (qid) order.
+    pub fn query_wait_all(&mut self) -> Vec<(u64, QueryOutcome)> {
+        self.pump_outputs();
+        let mut qids: Vec<u64> = self
+            .in_flight
+            .keys()
+            .chain(self.done_queries.keys())
+            .copied()
+            .chain(self.admit_queue.iter().map(|(q, _, _)| *q))
+            .collect();
+        qids.sort_unstable();
+        qids.into_iter().map(|q| (q, self.query_wait(q))).collect()
+    }
+
+    /// Number of queries currently admitted into the network (excludes
+    /// submissions still queued behind the admission window).
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn run_for_storage(&mut self, qid: u64) -> Option<OverlayDone<Triple>> {
+        let deadline = self.net.now() + SimTime::from_secs(1_000_000);
+        loop {
+            self.pump_outputs();
+            if let Some(d) = self.done_storage.remove(&qid) {
+                return Some(d);
+            }
+            if self.net.now() > deadline || !self.net.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Parses, plans and executes a VQL query from `origin`, waiting
+    /// for its completion. When no other queries are in flight the
+    /// reported cost's message and byte counts are the exact network
+    /// delta of this query; overlapped executions share the network, so
+    /// pipelined callers should use [`Self::query_submit`] /
+    /// [`Self::query_wait_all`] and read latency and hops instead.
+    pub fn query(&mut self, origin: NodeId, src: &str) -> Result<QueryOutcome, VqlError> {
+        let before = self.net.metrics();
+        let qid = self.query_submit(origin, src)?;
+        let mut out = self.query_wait(qid);
+        let d = self.net.metrics().delta(&before);
+        out.cost.messages = d.sent;
+        out.cost.bytes = d.bytes;
+        Ok(out)
     }
 
     /// Injects a batch of routed write messages at `origin` and awaits
@@ -560,6 +677,8 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
     pub fn settle(&mut self, duration: SimTime) {
         let deadline = self.net.now() + duration;
         self.net.run_until(deadline);
+        // File (or drop as stale) whatever completed along the way.
+        self.pump_outputs();
     }
 }
 

@@ -50,6 +50,9 @@ pub struct NodeParams {
     /// Statistics-dissemination tick: how often a node flushes buffered
     /// [`unistore_query::cost::StatsDelta`]s to its peers.
     pub stats_refresh: SimTime,
+    /// Capacity of the node-local (attr, value) result cache; `0`
+    /// disables caching.
+    pub result_cache: usize,
 }
 
 /// Cluster-level configuration, generic over the storage backend's own
@@ -87,6 +90,18 @@ pub struct UniConfig<C = PGridConfig> {
     /// the uncoalesced baseline the ingest bench compares against
     /// (DESIGN.md §"Batched write pipeline").
     pub batch_writes: bool,
+    /// Bound on queries admitted into the network at once by the
+    /// pipelined drivers; submissions beyond the window queue at the
+    /// driver until a completion frees a slot (DESIGN.md §"Concurrent
+    /// query pipeline").
+    pub max_in_flight: usize,
+    /// Capacity (in distinct (attr, value) keys) of each node's local
+    /// result cache for exact-match lookups. `0` — the default —
+    /// disables the cache; benches and read-heavy deployments opt in.
+    /// Entries are invalidated by the epoch-stamped `StatsDelta`
+    /// stream, so a cached row is stale for at most one stats tick
+    /// plus one hop.
+    pub result_cache: usize,
 }
 
 impl Default for UniConfig<PGridConfig> {
@@ -116,7 +131,28 @@ impl<C> UniConfig<C> {
             plan_mode: PlanMode::default(),
             stats_refresh: SimTime::from_secs(10),
             batch_writes: true,
+            max_in_flight: 32,
+            result_cache: 0,
         }
+    }
+
+    /// Sets the pipelined drivers' admission window (how many queries
+    /// may be in flight in the network at once before submissions
+    /// queue at the driver).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` — a zero-width window would never admit.
+    pub fn with_max_in_flight(mut self, n: usize) -> Self {
+        assert!(n > 0, "admission window must admit at least one query");
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Sets the capacity of the per-node (attr, value) result cache
+    /// (`0` disables it — the default).
+    pub fn with_result_cache(mut self, capacity: usize) -> Self {
+        self.result_cache = capacity;
+        self
     }
 
     /// Sets the number of origin-side query re-dispatches.
@@ -148,6 +184,7 @@ impl<C> UniConfig<C> {
             query_retries: self.query_retries,
             plan_mode: self.plan_mode,
             stats_refresh: self.stats_refresh,
+            result_cache: self.result_cache,
         }
     }
 
@@ -215,6 +252,23 @@ mod tests {
         assert!(c.batch_writes, "batched writes on by default");
         let c = c.with_batch_writes(false);
         assert!(!c.batch_writes);
+    }
+
+    #[test]
+    fn pipeline_knobs() {
+        let c = UniConfig::default();
+        assert_eq!(c.max_in_flight, 32, "admission window defaults to 32");
+        assert_eq!(c.result_cache, 0, "result cache off by default");
+        let c = c.with_max_in_flight(8).with_result_cache(64);
+        assert_eq!(c.max_in_flight, 8);
+        assert_eq!(c.result_cache, 64);
+        assert_eq!(c.node_params().result_cache, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission window")]
+    fn zero_admission_window_rejected() {
+        let _ = UniConfig::default().with_max_in_flight(0);
     }
 
     #[test]

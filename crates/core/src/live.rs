@@ -27,7 +27,7 @@ use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_store::index::TripleKeys;
 use unistore_store::{Triple, Tuple};
 use unistore_util::wire::Shared;
-use unistore_util::Key;
+use unistore_util::{FxHashMap, FxHashSet, Key};
 use unistore_vql::{analyze, parse, VqlError};
 
 use crate::config::UniConfig;
@@ -56,6 +56,28 @@ pub struct LiveCluster<O: Overlay<Item = Triple> = PGridPeer<Triple>> {
     with_qgrams: bool,
     /// Whether runtime writes ride the coalesced batch pipeline.
     batch_writes: bool,
+    /// Admission window of the pipelined query API
+    /// ([`UniConfig::max_in_flight`]).
+    max_in_flight: usize,
+    /// Events received while some other waiter held the channel,
+    /// buffered by qid for re-delivery — never discarded.
+    buffered: FxHashMap<u64, UniEvent>,
+    /// qids a driver operation still awaits. Events for any other qid
+    /// are stale (withdrawn waiter, superseded attempt) and dropped.
+    expected: FxHashSet<u64>,
+    /// Submitted pipelined queries in admission order (backpressure
+    /// waits on the oldest).
+    in_flight: std::collections::VecDeque<u64>,
+    /// Outstanding pipelined queries: qid → wall-clock deadline.
+    deadlines: FxHashMap<u64, Instant>,
+}
+
+/// The qid an event answers.
+fn event_qid(ev: &UniEvent) -> u64 {
+    match ev {
+        UniEvent::QueryDone { qid, .. } | UniEvent::Stats { qid, .. } => *qid,
+        UniEvent::Storage(d) => d.qid(),
+    }
 }
 
 impl LiveCluster<PGridPeer<Triple>> {
@@ -134,6 +156,58 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
             ocfg: cfg.overlay.clone(),
             with_qgrams: cfg.with_qgrams,
             batch_writes: cfg.batch_writes,
+            max_in_flight: cfg.max_in_flight,
+            buffered: FxHashMap::default(),
+            expected: FxHashSet::default(),
+            in_flight: std::collections::VecDeque::new(),
+            deadlines: FxHashMap::default(),
+        }
+    }
+
+    /// Waits until the event carrying `qid` surfaces or `deadline`
+    /// passes. Events for other *expected* qids are buffered for their
+    /// waiters; events nobody expects are stale and dropped. A deadline
+    /// that has already expired returns a clean `None` immediately —
+    /// no zero-duration receive loop.
+    fn recv_event(&mut self, qid: u64, deadline: Instant) -> Option<UniEvent> {
+        if let Some(ev) = self.buffered.remove(&qid) {
+            self.expected.remove(&qid);
+            return Some(ev);
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.expected.remove(&qid);
+                return None;
+            }
+            match self.outputs.recv_timeout(deadline - now) {
+                Ok((_, ev)) => {
+                    let got = event_qid(&ev);
+                    if got == qid {
+                        self.expected.remove(&qid);
+                        return Some(ev);
+                    }
+                    if self.expected.contains(&got) {
+                        // Keep the first completion; a late duplicate
+                        // from a superseded attempt changes nothing.
+                        self.buffered.entry(got).or_insert(ev);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    self.expected.remove(&qid);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking drain of the event channel into the buffer.
+    fn drain_ready(&mut self) {
+        while let Ok((_, ev)) = self.outputs.try_recv() {
+            let got = event_qid(&ev);
+            if self.expected.contains(&got) {
+                self.buffered.entry(got).or_insert(ev);
+            }
         }
     }
 
@@ -147,14 +221,18 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
         self.n == 0
     }
 
-    /// Runs a VQL query from the given node, waiting up to `timeout`
-    /// wall-clock time for the answer.
-    pub fn query(
+    /// Parses and submits a VQL query from the given node into the
+    /// pipelined execution window; returns the qid to wait on with
+    /// [`Self::query_wait`]. `timeout` is the per-query wall-clock
+    /// deadline budget, counted from submission. When
+    /// [`UniConfig::max_in_flight`] queries are already outstanding,
+    /// the call blocks until the oldest one resolves (backpressure).
+    pub fn query_submit(
         &mut self,
         origin: NodeId,
         src: &str,
         timeout: Duration,
-    ) -> Result<Option<Relation>, VqlError> {
+    ) -> Result<u64, VqlError> {
         let analyzed = analyze(parse(src)?)?;
         let logical = Logical::from_query(&analyzed);
         let qid = self.next_qid;
@@ -166,23 +244,83 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
             analyzed.query.filters.clone(),
             analyzed.query.limit.map(|n| n as u64),
         );
+        // Backpressure: hold the submission until the window has room,
+        // servicing the oldest in-flight query meanwhile.
+        while self.in_flight.len() >= self.max_in_flight {
+            let oldest = self.in_flight[0];
+            match self.buffered.contains_key(&oldest) {
+                // Completed but unclaimed: its slot is free.
+                true => {}
+                false => {
+                    let dl = self.deadlines[&oldest];
+                    if let Some(ev) = self.recv_event(oldest, dl) {
+                        // Keep the completion for its waiter.
+                        self.expected.insert(oldest);
+                        self.buffered.insert(oldest, ev);
+                    }
+                    // On None the oldest timed out; its waiter will
+                    // observe the expired deadline. Either way the
+                    // window slot is released.
+                }
+            }
+            self.in_flight.pop_front();
+        }
         self.senders[origin.index()]
             .send((NodeId::EXTERNAL, UniMsg::Query(QueryMsg::Execute { mqp })))
             .expect("node thread alive");
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Ok(None);
-            }
-            match self.outputs.recv_timeout(remaining) {
-                Ok((_, UniEvent::QueryDone { qid: q, relation, ok, .. })) if q == qid => {
-                    return Ok(ok.then_some(relation));
-                }
-                Ok(_) => continue,
-                Err(_) => return Ok(None),
-            }
+        self.expected.insert(qid);
+        self.deadlines.insert(qid, Instant::now() + timeout);
+        self.in_flight.push_back(qid);
+        Ok(qid)
+    }
+
+    /// Non-blocking completion check for a submitted query: `None`
+    /// while still running; `Some(outcome)` once finished, where the
+    /// outcome is `Some(relation)` on success and `None` on failure.
+    pub fn query_poll(&mut self, qid: u64) -> Option<Option<Relation>> {
+        self.drain_ready();
+        let ev = self.buffered.remove(&qid)?;
+        self.expected.remove(&qid);
+        self.deadlines.remove(&qid);
+        self.in_flight.retain(|q| *q != qid);
+        match ev {
+            UniEvent::QueryDone { relation, ok, .. } => Some(ok.then_some(relation)),
+            _ => Some(None),
         }
+    }
+
+    /// Waits for a submitted query until its deadline budget expires:
+    /// `Some(relation)` on success, `None` on failure or timeout.
+    /// Events for other in-flight queries arriving meanwhile are
+    /// buffered for their own waiters, never discarded.
+    pub fn query_wait(&mut self, qid: u64) -> Option<Relation> {
+        let deadline = self.deadlines.remove(&qid)?;
+        self.in_flight.retain(|q| *q != qid);
+        match self.recv_event(qid, deadline) {
+            Some(UniEvent::QueryDone { relation, ok, .. }) => ok.then_some(relation),
+            _ => None,
+        }
+    }
+
+    /// Waits for every outstanding pipelined query and returns the
+    /// outcomes in submission (qid) order.
+    pub fn query_wait_all(&mut self) -> Vec<(u64, Option<Relation>)> {
+        let mut qids: Vec<u64> = self.deadlines.keys().copied().collect();
+        qids.sort_unstable();
+        qids.into_iter().map(|q| (q, self.query_wait(q))).collect()
+    }
+
+    /// Runs a VQL query from the given node, waiting up to `timeout`
+    /// wall-clock time for the answer — submit-and-wait over the
+    /// pipelined path.
+    pub fn query(
+        &mut self,
+        origin: NodeId,
+        src: &str,
+        timeout: Duration,
+    ) -> Result<Option<Relation>, VqlError> {
+        let qid = self.query_submit(origin, src, timeout)?;
+        Ok(self.query_wait(qid))
     }
 
     /// Inserts many tuples through the routed protocol path at runtime
@@ -208,26 +346,24 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
         let mut pending: Vec<u64> = Vec::with_capacity(msgs.len());
         for (qid, msg) in msgs {
             pending.push(qid);
+            self.expected.insert(qid);
             self.senders[origin.index()]
                 .send((NodeId::EXTERNAL, UniMsg::Overlay(msg)))
                 .expect("node thread alive");
         }
         let deadline = Instant::now() + timeout;
         let mut ok = true;
-        while !pending.is_empty() {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return false;
-            }
-            match self.outputs.recv_timeout(remaining) {
-                Ok((_, UniEvent::Storage(done))) => {
-                    if let Some(pos) = pending.iter().position(|&q| q == done.qid()) {
-                        pending.swap_remove(pos);
-                        ok &= done.ok();
+        for (i, &qid) in pending.iter().enumerate() {
+            match self.recv_event(qid, deadline) {
+                Some(UniEvent::Storage(done)) => ok &= done.ok(),
+                _ => {
+                    // Timed out: withdraw the remaining waits so their
+                    // late acks are dropped, not hoarded.
+                    for q in &pending[i..] {
+                        self.expected.remove(q);
                     }
+                    return false;
                 }
-                Ok(_) => continue,
-                Err(_) => return false,
             }
         }
         let mut delta = StatsDelta::new();
@@ -257,22 +393,13 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
     pub fn stats_probe(&mut self, node: NodeId, timeout: Duration) -> Option<StatsSummary> {
         let qid = self.next_qid;
         self.next_qid += 1;
+        self.expected.insert(qid);
         self.senders[node.index()]
             .send((NodeId::EXTERNAL, UniMsg::Query(QueryMsg::StatsProbe { qid })))
             .expect("node thread alive");
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            match self.outputs.recv_timeout(remaining) {
-                Ok((_, UniEvent::Stats { qid: q, total, attrs })) if q == qid => {
-                    return Some((total, attrs));
-                }
-                Ok(_) => continue,
-                Err(_) => return None,
-            }
+        match self.recv_event(qid, Instant::now() + timeout) {
+            Some(UniEvent::Stats { total, attrs, .. }) => Some((total, attrs)),
+            _ => None,
         }
     }
 

@@ -70,6 +70,51 @@ pub struct Decision {
     pub choice: String,
 }
 
+/// Bounded FIFO cache of exact-match lookup results, keyed by the
+/// (attr, value) index key. Every received [`StatsDelta`] drops the
+/// entries its writes name — regardless of epoch — so a cached row
+/// outlives the write that changed it by at most one stats tick plus
+/// one dissemination hop (DESIGN.md §"Concurrent query pipeline").
+struct ResultCache {
+    cap: usize,
+    map: FxHashMap<Key, Vec<Triple>>,
+    order: std::collections::VecDeque<Key>,
+}
+
+impl ResultCache {
+    fn new(cap: usize) -> Self {
+        ResultCache { cap, map: FxHashMap::default(), order: std::collections::VecDeque::new() }
+    }
+
+    fn get(&self, key: Key) -> Option<&Vec<Triple>> {
+        self.map.get(&key)
+    }
+
+    fn put(&mut self, key: Key, rows: Vec<Triple>) {
+        if self.cap == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.order.push_back(key);
+        self.map.insert(key, rows);
+    }
+
+    fn invalidate(&mut self, key: Key) {
+        if self.map.remove(&key).is_some() {
+            self.order.retain(|k| *k != key);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 /// What a suspended plan is waiting for.
 enum Wait {
     Scan {
@@ -79,6 +124,10 @@ enum Wait {
         /// Count-filter parameters when the scan used the q-gram index.
         qgram: Option<(String, usize)>,
         max_hops: u32,
+        /// Key to cache the collected rows under when the scan was a
+        /// single remote exact-match lookup. Cleared if any completion
+        /// fails or an invalidation for the key races the scan.
+        cache_key: Option<Key>,
     },
     Fetch {
         pattern: TriplePattern,
@@ -126,6 +175,12 @@ pub struct UniNode<O: Overlay<Item = Triple>> {
     active: FxHashMap<u64, Active>,
     /// storage-layer qid → query qid.
     waiting: FxHashMap<u64, u64>,
+    /// Local (attr, value) result cache for remote exact-match lookups
+    /// ([`crate::UniConfig::result_cache`]; capacity 0 disables it).
+    cache: ResultCache,
+    /// Lookups answered from the local result cache (observability for
+    /// tests and the concurrency bench).
+    pub cache_hits: u64,
     /// Queries this node originated and still awaits results for:
     /// user-facing qid → (original plan for retry, attempts so far).
     pending_results: FxHashMap<u64, (Mqp, u32)>,
@@ -154,6 +209,8 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             stats_refresh: params.stats_refresh,
             stats_outbox: StatsDelta::new(),
             stats_epoch: 0,
+            cache: ResultCache::new(params.result_cache),
+            cache_hits: 0,
             active: FxHashMap::default(),
             waiting: FxHashMap::default(),
             pending_results: FxHashMap::default(),
@@ -181,6 +238,32 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         self.cost = Some(model);
         self.stats_epoch = epoch;
         self.stats_outbox = StatsDelta::new();
+        // A full rebuild may have replaced any row wholesale.
+        self.cache.clear();
+    }
+
+    /// Drops cached rows for every (attr, value) pair a write delta
+    /// names, and un-pins in-flight scans about to cache such a pair
+    /// (their reply may predate the write). Runs on *every* delta
+    /// receipt, before the epoch gate — an invalidation is correct in
+    /// any epoch.
+    fn invalidate_cached(&mut self, delta: &StatsDelta) {
+        if self.cache.cap == 0 {
+            return;
+        }
+        for t in delta.inserted.iter().chain(delta.deleted.iter()) {
+            for a in self.mappings.expand(&t.attr) {
+                let key = idx::attr_value_key(&a, &t.value);
+                self.cache.invalidate(key);
+                for active in self.active.values_mut() {
+                    if let Some(Wait::Scan { cache_key, .. }) = active.wait.as_mut() {
+                        if *cache_key == Some(key) {
+                            *cache_key = None;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Flushes the buffered stat deltas to every peer (the in-band
@@ -250,8 +333,20 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             return;
         };
         let finished = match active.wait.as_mut() {
-            Some(Wait::Scan { outstanding, triples, max_hops, .. })
-            | Some(Wait::Fetch { outstanding, triples, max_hops, .. }) => {
+            Some(Wait::Scan { outstanding, triples, max_hops, cache_key, .. }) => {
+                if let Some(items) = done.items() {
+                    triples.extend(items.iter().cloned());
+                }
+                if !done.ok() {
+                    // A failed or partial completion must not be cached
+                    // as the key's full row set.
+                    *cache_key = None;
+                }
+                *max_hops = (*max_hops).max(done.hops());
+                *outstanding -= 1;
+                *outstanding == 0
+            }
+            Some(Wait::Fetch { outstanding, triples, max_hops, .. }) => {
                 if let Some(items) = done.items() {
                     triples.extend(items.iter().cloned());
                 }
@@ -269,16 +364,23 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
     fn finish_wait(&mut self, qid: u64, fx: &mut UniFx<O::Msg>) {
         let Some(mut active) = self.active.remove(&qid) else { return };
         let wait = active.wait.take().expect("finish_wait without wait state");
-        let (pattern, mut triples, qgram, max_hops) = match wait {
-            Wait::Scan { pattern, triples, qgram, max_hops, .. } => {
-                (pattern, triples, qgram, max_hops)
+        let (pattern, mut triples, qgram, max_hops, cache_key) = match wait {
+            Wait::Scan { pattern, triples, qgram, max_hops, cache_key, .. } => {
+                (pattern, triples, qgram, max_hops, cache_key)
             }
-            Wait::Fetch { pattern, triples, max_hops, .. } => (pattern, triples, None, max_hops),
+            Wait::Fetch { pattern, triples, max_hops, .. } => {
+                (pattern, triples, None, max_hops, None)
+            }
         };
         // Dedup triples that arrived through several index entries or
         // replicas.
         let mut seen: FxHashSet<(u64, u64)> = FxHashSet::default();
         triples.retain(|t| seen.insert((unistore_util::item::Item::ident(t), t.value.key_bits())));
+        // A single remote exact-match lookup that completed cleanly
+        // primes the local result cache for subsequent point queries.
+        if let Some(key) = cache_key {
+            self.cache.put(key, triples.clone());
+        }
         // q-gram count filter: drop candidates that cannot be within
         // distance k (never drops true matches — tested property).
         if let Some((target, k)) = &qgram {
@@ -335,8 +437,11 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         // Mutant forwarding: ship the plan to the peer owning the next
         // scan's anchor key, unless disabled, too large, or already
         // home. A chosen semi-join executes from here instead — its
-        // pricing already assumed so.
-        if semi_filter.is_none() && !self.plan_mode.no_forward {
+        // pricing already assumed so. With the result cache on,
+        // exact-match point scans also stay here: the overlay lookup
+        // pulls the rows to this node, priming its cache, instead of
+        // shipping the plan to the data.
+        if semi_filter.is_none() && !self.plan_mode.no_forward && !self.cache_pins_scan(&pattern) {
             if let Some(key) = anchor_key(&pattern) {
                 if !self.overlay.responsible(key) && mqp.wire_size() < FORWARD_BYTE_CAP {
                     if let Some(next) = self.overlay.next_hop(key) {
@@ -364,6 +469,15 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             },
         });
         self.execute_scan(mqp, pattern, chosen, semi_filter, fx);
+    }
+
+    /// Whether the result cache keeps a point scan at the current node
+    /// (pull rows here and cache them) instead of mutant-forwarding the
+    /// plan to the data.
+    fn cache_pins_scan(&self, pattern: &TriplePattern) -> bool {
+        self.cache.cap > 0
+            && matches!(&pattern.subject, Term::Var(_))
+            && matches!((&pattern.attr, &pattern.value), (Term::Lit(Value::Str(_)), Term::Lit(_)))
     }
 
     /// Applies forced preferences, falling back to the cost model, then
@@ -572,6 +686,38 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                 ops.push(Op::Range(lo, hi, RangeMode::Parallel));
             }
         }
+        // Result cache: unfiltered exact-match lookups resolve from the
+        // local cache when possible; a single remote miss is marked for
+        // population once its rows arrive. Filtered scans skip the
+        // cache entirely — their row sets are query-specific subsets.
+        let mut cached: Vec<Triple> = Vec::new();
+        let mut cache_key: Option<Key> = None;
+        if self.cache.cap > 0
+            && filter.is_none()
+            && matches!(&s, ScanStrategy::AttrValueLookup { .. })
+        {
+            let cache = &self.cache;
+            let mut hits = 0u64;
+            ops.retain(|op| {
+                let Op::Lookup(key) = op else { return true };
+                match cache.get(*key) {
+                    Some(rows) => {
+                        cached.extend(rows.iter().cloned());
+                        hits += 1;
+                        false
+                    }
+                    None => true,
+                }
+            });
+            self.cache_hits += hits;
+            if cached.is_empty() {
+                if let [Op::Lookup(key)] = ops[..] {
+                    if !self.overlay.responsible(key) {
+                        cache_key = Some(key);
+                    }
+                }
+            }
+        }
         let qids: Vec<u64> = ops.iter().map(|_| self.fresh_exec_qid()).collect();
         for q in &qids {
             self.waiting.insert(*q, qid);
@@ -583,12 +729,19 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                 wait: Some(Wait::Scan {
                     pattern,
                     outstanding: qids.len(),
-                    triples: Vec::new(),
+                    triples: cached,
                     qgram: qgram_filter,
                     max_hops: 0,
+                    cache_key,
                 }),
             },
         );
+        if qids.is_empty() {
+            // Every lookup was served from the cache: the scan resolves
+            // without touching the network.
+            self.finish_wait(qid, fx);
+            return;
+        }
         for (q, op) in qids.into_iter().zip(ops) {
             let f = filter.clone();
             match op {
@@ -633,6 +786,10 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                 }
             }
             QueryMsg::StatsDelta { epoch, delta } => {
+                // Cache invalidation runs before the epoch gate: a
+                // write notice names (attr, value) pairs whose cached
+                // rows may be stale in any epoch.
+                self.invalidate_cached(delta.get());
                 // Stale generation: a full rebuild already folded these
                 // writes into the snapshot this node received.
                 if epoch != self.stats_epoch {

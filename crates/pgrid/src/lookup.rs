@@ -38,7 +38,10 @@ impl<I: Item> PGridPeer<I> {
             self.issue_lookup(qid, key, None, filter, fx);
             return;
         }
-        match self.routing.route(key, &mut self.rng) {
+        // Reads route load-aware: the least-dispatched ref at the
+        // needed level, so hot keys spread across the replica group of
+        // the responsible subtree instead of hammering one peer.
+        match self.routing.route_read(key, None) {
             RouteDecision::Local => {
                 let mut items = self.store.get(key);
                 ItemFilter::retain(&filter, &mut items);
@@ -63,7 +66,7 @@ impl<I: Item> PGridPeer<I> {
         filter: Option<ItemFilter>,
         fx: &mut Fx<I>,
     ) {
-        match self.routing.route_excluding(key, avoid, &mut self.rng) {
+        match self.routing.route_read(key, avoid) {
             RouteDecision::Local => {
                 let mut items = self.store.get(key);
                 ItemFilter::retain(&filter, &mut items);

@@ -174,12 +174,12 @@ impl<I: Item> PGridPeer<I> {
     }
 
     /// Picks a next hop toward `key`, or `None` when the key is local or
-    /// the needed level has no reference. A random reference per call
-    /// (the peer's own RNG), so embedding layers that forward whole
-    /// query plans spread load and re-route around failures on retry,
-    /// exactly like the storage ops themselves.
+    /// the needed level has no reference. Load-aware: the least-read
+    /// reference at the needed level, so embedding layers that forward
+    /// whole query plans spread hot-key traffic across the responsible
+    /// replica group, exactly like the lookups themselves.
     pub fn next_hop(&mut self, key: Key) -> Option<NodeId> {
-        match self.routing.route_excluding(key, None, &mut self.rng) {
+        match self.routing.route_read(key, None) {
             RouteDecision::Forward(id, _) => Some(id),
             RouteDecision::Local | RouteDecision::Stuck(_) => None,
         }

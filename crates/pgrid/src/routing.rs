@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use unistore_simnet::NodeId;
-use unistore_util::{BitPath, Key};
+use unistore_util::{BitPath, FxHashMap, Key};
 
 use crate::msg::PeerRef;
 
@@ -38,6 +38,9 @@ pub struct RoutingTable {
     replicas: Vec<NodeId>,
     /// Max refs kept per level.
     cap: usize,
+    /// Read dispatches per referenced peer — the load signal of
+    /// [`RoutingTable::route_read`].
+    read_load: FxHashMap<NodeId, u64>,
 }
 
 impl RoutingTable {
@@ -49,6 +52,7 @@ impl RoutingTable {
             levels: vec![Vec::new(); path.len() as usize],
             replicas: Vec::new(),
             cap,
+            read_load: FxHashMap::default(),
         }
     }
 
@@ -112,6 +116,43 @@ impl RoutingTable {
             Some(r) => RouteDecision::Forward(r.id, l),
             None => RouteDecision::Stuck(l),
         }
+    }
+
+    /// Routing decision for a *read*, forwarding through the
+    /// least-dispatched reference at the needed level instead of a
+    /// random one. Deep levels of a converged trie reference the
+    /// responsible leaf's replica group, so hot-key lookups fan out
+    /// across the replicas holding the data rather than hammering one
+    /// of them; shallow levels get balanced relay load as a side
+    /// effect. Deterministic — ties break toward the first stored ref
+    /// — and still avoiding `avoid` when an alternative exists.
+    pub fn route_read(&mut self, key: Key, avoid: Option<NodeId>) -> RouteDecision {
+        let l = self.path.common_prefix_len_key(key);
+        if l == self.path.len() {
+            return RouteDecision::Local;
+        }
+        let level = &self.levels[l as usize];
+        let shun = match avoid {
+            Some(a) if level.len() > 1 && level.iter().any(|r| r.id == a) => Some(a),
+            _ => None,
+        };
+        let pick = level
+            .iter()
+            .filter(|r| Some(r.id) != shun)
+            .min_by_key(|r| self.read_load.get(&r.id).copied().unwrap_or(0))
+            .map(|r| r.id);
+        match pick {
+            Some(id) => {
+                *self.read_load.entry(id).or_insert(0) += 1;
+                RouteDecision::Forward(id, l)
+            }
+            None => RouteDecision::Stuck(l),
+        }
+    }
+
+    /// Read dispatches recorded against a peer (observability).
+    pub fn read_load_of(&self, id: NodeId) -> u64 {
+        self.read_load.get(&id).copied().unwrap_or(0)
     }
 
     /// Routing decision for `key` that may jump several levels at once:
@@ -210,6 +251,7 @@ impl RoutingTable {
             level.retain(|r| r.id != id);
         }
         self.replicas.retain(|&r| r != id);
+        self.read_load.remove(&id);
     }
 
     /// Refs at one level.
@@ -339,6 +381,49 @@ mod tests {
         assert_eq!(t.level_refs(0).len(), 2);
         assert_eq!(t.depth(), 2);
         assert_eq!(t.empty_levels(), vec![1]);
+    }
+
+    #[test]
+    fn route_read_rotates_least_loaded() {
+        let mut t = RoutingTable::new(BitPath::parse("0").unwrap(), 3);
+        t.add_ref(pr(1, "10"));
+        t.add_ref(pr(2, "11"));
+        let key = 1u64 << 63; // level 0
+                              // Repeated reads of the same hot key alternate between the two
+                              // refs covering the complementary subtree.
+        let mut hits = [0u64; 3];
+        for _ in 0..10 {
+            match t.route_read(key, None) {
+                RouteDecision::Forward(NodeId(id), 0) => hits[id as usize] += 1,
+                other => panic!("unexpected decision {other:?}"),
+            }
+        }
+        assert_eq!(hits[1], 5, "load spreads evenly across the level");
+        assert_eq!(hits[2], 5);
+        assert_eq!(t.read_load_of(NodeId(1)), 5);
+    }
+
+    #[test]
+    fn route_read_local_stuck_and_avoid() {
+        let mut t = RoutingTable::new(BitPath::parse("01").unwrap(), 3);
+        t.add_ref(pr(1, "1"));
+        assert_eq!(t.route_read(0b01u64 << 62, None), RouteDecision::Local);
+        assert_eq!(t.route_read(0u64, None), RouteDecision::Stuck(1));
+        // Sole ref: avoid falls back to it rather than sticking.
+        assert_eq!(t.route_read(1u64 << 63, Some(NodeId(1))), RouteDecision::Forward(NodeId(1), 0));
+        // With an alternative, avoid is honored.
+        t.add_ref(pr(2, "10"));
+        assert_eq!(t.route_read(1u64 << 63, Some(NodeId(1))), RouteDecision::Forward(NodeId(2), 0));
+    }
+
+    #[test]
+    fn remove_clears_read_load() {
+        let mut t = RoutingTable::new(BitPath::parse("0").unwrap(), 3);
+        t.add_ref(pr(1, "1"));
+        let _ = t.route_read(1u64 << 63, None);
+        assert_eq!(t.read_load_of(NodeId(1)), 1);
+        t.remove(NodeId(1));
+        assert_eq!(t.read_load_of(NodeId(1)), 0);
     }
 
     #[test]

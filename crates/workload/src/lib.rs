@@ -10,7 +10,9 @@
 
 pub mod hetero;
 pub mod pubgen;
+pub mod reads;
 pub mod typos;
 
 pub use pubgen::{PubParams, PubWorld};
+pub use reads::{distinct_values, zipf_read_queries};
 pub use typos::inject_typo;

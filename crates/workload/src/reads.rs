@@ -1,0 +1,105 @@
+//! Zipf-skewed point-read workloads.
+//!
+//! The paper's query load is read-dominated: many peers look up the
+//! same popular attribute values ("hot keys") while the long tail is
+//! touched rarely. This module turns a generated [`PubWorld`] into a
+//! stream of VQL point queries whose value popularity follows a Zipf
+//! distribution — rank 0 (the most popular value) is the first value
+//! of the attribute in world order, so the skew is deterministic for
+//! a given seed.
+
+use rand::rngs::StdRng;
+
+use unistore_store::Value;
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::zipf::Zipf;
+
+use crate::pubgen::PubWorld;
+
+/// Distinct values of `attr` across the whole world, in first-appearance
+/// order (the Zipf rank order used by [`zipf_read_queries`]).
+pub fn distinct_values(world: &PubWorld, attr: &str) -> Vec<Value> {
+    let mut seen: Vec<Value> = Vec::new();
+    for tuple in world.all_tuples() {
+        for (a, v) in &tuple.fields {
+            if a.as_ref() == attr && !seen.iter().any(|s| s.eq_values(v)) {
+                seen.push(v.clone());
+            }
+        }
+    }
+    seen
+}
+
+/// `n` VQL point queries over `attr`, value popularity Zipf-skewed with
+/// exponent `theta` (`0.0` = uniform). Deterministic in `seed`.
+///
+/// Each query has the shape `SELECT ?x WHERE {(?x,'attr',value)}` with
+/// the value rendered as a VQL literal (quoted string or bare number).
+pub fn zipf_read_queries(
+    world: &PubWorld,
+    attr: &str,
+    n: usize,
+    theta: f64,
+    seed: u64,
+) -> Vec<String> {
+    let values = distinct_values(world, attr);
+    assert!(!values.is_empty(), "attribute {attr:?} has no values in this world");
+    let zipf = Zipf::new(values.len(), theta);
+    let mut rng: StdRng = derive_rng(seed, stream::WORKLOAD);
+    (0..n)
+        .map(|_| {
+            let v = &values[zipf.sample(&mut rng)];
+            format!("SELECT ?x WHERE {{(?x,'{attr}',{v})}}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pubgen::PubParams;
+
+    fn world() -> PubWorld {
+        PubWorld::generate(&PubParams::default(), 11)
+    }
+
+    #[test]
+    fn deterministic_and_well_formed() {
+        let w = world();
+        let a = zipf_read_queries(&w, "published_in", 50, 1.2, 3);
+        let b = zipf_read_queries(&w, "published_in", 50, 1.2, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for q in &a {
+            assert!(q.starts_with("SELECT ?x WHERE {(?x,'published_in',"), "bad query: {q}");
+        }
+        // A different seed reorders the draw.
+        let c = zipf_read_queries(&w, "published_in", 50, 1.2, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_values() {
+        let w = world();
+        let skewed = zipf_read_queries(&w, "published_in", 200, 1.5, 7);
+        let uniform = zipf_read_queries(&w, "published_in", 200, 0.0, 7);
+        let top = |qs: &[String]| {
+            let mut counts = std::collections::HashMap::new();
+            for q in qs {
+                *counts.entry(q.clone()).or_insert(0usize) += 1;
+            }
+            counts.into_values().max().unwrap()
+        };
+        assert!(top(&skewed) > top(&uniform), "theta=1.5 should concentrate mass");
+    }
+
+    #[test]
+    fn integer_values_render_bare() {
+        let w = world();
+        let qs = zipf_read_queries(&w, "year", 20, 1.0, 5);
+        for q in &qs {
+            // Years are Value::Int — no quotes around the literal.
+            assert!(!q.contains("'year','"), "int literal got quoted: {q}");
+        }
+    }
+}
