@@ -1,13 +1,15 @@
 //! Criterion: wire encode/decode of the batched write pipeline's
 //! [`OpBatch`] payload at 1 / 64 / 1024 ops, so encoding regressions
 //! are visible outside the end-to-end ingest numbers
-//! (`BENCH_ingest.json`).
+//! (`BENCH_ingest.json`). `wire_size` is timed with the thread-local
+//! buffer pool on and off, making the pooling win visible as time (the
+//! allocs/op record lives in `BENCH_alloc.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use unistore_store::index::TripleKeys;
 use unistore_store::{Triple, Value};
-use unistore_util::wire::{OpBatch, Wire};
+use unistore_util::wire::{pool, OpBatch, Wire};
 
 /// A batch of `n_ops` write ops over realistic triples: every triple
 /// contributes its full index fan-out (OID + A#v + v + q-grams), with
@@ -53,6 +55,18 @@ fn bench_encode_decode(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("wire_size", n_ops), &batch, |b, batch| {
             b.iter(|| batch.wire_size())
         });
+        group.bench_with_input(
+            BenchmarkId::new("wire_size_unpooled", n_ops),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    pool::set_enabled(false);
+                    let n = batch.wire_size();
+                    pool::set_enabled(true);
+                    n
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -44,6 +44,10 @@ fn main() {
         bench_snapshot();
         return;
     }
+    if args.iter().any(|a| a == "alloc-snapshot") {
+        alloc_snapshot();
+        return;
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
     if want("e1") {
         e1_scalability();
@@ -675,6 +679,284 @@ fn bench_snapshot() {
     stats_snapshot();
     ingest_snapshot();
     concurrency_snapshot();
+    alloc_snapshot();
+}
+
+/// One measured cell of the allocation record.
+struct AllocRow {
+    section: &'static str,
+    case: &'static str,
+    ops: usize,
+    allocs_per_op: f64,
+    bytes_per_op: f64,
+}
+
+/// Headless CI entry #5: the allocation trajectory of the hot paths.
+///
+/// Measures steady-state allocations per operation (after a warmup
+/// pass that fills the wire-buffer pool and the attribute interner)
+/// with the counting global allocator in `unistore_bench::alloc`, and
+/// asserts the zero-allocation claims in-code:
+///
+/// * message sizing (`wire_size`) and wire decode allocate ≥ 5x less
+///   than the pre-pooling baselines, which are re-implemented here
+///   verbatim (fresh unreserved buffer per encode; the
+///   copy → `String` → `Arc` chain per decoded string);
+/// * a filtered leaf scan's allocations are independent of how many
+///   candidates the semi-join filter drops — dropped candidates are
+///   never materialized on either backend's store.
+fn alloc_snapshot() {
+    use std::sync::Arc;
+
+    use bytes::{Buf, Bytes, BytesMut};
+    use unistore_bench::alloc::{measure, AllocStats};
+    use unistore_chord::store::{collect_keyed, ChordStore};
+    use unistore_pgrid::LocalStore;
+    use unistore_store::index::TripleKeys;
+    use unistore_store::triple::field;
+    use unistore_util::item::Item;
+    use unistore_util::wire::{get_varint, OpBatch, Wire};
+    use unistore_util::{BloomFilter, ItemFilter};
+
+    println!("\n## allocation snapshot (allocs/op, steady state)\n");
+    let mut rows: Vec<AllocRow> = Vec::new();
+    let mut push = |section: &'static str, case: &'static str, ops: usize, s: AllocStats| {
+        let r = AllocRow {
+            section,
+            case,
+            ops,
+            allocs_per_op: s.allocs_per_op(ops),
+            bytes_per_op: s.bytes_per_op(ops),
+        };
+        println!(
+            "{section:>10} / {case:<28} {:>8.2} allocs/op {:>10.1} bytes/op",
+            r.allocs_per_op, r.bytes_per_op
+        );
+        rows.push(r);
+        rows.last().unwrap().allocs_per_op
+    };
+
+    // --- encode: pooled wire_size vs the pre-pooling baseline -------
+    // The batch mirrors `wire_batch.rs`: 64 write ops with full index
+    // fan-out and shared payloads, the unit `insert_batch` ships.
+    let batch = {
+        let mut batch = OpBatch::new();
+        let mut i = 0usize;
+        while batch.len() < 64 {
+            let t = Triple::new(
+                &format!("obj{i}"),
+                if i % 2 == 0 { "title" } else { "year" },
+                if i % 2 == 0 {
+                    Value::str(&format!("Similarity Queries on Structured Data {i}"))
+                } else {
+                    Value::Int(1990 + (i % 30) as i64)
+                },
+            );
+            let keys = TripleKeys::derive(&t, true).all();
+            let item = batch.add_item(t);
+            for key in keys {
+                if batch.len() >= 64 {
+                    break;
+                }
+                batch.push_insert(key, item, 0);
+            }
+            i += 1;
+        }
+        batch
+    };
+    const ITERS: usize = 256;
+    // Warmup: fills the thread-local buffer pool.
+    for _ in 0..8 {
+        std::hint::black_box(batch.wire_size());
+    }
+    let (_, pooled) = measure(|| {
+        for _ in 0..ITERS {
+            std::hint::black_box(batch.wire_size());
+        }
+    });
+    // The pre-PR default `wire_size`, verbatim: encode into a fresh,
+    // unreserved scratch buffer and throw it away.
+    let (_, naive_enc) = measure(|| {
+        for _ in 0..ITERS {
+            let mut buf = BytesMut::new();
+            batch.encode(&mut buf);
+            std::hint::black_box(buf.len());
+        }
+    });
+    let pooled_rate = push("encode", "pooled wire_size (64-op batch)", ITERS, pooled);
+    let naive_rate = push("encode", "naive fresh-buffer baseline", ITERS, naive_enc);
+    assert!(
+        naive_rate >= 5.0 * pooled_rate && naive_rate >= 1.0,
+        "pooled wire_size must allocate >= 5x less than the fresh-buffer \
+         baseline (pooled {pooled_rate:.2}, naive {naive_rate:.2} allocs/op)"
+    );
+    let (_, ship) = measure(|| {
+        for _ in 0..ITERS {
+            std::hint::black_box(batch.to_bytes().len());
+        }
+    });
+    push("encode", "to_bytes (exact capacity)", ITERS, ship);
+
+    // --- decode: in-place strings vs the copy-chain baseline --------
+    // A stream of short-string triples (inline in `CompactStr`, attr
+    // interned), decoded back-to-back. The naive decoder replays the
+    // pre-PR byte handling: every string detaches a view, copies it
+    // into an owned `String`, then copies again into an `Arc<str>`.
+    let triples: Vec<Triple> = (0..64)
+        .map(|i| {
+            Triple::new(&format!("obj{i}"), "published_in", Value::str(&format!("c{}", i % 10)))
+        })
+        .collect();
+    let stream = {
+        let mut buf = BytesMut::new();
+        for t in &triples {
+            t.encode(&mut buf);
+        }
+        buf.freeze()
+    };
+    fn naive_str(buf: &mut Bytes) -> Arc<str> {
+        let len = get_varint(buf).expect("len") as usize;
+        let raw = buf.copy_to_bytes(len);
+        let s = String::from_utf8(raw.to_vec()).expect("utf8");
+        Arc::from(s)
+    }
+    fn naive_triple(buf: &mut Bytes) -> (Arc<str>, Arc<str>, Arc<str>) {
+        let oid = naive_str(buf);
+        let attr = naive_str(buf);
+        let tag = u8::decode(buf).expect("tag");
+        assert_eq!(tag, 0, "stream is all-string values");
+        (oid, attr, naive_str(buf))
+    }
+    // Warmup interns the attribute.
+    {
+        let mut b = stream.clone();
+        while !b.is_empty() {
+            std::hint::black_box(Triple::decode(&mut b).expect("decode"));
+        }
+    }
+    let n_triples = triples.len();
+    const DECODE_PASSES: usize = 64;
+    let (_, inplace) = measure(|| {
+        for _ in 0..DECODE_PASSES {
+            let mut b = stream.clone();
+            while !b.is_empty() {
+                std::hint::black_box(Triple::decode(&mut b).expect("decode"));
+            }
+        }
+    });
+    let (_, naive_dec) = measure(|| {
+        for _ in 0..DECODE_PASSES {
+            let mut b = stream.clone();
+            while !b.is_empty() {
+                std::hint::black_box(naive_triple(&mut b));
+            }
+        }
+    });
+    let ops = DECODE_PASSES * n_triples;
+    let inplace_rate = push("decode", "in-place (intern + inline)", ops, inplace);
+    let naive_dec_rate = push("decode", "naive copy-chain baseline", ops, naive_dec);
+    assert!(
+        naive_dec_rate >= 5.0 * inplace_rate && naive_dec_rate >= 1.0,
+        "in-place decode must allocate >= 5x less than the copy-chain \
+         baseline (in-place {inplace_rate:.2}, naive {naive_dec_rate:.2} allocs/op)"
+    );
+
+    // --- leaf scan: allocations independent of dropped candidates ---
+    // A filtered scan clones only survivors; piling 16x more dropped
+    // candidates under the same key must not change allocs/op.
+    let survivors: Vec<Triple> =
+        (0..8).map(|i| Triple::new(&format!("s{i}"), "year", Value::Int(2000 + i))).collect();
+    let bloom = BloomFilter::from_hashes(
+        survivors.iter().map(|t| t.field_hash(field::VALUE).expect("value hash")),
+        1e-4,
+    );
+    let filter = Some(ItemFilter { field: field::VALUE, bloom });
+    const SCAN_PASSES: usize = 256;
+    let mut scan_rates = [0.0f64; 2];
+    for (slot, dropped) in [(0usize, 100usize), (1, 1600)] {
+        let mut pg: LocalStore<Triple> = LocalStore::new();
+        let mut ch: ChordStore<Triple> = ChordStore::new();
+        for (i, t) in survivors.iter().enumerate() {
+            pg.apply(7, t.clone(), 0);
+            ch.insert(7, i as u64, t.clone(), 0);
+        }
+        for i in 0..dropped {
+            let t = Triple::new(&format!("d{i}"), "year", Value::Int(10_000 + i as i64));
+            pg.apply(7, t.clone(), 0);
+            ch.insert(7, 1000 + i as u64, t, 0);
+        }
+        std::hint::black_box(ItemFilter::collect_filtered(&filter, pg.iter_key(7)));
+        let (_, scan) = measure(|| {
+            for _ in 0..SCAN_PASSES {
+                std::hint::black_box(ItemFilter::collect_filtered(&filter, pg.iter_key(7)));
+            }
+        });
+        let case = if dropped == 100 { "pgrid, 100 dropped" } else { "pgrid, 1600 dropped" };
+        scan_rates[slot] = push("leaf-scan", case, SCAN_PASSES, scan);
+        let (_, keyed) = measure(|| {
+            for _ in 0..SCAN_PASSES {
+                std::hint::black_box(collect_keyed(&filter, ch.iter_ring(7)));
+            }
+        });
+        let case = if dropped == 100 { "chord, 100 dropped" } else { "chord, 1600 dropped" };
+        push("leaf-scan", case, SCAN_PASSES, keyed);
+        // The materializing baseline (clone everything, then retain)
+        // is recorded for contrast: its bytes/op scale with `dropped`.
+        let (_, mat) = measure(|| {
+            for _ in 0..SCAN_PASSES {
+                let mut v = pg.get(7);
+                ItemFilter::retain(&filter, &mut v);
+                std::hint::black_box(v);
+            }
+        });
+        let case =
+            if dropped == 100 { "materialize, 100 dropped" } else { "materialize, 1600 dropped" };
+        push("leaf-scan", case, SCAN_PASSES, mat);
+    }
+    assert!(
+        scan_rates[1] <= scan_rates[0] + 0.5,
+        "filtered leaf-scan allocs/op must be independent of dropped candidates \
+         (100 dropped: {:.2}, 1600 dropped: {:.2})",
+        scan_rates[0],
+        scan_rates[1]
+    );
+
+    // --- end-to-end: the 3-way join on both backends (trend only) ---
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        SEED,
+    );
+    let q = "SELECT ?n,?conf WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)}";
+    let mut pg = UniCluster::build(16, UniConfig::default(), SEED);
+    pg.load(world.all_tuples());
+    assert!(pg.query(NodeId(0), q).expect("warmup").ok, "warmup completes");
+    let (out, pg_alloc) = measure(|| pg.query(NodeId(1), q).expect("query"));
+    assert!(out.ok, "3-way join timed out on P-Grid");
+    push("join3", "P-Grid", 1, pg_alloc);
+    let mut ch = ChordUniCluster::build_overlay(16, chord_config(), SEED);
+    ch.load(world.all_tuples());
+    assert!(ch.query(NodeId(0), q).expect("warmup").ok, "warmup completes");
+    let (out, ch_alloc) = measure(|| ch.query(NodeId(1), q).expect("query"));
+    assert!(out.ok, "3-way join timed out on Chord");
+    push("join3", "Chord+buckets", 1, ch_alloc);
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"section\": \"{}\", \"case\": \"{}\", \"ops\": {}, \
+             \"allocs_per_op\": {:.3}, \"bytes_per_op\": {:.1}}}{}\n",
+            r.section,
+            r.case,
+            r.ops,
+            r.allocs_per_op,
+            r.bytes_per_op,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_alloc.json", &json).expect("write BENCH_alloc.json");
+    println!("wrote BENCH_alloc.json ({} rows)", rows.len());
 }
 
 /// One measured cell of the concurrency comparison.

@@ -1,5 +1,7 @@
 //! Shared helpers for the experiment harness and benches.
 
+pub mod alloc;
+
 use unistore_util::stats::percentile;
 
 /// Prints a Markdown-style table row.

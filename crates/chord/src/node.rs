@@ -12,7 +12,7 @@ pub use unistore_util::item::Item;
 
 use crate::msg::{ChordBatchOp, ChordEvent, ChordMsg, QueryId};
 use crate::ring::{in_open_closed, in_open_open};
-use crate::store::ChordStore;
+use crate::store::{collect_keyed, ChordStore};
 
 /// Effects buffer specialized to Chord.
 pub type Fx<I> = Effects<ChordMsg<I>, ChordEvent<I>>;
@@ -199,15 +199,14 @@ impl<I: Item> ChordNode<I> {
             self.register(fx, qid, Pending::Lookup);
         }
         if self.responsible(ring_key) {
-            let mut found = match range {
-                None => self.store.get(ring_key),
-                Some((lo, hi)) => self.store.get_filtered(ring_key, lo, hi),
+            // Semi-join pushdown: drop non-matching items at the data,
+            // before they are ever cloned out of the store.
+            let entries = match range {
+                None => collect_keyed(&filter, self.store.iter_ring(ring_key)),
+                Some((lo, hi)) => {
+                    collect_keyed(&filter, self.store.iter_ring_filtered(ring_key, lo, hi))
+                }
             };
-            // Semi-join pushdown: drop non-matching items at the data.
-            if let Some(f) = &filter {
-                found.retain(|e| f.accepts(&e.item));
-            }
-            let entries: Vec<(Key, I)> = found.into_iter().map(|e| (e.key, e.item)).collect();
             self.answer_lookup(qid, origin, entries, hops, true, fx);
         } else {
             let next = self.next_hop(ring_key);
@@ -558,11 +557,7 @@ impl<I: Item> ChordNode<I> {
         fx: &mut Fx<I>,
     ) {
         let parent = if from == NodeId::EXTERNAL { None } else { Some(from) };
-        let mut found = self.store.scan_by_key(lo, hi);
-        if let Some(f) = &filter {
-            found.retain(|e| f.accepts(&e.item));
-        }
-        let local: Vec<(Key, I)> = found.into_iter().map(|e| (e.key, e.item)).collect();
+        let local = collect_keyed(&filter, self.store.iter_by_key(lo, hi));
         // Children: fingers strictly inside (self, limit), each getting
         // the sub-interval up to the next finger (or the limit). At the
         // origin `limit == self.ring_id`, which means the full circle.

@@ -15,7 +15,21 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 
 use unistore_util::item::Item;
-use unistore_util::Key;
+use unistore_util::{ItemFilter, Key};
+
+/// Applies an optional semi-join filter over borrowed `(key, item)`
+/// candidates, cloning only the survivors into reply entries — dropped
+/// candidates are never materialized (the Chord counterpart of
+/// [`ItemFilter::collect_filtered`]).
+pub fn collect_keyed<'a, I: Item + 'a>(
+    filter: &Option<ItemFilter>,
+    candidates: impl Iterator<Item = (Key, &'a I)>,
+) -> Vec<(Key, I)> {
+    match filter {
+        Some(f) => candidates.filter(|(_, i)| f.accepts(*i)).map(|(k, i)| (k, i.clone())).collect(),
+        None => candidates.map(|(k, i)| (k, i.clone())).collect(),
+    }
+}
 
 /// One stored entry: the original key plus the payload.
 #[derive(Clone, Debug)]
@@ -71,37 +85,55 @@ impl<I: Item> ChordStore<I> {
 
     /// All entries stored under one ring position.
     pub fn get(&self, ring_key: u64) -> Vec<ChordEntry<I>> {
-        self.entries
-            .range((
-                Bound::Included((ring_key, 0, 0)),
-                Bound::Included((ring_key, Key::MAX, u64::MAX)),
-            ))
-            .filter_map(|(&(_, key, _), (_, item))| {
-                item.as_ref().map(|i| ChordEntry { key, item: i.clone() })
-            })
-            .collect()
+        self.iter_ring(ring_key).map(|(key, i)| ChordEntry { key, item: i.clone() }).collect()
     }
 
     /// Entries under `ring_key` whose *original* key lies in `[lo, hi]`.
     pub fn get_filtered(&self, ring_key: u64, lo: Key, hi: Key) -> Vec<ChordEntry<I>> {
-        self.entries
-            .range((Bound::Included((ring_key, lo, 0)), Bound::Included((ring_key, hi, u64::MAX))))
-            .filter_map(|(&(_, key, _), (_, item))| {
-                item.as_ref().map(|i| ChordEntry { key, item: i.clone() })
-            })
+        self.iter_ring_filtered(ring_key, lo, hi)
+            .map(|(key, i)| ChordEntry { key, item: i.clone() })
             .collect()
     }
 
     /// Every entry whose original key lies in `[lo, hi]`, regardless of
     /// ring position (broadcast-mode local scan).
     pub fn scan_by_key(&self, lo: Key, hi: Key) -> Vec<ChordEntry<I>> {
+        self.iter_by_key(lo, hi).map(|(key, i)| ChordEntry { key, item: i.clone() }).collect()
+    }
+
+    /// Borrowed view of the live entries under one ring position. Leaf
+    /// handlers filter through this *before* cloning, so semi-join
+    /// pushdown never materializes dropped candidates.
+    pub fn iter_ring(&self, ring_key: u64) -> impl Iterator<Item = (Key, &I)> {
+        self.iter_ring_filtered(ring_key, 0, Key::MAX)
+    }
+
+    /// Borrowed view of the live entries under `ring_key` whose original
+    /// key lies in `[lo, hi]`.
+    pub fn iter_ring_filtered(
+        &self,
+        ring_key: u64,
+        lo: Key,
+        hi: Key,
+    ) -> impl Iterator<Item = (Key, &I)> {
+        // An inverted interval yields an explicitly empty (but
+        // well-formed) bound pair: BTreeMap panics on start > end.
+        let bounds = match lo <= hi {
+            true => (Bound::Included((ring_key, lo, 0)), Bound::Included((ring_key, hi, u64::MAX))),
+            false => (Bound::Included((ring_key, lo, 0)), Bound::Excluded((ring_key, lo, 0))),
+        };
+        self.entries
+            .range(bounds)
+            .filter_map(|(&(_, key, _), (_, item))| item.as_ref().map(|i| (key, i)))
+    }
+
+    /// Borrowed scan over every live entry with original key in
+    /// `[lo, hi]`, regardless of ring position.
+    pub fn iter_by_key(&self, lo: Key, hi: Key) -> impl Iterator<Item = (Key, &I)> {
         self.entries
             .iter()
-            .filter(|(&(_, key, _), _)| key >= lo && key <= hi)
-            .filter_map(|(&(_, key, _), (_, item))| {
-                item.as_ref().map(|i| ChordEntry { key, item: i.clone() })
-            })
-            .collect()
+            .filter(move |(&(_, key, _), _)| key >= lo && key <= hi)
+            .filter_map(|(&(_, key, _), (_, item))| item.as_ref().map(|i| (key, i)))
     }
 
     /// Removes the entry with logical identity `ident` stored under

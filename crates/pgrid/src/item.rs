@@ -82,21 +82,32 @@ impl<I: Item> LocalStore<I> {
 
     /// All live items stored under `key`.
     pub fn get(&self, key: Key) -> Vec<I> {
-        self.entries
-            .range((Bound::Included((key, 0)), Bound::Included((key, u64::MAX))))
-            .filter_map(|(_, e)| e.item.clone())
-            .collect()
+        self.iter_key(key).cloned().collect()
     }
 
     /// All live items whose key lies in `[lo, hi]`.
     pub fn get_range(&self, lo: Key, hi: Key) -> Vec<I> {
-        if lo > hi {
-            return Vec::new();
-        }
+        self.iter_range(lo, hi).cloned().collect()
+    }
+
+    /// Borrowed view of the live items under `key`. Leaf filtering
+    /// (semi-join pushdown) tests candidates through this iterator
+    /// *before* cloning, so dropped candidates are never materialized.
+    pub fn iter_key(&self, key: Key) -> impl Iterator<Item = &I> {
         self.entries
-            .range((Bound::Included((lo, 0)), Bound::Included((hi, u64::MAX))))
-            .filter_map(|(_, e)| e.item.clone())
-            .collect()
+            .range((Bound::Included((key, 0)), Bound::Included((key, u64::MAX))))
+            .filter_map(|(_, e)| e.item.as_ref())
+    }
+
+    /// Borrowed view of the live items with keys in `[lo, hi]`.
+    pub fn iter_range(&self, lo: Key, hi: Key) -> impl Iterator<Item = &I> {
+        // An inverted interval yields an explicitly empty (but
+        // well-formed) bound pair: BTreeMap panics on start > end.
+        let bounds = match lo <= hi {
+            true => (Bound::Included((lo, 0)), Bound::Included((hi, u64::MAX))),
+            false => (Bound::Included((lo, 0)), Bound::Excluded((lo, 0))),
+        };
+        self.entries.range(bounds).filter_map(|(_, e)| e.item.as_ref())
     }
 
     /// Iterates `(key, entry)` pairs in key order (tombstones included).

@@ -43,8 +43,7 @@ impl<I: Item> PGridPeer<I> {
         // the responsible subtree instead of hammering one peer.
         match self.routing.route_read(key, None) {
             RouteDecision::Local => {
-                let mut items = self.store.get(key);
-                ItemFilter::retain(&filter, &mut items);
+                let items = ItemFilter::collect_filtered(&filter, self.store.iter_key(key));
                 self.answer_lookup(qid, origin, items, hops, true, fx);
             }
             RouteDecision::Forward(next, _) => {
@@ -68,8 +67,7 @@ impl<I: Item> PGridPeer<I> {
     ) {
         match self.routing.route_read(key, avoid) {
             RouteDecision::Local => {
-                let mut items = self.store.get(key);
-                ItemFilter::retain(&filter, &mut items);
+                let items = ItemFilter::collect_filtered(&filter, self.store.iter_key(key));
                 self.handle_lookup_reply(qid, items, 0, true, fx);
             }
             RouteDecision::Forward(next, _) => {

@@ -359,8 +359,8 @@ pub fn bind_triples(
                 match &row[col] {
                     None => {
                         row[col] = Some(match pos {
-                            0 => Value::Str(t.oid.0.clone()),
-                            1 => Value::Str(t.attr.clone()),
+                            0 => Value::Str(t.oid.0.clone().into()),
+                            1 => Value::Str(t.attr.clone().into()),
                             _ => t.value.clone(),
                         })
                     }

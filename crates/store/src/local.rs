@@ -65,15 +65,12 @@ impl LocalTripleStore {
 
     /// Triples of one object.
     pub fn by_oid(&self, oid: &Oid) -> Vec<&Triple> {
-        self.triples.iter().filter(|t| &t.oid == oid).collect()
+        self.iter_by_oid(oid).collect()
     }
 
     /// Triples with an exact `(attr, value)` match.
     pub fn by_attr_value(&self, attr: &str, value: &Value) -> Vec<&Triple> {
-        self.triples
-            .iter()
-            .filter(|t| t.attr.as_ref() == attr && t.value.eq_values(value))
-            .collect()
+        self.iter_by_attr_value(attr, value).collect()
     }
 
     /// Triples of one attribute with `lo ≤ value ≤ hi` (either bound
@@ -84,42 +81,92 @@ impl LocalTripleStore {
         lo: Option<&Value>,
         hi: Option<&Value>,
     ) -> Vec<&Triple> {
-        self.triples
-            .iter()
-            .filter(|t| {
-                t.attr.as_ref() == attr
-                    && lo.is_none_or(|l| t.value.cmp_values(l) != std::cmp::Ordering::Less)
-                    && hi.is_none_or(|h| t.value.cmp_values(h) != std::cmp::Ordering::Greater)
-            })
-            .collect()
+        self.iter_by_attr_range(attr, lo, hi).collect()
     }
 
     /// Triples with a given value under *any* attribute (the v index).
     pub fn by_value(&self, value: &Value) -> Vec<&Triple> {
-        self.triples.iter().filter(|t| t.value.eq_values(value)).collect()
+        self.iter_by_value(value).collect()
     }
 
     /// Triples of one attribute whose string value has the given prefix.
     pub fn by_attr_prefix(&self, attr: &str, prefix: &str) -> Vec<&Triple> {
-        self.triples
-            .iter()
-            .filter(|t| {
-                t.attr.as_ref() == attr && t.value.as_str().is_some_and(|s| s.starts_with(prefix))
-            })
-            .collect()
+        self.iter_by_attr_prefix(attr, prefix).collect()
     }
 
     /// Triples of one attribute whose string value is within edit
     /// distance `k` of `target` (the naive evaluation the q-gram index
     /// competes against).
     pub fn by_attr_similar(&self, attr: &str, target: &str, k: usize) -> Vec<&Triple> {
-        self.triples
-            .iter()
-            .filter(|t| {
-                t.attr.as_ref() == attr
-                    && t.value.as_str().is_some_and(|s| edit_distance(s, target) <= k)
-            })
-            .collect()
+        self.iter_by_attr_similar(attr, target, k).collect()
+    }
+
+    // Iterator-returning variants of the `by_*` scans: callers that
+    // post-filter (semi-join style) or count can walk candidates without
+    // materializing a Vec of drops first.
+
+    /// Borrowed scan over the triples of one object.
+    pub fn iter_by_oid<'s, 'q>(
+        &'s self,
+        oid: &'q Oid,
+    ) -> impl Iterator<Item = &'s Triple> + use<'s, 'q> {
+        self.triples.iter().filter(move |t| &t.oid == oid)
+    }
+
+    /// Borrowed scan over exact `(attr, value)` matches.
+    pub fn iter_by_attr_value<'s, 'q>(
+        &'s self,
+        attr: &'q str,
+        value: &'q Value,
+    ) -> impl Iterator<Item = &'s Triple> + use<'s, 'q> {
+        self.triples.iter().filter(move |t| t.attr.as_ref() == attr && t.value.eq_values(value))
+    }
+
+    /// Borrowed scan over one attribute's triples with `lo ≤ value ≤ hi`.
+    pub fn iter_by_attr_range<'s, 'q>(
+        &'s self,
+        attr: &'q str,
+        lo: Option<&'q Value>,
+        hi: Option<&'q Value>,
+    ) -> impl Iterator<Item = &'s Triple> + use<'s, 'q> {
+        self.triples.iter().filter(move |t| {
+            t.attr.as_ref() == attr
+                && lo.is_none_or(|l| t.value.cmp_values(l) != std::cmp::Ordering::Less)
+                && hi.is_none_or(|h| t.value.cmp_values(h) != std::cmp::Ordering::Greater)
+        })
+    }
+
+    /// Borrowed scan over triples with a given value under any attribute.
+    pub fn iter_by_value<'s, 'q>(
+        &'s self,
+        value: &'q Value,
+    ) -> impl Iterator<Item = &'s Triple> + use<'s, 'q> {
+        self.triples.iter().filter(move |t| t.value.eq_values(value))
+    }
+
+    /// Borrowed scan over one attribute's triples with a string prefix.
+    pub fn iter_by_attr_prefix<'s, 'q>(
+        &'s self,
+        attr: &'q str,
+        prefix: &'q str,
+    ) -> impl Iterator<Item = &'s Triple> + use<'s, 'q> {
+        self.triples.iter().filter(move |t| {
+            t.attr.as_ref() == attr && t.value.as_str().is_some_and(|s| s.starts_with(prefix))
+        })
+    }
+
+    /// Borrowed scan over one attribute's triples within edit distance
+    /// `k` of `target`.
+    pub fn iter_by_attr_similar<'s, 'q>(
+        &'s self,
+        attr: &'q str,
+        target: &'q str,
+        k: usize,
+    ) -> impl Iterator<Item = &'s Triple> + use<'s, 'q> {
+        self.triples.iter().filter(move |t| {
+            t.attr.as_ref() == attr
+                && t.value.as_str().is_some_and(|s| edit_distance(s, target) <= k)
+        })
     }
 }
 

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use unistore_util::{FxHashMap, FxHashSet};
+use unistore_util::{intern, FxHashMap, FxHashSet};
 
 use crate::triple::Triple;
 use crate::value::Value;
@@ -32,17 +32,18 @@ pub struct Mapping {
 }
 
 impl Mapping {
-    /// Creates a correspondence.
+    /// Creates a correspondence (both sides are attribute names, so
+    /// they intern).
     pub fn new(from: &str, to: &str) -> Mapping {
-        Mapping { from: Arc::from(from), to: Arc::from(to) }
+        Mapping { from: intern(from), to: intern(to) }
     }
 
     /// The metadata triple representing this mapping.
     pub fn to_triple(&self) -> Triple {
         Triple {
             oid: crate::triple::Oid(self.from.clone()),
-            attr: Arc::from(MAPS_TO),
-            value: Value::Str(self.to.clone()),
+            attr: intern(MAPS_TO),
+            value: Value::Str(self.to.clone().into()),
         }
     }
 
@@ -52,7 +53,7 @@ impl Mapping {
             return None;
         }
         let to = t.value.as_str()?;
-        Some(Mapping { from: t.oid.0.clone(), to: Arc::from(to) })
+        Some(Mapping { from: t.oid.0.clone(), to: intern(to) })
     }
 }
 
@@ -95,7 +96,7 @@ impl MappingSet {
     /// All attributes equivalent to `attr` (symmetric-transitive
     /// closure), including `attr` itself, in deterministic order.
     pub fn expand(&self, attr: &str) -> Vec<Arc<str>> {
-        let start: Arc<str> = Arc::from(attr);
+        let start: Arc<str> = intern(attr);
         let mut seen: FxHashSet<Arc<str>> = FxHashSet::default();
         let mut order = vec![start.clone()];
         seen.insert(start.clone());

@@ -18,13 +18,27 @@ const PAD_TAIL: u8 = 0x02;
 
 /// The positional-free q-grams of `s`, packed into `u32`s (3 bytes
 /// big-endian). The padded string contributes `len(s) + q - 1` grams.
+///
+/// Padding is virtual — windows index straight into `s` with the pads
+/// synthesized at the boundaries — so the only allocation is the
+/// exactly-sized output Vec.
 pub fn qgrams(s: &str) -> Vec<u32> {
     let bytes = s.as_bytes();
-    let mut padded = Vec::with_capacity(bytes.len() + 2 * (QGRAM_Q - 1));
-    padded.extend(std::iter::repeat_n(PAD_HEAD, QGRAM_Q - 1));
-    padded.extend_from_slice(bytes);
-    padded.extend(std::iter::repeat_n(PAD_TAIL, QGRAM_Q - 1));
-    padded.windows(QGRAM_Q).map(pack_gram).collect()
+    let n = bytes.len();
+    let at = |j: usize| {
+        if j < QGRAM_Q - 1 {
+            PAD_HEAD
+        } else if j < QGRAM_Q - 1 + n {
+            bytes[j - (QGRAM_Q - 1)]
+        } else {
+            PAD_TAIL
+        }
+    };
+    let mut out = Vec::with_capacity(n + QGRAM_Q - 1);
+    for i in 0..n + QGRAM_Q - 1 {
+        out.push(pack_gram(&[at(i), at(i + 1), at(i + 2)]));
+    }
+    out
 }
 
 /// Packs one 3-byte gram into a `u32` (24 significant bits).
@@ -69,26 +83,39 @@ pub fn passes_count_filter(s: &str, t: &str, k: usize) -> bool {
 }
 
 /// Levenshtein edit distance (unit costs), two-row DP.
+///
+/// Walks `char` boundaries directly (no `Vec<char>` materialization)
+/// and reuses thread-local DP rows, so the similarity-verification leaf
+/// path — which calls this per candidate — is allocation-free in steady
+/// state.
 pub fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
     if a.is_empty() {
-        return b.len();
+        return b.chars().count();
     }
     if b.is_empty() {
-        return a.len();
+        return a.chars().count();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+    thread_local! {
+        static ROWS: std::cell::RefCell<(Vec<usize>, Vec<usize>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    ROWS.with(|rows| {
+        let (prev, cur) = &mut *rows.borrow_mut();
+        let m = b.chars().count();
+        prev.clear();
+        prev.extend(0..=m);
+        cur.clear();
+        cur.resize(m + 1, 0);
+        for (i, ca) in a.chars().enumerate() {
+            cur[0] = i + 1;
+            for (j, cb) in b.chars().enumerate() {
+                let sub = prev[j] + usize::from(ca != cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(prev, cur);
         }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
+        prev[m]
+    })
 }
 
 #[cfg(test)]

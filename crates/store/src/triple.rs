@@ -10,9 +10,10 @@ use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 
+use unistore_util::compact::intern;
 use unistore_util::fxhash::hash_bytes;
 use unistore_util::item::Item;
-use unistore_util::wire::{Wire, WireError};
+use unistore_util::wire::{decode_str, Wire, WireError};
 
 use crate::value::Value;
 
@@ -87,9 +88,11 @@ pub struct Triple {
 }
 
 impl Triple {
-    /// Constructs a triple.
+    /// Constructs a triple. Attribute names form a tiny closed set per
+    /// schema, so they are interned: every triple of one attribute
+    /// shares a single allocation.
     pub fn new(oid: &str, attr: &str, value: Value) -> Triple {
-        Triple { oid: Oid::new(oid), attr: Arc::from(attr), value }
+        Triple { oid: Oid::new(oid), attr: intern(attr), value }
     }
 
     /// The attribute without its namespace prefix.
@@ -122,7 +125,9 @@ impl Wire for Triple {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(Triple {
             oid: Oid::decode(buf)?,
-            attr: Arc::<str>::decode(buf)?,
+            // Attributes intern on decode: steady-state ingest of a
+            // known schema allocates nothing for this field.
+            attr: decode_str(buf, intern)?,
             value: Value::decode(buf)?,
         })
     }

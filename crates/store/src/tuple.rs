@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use unistore_util::FxHashMap;
+use unistore_util::{intern, FxHashMap};
 
 use crate::triple::{Oid, Triple};
 use crate::value::Value;
@@ -27,9 +27,10 @@ impl Tuple {
         Tuple { oid: Oid::new(oid), fields: Vec::new() }
     }
 
-    /// Adds a field (builder style).
+    /// Adds a field (builder style). Attribute names intern, matching
+    /// [`Triple::new`].
     pub fn with(mut self, attr: &str, value: Value) -> Tuple {
-        self.fields.push((Arc::from(attr), value));
+        self.fields.push((intern(attr), value));
         self
     }
 
@@ -55,24 +56,33 @@ impl Tuple {
     /// multi-valued: distinct values of one attribute all survive; only
     /// exact `(attr, value)` duplicates collapse.
     pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Vec<Tuple> {
-        let mut order: Vec<Oid> = Vec::new();
-        let mut groups: FxHashMap<Oid, Vec<(Arc<str>, Value)>> = FxHashMap::default();
+        // Typical vertical decompositions carry a handful of fields per
+        // tuple; pre-sizing the field Vec skips its first growth steps.
+        const FIELDS_HINT: usize = 4;
+        let triples = triples.into_iter();
+        // Tuples accumulate in first-occurrence order; the map only
+        // translates oid → slot, so assembling the result needs no
+        // second hash pass (the old shape re-hashed every oid on a
+        // final `groups.remove`).
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut slots: FxHashMap<Oid, usize> =
+            FxHashMap::with_capacity_and_hasher(triples.size_hint().0, Default::default());
         for t in triples {
-            let entry = groups.entry(t.oid.clone()).or_insert_with(|| {
-                order.push(t.oid.clone());
-                Vec::new()
-            });
-            if !entry.iter().any(|(a, v)| *a == t.attr && v.eq_values(&t.value)) {
-                entry.push((t.attr, t.value));
+            let slot = match slots.get(&t.oid) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = tuples.len();
+                    slots.insert(t.oid.clone(), slot);
+                    tuples.push(Tuple { oid: t.oid, fields: Vec::with_capacity(FIELDS_HINT) });
+                    slot
+                }
+            };
+            let fields = &mut tuples[slot].fields;
+            if !fields.iter().any(|(a, v)| *a == t.attr && v.eq_values(&t.value)) {
+                fields.push((t.attr, t.value));
             }
         }
-        order
-            .into_iter()
-            .map(|oid| {
-                let fields = groups.remove(&oid).unwrap_or_default();
-                Tuple { oid, fields }
-            })
-            .collect()
+        tuples
     }
 }
 

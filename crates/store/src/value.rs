@@ -8,18 +8,22 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 
 use unistore_util::ophash;
 use unistore_util::wire::{Wire, WireError};
+use unistore_util::CompactStr;
 
 /// A triple's value.
+///
+/// Strings ride [`CompactStr`]: short payloads (≤ 22 bytes — OIDs,
+/// names, most attribute values) live inline, so cloning a `Value`
+/// never touches the allocator.
 #[derive(Clone, Debug)]
 pub enum Value {
     /// UTF-8 string.
-    Str(Arc<str>),
+    Str(CompactStr),
     /// Signed integer (also used for years/dates).
     Int(i64),
     /// Floating-point number.
@@ -33,7 +37,7 @@ const CLASS_STR: u64 = 1;
 impl Value {
     /// Convenience constructor from `&str`.
     pub fn str(s: &str) -> Value {
-        Value::Str(Arc::from(s))
+        Value::Str(CompactStr::new(s))
     }
 
     /// The numeric interpretation, if any (ints widen to `f64`).
@@ -48,7 +52,7 @@ impl Value {
     /// The string payload, if any.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }

@@ -1,0 +1,282 @@
+//! Inline/interned small strings for allocation-free hot paths.
+//!
+//! [`CompactStr`] stores strings of up to [`INLINE_CAP`] bytes inline
+//! (no heap allocation at all — construction, clone and drop are plain
+//! memcpys) and spills longer strings to a ref-counted `Arc<str>` whose
+//! clone is a refcount bump. OIDs and attribute values in the UniStore
+//! workloads are short identifier-like strings, so the inline arm
+//! covers the hot path.
+//!
+//! [`intern`] canonicalizes strings drawn from a *small closed set* —
+//! attribute names — through a global table, so the billionth decode of
+//! `"pub:year"` shares one allocation with the first. The table is
+//! size-capped: adversarial high-cardinality input degrades to plain
+//! allocation, never unbounded memory.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::fxhash::FxHashSet;
+use crate::wire::{decode_str, put_str, str_wire_size, Wire, WireError};
+
+/// Longest string stored inline (sized so `CompactStr` is 24 bytes —
+/// one machine word wider than `Arc<str>`).
+pub const INLINE_CAP: usize = 22;
+
+/// A small-string-optimized immutable string.
+///
+/// Invariant: strings of length ≤ [`INLINE_CAP`] are *always* inline,
+/// so representation is a function of content (equality and hashing
+/// just delegate to `str`).
+#[derive(Clone)]
+pub struct CompactStr(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, bytes: [u8; INLINE_CAP] },
+    Heap(Arc<str>),
+}
+
+impl CompactStr {
+    /// Constructs from a borrowed string: inline when it fits, one heap
+    /// allocation otherwise.
+    pub fn new(s: &str) -> CompactStr {
+        match s.len() <= INLINE_CAP {
+            true => {
+                let mut bytes = [0u8; INLINE_CAP];
+                bytes[..s.len()].copy_from_slice(s.as_bytes());
+                CompactStr(Repr::Inline { len: s.len() as u8, bytes })
+            }
+            false => CompactStr(Repr::Heap(Arc::from(s))),
+        }
+    }
+
+    /// The string contents.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            // Inline bytes always originate from a valid `&str` whose
+            // length was recorded exactly.
+            Repr::Inline { len, bytes } => unsafe {
+                std::str::from_utf8_unchecked(&bytes[..*len as usize])
+            },
+            Repr::Heap(s) => s,
+        }
+    }
+
+    /// True when the string is stored inline (no heap storage).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+}
+
+impl Deref for CompactStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for CompactStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for CompactStr {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for CompactStr {
+    fn from(s: &str) -> CompactStr {
+        CompactStr::new(s)
+    }
+}
+
+impl From<Arc<str>> for CompactStr {
+    fn from(s: Arc<str>) -> CompactStr {
+        // Short strings re-inline (keeps the representation invariant;
+        // the copy is cheaper than the refcount traffic it avoids).
+        match s.len() <= INLINE_CAP {
+            true => CompactStr::new(&s),
+            false => CompactStr(Repr::Heap(s)),
+        }
+    }
+}
+
+impl From<String> for CompactStr {
+    fn from(s: String) -> CompactStr {
+        match s.len() <= INLINE_CAP {
+            true => CompactStr::new(&s),
+            false => CompactStr(Repr::Heap(s.into())),
+        }
+    }
+}
+
+impl From<&CompactStr> for Arc<str> {
+    fn from(s: &CompactStr) -> Arc<str> {
+        match &s.0 {
+            Repr::Inline { .. } => Arc::from(s.as_str()),
+            Repr::Heap(a) => a.clone(),
+        }
+    }
+}
+
+impl PartialEq for CompactStr {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for CompactStr {}
+
+impl PartialEq<str> for CompactStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialOrd for CompactStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompactStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for CompactStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Display for CompactStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for CompactStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl Wire for CompactStr {
+    fn encode(&self, buf: &mut BytesMut) {
+        // Byte-identical to `String`/`Arc<str>` on the wire.
+        put_str(buf, self.as_str());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        // Short strings decode straight into the inline arm: the only
+        // copy is borrowed-bytes → stack.
+        decode_str(buf, CompactStr::new)
+    }
+
+    fn wire_size(&self) -> usize {
+        str_wire_size(self.as_str())
+    }
+}
+
+/// Interned strings beyond this count fall through to plain allocation
+/// (attribute vocabularies are tiny; the cap guards adversarial input).
+const INTERN_CAP: usize = 4096;
+
+static INTERNER: OnceLock<Mutex<FxHashSet<Arc<str>>>> = OnceLock::new();
+
+/// Returns the canonical `Arc<str>` for `s`. The first caller per
+/// distinct string pays one allocation; every later call — decoding a
+/// triple's attribute off the wire, expanding a mapping — is a table
+/// hit plus a refcount bump.
+pub fn intern(s: &str) -> Arc<str> {
+    let table = INTERNER.get_or_init(|| Mutex::new(FxHashSet::default()));
+    let mut table = table.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = table.get(s) {
+        return hit.clone();
+    }
+    let fresh: Arc<str> = Arc::from(s);
+    if table.len() < INTERN_CAP {
+        table.insert(fresh.clone());
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_threshold() {
+        let at = "x".repeat(INLINE_CAP);
+        let over = "x".repeat(INLINE_CAP + 1);
+        assert!(CompactStr::new(&at).is_inline());
+        assert!(!CompactStr::new(&over).is_inline());
+        assert_eq!(CompactStr::new(&at).as_str(), at);
+        assert_eq!(CompactStr::new(&over).as_str(), over);
+        assert!(CompactStr::new("").is_inline());
+    }
+
+    #[test]
+    fn short_arc_reinlines() {
+        let a: Arc<str> = Arc::from("short");
+        assert!(CompactStr::from(a).is_inline());
+        let long: Arc<str> = Arc::from("x".repeat(40));
+        let c = CompactStr::from(long.clone());
+        assert!(!c.is_inline());
+        // Heap arm shares the Arc, no copy.
+        assert!(std::ptr::eq(Arc::<str>::from(&c).as_ptr(), long.as_ptr()));
+    }
+
+    #[test]
+    fn equality_hash_order_delegate_to_str() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = CompactStr::new("pub:year");
+        let b = CompactStr::from(Arc::<str>::from("pub:year"));
+        assert_eq!(a, b);
+        assert!(a < CompactStr::new("pub:z"));
+        let h = |c: &CompactStr| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn wire_identical_to_arc_str() {
+        for s in ["", "year", &"x".repeat(22), &"y".repeat(100), "ünïcodé"] {
+            let c = CompactStr::new(s);
+            let a: Arc<str> = Arc::from(s);
+            assert_eq!(c.to_bytes(), a.to_bytes(), "encoding drift for {s:?}");
+            assert_eq!(c.wire_size(), a.wire_size());
+            let back = CompactStr::from_bytes(&c.to_bytes()).unwrap();
+            assert_eq!(back.as_str(), s);
+            assert_eq!(back.is_inline(), s.len() <= INLINE_CAP);
+        }
+    }
+
+    #[test]
+    fn compact_str_is_24_bytes() {
+        assert_eq!(std::mem::size_of::<CompactStr>(), 24);
+    }
+
+    #[test]
+    fn intern_returns_shared_storage() {
+        let a = intern("confname-test-attr");
+        let b = intern("confname-test-attr");
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()), "interned strings share one allocation");
+        assert_eq!(&*a, "confname-test-attr");
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod bits;
 pub mod bloom;
+pub mod compact;
 pub mod fxhash;
 pub mod interval;
 pub mod item;
@@ -36,5 +37,6 @@ pub mod zipf;
 
 pub use bits::BitPath;
 pub use bloom::{BloomFilter, ItemFilter};
+pub use compact::{intern, CompactStr};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use keys::Key;

@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+pub mod pool;
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -51,17 +53,21 @@ pub trait Wire: Sized {
 
     /// Number of bytes [`Wire::encode`] would produce.
     ///
-    /// Default implementation encodes into a scratch buffer; hot types
-    /// should override with arithmetic.
+    /// Default implementation encodes into a **pooled** scratch buffer
+    /// (the simulator sizes every send through here, so the scratch
+    /// bytes are allocation-free in steady state); hot types should
+    /// still override with arithmetic.
     fn wire_size(&self) -> usize {
-        let mut buf = BytesMut::new();
-        self.encode(&mut buf);
-        buf.len()
+        pool::with_buf(|buf| {
+            self.encode(buf);
+            buf.len()
+        })
     }
 
-    /// Convenience: encodes into a fresh buffer.
+    /// Convenience: encodes into a fresh buffer, sized exactly (one
+    /// allocation; the sizing pass reuses pooled scratch storage).
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.wire_size());
         self.encode(&mut buf);
         buf.freeze()
     }
@@ -248,42 +254,62 @@ impl Wire for f64 {
     }
 }
 
+/// Decodes a length-prefixed UTF-8 string, validating **in place** over
+/// the incoming buffer and handing the borrowed `&str` to `f` — the
+/// caller builds its target type (`String`, `Arc<str>`, inline bytes)
+/// in a single copy, with no intermediate `Vec<u8>`.
+pub fn decode_str<R>(buf: &mut Bytes, f: impl FnOnce(&str) -> R) -> Result<R, WireError> {
+    let len = get_varint(buf)?;
+    if len > MAX_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    if buf.remaining() < len {
+        return Err(WireError::UnexpectedEof);
+    }
+    let s = std::str::from_utf8(&buf.chunk()[..len]).map_err(|_| WireError::BadUtf8)?;
+    let out = f(s);
+    buf.advance(len);
+    Ok(out)
+}
+
+/// Encodes a length-prefixed UTF-8 string (shared by every string-like
+/// wire type so their encodings stay byte-identical).
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Wire size of a length-prefixed UTF-8 string.
+pub fn str_wire_size(s: &str) -> usize {
+    varint_size(s.len() as u64) + s.len()
+}
+
 impl Wire for String {
     fn encode(&self, buf: &mut BytesMut) {
-        put_varint(buf, self.len() as u64);
-        buf.put_slice(self.as_bytes());
+        put_str(buf, self);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
-        let len = get_varint(buf)?;
-        if len > MAX_LEN {
-            return Err(WireError::BadLength(len));
-        }
-        let len = len as usize;
-        if buf.remaining() < len {
-            return Err(WireError::UnexpectedEof);
-        }
-        let raw = buf.copy_to_bytes(len);
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+        decode_str(buf, str::to_owned)
     }
 
     fn wire_size(&self) -> usize {
-        varint_size(self.len() as u64) + self.len()
+        str_wire_size(self)
     }
 }
 
 impl Wire for Arc<str> {
     fn encode(&self, buf: &mut BytesMut) {
-        put_varint(buf, self.len() as u64);
-        buf.put_slice(self.as_bytes());
+        put_str(buf, self);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
-        Ok(String::decode(buf)?.into())
+        decode_str(buf, |s| Arc::from(s))
     }
 
     fn wire_size(&self) -> usize {
-        varint_size(self.len() as u64) + self.len()
+        str_wire_size(self)
     }
 }
 
@@ -858,6 +884,24 @@ mod tests {
         #[test]
         fn prop_vec_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..32)) {
             roundtrip(v);
+        }
+
+        /// Pooling is invisible on the wire: the same value encodes to
+        /// byte-identical output and reports the same size with the
+        /// thread-local scratch pool on and off.
+        #[test]
+        fn prop_pooling_is_wire_invisible(
+            v in proptest::collection::vec(".{0,24}", 0..16),
+        ) {
+            pool::set_enabled(true);
+            let pooled_bytes = v.to_bytes();
+            let pooled_size = v.wire_size();
+            pool::set_enabled(false);
+            let plain_bytes = v.to_bytes();
+            let plain_size = v.wire_size();
+            pool::set_enabled(true);
+            prop_assert_eq!(pooled_bytes, plain_bytes);
+            prop_assert_eq!(pooled_size, plain_size);
         }
     }
 }

@@ -164,7 +164,7 @@ impl Parser {
         let off = self.offset();
         match self.bump() {
             Token::Var(v) => Ok(Term::Var(v)),
-            Token::Str(s) => Ok(Term::Lit(Value::Str(s))),
+            Token::Str(s) => Ok(Term::Lit(Value::Str(s.into()))),
             Token::Int(i) => Ok(Term::Lit(Value::Int(i))),
             Token::Float(f) => Ok(Term::Lit(Value::Float(f))),
             other => Err(VqlError::new(format!("expected term, found {other}"), off)),
@@ -240,7 +240,7 @@ impl Parser {
         let off = self.offset();
         match self.bump() {
             Token::Var(v) => Ok(Scalar::Var(v)),
-            Token::Str(s) => Ok(Scalar::Lit(Value::Str(s))),
+            Token::Str(s) => Ok(Scalar::Lit(Value::Str(s.into()))),
             Token::Int(i) => Ok(Scalar::Lit(Value::Int(i))),
             Token::Float(f) => Ok(Scalar::Lit(Value::Float(f))),
             Token::Ident(name) if name.as_ref() == "edist" => {

@@ -404,3 +404,42 @@ fn heterogeneous_world_with_mappings_matches_oracle() {
     let dist = both.pgrid.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
     assert_eq!(dist.relation.len(), 30, "all 30 authors despite split schemas");
 }
+
+/// The wire-buffer pool is a pure optimization: with pooling forced
+/// off, every message re-sizes through a fresh scratch buffer, and the
+/// distributed answers must not move on either backend. Pool state is
+/// thread-local, so forcing it here cannot leak into other tests.
+#[test]
+fn oracle_holds_with_pooling_disabled() {
+    unistore_util::wire::pool::set_enabled(false);
+    let mut both = world_clusters(16, 47);
+    check(
+        &mut both,
+        &[
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 AND ?g < 45}",
+            "SELECT ?n,?conf WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)}",
+        ],
+    );
+    assert_eq!(unistore_util::wire::pool::pooled_count(), 0, "disabled pool must stay empty");
+    unistore_util::wire::pool::set_enabled(true);
+}
+
+/// The same queries with pooling explicitly on (the default): the
+/// pooled scratch path and the disabled path must agree bit-for-bit at
+/// the relation level across both backends.
+#[test]
+fn oracle_holds_with_pooling_enabled() {
+    unistore_util::wire::pool::set_enabled(true);
+    let mut both = world_clusters(16, 47);
+    check(
+        &mut both,
+        &[
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 AND ?g < 45}",
+            "SELECT ?n,?conf WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)}",
+        ],
+    );
+}
