@@ -15,11 +15,13 @@
 //! batched write pipeline vs the per-op fan-out, both backends) and
 //! `BENCH_concurrency.json` (the pipelined query driver: throughput
 //! and tail latency vs offered load, uniform vs Zipf-skewed reads,
-//! result cache off vs on, both backends).
+//! result cache off vs on, both backends). `fault-snapshot` runs the
+//! failure-masking availability matrix (fault class x backend x retry
+//! policy) and writes `BENCH_faults.json`.
 
 use unistore::backends::{chord_config, ChordUniCluster};
 use unistore::config::ScanPref;
-use unistore::{PlanMode, UniCluster, UniConfig};
+use unistore::{BackoffPolicy, PlanMode, UniCluster, UniConfig};
 use unistore_bench::{f, header, latency_summary, row};
 use unistore_chord::node::ChordConfig;
 use unistore_chord::{ChordCluster, ChordRangeMode};
@@ -46,6 +48,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "alloc-snapshot") {
         alloc_snapshot();
+        return;
+    }
+    if args.iter().any(|a| a == "fault-snapshot") {
+        fault_snapshot();
         return;
     }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
@@ -1122,6 +1128,369 @@ fn concurrency_snapshot() {
     json.push_str("]\n");
     std::fs::write("BENCH_concurrency.json", &json).expect("write BENCH_concurrency.json");
     println!("wrote BENCH_concurrency.json ({} rows)", rows.len());
+}
+
+/// One measured cell of the fault-availability matrix.
+struct FaultRow {
+    backend: &'static str,
+    scenario: &'static str,
+    mix: &'static str,
+    policy: &'static str,
+    queries: usize,
+    completed: usize,
+    cov90: usize,
+    mean_cov: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hedges: u64,
+}
+
+/// Headless CI entry #5: the failure-masking query layer. Runs the
+/// availability matrix (fault class x backend x retry policy): a
+/// healthy control, moderate churn + 2% message loss under point and
+/// scan mixes, and a lossy degraded path where the adaptive hedged
+/// policy races a fixed-interval retry baseline. In-code floors pin
+/// the availability claims; writes `BENCH_faults.json`.
+fn fault_snapshot() {
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        SEED,
+    );
+    fn pgrid_fault_cfg() -> UniConfig {
+        let mut cfg = UniConfig::default()
+            .with_replication(3)
+            .with_maintenance(SimTime::from_secs(10), SimTime::from_secs(30));
+        cfg.overlay.refs_per_level = 4;
+        cfg.query_timeout = SimTime::from_secs(30);
+        cfg.overlay.query_timeout = SimTime::from_secs(8);
+        cfg
+    }
+    fn chord_fault_cfg() -> UniConfig<ChordConfig> {
+        let mut cfg = chord_config();
+        cfg.overlay.replicate = true;
+        cfg.overlay.anti_entropy_interval = SimTime::from_secs(30);
+        cfg.overlay.ping_interval = SimTime::from_secs(10);
+        cfg.query_timeout = SimTime::from_secs(30);
+        cfg.overlay.query_timeout = SimTime::from_secs(8);
+        cfg
+    }
+
+    /// Issues `queries` round-robin from `origins`, `spacing` apart.
+    /// Queries the layer gives up on are charged `fail_ms` — the
+    /// client-observed time to a final answer — so no policy can
+    /// flatter its tail by failing fast. Returns
+    /// `(completed, cov90, mean_cov, p50, p99, hedges)`.
+    fn measure<O: Overlay<Item = Triple>>(
+        cluster: &mut UniCluster<O>,
+        origins: &[NodeId],
+        queries: &[String],
+        spacing: SimTime,
+        fail_ms: f64,
+    ) -> (usize, usize, f64, f64, f64, u64) {
+        let mut completed = 0usize;
+        let mut cov90 = 0usize;
+        let mut covs: Vec<f64> = Vec::with_capacity(queries.len());
+        let mut lat: Vec<f64> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let out = cluster.query(origins[i % origins.len()], q).expect("query parses");
+            let cov = out.coverage.fraction();
+            completed += out.ok as usize;
+            cov90 += (out.ok && cov >= 0.9) as usize;
+            covs.push(cov);
+            lat.push(if out.ok { out.cost.latency.as_micros() as f64 / 1000.0 } else { fail_ms });
+            if spacing > SimTime::from_micros(0) {
+                cluster.settle(spacing);
+            }
+        }
+        let mean_cov = covs.iter().sum::<f64>() / covs.len().max(1) as f64;
+        let (p50, _, p99) = latency_summary(&lat);
+        let n = cluster.net.len() as u32;
+        let hedges: u64 = (0..n).map(|i| cluster.net.node(NodeId(i)).hedges).sum();
+        (completed, cov90, mean_cov, p50, p99, hedges)
+    }
+
+    /// Installs [`ChurnConfig::moderate`] plus 2% loss, warms the RTT
+    /// windows of four stable origins while the ring is healthy, lets
+    /// churn reach steady state, then runs the mix spaced 10 s apart.
+    fn churn_cell<O: Overlay<Item = Triple>>(
+        mut cluster: UniCluster<O>,
+        world: &PubWorld,
+        queries: &[String],
+    ) -> (usize, usize, f64, f64, f64, u64) {
+        cluster.load(world.all_tuples());
+        let mut rng = unistore_util::rng::derive_rng(SEED, unistore_util::rng::stream::CHURN);
+        let churned = install_churn(
+            &mut cluster.net,
+            &mut rng,
+            &ChurnConfig::moderate(),
+            SimTime::from_secs(7_200),
+        );
+        let n = cluster.net.len() as u32;
+        // Queries originate at peers outside the churn set — the
+        // paper's stable infrastructure peers. The *data* they reach
+        // still lives on churning nodes; only the client endpoint is
+        // pinned up.
+        let origins: Vec<NodeId> =
+            (0..n).map(NodeId).filter(|id| !churned.contains(id)).take(4).collect();
+        assert!(origins.len() == 4, "churn spared only {} of 4 needed origins", origins.len());
+        let warm = unistore_workload::zipf_read_queries(world, "published_in", 40, 0.0, SEED ^ 3);
+        for (i, q) in warm.iter().enumerate() {
+            let _ = cluster.query(origins[i % origins.len()], q);
+        }
+        cluster.net.set_loss_rate(0.02);
+        cluster.settle(SimTime::from_secs(600));
+        measure(&mut cluster, &origins, queries, SimTime::from_secs(10), 120_000.0)
+    }
+
+    /// A fixed origin on a lossy (5%) but churn-free network: the
+    /// degraded path where retry policy, not data placement, decides
+    /// the tail. RTT windows warm before the loss switches on.
+    fn degraded_cell<O: Overlay<Item = Triple>>(
+        mut cluster: UniCluster<O>,
+        world: &PubWorld,
+        queries: &[String],
+    ) -> (usize, usize, f64, f64, f64, u64) {
+        cluster.load(world.all_tuples());
+        let origin = NodeId(0);
+        let warm = unistore_workload::zipf_read_queries(world, "published_in", 12, 0.0, SEED ^ 4);
+        for q in &warm {
+            let _ = cluster.query(origin, q);
+        }
+        cluster.net.set_loss_rate(0.05);
+        measure(&mut cluster, &[origin], queries, SimTime::from_micros(0), 120_000.0)
+    }
+
+    let mut rows: Vec<FaultRow> = Vec::new();
+
+    // --- Healthy control: masking layer on, nothing failing. -------
+    let mixed: Vec<String> = {
+        let mut v = unistore_workload::zipf_read_queries(&world, "published_in", 8, 0.8, SEED ^ 1);
+        v.push("SELECT ?n WHERE {(?a,'name',?n)}".into());
+        v.push("SELECT ?c WHERE {(?x,'confname',?c)}".into());
+        v.push("SELECT ?n,?p WHERE {(?a,'name',?n) (?a,'num_of_pubs',?p) FILTER ?p < 8}".into());
+        v.push("SELECT ?n,?e WHERE {(?a,'name',?n) (?a,'email',?e)}".into());
+        v
+    };
+    for backend in ["P-Grid", "Chord+buckets"] {
+        let cell = if backend == "P-Grid" {
+            let mut c = UniCluster::build(16, pgrid_fault_cfg().with_min_coverage(0.9), SEED);
+            c.load(world.all_tuples());
+            measure(&mut c, &[NodeId(0)], &mixed, SimTime::from_micros(0), 120_000.0)
+        } else {
+            let mut c =
+                ChordUniCluster::build_overlay(16, chord_fault_cfg().with_min_coverage(0.9), SEED);
+            c.load(world.all_tuples());
+            measure(&mut c, &[NodeId(0)], &mixed, SimTime::from_micros(0), 120_000.0)
+        };
+        rows.push(FaultRow {
+            backend,
+            scenario: "healthy",
+            mix: "mixed",
+            policy: "adaptive+hedged",
+            queries: mixed.len(),
+            completed: cell.0,
+            cov90: cell.1,
+            mean_cov: cell.2,
+            p50_ms: cell.3,
+            p99_ms: cell.4,
+            hedges: cell.5,
+        });
+    }
+
+    // --- Moderate churn + 2% loss, point and scan mixes. ------------
+    const N_CHURN_Q: usize = 60;
+    let points =
+        unistore_workload::zipf_read_queries(&world, "published_in", N_CHURN_Q, 1.1, SEED ^ 2);
+    let scans: Vec<String> = (0..N_CHURN_Q)
+        .map(|i| {
+            match i % 3 {
+                0 => "SELECT ?n WHERE {(?a,'name',?n)}",
+                1 => "SELECT ?c WHERE {(?x,'confname',?c)}",
+                _ => "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}",
+            }
+            .to_string()
+        })
+        .collect();
+    for (mix, queries) in [("points", &points), ("scans", &scans)] {
+        for backend in ["P-Grid", "Chord+buckets"] {
+            let cell = if backend == "P-Grid" {
+                let c = UniCluster::build(24, pgrid_fault_cfg().with_min_coverage(0.9), SEED);
+                churn_cell(c, &world, queries)
+            } else {
+                let c = ChordUniCluster::build_overlay(
+                    24,
+                    chord_fault_cfg().with_min_coverage(0.9),
+                    SEED,
+                );
+                churn_cell(c, &world, queries)
+            };
+            rows.push(FaultRow {
+                backend,
+                scenario: "churn+loss2%",
+                mix,
+                policy: "adaptive+hedged",
+                queries: queries.len(),
+                completed: cell.0,
+                cov90: cell.1,
+                mean_cov: cell.2,
+                p50_ms: cell.3,
+                p99_ms: cell.4,
+                hedges: cell.5,
+            });
+        }
+    }
+
+    // --- Degraded path: adaptive+hedged vs fixed-interval retries. --
+    let degraded = unistore_workload::zipf_read_queries(&world, "published_in", 48, 0.0, SEED ^ 5);
+    let fixed = BackoffPolicy {
+        rtt_multiplier: 0.0,
+        min_attempt: SimTime::from_secs(10),
+        hedging: false,
+        hedge_multiplier: 2.0,
+    };
+    for (policy_label, policy) in
+        [("adaptive+hedged", BackoffPolicy::default()), ("fixed-10s", fixed)]
+    {
+        for backend in ["P-Grid", "Chord+buckets"] {
+            let cell = if backend == "P-Grid" {
+                let cfg = pgrid_fault_cfg().with_min_coverage(1.0).with_backoff(policy);
+                degraded_cell(UniCluster::build(16, cfg, SEED), &world, &degraded)
+            } else {
+                let cfg = chord_fault_cfg().with_min_coverage(1.0).with_backoff(policy);
+                degraded_cell(ChordUniCluster::build_overlay(16, cfg, SEED), &world, &degraded)
+            };
+            rows.push(FaultRow {
+                backend,
+                scenario: "loss5%",
+                mix: "points",
+                policy: policy_label,
+                queries: degraded.len(),
+                completed: cell.0,
+                cov90: cell.1,
+                mean_cov: cell.2,
+                p50_ms: cell.3,
+                p99_ms: cell.4,
+                hedges: cell.5,
+            });
+        }
+    }
+
+    println!("\n## Faults — availability matrix (fault class x backend x policy)\n");
+    header(&[
+        "backend", "scenario", "mix", "policy", "q", "done", "cov>=.9", "mean cov", "p50 ms",
+        "p99 ms", "hedges",
+    ]);
+    for r in &rows {
+        row(&[
+            r.backend.to_string(),
+            r.scenario.to_string(),
+            r.mix.to_string(),
+            r.policy.to_string(),
+            r.queries.to_string(),
+            r.completed.to_string(),
+            r.cov90.to_string(),
+            f(r.mean_cov),
+            f(r.p50_ms),
+            f(r.p99_ms),
+            r.hedges.to_string(),
+        ]);
+    }
+
+    // Floors. Healthy path: the masking layer must be invisible —
+    // everything completes at full coverage.
+    for r in rows.iter().filter(|r| r.scenario == "healthy") {
+        assert!(
+            r.completed == r.queries && (r.mean_cov - 1.0).abs() < 1e-12,
+            "{}: healthy path must complete {}/{} at coverage 1.0 (got {} at {:.4})",
+            r.backend,
+            r.queries,
+            r.queries,
+            r.completed,
+            r.mean_cov
+        );
+    }
+    // Moderate churn + 2% loss, point reads: >= 95% of queries answer
+    // with coverage >= 0.9 on BOTH backends (P-Grid via replica
+    // failover, Chord via its exact/bucket mirror pair).
+    for r in rows.iter().filter(|r| r.scenario == "churn+loss2%" && r.mix == "points") {
+        let floor = (r.queries * 95).div_ceil(100);
+        assert!(
+            r.cov90 >= floor,
+            "{} churn points: {}/{} answered with coverage >= 0.9, floor {}",
+            r.backend,
+            r.cov90,
+            r.queries,
+            floor
+        );
+    }
+    // Scan mixes degrade by design: P-Grid trees route around dead
+    // replicas, Chord scans are primary-bound. Floors pin the measured
+    // gap so a regression on either side is loud.
+    for r in rows.iter().filter(|r| r.scenario == "churn+loss2%" && r.mix == "scans") {
+        let floor = if r.backend == "P-Grid" { (r.queries * 80) / 100 } else { r.queries / 4 };
+        assert!(
+            r.cov90 >= floor,
+            "{} churn scans: {}/{} answered with coverage >= 0.9, floor {}",
+            r.backend,
+            r.cov90,
+            r.queries,
+            floor
+        );
+    }
+    // Degraded path: hedged adaptive retries must beat the fixed
+    // baseline's p99 — and must actually hedge.
+    for backend in ["P-Grid", "Chord+buckets"] {
+        let cell = |policy: &str| {
+            rows.iter()
+                .find(|r| r.scenario == "loss5%" && r.backend == backend && r.policy == policy)
+                .expect("cell")
+        };
+        let (hedged, fixed) = (cell("adaptive+hedged"), cell("fixed-10s"));
+        println!(
+            "{backend} loss5%: p99 {} ms hedged vs {} ms fixed, {} hedges",
+            f(hedged.p99_ms),
+            f(fixed.p99_ms),
+            hedged.hedges
+        );
+        assert!(
+            hedged.p99_ms < fixed.p99_ms,
+            "{backend}: hedged p99 ({:.1} ms) must beat fixed-retry p99 ({:.1} ms)",
+            hedged.p99_ms,
+            fixed.p99_ms
+        );
+        assert!(hedged.hedges > 0, "{backend}: the hedged cell never hedged");
+        assert!(fixed.hedges == 0, "{backend}: the fixed cell must not hedge");
+        assert!(
+            hedged.completed >= fixed.completed,
+            "{backend}: hedging lost completions ({} vs {})",
+            hedged.completed,
+            fixed.completed
+        );
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"backend\": \"{}\", \"scenario\": \"{}\", \"mix\": \"{}\", \
+             \"policy\": \"{}\", \"queries\": {}, \"completed\": {}, \"cov90\": {}, \
+             \"mean_cov\": {:.4}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"hedges\": {}}}{}\n",
+            r.backend,
+            r.scenario,
+            r.mix,
+            r.policy,
+            r.queries,
+            r.completed,
+            r.cov90,
+            r.mean_cov,
+            r.p50_ms,
+            r.p99_ms,
+            r.hedges,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("wrote BENCH_faults.json ({} rows)", rows.len());
 }
 
 /// One measured (backend, mode) cell of the ingest comparison.

@@ -79,7 +79,7 @@ impl<I: Item> ChordCluster<I> {
         }
         for &(_, id) in &topo.ring_order {
             let w = topo.wiring(id);
-            net.node_mut(id).set_topology(w.predecessor_ring, w.successor, w.fingers);
+            net.node_mut(id).set_topology(w.predecessor, w.successor, w.successor2, w.fingers);
         }
 
         ChordCluster { net, topo, cfg, next_qid: 1, rng }
@@ -366,11 +366,125 @@ mod tests {
     }
 
     #[test]
+    fn anti_entropy_repairs_replica_that_missed_pushes() {
+        let cfg = ChordConfig {
+            replicate: true,
+            anti_entropy_interval: SimTime::from_secs(5),
+            ..ChordConfig::default()
+        };
+        let mut c: ChordCluster<RawItem> =
+            ChordCluster::build(8, cfg, ConstantLatency(SimTime::from_millis(10)), 9);
+        // An adjacent (primary, replica) pair on the ring.
+        let (_, primary) = c.topo.ring_order[0];
+        let (_, replica) = c.topo.ring_order[1];
+
+        // The replica misses every push: crash it, write through the
+        // protocol into the primary's exact-index range, revive it.
+        c.net.schedule_down(replica, c.net.now());
+        let mut written = Vec::new();
+        for k in 0..200u64 {
+            let key = k << 45;
+            let ring_key = ring_key_exact(key);
+            if c.responsible_node(ring_key) != primary {
+                continue;
+            }
+            let qid = c.fresh_qid();
+            c.net.inject(
+                primary,
+                ChordMsg::Insert {
+                    qid,
+                    ring_key,
+                    key,
+                    item: RawItem(k),
+                    version: 0,
+                    origin: primary,
+                    hops: 0,
+                },
+            );
+            written.push(key);
+        }
+        assert!(written.len() >= 8, "need a meaningful batch ({} keys)", written.len());
+        let settle = c.net.now() + SimTime::from_secs(1);
+        while c.net.now() < settle && c.net.step() {}
+        assert_eq!(c.net.node(replica).store().len(), 0, "pushes to the dead replica are lost");
+
+        // Revival re-arms the anti-entropy chain; within a few jittered
+        // periods the digest pull repairs everything the replica missed.
+        c.net.schedule_up(replica, c.net.now());
+        let deadline = c.net.now() + SimTime::from_secs(30);
+        while c.net.now() < deadline && c.net.step() {}
+        let digest = c.net.node(replica).store().digest();
+        let missing: Vec<_> = c
+            .net
+            .node(primary)
+            .store()
+            .newer_than(&digest)
+            .into_iter()
+            .filter(|e| c.responsible_node(e.0 .0) == primary)
+            .collect();
+        assert!(missing.is_empty(), "replica still missing {} records", missing.len());
+
+        // Replica copies answer no queries: a broadcast over the whole
+        // key space sees each written record exactly once.
+        let out = c.range(primary, 0, u64::MAX, ChordRangeMode::Broadcast);
+        assert!(out.complete);
+        let mut got: Vec<u64> = out.entries.iter().map(|(k, _)| *k).collect();
+        got.sort_unstable();
+        assert_eq!(got, written, "repair must not duplicate broadcast results");
+    }
+
+    #[test]
     fn singleton_ring_works() {
         let mut c = cluster(1);
         c.preload(5, RawItem(5));
         let out = c.lookup(NodeId(0), 5);
         assert!(out.ok);
         assert_eq!(out.entries.len(), 1);
+    }
+
+    #[test]
+    fn suspected_peers_are_routed_around_and_forgiven() {
+        let cfg = ChordConfig {
+            ping_interval: SimTime::from_secs(5),
+            ping_timeout: SimTime::from_secs(1),
+            ..ChordConfig::default()
+        };
+        let mut c: ChordCluster<RawItem> =
+            ChordCluster::build(16, cfg, ConstantLatency(SimTime::from_millis(10)), 9);
+        for k in 0..64u64 {
+            c.preload(k << 55, RawItem(k));
+        }
+        let dead = c.topo.ring_order[3].1;
+        let live: Vec<NodeId> = (0..16u32).map(NodeId).filter(|&n| n != dead).collect();
+
+        // Crash one node: within a probe round its peers suspect it.
+        c.net.schedule_down(dead, c.net.now());
+        let deadline = c.net.now() + SimTime::from_secs(20);
+        while c.net.now() < deadline && c.net.step() {}
+        let suspecting = live.iter().filter(|&&n| c.net.node(n).suspected.contains(&dead)).count();
+        assert!(suspecting > 0, "no peer suspected the dead node after a probe round");
+
+        // Every key whose exact-index owner still lives must resolve:
+        // routes that used the dead node as a finger detour around it.
+        let (mut ok, mut total) = (0usize, 0usize);
+        for k in 0..64u64 {
+            let key = k << 55;
+            if c.responsible_node(ring_key_exact(key)) == dead {
+                continue;
+            }
+            total += 1;
+            let out = c.lookup(live[0], key);
+            ok += (out.ok && !out.entries.is_empty()) as usize;
+        }
+        assert!(total >= 32, "need a meaningful surviving key set ({total})");
+        assert_eq!(ok, total, "a live owner's keys must route around the dead finger");
+
+        // Revival: the next probe round's pong (or any traffic) clears
+        // the suspicion — the ring forgives as fast as it suspects.
+        c.net.schedule_up(dead, c.net.now());
+        let deadline = c.net.now() + SimTime::from_secs(20);
+        while c.net.now() < deadline && c.net.step() {}
+        let still = live.iter().filter(|&&n| c.net.node(n).suspected.contains(&dead)).count();
+        assert_eq!(still, 0, "{still} peers still suspect the revived node");
     }
 }

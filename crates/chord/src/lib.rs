@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod msg;
 pub mod node;
 pub mod overlay;
+pub mod replicate;
 pub mod ring;
 pub mod store;
 pub mod topology;

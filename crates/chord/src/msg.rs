@@ -7,6 +7,8 @@ use unistore_util::item::Item;
 use unistore_util::wire::{put_list, BatchOp, BatchVerb, Wire, WireError};
 use unistore_util::{ItemFilter, Key};
 
+use crate::store::RecordKey;
+
 /// Correlation id.
 pub type QueryId = u64;
 
@@ -204,6 +206,32 @@ pub enum ChordMsg<I> {
         /// Deepest hop count in the subtree.
         hops: u32,
     },
+    /// Push replication of applied writes from a primary to its
+    /// successor replica. One level deep: replicas only apply, never
+    /// re-push, so loops are impossible.
+    Replicate {
+        /// `(record key, version, item-or-tombstone)` records.
+        entries: Vec<(RecordKey, u64, Option<I>)>,
+    },
+    /// Anti-entropy request: "here is what I have". Sent by a replica
+    /// to its predecessor (the primary of its replica set).
+    Digest {
+        /// `(record key, version)` summary of the sender's store.
+        entries: Vec<(RecordKey, u64)>,
+    },
+    /// Anti-entropy response: records the requester was missing —
+    /// tombstones included, so deletes propagate.
+    DigestReply {
+        /// `(record key, version, item-or-tombstone)` records.
+        entries: Vec<(RecordKey, u64, Option<I>)>,
+    },
+    /// Routing-liveness probe of a successor or finger. A peer that
+    /// stays silent past the ping deadline is suspected and `next_hop`
+    /// routes around it until it is heard from again.
+    Ping,
+    /// Answer to [`ChordMsg::Ping`] (any traffic clears suspicion;
+    /// this just guarantees there is some).
+    Pong,
 }
 
 mod tag {
@@ -218,6 +246,11 @@ mod tag {
     pub const DELETE: u8 = 9;
     pub const OP_BATCH: u8 = 10;
     pub const BATCH_ACK: u8 = 11;
+    pub const REPLICATE: u8 = 12;
+    pub const DIGEST: u8 = 13;
+    pub const DIGEST_REPLY: u8 = 14;
+    pub const PING: u8 = 15;
+    pub const PONG: u8 = 16;
 }
 
 impl<I: Item> Wire for ChordMsg<I> {
@@ -310,6 +343,20 @@ impl<I: Item> Wire for ChordMsg<I> {
                 nodes.encode(buf);
                 hops.encode(buf);
             }
+            ChordMsg::Replicate { entries } => {
+                tag::REPLICATE.encode(buf);
+                put_list(buf, entries);
+            }
+            ChordMsg::Digest { entries } => {
+                tag::DIGEST.encode(buf);
+                put_list(buf, entries);
+            }
+            ChordMsg::DigestReply { entries } => {
+                tag::DIGEST_REPLY.encode(buf);
+                put_list(buf, entries);
+            }
+            ChordMsg::Ping => tag::PING.encode(buf),
+            ChordMsg::Pong => tag::PONG.encode(buf),
         }
     }
 
@@ -399,6 +446,11 @@ impl<I: Item> Wire for ChordMsg<I> {
                 nodes: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
             },
+            tag::REPLICATE => ChordMsg::Replicate { entries: Wire::decode(buf)? },
+            tag::DIGEST => ChordMsg::Digest { entries: Wire::decode(buf)? },
+            tag::DIGEST_REPLY => ChordMsg::DigestReply { entries: Wire::decode(buf)? },
+            tag::PING => ChordMsg::Ping,
+            tag::PONG => ChordMsg::Pong,
             other => return Err(WireError::BadTag(other)),
         })
     }
@@ -529,6 +581,11 @@ mod tests {
             },
             ChordMsg::Bcast { qid: 4, lo: 0, hi: u64::MAX, limit: 12345, hops: 1, filter: None },
             ChordMsg::BcastReply { qid: 4, entries, nodes: 17, hops: 6 },
+            ChordMsg::Replicate {
+                entries: vec![((9, 90, 900), 1, Some(RawItem(9))), ((8, 80, 800), 2, None)],
+            },
+            ChordMsg::Digest { entries: vec![((9, 90, 900), 1), ((8, 80, 800), 2)] },
+            ChordMsg::DigestReply { entries: vec![((9, 90, 900), 3, None)] },
         ];
         for m in msgs {
             roundtrip(m);
@@ -567,6 +624,50 @@ mod tests {
                 ChordMsg::<RawItem>::from_bytes(&b).is_err(),
                 "prefix of {cut} bytes must not decode"
             );
+        }
+    }
+
+    mod fuzz {
+        use proptest::prelude::*;
+
+        use super::*;
+
+        proptest! {
+            /// Wire fuzz for the repair-plane variants: any record set
+            /// must decode back to itself and re-encode to identical
+            /// bytes. A network that duplicates or reorders deliveries
+            /// hands the decoder the same frame twice and in any order —
+            /// parsing must be a pure function of the bytes.
+            #[test]
+            fn repair_wire_roundtrips(
+                recs in proptest::collection::vec(
+                    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                    0..12,
+                )
+            ) {
+                // Odd payload ⇒ a live item, even ⇒ a tombstone, so the
+                // fuzz covers both record shapes.
+                let records: Vec<(RecordKey, u64, Option<RawItem>)> = recs
+                    .iter()
+                    .map(|&(ring, key, ident, version, it)| {
+                        ((ring, key, ident), version, (it % 2 == 1).then_some(RawItem(it)))
+                    })
+                    .collect();
+                let digest: Vec<(RecordKey, u64)> =
+                    recs.iter().map(|&(ring, key, ident, version, _)| ((ring, key, ident), version)).collect();
+                let msgs = [
+                    ChordMsg::Replicate { entries: records.clone() },
+                    ChordMsg::Digest { entries: digest },
+                    ChordMsg::DigestReply { entries: records },
+                ];
+                for msg in msgs {
+                    let bytes = msg.to_bytes();
+                    prop_assert_eq!(bytes.len(), msg.wire_size());
+                    let back = ChordMsg::<RawItem>::from_bytes(&bytes).expect("decode");
+                    prop_assert_eq!(format!("{back:?}"), format!("{msg:?}"));
+                    prop_assert_eq!(back.to_bytes(), bytes, "re-encode must be byte-identical");
+                }
+            }
         }
     }
 }

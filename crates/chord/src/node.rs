@@ -1,12 +1,13 @@
 //! The Chord node: finger routing, bucket fan-out, broadcast tree.
 
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_util::fxhash::mix64;
 use unistore_util::rng::{derive_rng, stream};
 use unistore_util::wire::BatchVerb;
-use unistore_util::{FxHashMap, ItemFilter, Key};
+use unistore_util::{FxHashMap, FxHashSet, ItemFilter, Key};
 
 pub use unistore_util::item::Item;
 
@@ -39,17 +40,46 @@ pub struct ChordConfig {
     pub bucket_depth: u8,
     /// Deadline for driver-issued operations.
     pub query_timeout: SimTime,
+    /// Push applied writes to the successor replica and repair missed
+    /// pushes with periodic digest-exchange anti-entropy (the same pull
+    /// protocol P-Grid runs, see `unistore_overlay::repair`). Off by
+    /// default: the baseline comparison counts messages on the healthy
+    /// path, and replication traffic would distort it.
+    pub replicate: bool,
+    /// Period of the anti-entropy digest exchange with the predecessor
+    /// (jittered ±50% to avoid lockstep). Only armed when `replicate`.
+    pub anti_entropy_interval: SimTime,
+    /// Period of the routing-liveness probe: each tick pings the
+    /// successor and every finger, and a peer that misses
+    /// [`ChordConfig::ping_timeout`] is suspected — [`ChordNode`]
+    /// routes around suspects until they are heard from again. Zero
+    /// disables probing (the default: the healthy-path baseline
+    /// comparisons count messages, and probe traffic would distort
+    /// them).
+    pub ping_interval: SimTime,
+    /// How long a probed peer may stay silent before it is suspected.
+    pub ping_timeout: SimTime,
 }
 
 impl Default for ChordConfig {
     fn default() -> Self {
-        ChordConfig { bucket_depth: 10, query_timeout: SimTime::from_secs(30) }
+        ChordConfig {
+            bucket_depth: 10,
+            query_timeout: SimTime::from_secs(30),
+            replicate: false,
+            anti_entropy_interval: SimTime::from_secs(60),
+            ping_interval: SimTime::from_micros(0),
+            ping_timeout: SimTime::from_secs(2),
+        }
     }
 }
 
 /// Timer kinds.
 mod timer {
     pub const QUERY_TIMEOUT: u32 = 1;
+    pub const ANTI_ENTROPY: u32 = 2;
+    pub const PING: u32 = 3;
+    pub const PING_DEADLINE: u32 = 4;
 }
 
 #[derive(Debug)]
@@ -87,21 +117,31 @@ struct BcastState<I> {
 pub struct ChordNode<I: Item> {
     id: NodeId,
     ring_id: u64,
-    predecessor_ring: u64,
-    successor: (NodeId, u64),
+    /// `(id, ring position)` of the predecessor — the primary this node
+    /// replicates under successor replication.
+    pub(crate) predecessor: (NodeId, u64),
+    pub(crate) successor: (NodeId, u64),
+    /// The successor's successor: routing fallback when the successor
+    /// is suspected dead and is not itself the destination owner.
+    successor2: (NodeId, u64),
     /// Deduped fingers, ascending ring distance from `ring_id`.
     fingers: Vec<(NodeId, u64)>,
-    store: ChordStore<I>,
-    cfg: ChordConfig,
+    pub(crate) store: ChordStore<I>,
+    pub(crate) cfg: ChordConfig,
     pending: FxHashMap<QueryId, Pending<I>>,
     bcast: FxHashMap<QueryId, BcastState<I>>,
-    #[allow(dead_code)]
     rng: StdRng,
     /// Messages handled, for load accounting.
     pub msg_load: u64,
     /// Exact-key reads dispatched via the exact index (`[0]`) vs. the
     /// bucket mirror (`[1]`); drives replica-aware read balancing.
     reads_via: [u64; 2],
+    /// Routing-table peers presumed dead: they missed a ping deadline
+    /// and have not been heard from since. `next_hop` routes around
+    /// them.
+    pub(crate) suspected: FxHashSet<NodeId>,
+    /// Peers probed this ping round and not yet heard from.
+    awaiting_pong: FxHashSet<NodeId>,
 }
 
 impl<I: Item> ChordNode<I> {
@@ -111,8 +151,9 @@ impl<I: Item> ChordNode<I> {
         ChordNode {
             id,
             ring_id,
-            predecessor_ring: ring_id, // patched by the builder
+            predecessor: (id, ring_id), // patched by the builder
             successor: (id, ring_id),
+            successor2: (id, ring_id),
             fingers: Vec::new(),
             store: ChordStore::new(),
             cfg,
@@ -121,6 +162,8 @@ impl<I: Item> ChordNode<I> {
             rng: derive_rng(seed, stream::NODE_BASE + id.0 as u64),
             msg_load: 0,
             reads_via: [0, 0],
+            suspected: FxHashSet::default(),
+            awaiting_pong: FxHashSet::default(),
         }
     }
 
@@ -147,33 +190,45 @@ impl<I: Item> ChordNode<I> {
     /// Wires the topology (cluster builder only).
     pub fn set_topology(
         &mut self,
-        predecessor_ring: u64,
+        predecessor: (NodeId, u64),
         successor: (NodeId, u64),
+        successor2: (NodeId, u64),
         fingers: Vec<(NodeId, u64)>,
     ) {
-        self.predecessor_ring = predecessor_ring;
+        self.predecessor = predecessor;
         self.successor = successor;
+        self.successor2 = successor2;
         self.fingers = fingers;
     }
 
     /// True if this node owns ring position `k` (`k ∈ (pred, self]`).
     pub(crate) fn responsible(&self, k: u64) -> bool {
-        if self.predecessor_ring == self.ring_id {
+        if self.predecessor.1 == self.ring_id {
             return true; // singleton ring
         }
-        in_open_closed(self.predecessor_ring, self.ring_id, k)
+        in_open_closed(self.predecessor.1, self.ring_id, k)
     }
 
     /// Next hop for ring position `k`: the successor if `k` lands in
-    /// `(self, succ]`, otherwise the closest preceding finger.
+    /// `(self, succ]`, otherwise the closest preceding finger that is
+    /// not suspected dead. When the owner itself is the (suspected)
+    /// successor there is no detour — the message goes there anyway
+    /// and the sender can fail fast instead (see `handle_lookup`).
     pub(crate) fn next_hop(&self, k: u64) -> NodeId {
         if in_open_closed(self.ring_id, self.successor.1, k) {
             return self.successor.0;
         }
         for &(node, ring) in self.fingers.iter().rev() {
-            if in_open_open(self.ring_id, k, ring) {
+            if in_open_open(self.ring_id, k, ring) && !self.suspected.contains(&node) {
                 return node;
             }
+        }
+        // The successor is the hop of last resort; when it is suspected
+        // (and, since `k` is past it, not the owner) skip one node
+        // ahead. `successor2` never overshoots: the owner is the first
+        // ring member at or past `k`, which is `successor2` or later.
+        if self.suspected.contains(&self.successor.0) && self.successor2.0 != self.id {
+            return self.successor2.0;
         }
         self.successor.0
     }
@@ -181,6 +236,46 @@ impl<I: Item> ChordNode<I> {
     fn register(&mut self, fx: &mut Fx<I>, qid: QueryId, p: Pending<I>) {
         self.pending.insert(qid, p);
         fx.set_timer(self.cfg.query_timeout, Timer::new(timer::QUERY_TIMEOUT, qid));
+    }
+
+    /// Arms the next anti-entropy tick with ±50% jitter to avoid
+    /// lockstep digest storms (the same idiom as P-Grid's
+    /// `arm_periodic`).
+    fn arm_anti_entropy(&mut self, fx: &mut Fx<I>) {
+        let jitter = self.rng.gen_range(0.5..1.5);
+        let base = self.cfg.anti_entropy_interval.as_micros() as f64;
+        let delay = SimTime::from_micros((base * jitter) as u64);
+        fx.set_timer(delay, Timer::new(timer::ANTI_ENTROPY, 0));
+    }
+
+    /// Arms the next routing-liveness probe (same ±50% jitter idiom).
+    fn arm_ping(&mut self, fx: &mut Fx<I>) {
+        let jitter = self.rng.gen_range(0.5..1.5);
+        let base = self.cfg.ping_interval.as_micros() as f64;
+        let delay = SimTime::from_micros((base * jitter) as u64);
+        fx.set_timer(delay, Timer::new(timer::PING, 0));
+    }
+
+    /// One probe round: ping every distinct routing-table peer and
+    /// start the silence deadline. Suspicion is per-round — a peer
+    /// still silent when [`timer::PING_DEADLINE`] fires is suspected.
+    fn run_ping_round(&mut self, fx: &mut Fx<I>) {
+        self.awaiting_pong.clear();
+        let mut targets: Vec<NodeId> = Vec::with_capacity(self.fingers.len() + 2);
+        targets.push(self.successor.0);
+        targets.push(self.successor2.0);
+        targets.extend(self.fingers.iter().map(|&(node, _)| node));
+        targets.sort_unstable();
+        targets.dedup();
+        for node in targets {
+            if node != self.id {
+                self.awaiting_pong.insert(node);
+                fx.send(node, ChordMsg::Ping);
+            }
+        }
+        if !self.awaiting_pong.is_empty() {
+            fx.set_timer(self.cfg.ping_timeout, Timer::new(timer::PING_DEADLINE, 0));
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -210,6 +305,16 @@ impl<I: Item> ChordNode<I> {
             self.answer_lookup(qid, origin, entries, hops, true, fx);
         } else {
             let next = self.next_hop(ring_key);
+            // The owner itself is suspected dead: no detour can reach
+            // the data, so fail fast — the origin's retry chain can
+            // try the other index mirror now instead of waiting out
+            // the op timeout.
+            if self.suspected.contains(&next)
+                && in_open_closed(self.ring_id, self.successor.1, ring_key)
+            {
+                self.answer_lookup(qid, origin, Vec::new(), hops, false, fx);
+                return;
+            }
             let msg = match range {
                 None => ChordMsg::Lookup { qid, ring_key, origin, hops: hops + 1, filter },
                 Some((lo, hi)) => {
@@ -287,7 +392,7 @@ impl<I: Item> ChordNode<I> {
             self.register(fx, qid, Pending::Insert);
         }
         if self.responsible(ring_key) {
-            self.store.insert(ring_key, key, item, version);
+            self.apply_insert(ring_key, key, item, version, fx);
             if origin == self.id {
                 self.handle_insert_ack(qid, hops, fx);
             } else {
@@ -341,10 +446,10 @@ impl<I: Item> ChordNode<I> {
                 match op.op.verb {
                     BatchVerb::Insert { item } => {
                         let item = items[item as usize].clone();
-                        self.store.insert(ring_key, op.op.key, item, op.op.version);
+                        self.apply_insert(ring_key, op.op.key, item, op.op.version, fx);
                     }
                     BatchVerb::Delete { ident } => {
-                        self.store.remove(ring_key, op.op.key, ident, op.op.version);
+                        self.apply_delete(ring_key, op.op.key, ident, op.op.version, fx);
                     }
                 }
                 applied += 1;
@@ -405,7 +510,7 @@ impl<I: Item> ChordNode<I> {
             self.register(fx, qid, Pending::Insert);
         }
         if self.responsible(ring_key) {
-            self.store.remove(ring_key, key, ident, version);
+            self.apply_delete(ring_key, key, ident, version, fx);
             if origin == self.id {
                 self.handle_insert_ack(qid, hops, fx);
             } else {
@@ -557,7 +662,16 @@ impl<I: Item> ChordNode<I> {
         fx: &mut Fx<I>,
     ) {
         let parent = if from == NodeId::EXTERNAL { None } else { Some(from) };
-        let local = collect_keyed(&filter, self.store.iter_by_key(lo, hi));
+        // Replica copies answer no queries: a broadcast visits every
+        // node, so serving only records this node is primary for keeps
+        // results duplicate-free under successor replication.
+        let local = collect_keyed(
+            &filter,
+            self.store
+                .iter_by_key_ring(lo, hi)
+                .filter(|&(rk, _, _)| self.responsible(rk))
+                .map(|(_, k, i)| (k, i)),
+        );
         // Children: fingers strictly inside (self, limit), each getting
         // the sub-interval up to the next finger (or the limit). At the
         // origin `limit == self.ring_id`, which means the full circle.
@@ -698,8 +812,27 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
     type Msg = ChordMsg<I>;
     type Out = ChordEvent<I>;
 
+    fn on_start(&mut self, _now: SimTime, fx: &mut Fx<I>) {
+        // Also runs on revival, so a node that was down resumes the
+        // repair cadence immediately instead of waiting for a timer
+        // chain that died while it was offline.
+        if self.cfg.replicate {
+            self.arm_anti_entropy(fx);
+        }
+        if self.cfg.ping_interval > SimTime::from_micros(0) {
+            // A revived node's suspicions are as stale as its absence
+            // was long: start trusting and let the probes re-learn.
+            self.suspected.clear();
+            self.awaiting_pong.clear();
+            self.arm_ping(fx);
+        }
+    }
+
     fn on_message(&mut self, _now: SimTime, from: NodeId, msg: ChordMsg<I>, fx: &mut Fx<I>) {
         self.msg_load += 1;
+        // Any traffic from a peer proves it lives.
+        self.suspected.remove(&from);
+        self.awaiting_pong.remove(&from);
         match msg {
             ChordMsg::Lookup { qid, ring_key, origin, hops, filter } => {
                 self.handle_lookup(from, qid, ring_key, origin, hops, None, filter, fx)
@@ -730,12 +863,30 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
             ChordMsg::BcastReply { qid, entries, nodes, hops } => {
                 self.handle_bcast_reply(qid, entries, nodes, hops, fx)
             }
+            ChordMsg::Replicate { entries } => self.handle_replicate(entries),
+            ChordMsg::Digest { entries } => self.handle_digest(from, entries, fx),
+            ChordMsg::DigestReply { entries } => self.handle_replicate(entries),
+            ChordMsg::Ping => fx.send(from, ChordMsg::Pong),
+            ChordMsg::Pong => {}
         }
     }
 
     fn on_timer(&mut self, _now: SimTime, t: Timer, fx: &mut Fx<I>) {
-        if t.kind == timer::QUERY_TIMEOUT {
-            self.handle_timeout(t.payload, fx);
+        match t.kind {
+            timer::QUERY_TIMEOUT => self.handle_timeout(t.payload, fx),
+            timer::ANTI_ENTROPY => {
+                self.run_anti_entropy(fx);
+                self.arm_anti_entropy(fx);
+            }
+            timer::PING => {
+                self.run_ping_round(fx);
+                self.arm_ping(fx);
+            }
+            timer::PING_DEADLINE => {
+                let silent: Vec<NodeId> = self.awaiting_pong.drain().collect();
+                self.suspected.extend(silent);
+            }
+            _ => {}
         }
     }
 }

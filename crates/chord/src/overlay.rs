@@ -41,7 +41,7 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
         let id = NodeId(peer as u32);
         let mut node = ChordNode::new(id, topology.by_id[peer], cfg.clone(), seed);
         let w = topology.wiring(id);
-        node.set_topology(w.predecessor_ring, w.successor, w.fingers);
+        node.set_topology(w.predecessor, w.successor, w.successor2, w.fingers);
         node
     }
 

@@ -1,0 +1,223 @@
+//! Successor replication and digest-exchange anti-entropy.
+//!
+//! The Chord-side port of P-Grid's hybrid push/pull repair (paper ref
+//! [4], Datta et al., ICDCS 2003): a primary **pushes** every applied
+//! write to its successor; a replica that missed pushes (offline,
+//! lossy link) catches up through periodic **pull anti-entropy** — it
+//! offers its version digest to its predecessor (the primary of its
+//! replica set), which answers with every record it owns that is
+//! strictly newer than (or absent from) the digest. Both backends
+//! drive the exchange through
+//! [`unistore_overlay::repair::diff_newer`], so the version rules —
+//! strictly newer wins, tombstones travel — are shared by
+//! construction.
+
+use unistore_simnet::NodeId;
+use unistore_util::Key;
+
+use crate::msg::ChordMsg;
+use crate::node::{ChordNode, Fx, Item};
+use crate::store::RecordKey;
+
+impl<I: Item> ChordNode<I> {
+    /// Applies a routed insert this node is responsible for; under
+    /// replication, a newly applied write is pushed to the successor
+    /// (one level deep — replicas only apply, never re-push).
+    pub(crate) fn apply_insert(
+        &mut self,
+        ring_key: u64,
+        key: Key,
+        item: I,
+        version: u64,
+        fx: &mut Fx<I>,
+    ) {
+        if !self.cfg.replicate {
+            self.store.insert(ring_key, key, item, version);
+            return;
+        }
+        let ident = item.ident();
+        if self.store.insert(ring_key, key, item.clone(), version) {
+            self.push_record((ring_key, key, ident), version, Some(item), fx);
+        }
+    }
+
+    /// Applies a routed delete; under replication the tombstone is
+    /// pushed too, so deletes propagate to the replica.
+    pub(crate) fn apply_delete(
+        &mut self,
+        ring_key: u64,
+        key: Key,
+        ident: u64,
+        version: u64,
+        fx: &mut Fx<I>,
+    ) {
+        self.store.remove(ring_key, key, ident, version);
+        if self.cfg.replicate {
+            self.push_record((ring_key, key, ident), version, None, fx);
+        }
+    }
+
+    fn push_record(&mut self, record: RecordKey, version: u64, item: Option<I>, fx: &mut Fx<I>) {
+        let (succ, _) = self.successor;
+        if succ == self.id() {
+            return; // singleton ring: nowhere to replicate
+        }
+        fx.send(succ, ChordMsg::Replicate { entries: vec![(record, version, item)] });
+    }
+
+    /// Applies pushed or pulled records — live entries and tombstones
+    /// alike — under the shared strictly-newer rule.
+    pub(crate) fn handle_replicate(&mut self, entries: Vec<(RecordKey, u64, Option<I>)>) {
+        for ((ring_key, key, ident), version, item) in entries {
+            self.store.apply_record(ring_key, key, ident, item, version);
+        }
+    }
+
+    /// Periodic anti-entropy: offer our digest to the predecessor, the
+    /// primary of this node's replica set.
+    pub(crate) fn run_anti_entropy(&mut self, fx: &mut Fx<I>) {
+        let (pred, _) = self.predecessor;
+        if pred == self.id() {
+            return; // singleton ring
+        }
+        fx.send(pred, ChordMsg::Digest { entries: self.store.digest() });
+    }
+
+    /// Answers a digest with everything the requester is missing,
+    /// tombstones included — restricted to records this node is
+    /// *primary* for: its store also holds replica copies pulled from
+    /// its own predecessor, and relaying those would smear every record
+    /// around the ring one hop per exchange.
+    pub(crate) fn handle_digest(
+        &mut self,
+        from: NodeId,
+        digest: Vec<(RecordKey, u64)>,
+        fx: &mut Fx<I>,
+    ) {
+        let mut newer = self.store.newer_than(&digest);
+        newer.retain(|&((rk, _, _), _, _)| self.responsible(rk));
+        if !newer.is_empty() {
+            fx.send(from, ChordMsg::DigestReply { entries: newer });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ChordConfig;
+    use unistore_simnet::Effects;
+    use unistore_util::item::RawItem;
+
+    fn replicating() -> ChordConfig {
+        ChordConfig { replicate: true, ..ChordConfig::default() }
+    }
+
+    /// Three-point ring: predecessor at 50, self at 100, successor at
+    /// 200 — this node is primary for `(50, 100]`.
+    fn node(cfg: ChordConfig) -> ChordNode<RawItem> {
+        let mut n = ChordNode::new(NodeId(0), 100, cfg, 7);
+        n.set_topology((NodeId(1), 50), (NodeId(2), 200), (NodeId(1), 50), Vec::new());
+        n
+    }
+
+    #[test]
+    fn applied_write_is_pushed_to_successor() {
+        let mut n = node(replicating());
+        let mut fx = Effects::new();
+        n.apply_insert(80, 5, RawItem(5), 1, &mut fx);
+        assert_eq!(fx.sends().len(), 1);
+        let (to, msg) = &fx.sends()[0];
+        assert_eq!(*to, NodeId(2));
+        match msg {
+            ChordMsg::Replicate { entries } => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].0, (80, 5, RawItem(5).ident()));
+                assert_eq!(entries[0].1, 1);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+        // A rejected (stale) write is not pushed.
+        let mut fx = Effects::new();
+        n.apply_insert(80, 5, RawItem(5), 1, &mut fx);
+        assert!(fx.is_empty(), "stale write must not replicate");
+    }
+
+    #[test]
+    fn delete_pushes_tombstone() {
+        let mut n = node(replicating());
+        let mut fx = Effects::new();
+        n.apply_delete(80, 5, RawItem(5).ident(), 2, &mut fx);
+        assert_eq!(fx.sends().len(), 1);
+        match &fx.sends()[0].1 {
+            ChordMsg::Replicate { entries } => assert!(entries[0].2.is_none()),
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_off_pushes_nothing() {
+        let mut n = node(ChordConfig::default());
+        let mut fx = Effects::new();
+        n.apply_insert(80, 5, RawItem(5), 1, &mut fx);
+        n.apply_delete(80, 5, RawItem(5).ident(), 2, &mut fx);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn anti_entropy_pulls_from_predecessor() {
+        let mut n = node(replicating());
+        n.store_mut().insert(80, 5, RawItem(5), 1);
+        let mut fx = Effects::new();
+        n.run_anti_entropy(&mut fx);
+        assert_eq!(fx.sends().len(), 1);
+        let (to, msg) = &fx.sends()[0];
+        assert_eq!(*to, NodeId(1), "the digest goes to the primary");
+        match msg {
+            ChordMsg::Digest { entries } => assert_eq!(entries.len(), 1),
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_answered_with_owned_records_only() {
+        let mut n = node(replicating());
+        // Primary record (ring position in (50, 100]) and a replica
+        // copy pulled from this node's own predecessor (position 40).
+        n.store_mut().insert(80, 5, RawItem(5), 1);
+        n.store_mut().insert(40, 6, RawItem(6), 1);
+        let mut fx = Effects::new();
+        n.handle_digest(NodeId(9), Vec::new(), &mut fx);
+        assert_eq!(fx.sends().len(), 1);
+        match &fx.sends()[0].1 {
+            ChordMsg::DigestReply { entries } => {
+                assert_eq!(entries.len(), 1, "replica copies must not relay");
+                assert_eq!(entries[0].0 .0, 80);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_with_nothing_missing_stays_silent() {
+        let mut n = node(replicating());
+        n.store_mut().insert(80, 5, RawItem(5), 1);
+        let digest = n.store().digest();
+        let mut fx = Effects::new();
+        n.handle_digest(NodeId(9), digest, &mut fx);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn replicate_applies_under_version_rules() {
+        let mut n = node(replicating());
+        let ident = RawItem(5).ident();
+        n.handle_replicate(vec![((80, 5, ident), 3, Some(RawItem(5)))]);
+        assert_eq!(n.store().len(), 1);
+        // A stale tombstone loses; a newer one shadows.
+        n.handle_replicate(vec![((80, 5, ident), 2, None)]);
+        assert_eq!(n.store().len(), 1, "stale tombstone must not kill the entry");
+        n.handle_replicate(vec![((80, 5, ident), 4, None)]);
+        assert!(n.store().is_empty());
+    }
+}

@@ -31,6 +31,11 @@ pub fn collect_keyed<'a, I: Item + 'a>(
     }
 }
 
+/// Full address of one stored record: `(ring position, original key,
+/// logical identity)` — the Chord counterpart of P-Grid's `(key, ident)`
+/// record key in the shared digest-exchange protocol.
+pub type RecordKey = (u64, Key, u64);
+
 /// One stored entry: the original key plus the payload.
 #[derive(Clone, Debug)]
 pub struct ChordEntry<I> {
@@ -62,7 +67,11 @@ impl<I: Item> ChordStore<I> {
         self.apply_record(ring_key, key, item.ident(), Some(item), version)
     }
 
-    fn apply_record(
+    /// Applies one record — live entry or tombstone — under the shared
+    /// strictly-newer rule; the entry point for push replication and
+    /// anti-entropy repair (the same contract as P-Grid's
+    /// `LocalStore::apply_record`). Returns whether it was applied.
+    pub fn apply_record(
         &mut self,
         ring_key: u64,
         key: Key,
@@ -130,10 +139,17 @@ impl<I: Item> ChordStore<I> {
     /// Borrowed scan over every live entry with original key in
     /// `[lo, hi]`, regardless of ring position.
     pub fn iter_by_key(&self, lo: Key, hi: Key) -> impl Iterator<Item = (Key, &I)> {
+        self.iter_by_key_ring(lo, hi).map(|(_, key, i)| (key, i))
+    }
+
+    /// Like [`ChordStore::iter_by_key`], but also yielding each entry's
+    /// ring position, so node-local scans can be restricted to records
+    /// the node is primary for (replica copies answer no queries).
+    pub fn iter_by_key_ring(&self, lo: Key, hi: Key) -> impl Iterator<Item = (u64, Key, &I)> {
         self.entries
             .iter()
             .filter(move |(&(_, key, _), _)| key >= lo && key <= hi)
-            .filter_map(|(&(_, key, _), (_, item))| item.as_ref().map(|i| (key, i)))
+            .filter_map(|(&(rk, key, _), (_, item))| item.as_ref().map(|i| (rk, key, i)))
     }
 
     /// Removes the entry with logical identity `ident` stored under
@@ -149,6 +165,21 @@ impl<I: Item> ChordStore<I> {
         );
         self.apply_record(ring_key, key, ident, None, version);
         shadowed
+    }
+
+    /// `(record key, version)` summary of every record — tombstones
+    /// included — offered to a partner in digest-exchange anti-entropy.
+    pub fn digest(&self) -> Vec<(RecordKey, u64)> {
+        self.entries.iter().map(|(&k, &(v, _))| (k, v)).collect()
+    }
+
+    /// Records strictly newer than what `digest` reports (or absent
+    /// from it) — the pull half of anti-entropy, shared with P-Grid
+    /// through [`unistore_overlay::repair::diff_newer`]. Tombstones
+    /// travel too, so deletes propagate to repaired replicas.
+    pub fn newer_than(&self, digest: &[(RecordKey, u64)]) -> Vec<(RecordKey, u64, Option<I>)> {
+        let mine = self.entries.iter().map(|(&k, (v, item))| (k, *v, item.as_ref()));
+        unistore_overlay::repair::diff_newer(mine, digest)
     }
 
     /// Number of live entries (tombstones excluded).
@@ -277,6 +308,33 @@ mod tests {
         assert!(s.is_empty());
         assert!(s.insert(1, 10, TestItem(7), 3), "a genuinely newer write un-deletes");
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn digest_and_newer_than() {
+        let mut a: ChordStore<TestItem> = ChordStore::new();
+        let mut b: ChordStore<TestItem> = ChordStore::new();
+        a.insert(1, 10, TestItem(1), 1);
+        a.insert(2, 20, TestItem(2), 1);
+        b.insert(1, 10, TestItem(1), 1);
+        // b lacks the record under ring position 2 → pull must return it.
+        let missing = a.newer_than(&b.digest());
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].0, (2, 20, TestItem(2).ident()));
+        // a has everything b has → nothing to pull the other way.
+        assert!(b.newer_than(&a.digest()).is_empty());
+    }
+
+    #[test]
+    fn digest_carries_tombstones() {
+        let mut a: ChordStore<TestItem> = ChordStore::new();
+        a.insert(1, 10, TestItem(7), 0);
+        a.remove(1, 10, 7, 2);
+        let fresh: ChordStore<TestItem> = ChordStore::new();
+        let missing = a.newer_than(&fresh.digest());
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].2.is_none(), "the tombstone travels");
+        assert_eq!(missing[0].1, 2, "at the delete's version");
     }
 
     #[test]

@@ -23,10 +23,15 @@ pub struct ChordTopology {
 /// The wired routing state of one ring member.
 #[derive(Clone, Debug)]
 pub struct RingWiring {
-    /// Ring position of the predecessor.
-    pub predecessor_ring: u64,
+    /// `(id, ring position)` of the predecessor — the primary of this
+    /// member's replica set under successor replication.
+    pub predecessor: (NodeId, u64),
     /// `(id, ring position)` of the successor.
     pub successor: (NodeId, u64),
+    /// `(id, ring position)` of the successor's successor — the
+    /// routing fallback when the successor is suspected dead (Chord's
+    /// two-deep successor list).
+    pub successor2: (NodeId, u64),
     /// Deduped fingers, ascending ring distance from the member.
     pub fingers: Vec<(NodeId, u64)>,
 }
@@ -62,7 +67,8 @@ impl ChordTopology {
         let pos = self.ring_order.partition_point(|&(r, _)| r < ring);
         debug_assert_eq!(self.ring_order[pos], (ring, id), "id is a ring member");
         let (succ_ring, succ_id) = self.ring_order[(pos + 1) % m];
-        let (pred_ring, _) = self.ring_order[(pos + m - 1) % m];
+        let (succ2_ring, succ2_id) = self.ring_order[(pos + 2) % m];
+        let (pred_ring, pred_id) = self.ring_order[(pos + m - 1) % m];
         let mut fingers: Vec<(NodeId, u64)> = Vec::new();
         for k in 0..64u32 {
             let target = ring.wrapping_add(1u64 << k);
@@ -73,7 +79,12 @@ impl ChordTopology {
         }
         // Ascending ring distance from self.
         fingers.sort_by_key(|&(_, r)| r.wrapping_sub(ring));
-        RingWiring { predecessor_ring: pred_ring, successor: (succ_id, succ_ring), fingers }
+        RingWiring {
+            predecessor: (pred_id, pred_ring),
+            successor: (succ_id, succ_ring),
+            successor2: (succ2_id, succ2_ring),
+            fingers,
+        }
     }
 
     /// Peers holding `key` in the converged state: the owner of its
@@ -114,7 +125,8 @@ mod tests {
             let (ring, id) = topo.ring_order[pos];
             let w = topo.wiring(id);
             assert_eq!(w.successor.1, topo.ring_order[(pos + 1) % 16].0);
-            assert_eq!(w.predecessor_ring, topo.ring_order[(pos + 15) % 16].0);
+            assert_eq!(w.predecessor.1, topo.ring_order[(pos + 15) % 16].0);
+            assert_eq!(w.predecessor.0, topo.ring_order[(pos + 15) % 16].1);
             assert!(!w.fingers.iter().any(|&(f, _)| f == id), "no self-fingers");
             let _ = ring;
         }

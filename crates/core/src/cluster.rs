@@ -16,7 +16,7 @@ use rand::Rng;
 
 use unistore_overlay::{per_op_batch_msgs, OpBatch, Overlay, OverlayDone, OverlayTopology};
 use unistore_pgrid::PGridPeer;
-use unistore_query::{CostModel, Logical, Mqp, MqpNode, Relation, StatsDelta};
+use unistore_query::{CostModel, Coverage, Logical, Mqp, MqpNode, Relation, StatsDelta};
 use unistore_simnet::metrics::OpCost;
 use unistore_simnet::{LanLatency, LatencyModel, NodeId, SimNet, SimTime};
 use unistore_store::index::TripleKeys;
@@ -37,10 +37,14 @@ use crate::stats::build_cost_model;
 pub struct QueryOutcome {
     /// The result relation.
     pub relation: Relation,
-    /// `false` on timeout.
+    /// `false` on timeout (the relation then holds the best partial
+    /// result the retry chain saw, possibly empty).
     pub ok: bool,
     /// Measured network cost (messages, bytes, simulated latency, hops).
     pub cost: OpCost,
+    /// Completeness accounting: how much of the responsible data the
+    /// winning execution reached (1.0 on the healthy path).
+    pub coverage: Coverage,
 }
 
 /// A simulated UniStore deployment over an [`Overlay`] backend
@@ -146,7 +150,8 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
 
     /// Populates `self.net` with nodes spawned from `self.topology`.
     fn spawn_nodes(&mut self, n_peers: usize) {
-        let params = self.cfg.node_params();
+        let mut params = self.cfg.node_params();
+        params.seed = self.seed;
         for peer in 0..n_peers {
             let overlay = O::spawn(&self.topology, peer, &self.cfg.overlay, self.seed);
             self.net.add_node(UniNode::new(overlay, n_peers, &params));
@@ -338,7 +343,7 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         let mut freed = false;
         for (t, _, ev) in self.net.take_outputs() {
             match ev {
-                UniEvent::QueryDone { qid, relation, hops, ok } => {
+                UniEvent::QueryDone { qid, relation, hops, ok, coverage } => {
                     if self.in_flight.remove(&qid).is_some() {
                         freed = true;
                         let queued = self.queued_at.remove(&qid).unwrap_or(t);
@@ -356,6 +361,7 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
                                     latency: t.saturating_sub(queued),
                                     hops,
                                 },
+                                coverage,
                             },
                         );
                     }
@@ -444,7 +450,12 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
         self.queued_at.remove(&qid);
         self.admit_queue.retain(|(q, _, _)| *q != qid);
         self.try_admit();
-        QueryOutcome { relation: Relation::empty(vec![]), ok: false, cost: OpCost::default() }
+        QueryOutcome {
+            relation: Relation::empty(vec![]),
+            ok: false,
+            cost: OpCost::default(),
+            coverage: Coverage::failed(),
+        }
     }
 
     /// Waits for every submitted query — in flight, queued, or already

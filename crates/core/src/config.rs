@@ -36,6 +36,41 @@ pub struct PlanMode {
     pub no_semi_join: bool,
 }
 
+/// Retry and hedging policy for origin-side query re-dispatch
+/// (DESIGN.md §"Failure semantics").
+///
+/// The fixed-timeout/fixed-count retry loop of earlier revisions is
+/// generalized into a *deadline budget*: the origin owns a total budget
+/// of `query_timeout × (query_retries + 1)` and spends it on attempts
+/// whose individual timeouts adapt to observed completion times.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// Per-attempt timeout = `rtt_multiplier × p99(observed completions)`
+    /// once enough samples exist (falls back to the configured
+    /// `query_timeout` until then).
+    pub rtt_multiplier: f64,
+    /// Floor for the adaptive per-attempt timeout, so a burst of fast
+    /// completions cannot drive the timeout below sanity.
+    pub min_attempt: SimTime,
+    /// Enables hedged dispatch: when an attempt outlives
+    /// `hedge_multiplier × p99`, a second copy of the plan is shipped
+    /// and the first completion wins.
+    pub hedging: bool,
+    /// Delay factor (on the observed p99) before the hedge fires.
+    pub hedge_multiplier: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            rtt_multiplier: 4.0,
+            min_attempt: SimTime::from_millis(500),
+            hedging: true,
+            hedge_multiplier: 2.0,
+        }
+    }
+}
+
 /// The query-layer knobs a [`crate::UniNode`] needs, independent of the
 /// storage backend's configuration — one view shared by the simulated
 /// cluster driver and the live threaded runtime.
@@ -53,6 +88,14 @@ pub struct NodeParams {
     /// Capacity of the node-local (attr, value) result cache; `0`
     /// disables caching.
     pub result_cache: usize,
+    /// Minimum acceptable [`unistore_query::Coverage`] fraction for a
+    /// completion to be delivered as `ok` (0.0 = best-effort).
+    pub min_coverage: f64,
+    /// Retry / hedging policy.
+    pub backoff: BackoffPolicy,
+    /// Seed for the node's private jitter stream (drivers set this to
+    /// the cluster seed; the default 0 keeps params deterministic).
+    pub seed: u64,
 }
 
 /// Cluster-level configuration, generic over the storage backend's own
@@ -102,6 +145,16 @@ pub struct UniConfig<C = PGridConfig> {
     /// stream, so a cached row is stale for at most one stats tick
     /// plus one hop.
     pub result_cache: usize,
+    /// Minimum acceptable coverage fraction for a query completion to
+    /// count as `ok`. `0.0` — the default — is best-effort: whatever
+    /// the plan reached is delivered, with the shortfall reported in
+    /// [`unistore_query::Coverage`]. `1.0` is fail-fast: any shortfall
+    /// triggers a retry, and the final result is only `ok` when every
+    /// responsible leaf answered.
+    pub min_coverage: f64,
+    /// Origin-side retry / hedging policy (DESIGN.md §"Failure
+    /// semantics").
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for UniConfig<PGridConfig> {
@@ -133,7 +186,32 @@ impl<C> UniConfig<C> {
             batch_writes: true,
             max_in_flight: 32,
             result_cache: 0,
+            min_coverage: 0.0,
+            backoff: BackoffPolicy::default(),
         }
+    }
+
+    /// Sets the minimum acceptable coverage fraction (0.0 = best-effort,
+    /// 1.0 = fail-fast; see [`UniConfig::min_coverage`]).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= f <= 1.0`.
+    pub fn with_min_coverage(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "coverage fraction must lie in [0, 1]");
+        self.min_coverage = f;
+        self
+    }
+
+    /// Enables or disables hedged query dispatch (on by default).
+    pub fn with_hedging(mut self, enabled: bool) -> Self {
+        self.backoff.hedging = enabled;
+        self
+    }
+
+    /// Replaces the origin-side retry / hedging policy wholesale.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
     }
 
     /// Sets the pipelined drivers' admission window (how many queries
@@ -185,6 +263,9 @@ impl<C> UniConfig<C> {
             plan_mode: self.plan_mode,
             stats_refresh: self.stats_refresh,
             result_cache: self.result_cache,
+            min_coverage: self.min_coverage,
+            backoff: self.backoff,
+            seed: 0,
         }
     }
 
@@ -269,6 +350,26 @@ mod tests {
     #[should_panic(expected = "admission window")]
     fn zero_admission_window_rejected() {
         let _ = UniConfig::default().with_max_in_flight(0);
+    }
+
+    #[test]
+    fn failure_masking_knobs() {
+        let c = UniConfig::default();
+        assert_eq!(c.min_coverage, 0.0, "best-effort by default");
+        assert!(c.backoff.hedging, "hedging on by default");
+        let c = c.with_min_coverage(0.9).with_hedging(false);
+        assert_eq!(c.min_coverage, 0.9);
+        assert!(!c.backoff.hedging);
+        let p = c.node_params();
+        assert_eq!(p.min_coverage, 0.9);
+        assert!(!p.backoff.hedging);
+        assert_eq!(p.seed, 0, "drivers override the seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage fraction")]
+    fn out_of_range_coverage_rejected() {
+        let _ = UniConfig::default().with_min_coverage(1.5);
     }
 
     #[test]

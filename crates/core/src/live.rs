@@ -111,7 +111,8 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
             SimTime::from_micros(200), // LAN-ish expectation for the model
         );
 
-        let params = cfg.node_params();
+        let mut params = cfg.node_params();
+        params.seed = seed;
         let mut nodes: Vec<UniNode<O>> = (0..n_peers)
             .map(|peer| {
                 let overlay = O::spawn(&topology, peer, &cfg.overlay, seed);

@@ -10,7 +10,7 @@ use bytes::{Bytes, BytesMut};
 
 use unistore_overlay::OverlayDone;
 use unistore_query::cost::StatsDelta;
-use unistore_query::{Mqp, Relation};
+use unistore_query::{Coverage, Mqp, Relation};
 use unistore_store::Triple;
 use unistore_util::wire::{Shared, Wire, WireError};
 use unistore_util::Key;
@@ -49,6 +49,8 @@ pub enum QueryMsg {
         relation: Relation,
         /// Accumulated hop count (plan travel + deepest scan).
         hops: u32,
+        /// Completeness accounting accumulated by the travelling plan.
+        coverage: Coverage,
     },
     /// A batch of statistics write events: the in-band dissemination of
     /// the paper's gossiped statistics metadata. Injected by write
@@ -101,11 +103,12 @@ impl<M: Wire> Wire for UniMsg<M> {
                 key.encode(buf);
                 mqp.encode(buf);
             }
-            UniMsg::Query(QueryMsg::Result { qid, relation, hops }) => {
+            UniMsg::Query(QueryMsg::Result { qid, relation, hops, coverage }) => {
                 tag::RESULT.encode(buf);
                 qid.encode(buf);
                 relation.encode(buf);
                 hops.encode(buf);
+                coverage.encode(buf);
             }
             UniMsg::Query(QueryMsg::StatsDelta { epoch, delta }) => {
                 tag::STATS_DELTA.encode(buf);
@@ -130,6 +133,7 @@ impl<M: Wire> Wire for UniMsg<M> {
                 qid: Wire::decode(buf)?,
                 relation: Relation::decode(buf)?,
                 hops: Wire::decode(buf)?,
+                coverage: Wire::decode(buf)?,
             }),
             tag::STATS_DELTA => UniMsg::Query(QueryMsg::StatsDelta {
                 epoch: Wire::decode(buf)?,
@@ -152,8 +156,13 @@ pub enum UniEvent {
         relation: Relation,
         /// Accumulated hops.
         hops: u32,
-        /// `false` on timeout.
+        /// `false` when the deadline budget ran out before any
+        /// acceptable completion (the relation then holds the best
+        /// partial result seen, possibly empty).
         ok: bool,
+        /// Completeness accounting: how much of the responsible data
+        /// the winning plan execution actually reached.
+        coverage: Coverage,
     },
     /// A driver-issued raw storage operation finished.
     Storage(OverlayDone<Triple>),
@@ -202,7 +211,16 @@ mod tests {
             }),
             UniMsg::Query(QueryMsg::Execute { mqp: mqp.clone() }),
             UniMsg::Query(QueryMsg::Route { key: 99, mqp }),
-            UniMsg::Query(QueryMsg::Result { qid: 7, relation: rel, hops: 5 }),
+            UniMsg::Query(QueryMsg::Result {
+                qid: 7,
+                relation: rel,
+                hops: 5,
+                coverage: {
+                    let mut c = Coverage::full();
+                    c.record_scan(2, 3);
+                    c
+                },
+            }),
             UniMsg::Query(QueryMsg::StatsDelta {
                 epoch: 3,
                 delta: Shared::new({

@@ -12,25 +12,30 @@
 
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::Rng;
+
 use unistore_overlay::{Overlay, OverlayDone, RangeMode};
 use unistore_query::local::dedup_rows;
 use unistore_query::mqp::bind_triples;
 use unistore_query::relation::value_hash;
 use unistore_query::strategy::scan_candidates;
-use unistore_query::{CostModel, JoinStrategy, Mqp, RangeAlgo, Relation, ScanStrategy};
+use unistore_query::{CostModel, Coverage, JoinStrategy, Mqp, RangeAlgo, Relation, ScanStrategy};
 use unistore_simnet::{Effects, NodeBehavior, NodeId, SimTime, Timer};
 use unistore_store::index as idx;
 use unistore_store::mapping::MappingSet;
 use unistore_store::qgram;
 use unistore_store::triple::field;
 use unistore_store::{Oid, Triple, Value};
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::stats::RttWindow;
 use unistore_util::wire::{Shared, Wire};
 use unistore_util::{BloomFilter, FxHashMap, FxHashSet, ItemFilter, Key};
 use unistore_vql::{Term, TriplePattern};
 
 use unistore_query::cost::StatsDelta;
 
-use crate::config::{NodeParams, PlanMode, ScanPref};
+use crate::config::{BackoffPolicy, NodeParams, PlanMode, ScanPref};
 use crate::msg::{QueryMsg, UniEvent, UniMsg};
 
 /// Effects buffer of the UniStore node, parameterized by the storage
@@ -45,6 +50,20 @@ const RESULT_TIMEOUT: u32 = 100;
 /// [`StatsDelta`]s are flushed to every peer, bounding the staleness a
 /// remote plan can observe by one tick plus one hop.
 const STATS_TICK: u32 = 101;
+
+/// Timer kind for hedged dispatch: when the current attempt outlives a
+/// p99-derived delay, a second copy of the plan is shipped and the
+/// first completion wins (DESIGN.md §"Failure semantics").
+const HEDGE_TIMER: u32 = 102;
+
+/// Capacity of the per-node completion-time window behind the adaptive
+/// attempt timeout and the hedge delay.
+const RTT_WINDOW: usize = 64;
+
+/// Observed completions required before the retry policy trusts the
+/// window's quantiles; below this the configured timeout applies, so a
+/// cold node behaves exactly like the fixed-timeout policy.
+const RTT_MIN_SAMPLES: usize = 8;
 
 /// Mutant plans above this encoded size stop travelling and pull data
 /// instead (shipping megabytes of partial results is worse than a few
@@ -128,18 +147,49 @@ enum Wait {
         /// single remote exact-match lookup. Cleared if any completion
         /// fails or an invalidation for the key races the scan.
         cache_key: Option<Key>,
+        /// Storage ops this wait issued over the network (coverage
+        /// denominator; cache-resolved lookups never leave the node and
+        /// are vacuously complete).
+        issued: u32,
+        /// Ops that came back failed or partial (`!done.ok()`) — the
+        /// coverage shortfall of this scan.
+        failed: u32,
     },
     Fetch {
         pattern: TriplePattern,
         outstanding: usize,
         triples: Vec<Triple>,
         max_hops: u32,
+        issued: u32,
+        failed: u32,
     },
 }
 
 struct Active {
     mqp: Mqp,
     wait: Option<Wait>,
+}
+
+/// Origin-side state of one user-facing query across its attempts
+/// (initial dispatch, deadline-driven retries, hedges).
+struct PendingQuery {
+    /// The original plan, re-instantiated under a fresh qid per attempt.
+    mqp: Mqp,
+    /// Re-dispatches so far (observability; the budget is time-based).
+    attempts: u32,
+    /// Hard deadline: admission time + `query_timeout × (retries + 1)`.
+    /// When a timeout fires past this point the query fails with the
+    /// best partial result seen.
+    deadline: SimTime,
+    /// When the newest attempt was shipped (completion-time samples).
+    last_dispatch: SimTime,
+    /// The newest attempt's timeout — the "previous sleep" input of the
+    /// decorrelated-jitter backoff.
+    last_timeout: SimTime,
+    /// Best under-floor partial result seen so far, by coverage.
+    best: Option<(Relation, u32, Coverage)>,
+    /// Whether the current attempt already shipped its hedge.
+    hedged: bool,
 }
 
 /// A full UniStore node, generic over its storage substrate.
@@ -182,8 +232,25 @@ pub struct UniNode<O: Overlay<Item = Triple>> {
     /// tests and the concurrency bench).
     pub cache_hits: u64,
     /// Queries this node originated and still awaits results for:
-    /// user-facing qid → (original plan for retry, attempts so far).
-    pending_results: FxHashMap<u64, (Mqp, u32)>,
+    /// user-facing qid → retry/deadline state.
+    pending_results: FxHashMap<u64, PendingQuery>,
+    /// Time of the event being handled, captured at handler entry so
+    /// the retry policy can reason about deadlines without threading
+    /// `now` through every call.
+    clock: SimTime,
+    /// Private jitter stream for backoff randomization (disjoint from
+    /// the embedded overlay peer's stream).
+    rng: StdRng,
+    /// Completion times of recent origin-side attempts — the basis of
+    /// the adaptive per-attempt timeout and the hedge delay.
+    rtt: RttWindow,
+    /// Acceptance floor on [`Coverage`] for a completion to be
+    /// delivered as `ok` ([`crate::UniConfig::min_coverage`]).
+    min_coverage: f64,
+    /// Origin-side retry / hedging policy.
+    backoff: BackoffPolicy,
+    /// Hedged dispatches shipped (observability for tests and benches).
+    pub hedges: u64,
     /// Attempt qid → user-facing qid. Each re-dispatch runs under a
     /// fresh qid so execution state of a lost attempt — local or on
     /// remote peers — can never complete the new one; stale attempts
@@ -197,6 +264,7 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
     /// [`Overlay::spawn`]) into a full UniStore node of an
     /// `n_peers`-wide deployment.
     pub fn new(overlay: O, n_peers: usize, params: &NodeParams) -> Self {
+        let id = overlay.id().0 as u64;
         UniNode {
             overlay,
             cost: None,
@@ -214,6 +282,12 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             active: FxHashMap::default(),
             waiting: FxHashMap::default(),
             pending_results: FxHashMap::default(),
+            clock: SimTime::ZERO,
+            rng: derive_rng(params.seed, stream::QUERY_NODE_BASE + id),
+            rtt: RttWindow::new(RTT_WINDOW),
+            min_coverage: params.min_coverage,
+            backoff: params.backoff,
+            hedges: 0,
             attempt_of: FxHashMap::default(),
             exec_counter: 0,
         }
@@ -333,22 +407,27 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             return;
         };
         let finished = match active.wait.as_mut() {
-            Some(Wait::Scan { outstanding, triples, max_hops, cache_key, .. }) => {
+            Some(Wait::Scan { outstanding, triples, max_hops, cache_key, failed, .. }) => {
                 if let Some(items) = done.items() {
                     triples.extend(items.iter().cloned());
                 }
                 if !done.ok() {
                     // A failed or partial completion must not be cached
-                    // as the key's full row set.
+                    // as the key's full row set — and it is a coverage
+                    // shortfall the origin must hear about.
                     *cache_key = None;
+                    *failed += 1;
                 }
                 *max_hops = (*max_hops).max(done.hops());
                 *outstanding -= 1;
                 *outstanding == 0
             }
-            Some(Wait::Fetch { outstanding, triples, max_hops, .. }) => {
+            Some(Wait::Fetch { outstanding, triples, max_hops, failed, .. }) => {
                 if let Some(items) = done.items() {
                     triples.extend(items.iter().cloned());
+                }
+                if !done.ok() {
+                    *failed += 1;
                 }
                 *max_hops = (*max_hops).max(done.hops());
                 *outstanding -= 1;
@@ -364,12 +443,12 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
     fn finish_wait(&mut self, qid: u64, fx: &mut UniFx<O::Msg>) {
         let Some(mut active) = self.active.remove(&qid) else { return };
         let wait = active.wait.take().expect("finish_wait without wait state");
-        let (pattern, mut triples, qgram, max_hops, cache_key) = match wait {
-            Wait::Scan { pattern, triples, qgram, max_hops, cache_key, .. } => {
-                (pattern, triples, qgram, max_hops, cache_key)
+        let (pattern, mut triples, qgram, max_hops, cache_key, issued, failed) = match wait {
+            Wait::Scan { pattern, triples, qgram, max_hops, cache_key, issued, failed, .. } => {
+                (pattern, triples, qgram, max_hops, cache_key, issued, failed)
             }
-            Wait::Fetch { pattern, triples, max_hops, .. } => {
-                (pattern, triples, None, max_hops, None)
+            Wait::Fetch { pattern, triples, max_hops, issued, failed, .. } => {
+                (pattern, triples, None, max_hops, None, issued, failed)
             }
         };
         // Dedup triples that arrived through several index entries or
@@ -391,6 +470,9 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         let rel = bind_triples(&pattern, &triples, &self.mappings);
         active.mqp.root.resolve_first_scan(rel);
         active.mqp.hops += max_hops;
+        // Fold this scan's per-op acks into the plan's completeness
+        // accounting (a shortfall marks the result as partial).
+        active.mqp.coverage.record_scan(issued.saturating_sub(failed), issued);
         self.continue_plan(active.mqp, fx);
     }
 
@@ -404,18 +486,16 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             dedup_rows(&mut rel);
             let origin = NodeId(mqp.origin);
             if origin == self.id() {
-                if let Some(user) = self.finish_origin_attempt(qid) {
-                    fx.emit(UniEvent::QueryDone {
-                        qid: user,
-                        relation: rel,
-                        hops: mqp.hops,
-                        ok: true,
-                    });
-                }
+                self.deliver_result(qid, rel, mqp.hops, mqp.coverage, fx);
             } else {
                 fx.send(
                     origin,
-                    UniMsg::Query(QueryMsg::Result { qid, relation: rel, hops: mqp.hops }),
+                    UniMsg::Query(QueryMsg::Result {
+                        qid,
+                        relation: rel,
+                        hops: mqp.hops,
+                        coverage: mqp.coverage,
+                    }),
                 );
             }
             return;
@@ -620,6 +700,8 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                     outstanding: qids.len(),
                     triples: Vec::new(),
                     max_hops: 0,
+                    issued: qids.len() as u32,
+                    failed: 0,
                 }),
             },
         );
@@ -733,6 +815,8 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                     qgram: qgram_filter,
                     max_hops: 0,
                     cache_key,
+                    issued: qids.len() as u32,
+                    failed: 0,
                 }),
             },
         );
@@ -759,9 +843,22 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         match msg {
             QueryMsg::Execute { mqp } => {
                 if from == NodeId::EXTERNAL && NodeId(mqp.origin) == self.id() {
-                    self.pending_results.insert(mqp.qid, (mqp.clone(), 0));
+                    let timeout = self.jittered(self.attempt_timeout());
+                    self.pending_results.insert(
+                        mqp.qid,
+                        PendingQuery {
+                            mqp: mqp.clone(),
+                            attempts: 0,
+                            deadline: self.clock + self.query_deadline_budget(),
+                            last_dispatch: self.clock,
+                            last_timeout: timeout,
+                            best: None,
+                            hedged: false,
+                        },
+                    );
                     self.attempt_of.insert(mqp.qid, mqp.qid);
-                    fx.set_timer(self.query_timeout, Timer::new(RESULT_TIMEOUT, mqp.qid));
+                    fx.set_timer(timeout, Timer::new(RESULT_TIMEOUT, mqp.qid));
+                    self.arm_hedge(mqp.qid, fx);
                 }
                 self.continue_plan(mqp, fx);
             }
@@ -775,15 +872,19 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
                             mqp.hops += 1;
                             fx.send(next, UniMsg::Query(QueryMsg::Route { key, mqp }));
                         }
-                        // Routing hole: execute from here as fallback.
-                        None => self.continue_plan(mqp, fx),
+                        // Routing hole: execute from here as fallback,
+                        // annotating the subtree the plan could not
+                        // reach so the origin sees the degradation.
+                        None => {
+                            let mut mqp = mqp;
+                            mqp.coverage.record_skip();
+                            self.continue_plan(mqp, fx);
+                        }
                     }
                 }
             }
-            QueryMsg::Result { qid, relation, hops } => {
-                if let Some(user) = self.finish_origin_attempt(qid) {
-                    fx.emit(UniEvent::QueryDone { qid: user, relation, hops, ok: true });
-                }
+            QueryMsg::Result { qid, relation, hops, coverage } => {
+                self.deliver_result(qid, relation, hops, coverage, fx);
             }
             QueryMsg::StatsDelta { epoch, delta } => {
                 // Cache invalidation runs before the epoch gate: a
@@ -817,14 +918,100 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         }
     }
 
-    /// Resolves a completed attempt back to the user-facing query id,
-    /// consuming the origin-side bookkeeping for that query. Returns
-    /// `None` for stale attempts (superseded by a retry, already
-    /// answered, or already failed).
-    fn finish_origin_attempt(&mut self, attempt_qid: u64) -> Option<u64> {
-        let user = *self.attempt_of.get(&attempt_qid)?;
-        self.purge_attempts(user);
-        self.pending_results.remove(&user).map(|_| user)
+    /// Total origin-side deadline budget for one query — identical to
+    /// the fixed-retry policy's worst case, so driver-side waits
+    /// calibrated against it stay valid.
+    fn query_deadline_budget(&self) -> SimTime {
+        let budget = self.query_timeout.as_micros().saturating_mul(self.query_retries as u64 + 1);
+        SimTime::from_micros(budget)
+    }
+
+    /// Applies ±25% multiplicative jitter to a timeout. Queries
+    /// admitted together must not arm identical deadlines: when a
+    /// correlated failure (partition, blackout) strands a whole window
+    /// of attempts, synchronized timers would re-dispatch every one of
+    /// them at the same instant — a retry storm. The jitter spreads the
+    /// first retry wave, and the decorrelated retry sampler keeps later
+    /// waves apart.
+    fn jittered(&mut self, t: SimTime) -> SimTime {
+        let f = self.rng.gen_range(0.75..1.25);
+        SimTime::from_micros((t.as_micros() as f64 * f) as u64)
+    }
+
+    /// Adaptive per-attempt timeout: a multiple of the observed p99
+    /// completion time once enough samples exist, the configured
+    /// timeout until then (a cold node behaves exactly like the fixed
+    /// policy).
+    fn attempt_timeout(&self) -> SimTime {
+        match self.rtt.quantile(0.99) {
+            Some(p99) if self.rtt.len() >= RTT_MIN_SAMPLES => {
+                SimTime::from_micros((p99 * self.backoff.rtt_multiplier) as u64)
+                    .max(self.backoff.min_attempt)
+                    .min(self.query_timeout)
+            }
+            _ => self.query_timeout,
+        }
+    }
+
+    /// Arms the hedge timer for the newest attempt of `user`: once the
+    /// attempt outlives a p99-derived delay it is presumed stuck and a
+    /// second copy races it. No-op while the window is cold or hedging
+    /// is disabled.
+    fn arm_hedge(&mut self, user: u64, fx: &mut UniFx<O::Msg>) {
+        if !self.backoff.hedging || self.rtt.len() < RTT_MIN_SAMPLES {
+            return;
+        }
+        let Some(p99) = self.rtt.quantile(0.99) else { return };
+        let base = SimTime::from_micros((p99 * self.backoff.hedge_multiplier) as u64)
+            .max(SimTime::from_micros(1));
+        // Hedges are re-dispatches too: a window of queries admitted at
+        // the same instant would otherwise fire a synchronized hedge wave.
+        let delay = self.jittered(base).max(SimTime::from_micros(1));
+        fx.set_timer(delay, Timer::new(HEDGE_TIMER, user));
+    }
+
+    /// Routes a completed attempt's answer through the origin-side
+    /// acceptance gate. Stale attempts (superseded by a retry, already
+    /// answered, already failed) resolve to a purged alias and are
+    /// dropped. A completion whose coverage clears the configured floor
+    /// answers the query; one below the floor retires only this attempt
+    /// — the best partial is kept for the deadline-driven retry chain
+    /// to improve on or surface at final failure.
+    fn deliver_result(
+        &mut self,
+        attempt_qid: u64,
+        relation: Relation,
+        hops: u32,
+        coverage: Coverage,
+        fx: &mut UniFx<O::Msg>,
+    ) {
+        let Some(&user) = self.attempt_of.get(&attempt_qid) else { return };
+        // Only full-coverage completions feed the RTT estimator. A
+        // partial produced by an overlay op timeout measures the
+        // timeout, not the network: folding it in would inflate the
+        // p99 until attempt budgets collapse to the query deadline and
+        // the retry chain stops retrying — exactly when it is needed.
+        if coverage.fraction() >= 1.0 {
+            if let Some(p) = self.pending_results.get(&user) {
+                let sample = self.clock.saturating_sub(p.last_dispatch);
+                self.rtt.observe(sample.as_micros() as f64);
+            }
+        }
+        if coverage.fraction() >= self.min_coverage {
+            self.purge_attempts(user);
+            if self.pending_results.remove(&user).is_some() {
+                fx.emit(UniEvent::QueryDone { qid: user, relation, hops, ok: true, coverage });
+            }
+            return;
+        }
+        if let Some(p) = self.pending_results.get_mut(&user) {
+            if p.best.as_ref().is_none_or(|(_, _, c)| coverage.fraction() > c.fraction()) {
+                p.best = Some((relation, hops, coverage));
+            }
+        }
+        self.attempt_of.remove(&attempt_qid);
+        self.active.remove(&attempt_qid);
+        self.waiting.retain(|_, v| *v != attempt_qid);
     }
 
     /// Retires every in-flight attempt of a query: aliases, suspended
@@ -941,6 +1128,7 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
     type Out = UniEvent;
 
     fn on_start(&mut self, now: SimTime, fx: &mut UniFx<O::Msg>) {
+        self.clock = now;
         self.with_overlay(fx, |p, ofx| p.on_start(now, ofx));
         fx.set_timer(self.stats_refresh, Timer::new(STATS_TICK, 0));
     }
@@ -952,6 +1140,7 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
         msg: UniMsg<O::Msg>,
         fx: &mut UniFx<O::Msg>,
     ) {
+        self.clock = now;
         match msg {
             UniMsg::Overlay(m) => self.with_overlay(fx, |p, ofx| p.on_message(now, from, m, ofx)),
             UniMsg::Query(q) => self.handle_query_msg(from, q, fx),
@@ -959,41 +1148,75 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
     }
 
     fn on_timer(&mut self, now: SimTime, t: Timer, fx: &mut UniFx<O::Msg>) {
+        self.clock = now;
         if t.kind < 100 {
             self.with_overlay(fx, |p, ofx| p.on_timer(now, t, ofx));
         } else if t.kind == STATS_TICK {
             self.flush_stats_outbox(fx);
             fx.set_timer(self.stats_refresh, Timer::new(STATS_TICK, 0));
         } else if t.kind == RESULT_TIMEOUT {
-            let qid = t.payload;
-            let retry = match self.pending_results.get_mut(&qid) {
-                Some((mqp, attempts)) if *attempts < self.query_retries => {
-                    *attempts += 1;
-                    Some(mqp.clone())
-                }
-                Some(_) => {
-                    self.pending_results.remove(&qid);
-                    self.purge_attempts(qid);
-                    fx.emit(UniEvent::QueryDone {
-                        qid,
-                        relation: Relation::empty(vec![]),
-                        hops: 0,
-                        ok: false,
-                    });
-                    None
-                }
-                None => None,
+            let user = t.payload;
+            let (deadline, last_timeout) = match self.pending_results.get(&user) {
+                Some(p) => (p.deadline, p.last_timeout),
+                None => return,
             };
-            if let Some(mut mqp) = retry {
-                // Retire the lost attempts so their late replies can
-                // neither complete the fresh one nor surface a partial
-                // answer as the result, then re-dispatch under a fresh
-                // attempt qid.
-                self.purge_attempts(qid);
+            if now >= deadline {
+                // Budget exhausted: fail with the best partial seen.
+                let p = self.pending_results.remove(&user).expect("checked above");
+                self.purge_attempts(user);
+                let (relation, hops, coverage) =
+                    p.best.unwrap_or_else(|| (Relation::empty(vec![]), 0, Coverage::failed()));
+                fx.emit(UniEvent::QueryDone { qid: user, relation, hops, ok: false, coverage });
+                return;
+            }
+            // Retire the lost attempts so their late replies can
+            // neither complete the fresh one nor surface a partial
+            // answer as the result, then re-dispatch under a fresh
+            // attempt qid with a decorrelated-jittered timeout:
+            // uniform over [0.75 × adaptive base, 3 × previous], capped
+            // by the configured timeout and the remaining budget. The
+            // lower bound sits below the base so that the cap cannot
+            // collapse the sample back to one synchronized value when
+            // the adaptive base already equals the configured timeout
+            // (a cold node under correlated failure).
+            self.purge_attempts(user);
+            let base = self.attempt_timeout();
+            let lo = SimTime::from_micros((base.as_micros() as f64 * 0.75) as u64);
+            let hi = SimTime::from_micros(last_timeout.as_micros().saturating_mul(3)).max(base);
+            let next_timeout =
+                SimTime::from_micros(self.rng.gen_range(lo.as_micros()..=hi.as_micros()))
+                    .min(self.query_timeout);
+            let delay = next_timeout.min(deadline.saturating_sub(now));
+            let attempt_qid = self.fresh_exec_qid();
+            let p = self.pending_results.get_mut(&user).expect("checked above");
+            p.attempts += 1;
+            p.hedged = false;
+            p.last_dispatch = now;
+            p.last_timeout = next_timeout;
+            let mut mqp = p.mqp.clone();
+            mqp.qid = attempt_qid;
+            self.attempt_of.insert(attempt_qid, user);
+            fx.set_timer(delay, Timer::new(RESULT_TIMEOUT, user));
+            self.arm_hedge(user, fx);
+            self.continue_plan(mqp, fx);
+        } else if t.kind == HEDGE_TIMER {
+            let user = t.payload;
+            // Still pending and not yet hedged this attempt: ship the
+            // race copy. The original attempt stays live — whichever
+            // completion reaches the origin first wins; the loser
+            // resolves to a purged alias and is dropped.
+            let mqp = match self.pending_results.get_mut(&user) {
+                Some(p) if !p.hedged => {
+                    p.hedged = true;
+                    Some(p.mqp.clone())
+                }
+                _ => None,
+            };
+            if let Some(mut mqp) = mqp {
                 let attempt_qid = self.fresh_exec_qid();
                 mqp.qid = attempt_qid;
-                self.attempt_of.insert(attempt_qid, qid);
-                fx.set_timer(self.query_timeout, Timer::new(RESULT_TIMEOUT, qid));
+                self.hedges += 1;
+                self.attempt_of.insert(attempt_qid, user);
                 self.continue_plan(mqp, fx);
             }
         }

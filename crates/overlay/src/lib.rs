@@ -22,6 +22,8 @@
 //! says ring DHTs need for range queries (§2). The whole
 //! VQL → MQP → adaptive-optimizer pipeline runs unchanged over either.
 
+pub mod repair;
+
 use unistore_simnet::{Effects, NodeBehavior, NodeId};
 use unistore_util::item::Item;
 use unistore_util::Key;

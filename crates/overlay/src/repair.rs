@@ -1,0 +1,67 @@
+//! Backend-agnostic digest-exchange anti-entropy.
+//!
+//! Both backends repair replicas with the same pull protocol (paper
+//! ref [4], Datta et al.: hybrid push/pull with loose consistency): a
+//! replica offers a **digest** — `(record key, version)` pairs covering
+//! its store, tombstones included — and the partner answers with every
+//! record that is strictly newer than (or absent from) the digest. The
+//! stores differ only in their record key — `(key, ident)` for P-Grid's
+//! trie leaves, `(ring position, key, ident)` for Chord's ring — so the
+//! diff that drives the exchange lives here, generic over the key.
+
+use std::hash::Hash;
+
+use unistore_util::FxHashMap;
+
+/// Records strictly newer than what `theirs` reports (or absent from
+/// it): the reply half of a digest exchange. `mine` iterates this
+/// store's records as `(record key, version, payload-or-tombstone)`;
+/// tombstones travel too — deletes must propagate, or revived replicas
+/// would resurrect deleted data.
+pub fn diff_newer<'a, K, I>(
+    mine: impl Iterator<Item = (K, u64, Option<&'a I>)>,
+    theirs: &[(K, u64)],
+) -> Vec<(K, u64, Option<I>)>
+where
+    K: Eq + Hash + Copy,
+    I: Clone + 'a,
+{
+    let known: FxHashMap<K, u64> = theirs.iter().copied().collect();
+    mine.filter(|(k, v, _)| known.get(k).is_none_or(|have| *v > *have))
+        .map(|(k, v, i)| (k, v, i.cloned()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<(u64, u64, Option<&'static u32>)> {
+        vec![(1, 3, Some(&10)), (2, 1, None), (3, 5, Some(&30))]
+    }
+
+    #[test]
+    fn absent_and_stale_records_travel() {
+        // Partner knows key 1 at the same version, key 3 at an older one,
+        // and nothing about the key-2 tombstone.
+        let out = diff_newer(records().into_iter(), &[(1, 3), (3, 4)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (2, 1, None), "tombstones propagate");
+        assert_eq!(out[1], (3, 5, Some(30)));
+    }
+
+    #[test]
+    fn up_to_date_partner_gets_nothing() {
+        let out = diff_newer(records().into_iter(), &[(1, 3), (2, 1), (3, 5)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn equal_versions_do_not_travel() {
+        // Strictly-newer rule: an equal version is not worth shipping.
+        let out = diff_newer(records().into_iter(), &[(1, 3), (2, 1), (3, 5)]);
+        assert!(out.is_empty());
+        let out = diff_newer(records().into_iter(), &[]);
+        assert_eq!(out.len(), 3, "empty digest pulls everything");
+    }
+}

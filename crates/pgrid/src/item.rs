@@ -122,17 +122,18 @@ impl<I: Item> LocalStore<I> {
     }
 
     /// Records strictly newer than what `digest` reports (or absent from
-    /// it) — the pull half of anti-entropy. Tombstones travel too.
+    /// it) — the pull half of anti-entropy, shared with Chord through
+    /// [`unistore_overlay::repair::diff_newer`]. Tombstones travel too.
     pub fn newer_than(
         &self,
         digest: &[(Key, u64, Version)],
     ) -> Vec<(Key, u64, Version, Option<I>)> {
-        let known: unistore_util::FxHashMap<(Key, u64), Version> =
+        let known: Vec<((Key, u64), Version)> =
             digest.iter().map(|&(k, id, v)| ((k, id), v)).collect();
-        self.entries
-            .iter()
-            .filter(|(&(k, id), e)| known.get(&(k, id)).is_none_or(|&v| e.version > v))
-            .map(|(&(k, id), e)| (k, id, e.version, e.item.clone()))
+        let mine = self.entries.iter().map(|(&(k, id), e)| ((k, id), e.version, e.item.as_ref()));
+        unistore_overlay::repair::diff_newer(mine, &known)
+            .into_iter()
+            .map(|((k, id), v, item)| (k, id, v, item))
             .collect()
     }
 

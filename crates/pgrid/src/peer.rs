@@ -268,10 +268,16 @@ impl<I: Item> PGridPeer<I> {
         fx.set_timer(delay, Timer::new(kind, 0));
     }
 
-    /// Registers a pending driver operation and arms its timeout.
+    /// Registers a pending driver operation and arms its timeout,
+    /// jittered ±25% so a batch of ops stranded by one correlated
+    /// failure re-issues spread out instead of as a synchronized
+    /// retry storm.
     pub(crate) fn register_pending(&mut self, fx: &mut Fx<I>, qid: QueryId, p: Pending<I>) {
         self.pending.insert(qid, p);
-        fx.set_timer(self.cfg.query_timeout, Timer::new(timer::QUERY_TIMEOUT, qid));
+        let jitter = self.rng.gen_range(0.75..1.25);
+        let delay =
+            SimTime::from_micros((self.cfg.query_timeout.as_micros() as f64 * jitter) as u64);
+        fx.set_timer(delay, Timer::new(timer::QUERY_TIMEOUT, qid));
     }
 
     fn handle_query_timeout(&mut self, qid: QueryId, fx: &mut Fx<I>) {

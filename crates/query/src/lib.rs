@@ -41,6 +41,6 @@ pub mod strategy;
 pub use cost::{CostModel, CostVector, GlobalStats, StatsDelta};
 pub use local::LocalEngine;
 pub use logical::Logical;
-pub use mqp::{Mqp, MqpNode};
+pub use mqp::{Coverage, Mqp, MqpNode};
 pub use relation::Relation;
 pub use strategy::{JoinStrategy, RangeAlgo, ScanStrategy};

@@ -274,6 +274,98 @@ impl MqpNode {
     }
 }
 
+/// Completeness accounting of a travelling plan: how much of the data
+/// the plan was responsible for was actually reached.
+///
+/// Every scan the plan resolves contributes its leaf operations
+/// (per-key lookups, range subtrees, fetch-join legs) as *parts*; a
+/// part that fails (lost lookup after retries, aborted range subtree)
+/// leaves `parts_ok < parts_total` and flags a shortfall. A routing
+/// hole that forces the plan to execute from a non-responsible peer is
+/// annotated as a `skipped` subtree. The report travels *with* the
+/// plan — forwarded hops keep accumulating into it — and surfaces in
+/// the final result, so queries under churn return partial relations
+/// with an honest completeness figure instead of timing out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Leaf operations that completed cleanly.
+    pub parts_ok: u32,
+    /// Leaf operations issued.
+    pub parts_total: u32,
+    /// Scans that fell short (at least one failed part).
+    pub shortfalls: u32,
+    /// Subtrees the plan could not route to and had to execute blind.
+    pub skipped: u32,
+}
+
+impl Coverage {
+    /// Coverage of a plan that has not touched the network (vacuously
+    /// complete — a fully cached or empty plan reached everything it
+    /// was responsible for).
+    pub fn full() -> Self {
+        Coverage::default()
+    }
+
+    /// Coverage of a query that produced no result at all (deadline
+    /// exhausted with nothing to show): fraction 0.
+    pub fn failed() -> Self {
+        Coverage { parts_ok: 0, parts_total: 0, shortfalls: 1, skipped: 1 }
+    }
+
+    /// Records one finished scan: `ok` of `total` parts completed.
+    pub fn record_scan(&mut self, ok: u32, total: u32) {
+        self.parts_ok += ok;
+        self.parts_total += total;
+        if ok < total {
+            self.shortfalls += 1;
+        }
+    }
+
+    /// Annotates a subtree the plan could not route toward.
+    pub fn record_skip(&mut self) {
+        self.skipped += 1;
+    }
+
+    /// Fraction of responsible leaves actually reached, in `[0, 1]`.
+    /// Skipped subtrees count as unreached parts; a plan that never
+    /// needed the network is complete by convention.
+    pub fn fraction(&self) -> f64 {
+        let denom = self.parts_total + self.skipped;
+        if denom == 0 {
+            if self.shortfalls == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.parts_ok as f64 / denom as f64
+        }
+    }
+
+    /// Whether every leaf was reached and nothing was skipped.
+    pub fn complete(&self) -> bool {
+        self.shortfalls == 0 && self.skipped == 0 && self.parts_ok == self.parts_total
+    }
+}
+
+impl Wire for Coverage {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.parts_ok.encode(buf);
+        self.parts_total.encode(buf);
+        self.shortfalls.encode(buf);
+        self.skipped.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Coverage {
+            parts_ok: Wire::decode(buf)?,
+            parts_total: Wire::decode(buf)?,
+            shortfalls: Wire::decode(buf)?,
+            skipped: Wire::decode(buf)?,
+        })
+    }
+}
+
 /// A complete mutant plan as it travels the network.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Mqp {
@@ -290,6 +382,9 @@ pub struct Mqp {
     pub limit_hint: Option<u64>,
     /// Plan-forwarding hops taken so far (mutant travel distance).
     pub hops: u32,
+    /// Completeness accounting, accumulated across every peer that
+    /// resolved a scan of this plan.
+    pub coverage: Coverage,
 }
 
 impl Mqp {
@@ -301,7 +396,7 @@ impl Mqp {
         filters: Vec<Expr>,
         limit: Option<u64>,
     ) -> Mqp {
-        Mqp { qid, origin, root, filters, limit_hint: limit, hops: 0 }
+        Mqp { qid, origin, root, filters, limit_hint: limit, hops: 0, coverage: Coverage::full() }
     }
 }
 
@@ -488,6 +583,7 @@ impl Wire for Mqp {
         self.filters.encode(buf);
         self.limit_hint.encode(buf);
         self.hops.encode(buf);
+        self.coverage.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -498,6 +594,7 @@ impl Wire for Mqp {
             filters: Wire::decode(buf)?,
             limit_hint: Wire::decode(buf)?,
             hops: Wire::decode(buf)?,
+            coverage: Wire::decode(buf)?,
         })
     }
 }
@@ -621,9 +718,34 @@ mod tests {
         // Partially resolve so a Mat node is in the tree too.
         plan.resolve_first_scan(rel(&["a", "n"], vec![vec![Value::str("a1"), Value::str("x")]]));
         let filters = parse("SELECT ?g WHERE {(?a,'age',?g) FILTER ?g >= 30}").unwrap().filters;
-        let mqp = Mqp::new(42, 7, plan, filters, Some(2));
+        let mut mqp = Mqp::new(42, 7, plan, filters, Some(2));
+        mqp.coverage.record_scan(3, 4);
+        mqp.coverage.record_skip();
         let b = mqp.to_bytes();
         assert_eq!(b.len(), mqp.wire_size());
         assert_eq!(Mqp::from_bytes(&b).unwrap(), mqp);
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let mut c = Coverage::full();
+        assert_eq!(c.fraction(), 1.0);
+        assert!(c.complete());
+        c.record_scan(4, 4);
+        assert_eq!(c.fraction(), 1.0);
+        assert!(c.complete());
+        // A scan with one failed part: fraction drops, shortfall flagged.
+        c.record_scan(3, 4);
+        assert_eq!(c.shortfalls, 1);
+        assert!((c.fraction() - 7.0 / 8.0).abs() < 1e-12);
+        assert!(!c.complete());
+        // A skipped subtree counts as an unreached part.
+        let mut c = Coverage::full();
+        c.record_scan(2, 2);
+        c.record_skip();
+        assert!((c.fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!c.complete());
+        // A query that died without any result reads as zero coverage.
+        assert_eq!(Coverage::failed().fraction(), 0.0);
     }
 }

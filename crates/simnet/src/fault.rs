@@ -1,0 +1,304 @@
+//! Composable fault plans: partitions, gray failures, duplication and
+//! reordering.
+//!
+//! Uniform loss and fail-stop churn (the seed failure model) miss whole
+//! classes of real-world misbehavior: split networks that heal, links
+//! that silently degrade without dying, and transports that deliver a
+//! message twice or late. A [`FaultPlan`] composes any number of such
+//! faults, each active within a schedule [`Window`], and is installed
+//! with [`SimNet::set_fault_plan`](crate::SimNet::set_fault_plan). All
+//! sampling flows through the simulator's seeded RNG, so a faulty run
+//! is exactly as reproducible as a healthy one — and an *empty* plan
+//! consumes no randomness at all, leaving healthy-path runs
+//! bit-identical to a simulator without the fault plane.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use unistore_util::FxHashSet;
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// Half-open activity window `[from, until)` on the simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// First instant the fault is active.
+    pub from: SimTime,
+    /// First instant the fault is healed again.
+    pub until: SimTime,
+}
+
+impl Window {
+    /// A window active in `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        Window { from, until }
+    }
+
+    /// A window that never heals.
+    pub fn always() -> Self {
+        Window { from: SimTime::ZERO, until: SimTime::MAX }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+}
+
+/// A named partition: while active, messages crossing the island
+/// boundary (in either direction) are dropped. Healing is just the end
+/// of the window — no state to repair in the simulator itself.
+#[derive(Clone, Debug)]
+struct Partition {
+    name: String,
+    island: FxHashSet<NodeId>,
+    window: Window,
+}
+
+/// A gray failure on a link: matching messages still arrive, but late.
+/// `None` endpoints are wildcards, so a spike can describe one directed
+/// link, everything leaving a node, everything entering one, or the
+/// whole network.
+#[derive(Clone, Debug)]
+struct DelaySpike {
+    from: Option<NodeId>,
+    to: Option<NodeId>,
+    extra: SimTime,
+    window: Window,
+}
+
+impl DelaySpike {
+    fn matches(&self, from: NodeId, to: NodeId) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Probabilistic message duplication: a matching send is delivered a
+/// second time after an independently sampled extra link delay.
+#[derive(Clone, Copy, Debug)]
+struct Duplicate {
+    rate: f64,
+    window: Window,
+}
+
+/// Probabilistic reordering: a matching send is held back by a uniform
+/// extra delay in `[0, spread]`, letting later sends overtake it.
+#[derive(Clone, Copy, Debug)]
+struct Reorder {
+    rate: f64,
+    spread: SimTime,
+    window: Window,
+}
+
+/// A composable collection of scheduled faults. Build with the chained
+/// constructors, then install via
+/// [`SimNet::set_fault_plan`](crate::SimNet::set_fault_plan).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    partitions: Vec<Partition>,
+    spikes: Vec<DelaySpike>,
+    duplicates: Vec<Duplicate>,
+    reorders: Vec<Reorder>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a named partition separating `island` from the rest of the
+    /// network within `window`.
+    pub fn partition(
+        mut self,
+        name: &str,
+        island: impl IntoIterator<Item = NodeId>,
+        window: Window,
+    ) -> Self {
+        self.partitions.push(Partition {
+            name: name.to_string(),
+            island: island.into_iter().collect(),
+            window,
+        });
+        self
+    }
+
+    /// Adds `extra` one-way delay to every message matching
+    /// `from → to` within `window` (`None` endpoints are wildcards).
+    pub fn delay_spike(
+        mut self,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        extra: SimTime,
+        window: Window,
+    ) -> Self {
+        self.spikes.push(DelaySpike { from, to, extra, window });
+        self
+    }
+
+    /// Duplicates each cross-node message with probability `rate`
+    /// within `window`.
+    pub fn duplicate(mut self, rate: f64, window: Window) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "duplication rate out of range");
+        self.duplicates.push(Duplicate { rate, window });
+        self
+    }
+
+    /// Holds back each cross-node message with probability `rate` by a
+    /// uniform extra delay in `[0, spread]` within `window`, so later
+    /// sends can overtake it.
+    pub fn reorder(mut self, rate: f64, spread: SimTime, window: Window) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "reorder rate out of range");
+        self.reorders.push(Reorder { rate, spread, window });
+        self
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+            && self.spikes.is_empty()
+            && self.duplicates.is_empty()
+            && self.reorders.is_empty()
+    }
+
+    /// The name of an active partition separating `from` and `to` at
+    /// `now`, if any.
+    pub fn blocks(&self, now: SimTime, from: NodeId, to: NodeId) -> Option<&str> {
+        self.partitions
+            .iter()
+            .find(|p| p.window.contains(now) && p.island.contains(&from) != p.island.contains(&to))
+            .map(|p| p.name.as_str())
+    }
+
+    /// Sum of active delay spikes matching `from → to` at `now`.
+    pub fn extra_delay(&self, now: SimTime, from: NodeId, to: NodeId) -> SimTime {
+        self.spikes
+            .iter()
+            .filter(|s| s.window.contains(now) && s.matches(from, to))
+            .fold(SimTime::ZERO, |acc, s| acc + s.extra)
+    }
+
+    /// Samples whether a message sent at `now` is duplicated. Consumes
+    /// randomness only when a duplication fault is active.
+    pub fn duplicates(&self, now: SimTime, rng: &mut StdRng) -> bool {
+        self.duplicates
+            .iter()
+            .filter(|d| d.window.contains(now) && d.rate > 0.0)
+            .any(|d| rng.gen::<f64>() < d.rate)
+    }
+
+    /// Samples the reordering hold-back for a message sent at `now`
+    /// (zero when no reorder fault fires). Consumes randomness only
+    /// when a reorder fault is active.
+    pub fn reorder_delay(&self, now: SimTime, rng: &mut StdRng) -> SimTime {
+        let mut extra = SimTime::ZERO;
+        for r in self.reorders.iter().filter(|r| r.window.contains(now) && r.rate > 0.0) {
+            if rng.gen::<f64>() < r.rate && r.spread > SimTime::ZERO {
+                extra += SimTime::from_micros(rng.gen_range(0..=r.spread.as_micros()));
+            }
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = Window::new(t(10), t(20));
+        assert!(!w.contains(t(9)));
+        assert!(w.contains(t(10)));
+        assert!(w.contains(t(19)));
+        assert!(!w.contains(t(20)));
+        assert!(Window::always().contains(SimTime::ZERO));
+    }
+
+    #[test]
+    fn partition_blocks_cross_island_both_ways_and_heals() {
+        let plan =
+            FaultPlan::new().partition("split", [NodeId(0), NodeId(1)], Window::new(t(5), t(15)));
+        // Inactive before the window.
+        assert!(plan.blocks(t(0), NodeId(0), NodeId(2)).is_none());
+        // Active: both directions across the boundary are cut.
+        assert_eq!(plan.blocks(t(10), NodeId(0), NodeId(2)), Some("split"));
+        assert_eq!(plan.blocks(t(10), NodeId(2), NodeId(0)), Some("split"));
+        // Intra-island and intra-mainland traffic flows.
+        assert!(plan.blocks(t(10), NodeId(0), NodeId(1)).is_none());
+        assert!(plan.blocks(t(10), NodeId(2), NodeId(3)).is_none());
+        // Healed after the window.
+        assert!(plan.blocks(t(15), NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn delay_spike_wildcards_and_windows() {
+        let plan = FaultPlan::new()
+            .delay_spike(Some(NodeId(1)), None, SimTime::from_millis(100), Window::new(t(0), t(10)))
+            .delay_spike(
+                Some(NodeId(1)),
+                Some(NodeId(2)),
+                SimTime::from_millis(50),
+                Window::always(),
+            );
+        // Both spikes match 1 → 2 inside the first window: they add up.
+        assert_eq!(plan.extra_delay(t(5), NodeId(1), NodeId(2)), SimTime::from_millis(150));
+        // Only the wildcard matches 1 → 3.
+        assert_eq!(plan.extra_delay(t(5), NodeId(1), NodeId(3)), SimTime::from_millis(100));
+        // After the first window only the always-on link spike remains.
+        assert_eq!(plan.extra_delay(t(20), NodeId(1), NodeId(2)), SimTime::from_millis(50));
+        // Unrelated links are untouched.
+        assert_eq!(plan.extra_delay(t(5), NodeId(4), NodeId(5)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duplication_and_reordering_sample_at_rate() {
+        let plan = FaultPlan::new().duplicate(0.5, Window::always()).reorder(
+            0.5,
+            SimTime::from_millis(10),
+            Window::always(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let dups = (0..1000).filter(|_| plan.duplicates(t(0), &mut rng)).count();
+        assert!((350..650).contains(&dups), "~half should duplicate, got {dups}");
+        let mut rng = StdRng::seed_from_u64(2);
+        let held = (0..1000).filter(|_| plan.reorder_delay(t(0), &mut rng) > SimTime::ZERO).count();
+        assert!((350..650).contains(&held), "~half should be held back, got {held}");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(plan.reorder_delay(t(0), &mut rng) <= SimTime::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn empty_plan_consumes_no_randomness() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert!(!plan.duplicates(t(0), &mut a));
+        assert_eq!(plan.reorder_delay(t(0), &mut a), SimTime::ZERO);
+        // The untouched twin still agrees with the queried RNG.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn out_of_window_faults_consume_no_randomness() {
+        let plan = FaultPlan::new().duplicate(1.0, Window::new(t(100), t(200))).reorder(
+            1.0,
+            SimTime::from_millis(10),
+            Window::new(t(100), t(200)),
+        );
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert!(!plan.duplicates(t(0), &mut a));
+        assert_eq!(plan.reorder_delay(t(0), &mut a), SimTime::ZERO);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -13,17 +13,20 @@
 //! * **Honest accounting** — every message crossing the network reports
 //!   its encoded size via `Wire::wire_size`, so byte counts in experiment
 //!   output correspond to real serialized sizes.
-//! * **Failure injection** — uniform message loss, fail-stop crashes and
-//!   churn schedules ([`churn`]).
+//! * **Failure injection** — uniform message loss, fail-stop crashes,
+//!   churn schedules ([`churn`]), and composable [`fault`] plans
+//!   (partitions, gray-failure delay spikes, duplication, reordering).
 
 pub mod churn;
 pub mod effects;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod net;
 pub mod time;
 
 pub use effects::{Effects, Timer};
+pub use fault::{FaultPlan, Window};
 pub use latency::{ConstantLatency, LanLatency, LatencyModel, PlanetLabLatency, UniformLatency};
 pub use metrics::NetMetrics;
 pub use net::{NodeBehavior, NodeId, SimNet};

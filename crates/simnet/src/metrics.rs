@@ -18,6 +18,8 @@ pub struct NetMetrics {
     pub bytes: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Extra deliveries manufactured by a duplication fault.
+    pub duplicated: u64,
 }
 
 impl NetMetrics {
@@ -29,6 +31,7 @@ impl NetMetrics {
             dropped: self.dropped - earlier.dropped,
             bytes: self.bytes - earlier.bytes,
             timers_fired: self.timers_fired - earlier.timers_fired,
+            duplicated: self.duplicated - earlier.duplicated,
         }
     }
 }
@@ -53,8 +56,22 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = NetMetrics { sent: 10, delivered: 8, dropped: 2, bytes: 100, timers_fired: 1 };
-        let b = NetMetrics { sent: 4, delivered: 4, dropped: 0, bytes: 30, timers_fired: 0 };
+        let a = NetMetrics {
+            sent: 10,
+            delivered: 8,
+            dropped: 2,
+            bytes: 100,
+            timers_fired: 1,
+            duplicated: 1,
+        };
+        let b = NetMetrics {
+            sent: 4,
+            delivered: 4,
+            dropped: 0,
+            bytes: 30,
+            timers_fired: 0,
+            duplicated: 0,
+        };
         let d = a.delta(&b);
         assert_eq!(d.sent, 6);
         assert_eq!(d.delivered, 4);

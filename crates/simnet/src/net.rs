@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 use unistore_util::wire::Wire;
 
 use crate::effects::{Effects, Timer};
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::metrics::NetMetrics;
 use crate::time::SimTime;
@@ -130,6 +131,7 @@ pub struct SimNet<N: NodeBehavior> {
     latency: Box<dyn LatencyModel>,
     rng: StdRng,
     loss_rate: f64,
+    faults: FaultPlan,
     metrics: NetMetrics,
     outputs: Vec<(SimTime, NodeId, N::Out)>,
 }
@@ -145,6 +147,7 @@ impl<N: NodeBehavior> SimNet<N> {
             latency,
             rng: StdRng::seed_from_u64(seed),
             loss_rate: 0.0,
+            faults: FaultPlan::default(),
             metrics: NetMetrics::default(),
             outputs: Vec::new(),
         }
@@ -160,6 +163,7 @@ impl<N: NodeBehavior> SimNet<N> {
             latency: Box::new(latency),
             rng: StdRng::seed_from_u64(seed),
             loss_rate: 0.0,
+            faults: FaultPlan::default(),
             metrics: NetMetrics::default(),
             outputs: Vec::new(),
         }
@@ -169,6 +173,23 @@ impl<N: NodeBehavior> SimNet<N> {
     pub fn set_loss_rate(&mut self, rate: f64) {
         assert!((0.0..=1.0).contains(&rate), "loss rate out of range");
         self.loss_rate = rate;
+    }
+
+    /// Installs a [`FaultPlan`] (replacing any previous one). Faults
+    /// apply to cross-node traffic only; self-sends never traverse the
+    /// network and stay exempt.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Removes all scheduled faults.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = FaultPlan::default();
+    }
+
+    /// The currently installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Adds a node and schedules its `on_start` at the current time.
@@ -311,12 +332,27 @@ impl<N: NodeBehavior> SimNet<N> {
                 self.metrics.dropped += 1;
                 continue;
             }
+            if to != origin && self.faults.blocks(self.now, origin, to).is_some() {
+                self.metrics.dropped += 1;
+                continue;
+            }
             let delay = if to == origin {
                 // Local self-send: no network traversal.
                 SimTime::ZERO
             } else {
                 self.latency.sample(&mut self.rng, origin, to)
+                    + self.faults.extra_delay(self.now, origin, to)
+                    + self.faults.reorder_delay(self.now, &mut self.rng)
             };
+            if to != origin && self.faults.duplicates(self.now, &mut self.rng) {
+                let lag = self.latency.sample(&mut self.rng, origin, to);
+                self.metrics.duplicated += 1;
+                self.push_event(
+                    self.now + delay + lag,
+                    to,
+                    EventKind::Deliver { from: origin, msg: msg.clone() },
+                );
+            }
             self.push_event(self.now + delay, to, EventKind::Deliver { from: origin, msg });
         }
         for (delay, timer) in fx.timers.drain(..) {
@@ -509,6 +545,56 @@ mod tests {
         net.run_until_quiescent(SimTime::from_secs(1));
         assert_eq!(net.node(id).fired, vec![10, 20, 30]);
         assert_eq!(net.metrics().timers_fired, 3);
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        use crate::fault::{FaultPlan, Window};
+        let mut net = ring(2, 3);
+        net.set_fault_plan(FaultPlan::new().partition(
+            "bisect",
+            [NodeId(0)],
+            Window::new(SimTime::ZERO, SimTime::from_secs(1)),
+        ));
+        net.inject(NodeId(0), Hop(1)); // 0 → 1 is cut: dropped.
+        net.run_until(SimTime::from_millis(500));
+        assert_eq!(net.metrics().dropped, 1);
+        assert_eq!(net.outputs().len(), 0);
+        // After the heal the same hop goes through.
+        net.run_until(SimTime::from_secs(2));
+        net.inject(NodeId(0), Hop(1));
+        assert!(net.run_until_quiescent(SimTime::from_secs(10)));
+        assert_eq!(net.outputs().len(), 1);
+    }
+
+    #[test]
+    fn duplication_redelivers_messages() {
+        use crate::fault::{FaultPlan, Window};
+        let mut net = ring(2, 3);
+        net.set_fault_plan(FaultPlan::new().duplicate(1.0, Window::always()));
+        net.inject(NodeId(0), Hop(1));
+        net.run_until_quiescent(SimTime::from_secs(10));
+        // Every cross-node send arrives twice; the protocol just emits
+        // again on the duplicate.
+        assert!(net.metrics().duplicated >= 1, "{:?}", net.metrics());
+        // Every cross-node send lands twice; the inject is the +1.
+        assert_eq!(net.metrics().delivered, net.metrics().sent + net.metrics().duplicated + 1);
+        assert_eq!(net.outputs().len(), 2, "the duplicate re-emits");
+    }
+
+    #[test]
+    fn delay_spike_slows_matching_link() {
+        use crate::fault::{FaultPlan, Window};
+        let mut net = ring(2, 3);
+        net.set_fault_plan(FaultPlan::new().delay_spike(
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            SimTime::from_millis(500),
+            Window::always(),
+        ));
+        net.inject(NodeId(0), Hop(1)); // one 0 → 1 hop, then emit at 1.
+        net.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(net.now(), SimTime::from_millis(510), "10ms link + 500ms spike");
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub mod stream {
     pub const QUERY: u64 = 5;
     /// Per-node protocol randomness; add the node id to this base.
     pub const NODE_BASE: u64 = 1 << 32;
+    /// Per-node query-layer randomness (retry jitter); add the node id
+    /// to this base. Disjoint from [`NODE_BASE`] (node ids are 32-bit)
+    /// so the query layer never shares a stream with its own overlay
+    /// peer.
+    pub const QUERY_NODE_BASE: u64 = 1 << 33;
 }
 
 #[cfg(test)]

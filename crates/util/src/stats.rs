@@ -104,6 +104,62 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     v[rank.min(v.len() - 1)]
 }
 
+/// Sliding window of recent latency observations with on-demand
+/// quantiles — the input of the adaptive retry policy: per-attempt
+/// timeouts and hedging delays are derived from observed completion-time
+/// quantiles rather than fixed configuration constants.
+///
+/// A bounded ring buffer: the newest observation evicts the oldest once
+/// the window is full, so the estimate tracks current network conditions
+/// instead of averaging over the whole run.
+#[derive(Clone, Debug)]
+pub struct RttWindow {
+    samples: Vec<f64>,
+    next: usize,
+    cap: usize,
+}
+
+impl RttWindow {
+    /// A window retaining the `cap` most recent observations.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "RTT window needs capacity");
+        RttWindow { samples: Vec::new(), next: 0, cap }
+    }
+
+    /// Records one observation (any non-negative unit; callers pick one
+    /// and stay consistent).
+    pub fn observe(&mut self, x: f64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+        } else {
+            self.samples[self.next] = x;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank quantile over the window; `p` in `[0, 100]`.
+    /// `None` until at least one observation arrived.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(percentile(&self.samples, p))
+    }
+}
+
 /// Gini coefficient of non-negative loads: 0 = perfectly balanced,
 /// → 1 = maximally concentrated. Returns 0 for empty or all-zero input.
 pub fn gini(loads: &[f64]) -> f64 {
@@ -329,6 +385,25 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 100.0);
         assert!((percentile(&v, 50.0) - 50.0).abs() <= 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn rtt_window_evicts_oldest() {
+        let mut w = RttWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(99.0), None);
+        for x in [10.0, 20.0, 30.0, 40.0] {
+            w.observe(x);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantile(0.0), Some(10.0));
+        assert_eq!(w.quantile(100.0), Some(40.0));
+        // Two more observations push out the two oldest.
+        w.observe(50.0);
+        w.observe(60.0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantile(0.0), Some(30.0));
+        assert_eq!(w.quantile(100.0), Some(60.0));
     }
 
     #[test]

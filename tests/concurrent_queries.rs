@@ -12,6 +12,7 @@ use unistore::backends::{chord_config, ChordUniCluster};
 use unistore::live::LiveCluster;
 use unistore::{UniCluster, UniConfig};
 use unistore_overlay::Overlay;
+use unistore_simnet::churn::{install_churn, ChurnConfig};
 use unistore_simnet::{NodeId, SimTime};
 use unistore_store::{Triple, Tuple, Value};
 use unistore_workload::{zipf_read_queries, PubParams, PubWorld};
@@ -104,6 +105,100 @@ fn run_pipelined_matches_serial<O: Overlay<Item = Triple>>(
             queries[i]
         );
     }
+}
+
+/// Churn and the pipelined window together: a full 32-deep
+/// `query_submit` window rides over an active churn schedule. Every
+/// submission must resolve (no stuck qids — the driver withdraws any
+/// query whose deadline budget lapses), the window must drain, and
+/// queue-inclusive latency stays within `bound` even for submissions
+/// that waited behind the window: one budget of queue wait (the
+/// blocking head-of-window query is withdrawn at its budget at the
+/// latest) plus one budget in flight.
+fn run_pipeline_under_churn<O: Overlay<Item = Triple>>(
+    mut cluster: UniCluster<O>,
+    bound: SimTime,
+    backend: &str,
+) {
+    let w = world(77);
+    cluster.load(w.all_tuples());
+    let n = cluster.net.len() as u32;
+
+    let mut rng = unistore_util::rng::derive_rng(77, unistore_util::rng::stream::CHURN);
+    let churn = ChurnConfig {
+        mean_session: SimTime::from_secs(120),
+        mean_downtime: SimTime::from_secs(30),
+        churn_fraction: 0.4,
+    };
+    install_churn(&mut cluster.net, &mut rng, &churn, SimTime::from_secs(1_800));
+    cluster.settle(SimTime::from_secs(90)); // churn in full swing
+
+    let queries = query_mix(&w); // 40 submissions > the 32-slot window
+    let qids: Vec<u64> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let origin = (0..n)
+                .map(|k| NodeId((i as u32 + k) % n))
+                .find(|&o| cluster.net.is_up(o))
+                .expect("some peer is up");
+            cluster.query_submit(origin, q).expect("parses")
+        })
+        .collect();
+    assert_eq!(cluster.in_flight_len(), 32, "{backend}: window must fill under churn");
+
+    let outcomes = cluster.query_wait_all();
+    assert_eq!(
+        outcomes.len(),
+        queries.len(),
+        "{backend}: every submission resolves — no stuck qids"
+    );
+    assert_eq!(cluster.in_flight_len(), 0, "{backend}: the window drains completely");
+    let mut ok = 0u32;
+    for (i, (qid, out)) in outcomes.iter().enumerate() {
+        assert_eq!(*qid, qids[i], "{backend}: outcomes arrive in submission order");
+        assert!(
+            out.cost.latency <= bound,
+            "{backend}: query {i} queue-inclusive latency {:?} exceeds bound {bound:?}",
+            out.cost.latency
+        );
+        ok += out.ok as u32;
+    }
+    assert!(
+        ok as usize * 4 >= queries.len(),
+        "{backend}: under churn at least a quarter of the window must still answer \
+         ({ok}/{})",
+        queries.len()
+    );
+}
+
+#[test]
+fn pipeline_under_churn_pgrid() {
+    let mut cfg = UniConfig::default()
+        .with_replication(3)
+        .with_maintenance(SimTime::from_secs(5), SimTime::from_secs(10))
+        .with_max_in_flight(32)
+        .with_query_retries(1);
+    cfg.overlay.refs_per_level = 4;
+    cfg.overlay.ping_timeout = SimTime::from_secs(1);
+    cfg.query_timeout = SimTime::from_secs(30);
+    cfg.overlay.query_timeout = SimTime::from_secs(8);
+    // budget = query_timeout × (retries + 2) = 90 s; bound = 2 × budget.
+    run_pipeline_under_churn(UniCluster::build(24, cfg, 77), SimTime::from_secs(180), "p-grid");
+}
+
+#[test]
+fn pipeline_under_churn_chord() {
+    let mut cfg = chord_config().with_max_in_flight(32).with_query_retries(1);
+    cfg.query_timeout = SimTime::from_secs(30);
+    cfg.overlay.replicate = true;
+    cfg.overlay.anti_entropy_interval = SimTime::from_secs(30);
+    cfg.overlay.query_timeout = SimTime::from_secs(8);
+    run_pipeline_under_churn(
+        ChordUniCluster::build_overlay(24, cfg, 77),
+        SimTime::from_secs(180),
+        "chord",
+    );
 }
 
 #[test]

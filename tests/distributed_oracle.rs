@@ -50,12 +50,16 @@ fn check(both: &mut BothBackends, queries: &[&str]) {
         let origin = both.pgrid.random_node();
         let pg = both.pgrid.query(origin, q).expect("query parses");
         assert!(pg.ok, "query {i} timed out on P-Grid: {q}");
+        // Nothing fails in these runs, so the completeness accounting
+        // of the failure-masking layer must report full coverage.
+        assert_eq!(pg.coverage.fraction(), 1.0, "query {i} partial on healthy P-Grid: {q}");
         let pg_rows = normalize(&pg.relation);
         assert_eq!(pg_rows, expected, "query {i} diverged from oracle on P-Grid: {q}");
 
         let origin = both.chord.random_node();
         let ch = both.chord.query(origin, q).expect("query parses");
         assert!(ch.ok, "query {i} timed out on Chord: {q}");
+        assert_eq!(ch.coverage.fraction(), 1.0, "query {i} partial on healthy Chord: {q}");
         let ch_rows = normalize(&ch.relation);
         assert_eq!(ch_rows, expected, "query {i} diverged from oracle on Chord: {q}");
 
@@ -424,6 +428,39 @@ fn oracle_holds_with_pooling_disabled() {
     );
     assert_eq!(unistore_util::wire::pool::pooled_count(), 0, "disabled pool must stay empty");
     unistore_util::wire::pool::set_enabled(true);
+}
+
+/// The failure-masking layer at its strictest settings — a fail-fast
+/// coverage floor, hedged retries, replication and (on Chord) liveness
+/// probing — must be invisible on a healthy network: full coverage and
+/// the exact oracle relations on both backends.
+#[test]
+fn failure_masking_is_invisible_on_the_healthy_path() {
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        57,
+    );
+    let tuples = world.all_tuples();
+    let pg_cfg = UniConfig::default().with_replication(3).with_min_coverage(1.0).with_hedging(true);
+    let mut pgrid = UniCluster::build(16, pg_cfg, 57);
+    pgrid.load(tuples.clone());
+    let mut ch_cfg = chord_config().with_min_coverage(1.0).with_hedging(true);
+    ch_cfg.overlay.replicate = true;
+    ch_cfg.overlay.ping_interval = unistore_simnet::SimTime::from_secs(10);
+    let mut chord = ChordUniCluster::build_overlay(16, ch_cfg, 57);
+    chord.load(tuples);
+    let mut both = BothBackends { pgrid, chord };
+    check(
+        &mut both,
+        &[
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT ?a WHERE {(?a,'age',30)}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g >= 30 AND ?g < 45}",
+            "SELECT ?n,?conf WHERE {(?a,'name',?n) (?a,'has_published',?t)
+             (?p,'title',?t) (?p,'published_in',?conf)}",
+            "SELECT ?cn WHERE {(?c,'confname',?cn) FILTER prefix(?cn,'ICDE')}",
+        ],
+    );
 }
 
 /// The same queries with pooling explicitly on (the default): the

@@ -128,6 +128,157 @@ fn range_coverage_flags_incompleteness_under_partition() {
     }
 }
 
+mod dup_reorder_fuzz {
+    use proptest::prelude::*;
+    use unistore::backends::{chord_config, ChordUniCluster};
+    use unistore_overlay::Overlay;
+    use unistore_simnet::fault::{FaultPlan, Window};
+    use unistore_store::{Triple, Value};
+
+    use super::*;
+
+    /// Canonical relation form (column order by name, sorted rows,
+    /// numerics unified) so distributed results compare against the
+    /// oracle irrespective of column or row order.
+    fn canon(rel: &unistore_query::Relation) -> Vec<Vec<String>> {
+        let mut order: Vec<usize> = (0..rel.schema.len()).collect();
+        order.sort_by_key(|&i| rel.schema[i].clone());
+        let mut rows: Vec<Vec<String>> = rel
+            .rows
+            .iter()
+            .map(|r| {
+                order
+                    .iter()
+                    .map(|&i| match &r[i] {
+                        v @ (Value::Int(_) | Value::Float(_)) => format!("{}", v.as_f64().unwrap()),
+                        Value::Str(s) => format!("'{s}'"),
+                    })
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Duplication + reordering, no loss: every query must complete with
+    /// full coverage and oracle-exact rows (pending tables drop replayed
+    /// completions instead of double-counting them), and a write must
+    /// land exactly once (version rules drop replayed deliveries).
+    fn run_case<O: Overlay<Item = Triple>>(mut cluster: UniCluster<O>, dup: f64, reorder: f64) {
+        let world = PubWorld::generate(
+            &PubParams { n_authors: 12, n_conferences: 4, ..Default::default() },
+            21,
+        );
+        cluster.load(world.all_tuples());
+        cluster.net.set_fault_plan(FaultPlan::new().duplicate(dup, Window::always()).reorder(
+            reorder,
+            SimTime::from_millis(200),
+            Window::always(),
+        ));
+        let queries = [
+            "SELECT ?g WHERE {('auth1','age',?g)}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}",
+        ];
+        let (expected, old_val) = {
+            let mut o = cluster.oracle();
+            let expected: Vec<Vec<Vec<String>>> =
+                queries.iter().map(|q| canon(&o.query(q).unwrap())).collect();
+            let old_val = o.query(queries[0]).unwrap().rows[0][0].clone();
+            (expected, old_val)
+        };
+        for (i, q) in queries.iter().enumerate() {
+            let out = cluster.query(NodeId(i as u32), q).unwrap();
+            assert!(out.ok, "dup/reorder alone must not fail a query: {q}");
+            assert!(out.coverage.fraction() >= 1.0, "no loss means full coverage: {q}");
+            assert_eq!(canon(&out.relation), expected[i], "exact rows under dup/reorder: {q}");
+        }
+        let old = Triple::new("auth1", "age", old_val);
+        assert!(cluster.update(NodeId(0), &old, Value::Int(99), 1), "update must be acked");
+        cluster.settle(SimTime::from_secs(2));
+        let out = cluster.query(NodeId(1), queries[0]).unwrap();
+        assert!(out.ok, "post-update read must answer");
+        assert_eq!(
+            canon(&out.relation),
+            vec![vec!["99".to_string()]],
+            "the update lands exactly once — no duplicate or resurrected rows"
+        );
+        assert_eq!(cluster.in_flight_len(), 0, "driver tables drain");
+    }
+
+    proptest! {
+        #[test]
+        fn duplicated_reordered_delivery_is_idempotent(
+            seed in 0u64..1_000_000,
+            dup in 0.0f64..0.4,
+            reorder in 0.0f64..0.4,
+            pgrid in proptest::any::<bool>(),
+        ) {
+            if pgrid {
+                run_case(UniCluster::build(10, UniConfig::default(), seed), dup, reorder);
+            } else {
+                run_case(ChordUniCluster::build_overlay(10, chord_config(), seed), dup, reorder);
+            }
+        }
+    }
+}
+
+#[test]
+fn correlated_failure_does_not_cause_retry_storm() {
+    // A blackout strands a full 32-deep admission window at one instant.
+    // Jittered initial deadlines, the decorrelated retry sampler, and
+    // jittered hedge arming must spread the re-dispatch waves: no single
+    // simulated instant may see a burst anywhere near "every stranded
+    // query retries in lockstep" (32+ sends at one time).
+    let mut cfg = robust_cfg().with_stats_refresh(SimTime::from_secs(100_000));
+    cfg.query_timeout = SimTime::from_secs(20);
+    let mut cluster = cluster_with_world(16, cfg, 16);
+    let origin = NodeId(0);
+
+    // Warm the origin's RTT window so the adaptive attempt timeout (and
+    // with it the retry chain) is active rather than one cold attempt
+    // that only expires at the deadline.
+    for _ in 0..12 {
+        let out = cluster.query(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
+        assert!(out.ok);
+    }
+
+    // Total blackout, then strand a whole window submitted at one time.
+    cluster.net.set_loss_rate(1.0);
+    for _ in 0..32 {
+        cluster.query_submit(origin, "SELECT ?n WHERE {(?a,'name',?n)}").unwrap();
+    }
+    // Step through the synchronized admission burst itself: the 32
+    // first dispatches share the submission instant by construction and
+    // are not what the jitter is for.
+    cluster.settle(SimTime::from_micros(1));
+
+    // From here on every send is a re-dispatch (retry or hedge). Group
+    // sends by simulated instant and track the worst burst.
+    let mut last_sent = cluster.net.metrics().sent;
+    let mut cur_at = cluster.net.now();
+    let (mut cur_burst, mut max_burst, mut total) = (0u64, 0u64, 0u64);
+    let horizon = cluster.net.now() + SimTime::from_secs(20);
+    while cluster.net.now() < horizon && cluster.net.step() {
+        let sent = cluster.net.metrics().sent;
+        let delta = sent - last_sent;
+        last_sent = sent;
+        if cluster.net.now() != cur_at {
+            max_burst = max_burst.max(cur_burst);
+            cur_at = cluster.net.now();
+            cur_burst = 0;
+        }
+        cur_burst += delta;
+        total += delta;
+    }
+    max_burst = max_burst.max(cur_burst);
+    assert!(total >= 64, "stranded queries must keep retrying ({total} sends)");
+    assert!(
+        max_burst <= 8,
+        "retry waves must stay decorrelated: worst per-instant burst \
+         {max_burst} of {total} total sends"
+    );
+}
+
 #[test]
 fn anti_entropy_propagates_updates_to_lagging_replicas() {
     // One replica misses the write; pull anti-entropy must converge it
@@ -158,22 +309,15 @@ fn anti_entropy_propagates_updates_to_lagging_replicas() {
 
     let old = unistore_store::Triple::new("auth0", "age", old_age);
     assert!(cluster.update(NodeId(holders[1].0), &old, unistore_store::Value::Int(77), 1));
-    // Drain the update's in-flight replica traffic while the lagging
-    // node is still down. The batched write pipeline completes the
-    // whole update in ~2 ms of simulated time, so without this the
-    // second-hop replica-cascade delete could still be in flight at
-    // revival and land on the "lagging" node — which must miss the
-    // update entirely for anti-entropy to have something to repair.
-    cluster.settle(SimTime::from_millis(50));
 
-    // Revive the lagging replica: it still has the old version.
+    // Revive immediately — NO draining of the update's in-flight
+    // replica traffic first. The tail of the replica cascade (the
+    // second-hop delete of the superseded entry) may land on the
+    // revived node in any order relative to its own catch-up; the
+    // per-identity version rules alone must make every interleaving
+    // converge to the updated value.
     cluster.net.schedule_up(lagging, cluster.net.now());
     cluster.settle(SimTime::from_millis(1));
-    let stale = cluster.net.node(lagging).overlay.store().get(key);
-    assert!(
-        stale.iter().any(|t| t.attr.as_ref() == "age" && t.value.as_f64() != Some(77.0)),
-        "lagging replica should still hold the stale age"
-    );
 
     // Let anti-entropy run (10 s interval): pulls the new version.
     cluster.settle(SimTime::from_secs(120));
@@ -181,5 +325,22 @@ fn anti_entropy_propagates_updates_to_lagging_replicas() {
     assert!(
         after.iter().any(|t| t.attr.as_ref() == "age" && t.value.as_f64() == Some(77.0)),
         "anti-entropy must deliver the updated value, got {after:?}"
+    );
+
+    // Adversarial stale delivery: a late `Replicate` still carrying the
+    // superseded entry arrives after convergence (a delayed duplicate
+    // from before the crash). The tombstone's newer version must reject
+    // it — revival safety comes from version rules, not from quiescence.
+    cluster.net.inject(
+        lagging,
+        unistore::UniMsg::Overlay(unistore_pgrid::PGridMsg::Replicate {
+            entries: vec![(key, 0, old.clone())],
+        }),
+    );
+    cluster.settle(SimTime::from_millis(1));
+    let after = cluster.net.node(lagging).overlay.store().get(key);
+    assert!(
+        !after.iter().any(|t| t.attr.as_ref() == "age" && t.value.as_f64() != Some(77.0)),
+        "a stale Replicate must not resurrect the superseded age, got {after:?}"
     );
 }
