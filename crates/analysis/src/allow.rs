@@ -1,0 +1,193 @@
+//! The checked-in suppression list (`analysis-allow.toml`).
+//!
+//! Every suppression names a rule, a file, a `needle` substring that
+//! must appear on the flagged line, and a one-line justification. The
+//! gate fails when an entry is missing its justification, when an entry
+//! suppresses nothing (stale — the list may only shrink), or when the
+//! list grows past [`MAX_ENTRIES`].
+//!
+//! The parser handles exactly the TOML subset the file uses
+//! (`[[allow]]` tables of `key = "value"` pairs) so the gate stays
+//! dependency-free.
+
+/// Hard cap on allowlist size: the burndown may only go down.
+pub const MAX_ENTRIES: usize = 20;
+
+/// One suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (e.g. `no-panic`).
+    pub rule: String,
+    /// Workspace-relative file the finding is in.
+    pub file: String,
+    /// Substring that must occur on the flagged source line.
+    pub needle: String,
+    /// Why the site is acceptable. Required, non-empty.
+    pub justification: String,
+    /// Line in `analysis-allow.toml` where the entry starts.
+    pub line: usize,
+}
+
+/// Parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+}
+
+impl std::fmt::Display for AllowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses the allowlist. Returns all structural problems at once so a
+/// bad file reports every defect in one run.
+pub fn parse(text: &str) -> (Vec<AllowEntry>, Vec<AllowError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                finish(e, &mut entries, &mut errors);
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                file: String::new(),
+                needle: String::new(),
+                justification: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            errors.push(AllowError {
+                message: format!("unparseable line: {line:?} (expected key = \"value\")"),
+                line: lineno,
+            });
+            continue;
+        };
+        let Some(entry) = current.as_mut() else {
+            errors.push(AllowError {
+                message: format!("{key} outside any [[allow]] table"),
+                line: lineno,
+            });
+            continue;
+        };
+        match key {
+            "rule" => entry.rule = value,
+            "file" => entry.file = value,
+            "needle" => entry.needle = value,
+            "justification" => entry.justification = value,
+            other => errors.push(AllowError {
+                message: format!("unknown key {other:?} in [[allow]]"),
+                line: lineno,
+            }),
+        }
+    }
+    if let Some(e) = current.take() {
+        finish(e, &mut entries, &mut errors);
+    }
+    if entries.len() >= MAX_ENTRIES {
+        errors.push(AllowError {
+            message: format!(
+                "{} allow entries; the list must stay below {MAX_ENTRIES} (burn findings down \
+                 instead of suppressing them)",
+                entries.len()
+            ),
+            line: 0,
+        });
+    }
+    (entries, errors)
+}
+
+fn finish(e: AllowEntry, entries: &mut Vec<AllowEntry>, errors: &mut Vec<AllowError>) {
+    for (field, value) in [("rule", &e.rule), ("file", &e.file), ("needle", &e.needle)] {
+        if value.is_empty() {
+            errors.push(AllowError {
+                message: format!("[[allow]] entry is missing {field}"),
+                line: e.line,
+            });
+        }
+    }
+    if e.justification.trim().is_empty() {
+        errors.push(AllowError {
+            message: "[[allow]] entry has no justification — every suppression must say why"
+                .to_string(),
+            line: e.line,
+        });
+    }
+    entries.push(e);
+}
+
+/// Parses one `key = "value"` line.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // Unescape the two sequences TOML basic strings need here.
+    Some((key.trim(), inner.replace("\\\"", "\"").replace("\\\\", "\\")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "no-panic"
+file = "crates/x/src/a.rs"
+needle = "foo.unwrap()"
+justification = "guarded two lines above"
+
+[[allow]]
+rule = "wire-map-order"
+file = "crates/q/src/cost.rs"
+needle = "FxHashMap"
+justification = "never iterated onto the wire"
+"#;
+        let (entries, errors) = parse(text);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "no-panic");
+        assert_eq!(entries[1].needle, "FxHashMap");
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let text = "[[allow]]\nrule = \"r\"\nfile = \"f\"\nneedle = \"n\"\n";
+        let (entries, errors) = parse(text);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        let mut text = String::new();
+        for i in 0..MAX_ENTRIES {
+            text.push_str(&format!(
+                "[[allow]]\nrule = \"r\"\nfile = \"f{i}\"\nneedle = \"n\"\njustification = \"j\"\n"
+            ));
+        }
+        let (_, errors) = parse(&text);
+        assert!(errors.iter().any(|e| e.message.contains("below")));
+    }
+
+    #[test]
+    fn junk_reports_line() {
+        let (_, errors) = parse("[[allow]]\nwhat even\n");
+        assert!(errors.iter().any(|e| e.line == 2));
+    }
+}

@@ -1,0 +1,53 @@
+//! CLI for the analysis gate.
+//!
+//! ```text
+//! unistore-analysis [--root <dir>] [--verbose]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings or structural errors, 2 usage.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--verbose" | "-v" => verbose = true,
+            other => {
+                eprintln!("unknown argument {other:?}; usage: unistore-analysis [--root <dir>] [--verbose]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_root);
+    let report = unistore_analysis::run(&root);
+    let stdout = std::io::stdout();
+    if unistore_analysis::render(&report, verbose, &mut stdout.lock()).is_err() {
+        std::process::exit(1);
+    }
+    std::process::exit(if report.clean() { 0 } else { 1 });
+}
+
+/// Walks up from the current directory to the first dir containing
+/// both `Cargo.toml` and `crates/`, so the binary works from any
+/// workspace subdirectory.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! failure-masking availability matrix (fault class x backend x retry
 //! policy) and writes `BENCH_faults.json`.
 
+// The bench harness measures real elapsed time by design; wall-clock
+// reads are sanctioned here (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use unistore::backends::{chord_config, ChordUniCluster};
 use unistore::config::ScanPref;
 use unistore::{BackoffPolicy, PlanMode, UniCluster, UniConfig};
@@ -52,6 +56,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "fault-snapshot") {
         fault_snapshot();
+        return;
+    }
+    if args.iter().any(|a| a == "determinism-check") {
+        determinism_check();
         return;
     }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
@@ -1151,6 +1159,133 @@ struct FaultRow {
 /// scan mixes, and a lossy degraded path where the adaptive hedged
 /// policy races a fixed-interval retry baseline. In-code floors pin
 /// the availability claims; writes `BENCH_faults.json`.
+/// `determinism-check`: the CI gate behind the repo's central premise —
+/// the simulator is a correctness oracle only while same-seed runs are
+/// bit-identical. Runs the mixed E6-style VQL workload under moderate
+/// churn plus 2% loss **twice** with the same seed, on **both**
+/// backends, with the [`SimNet`] message-trace digest enabled, and
+/// asserts the two runs produce identical trace digests, network
+/// metrics, and result digests. Any hash-map iteration order, wall
+/// clock, or entropy leak that reaches protocol behavior shows up here
+/// as a digest mismatch (std `HashMap`'s per-map random seeds differ
+/// even within one process, so a leak cannot hide behind a stable
+/// environment).
+fn determinism_check() {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },
+        SEED,
+    );
+    let mixed: Vec<String> = {
+        let mut v = unistore_workload::zipf_read_queries(&world, "published_in", 8, 0.8, SEED ^ 1);
+        v.push("SELECT ?n WHERE {(?a,'name',?n)}".into());
+        v.push("SELECT ?c WHERE {(?x,'confname',?c)}".into());
+        v.push("SELECT ?n,?p WHERE {(?a,'name',?n) (?a,'num_of_pubs',?p) FILTER ?p < 8}".into());
+        v.push("SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}".into());
+        v
+    };
+
+    /// One full traced run: build → load → churn + loss → query mix.
+    /// Returns (trace digest, net metrics, result digest).
+    fn run<O: Overlay<Item = Triple>>(
+        mut cluster: UniCluster<O>,
+        world: &PubWorld,
+        queries: &[String],
+    ) -> (u64, unistore_simnet::NetMetrics, u64) {
+        cluster.net.set_trace(true);
+        cluster.load(world.all_tuples());
+        let mut rng = unistore_util::rng::derive_rng(SEED, unistore_util::rng::stream::CHURN);
+        let churned = install_churn(
+            &mut cluster.net,
+            &mut rng,
+            &ChurnConfig::moderate(),
+            SimTime::from_secs(7_200),
+        );
+        let n = cluster.net.len() as u32;
+        let origins: Vec<NodeId> =
+            (0..n).map(NodeId).filter(|id| !churned.contains(id)).take(4).collect();
+        cluster.net.set_loss_rate(0.02);
+        cluster.settle(SimTime::from_secs(300));
+        let mut results = FNV_OFFSET;
+        for (i, q) in queries.iter().enumerate() {
+            if let Ok(out) = cluster.query(origins[i % origins.len()], q) {
+                let line = format!(
+                    "{:?}|{:?}|{}|{:.6}",
+                    out.relation.schema,
+                    out.relation.rows,
+                    out.ok,
+                    out.coverage.fraction()
+                );
+                results = fnv(results, line.as_bytes());
+            }
+            cluster.settle(SimTime::from_secs(5));
+        }
+        (cluster.net.trace_digest(), cluster.net.metrics(), results)
+    }
+
+    println!("\n## determinism-check — same-seed double runs must be bit-identical\n");
+    header(&["backend", "trace digest", "msgs sent", "bytes", "result digest", "verdict"]);
+    let mut ok = true;
+    for backend in ["P-Grid", "Chord+buckets"] {
+        let (a, b) = if backend == "P-Grid" {
+            let cfg = || {
+                let mut cfg = UniConfig::default()
+                    .with_replication(3)
+                    .with_maintenance(SimTime::from_secs(10), SimTime::from_secs(30))
+                    .with_min_coverage(0.9);
+                cfg.query_timeout = SimTime::from_secs(30);
+                cfg.overlay.query_timeout = SimTime::from_secs(8);
+                cfg
+            };
+            (
+                run(UniCluster::build(16, cfg(), SEED), &world, &mixed),
+                run(UniCluster::build(16, cfg(), SEED), &world, &mixed),
+            )
+        } else {
+            let cfg = || {
+                let mut cfg = chord_config().with_min_coverage(0.9);
+                cfg.overlay.replicate = true;
+                cfg.overlay.anti_entropy_interval = SimTime::from_secs(30);
+                cfg.overlay.ping_interval = SimTime::from_secs(10);
+                cfg.query_timeout = SimTime::from_secs(30);
+                cfg.overlay.query_timeout = SimTime::from_secs(8);
+                cfg
+            };
+            (
+                run(ChordUniCluster::build_overlay(16, cfg(), SEED), &world, &mixed),
+                run(ChordUniCluster::build_overlay(16, cfg(), SEED), &world, &mixed),
+            )
+        };
+        let identical = a == b;
+        ok &= identical;
+        row(&[
+            backend.to_string(),
+            format!("{:#018x}", a.0),
+            a.1.sent.to_string(),
+            a.1.bytes.to_string(),
+            format!("{:#018x}", a.2),
+            if identical { "identical".into() } else { "DIVERGED".into() },
+        ]);
+        if !identical {
+            eprintln!(
+                "run 1: trace {:#018x} metrics {:?} results {:#018x}\n\
+                 run 2: trace {:#018x} metrics {:?} results {:#018x}",
+                a.0, a.1, a.2, b.0, b.1, b.2
+            );
+        }
+    }
+    assert!(ok, "determinism-check FAILED: same-seed runs diverged (see digests above)");
+    println!("\ndeterminism-check OK: both backends bit-identical across same-seed runs");
+}
+
 fn fault_snapshot() {
     let world = PubWorld::generate(
         &PubParams { n_authors: 40, n_conferences: 10, ..Default::default() },

@@ -586,6 +586,8 @@ mod tests {
             },
             ChordMsg::Digest { entries: vec![((9, 90, 900), 1), ((8, 80, 800), 2)] },
             ChordMsg::DigestReply { entries: vec![((9, 90, 900), 3, None)] },
+            ChordMsg::Ping,
+            ChordMsg::Pong,
         ];
         for m in msgs {
             roundtrip(m);

@@ -442,7 +442,10 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
 
     fn finish_wait(&mut self, qid: u64, fx: &mut UniFx<O::Msg>) {
         let Some(mut active) = self.active.remove(&qid) else { return };
-        let wait = active.wait.take().expect("finish_wait without wait state");
+        // Every caller installs wait state before finishing it; if the
+        // invariant ever breaks, drop the attempt — the origin's retry
+        // timer picks it up — rather than panic mid-dispatch.
+        let Some(wait) = active.wait.take() else { return };
         let (pattern, mut triples, qgram, max_hops, cache_key, issued, failed) = match wait {
             Wait::Scan { pattern, triples, qgram, max_hops, cache_key, issued, failed, .. } => {
                 (pattern, triples, qgram, max_hops, cache_key, issued, failed)
@@ -512,7 +515,9 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             None => None,
         };
 
-        let pattern = mqp.root.first_scan().expect("scans remain").clone();
+        // `scans_remaining() > 0` was checked above, so a scan exists;
+        // dropping the attempt (retry timer recovers) beats panicking.
+        let Some(pattern) = mqp.root.first_scan().cloned() else { return };
 
         // Mutant forwarding: ship the plan to the peer owning the next
         // scan's anchor key, unless disabled, too large, or already
@@ -907,10 +912,15 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             }
             QueryMsg::StatsProbe { qid } => {
                 let (total, attrs) = match &self.cost {
-                    Some(model) => (
-                        model.stats.total,
-                        model.stats.attrs.iter().map(|(k, a)| (k.clone(), a.count)).collect(),
-                    ),
+                    Some(model) => {
+                        let mut attrs: Vec<_> =
+                            model.stats.attrs.iter().map(|(k, a)| (k.clone(), a.count)).collect();
+                        // Hash-map iteration order must not reach an
+                        // emitted event: sort by attribute name so the
+                        // probe output is identical across runs.
+                        attrs.sort_by(|a, b| a.0.cmp(&b.0));
+                        (model.stats.total, attrs)
+                    }
                     None => (0.0, Vec::new()),
                 };
                 fx.emit(UniEvent::Stats { qid, total, attrs });
@@ -1162,7 +1172,7 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
             };
             if now >= deadline {
                 // Budget exhausted: fail with the best partial seen.
-                let p = self.pending_results.remove(&user).expect("checked above");
+                let Some(p) = self.pending_results.remove(&user) else { return };
                 self.purge_attempts(user);
                 let (relation, hops, coverage) =
                     p.best.unwrap_or_else(|| (Relation::empty(vec![]), 0, Coverage::failed()));
@@ -1188,7 +1198,7 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
                     .min(self.query_timeout);
             let delay = next_timeout.min(deadline.saturating_sub(now));
             let attempt_qid = self.fresh_exec_qid();
-            let p = self.pending_results.get_mut(&user).expect("checked above");
+            let Some(p) = self.pending_results.get_mut(&user) else { return };
             p.attempts += 1;
             p.hedged = false;
             p.last_dispatch = now;

@@ -534,13 +534,30 @@ impl CostModel {
         candidates: &[ScanStrategy],
         limit_hint: Option<usize>,
     ) -> (usize, ScanEstimate) {
-        assert!(!candidates.is_empty(), "no scan candidates");
-        candidates
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i, self.scan(s, limit_hint)))
-            .min_by(|(_, a), (_, b)| a.cost.score().total_cmp(&b.cost.score()))
-            .unwrap()
+        let mut best: Option<(usize, ScanEstimate)> = None;
+        for (i, s) in candidates.iter().enumerate() {
+            let est = self.scan(s, limit_hint);
+            // Strict `<` keeps the first of equally-cheap candidates,
+            // matching `Iterator::min_by` so plan choices (and bench
+            // snapshot digests) are unchanged by the unwrap removal.
+            let replace = best.as_ref().is_none_or(|(_, b)| est.cost.score() < b.cost.score());
+            if replace {
+                best = Some((i, est));
+            }
+        }
+        // An empty candidate list is a planner bug; price it as
+        // unplannable instead of panicking.
+        best.unwrap_or((
+            0,
+            ScanEstimate {
+                cost: CostVector {
+                    messages: f64::INFINITY,
+                    depth: f64::INFINITY,
+                    bytes: f64::INFINITY,
+                },
+                cardinality: 0.0,
+            },
+        ))
     }
 
     /// Prices a join given the left cardinality and the right side's

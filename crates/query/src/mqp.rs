@@ -450,7 +450,10 @@ pub fn bind_triples(
         let mut row: Vec<Option<Value>> = vec![None; rel.schema.len()];
         for (pos, term) in [(0u8, &pattern.subject), (1, &pattern.attr), (2, &pattern.value)] {
             if let Term::Var(v) = term {
-                let col = rel.col(v).unwrap();
+                // The schema was built from this pattern's variables,
+                // so the lookup always hits; skip the triple instead of
+                // panicking if that invariant ever breaks.
+                let Some(col) = rel.col(v) else { continue 'next };
                 match &row[col] {
                     None => {
                         row[col] = Some(match pos {
@@ -472,7 +475,12 @@ pub fn bind_triples(
                 }
             }
         }
-        rel.rows.push(row.into_iter().map(|v| v.expect("all vars bound")).collect());
+        // Every schema variable occurs in the pattern, so each slot is
+        // bound by the loop above; an incomplete row is dropped rather
+        // than unwrapped.
+        if let Some(vals) = row.into_iter().collect::<Option<Vec<Value>>>() {
+            rel.rows.push(vals);
+        }
     }
     rel
 }

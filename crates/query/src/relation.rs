@@ -42,18 +42,19 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Projects onto the given variables (must all exist).
-    ///
-    /// # Panics
-    /// Panics if a variable is missing from the schema.
+    /// Projects onto the given variables. Variables missing from the
+    /// schema are dropped from the result: a plan can arrive off the
+    /// wire, so a schema mismatch must degrade, not crash the node.
     pub fn project(&self, vars: &[Arc<str>]) -> Relation {
-        let idx: Vec<usize> = vars
-            .iter()
-            .map(|v| self.col(v).unwrap_or_else(|| panic!("projection var ?{v} missing")))
-            .collect();
+        let kept: Vec<(Arc<str>, usize)> =
+            vars.iter().filter_map(|v| self.col(v).map(|i| (v.clone(), i))).collect();
         Relation {
-            schema: vars.to_vec(),
-            rows: self.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect(),
+            schema: kept.iter().map(|(v, _)| v.clone()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| kept.iter().map(|&(_, i)| r[i].clone()).collect())
+                .collect(),
         }
     }
 
@@ -88,8 +89,11 @@ impl Relation {
             return Relation { schema, rows };
         }
 
-        let l_keys: Vec<usize> = shared.iter().map(|v| self.col(v).unwrap()).collect();
-        let r_keys: Vec<usize> = shared.iter().map(|v| other.col(v).unwrap()).collect();
+        // `shared` holds exactly the variables present in both schemas,
+        // so the lookups always hit; filter_map keeps that invariant
+        // local instead of panicking if it ever breaks.
+        let l_keys: Vec<usize> = shared.iter().filter_map(|v| self.col(v)).collect();
+        let r_keys: Vec<usize> = shared.iter().filter_map(|v| other.col(v)).collect();
         // Hash the smaller side.
         let mut table: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
         for (i, r) in other.rows.iter().enumerate() {
@@ -116,28 +120,27 @@ impl Relation {
 
     /// Removes duplicate rows (first occurrence wins).
     pub fn distinct(&mut self) {
-        let mut seen: std::collections::HashSet<Vec<u64>> = Default::default();
+        let mut seen: unistore_util::FxHashSet<Vec<u64>> = Default::default();
         let rows = std::mem::take(&mut self.rows);
         self.rows =
             rows.into_iter().filter(|r| seen.insert(r.iter().map(value_hash).collect())).collect();
     }
 
     /// Union with another relation over the same schema (columns are
-    /// aligned by name).
-    ///
-    /// # Panics
-    /// Panics if the schemas don't contain the same variables.
+    /// aligned by name). An incompatible fragment — one whose schema
+    /// does not contain the same variables — is dropped whole: result
+    /// fragments arrive from remote peers, and a malformed one must
+    /// degrade the answer, not crash the node.
     pub fn union(&mut self, other: Relation) {
         if self.schema == other.schema {
             self.rows.extend(other.rows);
             return;
         }
-        let idx: Vec<usize> = self
-            .schema
-            .iter()
-            .map(|v| other.col(v).unwrap_or_else(|| panic!("union schema mismatch at ?{v}")))
-            .collect();
-        assert_eq!(self.schema.len(), other.schema.len(), "union schema mismatch");
+        let aligned: Option<Vec<usize>> = self.schema.iter().map(|v| other.col(v)).collect();
+        let Some(idx) = aligned else { return };
+        if self.schema.len() != other.schema.len() {
+            return;
+        }
         self.rows.extend(
             other.rows.into_iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect::<Vec<_>>()),
         );
@@ -174,7 +177,7 @@ impl Wire for Relation {
         }
         let mut rows = Vec::with_capacity(n.min(1024) as usize);
         for _ in 0..n {
-            let mut row = Vec::with_capacity(schema.len());
+            let mut row = Vec::with_capacity(schema.len().min(64));
             for _ in 0..schema.len() {
                 row.push(Value::decode(buf)?);
             }

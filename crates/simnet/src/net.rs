@@ -134,6 +134,25 @@ pub struct SimNet<N: NodeBehavior> {
     faults: FaultPlan,
     metrics: NetMetrics,
     outputs: Vec<(SimTime, NodeId, N::Out)>,
+    /// Opt-in message-trace digest: when enabled, every send folds
+    /// (time, origin, destination, encoded bytes) into an FNV-1a hash.
+    /// Two same-seed runs of a deterministic protocol must produce the
+    /// same digest; any divergence pinpoints an order or payload leak.
+    /// Off by default — the fold encodes each message, which the
+    /// alloc-free hot path must not pay for.
+    trace_on: bool,
+    trace_digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl<N: NodeBehavior> SimNet<N> {
@@ -150,6 +169,8 @@ impl<N: NodeBehavior> SimNet<N> {
             faults: FaultPlan::default(),
             metrics: NetMetrics::default(),
             outputs: Vec::new(),
+            trace_on: false,
+            trace_digest: FNV_OFFSET,
         }
     }
 
@@ -166,7 +187,22 @@ impl<N: NodeBehavior> SimNet<N> {
             faults: FaultPlan::default(),
             metrics: NetMetrics::default(),
             outputs: Vec::new(),
+            trace_on: false,
+            trace_digest: FNV_OFFSET,
         }
+    }
+
+    /// Enables (or disables) the message-trace digest, resetting it to
+    /// the empty-trace value.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace_on = on;
+        self.trace_digest = FNV_OFFSET;
+    }
+
+    /// The accumulated message-trace digest (the empty-trace constant
+    /// when tracing was never enabled).
+    pub fn trace_digest(&self) -> u64 {
+        self.trace_digest
     }
 
     /// Fraction of messages silently lost in transit (`0.0..=1.0`).
@@ -323,6 +359,16 @@ impl<N: NodeBehavior> SimNet<N> {
         for (to, msg) in fx.sends.drain(..) {
             self.metrics.sent += 1;
             self.metrics.bytes += msg.wire_size() as u64;
+            if self.trace_on {
+                // Fold the send before loss/fault filtering: the digest
+                // witnesses what the protocol *did*, and the seeded RNG
+                // makes the filtering itself reproducible anyway.
+                let mut h = fnv_fold(self.trace_digest, &self.now.as_micros().to_le_bytes());
+                h = fnv_fold(h, &origin.0.to_le_bytes());
+                h = fnv_fold(h, &to.0.to_le_bytes());
+                h = fnv_fold(h, &msg.to_bytes());
+                self.trace_digest = h;
+            }
             if to == NodeId::EXTERNAL || to.index() >= self.slots.len() {
                 debug_assert!(to != NodeId::EXTERNAL, "protocol sent to EXTERNAL; use emit()");
                 self.metrics.dropped += 1;

@@ -99,7 +99,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
     v[rank.min(v.len() - 1)]
 }
@@ -168,7 +168,7 @@ pub fn gini(loads: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = loads.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let sum: f64 = v.iter().sum();
     if sum == 0.0 {
         return 0.0;

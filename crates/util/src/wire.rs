@@ -267,7 +267,8 @@ pub fn decode_str<R>(buf: &mut Bytes, f: impl FnOnce(&str) -> R) -> Result<R, Wi
     if buf.remaining() < len {
         return Err(WireError::UnexpectedEof);
     }
-    let s = std::str::from_utf8(&buf.chunk()[..len]).map_err(|_| WireError::BadUtf8)?;
+    let head = buf.chunk().get(..len).ok_or(WireError::UnexpectedEof)?;
+    let s = std::str::from_utf8(head).map_err(|_| WireError::BadUtf8)?;
     let out = f(s);
     buf.advance(len);
     Ok(out)

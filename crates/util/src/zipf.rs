@@ -128,6 +128,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let picks = sample_distinct(&mut rng, 50, 20);
         assert_eq!(picks.len(), 20);
+        #[allow(clippy::disallowed_types)]
         let set: std::collections::HashSet<_> = picks.iter().collect();
         assert_eq!(set.len(), 20);
         assert!(picks.iter().all(|&p| p < 50));

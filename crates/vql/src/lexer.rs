@@ -149,8 +149,10 @@ fn lex_string(src: &str, start: usize) -> Result<(String, usize), VqlError> {
                 return Ok((content, i + 1));
             }
         } else {
-            // Consume one UTF-8 scalar.
-            let ch = src[i..].chars().next().unwrap();
+            // Consume one UTF-8 scalar; `i` is always on a char
+            // boundary here, so the iterator yields — but fall through
+            // to the unterminated-literal error rather than unwrap.
+            let Some(ch) = src[i..].chars().next() else { break };
             content.push(ch);
             i += ch.len_utf8();
         }

@@ -1,0 +1,62 @@
+//! Arbitrary-input fuzzing of the VQL front end.
+//!
+//! Queries arrive as user strings; the lexer and parser must reject
+//! malformed input with a positioned [`VqlError`](unistore_vql::VqlError)
+//! — never panic, never hang. Three input classes: arbitrary bytes
+//! rendered as (lossy) UTF-8, mutations of valid queries, and
+//! truncations of valid queries.
+
+use proptest::prelude::*;
+
+const VALID: &[&str] = &[
+    "SELECT ?n WHERE {(?a,'name',?n)}",
+    "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}",
+    "SELECT ?a WHERE {(?a,'name',?n)} ORDER BY ?n DESC LIMIT 10",
+    "SELECT ?x WHERE {(?x,'rating',?r) FILTER ?r >= 4.5} SKYLINE OF ?r MAX",
+    "SELECT ?n WHERE {(?a,'name',?n) FILTER edist(?n,'alice') < 3}",
+];
+
+/// Every valid corpus query still parses (guards the corpus itself).
+#[test]
+fn corpus_parses() {
+    for q in VALID {
+        unistore_vql::parse(q).unwrap_or_else(|e| panic!("corpus query {q:?} failed: {e:?}"));
+    }
+}
+
+/// Every strict prefix of a valid query must parse or error — the
+/// degenerate inputs a user produces by typing must never panic.
+#[test]
+fn truncations_never_panic() {
+    for q in VALID {
+        for cut in 0..q.len() {
+            if q.is_char_boundary(cut) {
+                let _ = unistore_vql::parse(&q[..cut]);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary byte soup through the parser: outcome is `Ok` or a
+    /// positioned `Err`, never a panic.
+    #[test]
+    fn arbitrary_input_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let s = String::from_utf8_lossy(&data);
+        if let Err(e) = unistore_vql::parse(&s) {
+            prop_assert!(e.offset <= s.len(), "error offset {} beyond input {}", e.offset, s.len());
+        }
+    }
+
+    /// A valid query with one byte overwritten: parse must still be
+    /// total (single-keystroke corruption is the common typo shape).
+    #[test]
+    fn mutated_query_never_panics(which: u64, pos: u64, byte: u8) {
+        let q = VALID[(which as usize) % VALID.len()];
+        let mut bytes = q.as_bytes().to_vec();
+        let at = (pos as usize) % bytes.len();
+        bytes[at] = byte;
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = unistore_vql::parse(&s);
+    }
+}

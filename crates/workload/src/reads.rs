@@ -84,6 +84,7 @@ mod tests {
         let skewed = zipf_read_queries(&w, "published_in", 200, 1.5, 7);
         let uniform = zipf_read_queries(&w, "published_in", 200, 0.0, 7);
         let top = |qs: &[String]| {
+            #[allow(clippy::disallowed_types)]
             let mut counts = std::collections::HashMap::new();
             for q in qs {
                 *counts.entry(q.clone()).or_insert(0usize) += 1;

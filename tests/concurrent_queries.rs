@@ -6,6 +6,9 @@
 //! node-local result cache must serve repeats and be invalidated by
 //! the epoch-stamped stats-delta stream within one dissemination tick.
 
+// The live-runtime tests time out against real wall-clock deadlines.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use unistore::backends::{chord_config, ChordUniCluster};

@@ -1,0 +1,397 @@
+//! Decode-never-panics fuzzing over every protocol `Wire` type.
+//!
+//! Three adversities, one invariant: `Wire::decode` over bytes it did
+//! not produce must return `Err`, never panic and never over-allocate —
+//! a decoder panic is a remote crash trigger the moment frames arrive
+//! from a real socket instead of the simulator.
+//!
+//! * **random bytes** — arbitrary buffers straight into `from_bytes`;
+//! * **truncation** — every strict prefix of a valid encoding must be
+//!   rejected (length prefixes cannot be silently satisfied early);
+//! * **bit flips** — a valid encoding with one byte XORed anywhere must
+//!   either be rejected or decode to a value that re-encodes cleanly.
+//!
+//! Whenever a mutated buffer *does* decode, the decoded value must
+//! re-encode to `wire_size()` bytes that decode back to an identical
+//! value: corrupt input may produce a different message, but never a
+//! value the codec itself cannot handle.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use unistore::{QueryMsg, UniMsg};
+use unistore_chord::msg::ChordBatchOp;
+use unistore_chord::ChordMsg;
+use unistore_pgrid::PGridMsg;
+use unistore_query::cost::StatsDelta;
+use unistore_query::{Coverage, Mqp, MqpNode, Relation};
+use unistore_simnet::NodeId;
+use unistore_store::{Triple, Value};
+use unistore_util::wire::{BatchOp, BatchVerb, OpBatch, Shared, Wire, WireError};
+use unistore_util::{BloomFilter, ItemFilter};
+
+/// Checks one buffer against the never-panic / re-encode invariant.
+fn check_bytes<T: Wire + std::fmt::Debug>(data: &[u8]) {
+    let buf = Bytes::copy_from_slice(data);
+    if let Ok(v) = T::from_bytes(&buf) {
+        let re = v.to_bytes();
+        assert_eq!(re.len(), v.wire_size(), "wire_size disagrees with encode for {v:?}");
+        let back = T::from_bytes(&re).expect("re-encoded bytes must decode");
+        assert_eq!(format!("{back:?}"), format!("{v:?}"));
+    }
+}
+
+/// Every strict prefix of a valid encoding must fail to decode: the
+/// codec requires full consumption and length prefixes must not be
+/// satisfiable early.
+fn check_truncations<T: Wire + std::fmt::Debug>(seed: &T) {
+    let full = seed.to_bytes();
+    for cut in 0..full.len() {
+        let b = Bytes::copy_from_slice(&full[..cut]);
+        assert!(
+            T::from_bytes(&b).is_err(),
+            "prefix of {cut}/{} bytes decoded for {seed:?}",
+            full.len()
+        );
+    }
+}
+
+/// XORs one byte of a valid encoding; decoding may succeed (the flip
+/// landed in a value) but must never panic, and a success must
+/// re-encode cleanly.
+fn check_bitflip<T: Wire + std::fmt::Debug>(seed: &T, pos: usize, mask: u8) {
+    let full = seed.to_bytes();
+    if full.is_empty() {
+        return;
+    }
+    let mut bytes = full.to_vec();
+    let at = pos % bytes.len();
+    bytes[at] ^= mask;
+    check_bytes::<T>(&bytes);
+}
+
+/// Seed corpus per type: representative values covering every variant
+/// and both empty and populated payloads.
+trait FuzzSeeds: Wire + std::fmt::Debug + Sized {
+    fn seeds() -> Vec<Self>;
+}
+
+fn sample_filter() -> Option<ItemFilter> {
+    Some(ItemFilter { field: 2, bloom: BloomFilter::from_hashes([7u64, 8, 9], 0.01) })
+}
+
+fn sample_relation() -> Relation {
+    Relation {
+        schema: vec![Arc::from("n"), Arc::from("g")],
+        rows: vec![
+            vec![Value::str("alice"), Value::Int(30)],
+            vec![Value::str("bob"), Value::Float(0.5)],
+        ],
+    }
+}
+
+fn sample_mqp() -> Mqp {
+    let q = unistore_vql::parse("SELECT ?n WHERE {(?a,'name',?n)} LIMIT 2").expect("static query");
+    Mqp::new(7, 3, MqpNode::Scan { pattern: q.patterns[0].clone() }, q.filters.clone(), Some(2))
+}
+
+fn sample_coverage() -> Coverage {
+    let mut c = Coverage::full();
+    c.record_scan(2, 3);
+    c
+}
+
+fn sample_stats_delta() -> StatsDelta {
+    let mut d = StatsDelta::new();
+    d.record_insert(Triple::new("o9", "rating", Value::Int(5)));
+    d.record_delete(Triple::new("o9", "rating", Value::Int(4)));
+    d
+}
+
+fn sample_batch() -> OpBatch<Triple> {
+    let mut b = OpBatch::new();
+    let i = b.add_item(Triple::new("o1", "name", Value::str("alice")));
+    b.push_insert(5, i, 0);
+    b.push_insert(9, i, 0);
+    b.push_delete(13, 0xFEED, 2);
+    b
+}
+
+impl FuzzSeeds for PGridMsg<Triple> {
+    fn seeds() -> Vec<Self> {
+        let t = Triple::new("o1", "name", Value::str("alice"));
+        let entries = vec![(42u64, 1u64, t.clone()), (43, 0, t.clone())];
+        vec![
+            PGridMsg::Lookup {
+                qid: 9,
+                key: 0xABCD,
+                origin: NodeId(3),
+                hops: 2,
+                filter: sample_filter(),
+            },
+            PGridMsg::LookupReply { qid: 9, items: vec![t.clone()], hops: 3, ok: true },
+            PGridMsg::Insert {
+                qid: 1,
+                key: 5,
+                item: t.clone(),
+                version: 2,
+                origin: NodeId(0),
+                hops: 0,
+            },
+            PGridMsg::InsertAck { qid: 1, hops: 4 },
+            PGridMsg::Delete { qid: 4, key: 9, ident: 11, version: 2, origin: NodeId(1), hops: 3 },
+            PGridMsg::OpBatch {
+                qid: 12,
+                attempt: 1,
+                origin: NodeId(2),
+                hops: 1,
+                batch: sample_batch(),
+            },
+            PGridMsg::BatchAck { qid: 12, attempt: 1, ops: 3, hops: 4 },
+            PGridMsg::Range {
+                qid: 2,
+                lo: 10,
+                hi: 20,
+                lmin: 1,
+                origin: NodeId(4),
+                hops: 1,
+                filter: None,
+            },
+            PGridMsg::RangeSeq {
+                qid: 3,
+                lo: 10,
+                hi: 20,
+                origin: NodeId(4),
+                hops: 1,
+                filter: sample_filter(),
+            },
+            PGridMsg::RangeReply {
+                qid: 2,
+                cov_lo: 10,
+                cov_hi: 15,
+                items: vec![t.clone()],
+                hops: 5,
+                aborted: false,
+            },
+            PGridMsg::Replicate { entries: entries.clone() },
+            PGridMsg::Digest { entries: vec![(1, 2, 3)] },
+            PGridMsg::DigestReply { entries: vec![(42u64, 7u64, 1u64, Some(t)), (43, 8, 2, None)] },
+            PGridMsg::Ping { nonce: 77 },
+            PGridMsg::Pong { nonce: 77 },
+            PGridMsg::TableRequest,
+            PGridMsg::Exchange { path: unistore_util::BitPath::ROOT, store_len: 12 },
+            PGridMsg::ExchangeData { entries },
+            PGridMsg::ExchangeAdopt { bit: true },
+        ]
+    }
+}
+
+impl FuzzSeeds for ChordMsg<Triple> {
+    fn seeds() -> Vec<Self> {
+        let t = Triple::new("o2", "age", Value::Int(30));
+        let entries = vec![(5u64, t.clone()), (6, t.clone())];
+        vec![
+            ChordMsg::Lookup {
+                qid: 1,
+                ring_key: 99,
+                origin: NodeId(2),
+                hops: 3,
+                filter: sample_filter(),
+            },
+            ChordMsg::LookupReply { qid: 1, entries: entries.clone(), hops: 4, ok: true },
+            ChordMsg::Insert {
+                qid: 2,
+                ring_key: 7,
+                key: 700,
+                item: t.clone(),
+                version: 3,
+                origin: NodeId(0),
+                hops: 0,
+            },
+            ChordMsg::InsertAck { qid: 2, hops: 5 },
+            ChordMsg::Delete {
+                qid: 6,
+                ring_key: 7,
+                key: 70,
+                ident: 700,
+                version: 2,
+                origin: NodeId(4),
+                hops: 1,
+            },
+            ChordMsg::OpBatch {
+                qid: 8,
+                origin: NodeId(3),
+                hops: 1,
+                items: vec![t.clone()],
+                ops: vec![ChordBatchOp {
+                    bucket: false,
+                    op: BatchOp { key: 700, version: 0, verb: BatchVerb::Insert { item: 0 } },
+                }],
+            },
+            ChordMsg::BatchAck { qid: 8, ops: 2, hops: 3 },
+            ChordMsg::BucketRange { qid: 3, lo: 10, hi: 90, origin: NodeId(1) },
+            ChordMsg::BucketGet {
+                qid: 3,
+                ring_key: 55,
+                lo: 10,
+                hi: 90,
+                origin: NodeId(1),
+                hops: 2,
+                filter: None,
+            },
+            ChordMsg::Bcast { qid: 4, lo: 0, hi: u64::MAX, limit: 12345, hops: 1, filter: None },
+            ChordMsg::BcastReply { qid: 4, entries, nodes: 17, hops: 6 },
+            ChordMsg::Replicate {
+                entries: vec![((9, 90, 900), 1, Some(t.clone())), ((8, 80, 800), 2, None)],
+            },
+            ChordMsg::Digest { entries: vec![((9, 90, 900), 1)] },
+            ChordMsg::DigestReply { entries: vec![((9, 90, 900), 3, None)] },
+            ChordMsg::Ping,
+            ChordMsg::Pong,
+        ]
+    }
+}
+
+/// Query-layer messages ride the envelope; these seeds cover every
+/// `QueryMsg` variant plus an overlay frame for each backend.
+impl FuzzSeeds for UniMsg<PGridMsg<Triple>> {
+    fn seeds() -> Vec<Self> {
+        let mut out: Vec<Self> = vec![
+            UniMsg::Query(QueryMsg::Execute { mqp: sample_mqp() }),
+            UniMsg::Query(QueryMsg::Route { key: 99, mqp: sample_mqp() }),
+            UniMsg::Query(QueryMsg::Result {
+                qid: 7,
+                relation: sample_relation(),
+                hops: 5,
+                coverage: sample_coverage(),
+            }),
+            UniMsg::Query(QueryMsg::StatsDelta {
+                epoch: 3,
+                delta: Shared::new(sample_stats_delta()),
+            }),
+            UniMsg::Query(QueryMsg::StatsProbe { qid: 11 }),
+        ];
+        out.extend(PGridMsg::seeds().into_iter().map(UniMsg::Overlay));
+        out
+    }
+}
+
+impl FuzzSeeds for UniMsg<ChordMsg<Triple>> {
+    fn seeds() -> Vec<Self> {
+        let mut out: Vec<Self> = vec![UniMsg::Query(QueryMsg::Result {
+            qid: 7,
+            relation: sample_relation(),
+            hops: 5,
+            coverage: sample_coverage(),
+        })];
+        out.extend(ChordMsg::seeds().into_iter().map(UniMsg::Overlay));
+        out
+    }
+}
+
+impl FuzzSeeds for OpBatch<Triple> {
+    fn seeds() -> Vec<Self> {
+        vec![OpBatch::new(), sample_batch()]
+    }
+}
+
+impl FuzzSeeds for StatsDelta {
+    fn seeds() -> Vec<Self> {
+        vec![StatsDelta::new(), sample_stats_delta()]
+    }
+}
+
+impl FuzzSeeds for BloomFilter {
+    fn seeds() -> Vec<Self> {
+        vec![BloomFilter::from_hashes([], 0.01), BloomFilter::from_hashes([7u64, 8, 9], 0.001)]
+    }
+}
+
+impl FuzzSeeds for Coverage {
+    fn seeds() -> Vec<Self> {
+        vec![Coverage::full(), Coverage::failed(), sample_coverage()]
+    }
+}
+
+impl FuzzSeeds for Relation {
+    fn seeds() -> Vec<Self> {
+        vec![Relation::empty(vec![Arc::from("x")]), sample_relation()]
+    }
+}
+
+impl FuzzSeeds for Mqp {
+    fn seeds() -> Vec<Self> {
+        vec![sample_mqp()]
+    }
+}
+
+/// Truncation must always be rejected — one deterministic sweep per
+/// type over every seed and every cut point.
+#[test]
+fn truncated_encodings_rejected() {
+    fn sweep<T: FuzzSeeds>() {
+        for seed in T::seeds() {
+            check_truncations(&seed);
+        }
+    }
+    sweep::<UniMsg<PGridMsg<Triple>>>();
+    sweep::<UniMsg<ChordMsg<Triple>>>();
+    sweep::<PGridMsg<Triple>>();
+    sweep::<ChordMsg<Triple>>();
+    sweep::<OpBatch<Triple>>();
+    sweep::<StatsDelta>();
+    sweep::<BloomFilter>();
+    sweep::<Coverage>();
+    sweep::<Relation>();
+    sweep::<Mqp>();
+}
+
+/// A zero-length buffer must decode to `UnexpectedEof`, not panic.
+#[test]
+fn empty_buffer_rejected() {
+    let b = Bytes::new();
+    assert!(matches!(UniMsg::<PGridMsg<Triple>>::from_bytes(&b), Err(WireError::UnexpectedEof)));
+    assert!(matches!(ChordMsg::<Triple>::from_bytes(&b), Err(WireError::UnexpectedEof)));
+}
+
+macro_rules! fuzz_wire {
+    ($($modname:ident => $ty:ty),* $(,)?) => {$(
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn random_bytes_never_panic(
+                    data in proptest::collection::vec(any::<u8>(), 0..512)
+                ) {
+                    check_bytes::<$ty>(&data);
+                }
+
+                #[test]
+                fn bitflips_never_panic(
+                    seed_idx: u64,
+                    pos: u64,
+                    mask in 1u8..=255u8,
+                ) {
+                    let seeds = <$ty as FuzzSeeds>::seeds();
+                    let seed = &seeds[(seed_idx as usize) % seeds.len()];
+                    check_bitflip(seed, pos as usize, mask);
+                }
+            }
+        }
+    )*};
+}
+
+fuzz_wire! {
+    uni_pgrid => UniMsg<PGridMsg<Triple>>,
+    uni_chord => UniMsg<ChordMsg<Triple>>,
+    pgrid_msg => PGridMsg<Triple>,
+    chord_msg => ChordMsg<Triple>,
+    op_batch => OpBatch<Triple>,
+    stats_delta => StatsDelta,
+    bloom_filter => BloomFilter,
+    coverage => Coverage,
+    relation => Relation,
+    mqp => Mqp,
+}

@@ -7,6 +7,9 @@
 //! floor keeps ghost-attribute plans from looking free. Verified on
 //! BOTH overlay backends, in the simulator and the live runtime.
 
+// The live-runtime halves of this suite genuinely wait on real time.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use unistore::backends::{chord_config, ChordLiveCluster, ChordUniCluster};

@@ -59,6 +59,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    #[allow(clippy::disallowed_methods)] // benchmarking is wall-clock by definition
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         for _ in 0..self.iters {
