@@ -17,7 +17,12 @@
 //! and tail latency vs offered load, uniform vs Zipf-skewed reads,
 //! result cache off vs on, both backends). `fault-snapshot` runs the
 //! failure-masking availability matrix (fault class x backend x retry
-//! policy) and writes `BENCH_faults.json`.
+//! policy) and writes `BENCH_faults.json`. `scale-snapshot` runs the
+//! scale-and-churn survival campaign (mixed Zipf read/write traffic
+//! with churn, loss, a partition and a correlated mass failure all
+//! active at once, N up to 4096 with `full`) and writes
+//! `BENCH_scale.json`: ops/sec, tail latencies, replication repair
+//! lag, routing staleness and per-node load skew vs N, both backends.
 
 // The bench harness measures real elapsed time by design; wall-clock
 // reads are sanctioned here (see clippy.toml).
@@ -33,13 +38,15 @@ use unistore_overlay::Overlay;
 use unistore_pgrid::cluster::Topology;
 use unistore_pgrid::{PGridCluster, PGridConfig, RangeMode};
 use unistore_query::{RangeAlgo, ScanStrategy};
-use unistore_simnet::churn::{install_churn, ChurnConfig};
+use unistore_simnet::churn::{install_churn, install_mass_failure, ChurnConfig};
+use unistore_simnet::fault::{FaultPlan, Window};
 use unistore_simnet::{ConstantLatency, NodeId, PlanetLabLatency, SimTime};
 use unistore_store::index::{attr_value_key, oid_key, value_key};
 use unistore_store::{Oid, Triple, Tuple, Value};
 use unistore_util::item::RawItem;
-use unistore_util::stats::gini;
+use unistore_util::stats::{gini, percentile};
 use unistore_util::zipf::Zipf;
+use unistore_util::Key;
 use unistore_workload::{PubParams, PubWorld};
 
 const SEED: u64 = 20070415; // ICDE 2007
@@ -56,6 +63,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "fault-snapshot") {
         fault_snapshot();
+        return;
+    }
+    if args.iter().any(|a| a == "scale-snapshot") {
+        scale_snapshot(&args);
         return;
     }
     if args.iter().any(|a| a == "determinism-check") {
@@ -1232,9 +1243,11 @@ fn determinism_check() {
     }
 
     println!("\n## determinism-check — same-seed double runs must be bit-identical\n");
-    header(&["backend", "trace digest", "msgs sent", "bytes", "result digest", "verdict"]);
+    header(&["backend", "peers", "trace digest", "msgs sent", "bytes", "result digest", "verdict"]);
     let mut ok = true;
-    for backend in ["P-Grid", "Chord+buckets"] {
+    for (backend, peers) in
+        [("P-Grid", 16), ("P-Grid", 64), ("Chord+buckets", 16), ("Chord+buckets", 64)]
+    {
         let (a, b) = if backend == "P-Grid" {
             let cfg = || {
                 let mut cfg = UniConfig::default()
@@ -1246,8 +1259,8 @@ fn determinism_check() {
                 cfg
             };
             (
-                run(UniCluster::build(16, cfg(), SEED), &world, &mixed),
-                run(UniCluster::build(16, cfg(), SEED), &world, &mixed),
+                run(UniCluster::build(peers, cfg(), SEED), &world, &mixed),
+                run(UniCluster::build(peers, cfg(), SEED), &world, &mixed),
             )
         } else {
             let cfg = || {
@@ -1260,14 +1273,15 @@ fn determinism_check() {
                 cfg
             };
             (
-                run(ChordUniCluster::build_overlay(16, cfg(), SEED), &world, &mixed),
-                run(ChordUniCluster::build_overlay(16, cfg(), SEED), &world, &mixed),
+                run(ChordUniCluster::build_overlay(peers, cfg(), SEED), &world, &mixed),
+                run(ChordUniCluster::build_overlay(peers, cfg(), SEED), &world, &mixed),
             )
         };
         let identical = a == b;
         ok &= identical;
         row(&[
             backend.to_string(),
+            peers.to_string(),
             format!("{:#018x}", a.0),
             a.1.sent.to_string(),
             a.1.bytes.to_string(),
@@ -1626,6 +1640,453 @@ fn fault_snapshot() {
     json.push_str("]\n");
     std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
     println!("wrote BENCH_faults.json ({} rows)", rows.len());
+}
+
+/// One measured cell of the scale-and-churn campaign.
+struct ScaleRow {
+    backend: &'static str,
+    n: usize,
+    build_ms: f64,
+    offered: usize,
+    completed: usize,
+    cov90: usize,
+    mean_cov: f64,
+    qps_sim: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    retries: u64,
+    hedges: u64,
+    suppressed: u64,
+    attempts: u64,
+    writes_ok: u64,
+    writes_err: u64,
+    gini_load: f64,
+    stale_frac: f64,
+    repair_s: f64,
+    downs: u64,
+    ups: u64,
+    wall_ms: f64,
+}
+
+/// Headless CI entry #6: the scale-and-churn survival campaign
+/// (DESIGN.md §"Scale and churn"). Each cell runs one deployment size
+/// under *everything at once*: moderate exponential churn, 2% uniform
+/// loss, a partition window with a correlated mass failure inside it, a
+/// delay spike, and sustained Zipf-skewed mixed read/write traffic
+/// driven through the pipelined admission window. Writes
+/// `BENCH_scale.json`. `smoke` restricts the sweep to {64, 256} (the CI
+/// setting); the default adds 1024 (the acceptance scale); `full` adds
+/// 4096.
+///
+/// In-code floors: ≥95% of offered queries answer with coverage ≥0.9 on
+/// BOTH backends at every size; total attempts (initial + retries +
+/// hedges) stay ≤3× offered (the retry-storm bound); the replication
+/// repair of a write issued *during* the failure window converges after
+/// revival.
+fn scale_snapshot(args: &[String]) {
+    let sizes: Vec<usize> = if args.iter().any(|a| a == "smoke") {
+        vec![64, 256]
+    } else if args.iter().any(|a| a == "full") {
+        vec![64, 256, 1024, 4096]
+    } else {
+        vec![64, 256, 1024]
+    };
+    let world = PubWorld::generate(
+        &PubParams { n_authors: 60, n_conferences: 15, ..Default::default() },
+        SEED,
+    );
+
+    fn pgrid_scale_cfg() -> UniConfig {
+        let mut cfg = UniConfig::default()
+            .with_replication(3)
+            .with_maintenance(SimTime::from_secs(30), SimTime::from_secs(60))
+            .with_min_coverage(0.9);
+        cfg.overlay.refs_per_level = 4;
+        cfg.query_timeout = SimTime::from_secs(30);
+        cfg.overlay.query_timeout = SimTime::from_secs(8);
+        cfg
+    }
+    fn chord_scale_cfg() -> UniConfig<ChordConfig> {
+        let mut cfg = chord_config().with_min_coverage(0.9);
+        cfg.overlay.replicate = true;
+        cfg.overlay.anti_entropy_interval = SimTime::from_secs(60);
+        cfg.overlay.ping_interval = SimTime::from_secs(20);
+        cfg.query_timeout = SimTime::from_secs(30);
+        cfg.overlay.query_timeout = SimTime::from_secs(8);
+        cfg
+    }
+
+    /// The *live* replica group of `key`: the union, over all up
+    /// primaries, of [`Overlay::replica_group`]. Tracks runtime drift
+    /// (P-Grid path migrations, Chord successor re-pointing) that the
+    /// build-time topology plan cannot see.
+    fn live_group<O: Overlay<Item = Triple>>(
+        cluster: &UniCluster<O>,
+        key: Key,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mut primaries = Vec::new();
+        let mut group = Vec::new();
+        for i in 0..cluster.net.len() as u32 {
+            let id = NodeId(i);
+            if !cluster.net.is_up(id) {
+                continue;
+            }
+            let g = cluster.net.node(id).overlay.replica_group(key);
+            if !g.is_empty() {
+                primaries.push(id);
+                group.extend(g);
+            }
+        }
+        group.sort_unstable();
+        group.dedup();
+        (group, primaries)
+    }
+
+    /// Repair-convergence predicate: every up member of the live
+    /// replica group holds the key, and at least one member is up.
+    fn converged<O: Overlay<Item = Triple>>(cluster: &UniCluster<O>, key: Key) -> bool {
+        let (group, _) = live_group(cluster, key);
+        let up: Vec<NodeId> = group.into_iter().filter(|&h| cluster.net.is_up(h)).collect();
+        !up.is_empty() && up.iter().all(|&h| cluster.net.node(h).overlay.holds(key))
+    }
+
+    /// One full campaign cell: moderate churn and 2% loss throughout;
+    /// once traffic is flowing, a partition island is cut around part
+    /// of the canary key's *live* replica group (with a correlated mass
+    /// failure inside it), a canary write is issued mid-window through
+    /// client retries, and after the window a global delay spike hits
+    /// while the drain finishes. Repair lag is the time from window
+    /// close until the live replica group converges on the canary.
+    fn campaign<O: Overlay<Item = Triple>>(
+        backend: &'static str,
+        mut cluster: UniCluster<O>,
+        n: usize,
+        build_ms: f64,
+        world: &PubWorld,
+    ) -> ScaleRow {
+        let wall0 = std::time::Instant::now();
+        cluster.load(world.all_tuples());
+        let reads =
+            unistore_workload::zipf_read_queries(world, "published_in", 120, 1.1, SEED ^ 11);
+        let writes =
+            unistore_workload::zipf_write_batches(world, "published_in", 12, 6, 1.1, SEED ^ 13);
+        let canaries: Vec<Tuple> = (0..4)
+            .map(|k| Tuple::new(&format!("canary{k}")).with("rtag", Value::str("canary")))
+            .collect();
+        let canary_key = attr_value_key("rtag", &Value::str("canary"));
+
+        let mut rng = unistore_util::rng::derive_rng(SEED, unistore_util::rng::stream::CHURN);
+        let churned = install_churn(
+            &mut cluster.net,
+            &mut rng,
+            &ChurnConfig::moderate(),
+            SimTime::from_secs(3_600),
+        );
+        let origins: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|id| !churned.contains(id)).take(8).collect();
+        assert!(!origins.is_empty(), "churn spared no origin at n={n}");
+
+        // Warm the origins' RTT windows while the network is healthy.
+        let warm = unistore_workload::zipf_read_queries(world, "published_in", 16, 0.0, SEED ^ 17);
+        for (i, q) in warm.iter().enumerate() {
+            let _ = cluster.query(origins[i % origins.len()], q);
+        }
+
+        let t0 = cluster.net.now();
+        cluster.net.set_loss_rate(0.02);
+
+        let delivered_before: Vec<u64> = cluster.net.delivered_per_node().to_vec();
+        let metrics_before = cluster.net.metrics();
+        let t_start = cluster.net.now();
+        let mut win: Option<Window> = None;
+        let mut canary_done = false;
+        let (mut writes_ok, mut writes_err) = (0u64, 0u64);
+        let mut repair_s: Option<f64> = None;
+        for (i, q) in reads.iter().enumerate() {
+            cluster.query_submit(origins[i % origins.len()], q).expect("query parses");
+            if (i + 1) % 10 == 0 {
+                let (ok, _) = cluster.insert_batch(
+                    origins[(i / 10) % origins.len()],
+                    &writes[(i / 10) % writes.len()],
+                );
+                writes_ok += ok as u64;
+                writes_err += !ok as u64;
+            }
+            // Arm the fault windows once traffic has run for 45 s: the
+            // island is cut around the canary's replica group *as it
+            // exists right now* — secondaries first, always leaving at
+            // least one primary and every query origin reachable, so
+            // the canary write has somewhere to land and repair has a
+            // source — padded with filler nodes to partition scale.
+            if win.is_none() && cluster.net.now() >= t0 + SimTime::from_secs(45) {
+                let (group, primaries) = live_group(&cluster, canary_key);
+                let half = (group.len() / 2).max(1);
+                let keep_primary = primaries.len().saturating_sub(1);
+                let mut island: Vec<NodeId> = group
+                    .iter()
+                    .copied()
+                    .filter(|m| !primaries.contains(m))
+                    .chain(primaries.iter().copied().take(keep_primary))
+                    .filter(|m| !origins.contains(m))
+                    .take(half)
+                    .collect();
+                let island_size = (n / 32).max(4).min(n / 2);
+                let mut cand = island.first().map(|h| h.0).unwrap_or(0);
+                while island.len() < island_size {
+                    cand = (cand + 1) % n as u32;
+                    let c = NodeId(cand);
+                    if !island.contains(&c) && !origins.contains(&c) && !group.contains(&c) {
+                        island.push(c);
+                    }
+                }
+                island.sort_unstable_by_key(|h| h.0);
+                let now = cluster.net.now();
+                let w = Window::new(now + SimTime::from_secs(10), now + SimTime::from_secs(100));
+                let spike =
+                    Window::new(w.until + SimTime::from_secs(30), w.until + SimTime::from_secs(60));
+                cluster.net.set_fault_plan(
+                    FaultPlan::new()
+                        .partition("canary-island", island.iter().copied(), w)
+                        .delay_spike(None, None, SimTime::from_millis(100), spike),
+                );
+                install_mass_failure(&mut cluster.net, &mut rng, &island, w, 0.5);
+                win = Some(w);
+            }
+            // The canary write is a *client-retried* write: one routed
+            // attempt can die inside the partition window (the batch
+            // protocol acks or fails, it does not queue), so the client
+            // re-issues from rotating origins until the ack lands. The
+            // repair clock is gated on the canary *key* converging at
+            // its live replica group, not on the full-batch ack: the
+            // batch also carries the canary tuples' other index entries,
+            // and one churned-down owner among those delays the ack
+            // (visible in `writes_err`) without saying anything about
+            // replication repair of the canary key itself.
+            if let Some(w) = win {
+                if repair_s.is_none()
+                    && !canary_done
+                    && cluster.net.now() >= w.from + SimTime::from_secs(5)
+                {
+                    let (ok, _) = cluster.insert_batch(origins[i % origins.len()], &canaries);
+                    canary_done = ok;
+                    writes_ok += ok as u64;
+                    writes_err += !ok as u64;
+                }
+            }
+            cluster.settle(SimTime::from_secs(2));
+            if let Some(w) = win {
+                if repair_s.is_none()
+                    && cluster.net.now() > w.until
+                    && converged(&cluster, canary_key)
+                {
+                    repair_s = Some(cluster.net.now().saturating_sub(w.until).as_secs_f64());
+                }
+            }
+        }
+        let outcomes = cluster.query_wait_all();
+        let win = win.expect("fault window armed during traffic");
+
+        // Keep polling repair convergence after the drain, capped.
+        while repair_s.is_none() {
+            if cluster.net.now().saturating_sub(win.until) >= SimTime::from_secs(600) {
+                break;
+            }
+            if cluster.net.now() > win.until && converged(&cluster, canary_key) {
+                repair_s = Some(cluster.net.now().saturating_sub(win.until).as_secs_f64());
+                break;
+            }
+            if !canary_done {
+                let (ok, _) = cluster.insert_batch(origins[0], &canaries);
+                canary_done = ok;
+                writes_ok += ok as u64;
+                writes_err += !ok as u64;
+            }
+            cluster.settle(SimTime::from_secs(5));
+        }
+
+        let offered = reads.len();
+        let mut completed = 0usize;
+        let mut cov90 = 0usize;
+        let mut covs: Vec<f64> = Vec::with_capacity(offered);
+        let mut lat: Vec<f64> = Vec::with_capacity(offered);
+        for (_, out) in &outcomes {
+            let cov = out.coverage.fraction();
+            completed += out.ok as usize;
+            cov90 += (out.ok && cov >= 0.9) as usize;
+            covs.push(cov);
+            lat.push(if out.ok { out.cost.latency.as_micros() as f64 / 1000.0 } else { 120_000.0 });
+        }
+        let elapsed = cluster.net.now().saturating_sub(t_start).as_micros() as f64 / 1e6;
+        let (p50, _, p99) = latency_summary(&lat);
+        let p999 = percentile(&lat, 99.9);
+
+        let (mut retries, mut hedges, mut suppressed) = (0u64, 0u64, 0u64);
+        let (mut refs_total, mut refs_stale) = (0u64, 0u64);
+        for i in 0..n as u32 {
+            let node = cluster.net.node(NodeId(i));
+            retries += node.retries;
+            hedges += node.hedges;
+            suppressed += node.suppressed;
+            for r in node.overlay.routing_refs() {
+                refs_total += 1;
+                refs_stale += !cluster.net.is_up(r) as u64;
+            }
+        }
+        let loads: Vec<f64> = cluster
+            .net
+            .delivered_per_node()
+            .iter()
+            .zip(&delivered_before)
+            .map(|(a, b)| (a - b) as f64)
+            .collect();
+        let md = cluster.net.metrics().delta(&metrics_before);
+        ScaleRow {
+            backend,
+            n,
+            build_ms,
+            offered,
+            completed,
+            cov90,
+            mean_cov: covs.iter().sum::<f64>() / covs.len().max(1) as f64,
+            qps_sim: completed as f64 / elapsed.max(1e-9),
+            p50_ms: p50,
+            p99_ms: p99,
+            p999_ms: p999,
+            retries,
+            hedges,
+            suppressed,
+            attempts: offered as u64 + retries + hedges,
+            writes_ok,
+            writes_err,
+            gini_load: gini(&loads),
+            stale_frac: refs_stale as f64 / (refs_total.max(1)) as f64,
+            repair_s: repair_s.unwrap_or(600.0),
+            downs: md.downs,
+            ups: md.ups,
+            wall_ms: wall0.elapsed().as_secs_f64() * 1000.0,
+        }
+    }
+
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for &n in &sizes {
+        let t = std::time::Instant::now();
+        let c = UniCluster::build(n, pgrid_scale_cfg(), SEED);
+        let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+        rows.push(campaign("P-Grid", c, n, build_ms, &world));
+
+        let t = std::time::Instant::now();
+        let c = ChordUniCluster::build_overlay(n, chord_scale_cfg(), SEED);
+        let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+        rows.push(campaign("Chord+buckets", c, n, build_ms, &world));
+    }
+
+    println!("\n## Scale — churn + loss + partition + mass failure, mixed Zipf load\n");
+    header(&[
+        "backend", "N", "build ms", "q", "done", "cov>=.9", "qps(sim)", "p99 ms", "p999 ms", "att",
+        "supp", "gini", "stale", "repair s",
+    ]);
+    for r in &rows {
+        row(&[
+            r.backend.to_string(),
+            r.n.to_string(),
+            f(r.build_ms),
+            r.offered.to_string(),
+            r.completed.to_string(),
+            r.cov90.to_string(),
+            f(r.qps_sim),
+            f(r.p99_ms),
+            f(r.p999_ms),
+            r.attempts.to_string(),
+            r.suppressed.to_string(),
+            f(r.gini_load),
+            f(r.stale_frac),
+            f(r.repair_s),
+        ]);
+    }
+
+    for r in &rows {
+        let floor = (r.offered * 95).div_ceil(100);
+        assert!(
+            r.cov90 >= floor,
+            "{} n={}: {}/{} queries answered with coverage >= 0.9, floor {}",
+            r.backend,
+            r.n,
+            r.cov90,
+            r.offered,
+            floor
+        );
+        assert!(
+            r.attempts <= 3 * r.offered as u64,
+            "{} n={}: {} attempts for {} offered queries breaches the 3x retry-storm bound",
+            r.backend,
+            r.n,
+            r.attempts,
+            r.offered
+        );
+        assert!(
+            r.repair_s < 600.0,
+            "{} n={}: canary replicas never reconverged after the failure window",
+            r.backend,
+            r.n
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.gini_load) && (0.0..=1.0).contains(&r.stale_frac),
+            "{} n={}: skew/staleness out of range",
+            r.backend,
+            r.n
+        );
+        assert!(r.downs > 0 && r.ups > 0, "{} n={}: no churn actually executed", r.backend, r.n);
+    }
+    // The paper's balancing claim, quantified at the largest measured
+    // size: report P-Grid's load skew against Chord's.
+    if let Some(&max_n) = sizes.iter().max() {
+        let skew = |backend: &str| {
+            rows.iter().find(|r| r.backend == backend && r.n == max_n).map(|r| r.gini_load)
+        };
+        if let (Some(p), Some(c)) = (skew("P-Grid"), skew("Chord+buckets")) {
+            println!("\nload skew at N={max_n}: P-Grid gini {} vs Chord gini {}", f(p), f(c));
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"backend\": \"{}\", \"n\": {}, \"build_ms\": {:.1}, \"offered\": {}, \
+             \"completed\": {}, \"cov90\": {}, \"mean_cov\": {:.4}, \"qps_sim\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"retries\": {}, \
+             \"hedges\": {}, \"suppressed\": {}, \"attempts\": {}, \"writes_ok\": {}, \
+             \"writes_err\": {}, \"gini_load\": {:.4}, \"stale_frac\": {:.4}, \
+             \"repair_s\": {:.1}, \"downs\": {}, \"ups\": {}, \"wall_ms\": {:.0}}}{}\n",
+            r.backend,
+            r.n,
+            r.build_ms,
+            r.offered,
+            r.completed,
+            r.cov90,
+            r.mean_cov,
+            r.qps_sim,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.retries,
+            r.hedges,
+            r.suppressed,
+            r.attempts,
+            r.writes_ok,
+            r.writes_err,
+            r.gini_load,
+            r.stale_frac,
+            r.repair_s,
+            r.downs,
+            r.ups,
+            r.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote BENCH_scale.json ({} rows)", rows.len());
 }
 
 /// One measured (backend, mode) cell of the ingest comparison.

@@ -28,6 +28,11 @@ pub type QueryId = u64;
 pub struct ChordBatchOp {
     /// `true` = the auxiliary bucket index, `false` = the exact index.
     pub bucket: bool,
+    /// Position of this op in the origin's full op list, stable across
+    /// sub-batch re-grouping. Echoed by [`ChordMsg::BatchAck`], so the
+    /// origin knows exactly which ops landed and a timed-out batch
+    /// retransmits only the un-acked remainder.
+    pub idx: u32,
     /// Key, version and verb, as in the backend-agnostic batch format.
     pub op: BatchOp,
 }
@@ -38,15 +43,17 @@ const BUCKET_FLAG: u8 = 4;
 impl Wire for ChordBatchOp {
     fn encode(&self, buf: &mut BytesMut) {
         self.op.encode_flagged(if self.bucket { BUCKET_FLAG } else { 0 }, buf);
+        self.idx.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let (op, extra) = BatchOp::decode_flagged(buf, BUCKET_FLAG)?;
-        Ok(ChordBatchOp { bucket: extra != 0, op })
+        let idx = u32::decode(buf)?;
+        Ok(ChordBatchOp { bucket: extra != 0, idx, op })
     }
 
     fn wire_size(&self) -> usize {
-        self.op.wire_size()
+        self.op.wire_size() + self.idx.wire_size()
     }
 }
 
@@ -140,13 +147,16 @@ pub enum ChordMsg<I> {
         /// The write ops, referencing `items` by index.
         ops: Vec<ChordBatchOp>,
     },
-    /// Aggregated ack: `ops` write ops of batch `qid` were applied at
-    /// the sending node.
+    /// Aggregated ack naming the applied ops by their origin-side
+    /// positions ([`ChordBatchOp::idx`]). Positional acks are idempotent
+    /// — a late duplicate re-marks ops already marked — which is what
+    /// lets a timed-out batch retransmit only its un-acked remainder
+    /// without any attempt-number bookkeeping.
     BatchAck {
         /// Correlation id of the batch.
         qid: QueryId,
-        /// Ops applied at the acking node.
-        ops: u32,
+        /// Origin-side op positions applied at the acking node.
+        applied: Vec<u32>,
         /// Hops the sub-batch travelled to that node.
         hops: u32,
     },
@@ -279,10 +289,10 @@ impl<I: Item> Wire for ChordMsg<I> {
                 put_list(buf, items);
                 put_list(buf, ops);
             }
-            ChordMsg::BatchAck { qid, ops, hops } => {
+            ChordMsg::BatchAck { qid, applied, hops } => {
                 tag::BATCH_ACK.encode(buf);
                 qid.encode(buf);
-                ops.encode(buf);
+                put_list(buf, applied);
                 hops.encode(buf);
             }
             ChordMsg::Insert { qid, ring_key, key, item, version, origin, hops } => {
@@ -393,7 +403,7 @@ impl<I: Item> Wire for ChordMsg<I> {
             }
             tag::BATCH_ACK => ChordMsg::BatchAck {
                 qid: Wire::decode(buf)?,
-                ops: Wire::decode(buf)?,
+                applied: Wire::decode(buf)?,
                 hops: Wire::decode(buf)?,
             },
             tag::INSERT => ChordMsg::Insert {
@@ -560,15 +570,17 @@ mod tests {
                 ops: vec![
                     ChordBatchOp {
                         bucket: false,
+                        idx: 0,
                         op: BatchOp { key: 700, version: 0, verb: BatchVerb::Insert { item: 0 } },
                     },
                     ChordBatchOp {
                         bucket: true,
+                        idx: 1,
                         op: BatchOp { key: 700, version: 2, verb: BatchVerb::Delete { ident: 9 } },
                     },
                 ],
             },
-            ChordMsg::BatchAck { qid: 8, ops: 2, hops: 3 },
+            ChordMsg::BatchAck { qid: 8, applied: vec![0, 1], hops: 3 },
             ChordMsg::BucketRange { qid: 3, lo: 10, hi: 90, origin: NodeId(1) },
             ChordMsg::BucketGet {
                 qid: 3,

@@ -40,6 +40,13 @@ pub struct ChordConfig {
     pub bucket_depth: u8,
     /// Deadline for driver-issued operations.
     pub query_timeout: SimTime,
+    /// How many times the origin retransmits a timed-out batch before
+    /// reporting failure. Only the un-acked remainder is re-sent
+    /// (positional acks tell the origin exactly which ops landed), so
+    /// under message loss the outstanding set shrinks geometrically —
+    /// a whole-batch retry would face the same all-or-nothing odds
+    /// every attempt. Same name and default as P-Grid's knob.
+    pub op_retries: u32,
     /// Push applied writes to the successor replica and repair missed
     /// pushes with periodic digest-exchange anti-entropy (the same pull
     /// protocol P-Grid runs, see `unistore_overlay::repair`). Off by
@@ -66,6 +73,7 @@ impl Default for ChordConfig {
         ChordConfig {
             bucket_depth: 10,
             query_timeout: SimTime::from_secs(30),
+            op_retries: 2,
             replicate: false,
             anti_entropy_interval: SimTime::from_secs(60),
             ping_interval: SimTime::from_micros(0),
@@ -86,11 +94,17 @@ mod timer {
 enum Pending<I> {
     Lookup,
     Insert,
-    /// Batched writes awaiting aggregated acks for every op.
+    /// Batched writes awaiting positional acks for every op. The full
+    /// op set is kept so a timed-out batch can retransmit exactly the
+    /// un-acked remainder (re-application is idempotent under the
+    /// versioned store); `acked[i]` marks op `i` of the original list.
     Batch {
-        expected: u32,
+        items: Vec<I>,
+        ops: Vec<ChordBatchOp>,
+        acked: Vec<bool>,
         done: u32,
         hops: u32,
+        attempts: u32,
     },
     Buckets {
         expected: u32,
@@ -256,6 +270,43 @@ impl<I: Item> ChordNode<I> {
         fx.set_timer(delay, Timer::new(timer::PING, 0));
     }
 
+    /// Live replica group for `key` from this node's view: if this node
+    /// is the current primary of either index position (exact or
+    /// bucket), itself plus — under successor replication — its current
+    /// successor, who receives the pushed replica. Empty when this node
+    /// is not a primary for the key. Observability for the scale
+    /// campaign's repair-lag measurement; tracks re-pointed successors
+    /// that the build-time plan cannot see.
+    pub fn replica_peers(&self, key: Key) -> Vec<NodeId> {
+        let mut group = Vec::new();
+        for rk in [ring_key_exact(key), ring_key_bucket(key, self.cfg.bucket_depth)] {
+            if self.responsible(rk) {
+                group.push(self.id);
+                if self.cfg.replicate && self.successor.0 != self.id {
+                    group.push(self.successor.0);
+                }
+            }
+        }
+        group.sort_unstable();
+        group.dedup();
+        group
+    }
+
+    /// Every distinct peer the routing state references — predecessor,
+    /// successors, fingers — self excluded, sorted. Observability for
+    /// the scale campaign's routing-staleness measurement.
+    pub fn routing_peers(&self) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = Vec::with_capacity(self.fingers.len() + 3);
+        peers.push(self.predecessor.0);
+        peers.push(self.successor.0);
+        peers.push(self.successor2.0);
+        peers.extend(self.fingers.iter().map(|&(node, _)| node));
+        peers.sort_unstable();
+        peers.dedup();
+        peers.retain(|&p| p != self.id);
+        peers
+    }
+
     /// One probe round: ping every distinct routing-table peer and
     /// start the silence deadline. Suspicion is per-round — a peer
     /// still silent when [`timer::PING_DEADLINE`] fires is suspected.
@@ -413,11 +464,9 @@ impl<I: Item> ChordNode<I> {
         }
     }
 
-    /// Handles a routed batch of writes: applies the ops this node is
-    /// responsible for (both indexes live in one ring, so a sub-batch
-    /// may mix exact- and bucket-index ops), re-groups the remainder by
-    /// next hop, and acks the applied count to the origin in one
-    /// aggregated [`ChordMsg::BatchAck`].
+    /// Handles a routed batch of writes arriving on the wire; the
+    /// origin additionally registers the pending state that accumulates
+    /// the positional acks (and feeds retransmits on timeout).
     #[allow(clippy::too_many_arguments)]
     fn handle_op_batch(
         &mut self,
@@ -430,9 +479,37 @@ impl<I: Item> ChordNode<I> {
         fx: &mut Fx<I>,
     ) {
         if from == NodeId::EXTERNAL && origin == self.id {
-            self.register(fx, qid, Pending::Batch { expected: ops.len() as u32, done: 0, hops: 0 });
+            self.register(
+                fx,
+                qid,
+                Pending::Batch {
+                    items: items.clone(),
+                    ops: ops.clone(),
+                    acked: vec![false; ops.len()],
+                    done: 0,
+                    hops: 0,
+                    attempts: 0,
+                },
+            );
         }
-        let mut applied = 0u32;
+        self.route_batch(qid, origin, hops, items, ops, fx);
+    }
+
+    /// Routes a (sub-)batch one step: applies the ops this node is
+    /// responsible for (both indexes live in one ring, so a sub-batch
+    /// may mix exact- and bucket-index ops), re-groups the remainder by
+    /// next hop, and acks the applied ops' positions to the origin in
+    /// one aggregated [`ChordMsg::BatchAck`].
+    fn route_batch(
+        &mut self,
+        qid: QueryId,
+        origin: NodeId,
+        hops: u32,
+        items: Vec<I>,
+        ops: Vec<ChordBatchOp>,
+        fx: &mut Fx<I>,
+    ) {
+        let mut applied: Vec<u32> = Vec::new();
         let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
             // The ring position is derived, not shipped: op tags cross
@@ -452,7 +529,7 @@ impl<I: Item> ChordNode<I> {
                         self.apply_delete(ring_key, op.op.key, ident, op.op.version, fx);
                     }
                 }
-                applied += 1;
+                applied.push(op.idx);
             } else {
                 let next = self.next_hop(ring_key);
                 match groups.iter_mut().find(|(n, _)| *n == next) {
@@ -468,25 +545,34 @@ impl<I: Item> ChordNode<I> {
                 ChordMsg::OpBatch { qid, origin, hops: hops + 1, items: sub_items, ops: sub_ops },
             );
         }
-        if applied > 0 {
+        if !applied.is_empty() {
             if origin == self.id {
                 self.handle_batch_ack(qid, applied, hops, fx);
             } else {
-                fx.send(origin, ChordMsg::BatchAck { qid, ops: applied, hops });
+                fx.send(origin, ChordMsg::BatchAck { qid, applied, hops });
             }
         }
     }
 
-    /// Folds an aggregated batch ack; completes the batch when every op
-    /// is accounted for.
-    fn handle_batch_ack(&mut self, qid: QueryId, ops: u32, ack_hops: u32, fx: &mut Fx<I>) {
-        let Some(Pending::Batch { expected, done, hops }) = self.pending.get_mut(&qid) else {
+    /// Folds a positional batch ack; completes the batch when every op
+    /// is marked. Duplicate and late acks (e.g. from before a
+    /// retransmission) re-mark already-marked ops, so they can only
+    /// help; positions outside the batch are ignored.
+    fn handle_batch_ack(&mut self, qid: QueryId, applied: Vec<u32>, ack_hops: u32, fx: &mut Fx<I>) {
+        let Some(Pending::Batch { acked, done, hops, .. }) = self.pending.get_mut(&qid) else {
             return;
         };
-        *done += ops;
+        for idx in applied {
+            if let Some(slot) = acked.get_mut(idx as usize) {
+                if !*slot {
+                    *slot = true;
+                    *done += 1;
+                }
+            }
+        }
         *hops = (*hops).max(ack_hops);
-        if *done >= *expected {
-            let (ops_total, max_hops) = (*expected, *hops);
+        if *done as usize >= acked.len() {
+            let (ops_total, max_hops) = (*done, *hops);
             self.pending.remove(&qid);
             fx.emit(ChordEvent::BatchDone { qid, ops: ops_total, hops: max_hops, ok: true });
         }
@@ -758,8 +844,33 @@ impl<I: Item> ChordNode<I> {
                     fx.emit(ChordEvent::LookupDone { qid, entries: Vec::new(), hops: 0, ok: false })
                 }
                 Pending::Insert => fx.emit(ChordEvent::InsertDone { qid, hops: 0, ok: false }),
-                Pending::Batch { .. } => {
-                    fx.emit(ChordEvent::BatchDone { qid, ops: 0, hops: 0, ok: false })
+                Pending::Batch { items, ops, acked, done, hops, attempts } => {
+                    let remainder: Vec<usize> = (0..ops.len()).filter(|&i| !acked[i]).collect();
+                    if attempts < self.cfg.op_retries && !remainder.is_empty() {
+                        // Retransmit only the outstanding ops: acked work
+                        // stays marked, a late ack from the previous
+                        // attempt still counts, and re-applied ops are
+                        // no-ops at the versioned stores. The remainder
+                        // shrinks geometrically under independent loss,
+                        // where re-sending the whole batch would face the
+                        // same all-or-nothing odds every attempt.
+                        let (sub_items, sub_ops) = subset_batch(&items, &ops, &remainder);
+                        self.register(
+                            fx,
+                            qid,
+                            Pending::Batch {
+                                items,
+                                ops,
+                                acked,
+                                done,
+                                hops,
+                                attempts: attempts + 1,
+                            },
+                        );
+                        self.route_batch(qid, self.id, 0, sub_items, sub_ops, fx);
+                    } else {
+                        fx.emit(ChordEvent::BatchDone { qid, ops: done, hops, ok: false })
+                    }
                 }
                 Pending::Buckets { entries, hops, received, .. } => {
                     fx.emit(ChordEvent::RangeDone {
@@ -847,7 +958,9 @@ impl<I: Item> NodeBehavior for ChordNode<I> {
             ChordMsg::OpBatch { qid, origin, hops, items, ops } => {
                 self.handle_op_batch(from, qid, origin, hops, items, ops, fx)
             }
-            ChordMsg::BatchAck { qid, ops, hops } => self.handle_batch_ack(qid, ops, hops, fx),
+            ChordMsg::BatchAck { qid, applied, hops } => {
+                self.handle_batch_ack(qid, applied, hops, fx)
+            }
             ChordMsg::Delete { qid, ring_key, key, ident, version, origin, hops } => {
                 self.handle_delete(from, qid, ring_key, key, ident, version, origin, hops, fx)
             }

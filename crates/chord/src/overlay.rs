@@ -62,6 +62,20 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
         }
     }
 
+    fn holds(&self, key: Key) -> bool {
+        // Key-ordered scan over both indexes (exact and bucket mirror):
+        // a planned holder of either index counts once it has the entry.
+        self.store().iter_by_key(key, key).next().is_some()
+    }
+
+    fn routing_refs(&self) -> Vec<NodeId> {
+        self.routing_peers()
+    }
+
+    fn replica_group(&self, key: Key) -> Vec<NodeId> {
+        self.replica_peers(key)
+    }
+
     fn preload(&mut self, key: Key, item: I, version: u64) {
         ChordNode::preload(self, key, item, version)
     }
@@ -173,9 +187,9 @@ impl<I: Item + Send + 'static> Overlay for ChordNode<I> {
         let ops: Vec<ChordBatchOp> = batch
             .ops
             .iter()
-            .flat_map(|&op| {
-                [false, true].into_iter().map(move |bucket| ChordBatchOp { bucket, op })
-            })
+            .flat_map(|&op| [false, true].into_iter().map(move |bucket| (bucket, op)))
+            .enumerate()
+            .map(|(idx, (bucket, op))| ChordBatchOp { bucket, idx: idx as u32, op })
             .collect();
         let qid = next_qid();
         vec![(qid, ChordMsg::OpBatch { qid, origin, hops: 0, items: batch.items.clone(), ops })]

@@ -270,6 +270,7 @@ impl<O: Overlay<Item = Triple>> UniCluster<O> {
                 origin,
                 UniMsg::Query(QueryMsg::StatsDelta {
                     epoch: self.stats_epoch,
+                    span: 0,
                     delta: Shared::new(delta),
                 }),
             ),

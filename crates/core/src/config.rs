@@ -93,6 +93,10 @@ pub struct NodeParams {
     pub min_coverage: f64,
     /// Retry / hedging policy.
     pub backoff: BackoffPolicy,
+    /// Cap on attempt aliases outstanding at one origin before
+    /// re-dispatches defer and hedges are skipped (the retry-storm
+    /// guard — see [`UniConfig::attempt_budget`]).
+    pub attempt_budget: usize,
     /// Seed for the node's private jitter stream (drivers set this to
     /// the cluster seed; the default 0 keeps params deterministic).
     pub seed: u64,
@@ -155,6 +159,15 @@ pub struct UniConfig<C = PGridConfig> {
     /// Origin-side retry / hedging policy (DESIGN.md §"Failure
     /// semantics").
     pub backoff: BackoffPolicy,
+    /// Cap on attempt aliases (initial dispatches + retries + hedges
+    /// not yet resolved) outstanding at one origin node. At the cap,
+    /// deadline-driven re-dispatches defer (the timer re-arms, the
+    /// stranded attempts stay live) and hedges are skipped — the guard
+    /// that keeps a correlated mass failure from amplifying a whole
+    /// admission window into a retry storm (DESIGN.md §"Scale and
+    /// churn"). The default 64 is twice the default admission window,
+    /// so ordinary retries and hedges never hit it.
+    pub attempt_budget: usize,
 }
 
 impl Default for UniConfig<PGridConfig> {
@@ -188,6 +201,7 @@ impl<C> UniConfig<C> {
             result_cache: 0,
             min_coverage: 0.0,
             backoff: BackoffPolicy::default(),
+            attempt_budget: 64,
         }
     }
 
@@ -211,6 +225,18 @@ impl<C> UniConfig<C> {
     /// Replaces the origin-side retry / hedging policy wholesale.
     pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
         self.backoff = policy;
+        self
+    }
+
+    /// Sets the per-origin attempt budget (the retry-storm guard; see
+    /// [`UniConfig::attempt_budget`]).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` — a zero budget would suppress even the
+    /// first retry of a lone query.
+    pub fn with_attempt_budget(mut self, n: usize) -> Self {
+        assert!(n > 0, "attempt budget must admit at least one attempt");
+        self.attempt_budget = n;
         self
     }
 
@@ -265,6 +291,7 @@ impl<C> UniConfig<C> {
             result_cache: self.result_cache,
             min_coverage: self.min_coverage,
             backoff: self.backoff,
+            attempt_budget: self.attempt_budget,
             seed: 0,
         }
     }
@@ -364,6 +391,21 @@ mod tests {
         assert_eq!(p.min_coverage, 0.9);
         assert!(!p.backoff.hedging);
         assert_eq!(p.seed, 0, "drivers override the seed");
+    }
+
+    #[test]
+    fn attempt_budget_knob() {
+        let c = UniConfig::default();
+        assert_eq!(c.attempt_budget, 64, "budget defaults to 2× admission window");
+        let c = c.with_attempt_budget(8);
+        assert_eq!(c.attempt_budget, 8);
+        assert_eq!(c.node_params().attempt_budget, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt budget")]
+    fn zero_attempt_budget_rejected() {
+        let _ = UniConfig::default().with_attempt_budget(0);
     }
 
     #[test]

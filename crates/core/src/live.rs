@@ -380,7 +380,11 @@ impl<O: Overlay<Item = Triple>> LiveCluster<O> {
         self.senders[origin.index()]
             .send((
                 NodeId::EXTERNAL,
-                UniMsg::Query(QueryMsg::StatsDelta { epoch: 0, delta: Shared::new(delta) }),
+                UniMsg::Query(QueryMsg::StatsDelta {
+                    epoch: 0,
+                    span: 0,
+                    delta: Shared::new(delta),
+                }),
             ))
             .expect("node thread alive");
         ok

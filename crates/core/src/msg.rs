@@ -54,8 +54,9 @@ pub enum QueryMsg {
     },
     /// A batch of statistics write events: the in-band dissemination of
     /// the paper's gossiped statistics metadata. Injected by write
-    /// origins and re-broadcast by nodes on their stats-refresh tick;
-    /// receivers fold it into their cost-model snapshot.
+    /// origins, then spread by the stats-refresh tick through an
+    /// exactly-once binomial broadcast tree (DESIGN.md §"Scale and
+    /// churn"); receivers fold it into their cost-model snapshot.
     StatsDelta {
         /// Snapshot generation the delta applies on top of. A full
         /// rebuild bumps the epoch; deltas still buffered or in flight
@@ -63,9 +64,15 @@ pub enum QueryMsg {
         /// already contains and are dropped on receipt instead of being
         /// double-counted.
         epoch: u64,
-        /// The write batch. [`Shared`] because the stats-refresh flush
-        /// broadcasts the identical delta to every peer: the payload is
-        /// encoded once and the N−1 sends clone the buffer, not the
+        /// Broadcast-tree span: how many consecutive peers (the
+        /// receiver plus the `span − 1` following it, ring-ordered by
+        /// node id) the receiver covers. A receiver with `span > 1`
+        /// relays to peers at power-of-two offsets before applying the
+        /// delta; `span ≤ 1` is a pure leaf. Driver injections carry 0.
+        span: u32,
+        /// The write batch. [`Shared`] because every relay of the
+        /// broadcast tree forwards the identical delta: the payload is
+        /// encoded once and each send clones the buffer, not the
         /// encoding work.
         delta: Shared<StatsDelta>,
     },
@@ -110,9 +117,10 @@ impl<M: Wire> Wire for UniMsg<M> {
                 hops.encode(buf);
                 coverage.encode(buf);
             }
-            UniMsg::Query(QueryMsg::StatsDelta { epoch, delta }) => {
+            UniMsg::Query(QueryMsg::StatsDelta { epoch, span, delta }) => {
                 tag::STATS_DELTA.encode(buf);
                 epoch.encode(buf);
+                span.encode(buf);
                 delta.encode(buf);
             }
             UniMsg::Query(QueryMsg::StatsProbe { qid }) => {
@@ -137,6 +145,7 @@ impl<M: Wire> Wire for UniMsg<M> {
             }),
             tag::STATS_DELTA => UniMsg::Query(QueryMsg::StatsDelta {
                 epoch: Wire::decode(buf)?,
+                span: Wire::decode(buf)?,
                 delta: Wire::decode(buf)?,
             }),
             tag::STATS_PROBE => UniMsg::Query(QueryMsg::StatsProbe { qid: Wire::decode(buf)? }),
@@ -223,6 +232,7 @@ mod tests {
             }),
             UniMsg::Query(QueryMsg::StatsDelta {
                 epoch: 3,
+                span: 5,
                 delta: Shared::new({
                     let mut d = StatsDelta::new();
                     d.record_insert(Triple::new("o9", "rating", Value::Int(5)));

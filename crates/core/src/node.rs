@@ -47,8 +47,9 @@ pub type UniFx<M> = Effects<UniMsg<M>, UniEvent>;
 const RESULT_TIMEOUT: u32 = 100;
 
 /// Timer kind for the periodic statistics-dissemination tick: buffered
-/// [`StatsDelta`]s are flushed to every peer, bounding the staleness a
-/// remote plan can observe by one tick plus one hop.
+/// [`StatsDelta`]s are flushed down a binomial broadcast tree spanning
+/// every peer, bounding the staleness a remote plan can observe by one
+/// tick plus O(log n) hops.
 const STATS_TICK: u32 = 101;
 
 /// Timer kind for hedged dispatch: when the current attempt outlives a
@@ -251,6 +252,16 @@ pub struct UniNode<O: Overlay<Item = Triple>> {
     backoff: BackoffPolicy,
     /// Hedged dispatches shipped (observability for tests and benches).
     pub hedges: u64,
+    /// Deadline-driven re-dispatches actually shipped (observability:
+    /// the scale campaign's attempt-amplification accounting).
+    pub retries: u64,
+    /// Re-dispatches and hedges withheld by the attempt budget
+    /// (observability for the retry-storm guard).
+    pub suppressed: u64,
+    /// Cap on attempt aliases outstanding at this origin before
+    /// re-dispatches defer and hedges are skipped
+    /// ([`crate::UniConfig::attempt_budget`]).
+    attempt_budget: usize,
     /// Attempt qid → user-facing qid. Each re-dispatch runs under a
     /// fresh qid so execution state of a lost attempt — local or on
     /// remote peers — can never complete the new one; stale attempts
@@ -288,6 +299,9 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             min_coverage: params.min_coverage,
             backoff: params.backoff,
             hedges: 0,
+            retries: 0,
+            suppressed: 0,
+            attempt_budget: params.attempt_budget,
             attempt_of: FxHashMap::default(),
             exec_counter: 0,
         }
@@ -340,27 +354,56 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
         }
     }
 
-    /// Flushes the buffered stat deltas to every peer (the in-band
-    /// dissemination flush of the stats-refresh tick). The payload is
-    /// encoded once into a [`Shared`] buffer; the per-peer sends clone
-    /// the bytes, not the encoding work.
+    /// Flushes the buffered stat deltas through the binomial broadcast
+    /// tree (DESIGN.md §"Scale and churn"). The origin covers the whole
+    /// ring (`span = n_peers`), so the flush costs O(log n) sends here
+    /// and O(log n) per relay instead of the old n − 1 direct sends; the
+    /// payload is encoded once into a [`Shared`] buffer and every send
+    /// along the tree clones the bytes, not the encoding work. Matched
+    /// insert/delete pairs accumulated within the tick cancel before
+    /// encoding.
     fn flush_stats_outbox(&mut self, fx: &mut UniFx<O::Msg>) {
         if self.stats_outbox.is_empty() {
             return;
         }
-        let delta = Shared::new(std::mem::take(&mut self.stats_outbox));
-        let me = self.id();
-        for peer in 0..self.n_peers {
-            let to = NodeId(peer as u32);
-            if to != me {
-                fx.send(
-                    to,
-                    UniMsg::Query(QueryMsg::StatsDelta {
-                        epoch: self.stats_epoch,
-                        delta: delta.clone(),
-                    }),
-                );
-            }
+        let mut delta = std::mem::take(&mut self.stats_outbox);
+        delta.compact();
+        if delta.is_empty() {
+            return;
+        }
+        let span = self.n_peers as u32;
+        self.fanout_stats_delta(self.stats_epoch, span, &Shared::new(delta), fx);
+    }
+
+    /// Sends the broadcast-tree children of a node covering `span`
+    /// consecutive peers (itself plus the `span − 1` following it,
+    /// ring-ordered by node id): one message per power-of-two offset
+    /// `2^i < span`, each child covering the half-open id interval up to
+    /// the next offset. Every peer in the span receives the delta
+    /// exactly once on a loss-free network, after at most ⌈log₂ span⌉
+    /// hops.
+    fn fanout_stats_delta(
+        &self,
+        epoch: u64,
+        span: u32,
+        delta: &Shared<StatsDelta>,
+        fx: &mut UniFx<O::Msg>,
+    ) {
+        let n = self.n_peers as u64;
+        let me = self.id().0 as u64;
+        let mut off = 1u64;
+        while off < span as u64 {
+            let child_span = (span as u64).min(off << 1) - off;
+            let to = NodeId(((me + off) % n) as u32);
+            fx.send(
+                to,
+                UniMsg::Query(QueryMsg::StatsDelta {
+                    epoch,
+                    span: child_span as u32,
+                    delta: delta.clone(),
+                }),
+            );
+            off <<= 1;
         }
     }
 
@@ -891,21 +934,27 @@ impl<O: Overlay<Item = Triple>> UniNode<O> {
             QueryMsg::Result { qid, relation, hops, coverage } => {
                 self.deliver_result(qid, relation, hops, coverage, fx);
             }
-            QueryMsg::StatsDelta { epoch, delta } => {
+            QueryMsg::StatsDelta { epoch, span, delta } => {
                 // Cache invalidation runs before the epoch gate: a
                 // write notice names (attr, value) pairs whose cached
                 // rows may be stale in any epoch.
                 self.invalidate_cached(delta.get());
+                // Relay duty comes before the epoch gate too: the tree
+                // forwards the *message's* epoch regardless of this
+                // node's own, so a node mid-rebuild still carries its
+                // subtree (the leaves gate for themselves).
+                if from != NodeId::EXTERNAL && span > 1 {
+                    self.fanout_stats_delta(epoch, span, &delta, fx);
+                }
                 // Stale generation: a full rebuild already folded these
                 // writes into the snapshot this node received.
                 if epoch != self.stats_epoch {
                     return;
                 }
                 self.apply_stats_delta(delta.get());
-                // Write origins hand the driver's delta to one node;
-                // that node disseminates it to the rest on its next
-                // stats tick. Peer-to-peer deltas are already a flush
-                // fan-out and stop here.
+                // Write origins hand the driver's delta to one node
+                // (span 0); that node disseminates it to the rest on
+                // its next stats tick. Tree deltas stop at their span.
                 if from == NodeId::EXTERNAL {
                     self.stats_outbox.merge(delta.get().clone());
                 }
@@ -1179,6 +1228,21 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
                 fx.emit(UniEvent::QueryDone { qid: user, relation, hops, ok: false, coverage });
                 return;
             }
+            // Attempt budget: with this many attempt aliases already
+            // outstanding at this origin, another re-dispatch feeds a
+            // retry storm (a correlated failure strands whole windows
+            // of attempts at once, and every one of them is here
+            // wanting to double its in-flight load). Defer instead:
+            // keep the stranded attempts live — any of them may still
+            // complete — and look again after one more backoff
+            // interval. The deadline check above still fails the query
+            // when the budget never clears.
+            if self.attempt_of.len() >= self.attempt_budget {
+                self.suppressed += 1;
+                let delay = self.jittered(last_timeout).min(deadline.saturating_sub(now));
+                fx.set_timer(delay, Timer::new(RESULT_TIMEOUT, user));
+                return;
+            }
             // Retire the lost attempts so their late replies can
             // neither complete the fresh one nor surface a partial
             // answer as the result, then re-dispatch under a fresh
@@ -1201,6 +1265,7 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
             let Some(p) = self.pending_results.get_mut(&user) else { return };
             p.attempts += 1;
             p.hedged = false;
+            self.retries += 1;
             p.last_dispatch = now;
             p.last_timeout = next_timeout;
             let mut mqp = p.mqp.clone();
@@ -1215,13 +1280,25 @@ impl<O: Overlay<Item = Triple>> NodeBehavior for UniNode<O> {
             // race copy. The original attempt stays live — whichever
             // completion reaches the origin first wins; the loser
             // resolves to a purged alias and is dropped.
+            // A hedge is a deliberate duplicate attempt; under the
+            // attempt budget it is the first load shed.
+            let at_budget = self.attempt_of.len() >= self.attempt_budget;
+            let mut deferred = false;
             let mqp = match self.pending_results.get_mut(&user) {
                 Some(p) if !p.hedged => {
-                    p.hedged = true;
-                    Some(p.mqp.clone())
+                    if at_budget {
+                        deferred = true;
+                        None
+                    } else {
+                        p.hedged = true;
+                        Some(p.mqp.clone())
+                    }
                 }
                 _ => None,
             };
+            if deferred {
+                self.suppressed += 1;
+            }
             if let Some(mut mqp) = mqp {
                 let attempt_qid = self.fresh_exec_qid();
                 mqp.qid = attempt_qid;

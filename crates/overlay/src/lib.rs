@@ -238,6 +238,39 @@ pub trait Overlay:
     /// redundant references to spread load.
     fn next_hop(&mut self, key: Key) -> Option<NodeId>;
 
+    /// Whether this peer's local store currently holds any entry under
+    /// `key` (any index). Observability only: the scale campaign
+    /// measures replication *repair lag* as the time from a crashed
+    /// replica's revival until every planned holder of a key written
+    /// during the outage holds it again. The default (`false`) opts a
+    /// backend out of the measurement.
+    fn holds(&self, _key: Key) -> bool {
+        false
+    }
+
+    /// Every peer this node's routing state currently references
+    /// (routing-table entries, fingers, successors, replica partners —
+    /// deduplicated, self excluded). Observability only: the scale
+    /// campaign measures routing-table *staleness* as the fraction of
+    /// references pointing at peers that are actually down. The default
+    /// (empty) opts a backend out of the measurement.
+    fn routing_refs(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// From this node's *live* view: if it is a primary for `key`, the
+    /// full set of peers (itself included) that should eventually hold
+    /// an entry written under `key`; empty when this node is not a
+    /// primary. Unlike [`OverlayTopology::holders`], which reports the
+    /// build-time plan, this tracks runtime drift — path migrations,
+    /// re-pointed successors — so the scale campaign can pick partition
+    /// victims and check repair convergence against where the data
+    /// *actually* lives. Observability only; the default (empty) opts a
+    /// backend out.
+    fn replica_group(&self, _key: Key) -> Vec<NodeId> {
+        Vec::new()
+    }
+
     // ---- local placement and retrieval --------------------------------
 
     /// Places an entry directly into the local store (driver-side bulk

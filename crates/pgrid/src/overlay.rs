@@ -100,6 +100,35 @@ impl<I: Item + Send + 'static> Overlay for PGridPeer<I> {
         PGridPeer::next_hop(self, key)
     }
 
+    fn holds(&self, key: Key) -> bool {
+        !self.store().get(key).is_empty()
+    }
+
+    fn replica_group(&self, key: Key) -> Vec<NodeId> {
+        // Every member of the leaf's replica group is a primary; the
+        // live routing state (path + replica list) tracks bootstrap
+        // path migrations that the build-time plan cannot see.
+        if !self.routing().responsible(key) {
+            return Vec::new();
+        }
+        let mut group = vec![PGridPeer::id(self)];
+        group.extend_from_slice(self.routing().replicas());
+        group.sort_unstable();
+        group.dedup();
+        group
+    }
+
+    fn routing_refs(&self) -> Vec<NodeId> {
+        let table = self.routing();
+        let mut peers: Vec<NodeId> = table.all_refs().iter().map(|r| r.id).collect();
+        peers.extend_from_slice(table.replicas());
+        peers.sort_unstable();
+        peers.dedup();
+        let me = PGridPeer::id(self);
+        peers.retain(|&p| p != me);
+        peers
+    }
+
     fn preload(&mut self, key: Key, item: I, version: u64) {
         PGridPeer::preload(self, key, item, version)
     }

@@ -174,6 +174,41 @@ impl StatsDelta {
     pub fn len(&self) -> usize {
         self.inserted.len() + self.deleted.len()
     }
+
+    /// Cancels matched insert/delete pairs of identical triples: a
+    /// value written and removed again within one buffering interval
+    /// nets to zero in every statistic, so the pair need not ride the
+    /// dissemination fan-out at all. Dissemination flushes call this
+    /// before encoding; survivor order is preserved, so the compacted
+    /// wire bytes stay deterministic.
+    pub fn compact(&mut self) {
+        if self.inserted.is_empty() || self.deleted.is_empty() {
+            return;
+        }
+        // Quadratic pairing over exact triple equality — a tick's
+        // buffer holds at most a few writes, and float-carrying values
+        // rule out a hash multiset.
+        let mut del_used = vec![false; self.deleted.len()];
+        let inserted = std::mem::take(&mut self.inserted);
+        for t in inserted {
+            let pair = self
+                .deleted
+                .iter()
+                .enumerate()
+                .find(|(j, d)| !del_used[*j] && **d == t)
+                .map(|(j, _)| j);
+            match pair {
+                Some(j) => del_used[j] = true,
+                None => self.inserted.push(t),
+            }
+        }
+        let mut j = 0;
+        self.deleted.retain(|_| {
+            let used = del_used[j];
+            j += 1;
+            !used
+        });
+    }
 }
 
 impl Wire for StatsDelta {
@@ -916,6 +951,48 @@ mod tests {
         assert_eq!(format!("{back:?}"), format!("{d:?}"));
         assert!(StatsDelta::new().is_empty());
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn compact_cancels_matched_insert_delete_pairs() {
+        let a = Triple::new("o1", "rating", Value::Int(5));
+        let b = Triple::new("o2", "rating", Value::Int(3));
+        let c = Triple::new("o3", "name", Value::str("carol"));
+        let mut d = StatsDelta::new();
+        // a inserted twice, deleted once → one insert survives.
+        d.record_insert(a.clone());
+        d.record_insert(a.clone());
+        d.record_delete(a.clone());
+        // b inserted and deleted → fully cancelled.
+        d.record_insert(b.clone());
+        d.record_delete(b.clone());
+        // c only deleted → delete survives.
+        d.record_delete(c.clone());
+        d.compact();
+        assert_eq!(d.inserted, vec![a]);
+        assert_eq!(d.deleted, vec![c]);
+
+        // Compaction never changes the net effect on a snapshot.
+        let net = NetParams { n_peers: 8.0, n_leaves: 8.0, replication: 1.0, hop_ms: 1.0 };
+        let base = sample_triples();
+        let mut d2 = StatsDelta::new();
+        for t in &base[..3] {
+            d2.record_insert(t.clone());
+            d2.record_delete(t.clone());
+        }
+        d2.record_insert(Triple::new("z9", "rating", Value::Int(7)));
+        let mut plain = GlobalStats::build(&base, net);
+        let mut compacted = plain.clone();
+        plain.apply_delta(&d2);
+        d2.compact();
+        compacted.apply_delta(&d2);
+        assert_stats_match(&plain, &compacted);
+
+        // Nothing to cancel: a no-op, not a reorder.
+        let mut d3 = StatsDelta::new();
+        d3.record_insert(b);
+        d3.compact();
+        assert_eq!(d3.len(), 1);
     }
 
     mod incremental_matches_rebuild {

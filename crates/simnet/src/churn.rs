@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::fault::Window;
 use crate::net::{NodeBehavior, NodeId, SimNet};
 use crate::time::SimTime;
 
@@ -31,6 +32,19 @@ impl ChurnConfig {
             mean_session: SimTime::from_secs(1800),
             mean_downtime: SimTime::from_secs(300),
             churn_fraction: 0.5,
+        }
+    }
+
+    /// Heavy file-sharing-like churn: 10 min sessions, 2 min downtime,
+    /// 80% of the population cycling. The scale campaign's stress
+    /// setting — roughly 1 in 6 churning nodes is offline at any
+    /// instant, and sessions are short enough that routing state decays
+    /// between consecutive queries.
+    pub fn heavy() -> Self {
+        ChurnConfig {
+            mean_session: SimTime::from_secs(600),
+            mean_downtime: SimTime::from_secs(120),
+            churn_fraction: 0.8,
         }
     }
 }
@@ -71,6 +85,33 @@ pub fn install_churn<N: NodeBehavior>(
         }
     }
     churned
+}
+
+/// Installs a correlated mass failure: `kill_fraction` of `island` —
+/// typically one [`crate::fault::FaultPlan`] partition island, so the
+/// crashes correlate with a connectivity fault — crash together at the
+/// window's open and revive together at its close. Models the failure
+/// domain the independent-churn model cannot: a rack power event or a
+/// network-segment outage taking out many replicas of the same keys at
+/// once. Victim selection draws from the seeded RNG (deterministic like
+/// [`install_churn`]); returns the victims.
+pub fn install_mass_failure<N: NodeBehavior>(
+    net: &mut SimNet<N>,
+    rng: &mut StdRng,
+    island: &[NodeId],
+    window: Window,
+    kill_fraction: f64,
+) -> Vec<NodeId> {
+    assert!((0.0..=1.0).contains(&kill_fraction), "kill fraction out of range");
+    let mut victims = Vec::new();
+    for &id in island {
+        if rng.gen::<f64>() < kill_fraction {
+            victims.push(id);
+            net.schedule_down(id, window.from);
+            net.schedule_up(id, window.until);
+        }
+    }
+    victims
 }
 
 #[cfg(test)]
@@ -130,6 +171,44 @@ mod tests {
         let down = (0..20).filter(|&i| !net.is_up(NodeId(i))).count();
         assert!(down > 0, "some nodes should be offline mid-horizon");
         assert!(down < 20, "not all nodes should be offline");
+    }
+
+    #[test]
+    fn heavy_is_harsher_than_moderate() {
+        let h = ChurnConfig::heavy();
+        let m = ChurnConfig::moderate();
+        assert!(h.mean_session < m.mean_session);
+        assert!(h.mean_downtime < m.mean_downtime);
+        assert!(h.churn_fraction > m.churn_fraction);
+    }
+
+    #[test]
+    fn mass_failure_kills_and_revives_together() {
+        let mut net: SimNet<Idle> = SimNet::new(ConstantLatency(SimTime::ZERO), 0);
+        for _ in 0..16 {
+            net.add_node(Idle);
+        }
+        let island: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let window = Window::new(SimTime::from_secs(10), SimTime::from_secs(20));
+        let mut rng = StdRng::seed_from_u64(4);
+        let victims = install_mass_failure(&mut net, &mut rng, &island, window, 0.5);
+        assert!(!victims.is_empty() && victims.len() < island.len(), "fraction, not all-or-none");
+        assert!(victims.iter().all(|v| island.contains(v)), "victims drawn from the island");
+        // Deterministic under the seeded RNG.
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let mut net2: SimNet<Idle> = SimNet::new(ConstantLatency(SimTime::ZERO), 0);
+        for _ in 0..16 {
+            net2.add_node(Idle);
+        }
+        assert_eq!(victims, install_mass_failure(&mut net2, &mut rng2, &island, window, 0.5));
+        // Inside the window every victim is down; after it, all revive.
+        net.run_until(SimTime::from_secs(15));
+        assert!(victims.iter().all(|&v| !net.is_up(v)));
+        assert!((0..16).map(NodeId).filter(|v| !victims.contains(v)).all(|v| net.is_up(v)));
+        net.run_until(SimTime::from_secs(25));
+        assert!(victims.iter().all(|&v| net.is_up(v)));
+        assert_eq!(net.metrics().downs, victims.len() as u64);
+        assert_eq!(net.metrics().ups, victims.len() as u64);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct NetMetrics {
     pub timers_fired: u64,
     /// Extra deliveries manufactured by a duplication fault.
     pub duplicated: u64,
+    /// Fail-stop crashes executed (up → down transitions).
+    pub downs: u64,
+    /// Revivals executed (down → up transitions).
+    pub ups: u64,
 }
 
 impl NetMetrics {
@@ -32,6 +36,8 @@ impl NetMetrics {
             bytes: self.bytes - earlier.bytes,
             timers_fired: self.timers_fired - earlier.timers_fired,
             duplicated: self.duplicated - earlier.duplicated,
+            downs: self.downs - earlier.downs,
+            ups: self.ups - earlier.ups,
         }
     }
 }
@@ -63,6 +69,8 @@ mod tests {
             bytes: 100,
             timers_fired: 1,
             duplicated: 1,
+            downs: 3,
+            ups: 2,
         };
         let b = NetMetrics {
             sent: 4,
@@ -71,6 +79,8 @@ mod tests {
             bytes: 30,
             timers_fired: 0,
             duplicated: 0,
+            downs: 1,
+            ups: 1,
         };
         let d = a.delta(&b);
         assert_eq!(d.sent, 6);
@@ -78,5 +88,7 @@ mod tests {
         assert_eq!(d.dropped, 2);
         assert_eq!(d.bytes, 70);
         assert_eq!(d.timers_fired, 1);
+        assert_eq!(d.downs, 2);
+        assert_eq!(d.ups, 1);
     }
 }

@@ -125,6 +125,10 @@ struct Slot<N> {
 /// The deterministic discrete-event network.
 pub struct SimNet<N: NodeBehavior> {
     slots: Vec<Slot<N>>,
+    /// Messages delivered to each node (same index as `slots`): the
+    /// per-node load profile behind skew measurements (Gini over the
+    /// delivery counts is the scale campaign's balance metric).
+    delivered_by: Vec<u64>,
     queue: BinaryHeap<Reverse<Event<N::Msg>>>,
     now: SimTime,
     seq: u64,
@@ -160,6 +164,7 @@ impl<N: NodeBehavior> SimNet<N> {
     pub fn new_boxed(latency: Box<dyn LatencyModel>, seed: u64) -> Self {
         SimNet {
             slots: Vec::new(),
+            delivered_by: Vec::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -178,6 +183,7 @@ impl<N: NodeBehavior> SimNet<N> {
     pub fn new(latency: impl LatencyModel + 'static, seed: u64) -> Self {
         SimNet {
             slots: Vec::new(),
+            delivered_by: Vec::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -232,6 +238,7 @@ impl<N: NodeBehavior> SimNet<N> {
     pub fn add_node(&mut self, node: N) -> NodeId {
         let id = NodeId(self.slots.len() as u32);
         self.slots.push(Slot { node, up: true });
+        self.delivered_by.push(0);
         self.push_event(self.now, id, EventKind::Start);
         id
     }
@@ -254,6 +261,14 @@ impl<N: NodeBehavior> SimNet<N> {
     /// Accumulated network counters.
     pub fn metrics(&self) -> NetMetrics {
         self.metrics
+    }
+
+    /// Messages delivered to each node so far, indexed by
+    /// [`NodeId::index`]. The per-node load profile: experiments compute
+    /// skew statistics (Gini) over these counts to quantify the paper's
+    /// balancing claim at scale.
+    pub fn delivered_per_node(&self) -> &[u64] {
+        &self.delivered_by
     }
 
     /// Immutable access to a node's behavior state.
@@ -322,6 +337,7 @@ impl<N: NodeBehavior> SimNet<N> {
                 let slot = &mut self.slots[idx];
                 if slot.up {
                     self.metrics.delivered += 1;
+                    self.delivered_by[idx] += 1;
                     slot.node.on_message(self.now, from, msg, &mut fx);
                 } else {
                     self.metrics.dropped += 1;
@@ -341,12 +357,17 @@ impl<N: NodeBehavior> SimNet<N> {
                 }
             }
             EventKind::Down => {
-                self.slots[idx].up = false;
+                let slot = &mut self.slots[idx];
+                if slot.up {
+                    slot.up = false;
+                    self.metrics.downs += 1;
+                }
             }
             EventKind::Up => {
                 let slot = &mut self.slots[idx];
                 if !slot.up {
                     slot.up = true;
+                    self.metrics.ups += 1;
                     slot.node.on_start(self.now, &mut fx);
                 }
             }
@@ -509,6 +530,10 @@ mod tests {
         assert_eq!(net.metrics().sent, 8);
         assert_eq!(net.metrics().delivered, 9); // inject + 8 forwards
         assert!(net.metrics().bytes >= 8);
+        // The per-node profile sums to the global counter and spreads
+        // over the ring (the hop circulates through all four nodes).
+        assert_eq!(net.delivered_per_node().iter().sum::<u64>(), 9);
+        assert!(net.delivered_per_node().iter().all(|&d| d > 0));
     }
 
     #[test]

@@ -12,7 +12,9 @@ pub mod hetero;
 pub mod pubgen;
 pub mod reads;
 pub mod typos;
+pub mod writes;
 
 pub use pubgen::{PubParams, PubWorld};
 pub use reads::{distinct_values, zipf_read_queries};
 pub use typos::inject_typo;
+pub use writes::zipf_write_batches;

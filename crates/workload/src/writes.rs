@@ -1,0 +1,81 @@
+//! Zipf-skewed write workloads.
+//!
+//! The scale campaign (DESIGN.md §"Scale and churn") drives the system
+//! with *mixed* traffic: the read stream of [`crate::reads`] interleaved
+//! with a write stream that keeps touching the same hot attribute
+//! values, so stats dissemination, cache invalidation and replica
+//! repair all stay exercised while queries drain. The writes insert
+//! fresh tuples (fresh OIDs disjoint from the generated world) whose
+//! hot attribute is Zipf-drawn from the world's existing value
+//! distribution — a write against a popular value lands on the same
+//! partitions the popular reads hammer.
+
+use rand::rngs::StdRng;
+
+use unistore_store::Tuple;
+use unistore_util::rng::{derive_rng, stream};
+use unistore_util::zipf::Zipf;
+
+use crate::pubgen::PubWorld;
+use crate::reads::distinct_values;
+
+/// `batches` insert batches of `batch_size` fresh tuples each. Every
+/// tuple carries `attr` with a value Zipf-drawn (exponent `theta`) from
+/// the world's distinct values of that attribute, plus a marker field
+/// identifying it as campaign traffic. OIDs are `w<batch>_<i>` —
+/// disjoint from the generated world's OID namespaces, so the writes
+/// never collide with preloaded data. Deterministic in `seed`.
+pub fn zipf_write_batches(
+    world: &PubWorld,
+    attr: &str,
+    batches: usize,
+    batch_size: usize,
+    theta: f64,
+    seed: u64,
+) -> Vec<Vec<Tuple>> {
+    let values = distinct_values(world, attr);
+    assert!(!values.is_empty(), "attribute {attr:?} has no values in this world");
+    let zipf = Zipf::new(values.len(), theta);
+    let mut rng: StdRng = derive_rng(seed, stream::WORKLOAD ^ 0x57);
+    (0..batches)
+        .map(|b| {
+            (0..batch_size)
+                .map(|i| {
+                    let v = values[zipf.sample(&mut rng)].clone();
+                    Tuple::new(&format!("w{b}_{i}"))
+                        .with(attr, v)
+                        .with("source", unistore_store::Value::str("campaign"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pubgen::PubParams;
+
+    #[test]
+    fn deterministic_fresh_and_skewed() {
+        let w = PubWorld::generate(&PubParams::default(), 11);
+        let a = zipf_write_batches(&w, "published_in", 4, 8, 1.2, 3);
+        let b = zipf_write_batches(&w, "published_in", 4, 8, 1.2, 3);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|batch| batch.len() == 8));
+        // Bit-identical across runs with the same seed.
+        for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+            assert_eq!(x.oid, y.oid);
+            assert_eq!(x.fields.len(), y.fields.len());
+        }
+        // Fresh OIDs: none collide with the generated world.
+        let world_oids: Vec<_> = w.all_tuples().iter().map(|t| t.oid.clone()).collect();
+        assert!(a.iter().flatten().all(|t| !world_oids.contains(&t.oid)));
+        // Values drawn from the world's existing distribution.
+        let values = distinct_values(&w, "published_in");
+        for t in a.iter().flatten() {
+            let v = t.fields.iter().find(|(k, _)| k.as_ref() == "published_in").unwrap();
+            assert!(values.iter().any(|x| x.eq_values(&v.1)));
+        }
+    }
+}

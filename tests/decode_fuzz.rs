@@ -226,10 +226,11 @@ impl FuzzSeeds for ChordMsg<Triple> {
                 items: vec![t.clone()],
                 ops: vec![ChordBatchOp {
                     bucket: false,
+                    idx: 0,
                     op: BatchOp { key: 700, version: 0, verb: BatchVerb::Insert { item: 0 } },
                 }],
             },
-            ChordMsg::BatchAck { qid: 8, ops: 2, hops: 3 },
+            ChordMsg::BatchAck { qid: 8, applied: vec![0, 1], hops: 3 },
             ChordMsg::BucketRange { qid: 3, lo: 10, hi: 90, origin: NodeId(1) },
             ChordMsg::BucketGet {
                 qid: 3,
@@ -268,6 +269,7 @@ impl FuzzSeeds for UniMsg<PGridMsg<Triple>> {
             }),
             UniMsg::Query(QueryMsg::StatsDelta {
                 epoch: 3,
+                span: 6,
                 delta: Shared::new(sample_stats_delta()),
             }),
             UniMsg::Query(QueryMsg::StatsProbe { qid: 11 }),

@@ -6,6 +6,30 @@ use unistore_simnet::churn::{install_churn, ChurnConfig};
 use unistore_simnet::{NodeId, SimTime};
 use unistore_workload::{PubParams, PubWorld};
 
+/// Canonical relation form (column order by name, sorted rows,
+/// numerics unified) so distributed results compare against the
+/// oracle irrespective of column or row order.
+fn canon(rel: &unistore_query::Relation) -> Vec<Vec<String>> {
+    use unistore_store::Value;
+    let mut order: Vec<usize> = (0..rel.schema.len()).collect();
+    order.sort_by_key(|&i| rel.schema[i].clone());
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| {
+            order
+                .iter()
+                .map(|&i| match &r[i] {
+                    v @ (Value::Int(_) | Value::Float(_)) => format!("{}", v.as_f64().unwrap()),
+                    Value::Str(s) => format!("'{s}'"),
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
 fn cluster_with_world(n: usize, cfg: UniConfig, seed: u64) -> UniCluster {
     let world = PubWorld::generate(
         &PubParams { n_authors: 30, n_conferences: 8, ..Default::default() },
@@ -137,29 +161,6 @@ mod dup_reorder_fuzz {
 
     use super::*;
 
-    /// Canonical relation form (column order by name, sorted rows,
-    /// numerics unified) so distributed results compare against the
-    /// oracle irrespective of column or row order.
-    fn canon(rel: &unistore_query::Relation) -> Vec<Vec<String>> {
-        let mut order: Vec<usize> = (0..rel.schema.len()).collect();
-        order.sort_by_key(|&i| rel.schema[i].clone());
-        let mut rows: Vec<Vec<String>> = rel
-            .rows
-            .iter()
-            .map(|r| {
-                order
-                    .iter()
-                    .map(|&i| match &r[i] {
-                        v @ (Value::Int(_) | Value::Float(_)) => format!("{}", v.as_f64().unwrap()),
-                        Value::Str(s) => format!("'{s}'"),
-                    })
-                    .collect()
-            })
-            .collect();
-        rows.sort();
-        rows
-    }
-
     /// Duplication + reordering, no loss: every query must complete with
     /// full coverage and oracle-exact rows (pending tables drop replayed
     /// completions instead of double-counting them), and a write must
@@ -219,6 +220,117 @@ mod dup_reorder_fuzz {
                 run_case(ChordUniCluster::build_overlay(10, chord_config(), seed), dup, reorder);
             }
         }
+    }
+}
+
+mod composed_faults {
+    use unistore::backends::{chord_config, ChordUniCluster};
+    use unistore_overlay::Overlay;
+    use unistore_simnet::fault::{FaultPlan, Window};
+    use unistore_store::Triple;
+
+    use super::*;
+
+    /// Partition + delay-spike windows composed with live churn while a
+    /// 32-deep pipelined query window drains. Every outcome is held to
+    /// the oracle: a full-coverage completion must match it exactly,
+    /// and a partial or failed one may only miss rows, never invent
+    /// them.
+    fn run_composed<O: Overlay<Item = Triple>>(mut cluster: UniCluster<O>, seed: u64) {
+        let world = PubWorld::generate(
+            &PubParams { n_authors: 30, n_conferences: 8, ..Default::default() },
+            seed,
+        );
+        cluster.load(world.all_tuples());
+        let queries = [
+            "SELECT ?g WHERE {('auth1','age',?g)}",
+            "SELECT ?n WHERE {(?a,'name',?n)}",
+            "SELECT ?n,?g WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g < 40}",
+        ];
+        let expected: Vec<Vec<Vec<String>>> = {
+            let mut o = cluster.oracle();
+            queries.iter().map(|q| canon(&o.query(q).unwrap())).collect()
+        };
+
+        // Live churn over the whole run, a partition that opens while
+        // the pipelined window drains, and a delay spike overlapping the
+        // partition's tail — the three fault modes composed.
+        let n = cluster.net.len() as u32;
+        let mut rng = unistore_util::rng::derive_rng(seed, unistore_util::rng::stream::CHURN);
+        let churn = ChurnConfig {
+            mean_session: SimTime::from_secs(120),
+            mean_downtime: SimTime::from_secs(30),
+            churn_fraction: 0.25,
+        };
+        let churned = install_churn(&mut cluster.net, &mut rng, &churn, SimTime::from_secs(600));
+        let origins: Vec<NodeId> =
+            (0..n).map(NodeId).filter(|id| !churned.contains(id)).take(8).collect();
+        let island: Vec<NodeId> =
+            (0..n).rev().map(NodeId).filter(|id| !origins.contains(id)).take(5).collect();
+        let now = cluster.net.now();
+        let part = Window::new(now + SimTime::from_secs(2), now + SimTime::from_secs(60));
+        let spike = Window::new(now + SimTime::from_secs(20), now + SimTime::from_secs(90));
+        cluster.net.set_fault_plan(
+            FaultPlan::new().partition("minority", island, part).delay_spike(
+                None,
+                None,
+                SimTime::from_millis(50),
+                spike,
+            ),
+        );
+
+        for i in 0..32 {
+            cluster
+                .query_submit(origins[i % origins.len()], queries[i % queries.len()])
+                .expect("query parses");
+        }
+        let outcomes = cluster.query_wait_all();
+        assert_eq!(outcomes.len(), 32, "every submission yields an outcome");
+        assert_eq!(cluster.in_flight_len(), 0, "driver tables drain");
+
+        let mut completed = 0;
+        for (i, (_, out)) in outcomes.iter().enumerate() {
+            let q = queries[i % queries.len()];
+            let want = &expected[i % queries.len()];
+            let got = canon(&out.relation);
+            if out.ok && out.coverage.fraction() >= 1.0 {
+                assert_eq!(&got, want, "full coverage must be oracle-exact: {q}");
+            } else {
+                // Rows may be missing, never invented: multiset
+                // containment in the oracle's rows.
+                let mut pool = want.clone();
+                for row in &got {
+                    let at = pool
+                        .iter()
+                        .position(|w| w == row)
+                        .unwrap_or_else(|| panic!("fabricated row {row:?} for {q}"));
+                    pool.swap_remove(at);
+                }
+            }
+            completed += out.ok as u32;
+        }
+        assert!(
+            completed >= 16,
+            "most of the window should complete under composed faults ({completed}/32)"
+        );
+    }
+
+    #[test]
+    fn pipelined_window_survives_partition_spike_and_churn_pgrid() {
+        let mut cfg = robust_cfg().with_maintenance(SimTime::from_secs(10), SimTime::from_secs(20));
+        cfg.overlay.ping_timeout = SimTime::from_secs(1);
+        run_composed(UniCluster::build(32, cfg, 22), 22);
+    }
+
+    #[test]
+    fn pipelined_window_survives_partition_spike_and_churn_chord() {
+        let mut cfg = chord_config();
+        cfg.overlay.replicate = true;
+        cfg.overlay.anti_entropy_interval = SimTime::from_secs(20);
+        cfg.overlay.ping_interval = SimTime::from_secs(5);
+        cfg.query_timeout = SimTime::from_secs(30);
+        cfg.overlay.query_timeout = SimTime::from_secs(8);
+        run_composed(ChordUniCluster::build_overlay(32, cfg, 22), 22);
     }
 }
 
